@@ -1,0 +1,36 @@
+//! E-ABL-LG — ablation of §3.3: LocalGroupBy.
+//!
+//! A join followed by an aggregate whose grouping is *not* aligned with
+//! the join key: the full GroupBy cannot move below the join (§3.1's
+//! conditions fail), but a LocalGroupBy can pre-aggregate the fact side
+//! and shrink the join input. The more lineitems per order, the bigger
+//! the reduction factor and the bigger the win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthopt::OptimizerLevel;
+use orthopt_bench::{plan, run, tpch};
+
+fn abl_localagg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_localagg");
+    group.sample_size(10);
+    for scale in [0.002, 0.005] {
+        let db = tpch(scale);
+        // Revenue per order priority: grouped by an orders column while
+        // summing a lineitem column — classic eager/lazy aggregation.
+        let sql = "select o_orderpriority, sum(l_extendedprice) \
+                   from orders, lineitem where o_orderkey = l_orderkey \
+                   group by o_orderpriority";
+        for level in [OptimizerLevel::GroupByReorder, OptimizerLevel::Full] {
+            let compiled = plan(&db, sql, level);
+            group.bench_with_input(
+                BenchmarkId::new(level.name(), scale),
+                &compiled,
+                |b, p| b.iter(|| run(&db, p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_localagg);
+criterion_main!(benches);

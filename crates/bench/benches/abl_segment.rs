@@ -1,0 +1,43 @@
+//! E-ABL-SEG — ablation of §3.4.2: the join pushed below SegmentApply
+//! (the paper's Figure 6 vs Figure 7 on TPC-H Q17).
+//!
+//! With the part join *outside* the SegmentApply, every lineitem
+//! segment is aggregated; pushed *inside* (Figure 7), only segments of
+//! parts surviving the brand/container filter are processed. Sweeping
+//! the part-filter selectivity moves the gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthopt::tpch::queries;
+use orthopt::OptimizerLevel;
+use orthopt_bench::{plan, run, tpch};
+
+fn abl_segment(c: &mut Criterion) {
+    let mut db = tpch(0.005);
+    // Isolate the set-oriented strategies (§3.4 argues SegmentApply vs
+    // the flat join-then-aggregate plans): without the l_partkey index
+    // the correlated index-lookup shortcut is off the table and the
+    // SegmentApply choice is decisive.
+    let lineitem = db.catalog().resolve("lineitem").unwrap();
+    db.catalog_mut().table_mut(lineitem).drop_index(&[1]);
+    db.analyze();
+    let mut group = c.benchmark_group("abl_segment");
+    group.sample_size(10);
+    let cases = [
+        ("brand+container", queries::q17("brand#23", "med box")),
+        ("brand-only", queries::q17_brand_only("brand#23")),
+    ];
+    for (name, sql) in &cases {
+        for level in [OptimizerLevel::GroupByReorder, OptimizerLevel::Full] {
+            let compiled = plan(&db, sql, level);
+            group.bench_with_input(
+                BenchmarkId::new(level.name(), name),
+                &compiled,
+                |b, p| b.iter(|| run(&db, p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_segment);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E-FIG9-Q17 — Figure 9 (right): TPC-H Q17 elapsed time across
+//! optimizer feature levels and data scales (see fig9_q2.rs for the
+//! substitution rationale). Q17 is the paper's segmented-execution
+//! showcase: the Full level may replace the self-join of lineitem with
+//! a SegmentApply (Figures 6/7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthopt::tpch::queries;
+use orthopt::OptimizerLevel;
+use orthopt_bench::{plan, run, tpch};
+
+fn fig9_q17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_q17");
+    group.sample_size(10);
+    for scale in [0.002, 0.005, 0.01] {
+        let db = tpch(scale);
+        let sql = queries::q17_brand_only("brand#23");
+        for level in OptimizerLevel::ALL {
+            let compiled = plan(&db, &sql, level);
+            group.bench_with_input(
+                BenchmarkId::new(level.name(), scale),
+                &compiled,
+                |b, p| b.iter(|| run(&db, p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9_q17);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E-FIG9-Q2 — Figure 9 (left): TPC-H Q2 elapsed time.
+//!
+//! Substitution (documented in DESIGN.md): the paper plots published
+//! vendor results against processor count; we plot one engine's
+//! optimizer *feature levels* against *data scale*. The claim preserved
+//! is the figure's: richer subquery/aggregation optimization separates
+//! the systems by an order of magnitude, at every size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthopt::tpch::queries;
+use orthopt::OptimizerLevel;
+use orthopt_bench::{plan, run, tpch};
+
+fn fig9_q2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_q2");
+    group.sample_size(10);
+    for scale in [0.002, 0.005, 0.01] {
+        let db = tpch(scale);
+        let sql = queries::q2(15, "standard anodized", "europe");
+        for level in OptimizerLevel::ALL {
+            let compiled = plan(&db, &sql, level);
+            group.bench_with_input(
+                BenchmarkId::new(level.name(), scale),
+                &compiled,
+                |b, p| b.iter(|| run(&db, p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9_q2);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E-FIG1 table: the Figure-1 strategy lattice, measured.
+//!
+//! Sweeps the outer-side selectivity of §1.1's Q1 and times each
+//! strategy, showing the crossover the paper predicts: correlated
+//! (index-lookup) execution wins when few outer rows qualify; the
+//! set-oriented decorrelated plans win as the outer side grows; the
+//! cost-based Full level tracks the winner.
+//!
+//! ```text
+//! cargo run --release -p orthopt-bench --bin fig1_table [scale]
+//! ```
+
+use orthopt::OptimizerLevel;
+use orthopt_bench::{median_ms, plan, row, tpch};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+    let db = tpch(scale);
+    // A second database without the o_custkey index isolates what
+    // correlated execution costs when "appropriate indices" do NOT
+    // exist — the regime where the set-oriented strategies are the only
+    // sane choice.
+    let mut db_noidx = tpch(scale);
+    let orders = db_noidx.catalog().resolve("orders").unwrap();
+    db_noidx.catalog_mut().table_mut(orders).drop_index(&[1]);
+    db_noidx.analyze();
+    let customers = db.catalog().table_by_name("customer").unwrap().row_count() as i64;
+    println!(
+        "# Figure 1 reproduction — Q1 strategy lattice (TPC-H scale {scale}, {customers} customers)\n"
+    );
+    row(&[
+        "outer rows".into(),
+        "Correlated, no index (ms)".into(),
+        "Correlated (ms)".into(),
+        "Decorrelated (ms)".into(),
+        "+GroupByReorder (ms)".into(),
+        "Full (ms)".into(),
+        "winner".into(),
+    ]);
+    row(&vec!["---".into(); 7]);
+    for frac in [0.01, 0.05, 0.2, 1.0] {
+        let cut = ((customers as f64) * frac).max(1.0) as i64;
+        let sql = format!(
+            "select c_custkey from customer where c_custkey < {cut} and 1000000 < \
+             (select sum(o_totalprice) from orders where o_custkey = c_custkey)"
+        );
+        let mut cells = vec![format!("{cut}")];
+        let mut times = Vec::new();
+        {
+            let p = plan(&db_noidx, &sql, OptimizerLevel::Correlated);
+            let ms = median_ms(&db_noidx, &p, 3);
+            times.push(("Correlated/noidx", ms));
+            cells.push(format!("{ms:.2}"));
+        }
+        for level in OptimizerLevel::ALL {
+            let p = plan(&db, &sql, level);
+            let ms = median_ms(&db, &p, 5);
+            times.push((level.name(), ms));
+            cells.push(format!("{ms:.2}"));
+        }
+        let winner = times
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, _)| *n)
+            .unwrap_or("-");
+        cells.push(winner.to_string());
+        row(&cells);
+    }
+    println!(
+        "\nPaper's claim (§1.1/§2.5): correlated execution \"can actually be the best \
+         strategy, if the outer table is small, and appropriate indices exist\"; the \
+         Full level should match the per-row winner everywhere."
+    );
+}

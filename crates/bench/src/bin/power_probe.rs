@@ -1,0 +1,36 @@
+//! Quick one-shot probe: plan + execute the power-run suite at every
+//! optimizer level with plan statistics — handy for eyeballing plan
+//! quality before running the full criterion benches.
+//!
+//! ```text
+//! cargo run --release -p orthopt-bench --bin power_probe [scale]
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+use orthopt::tpch::queries;
+use orthopt::{Database, OptimizerLevel};
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.002);
+    let t = Instant::now();
+    let db = Database::tpch(scale).unwrap();
+    println!("gen {scale}: {:?}", t.elapsed());
+    let mut suite = queries::power_run();
+    suite.push(("Q17-brand", queries::q17_brand_only("brand#23")));
+    for (name, sql) in suite {
+        for level in OptimizerLevel::ALL {
+            let t = Instant::now();
+            match db.plan(&sql, level) {
+                Ok(p) => {
+                    let plan_t = t.elapsed();
+                    let t = Instant::now();
+                    let r = db.run(&p);
+                    println!("{name:<10} {:>16}: plan {plan_t:>10.2?} ({:>4} exprs, cost {:>12.0}) exec {:>10.2?} rows {:?}",
+                        level.name(), p.search.exprs, p.search.best_cost, t.elapsed(), r.map(|x| x.rows.len()));
+                }
+                Err(e) => println!("{name:<10} {:>16}: plan FAILED {e} after {:?}", level.name(), t.elapsed()),
+            }
+            std::io::stdout().flush().unwrap();
+        }
+    }
+}

@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+//! Shared harness utilities for the paper-reproduction benchmarks.
+//!
+//! The per-experiment index lives in `DESIGN.md`; each bench target and
+//! table binary names the paper artifact (figure/table) it regenerates,
+//! and `EXPERIMENTS.md` records paper-vs-measured shapes.
+
+use std::time::Instant;
+
+use orthopt::{Database, OptimizerLevel, Plan, QueryResult};
+
+/// Builds a TPC-H database at the given scale factor (panics on error:
+/// benchmark setup is infallible by construction).
+pub fn tpch(scale: f64) -> Database {
+    Database::tpch(scale).expect("tpch generation")
+}
+
+/// Compiles once; panics with the query text on failure.
+pub fn plan(db: &Database, sql: &str, level: OptimizerLevel) -> Plan {
+    db.plan(sql, level)
+        .unwrap_or_else(|e| panic!("planning {sql}: {e}"))
+}
+
+/// Executes a pre-compiled plan.
+pub fn run(db: &Database, plan: &Plan) -> QueryResult {
+    db.run(plan).expect("execution")
+}
+
+/// Wall-clock milliseconds of one execution of a pre-compiled plan.
+pub fn time_execution_ms(db: &Database, plan: &Plan) -> f64 {
+    let t = Instant::now();
+    let result = db.run(plan).expect("execution");
+    let elapsed = t.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(result.rows.len());
+    elapsed
+}
+
+/// Median of `n` timed executions after one warm-up run (the table
+/// binaries' measurement).
+pub fn median_ms(db: &Database, plan: &Plan, n: usize) -> f64 {
+    let _ = time_execution_ms(db, plan); // warm-up
+    let mut samples: Vec<f64> = (0..n.max(1))
+        .map(|_| time_execution_ms(db, plan))
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Geometric mean (the QphH-analogue used by the Figure 8 table).
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: f64 = xs.iter().map(|x| x.max(1e-9).ln()).sum();
+    (logs / xs.len() as f64).exp()
+}
+
+/// Prints a markdown-ish table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_the_value() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_is_between_min_and_max() {
+        let g = geomean(&[1.0, 100.0]);
+        assert!(g > 1.0 && g < 100.0);
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harness_times_a_real_query() {
+        let db = tpch(0.002);
+        let p = plan(&db, "select count(*) from customer", OptimizerLevel::Full);
+        let ms = median_ms(&db, &p, 3);
+        assert!(ms >= 0.0);
+    }
+}

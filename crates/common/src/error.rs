@@ -1,0 +1,69 @@
+//! Error type shared by every layer of the stack.
+
+use std::fmt;
+
+/// Convenient alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere between SQL text and query results.
+///
+/// The paper's "exception subqueries" (§2.4, Class 3) hinge on the fact
+/// that some subqueries can raise *run-time* errors — represented here by
+/// [`Error::SubqueryReturnedMoreThanOneRow`], raised by the `Max1Row`
+/// operator during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexer/parser failure, with position information in the message.
+    Parse(String),
+    /// Name resolution / typing failure while binding SQL to the IR.
+    Bind(String),
+    /// Normalization or optimization failure (these indicate bugs or
+    /// unsupported constructs, never data-dependent conditions).
+    Plan(String),
+    /// Execution-time failure other than the dedicated variants below.
+    Exec(String),
+    /// A scalar subquery returned more than one row (SQL semantics,
+    /// enforced by the `Max1Row` operator).
+    SubqueryReturnedMoreThanOneRow,
+    /// Division by zero in a scalar expression.
+    DivideByZero,
+    /// Integer arithmetic overflowed.
+    NumericOverflow,
+    /// Scalar evaluation met operands of incompatible types.
+    TypeMismatch(String),
+    /// Catalog lookup failure.
+    UnknownTable(String),
+    /// Column lookup failure.
+    UnknownColumn(String),
+    /// Invariant violation inside the engine; always a bug.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Bind(m) => write!(f, "bind error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Exec(m) => write!(f, "execution error: {m}"),
+            Error::SubqueryReturnedMoreThanOneRow => {
+                write!(f, "scalar subquery returned more than one row")
+            }
+            Error::DivideByZero => write!(f, "division by zero"),
+            Error::NumericOverflow => write!(f, "numeric overflow"),
+            Error::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            Error::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Shorthand for an [`Error::Internal`] with a formatted message.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+}

@@ -1,0 +1,114 @@
+//! Row representation and helpers.
+
+use crate::value::Value;
+
+/// A row is simply a vector of values; the *layout* (which [`crate::ColId`]
+/// lives at which position) travels separately with each operator's
+/// output, so rows themselves stay cheap to build and move.
+pub type Row = Vec<Value>;
+
+/// Sorts rows with the total order (NULL-first), producing a canonical
+/// ordering for deterministic output and bag comparison in tests.
+pub fn sort_rows(rows: &mut [Row]) {
+    rows.sort_by(cmp_rows);
+}
+
+/// Total comparison of two rows, lexicographic by position.
+pub fn cmp_rows(a: &Row, b: &Row) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let o = x.total_cmp(y);
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Bag (multiset) equality of two row collections, ignoring order.
+pub fn bag_eq(a: &[Row], b: &[Row]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut x: Vec<Row> = a.to_vec();
+    let mut y: Vec<Row> = b.to_vec();
+    sort_rows(&mut x);
+    sort_rows(&mut y);
+    x == y
+}
+
+/// Bag equality with relative tolerance on floats — physical plans may
+/// reassociate floating-point aggregation (e.g. local/global SUM
+/// splits), which legitimately perturbs the last bits.
+pub fn bag_eq_approx(a: &[Row], b: &[Row], rel_eps: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut x: Vec<Row> = a.to_vec();
+    let mut y: Vec<Row> = b.to_vec();
+    sort_rows(&mut x);
+    sort_rows(&mut y);
+    x.iter().zip(&y).all(|(r1, r2)| {
+        r1.len() == r2.len()
+            && r1.iter().zip(r2).all(|(v1, v2)| match (v1, v2) {
+                (Value::Float(f1), Value::Float(f2)) => {
+                    let scale = f1.abs().max(f2.abs()).max(1.0);
+                    (f1 - f2).abs() <= rel_eps * scale
+                }
+                _ => v1 == v2,
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_eq_ignores_order() {
+        let a = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+        let b = vec![vec![Value::Int(2)], vec![Value::Int(1)]];
+        assert!(bag_eq(&a, &b));
+    }
+
+    #[test]
+    fn bag_eq_respects_multiplicity() {
+        let a = vec![vec![Value::Int(1)], vec![Value::Int(1)]];
+        let b = vec![vec![Value::Int(1)]];
+        assert!(!bag_eq(&a, &b));
+    }
+
+    #[test]
+    fn bag_eq_handles_nulls() {
+        let a = vec![vec![Value::Null], vec![Value::Int(1)]];
+        let b = vec![vec![Value::Int(1)], vec![Value::Null]];
+        assert!(bag_eq(&a, &b));
+    }
+
+    #[test]
+    fn approx_bag_eq_tolerates_ulp_noise() {
+        let a = vec![vec![Value::Float(100.0)]];
+        let b = vec![vec![Value::Float(100.0 + 1e-12)]];
+        assert!(bag_eq_approx(&a, &b, 1e-9));
+        let c = vec![vec![Value::Float(101.0)]];
+        assert!(!bag_eq_approx(&a, &c, 1e-9));
+    }
+
+    #[test]
+    fn approx_bag_eq_still_exact_for_ints() {
+        let a = vec![vec![Value::Int(1)]];
+        let b = vec![vec![Value::Int(2)]];
+        assert!(!bag_eq_approx(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn sort_rows_is_deterministic() {
+        let mut r = vec![
+            vec![Value::Int(2), Value::str("b")],
+            vec![Value::Int(2), Value::str("a")],
+            vec![Value::Null],
+        ];
+        sort_rows(&mut r);
+        assert!(r[0][0].is_null());
+        assert_eq!(r[1][1], Value::str("a"));
+    }
+}

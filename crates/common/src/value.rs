@@ -1,0 +1,473 @@
+//! SQL values, types, and three-valued logic.
+//!
+//! The paper's semantics (§1.1) depend on precise NULL behaviour:
+//! *scalar* aggregation returns one row even on empty input (NULL for
+//! `SUM`, 0 for `COUNT`), comparisons against NULL are *unknown*, and
+//! grouping treats NULLs as equal. We therefore keep two notions of
+//! equality:
+//!
+//! * **Grouping equality** — the derived [`PartialEq`]/[`Hash`] on
+//!   [`Value`]: total, NULL == NULL, used by hash joins on grouping keys,
+//!   hash aggregation and duplicate elimination.
+//! * **SQL comparison** — [`Value::sql_eq`] / [`Value::sql_cmp`]:
+//!   three-valued, anything compared with NULL is unknown (`None`).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+
+/// Data types supported by the engine (a pragmatic TPC-H-complete set).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DataType {
+    /// Boolean (`true`/`false`).
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (used for TPC-H decimals).
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Date as days since 1970-01-01.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+impl DataType {
+    /// True when values of this type can participate in `+ - * /`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+/// A single SQL value. `Null` is typeless, as in SQL.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Interned string.
+    Str(Arc<str>),
+    /// Days since the epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True iff this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The type of a non-NULL value, `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Extracts a bool under three-valued logic: NULL ↦ `None`.
+    pub fn as_bool3(&self) -> Result<Option<bool>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(Error::TypeMismatch(format!(
+                "expected bool, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Numeric view as f64, for mixed int/float arithmetic.
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Canonicalizes floats so that grouping equality and hashing agree:
+    /// `-0.0` folds to `0.0` and every NaN folds to one canonical NaN.
+    fn canonical_f64(f: f64) -> u64 {
+        if f == 0.0 {
+            0f64.to_bits()
+        } else if f.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// SQL equality under three-valued logic. `None` means *unknown*.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// SQL ordering comparison under three-valued logic.
+    ///
+    /// Mixed `Int`/`Float` comparisons coerce to float. Comparing
+    /// incompatible non-NULL types is a type error upstream; here it
+    /// conservatively yields unknown.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                Some(x.total_cmp(&y))
+            }
+        }
+    }
+
+    /// Total ordering used for deterministic output sorting (ORDER BY and
+    /// test normalization): NULL sorts first, then by grouping value.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+                Value::Date(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => rank(a).cmp(&rank(b)),
+            },
+        }
+    }
+
+    /// `self + other` with NULL propagation.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        self.arith(other, "+", i64::checked_add, |a, b| a + b)
+    }
+
+    /// `self - other` with NULL propagation.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        self.arith(other, "-", i64::checked_sub, |a, b| a - b)
+    }
+
+    /// `self * other` with NULL propagation.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        self.arith(other, "*", i64::checked_mul, |a, b| a * b)
+    }
+
+    /// `self / other`: always produces a float (SQL Server style decimal
+    /// division is approximated by float division). Division by zero is a
+    /// run-time error; NULL operands propagate.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let a = self.numeric_operand("/")?;
+        let b = other.numeric_operand("/")?;
+        if b == 0.0 {
+            return Err(Error::DivideByZero);
+        }
+        Ok(Value::Float(a / b))
+    }
+
+    /// Negation with NULL propagation.
+    pub fn neg(&self) -> Result<Value> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or(Error::NumericOverflow),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(Error::TypeMismatch(format!("cannot negate {other:?}"))),
+        }
+    }
+
+    fn numeric_operand(&self, op: &str) -> Result<f64> {
+        self.as_f64().ok_or_else(|| {
+            Error::TypeMismatch(format!("operand of {op} is not numeric: {self:?}"))
+        })
+    }
+
+    fn arith(
+        &self,
+        other: &Value,
+        op: &str,
+        int_op: fn(i64, i64) -> Option<i64>,
+        float_op: fn(f64, f64) -> f64,
+    ) -> Result<Value> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => {
+                int_op(*a, *b).map(Value::Int).ok_or(Error::NumericOverflow)
+            }
+            (a, b) => {
+                let (x, y) = (a.numeric_operand(op)?, b.numeric_operand(op)?);
+                Ok(Value::Float(float_op(x, y)))
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Grouping equality: total, NULL equals NULL, `-0.0 == 0.0`,
+    /// NaN == NaN. Int and Float compare numerically so that mixed-type
+    /// grouping keys behave.
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Value::canonical_f64(*a) == Value::canonical_f64(*b)
+            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                (*a as f64) == *b && !b.is_nan()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats must hash alike when numerically equal
+            // (see PartialEq); hash every numeric through the canonical
+            // float encoding unless the int is not exactly representable.
+            Value::Int(i) => {
+                let f = *i as f64;
+                if f as i64 == *i {
+                    2u8.hash(state);
+                    Value::canonical_f64(f).hash(state);
+                } else {
+                    3u8.hash(state);
+                    i.hash(state);
+                }
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                Value::canonical_f64(*f).hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                5u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Date(d) => write!(f, "date({d})"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+/// Three-valued AND.
+pub fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+/// Three-valued OR.
+pub fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+/// Three-valued NOT.
+pub fn not3(a: Option<bool>) -> Option<bool> {
+    a.map(|b| !b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn null_grouping_equality() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn null_sql_comparison_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn float_zero_signs_group_together() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(h(&Value::Float(-0.0)), h(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn nan_groups_with_itself() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(h(&Value::Float(f64::NAN)), h(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn int_float_numeric_equality_and_hash_agree() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+    }
+
+    #[test]
+    fn mixed_comparison_coerces() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn arithmetic_null_propagation() {
+        assert!(Value::Null.add(&Value::Int(1)).unwrap().is_null());
+        assert!(Value::Int(1).mul(&Value::Null).unwrap().is_null());
+        assert!(Value::Null.div(&Value::Int(0)).unwrap().is_null());
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert_eq!(
+            Value::Int(1).div(&Value::Int(0)),
+            Err(Error::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn division_produces_float() {
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        assert_eq!(
+            Value::Int(i64::MAX).add(&Value::Int(1)),
+            Err(Error::NumericOverflow)
+        );
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        let t = Some(true);
+        let f = Some(false);
+        let u = None;
+        assert_eq!(and3(t, u), u);
+        assert_eq!(and3(f, u), f);
+        assert_eq!(or3(t, u), t);
+        assert_eq!(or3(f, u), u);
+        assert_eq!(not3(u), u);
+        assert_eq!(not3(t), f);
+    }
+
+    #[test]
+    fn string_values_compare() {
+        assert_eq!(
+            Value::str("a").sql_cmp(&Value::str("b")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::str("x"), Value::str("x"));
+    }
+
+    #[test]
+    fn total_cmp_sorts_null_first() {
+        let mut v = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert!(v[0].is_null());
+        assert_eq!(v[1], Value::Int(1));
+    }
+}

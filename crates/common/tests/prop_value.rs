@@ -1,0 +1,90 @@
+//! Property tests for the value system: the algebraic laws the
+//! hash-based operators depend on.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use orthopt_common::Value;
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-100i64..100).prop_map(Value::Int),
+        (-100i64..100).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        prop_oneof![Just(Value::Float(0.0)), Just(Value::Float(-0.0)), Just(Value::Float(f64::NAN))],
+        "[a-c]{0,3}".prop_map(|s| Value::str(&s)),
+        (-1000i32..1000).prop_map(Value::Date),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn grouping_eq_is_reflexive(v in value()) {
+        prop_assert_eq!(&v, &v);
+    }
+
+    #[test]
+    fn grouping_eq_is_symmetric(a in value(), b in value()) {
+        prop_assert_eq!(a == b, b == a);
+    }
+
+    #[test]
+    fn eq_implies_same_hash(a in value(), b in value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b), "{:?} vs {:?}", a, b);
+        }
+    }
+
+    #[test]
+    fn sql_eq_implies_grouping_eq(a in value(), b in value()) {
+        if a.sql_eq(&b) == Some(true) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn total_cmp_is_total_and_antisymmetric(a in value(), b in value()) {
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn total_cmp_is_transitive(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering::*;
+        if a.total_cmp(&b) != Greater && b.total_cmp(&c) != Greater {
+            prop_assert_ne!(a.total_cmp(&c), Greater, "{:?} {:?} {:?}", a, b, c);
+        }
+    }
+
+    #[test]
+    fn null_comparisons_are_always_unknown(v in value()) {
+        prop_assert_eq!(Value::Null.sql_eq(&v), None);
+        prop_assert_eq!(v.sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn arithmetic_null_propagates(v in value()) {
+        if let Ok(out) = Value::Null.add(&v) {
+            prop_assert!(out.is_null());
+        }
+        if let Ok(out) = v.mul(&Value::Null) {
+            prop_assert!(out.is_null());
+        }
+    }
+
+    #[test]
+    fn addition_commutes_on_numerics(a in -1000i64..1000, b in -1000i64..1000) {
+        let x = Value::Int(a);
+        let y = Value::Float(b as f64 / 8.0);
+        prop_assert_eq!(x.add(&y).unwrap(), y.add(&x).unwrap());
+    }
+}

@@ -1,0 +1,331 @@
+//! Aggregation core shared by the reference interpreter and the
+//! physical engine.
+//!
+//! Implements the SQL semantics the paper leans on (§1.1): vector
+//! aggregation is empty on empty input; scalar aggregation always emits
+//! exactly one row with `agg(∅)` results; NULL inputs are skipped by all
+//! aggregates; `COUNT(*)` counts rows. `LocalGroupBy` "need not be
+//! different from a GroupBy" in the engine (§3.3) — it runs through the
+//! same code path.
+
+use std::collections::{HashMap, HashSet};
+
+use orthopt_common::{Error, Result, Row, Value};
+use orthopt_ir::{AggDef, AggFunc, GroupKind};
+
+/// Running state of one aggregate over one group.
+#[derive(Debug, Clone)]
+pub enum AggAcc {
+    /// COUNT(*) / COUNT(expr): running row count.
+    Count(i64),
+    /// SUM: running total (None until the first non-NULL input).
+    Sum(Option<Value>),
+    /// MIN.
+    Min(Option<Value>),
+    /// MAX.
+    Max(Option<Value>),
+    /// AVG: running (sum, count) over non-NULL inputs.
+    Avg(f64, i64),
+}
+
+impl AggAcc {
+    /// Fresh accumulator for a function.
+    pub fn new(func: AggFunc) -> AggAcc {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => AggAcc::Count(0),
+            AggFunc::Sum => AggAcc::Sum(None),
+            AggFunc::Min => AggAcc::Min(None),
+            AggFunc::Max => AggAcc::Max(None),
+            AggFunc::Avg => AggAcc::Avg(0.0, 0),
+        }
+    }
+
+    /// Feeds one input value. `v` is `None` only for `COUNT(*)` (no
+    /// argument); NULL argument values are skipped per SQL.
+    pub fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggAcc::Count(n) => {
+                match v {
+                    // COUNT(*): every row counts.
+                    None => *n += 1,
+                    // COUNT(expr): only non-NULL values count.
+                    Some(x) if !x.is_null() => *n += 1,
+                    Some(_) => {}
+                }
+            }
+            AggAcc::Sum(acc) => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        *acc = Some(match acc.take() {
+                            Some(cur) => cur.add(x)?,
+                            None => x.clone(),
+                        });
+                    }
+                }
+            }
+            AggAcc::Min(acc) => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        let better = acc
+                            .as_ref()
+                            .is_none_or(|cur| x.sql_cmp(cur) == Some(std::cmp::Ordering::Less));
+                        if better {
+                            *acc = Some(x.clone());
+                        }
+                    }
+                }
+            }
+            AggAcc::Max(acc) => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        let better = acc.as_ref().is_none_or(|cur| {
+                            x.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)
+                        });
+                        if better {
+                            *acc = Some(x.clone());
+                        }
+                    }
+                }
+            }
+            AggAcc::Avg(sum, n) => {
+                if let Some(x) = v {
+                    match x {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            *sum += *i as f64;
+                            *n += 1;
+                        }
+                        Value::Float(fl) => {
+                            *sum += *fl;
+                            *n += 1;
+                        }
+                        other => {
+                            return Err(Error::TypeMismatch(format!(
+                                "avg over non-numeric {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value of the aggregate for this group.
+    pub fn finish(self) -> Value {
+        match self {
+            AggAcc::Count(n) => Value::Int(n),
+            AggAcc::Sum(v) | AggAcc::Min(v) | AggAcc::Max(v) => v.unwrap_or(Value::Null),
+            AggAcc::Avg(sum, n) => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+/// State of one group: accumulators plus per-aggregate distinct filters.
+struct GroupState {
+    accs: Vec<AggAcc>,
+    seen: Vec<Option<HashSet<Value>>>,
+}
+
+/// Hash aggregation over already-extracted inputs.
+///
+/// `rows` supplies, per input row, the group key and the evaluated
+/// argument of each aggregate (`None` for `COUNT(*)`). Returns one row
+/// per group laid out as `group key values ++ aggregate results`.
+pub fn hash_aggregate(
+    kind: GroupKind,
+    aggs: &[AggDef],
+    rows: impl IntoIterator<Item = (Vec<Value>, Vec<Option<Value>>)>,
+) -> Result<Vec<Row>> {
+    let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for (key, args) in rows {
+        let state = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            GroupState {
+                accs: aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
+                seen: aggs
+                    .iter()
+                    .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                    .collect(),
+            }
+        });
+        debug_assert_eq!(args.len(), aggs.len());
+        for (i, arg) in args.into_iter().enumerate() {
+            if let Some(seen) = &mut state.seen[i] {
+                // DISTINCT: skip repeated non-NULL values.
+                if let Some(v) = &arg {
+                    if !v.is_null() && !seen.insert(v.clone()) {
+                        continue;
+                    }
+                }
+            }
+            state.accs[i].update(arg.as_ref())?;
+        }
+    }
+
+    // Scalar aggregation over empty input: one row of agg(∅).
+    if groups.is_empty() && matches!(kind, GroupKind::Scalar) {
+        let row = aggs.iter().map(|a| a.func.on_empty()).collect();
+        return Ok(vec![row]);
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let state = groups.remove(&key).expect("group present");
+        let mut row = key;
+        row.extend(state.accs.into_iter().map(AggAcc::finish));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_common::{ColId, DataType};
+    use orthopt_ir::{ColumnMeta, ScalarExpr};
+
+    fn sum_def() -> AggDef {
+        AggDef::new(
+            ColumnMeta::new(ColId(10), "s", DataType::Int, true),
+            AggFunc::Sum,
+            Some(ScalarExpr::col(ColId(1))),
+        )
+    }
+
+    #[test]
+    fn sum_skips_nulls() {
+        let rows = vec![
+            (vec![], vec![Some(Value::Int(1))]),
+            (vec![], vec![Some(Value::Null)]),
+            (vec![], vec![Some(Value::Int(2))]),
+        ];
+        let out = hash_aggregate(GroupKind::Scalar, &[sum_def()], rows).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn scalar_agg_on_empty_input() {
+        let out = hash_aggregate(GroupKind::Scalar, &[sum_def()], vec![]).unwrap();
+        assert_eq!(out, vec![vec![Value::Null]]);
+        let count = AggDef::new(
+            ColumnMeta::new(ColId(11), "n", DataType::Int, false),
+            AggFunc::CountStar,
+            None,
+        );
+        let out = hash_aggregate(GroupKind::Scalar, &[count], vec![]).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn vector_agg_on_empty_input_is_empty() {
+        let out = hash_aggregate(GroupKind::Vector, &[sum_def()], vec![]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn groups_by_key_with_null_group() {
+        let rows = vec![
+            (vec![Value::Int(1)], vec![Some(Value::Int(10))]),
+            (vec![Value::Null], vec![Some(Value::Int(5))]),
+            (vec![Value::Int(1)], vec![Some(Value::Int(20))]),
+            (vec![Value::Null], vec![Some(Value::Int(6))]),
+        ];
+        let mut out = hash_aggregate(GroupKind::Vector, &[sum_def()], rows).unwrap();
+        out.sort_by(orthopt_common::row::cmp_rows);
+        assert_eq!(
+            out,
+            vec![
+                vec![Value::Null, Value::Int(11)],
+                vec![Value::Int(1), Value::Int(30)],
+            ]
+        );
+    }
+
+    #[test]
+    fn count_expr_vs_count_star() {
+        let count_star = AggDef::new(
+            ColumnMeta::new(ColId(11), "n", DataType::Int, false),
+            AggFunc::CountStar,
+            None,
+        );
+        let count_col = AggDef::new(
+            ColumnMeta::new(ColId(12), "c", DataType::Int, false),
+            AggFunc::Count,
+            Some(ScalarExpr::col(ColId(1))),
+        );
+        let rows = vec![
+            (vec![], vec![None, Some(Value::Int(1))]),
+            (vec![], vec![None, Some(Value::Null)]),
+        ];
+        let out = hash_aggregate(GroupKind::Scalar, &[count_star, count_col], rows).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(2), Value::Int(1)]]);
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let min = AggDef::new(
+            ColumnMeta::new(ColId(11), "mn", DataType::Int, true),
+            AggFunc::Min,
+            Some(ScalarExpr::col(ColId(1))),
+        );
+        let max = AggDef::new(
+            ColumnMeta::new(ColId(12), "mx", DataType::Int, true),
+            AggFunc::Max,
+            Some(ScalarExpr::col(ColId(1))),
+        );
+        let rows = vec![
+            (vec![], vec![Some(Value::Int(3)), Some(Value::Int(3))]),
+            (vec![], vec![Some(Value::Int(1)), Some(Value::Int(1))]),
+            (vec![], vec![Some(Value::Int(2)), Some(Value::Int(2))]),
+        ];
+        let out = hash_aggregate(GroupKind::Scalar, &[min, max], rows).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(1), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn avg_ignores_nulls_and_divides() {
+        let avg = AggDef::new(
+            ColumnMeta::new(ColId(11), "a", DataType::Float, true),
+            AggFunc::Avg,
+            Some(ScalarExpr::col(ColId(1))),
+        );
+        let rows = vec![
+            (vec![], vec![Some(Value::Int(1))]),
+            (vec![], vec![Some(Value::Null)]),
+            (vec![], vec![Some(Value::Int(2))]),
+        ];
+        let out = hash_aggregate(GroupKind::Scalar, &[avg], rows).unwrap();
+        assert_eq!(out, vec![vec![Value::Float(1.5)]]);
+    }
+
+    #[test]
+    fn distinct_sum_deduplicates() {
+        let mut def = sum_def();
+        def.distinct = true;
+        let rows = vec![
+            (vec![], vec![Some(Value::Int(5))]),
+            (vec![], vec![Some(Value::Int(5))]),
+            (vec![], vec![Some(Value::Int(3))]),
+        ];
+        let out = hash_aggregate(GroupKind::Scalar, &[def], rows).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(8)]]);
+    }
+
+    #[test]
+    fn all_null_group_sums_to_null() {
+        let rows = vec![
+            (vec![Value::Int(1)], vec![Some(Value::Null)]),
+            (vec![Value::Int(1)], vec![Some(Value::Null)]),
+        ];
+        let out = hash_aggregate(GroupKind::Vector, &[sum_def()], rows).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(1), Value::Null]]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Parameter bindings for correlated (parameterized) execution.
+//!
+//! `Apply` evaluates its inner expression once per outer row with the
+//! outer row's columns available as *parameters* (§1.3); `SegmentApply`
+//! additionally exposes the current *segment* as a table-valued
+//! parameter (§3.4). Both live here.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use orthopt_common::{ColId, Value};
+
+use crate::chunk::Chunk;
+
+/// Scalar parameters plus a stack of table-valued segment parameters.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    params: HashMap<ColId, Value>,
+    segments: Vec<Rc<Chunk>>,
+}
+
+impl Bindings {
+    /// Empty bindings.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// Looks up a scalar parameter.
+    pub fn get(&self, id: ColId) -> Option<&Value> {
+        self.params.get(&id)
+    }
+
+    /// Sets a scalar parameter.
+    pub fn set(&mut self, id: ColId, v: Value) {
+        self.params.insert(id, v);
+    }
+
+    /// Returns a copy extended with the values of `ids` taken from `row`
+    /// under `layout` — the per-outer-row step of `Apply`.
+    pub fn extended(&self, layout: &[ColId], row: &[Value], ids: &[ColId]) -> Bindings {
+        let mut out = self.clone();
+        for id in ids {
+            if let Some(pos) = layout.iter().position(|c| c == id) {
+                out.params.insert(*id, row[pos].clone());
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with `segment` pushed as the innermost table-valued
+    /// parameter.
+    pub fn with_segment(&self, segment: Rc<Chunk>) -> Bindings {
+        let mut out = self.clone();
+        out.segments.push(segment);
+        out
+    }
+
+    /// The innermost segment, if executing under a `SegmentApply`.
+    pub fn current_segment(&self) -> Option<&Rc<Chunk>> {
+        self.segments.last()
+    }
+
+    /// Number of scalar parameters (diagnostics).
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extended_binds_selected_columns() {
+        let b = Bindings::new();
+        let layout = [ColId(1), ColId(2)];
+        let row = [Value::Int(10), Value::Int(20)];
+        let e = b.extended(&layout, &row, &[ColId(2)]);
+        assert_eq!(e.get(ColId(2)), Some(&Value::Int(20)));
+        assert_eq!(e.get(ColId(1)), None);
+        // Original untouched.
+        assert_eq!(b.get(ColId(2)), None);
+    }
+
+    #[test]
+    fn segments_nest() {
+        let b = Bindings::new();
+        let s1 = Rc::new(Chunk::empty(vec![ColId(1)]));
+        let s2 = Rc::new(Chunk::empty(vec![ColId(2)]));
+        let b1 = b.with_segment(s1);
+        let b2 = b1.with_segment(s2);
+        assert_eq!(b2.current_segment().unwrap().cols, vec![ColId(2)]);
+        assert_eq!(b1.current_segment().unwrap().cols, vec![ColId(1)]);
+        assert!(b.current_segment().is_none());
+    }
+}

@@ -1,0 +1,102 @@
+//! Materialized row batches with a column layout.
+
+use orthopt_common::{ColId, Error, Result, Row, Value};
+
+/// A materialized intermediate result: a bag of rows plus the layout
+/// saying which [`ColId`] lives at which position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Column ids, positionally matching each row.
+    pub cols: Vec<ColId>,
+    /// Row data.
+    pub rows: Vec<Row>,
+}
+
+impl Chunk {
+    /// An empty chunk with the given layout.
+    pub fn empty(cols: Vec<ColId>) -> Self {
+        Chunk { cols, rows: vec![] }
+    }
+
+    /// Position of a column in the layout.
+    pub fn col_pos(&self, id: ColId) -> Option<usize> {
+        self.cols.iter().position(|c| *c == id)
+    }
+
+    /// Position of a column, as an internal-error `Result`.
+    pub fn require_pos(&self, id: ColId) -> Result<usize> {
+        self.col_pos(id)
+            .ok_or_else(|| Error::internal(format!("column {id} missing from chunk layout")))
+    }
+
+    /// Extracts the values of `ids` from one row of this chunk.
+    pub fn key_of(&self, row: &[Value], ids: &[ColId]) -> Result<Vec<Value>> {
+        ids.iter()
+            .map(|id| Ok(row[self.require_pos(*id)?].clone()))
+            .collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Reorders/prunes columns to exactly `ids` (each must exist).
+    pub fn project(&self, ids: &[ColId]) -> Result<Chunk> {
+        let positions: Vec<usize> = ids
+            .iter()
+            .map(|id| self.require_pos(*id))
+            .collect::<Result<_>>()?;
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| positions.iter().map(|&p| r[p].clone()).collect())
+            .collect();
+        Ok(Chunk {
+            cols: ids.to_vec(),
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> Chunk {
+        Chunk {
+            cols: vec![ColId(1), ColId(2)],
+            rows: vec![
+                vec![Value::Int(1), Value::str("a")],
+                vec![Value::Int(2), Value::str("b")],
+            ],
+        }
+    }
+
+    #[test]
+    fn col_pos_finds_columns() {
+        let c = chunk();
+        assert_eq!(c.col_pos(ColId(2)), Some(1));
+        assert_eq!(c.col_pos(ColId(9)), None);
+        assert!(c.require_pos(ColId(9)).is_err());
+    }
+
+    #[test]
+    fn project_reorders() {
+        let c = chunk().project(&[ColId(2), ColId(1)]).unwrap();
+        assert_eq!(c.cols, vec![ColId(2), ColId(1)]);
+        assert_eq!(c.rows[0], vec![Value::str("a"), Value::Int(1)]);
+    }
+
+    #[test]
+    fn key_of_extracts_values() {
+        let c = chunk();
+        let k = c.key_of(&c.rows[1], &[ColId(2)]).unwrap();
+        assert_eq!(k, vec![Value::str("b")]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Compact physical-plan printer (EXPLAIN output).
+
+use std::fmt::Write as _;
+
+use crate::physical::PhysExpr;
+
+/// Renders a physical plan as an indented outline.
+pub fn explain_phys(plan: &PhysExpr) -> String {
+    let mut out = String::new();
+    fmt(plan, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn fmt(plan: &PhysExpr, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match plan {
+        PhysExpr::TableScan { table, cols, .. } => {
+            let _ = writeln!(out, "TableScan {table} [{} cols]", cols.len());
+        }
+        PhysExpr::IndexSeek {
+            table,
+            index_cols,
+            probes,
+            ..
+        } => {
+            let ps: Vec<String> = probes.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "IndexSeek {table} on {index_cols:?} probe ({})",
+                ps.join(", ")
+            );
+        }
+        PhysExpr::Filter { input, predicate } => {
+            let _ = writeln!(out, "Filter {predicate}");
+            fmt(input, depth + 1, out);
+        }
+        PhysExpr::Compute { input, defs } => {
+            let ds: Vec<String> = defs.iter().map(|(c, e)| format!("{c}:={e}")).collect();
+            let _ = writeln!(out, "Compute [{}]", ds.join(", "));
+            fmt(input, depth + 1, out);
+        }
+        PhysExpr::ProjectCols { input, cols } => {
+            let cs: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "Project [{}]", cs.join(", "));
+            fmt(input, depth + 1, out);
+        }
+        PhysExpr::HashJoin {
+            kind,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let keys: Vec<String> = left_keys
+                .iter()
+                .zip(right_keys)
+                .map(|(l, r)| format!("{l}={r}"))
+                .collect();
+            let res = if residual.is_true() {
+                String::new()
+            } else {
+                format!(" residual {residual}")
+            };
+            let _ = writeln!(out, "Hash{kind:?} on {}{res}", keys.join(" AND "));
+            fmt(left, depth + 1, out);
+            fmt(right, depth + 1, out);
+        }
+        PhysExpr::NLJoin {
+            kind,
+            left,
+            right,
+            predicate,
+        } => {
+            let _ = writeln!(out, "NestedLoop{kind:?} {predicate}");
+            fmt(left, depth + 1, out);
+            fmt(right, depth + 1, out);
+        }
+        PhysExpr::ApplyLoop {
+            kind,
+            left,
+            right,
+            params,
+        } => {
+            let ps: Vec<String> = params.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "ApplyLoop{kind:?} (bind: {})", ps.join(", "));
+            fmt(left, depth + 1, out);
+            fmt(right, depth + 1, out);
+        }
+        PhysExpr::SegmentExec {
+            input,
+            segment_cols,
+            inner,
+            ..
+        } => {
+            let cs: Vec<String> = segment_cols.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "SegmentExec [{}]", cs.join(", "));
+            fmt(input, depth + 1, out);
+            fmt(inner, depth + 1, out);
+        }
+        PhysExpr::SegmentScan { cols } => {
+            let cs: Vec<String> = cols.iter().map(|(o, s)| format!("{o}←{s}")).collect();
+            let _ = writeln!(out, "SegmentScan [{}]", cs.join(", "));
+        }
+        PhysExpr::HashAggregate {
+            kind,
+            input,
+            group_cols,
+            aggs,
+        } => {
+            let gs: Vec<String> = group_cols.iter().map(|c| c.to_string()).collect();
+            let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "HashAggregate({kind:?}) [{}] [{}]",
+                gs.join(", "),
+                as_.join(", ")
+            );
+            fmt(input, depth + 1, out);
+        }
+        PhysExpr::Concat { left, right, .. } => {
+            let _ = writeln!(out, "Concat");
+            fmt(left, depth + 1, out);
+            fmt(right, depth + 1, out);
+        }
+        PhysExpr::ExceptExec { left, right, .. } => {
+            let _ = writeln!(out, "Except");
+            fmt(left, depth + 1, out);
+            fmt(right, depth + 1, out);
+        }
+        PhysExpr::AssertMax1 { input } => {
+            let _ = writeln!(out, "AssertMax1Row");
+            fmt(input, depth + 1, out);
+        }
+        PhysExpr::RowNumber { input, col } => {
+            let _ = writeln!(out, "RowNumber [{col}]");
+            fmt(input, depth + 1, out);
+        }
+        PhysExpr::ConstScan { rows, .. } => {
+            let _ = writeln!(out, "ConstScan ({} rows)", rows.len());
+        }
+        PhysExpr::Sort { input, by } => {
+            let bs: Vec<String> = by
+                .iter()
+                .map(|(c, desc)| format!("{c}{}", if *desc { " desc" } else { "" }))
+                .collect();
+            let _ = writeln!(out, "Sort [{}]", bs.join(", "));
+            fmt(input, depth + 1, out);
+        }
+        PhysExpr::Limit { input, n } => {
+            let _ = writeln!(out, "Limit {n}");
+            fmt(input, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_common::{ColId, TableId};
+    use orthopt_ir::ScalarExpr;
+
+    #[test]
+    fn renders_indented_tree() {
+        let plan = PhysExpr::Filter {
+            input: Box::new(PhysExpr::TableScan {
+                table: TableId(0),
+                positions: vec![0],
+                cols: vec![ColId(1)],
+            }),
+            predicate: ScalarExpr::eq(ScalarExpr::col(ColId(1)), ScalarExpr::lit(3i64)),
+        };
+        let s = explain_phys(&plan);
+        assert!(s.contains("Filter"));
+        assert!(s.contains("  TableScan"));
+    }
+
+    #[test]
+    fn shows_hash_join_keys() {
+        let scan = |t: u32, c: u32| PhysExpr::TableScan {
+            table: TableId(t),
+            positions: vec![0],
+            cols: vec![ColId(c)],
+        };
+        let plan = PhysExpr::HashJoin {
+            kind: orthopt_ir::JoinKind::Inner,
+            left: Box::new(scan(0, 1)),
+            right: Box::new(scan(1, 2)),
+            left_keys: vec![ColId(1)],
+            right_keys: vec![ColId(2)],
+            residual: ScalarExpr::true_(),
+        };
+        let s = explain_phys(&plan);
+        assert!(s.contains("c1=c2"), "{s}");
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Execution engine for `orthopt`.
+//!
+//! Two executors share one scalar evaluator and one aggregation core:
+//!
+//! * [`mod@reference`] — a *reference interpreter* that executes **logical**
+//!   plans directly, including the algebrizer's mutually recursive form
+//!   (scalar subqueries evaluated per row, §2.1) and literal per-row
+//!   `Apply` loops (§1.3). It is deliberately naive: it serves as the
+//!   semantics oracle for every rewrite and as the paper's "correlated
+//!   execution" baseline.
+//! * [`physical`] — the real engine: hash joins, hash aggregation, index
+//!   seeks, parameterized re-execution for `Apply`, and segmented
+//!   execution for `SegmentApply`.
+
+pub mod aggregate;
+pub mod bindings;
+pub mod chunk;
+pub mod eval;
+pub mod explain_phys;
+pub mod physical;
+pub mod reference;
+
+pub use bindings::Bindings;
+pub use chunk::Chunk;
+pub use physical::{PhysExpr, PhysPlan};
+pub use reference::Reference;

@@ -1,0 +1,102 @@
+//! Shared test fixtures: a tiny customers/orders catalog mirroring the
+//! paper's running example (Q1 of §1.1).
+
+use orthopt_common::{ColId, DataType, TableId, Value};
+use orthopt_ir::builder;
+use orthopt_ir::RelExpr;
+use orthopt_storage::{Catalog, ColumnDef, TableDef};
+
+/// customer.c_custkey
+pub const C_CUSTKEY: ColId = ColId(0);
+/// customer.c_name
+pub const C_NAME: ColId = ColId(1);
+/// orders.o_orderkey
+pub const O_ORDERKEY: ColId = ColId(2);
+/// orders.o_custkey
+pub const O_CUSTKEY: ColId = ColId(3);
+/// orders.o_totalprice
+pub const O_TOTALPRICE: ColId = ColId(4);
+
+/// Builds `customer(c_custkey key, c_name)` and
+/// `orders(o_orderkey key, o_custkey, o_totalprice)` with a few rows:
+///
+/// * customer 1 "alice": orders 100.0 + 200.0
+/// * customer 2 "bob":   order 50.0
+/// * customer 3 "carol": no orders
+/// * order 13 has a NULL price for customer 2.
+pub fn customers_orders() -> Catalog {
+    let mut catalog = Catalog::new();
+    let cust = catalog
+        .create_table(TableDef::new(
+            "customer",
+            vec![
+                ColumnDef::new("c_custkey", DataType::Int),
+                ColumnDef::new("c_name", DataType::Str),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    let orders = catalog
+        .create_table(TableDef::new(
+            "orders",
+            vec![
+                ColumnDef::new("o_orderkey", DataType::Int),
+                ColumnDef::new("o_custkey", DataType::Int),
+                ColumnDef::nullable("o_totalprice", DataType::Float),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    {
+        let t = catalog.table_mut(cust);
+        t.insert_all([
+            vec![Value::Int(1), Value::str("alice")],
+            vec![Value::Int(2), Value::str("bob")],
+            vec![Value::Int(3), Value::str("carol")],
+        ])
+        .unwrap();
+        t.analyze();
+    }
+    {
+        let t = catalog.table_mut(orders);
+        t.insert_all([
+            vec![Value::Int(10), Value::Int(1), Value::Float(100.0)],
+            vec![Value::Int(11), Value::Int(1), Value::Float(200.0)],
+            vec![Value::Int(12), Value::Int(2), Value::Float(50.0)],
+            vec![Value::Int(13), Value::Int(2), Value::Null],
+        ])
+        .unwrap();
+        t.build_index(vec![1]).unwrap();
+        t.analyze();
+    }
+    catalog
+}
+
+/// `Get customer` bound to the fixture column ids.
+pub fn get_customer() -> RelExpr {
+    builder::get(
+        TableId(0),
+        "customer",
+        &[
+            (C_CUSTKEY, "c_custkey", DataType::Int, false),
+            (C_NAME, "c_name", DataType::Str, false),
+        ],
+        &[&[0]],
+        3.0,
+    )
+}
+
+/// `Get orders` bound to the fixture column ids.
+pub fn get_orders() -> RelExpr {
+    builder::get(
+        TableId(1),
+        "orders",
+        &[
+            (O_ORDERKEY, "o_orderkey", DataType::Int, false),
+            (O_CUSTKEY, "o_custkey", DataType::Int, false),
+            (O_TOTALPRICE, "o_totalprice", DataType::Float, true),
+        ],
+        &[&[0]],
+        4.0,
+    )
+}

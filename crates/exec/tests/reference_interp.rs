@@ -1,0 +1,414 @@
+//! Reference-interpreter semantics tests on the paper's running example.
+
+mod fixtures;
+
+use fixtures::*;
+use orthopt_common::row::bag_eq;
+use orthopt_common::{ColId, DataType, Error, Value};
+use orthopt_ir::builder;
+use orthopt_ir::{
+    AggFunc, ApplyKind, CmpOp, ColumnMeta, GroupKind, JoinKind, RelExpr, ScalarExpr,
+};
+use orthopt_exec::Reference;
+
+/// Figure 2 of the paper: σ_{1000000<X}(customer A× G¹_{X=sum(price)}
+/// σ_{o_custkey=c_custkey} orders) — here with a 150.0 threshold so the
+/// fixture data produces exactly customer 1.
+fn q1_correlated(threshold: f64) -> RelExpr {
+    let inner_filter = builder::select(
+        get_orders(),
+        ScalarExpr::eq(ScalarExpr::col(O_CUSTKEY), ScalarExpr::col(C_CUSTKEY)),
+    );
+    let x = ColId(40);
+    let scalar_agg = builder::scalar_groupby(
+        inner_filter,
+        vec![orthopt_ir::AggDef::new(
+            ColumnMeta::new(x, "x", DataType::Float, true),
+            AggFunc::Sum,
+            Some(ScalarExpr::col(O_TOTALPRICE)),
+        )],
+    );
+    let apply = RelExpr::Apply {
+        kind: ApplyKind::Cross,
+        left: Box::new(get_customer()),
+        right: Box::new(scalar_agg),
+    };
+    builder::select(
+        apply,
+        ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::lit(threshold), ScalarExpr::col(x)),
+    )
+}
+
+#[test]
+fn correlated_scalar_agg_apply_matches_paper_semantics() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    let out = interp.run(&q1_correlated(150.0)).unwrap();
+    // Only alice (300 total) exceeds 150; bob has 50 (NULL skipped);
+    // carol's empty subquery sums to NULL which the filter rejects.
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows[0][0], Value::Int(1));
+}
+
+#[test]
+fn correlated_apply_preserves_outer_cardinality_before_filter() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    // Strip the filter: scalar aggregation returns exactly one row per
+    // customer (§1.1), so Apply preserves customer cardinality.
+    let plan = match q1_correlated(0.0) {
+        RelExpr::Select { input, .. } => *input,
+        _ => unreachable!(),
+    };
+    let out = interp.run(&plan).unwrap();
+    assert_eq!(out.len(), 3);
+    // carol's aggregate over the empty set is NULL.
+    let carol = out
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::Int(3))
+        .expect("carol present");
+    assert!(carol.last().unwrap().is_null());
+}
+
+#[test]
+fn left_outer_join_pads_and_inner_join_drops() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    let pred = ScalarExpr::eq(ScalarExpr::col(O_CUSTKEY), ScalarExpr::col(C_CUSTKEY));
+    let loj = builder::join(JoinKind::LeftOuter, get_customer(), get_orders(), pred.clone());
+    let out = interp.run(&loj).unwrap();
+    // alice×2 + bob×2 + carol padded = 5
+    assert_eq!(out.len(), 5);
+    let inner = builder::join(JoinKind::Inner, get_customer(), get_orders(), pred);
+    assert_eq!(interp.run(&inner).unwrap().len(), 4);
+}
+
+#[test]
+fn semijoin_and_antijoin_partition_customers() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    let pred = ScalarExpr::eq(ScalarExpr::col(O_CUSTKEY), ScalarExpr::col(C_CUSTKEY));
+    let semi = builder::join(JoinKind::LeftSemi, get_customer(), get_orders(), pred.clone());
+    let anti = builder::join(JoinKind::LeftAnti, get_customer(), get_orders(), pred);
+    let semi_out = interp.run(&semi).unwrap();
+    let anti_out = interp.run(&anti).unwrap();
+    assert_eq!(semi_out.len(), 2); // alice, bob
+    assert_eq!(anti_out.len(), 1); // carol
+    assert_eq!(anti_out.rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn vector_groupby_drops_empty_and_scalar_keeps_one_row() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    let empty = builder::select(get_orders(), ScalarExpr::lit(false));
+    let vector = builder::groupby(
+        empty.clone(),
+        vec![O_CUSTKEY],
+        vec![builder::agg(
+            ColId(41),
+            "s",
+            AggFunc::Sum,
+            Some(ScalarExpr::col(O_TOTALPRICE)),
+        )],
+    );
+    assert!(interp.run(&vector).unwrap().is_empty());
+    let scalar = builder::scalar_groupby(
+        empty,
+        vec![
+            builder::agg(ColId(42), "s", AggFunc::Sum, Some(ScalarExpr::col(O_TOTALPRICE))),
+            builder::agg(ColId(43), "n", AggFunc::CountStar, None),
+        ],
+    );
+    let out = interp.run(&scalar).unwrap();
+    assert_eq!(out.len(), 1);
+    assert!(out.rows[0][0].is_null());
+    assert_eq!(out.rows[0][1], Value::Int(0));
+}
+
+#[test]
+fn scalar_subquery_in_select_list_runs_mutually_recursively() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    // select c_custkey, (select sum(o_totalprice) from orders where
+    // o_custkey = c_custkey) from customer — the §2.1 form, subquery
+    // inside a Map's scalar expression.
+    let inner = builder::scalar_groupby(
+        builder::select(
+            get_orders(),
+            ScalarExpr::eq(ScalarExpr::col(O_CUSTKEY), ScalarExpr::col(C_CUSTKEY)),
+        ),
+        vec![builder::agg(
+            ColId(44),
+            "x",
+            AggFunc::Sum,
+            Some(ScalarExpr::col(O_TOTALPRICE)),
+        )],
+    );
+    let plan = builder::map1(
+        get_customer(),
+        ColumnMeta::new(ColId(45), "total", DataType::Float, true),
+        ScalarExpr::Subquery(Box::new(inner)),
+    );
+    let out = interp.run(&plan).unwrap();
+    assert_eq!(out.len(), 3);
+    let total_pos = out.col_pos(ColId(45)).unwrap();
+    let alice = out.rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+    assert_eq!(alice[total_pos], Value::Float(300.0));
+    let carol = out.rows.iter().find(|r| r[0] == Value::Int(3)).unwrap();
+    assert!(carol[total_pos].is_null());
+}
+
+#[test]
+fn scalar_subquery_with_multiple_rows_errors_like_q2_of_the_paper() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    // select c_custkey, (select o_orderkey from orders where o_custkey =
+    // c_custkey) from customer — paper §2.4 Q2: run-time error because
+    // alice has two orders.
+    let inner = builder::select(
+        get_orders(),
+        ScalarExpr::eq(ScalarExpr::col(O_CUSTKEY), ScalarExpr::col(C_CUSTKEY)),
+    );
+    let inner = RelExpr::Project {
+        input: Box::new(inner),
+        cols: vec![O_ORDERKEY],
+    };
+    let plan = builder::map1(
+        get_customer(),
+        ColumnMeta::new(ColId(46), "ok", DataType::Int, true),
+        ScalarExpr::Subquery(Box::new(inner)),
+    );
+    assert_eq!(
+        interp.run(&plan).unwrap_err(),
+        Error::SubqueryReturnedMoreThanOneRow
+    );
+}
+
+#[test]
+fn max1row_passes_singletons_and_errors_on_more() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    let one = RelExpr::Max1Row {
+        input: Box::new(builder::select(
+            get_orders(),
+            ScalarExpr::eq(ScalarExpr::col(O_ORDERKEY), ScalarExpr::lit(10i64)),
+        )),
+    };
+    assert_eq!(interp.run(&one).unwrap().len(), 1);
+    let many = RelExpr::Max1Row {
+        input: Box::new(get_orders()),
+    };
+    assert_eq!(
+        interp.run(&many).unwrap_err(),
+        Error::SubqueryReturnedMoreThanOneRow
+    );
+}
+
+#[test]
+fn exists_and_not_exists_via_scalar_markers() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    let sub = builder::select(
+        get_orders(),
+        ScalarExpr::eq(ScalarExpr::col(O_CUSTKEY), ScalarExpr::col(C_CUSTKEY)),
+    );
+    let with_orders = builder::select(
+        get_customer(),
+        ScalarExpr::Exists {
+            rel: Box::new(sub.clone()),
+            negated: false,
+        },
+    );
+    assert_eq!(interp.run(&with_orders).unwrap().len(), 2);
+    let without = builder::select(
+        get_customer(),
+        ScalarExpr::Exists {
+            rel: Box::new(sub),
+            negated: true,
+        },
+    );
+    let out = interp.run(&without).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn in_subquery_null_semantics() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    // prices include a NULL: `125 IN (select o_totalprice ...)` is
+    // unknown (no match + NULL present) so the row is filtered; NOT IN
+    // is also unknown.
+    let prices = RelExpr::Project {
+        input: Box::new(get_orders()),
+        cols: vec![O_TOTALPRICE],
+    };
+    for negated in [false, true] {
+        let q = builder::select(
+            get_customer(),
+            ScalarExpr::InSubquery {
+                expr: Box::new(ScalarExpr::lit(125.0f64)),
+                rel: Box::new(prices.clone()),
+                negated,
+            },
+        );
+        assert_eq!(interp.run(&q).unwrap().len(), 0, "negated={negated}");
+    }
+    // A price that does exist matches regardless of the NULL.
+    let hit = builder::select(
+        get_customer(),
+        ScalarExpr::InSubquery {
+            expr: Box::new(ScalarExpr::lit(50.0f64)),
+            rel: Box::new(prices),
+            negated: false,
+        },
+    );
+    assert_eq!(interp.run(&hit).unwrap().len(), 3);
+}
+
+#[test]
+fn quantified_comparisons() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    let keys = RelExpr::Project {
+        input: Box::new(get_orders()),
+        cols: vec![O_ORDERKEY],
+    };
+    // 9 < ALL(order keys) — true (keys are 10..13, no NULLs).
+    let all = builder::select(
+        get_customer(),
+        ScalarExpr::QuantifiedCmp {
+            op: CmpOp::Lt,
+            quant: orthopt_ir::Quant::All,
+            expr: Box::new(ScalarExpr::lit(9i64)),
+            rel: Box::new(keys.clone()),
+        },
+    );
+    assert_eq!(interp.run(&all).unwrap().len(), 3);
+    // 13 >= ANY(keys) — true.
+    let any = builder::select(
+        get_customer(),
+        ScalarExpr::QuantifiedCmp {
+            op: CmpOp::Ge,
+            quant: orthopt_ir::Quant::Any,
+            expr: Box::new(ScalarExpr::lit(13i64)),
+            rel: Box::new(keys),
+        },
+    );
+    assert_eq!(interp.run(&any).unwrap().len(), 3);
+}
+
+#[test]
+fn union_all_and_except_are_bag_oriented() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    let keys = || RelExpr::Project {
+        input: Box::new(get_customer()),
+        cols: vec![C_CUSTKEY],
+    };
+    let out_col = ColumnMeta::new(ColId(47), "k", DataType::Int, false);
+    let union = RelExpr::UnionAll {
+        left: Box::new(keys()),
+        right: Box::new(keys()),
+        cols: vec![out_col],
+        left_map: vec![C_CUSTKEY],
+        right_map: vec![C_CUSTKEY],
+    };
+    let out = interp.run(&union).unwrap();
+    assert_eq!(out.len(), 6);
+    // EXCEPT ALL: (1,2,3) minus (2) = {1,3}
+    let just_two = builder::select(
+        keys(),
+        ScalarExpr::eq(ScalarExpr::col(C_CUSTKEY), ScalarExpr::lit(2i64)),
+    );
+    // Rename the right side so ids stay unique.
+    let mut gen = orthopt_common::ColIdGen::starting_at(200);
+    let (right, rmap) = just_two.clone_with_fresh_cols(&mut gen);
+    let except = RelExpr::Except {
+        left: Box::new(keys()),
+        right: Box::new(right),
+        right_map: vec![rmap[&C_CUSTKEY]],
+    };
+    let out = interp.run(&except).unwrap();
+    assert!(bag_eq(
+        &out.rows,
+        &[vec![Value::Int(1)], vec![Value::Int(3)]]
+    ));
+}
+
+#[test]
+fn segment_apply_computes_per_segment_join() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    // Segment orders by o_custkey; per segment, keep rows with price
+    // above the segment average (a miniature of TPC-H Q17's shape).
+    let seg_price = ColId(60);
+    let seg_price2 = ColId(61);
+    let avg_out = ColId(62);
+    let seg1 = RelExpr::SegmentRef {
+        cols: vec![(
+            ColumnMeta::new(seg_price, "p", DataType::Float, true),
+            O_TOTALPRICE,
+        )],
+    };
+    let seg2 = RelExpr::SegmentRef {
+        cols: vec![(
+            ColumnMeta::new(seg_price2, "p2", DataType::Float, true),
+            O_TOTALPRICE,
+        )],
+    };
+    let avg = builder::scalar_groupby(
+        seg2,
+        vec![orthopt_ir::AggDef::new(
+            ColumnMeta::new(avg_out, "avg", DataType::Float, true),
+            AggFunc::Avg,
+            Some(ScalarExpr::col(seg_price2)),
+        )],
+    );
+    let inner = builder::join(
+        JoinKind::Inner,
+        seg1,
+        avg,
+        ScalarExpr::cmp(
+            CmpOp::Gt,
+            ScalarExpr::col(seg_price),
+            ScalarExpr::col(avg_out),
+        ),
+    );
+    let plan = RelExpr::SegmentApply {
+        input: Box::new(get_orders()),
+        segment_cols: vec![O_CUSTKEY],
+        inner: Box::new(inner),
+    };
+    let out = interp.run(&plan).unwrap();
+    // Customer 1: avg=150, only the 200.0 order qualifies.
+    // Customer 2: avg=50 (NULL skipped), 50 > 50 is false → nothing.
+    assert_eq!(out.len(), 1);
+    let price_pos = out.col_pos(seg_price).unwrap();
+    assert_eq!(out.rows[0][price_pos], Value::Float(200.0));
+}
+
+#[test]
+fn enumerate_manufactures_distinct_keys() {
+    let catalog = customers_orders();
+    let interp = Reference::new(&catalog);
+    let plan = RelExpr::Enumerate {
+        input: Box::new(get_orders()),
+        col: ColumnMeta::new(ColId(70), "rn", DataType::Int, false),
+    };
+    let out = interp.run(&plan).unwrap();
+    let pos = out.col_pos(ColId(70)).unwrap();
+    let mut ids: Vec<i64> = out
+        .rows
+        .iter()
+        .map(|r| match &r[pos] {
+            Value::Int(i) => *i,
+            _ => panic!("int expected"),
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), out.len());
+}

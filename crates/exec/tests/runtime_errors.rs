@@ -1,0 +1,197 @@
+//! Run-time error propagation through physical plans: SQL's data-
+//! dependent errors (division by zero, integer overflow, Max1Row) must
+//! surface as `Err`, not panics or wrong answers — and must not fire
+//! for rows that filters have already rejected.
+
+mod fixtures;
+
+use fixtures::*;
+use orthopt_common::{ColId, Error, TableId, Value};
+use orthopt_exec::physical::Executor;
+use orthopt_exec::{Bindings, PhysExpr};
+use orthopt_ir::{ArithOp, CmpOp, ScalarExpr};
+
+fn scan_orders() -> PhysExpr {
+    PhysExpr::TableScan {
+        table: TableId(1),
+        positions: vec![0, 1, 2],
+        cols: vec![O_ORDERKEY, O_CUSTKEY, O_TOTALPRICE],
+    }
+}
+
+#[test]
+fn division_by_zero_in_compute_propagates() {
+    let catalog = customers_orders();
+    let ex = Executor { catalog: &catalog };
+    let plan = PhysExpr::Compute {
+        input: Box::new(scan_orders()),
+        defs: vec![(
+            ColId(90),
+            ScalarExpr::Arith {
+                op: ArithOp::Div,
+                left: Box::new(ScalarExpr::col(O_TOTALPRICE)),
+                right: Box::new(ScalarExpr::lit(0i64)),
+            },
+        )],
+    };
+    assert_eq!(
+        ex.exec(&plan, &Bindings::new()).unwrap_err(),
+        Error::DivideByZero
+    );
+}
+
+#[test]
+fn filter_prevents_error_on_rejected_rows() {
+    // 100 / (o_orderkey - 10) divides by zero only for orderkey 10; a
+    // filter removing that row first must suppress the error.
+    let catalog = customers_orders();
+    let ex = Executor { catalog: &catalog };
+    let risky = |input: PhysExpr| PhysExpr::Compute {
+        input: Box::new(input),
+        defs: vec![(
+            ColId(91),
+            ScalarExpr::Arith {
+                op: ArithOp::Div,
+                left: Box::new(ScalarExpr::lit(100i64)),
+                right: Box::new(ScalarExpr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(ScalarExpr::col(O_ORDERKEY)),
+                    right: Box::new(ScalarExpr::lit(10i64)),
+                }),
+            },
+        )],
+    };
+    // Unguarded: errors.
+    assert!(ex.exec(&risky(scan_orders()), &Bindings::new()).is_err());
+    // Guarded: fine.
+    let guarded = risky(PhysExpr::Filter {
+        input: Box::new(scan_orders()),
+        predicate: ScalarExpr::cmp(
+            CmpOp::Ne,
+            ScalarExpr::col(O_ORDERKEY),
+            ScalarExpr::lit(10i64),
+        ),
+    });
+    let out = ex.exec(&guarded, &Bindings::new()).unwrap();
+    assert_eq!(out.len(), 3);
+}
+
+#[test]
+fn overflow_in_aggregate_propagates() {
+    let catalog = customers_orders();
+    let ex = Executor { catalog: &catalog };
+    // SUM of (i64::MAX interpreted per row) overflows after row two.
+    let big = PhysExpr::Compute {
+        input: Box::new(scan_orders()),
+        defs: vec![(ColId(92), ScalarExpr::lit(i64::MAX))],
+    };
+    let agg = PhysExpr::HashAggregate {
+        kind: orthopt_ir::GroupKind::Scalar,
+        input: Box::new(big),
+        group_cols: vec![],
+        aggs: vec![orthopt_ir::AggDef::new(
+            orthopt_ir::ColumnMeta::new(ColId(93), "s", orthopt_common::DataType::Int, true),
+            orthopt_ir::AggFunc::Sum,
+            Some(ScalarExpr::col(ColId(92))),
+        )],
+    };
+    assert_eq!(
+        ex.exec(&agg, &Bindings::new()).unwrap_err(),
+        Error::NumericOverflow
+    );
+}
+
+#[test]
+fn error_inside_apply_inner_surfaces_once() {
+    // The inner plan errors on some invocation: the whole query errors.
+    let catalog = customers_orders();
+    let ex = Executor { catalog: &catalog };
+    let inner = PhysExpr::Compute {
+        input: Box::new(PhysExpr::IndexSeek {
+            table: TableId(1),
+            positions: vec![0],
+            cols: vec![ColId(94)],
+            index_cols: vec![1],
+            probes: vec![ScalarExpr::col(C_CUSTKEY)],
+        }),
+        defs: vec![(
+            ColId(95),
+            ScalarExpr::Arith {
+                op: ArithOp::Div,
+                left: Box::new(ScalarExpr::lit(1i64)),
+                right: Box::new(ScalarExpr::lit(0i64)),
+            },
+        )],
+    };
+    let apply = PhysExpr::ApplyLoop {
+        kind: orthopt_ir::ApplyKind::LeftOuter,
+        left: Box::new(PhysExpr::TableScan {
+            table: TableId(0),
+            positions: vec![0],
+            cols: vec![C_CUSTKEY],
+        }),
+        right: Box::new(inner),
+        params: vec![C_CUSTKEY],
+    };
+    assert_eq!(
+        ex.exec(&apply, &Bindings::new()).unwrap_err(),
+        Error::DivideByZero
+    );
+}
+
+#[test]
+fn conditional_execution_suppresses_inner_errors() {
+    // Carol (custkey 3) has no orders: the index seek returns nothing,
+    // so the Compute above it never runs for her; but for customers
+    // *with* orders it errors. Restricting the outer side to carol must
+    // succeed — the execution-side half of §2.4's conditional execution.
+    let catalog = customers_orders();
+    let ex = Executor { catalog: &catalog };
+    let inner = PhysExpr::Compute {
+        input: Box::new(PhysExpr::IndexSeek {
+            table: TableId(1),
+            positions: vec![0],
+            cols: vec![ColId(96)],
+            index_cols: vec![1],
+            probes: vec![ScalarExpr::col(C_CUSTKEY)],
+        }),
+        defs: vec![(
+            ColId(97),
+            ScalarExpr::Arith {
+                op: ArithOp::Div,
+                left: Box::new(ScalarExpr::lit(1i64)),
+                right: Box::new(ScalarExpr::lit(0i64)),
+            },
+        )],
+    };
+    let only_carol = PhysExpr::Filter {
+        input: Box::new(PhysExpr::TableScan {
+            table: TableId(0),
+            positions: vec![0],
+            cols: vec![C_CUSTKEY],
+        }),
+        predicate: ScalarExpr::eq(ScalarExpr::col(C_CUSTKEY), ScalarExpr::lit(3i64)),
+    };
+    let apply = PhysExpr::ApplyLoop {
+        kind: orthopt_ir::ApplyKind::LeftOuter,
+        left: Box::new(only_carol),
+        right: Box::new(inner),
+        params: vec![C_CUSTKEY],
+    };
+    let out = ex.exec(&apply, &Bindings::new()).unwrap();
+    assert_eq!(out.len(), 1);
+    assert!(out.rows[0][1].is_null());
+}
+
+#[test]
+fn assert_max1_errors_with_sql_error_kind() {
+    let catalog = customers_orders();
+    let ex = Executor { catalog: &catalog };
+    let plan = PhysExpr::AssertMax1 {
+        input: Box::new(scan_orders()),
+    };
+    assert_eq!(
+        ex.exec(&plan, &Bindings::new()).unwrap_err(),
+        Error::SubqueryReturnedMoreThanOneRow
+    );
+}

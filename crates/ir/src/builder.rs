@@ -1,0 +1,224 @@
+//! Convenience constructors for IR trees, used pervasively in tests and
+//! by the rewrite/optimizer crates when synthesizing operators.
+
+use orthopt_common::{ColId, DataType, TableId};
+
+use crate::agg::{AggDef, AggFunc};
+use crate::relop::{ColStat, ColumnMeta, GetMeta, GroupKind, JoinKind, MapDef, RelExpr};
+use crate::scalar::ScalarExpr;
+
+/// Builds a [`GetMeta`]-based scan from terse column descriptions.
+///
+/// `cols` entries are `(id, name, type, nullable)`; `keys` are given as
+/// indexes into `cols`.
+pub fn get(
+    table: TableId,
+    name: &str,
+    cols: &[(ColId, &str, DataType, bool)],
+    keys: &[&[usize]],
+    row_count: f64,
+) -> RelExpr {
+    let metas: Vec<ColumnMeta> = cols
+        .iter()
+        .map(|(id, n, ty, nullable)| ColumnMeta::new(*id, *n, *ty, *nullable))
+        .collect();
+    let key_ids = keys
+        .iter()
+        .map(|k| k.iter().map(|&i| cols[i].0).collect())
+        .collect();
+    RelExpr::Get(GetMeta {
+        table,
+        table_name: name.to_string(),
+        positions: (0..cols.len()).collect(),
+        keys: key_ids,
+        row_count,
+        col_stats: vec![ColStat::unknown(); cols.len()],
+        indexes: vec![],
+        cols: metas,
+    })
+}
+
+/// Builds a vector GroupBy.
+pub fn groupby(
+    input: RelExpr,
+    group_cols: Vec<ColId>,
+    aggs: Vec<AggDef>,
+) -> RelExpr {
+    RelExpr::GroupBy {
+        kind: GroupKind::Vector,
+        input: Box::new(input),
+        group_cols,
+        aggs,
+    }
+}
+
+/// Builds a scalar GroupBy.
+pub fn scalar_groupby(input: RelExpr, aggs: Vec<AggDef>) -> RelExpr {
+    RelExpr::GroupBy {
+        kind: GroupKind::Scalar,
+        input: Box::new(input),
+        group_cols: vec![],
+        aggs,
+    }
+}
+
+/// Builds an aggregate definition with an inferred-nullable output.
+pub fn agg(out_id: ColId, name: &str, func: AggFunc, arg: Option<ScalarExpr>) -> AggDef {
+    let ty = func.output_type(match &arg {
+        Some(ScalarExpr::Column(_)) | Some(_) => Some(DataType::Int),
+        None => None,
+    });
+    AggDef::new(
+        ColumnMeta::new(out_id, name, ty, func.output_nullable()),
+        func,
+        arg,
+    )
+}
+
+/// Builds a Select.
+pub fn select(input: RelExpr, predicate: ScalarExpr) -> RelExpr {
+    RelExpr::Select {
+        input: Box::new(input),
+        predicate,
+    }
+}
+
+/// Builds a Join.
+pub fn join(kind: JoinKind, left: RelExpr, right: RelExpr, predicate: ScalarExpr) -> RelExpr {
+    RelExpr::Join {
+        kind,
+        left: Box::new(left),
+        right: Box::new(right),
+        predicate,
+    }
+}
+
+/// Builds a Map with a single computed column.
+pub fn map1(input: RelExpr, col: ColumnMeta, expr: ScalarExpr) -> RelExpr {
+    RelExpr::Map {
+        input: Box::new(input),
+        defs: vec![MapDef { col, expr }],
+    }
+}
+
+/// Fixed test fixtures shared by unit tests across the workspace.
+pub mod t {
+    use super::*;
+
+    /// `ab.a` — integer key column of the two-column test table.
+    pub const COL_A: ColId = ColId(0);
+    /// `ab.b` — nullable integer payload column.
+    pub const COL_B: ColId = ColId(1);
+    /// `cd.c` — integer key column of the second test table.
+    pub const COL_C: ColId = ColId(2);
+    /// `cd.d` — nullable integer payload column.
+    pub const COL_D: ColId = ColId(3);
+
+    /// Scan of table `ab(a int key, b int null)`.
+    pub fn get_ab() -> RelExpr {
+        get(
+            TableId(0),
+            "ab",
+            &[
+                (COL_A, "a", DataType::Int, false),
+                (COL_B, "b", DataType::Int, true),
+            ],
+            &[&[0]],
+            1000.0,
+        )
+    }
+
+    /// Scan of table `cd(c int key, d int null)`.
+    pub fn get_cd() -> RelExpr {
+        get(
+            TableId(1),
+            "cd",
+            &[
+                (COL_C, "c", DataType::Int, false),
+                (COL_D, "d", DataType::Int, true),
+            ],
+            &[&[0]],
+            1000.0,
+        )
+    }
+
+    /// Scan of a keyless table `nk(x int, y int)`.
+    pub fn get_nokey() -> RelExpr {
+        get(
+            TableId(2),
+            "nk",
+            &[
+                (ColId(4), "x", DataType::Int, false),
+                (ColId(5), "y", DataType::Int, true),
+            ],
+            &[],
+            1000.0,
+        )
+    }
+
+    /// `GroupBy a, sum(b) AS s(c20)` over the given input.
+    pub fn groupby_sum_b_by_a(input: RelExpr) -> RelExpr {
+        groupby(
+            input,
+            vec![COL_A],
+            vec![agg(
+                ColId(20),
+                "s",
+                AggFunc::Sum,
+                Some(ScalarExpr::col(COL_B)),
+            )],
+        )
+    }
+
+    /// `GroupBy a, count(*) AS n(c21)` over the given input.
+    pub fn groupby_countstar_by_a(input: RelExpr) -> RelExpr {
+        groupby(
+            input,
+            vec![COL_A],
+            vec![agg(ColId(21), "n", AggFunc::CountStar, None)],
+        )
+    }
+
+    /// Scalar `sum(b) AS s(c22)` over the given input.
+    pub fn scalar_sum_b(input: RelExpr) -> RelExpr {
+        scalar_groupby(
+            input,
+            vec![agg(
+                ColId(22),
+                "s",
+                AggFunc::Sum,
+                Some(ScalarExpr::col(COL_B)),
+            )],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_builder_wires_keys() {
+        let g = t::get_ab();
+        match &g {
+            RelExpr::Get(m) => {
+                assert_eq!(m.keys, vec![vec![t::COL_A]]);
+                assert_eq!(m.cols.len(), 2);
+            }
+            _ => panic!("expected Get"),
+        }
+    }
+
+    #[test]
+    fn output_cols_of_groupby() {
+        let gb = t::groupby_sum_b_by_a(t::get_ab());
+        let out = gb.output_col_ids();
+        assert_eq!(out, vec![t::COL_A, ColId(20)]);
+    }
+
+    #[test]
+    fn scalar_groupby_outputs_only_aggs() {
+        let gb = t::scalar_sum_b(t::get_ab());
+        assert_eq!(gb.output_col_ids(), vec![ColId(22)]);
+    }
+}

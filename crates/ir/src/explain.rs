@@ -1,0 +1,204 @@
+//! Plan pretty-printer.
+//!
+//! Renders an operator tree as an indented outline resembling the
+//! figures of the paper (e.g. Figure 2's `APPLY(bind: C_CUSTKEY)` tree).
+//! Used for `EXPLAIN`, golden tests and debugging.
+
+use std::fmt::Write as _;
+
+use crate::relop::{GroupKind, RelExpr};
+use crate::scalar::ScalarExpr;
+
+/// Renders the tree as an indented outline.
+pub fn explain(rel: &RelExpr) -> String {
+    let mut out = String::new();
+    fmt_rel(rel, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn fmt_rel(rel: &RelExpr, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match rel {
+        RelExpr::Get(g) => {
+            let cols: Vec<String> = g.cols.iter().map(|c| format!("{}:{}", c.id, c.name)).collect();
+            let _ = writeln!(out, "Get {} [{}]", g.table_name, cols.join(", "));
+        }
+        RelExpr::ConstRel { cols, rows } => {
+            let ids: Vec<String> = cols.iter().map(|c| c.id.to_string()).collect();
+            let _ = writeln!(out, "ConstRel [{}] ({} rows)", ids.join(", "), rows.len());
+        }
+        RelExpr::Select { input, predicate } => {
+            let _ = writeln!(out, "Select {predicate}");
+            fmt_subqueries(predicate, depth + 1, out);
+            fmt_rel(input, depth + 1, out);
+        }
+        RelExpr::Map { input, defs } => {
+            let ds: Vec<String> = defs
+                .iter()
+                .map(|d| format!("{}:={}", d.col.id, d.expr))
+                .collect();
+            let _ = writeln!(out, "Map [{}]", ds.join(", "));
+            for d in defs {
+                fmt_subqueries(&d.expr, depth + 1, out);
+            }
+            fmt_rel(input, depth + 1, out);
+        }
+        RelExpr::Project { input, cols } => {
+            let ids: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "Project [{}]", ids.join(", "));
+            fmt_rel(input, depth + 1, out);
+        }
+        RelExpr::Join {
+            kind,
+            left,
+            right,
+            predicate,
+        } => {
+            let _ = writeln!(out, "{kind} {predicate}");
+            fmt_rel(left, depth + 1, out);
+            fmt_rel(right, depth + 1, out);
+        }
+        RelExpr::Apply { kind, left, right } => {
+            let params: Vec<String> = right.free_cols().iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "{kind} (bind: {})", params.join(", "));
+            fmt_rel(left, depth + 1, out);
+            fmt_rel(right, depth + 1, out);
+        }
+        RelExpr::SegmentApply {
+            input,
+            segment_cols,
+            inner,
+        } => {
+            let segs: Vec<String> = segment_cols.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "SegmentApply [{}]", segs.join(", "));
+            fmt_rel(input, depth + 1, out);
+            fmt_rel(inner, depth + 1, out);
+        }
+        RelExpr::SegmentRef { cols } => {
+            let cs: Vec<String> = cols
+                .iter()
+                .map(|(m, src)| format!("{}←{}", m.id, src))
+                .collect();
+            let _ = writeln!(out, "SegmentRef [{}]", cs.join(", "));
+        }
+        RelExpr::GroupBy {
+            kind,
+            input,
+            group_cols,
+            aggs,
+        } => {
+            let gs: Vec<String> = group_cols.iter().map(|c| c.to_string()).collect();
+            let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+            match kind {
+                GroupKind::Scalar => {
+                    let _ = writeln!(out, "ScalarGroupBy [{}]", as_.join(", "));
+                }
+                _ => {
+                    let _ = writeln!(out, "{kind} [{}] [{}]", gs.join(", "), as_.join(", "));
+                }
+            }
+            fmt_rel(input, depth + 1, out);
+        }
+        RelExpr::UnionAll { left, right, .. } => {
+            let _ = writeln!(out, "UnionAll");
+            fmt_rel(left, depth + 1, out);
+            fmt_rel(right, depth + 1, out);
+        }
+        RelExpr::Except { left, right, .. } => {
+            let _ = writeln!(out, "Except");
+            fmt_rel(left, depth + 1, out);
+            fmt_rel(right, depth + 1, out);
+        }
+        RelExpr::Max1Row { input } => {
+            let _ = writeln!(out, "Max1Row");
+            fmt_rel(input, depth + 1, out);
+        }
+        RelExpr::Enumerate { input, col } => {
+            let _ = writeln!(out, "Enumerate [{}]", col.id);
+            fmt_rel(input, depth + 1, out);
+        }
+    }
+}
+
+/// Prints relational bodies of subqueries nested in a scalar expression,
+/// one level deeper — makes the algebrizer's mutually recursive output
+/// (§2.1, Figure 3) visible in explain form.
+fn fmt_subqueries(expr: &ScalarExpr, depth: usize, out: &mut String) {
+    expr.walk(&mut |e| {
+        let rel = match e {
+            ScalarExpr::Subquery(rel) => Some(("scalar subquery", rel)),
+            ScalarExpr::Exists { rel, .. } => Some(("exists subquery", rel)),
+            ScalarExpr::InSubquery { rel, .. } => Some(("in subquery", rel)),
+            ScalarExpr::QuantifiedCmp { rel, .. } => Some(("quantified subquery", rel)),
+            _ => None,
+        };
+        if let Some((label, rel)) = rel {
+            indent(depth, out);
+            let _ = writeln!(out, "[{label}]");
+            fmt_rel(rel, depth + 1, out);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{self, t};
+    use crate::relop::JoinKind;
+
+    #[test]
+    fn explain_renders_tree_shape() {
+        let plan = builder::select(
+            builder::join(
+                JoinKind::LeftOuter,
+                t::get_ab(),
+                t::get_cd(),
+                ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_C)),
+            ),
+            ScalarExpr::true_(),
+        );
+        let s = explain(&plan);
+        assert!(s.contains("Select"));
+        assert!(s.contains("LeftOuterJoin"));
+        assert!(s.contains("Get ab"));
+        assert!(s.contains("Get cd"));
+        // Children indented deeper than parents.
+        let join_line = s.lines().find(|l| l.contains("LeftOuterJoin")).unwrap();
+        let get_line = s.lines().find(|l| l.contains("Get ab")).unwrap();
+        assert!(get_line.len() - get_line.trim_start().len()
+            > join_line.len() - join_line.trim_start().len());
+    }
+
+    #[test]
+    fn explain_shows_apply_bindings() {
+        let inner = builder::select(
+            t::get_cd(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_C), ScalarExpr::col(t::COL_A)),
+        );
+        let apply = RelExpr::Apply {
+            kind: crate::relop::ApplyKind::Cross,
+            left: Box::new(t::get_ab()),
+            right: Box::new(inner),
+        };
+        let s = explain(&apply);
+        assert!(s.contains("Apply (bind: c0)"), "got: {s}");
+    }
+
+    #[test]
+    fn explain_shows_nested_subquery_bodies() {
+        let sub = ScalarExpr::Subquery(Box::new(t::get_cd()));
+        let plan = builder::select(
+            t::get_ab(),
+            ScalarExpr::cmp(crate::scalar::CmpOp::Lt, ScalarExpr::lit(5i64), sub),
+        );
+        let s = explain(&plan);
+        assert!(s.contains("[scalar subquery]"));
+        assert!(s.contains("Get cd"));
+    }
+}

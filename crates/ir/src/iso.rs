@@ -1,0 +1,502 @@
+//! Structural isomorphism of operator trees modulo column ids.
+//!
+//! Two bound trees coming from the same SQL text (e.g. the two instances
+//! of `lineitem` in TPC-H Q17 after decorrelation) have identical shape
+//! but disjoint column ids. SegmentApply introduction (§3.4.1) needs to
+//! detect exactly this: "two instances of an expression connected by a
+//! join". The syntax-independence tests (§1.2) use it too — plans from
+//! different SQL formulations must be isomorphic.
+
+use std::collections::HashMap;
+
+use orthopt_common::ColId;
+
+use crate::agg::AggDef;
+use crate::relop::RelExpr;
+use crate::scalar::ScalarExpr;
+
+/// Bijective column-id mapping built during comparison.
+#[derive(Default, Debug)]
+pub struct ColBijection {
+    forward: HashMap<ColId, ColId>,
+    backward: HashMap<ColId, ColId>,
+}
+
+impl ColBijection {
+    fn unify(&mut self, a: ColId, b: ColId) -> bool {
+        match (self.forward.get(&a), self.backward.get(&b)) {
+            (Some(&fb), Some(&ba)) => fb == b && ba == a,
+            (None, None) => {
+                self.forward.insert(a, b);
+                self.backward.insert(b, a);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The forward (left→right) mapping.
+    pub fn into_forward(self) -> HashMap<ColId, ColId> {
+        self.forward
+    }
+
+    /// Looks up the image of a left-side column.
+    pub fn map(&self, a: ColId) -> Option<ColId> {
+        self.forward.get(&a).copied()
+    }
+}
+
+/// Compares two trees for structural equality modulo a bijective column
+/// renaming; on success returns the left→right mapping.
+pub fn rel_isomorphic(a: &RelExpr, b: &RelExpr) -> Option<HashMap<ColId, ColId>> {
+    let mut bij = ColBijection::default();
+    if rel_iso(a, b, &mut bij) {
+        Some(bij.into_forward())
+    } else {
+        None
+    }
+}
+
+/// Like [`rel_isomorphic`] but extends a caller-provided bijection (used
+/// when some correspondences are already pinned, e.g. shared outer
+/// parameters must map to themselves).
+pub fn rel_isomorphic_with(a: &RelExpr, b: &RelExpr, bij: &mut ColBijection) -> bool {
+    rel_iso(a, b, bij)
+}
+
+/// Instance matching for SegmentApply detection (§3.4.1): like
+/// isomorphism, except `b` may scan a *subset* of `a`'s base-table
+/// columns at each `Get` leaf (the two instances of an expression are
+/// usually pruned to different column sets). The mapping still goes
+/// `a → b`; `a`-columns without a counterpart in `b` stay unmapped.
+pub fn rel_instance_with(a: &RelExpr, b: &RelExpr, bij: &mut ColBijection) -> bool {
+    if let (RelExpr::Get(ga), RelExpr::Get(gb)) = (a, b) {
+        if ga.table != gb.table {
+            return false;
+        }
+        // Every b column must exist in a at the same base position.
+        for (bc, bpos) in gb.cols.iter().zip(&gb.positions) {
+            let Some(ai) = ga.positions.iter().position(|p| p == bpos) else {
+                return false;
+            };
+            if ga.cols[ai].ty != bc.ty || !bij.unify(ga.cols[ai].id, bc.id) {
+                return false;
+            }
+        }
+        return true;
+    }
+    // Same operator kind with matching scalar content, children compared
+    // recursively in instance mode.
+    match (a, b) {
+        (RelExpr::Select { input: ia, predicate: pa }, RelExpr::Select { input: ib, predicate: pb }) => {
+            rel_instance_with(ia, ib, bij) && scalar_iso(pa, pb, bij)
+        }
+        (RelExpr::Project { input: ia, cols: ca }, RelExpr::Project { input: ib, cols: cb }) => {
+            rel_instance_with(ia, ib, bij)
+                && ca.len() == cb.len()
+                && ca.iter().zip(cb).all(|(&x, &y)| bij.unify(x, y))
+        }
+        (
+            RelExpr::Join {
+                kind: ka,
+                left: la,
+                right: ra,
+                predicate: pa,
+            },
+            RelExpr::Join {
+                kind: kb,
+                left: lb,
+                right: rb,
+                predicate: pb,
+            },
+        ) => {
+            ka == kb
+                && rel_instance_with(la, lb, bij)
+                && rel_instance_with(ra, rb, bij)
+                && scalar_iso(pa, pb, bij)
+        }
+        // For every other operator fall back to exact isomorphism.
+        _ => rel_iso(a, b, bij),
+    }
+}
+
+/// Pins identity mappings for columns that both sides reference freely
+/// (outer parameters must not be renamed).
+pub fn pin_identity(bij: &mut ColBijection, cols: impl IntoIterator<Item = ColId>) -> bool {
+    cols.into_iter().all(|c| bij.unify(c, c))
+}
+
+fn rel_iso(a: &RelExpr, b: &RelExpr, bij: &mut ColBijection) -> bool {
+    use RelExpr::*;
+    match (a, b) {
+        (Get(ga), Get(gb)) => {
+            ga.table == gb.table
+                && ga.positions == gb.positions
+                && ga.cols.len() == gb.cols.len()
+                && ga
+                    .cols
+                    .iter()
+                    .zip(&gb.cols)
+                    .all(|(x, y)| x.ty == y.ty && bij.unify(x.id, y.id))
+        }
+        (
+            ConstRel { cols: ca, rows: ra },
+            ConstRel { cols: cb, rows: rb },
+        ) => {
+            ra == rb
+                && ca.len() == cb.len()
+                && ca
+                    .iter()
+                    .zip(cb)
+                    .all(|(x, y)| x.ty == y.ty && bij.unify(x.id, y.id))
+        }
+        (
+            Select {
+                input: ia,
+                predicate: pa,
+            },
+            Select {
+                input: ib,
+                predicate: pb,
+            },
+        ) => rel_iso(ia, ib, bij) && scalar_iso(pa, pb, bij),
+        (Map { input: ia, defs: da }, Map { input: ib, defs: db }) => {
+            rel_iso(ia, ib, bij)
+                && da.len() == db.len()
+                && da.iter().zip(db).all(|(x, y)| {
+                    x.col.ty == y.col.ty
+                        && scalar_iso(&x.expr, &y.expr, bij)
+                        && bij.unify(x.col.id, y.col.id)
+                })
+        }
+        (Project { input: ia, cols: ca }, Project { input: ib, cols: cb }) => {
+            rel_iso(ia, ib, bij)
+                && ca.len() == cb.len()
+                && ca.iter().zip(cb).all(|(&x, &y)| bij.unify(x, y))
+        }
+        (
+            Join {
+                kind: ka,
+                left: la,
+                right: ra,
+                predicate: pa,
+            },
+            Join {
+                kind: kb,
+                left: lb,
+                right: rb,
+                predicate: pb,
+            },
+        ) => {
+            ka == kb
+                && rel_iso(la, lb, bij)
+                && rel_iso(ra, rb, bij)
+                && scalar_iso(pa, pb, bij)
+        }
+        (
+            Apply {
+                kind: ka,
+                left: la,
+                right: ra,
+            },
+            Apply {
+                kind: kb,
+                left: lb,
+                right: rb,
+            },
+        ) => ka == kb && rel_iso(la, lb, bij) && rel_iso(ra, rb, bij),
+        (
+            SegmentApply {
+                input: ia,
+                segment_cols: sa,
+                inner: na,
+            },
+            SegmentApply {
+                input: ib,
+                segment_cols: sb,
+                inner: nb,
+            },
+        ) => {
+            rel_iso(ia, ib, bij)
+                && sa.len() == sb.len()
+                && sa.iter().zip(sb).all(|(&x, &y)| bij.unify(x, y))
+                && rel_iso(na, nb, bij)
+        }
+        (SegmentRef { cols: ca }, SegmentRef { cols: cb }) => {
+            ca.len() == cb.len()
+                && ca.iter().zip(cb).all(|((ma, srca), (mb, srcb))| {
+                    ma.ty == mb.ty && bij.unify(ma.id, mb.id) && bij.unify(*srca, *srcb)
+                })
+        }
+        (
+            GroupBy {
+                kind: ka,
+                input: ia,
+                group_cols: ga,
+                aggs: aa,
+            },
+            GroupBy {
+                kind: kb,
+                input: ib,
+                group_cols: gb,
+                aggs: ab,
+            },
+        ) => {
+            ka == kb
+                && rel_iso(ia, ib, bij)
+                && ga.len() == gb.len()
+                && ga.iter().zip(gb).all(|(&x, &y)| bij.unify(x, y))
+                && aggs_iso(aa, ab, bij)
+        }
+        (
+            UnionAll {
+                left: la,
+                right: ra,
+                cols: ca,
+                left_map: lma,
+                right_map: rma,
+            },
+            UnionAll {
+                left: lb,
+                right: rb,
+                cols: cb,
+                left_map: lmb,
+                right_map: rmb,
+            },
+        ) => {
+            rel_iso(la, lb, bij)
+                && rel_iso(ra, rb, bij)
+                && ca.len() == cb.len()
+                && ca.iter().zip(cb).all(|(x, y)| bij.unify(x.id, y.id))
+                && lma.iter().zip(lmb).all(|(&x, &y)| bij.unify(x, y))
+                && rma.iter().zip(rmb).all(|(&x, &y)| bij.unify(x, y))
+        }
+        (
+            Except {
+                left: la,
+                right: ra,
+                right_map: rma,
+            },
+            Except {
+                left: lb,
+                right: rb,
+                right_map: rmb,
+            },
+        ) => {
+            rel_iso(la, lb, bij)
+                && rel_iso(ra, rb, bij)
+                && rma.len() == rmb.len()
+                && rma.iter().zip(rmb).all(|(&x, &y)| bij.unify(x, y))
+        }
+        (Max1Row { input: ia }, Max1Row { input: ib }) => rel_iso(ia, ib, bij),
+        (
+            Enumerate { input: ia, col: ca },
+            Enumerate { input: ib, col: cb },
+        ) => rel_iso(ia, ib, bij) && bij.unify(ca.id, cb.id),
+        _ => false,
+    }
+}
+
+fn aggs_iso(a: &[AggDef], b: &[AggDef], bij: &mut ColBijection) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.func == y.func
+                && x.distinct == y.distinct
+                && match (&x.arg, &y.arg) {
+                    (None, None) => true,
+                    (Some(p), Some(q)) => scalar_iso(p, q, bij),
+                    _ => false,
+                }
+                && bij.unify(x.out.id, y.out.id)
+        })
+}
+
+fn scalar_iso(a: &ScalarExpr, b: &ScalarExpr, bij: &mut ColBijection) -> bool {
+    use ScalarExpr::*;
+    match (a, b) {
+        (Column(x), Column(y)) => bij.unify(*x, *y),
+        (Literal(x), Literal(y)) => x == y,
+        (
+            Cmp {
+                op: oa,
+                left: la,
+                right: ra,
+            },
+            Cmp {
+                op: ob,
+                left: lb,
+                right: rb,
+            },
+        ) => oa == ob && scalar_iso(la, lb, bij) && scalar_iso(ra, rb, bij),
+        (
+            Arith {
+                op: oa,
+                left: la,
+                right: ra,
+            },
+            Arith {
+                op: ob,
+                left: lb,
+                right: rb,
+            },
+        ) => oa == ob && scalar_iso(la, lb, bij) && scalar_iso(ra, rb, bij),
+        (Neg(x), Neg(y)) | (Not(x), Not(y)) => scalar_iso(x, y, bij),
+        (And(xs), And(ys)) | (Or(xs), Or(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| scalar_iso(x, y, bij))
+        }
+        (
+            IsNull {
+                expr: xa,
+                negated: na,
+            },
+            IsNull {
+                expr: xb,
+                negated: nb,
+            },
+        ) => na == nb && scalar_iso(xa, xb, bij),
+        (
+            Case {
+                operand: oa,
+                whens: wa,
+                else_: ea,
+            },
+            Case {
+                operand: ob,
+                whens: wb,
+                else_: eb,
+            },
+        ) => {
+            let opnd = match (oa, ob) {
+                (None, None) => true,
+                (Some(x), Some(y)) => scalar_iso(x, y, bij),
+                _ => false,
+            };
+            let els = match (ea, eb) {
+                (None, None) => true,
+                (Some(x), Some(y)) => scalar_iso(x, y, bij),
+                _ => false,
+            };
+            opnd && els
+                && wa.len() == wb.len()
+                && wa.iter().zip(wb).all(|((w1, t1), (w2, t2))| {
+                    scalar_iso(w1, w2, bij) && scalar_iso(t1, t2, bij)
+                })
+        }
+        (Subquery(x), Subquery(y)) => rel_iso(x, y, bij),
+        (
+            Exists {
+                rel: xa,
+                negated: na,
+            },
+            Exists {
+                rel: xb,
+                negated: nb,
+            },
+        ) => na == nb && rel_iso(xa, xb, bij),
+        (
+            InSubquery {
+                expr: ea,
+                rel: xa,
+                negated: na,
+            },
+            InSubquery {
+                expr: eb,
+                rel: xb,
+                negated: nb,
+            },
+        ) => na == nb && scalar_iso(ea, eb, bij) && rel_iso(xa, xb, bij),
+        (
+            QuantifiedCmp {
+                op: oa,
+                quant: qa,
+                expr: ea,
+                rel: xa,
+            },
+            QuantifiedCmp {
+                op: ob,
+                quant: qb,
+                expr: eb,
+                rel: xb,
+            },
+        ) => oa == ob && qa == qb && scalar_iso(ea, eb, bij) && rel_iso(xa, xb, bij),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{self, t};
+    use crate::relop::JoinKind;
+    use orthopt_common::ColIdGen;
+
+    #[test]
+    fn tree_is_isomorphic_to_its_fresh_clone() {
+        let rel = builder::select(
+            builder::join(
+                JoinKind::Inner,
+                t::get_ab(),
+                t::get_cd(),
+                ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_C)),
+            ),
+            ScalarExpr::cmp(
+                crate::scalar::CmpOp::Gt,
+                ScalarExpr::col(t::COL_B),
+                ScalarExpr::lit(0i64),
+            ),
+        );
+        let mut gen = ColIdGen::starting_at(100);
+        let (copy, map) = rel.clone_with_fresh_cols(&mut gen);
+        let iso = rel_isomorphic(&rel, &copy).expect("isomorphic");
+        assert_eq!(iso[&t::COL_A], map[&t::COL_A]);
+    }
+
+    #[test]
+    fn different_tables_are_not_isomorphic() {
+        assert!(rel_isomorphic(&t::get_ab(), &t::get_cd()).is_none());
+    }
+
+    #[test]
+    fn different_literals_break_isomorphism() {
+        let a = builder::select(
+            t::get_ab(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::lit(1i64)),
+        );
+        let b = builder::select(
+            t::get_ab(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::lit(2i64)),
+        );
+        assert!(rel_isomorphic(&a, &b).is_none());
+    }
+
+    #[test]
+    fn bijection_rejects_many_to_one() {
+        // a(x) compared with itself twice is fine; but mapping two
+        // different left cols onto the same right col must fail.
+        let left = builder::select(
+            t::get_ab(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_B)),
+        );
+        // Right references COL_A twice where left used A and B.
+        let right = builder::select(
+            t::get_ab(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_A)),
+        );
+        assert!(rel_isomorphic(&left, &right).is_none());
+    }
+
+    #[test]
+    fn pinned_params_must_map_to_themselves() {
+        // Inner expressions referencing an outer parameter c77: the
+        // parameter must survive pinning.
+        let a = builder::select(
+            t::get_ab(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(ColId(77))),
+        );
+        let mut gen = ColIdGen::starting_at(200);
+        let (b, _) = a.clone_with_fresh_cols(&mut gen);
+        let mut bij = ColBijection::default();
+        assert!(pin_identity(&mut bij, [ColId(77)]));
+        assert!(rel_isomorphic_with(&a, &b, &mut bij));
+    }
+}

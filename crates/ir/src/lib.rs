@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Logical algebra IR for `orthopt`.
+//!
+//! This crate defines the operator tree produced by the SQL binder and
+//! manipulated by normalization (`orthopt-rewrite`) and cost-based
+//! optimization (`orthopt-optimizer`):
+//!
+//! * **Relational operators** ([`RelExpr`]): standard bag-oriented
+//!   relational algebra plus the paper's higher-order constructs —
+//!   [`RelExpr::Apply`] (§1.3), [`RelExpr::SegmentApply`] (§3.4), the
+//!   three GroupBy flavours (vector / scalar / local, §1.1 and §3.3),
+//!   [`RelExpr::Max1Row`] for exception subqueries (§2.4), and
+//!   [`RelExpr::Enumerate`] for manufacturing keys.
+//! * **Scalar operators** ([`ScalarExpr`]): expressions with three-valued
+//!   logic, including the *subquery markers* that make the algebrizer
+//!   output mutually recursive (§2.1) — these are eliminated by
+//!   normalization.
+//! * **Derived properties** ([`props`]): output columns, free (outer)
+//!   columns, candidate keys, cardinality bounds, null-rejection — the
+//!   machinery every transformation in the paper is stated in terms of.
+
+pub mod agg;
+pub mod builder;
+pub mod explain;
+pub mod iso;
+pub mod props;
+pub mod relop;
+pub mod scalar;
+pub mod visit;
+
+pub use agg::{AggDef, AggFunc};
+pub use relop::{
+    ApplyKind, ColStat, ColumnMeta, GetMeta, GroupKind, JoinKind, MapDef, RelExpr,
+};
+pub use scalar::{ArithOp, CmpOp, Quant, ScalarExpr};

@@ -1,0 +1,211 @@
+//! Tree rewriting utilities: column remapping and fresh-id cloning.
+//!
+//! Identity (7) and the Class-2 unnesting transforms duplicate the outer
+//! relation; the duplicate must expose *fresh* column ids or the two
+//! copies would collide when joined. `RelExpr::clone_with_fresh_cols` performs a
+//! deep copy remapping every produced column to a fresh id (and all
+//! internal references along with it).
+
+use std::collections::HashMap;
+
+use orthopt_common::{ColId, ColIdGen};
+
+use crate::relop::RelExpr;
+use crate::scalar::ScalarExpr;
+
+impl RelExpr {
+    /// In-place remap of column ids throughout the tree: every reference
+    /// *and* every production whose id appears in `map` is rewritten.
+    pub fn remap_columns(&mut self, map: &HashMap<ColId, ColId>) {
+        let remap = |id: &mut ColId| {
+            if let Some(n) = map.get(id) {
+                *id = *n;
+            }
+        };
+        // Productions and operator-owned column lists.
+        self.walk_mut(&mut |r| match r {
+            RelExpr::Get(g) => {
+                for c in &mut g.cols {
+                    remap(&mut c.id);
+                }
+                for k in &mut g.keys {
+                    for c in k {
+                        remap(c);
+                    }
+                }
+            }
+            RelExpr::ConstRel { cols, .. } => {
+                for c in cols {
+                    remap(&mut c.id);
+                }
+            }
+            RelExpr::Map { defs, .. } => {
+                for d in defs {
+                    remap(&mut d.col.id);
+                }
+            }
+            RelExpr::Project { cols, .. } => {
+                for c in cols {
+                    remap(c);
+                }
+            }
+            RelExpr::GroupBy {
+                group_cols, aggs, ..
+            } => {
+                for c in group_cols {
+                    remap(c);
+                }
+                for a in aggs {
+                    remap(&mut a.out.id);
+                }
+            }
+            RelExpr::UnionAll {
+                cols,
+                left_map,
+                right_map,
+                ..
+            } => {
+                for c in cols {
+                    remap(&mut c.id);
+                }
+                for c in left_map.iter_mut().chain(right_map.iter_mut()) {
+                    remap(c);
+                }
+            }
+            RelExpr::Except { right_map, .. } => {
+                for c in right_map {
+                    remap(c);
+                }
+            }
+            RelExpr::Enumerate { col, .. } => remap(&mut col.id),
+            RelExpr::SegmentApply { segment_cols, .. } => {
+                for c in segment_cols {
+                    remap(c);
+                }
+            }
+            RelExpr::SegmentRef { cols } => {
+                for (m, src) in cols {
+                    remap(&mut m.id);
+                    remap(src);
+                }
+            }
+            _ => {}
+        });
+        // Scalar references (including inside subqueries).
+        self.transform_scalars(&mut |e| {
+            if let ScalarExpr::Column(c) = e {
+                remap(c);
+            }
+        });
+    }
+
+    /// Mutable pre-order traversal over relational operators, descending
+    /// into scalar subqueries' relational bodies.
+    pub fn walk_mut(&mut self, f: &mut dyn FnMut(&mut RelExpr)) {
+        f(self);
+        for s in self.own_scalars_mut() {
+            s.transform(&mut |e| {
+                let rel = match e {
+                    ScalarExpr::Subquery(rel) => Some(rel),
+                    ScalarExpr::Exists { rel, .. } => Some(rel),
+                    ScalarExpr::InSubquery { rel, .. } => Some(rel),
+                    ScalarExpr::QuantifiedCmp { rel, .. } => Some(rel),
+                    _ => None,
+                };
+                if let Some(rel) = rel {
+                    // `transform` already recurses into the subquery's
+                    // scalar expressions; here we only need the
+                    // relational recursion.
+                    rel.walk_mut_norec(f);
+                }
+            });
+        }
+        for c in self.children_mut() {
+            c.walk_mut(f);
+        }
+    }
+
+    fn walk_mut_norec(&mut self, f: &mut dyn FnMut(&mut RelExpr)) {
+        f(self);
+        for c in self.children_mut() {
+            c.walk_mut_norec(f);
+        }
+    }
+
+    /// Deep copy where every column *produced* inside the tree gets a
+    /// fresh id; returns the copy and the old→new mapping. References to
+    /// outer parameters (free columns) are left untouched.
+    pub fn clone_with_fresh_cols(
+        &self,
+        gen: &mut ColIdGen,
+    ) -> (RelExpr, HashMap<ColId, ColId>) {
+        let produced = self.produced_cols();
+        let map: HashMap<ColId, ColId> = produced
+            .into_iter()
+            .map(|old| (old, gen.fresh()))
+            .collect();
+        let mut copy = self.clone();
+        copy.remap_columns(&map);
+        (copy, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{self, t};
+    use crate::relop::JoinKind;
+
+    #[test]
+    fn fresh_clone_remaps_productions_and_references() {
+        let rel = builder::select(
+            t::get_ab(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_B)),
+        );
+        let mut gen = ColIdGen::starting_at(100);
+        let (copy, map) = rel.clone_with_fresh_cols(&mut gen);
+        assert_eq!(map.len(), 2);
+        let new_a = map[&t::COL_A];
+        assert!(copy.output_col_ids().contains(&new_a));
+        assert!(!copy.output_col_ids().contains(&t::COL_A));
+        // The predicate references moved along.
+        assert!(copy.referenced_cols().contains(&new_a));
+    }
+
+    #[test]
+    fn fresh_clone_keeps_outer_params() {
+        // Predicate references c77 which is NOT produced inside.
+        let rel = builder::select(
+            t::get_ab(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(ColId(77))),
+        );
+        let mut gen = ColIdGen::starting_at(100);
+        let (copy, _) = rel.clone_with_fresh_cols(&mut gen);
+        assert!(copy.free_cols().contains(&ColId(77)));
+    }
+
+    #[test]
+    fn remap_rewrites_join_predicates() {
+        let mut j = builder::join(
+            JoinKind::Inner,
+            t::get_ab(),
+            t::get_cd(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_C)),
+        );
+        let map = [(t::COL_A, ColId(40))].into_iter().collect();
+        j.remap_columns(&map);
+        assert!(j.referenced_cols().contains(&ColId(40)));
+        assert!(!j.referenced_cols().contains(&t::COL_A));
+    }
+
+    #[test]
+    fn keys_follow_remap() {
+        let mut g = t::get_ab();
+        let map = [(t::COL_A, ColId(41))].into_iter().collect();
+        g.remap_columns(&map);
+        match &g {
+            RelExpr::Get(m) => assert_eq!(m.keys, vec![vec![ColId(41)]]),
+            _ => unreachable!(),
+        }
+    }
+}

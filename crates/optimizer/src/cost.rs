@@ -1,0 +1,49 @@
+//! Cost model: simple per-row coefficients over estimated cardinalities.
+//!
+//! Absolute values are arbitrary; what matters for the paper's
+//! experiments is the *relative* ordering of hash/set-oriented plans,
+//! correlated index-lookup plans, and segmented plans across data sizes.
+
+/// Per-row cost coefficients (tuned roughly to the in-memory engine).
+pub mod coef {
+    /// Scanning one stored row.
+    pub const SCAN_ROW: f64 = 1.0;
+    /// One hash-index probe (fixed).
+    pub const INDEX_PROBE: f64 = 2.0;
+    /// Emitting one matched index row.
+    pub const INDEX_ROW: f64 = 1.0;
+    /// Evaluating a filter on one row.
+    pub const FILTER_ROW: f64 = 0.2;
+    /// Computing one expression on one row.
+    pub const COMPUTE_ROW: f64 = 0.2;
+    /// Inserting one row into a hash build side.
+    pub const HASH_BUILD_ROW: f64 = 1.5;
+    /// Probing one row against a hash table.
+    pub const HASH_PROBE_ROW: f64 = 1.0;
+    /// Emitting one join result row.
+    pub const JOIN_OUT_ROW: f64 = 0.2;
+    /// Nested-loop pair evaluation.
+    pub const NL_PAIR: f64 = 0.4;
+    /// Fixed overhead per Apply invocation (rebind + dispatch).
+    pub const APPLY_INVOKE: f64 = 2.0;
+    /// Hash aggregation input row.
+    pub const AGG_ROW: f64 = 1.5;
+    /// Emitting one group.
+    pub const GROUP_OUT: f64 = 0.4;
+    /// Partitioning one row into segments.
+    pub const SEGMENT_ROW: f64 = 1.2;
+    /// Fixed overhead per segment evaluation.
+    pub const SEGMENT_INVOKE: f64 = 2.0;
+    /// Concatenation per row.
+    pub const CONCAT_ROW: f64 = 0.1;
+    /// Sort cost factor (× n log n).
+    pub const SORT_FACTOR: f64 = 0.3;
+    /// Row-number / assert per row.
+    pub const TRIVIAL_ROW: f64 = 0.05;
+}
+
+/// Cost of sorting `n` rows.
+pub fn sort_cost(n: f64) -> f64 {
+    let n = n.max(1.0);
+    coef::SORT_FACTOR * n * n.log2().max(1.0)
+}

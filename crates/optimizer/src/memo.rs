@@ -1,0 +1,288 @@
+//! The memo: equivalence groups of logical expressions.
+//!
+//! Each [`Group`] holds alternative logical expressions with equal (or
+//! column-superset) semantics. An expression is stored as an operator
+//! *shell* — a [`RelExpr`] whose relational children are replaced by
+//! placeholders — plus the child [`GroupId`]s in `children()` order.
+//! Identical shells with identical children are deduplicated via a
+//! fingerprint index, so commuted/reassociated join forms share groups.
+
+use std::collections::{HashMap, HashSet};
+
+use orthopt_ir::RelExpr;
+
+/// Index of a group in the memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupId(pub usize);
+
+/// A logical expression in the memo.
+#[derive(Debug, Clone)]
+pub struct MExpr {
+    /// Operator with dummied-out relational children.
+    pub shell: RelExpr,
+    /// Child groups, in `children()` order.
+    pub children: Vec<GroupId>,
+}
+
+/// One equivalence group.
+#[derive(Debug)]
+pub struct Group {
+    /// Alternative logical expressions.
+    pub exprs: Vec<MExpr>,
+    /// Fingerprints of expressions already present.
+    keys: HashSet<String>,
+    /// Materialized representative (the first tree inserted) — used by
+    /// rules that need whole-subtree analysis (isomorphism, free
+    /// columns) and by cardinality estimation.
+    pub repr: RelExpr,
+    /// Estimated output cardinality.
+    pub card: f64,
+}
+
+/// A rule-output tree: new operators over existing groups.
+#[derive(Debug, Clone)]
+pub enum RTree {
+    /// Reference to an existing group.
+    Ref(GroupId),
+    /// New operator (children dummied in the shell) over subtrees.
+    Op(Box<RelExpr>, Vec<RTree>),
+}
+
+impl RTree {
+    /// Convenience constructor.
+    pub fn op(shell: RelExpr, children: Vec<RTree>) -> RTree {
+        RTree::Op(Box::new(shell), children)
+    }
+}
+
+/// Placeholder used for dummied children inside shells.
+pub fn placeholder() -> RelExpr {
+    RelExpr::ConstRel {
+        cols: vec![],
+        rows: vec![],
+    }
+}
+
+/// Splits a tree into (shell, direct children).
+fn decompose(mut rel: RelExpr) -> (RelExpr, Vec<RelExpr>) {
+    let mut children = Vec::new();
+    for slot in rel.children_mut() {
+        children.push(std::mem::replace(slot, placeholder()));
+    }
+    (rel, children)
+}
+
+fn fingerprint(shell: &RelExpr, children: &[GroupId]) -> String {
+    format!("{:?}|{:?}", shell, children)
+}
+
+/// The memo.
+#[derive(Debug, Default)]
+pub struct Memo {
+    groups: Vec<Group>,
+    /// Fingerprint → owning group, for subtree sharing at insert time.
+    index: HashMap<String, GroupId>,
+}
+
+impl Memo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Access a group.
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.0]
+    }
+
+    /// Total number of logical expressions across groups.
+    pub fn expr_count(&self) -> usize {
+        self.groups.iter().map(|g| g.exprs.len()).sum()
+    }
+
+    /// Inserts a full logical tree, sharing identical subtrees, and
+    /// returns its group.
+    pub fn insert_tree(&mut self, rel: RelExpr) -> GroupId {
+        let repr = rel.clone();
+        let (shell, children) = decompose(rel);
+        let child_ids: Vec<GroupId> = children
+            .into_iter()
+            .map(|c| self.insert_tree(c))
+            .collect();
+        let key = fingerprint(&shell, &child_ids);
+        if let Some(&gid) = self.index.get(&key) {
+            return gid;
+        }
+        let gid = GroupId(self.groups.len());
+        let mut keys = HashSet::new();
+        keys.insert(key.clone());
+        self.groups.push(Group {
+            exprs: vec![MExpr {
+                shell,
+                children: child_ids,
+            }],
+            keys,
+            repr,
+            card: 0.0, // filled by the estimator pass
+        });
+        self.index.insert(key, gid);
+        gid
+    }
+
+    /// Adds an alternative expression (from a rule) into an existing
+    /// group; returns true when it was new.
+    pub fn add_expr(&mut self, gid: GroupId, rtree: RTree) -> bool {
+        let (shell, children) = self.intern_rtree(rtree);
+        let key = fingerprint(&shell, &children);
+        let group = &mut self.groups[gid.0];
+        if group.keys.contains(&key) {
+            return false;
+        }
+        group.keys.insert(key);
+        group.exprs.push(MExpr { shell, children });
+        true
+    }
+
+    /// Interns a rule-output tree: nested `Op` nodes become (possibly
+    /// fresh) groups; returns the top shell with its child group ids.
+    fn intern_rtree(&mut self, rtree: RTree) -> (RelExpr, Vec<GroupId>) {
+        match rtree {
+            RTree::Ref(_) => panic!("top of a rule output must be an operator"),
+            RTree::Op(shell, children) => {
+                let child_ids = children
+                    .into_iter()
+                    .map(|c| self.intern_child(c))
+                    .collect();
+                (*shell, child_ids)
+            }
+        }
+    }
+
+    fn intern_child(&mut self, rtree: RTree) -> GroupId {
+        match rtree {
+            RTree::Ref(gid) => gid,
+            RTree::Op(shell, children) => {
+                let child_ids: Vec<GroupId> = children
+                    .into_iter()
+                    .map(|c| self.intern_child(c))
+                    .collect();
+                let key = fingerprint(&shell, &child_ids);
+                if let Some(&gid) = self.index.get(&key) {
+                    return gid;
+                }
+                // Materialize a representative from child representatives.
+                let mut repr = (*shell).clone();
+                for (slot, cid) in repr.children_mut().into_iter().zip(&child_ids) {
+                    *slot = self.groups[cid.0].repr.clone();
+                }
+                let gid = GroupId(self.groups.len());
+                let mut keys = HashSet::new();
+                keys.insert(key.clone());
+                self.groups.push(Group {
+                    exprs: vec![MExpr {
+                        shell: *shell,
+                        children: child_ids,
+                    }],
+                    keys,
+                    repr,
+                    card: 0.0,
+                });
+                self.index.insert(key, gid);
+                gid
+            }
+        }
+    }
+
+    /// Materializes one expression with child representatives — the
+    /// one-level tree rules pattern-match on.
+    pub fn materialize(&self, expr: &MExpr) -> RelExpr {
+        let mut rel = expr.shell.clone();
+        for (slot, cid) in rel.children_mut().into_iter().zip(&expr.children) {
+            *slot = self.groups[cid.0].repr.clone();
+        }
+        rel
+    }
+
+    /// Sets the estimated cardinality for a group.
+    pub fn set_card(&mut self, gid: GroupId, card: f64) {
+        self.groups[gid.0].card = card;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_ir::builder::{self, t};
+    use orthopt_ir::{JoinKind, ScalarExpr};
+
+    #[test]
+    fn identical_subtrees_share_groups() {
+        let mut memo = Memo::new();
+        let a = memo.insert_tree(t::get_ab());
+        let b = memo.insert_tree(t::get_ab());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_trees_get_different_groups() {
+        let mut memo = Memo::new();
+        let a = memo.insert_tree(t::get_ab());
+        let b = memo.insert_tree(t::get_cd());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn join_children_become_groups() {
+        let mut memo = Memo::new();
+        let join = builder::join(
+            JoinKind::Inner,
+            t::get_ab(),
+            t::get_cd(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_C)),
+        );
+        let gid = memo.insert_tree(join);
+        assert_eq!(memo.group(gid).exprs[0].children.len(), 2);
+        assert_eq!(memo.group_count(), 3);
+    }
+
+    #[test]
+    fn add_expr_deduplicates() {
+        let mut memo = Memo::new();
+        let join = builder::join(
+            JoinKind::Inner,
+            t::get_ab(),
+            t::get_cd(),
+            ScalarExpr::true_(),
+        );
+        let gid = memo.insert_tree(join);
+        let expr = memo.group(gid).exprs[0].clone();
+        let dup = RTree::op(expr.shell.clone(), expr.children.iter().map(|&c| RTree::Ref(c)).collect());
+        assert!(!memo.add_expr(gid, dup));
+        // A commuted version is new.
+        let commuted = RTree::op(
+            expr.shell.clone(),
+            expr.children.iter().rev().map(|&c| RTree::Ref(c)).collect(),
+        );
+        assert!(memo.add_expr(gid, commuted));
+        assert_eq!(memo.group(gid).exprs.len(), 2);
+    }
+
+    #[test]
+    fn materialize_rebuilds_one_level() {
+        let mut memo = Memo::new();
+        let join = builder::join(
+            JoinKind::Inner,
+            t::get_ab(),
+            t::get_cd(),
+            ScalarExpr::true_(),
+        );
+        let gid = memo.insert_tree(join.clone());
+        let rebuilt = memo.materialize(&memo.group(gid).exprs[0]);
+        assert_eq!(rebuilt, join);
+    }
+}

@@ -1,0 +1,476 @@
+//! Best-plan extraction: implementation rules plus recursive costing.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use orthopt_common::{ColId, Error, Result};
+use orthopt_ir::{GroupKind, RelExpr, ScalarExpr};
+use orthopt_exec::PhysExpr;
+
+use crate::cardinality::Estimator;
+use crate::cost::{coef, sort_cost};
+use crate::memo::{GroupId, Memo};
+
+/// A costed physical plan.
+#[derive(Debug, Clone)]
+pub struct Costed {
+    /// Physical operator tree.
+    pub plan: PhysExpr,
+    /// Estimated total cost.
+    pub cost: f64,
+}
+
+/// Extracts the cheapest physical plan for a group.
+pub struct Planner<'a> {
+    memo: &'a Memo,
+    est: &'a Estimator,
+    cache: HashMap<usize, Costed>,
+    in_progress: HashSet<usize>,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner over an explored memo.
+    pub fn new(memo: &'a Memo, est: &'a Estimator) -> Self {
+        Planner {
+            memo,
+            est,
+            cache: HashMap::new(),
+            in_progress: HashSet::new(),
+        }
+    }
+
+    /// Cheapest plan for a group.
+    pub fn best(&mut self, gid: GroupId) -> Result<Costed> {
+        if let Some(c) = self.cache.get(&gid.0) {
+            return Ok(c.clone());
+        }
+        if !self.in_progress.insert(gid.0) {
+            // A cyclic alternative (should not happen): prune this path.
+            return Err(Error::Plan("cyclic plan alternative".into()));
+        }
+        let exprs = self.memo.group(gid).exprs.clone();
+        let mut best: Option<Costed> = None;
+        for expr in &exprs {
+            match self.implementations(&expr.shell, &expr.children) {
+                Ok(alts) => {
+                    for alt in alts {
+                        if best.as_ref().is_none_or(|b| alt.cost < b.cost) {
+                            best = Some(alt);
+                        }
+                    }
+                }
+                Err(_) => continue, // alternative not implementable on this path
+            }
+        }
+        self.in_progress.remove(&gid.0);
+        let best = best.ok_or_else(|| Error::Plan("no implementable alternative".into()))?;
+        self.cache.insert(gid.0, best.clone());
+        Ok(best)
+    }
+
+    fn card(&self, gid: GroupId) -> f64 {
+        self.est.card(&self.memo.group(gid).repr)
+    }
+
+    fn implementations(&mut self, shell: &RelExpr, children: &[GroupId]) -> Result<Vec<Costed>> {
+        let mut out = Vec::new();
+        match shell {
+            RelExpr::Get(g) => {
+                out.push(Costed {
+                    plan: PhysExpr::TableScan {
+                        table: g.table,
+                        positions: g.positions.clone(),
+                        cols: g.cols.iter().map(|c| c.id).collect(),
+                    },
+                    cost: g.row_count * coef::SCAN_ROW,
+                });
+            }
+            RelExpr::ConstRel { cols, rows } => {
+                out.push(Costed {
+                    plan: PhysExpr::ConstScan {
+                        cols: cols.iter().map(|c| c.id).collect(),
+                        rows: rows.clone(),
+                    },
+                    cost: rows.len() as f64 * coef::TRIVIAL_ROW,
+                });
+            }
+            RelExpr::Select { predicate, .. } => {
+                let g_in = children[0];
+                let child = self.best(g_in)?;
+                let in_card = self.card(g_in);
+                let out_card = in_card * self.est.selectivity(predicate);
+                out.push(Costed {
+                    plan: PhysExpr::Filter {
+                        input: Box::new(child.plan.clone()),
+                        predicate: predicate.clone(),
+                    },
+                    cost: child.cost + in_card * coef::FILTER_ROW,
+                });
+                // Index seek when the child is an indexed scan and the
+                // predicate pins a full index with invocation constants.
+                out.extend(self.index_seek_alternatives(predicate, g_in, out_card));
+            }
+            RelExpr::Map { defs, .. } => {
+                let child = self.best(children[0])?;
+                let in_card = self.card(children[0]);
+                out.push(Costed {
+                    plan: PhysExpr::Compute {
+                        input: Box::new(child.plan),
+                        defs: defs.iter().map(|d| (d.col.id, d.expr.clone())).collect(),
+                    },
+                    cost: child.cost + in_card * coef::COMPUTE_ROW * defs.len() as f64,
+                });
+            }
+            RelExpr::Project { cols, .. } => {
+                let child = self.best(children[0])?;
+                let in_card = self.card(children[0]);
+                out.push(Costed {
+                    plan: PhysExpr::ProjectCols {
+                        input: Box::new(child.plan),
+                        cols: cols.clone(),
+                    },
+                    cost: child.cost + in_card * coef::TRIVIAL_ROW,
+                });
+            }
+            RelExpr::Join { kind, predicate, .. } => {
+                let (g_l, g_r) = (children[0], children[1]);
+                let left = self.best(g_l)?;
+                let right = self.best(g_r)?;
+                let (card_l, card_r) = (self.card(g_l), self.card(g_r));
+                let out_card =
+                    card_l * card_r * self.est.selectivity(predicate);
+                // Hash join on equi-conjuncts.
+                let left_ids = self.outs(g_l);
+                let right_ids = self.outs(g_r);
+                let mut lk = Vec::new();
+                let mut rk = Vec::new();
+                let mut residual = Vec::new();
+                for c in predicate.conjuncts() {
+                    let mut matched = false;
+                    if let ScalarExpr::Cmp {
+                        op: orthopt_ir::CmpOp::Eq,
+                        left: a,
+                        right: b,
+                    } = &c
+                    {
+                        if let (ScalarExpr::Column(x), ScalarExpr::Column(y)) =
+                            (a.as_ref(), b.as_ref())
+                        {
+                            if left_ids.contains(x) && right_ids.contains(y) {
+                                lk.push(*x);
+                                rk.push(*y);
+                                matched = true;
+                            } else if left_ids.contains(y) && right_ids.contains(x) {
+                                lk.push(*y);
+                                rk.push(*x);
+                                matched = true;
+                            }
+                        }
+                    }
+                    if !matched {
+                        residual.push(c);
+                    }
+                }
+                if !lk.is_empty() {
+                    out.push(Costed {
+                        plan: PhysExpr::HashJoin {
+                            kind: *kind,
+                            left: Box::new(left.plan.clone()),
+                            right: Box::new(right.plan.clone()),
+                            left_keys: lk,
+                            right_keys: rk,
+                            residual: ScalarExpr::and(residual),
+                        },
+                        cost: left.cost
+                            + right.cost
+                            + card_r * coef::HASH_BUILD_ROW
+                            + card_l * coef::HASH_PROBE_ROW
+                            + out_card * coef::JOIN_OUT_ROW,
+                    });
+                } else {
+                    out.push(Costed {
+                        plan: PhysExpr::NLJoin {
+                            kind: *kind,
+                            left: Box::new(left.plan.clone()),
+                            right: Box::new(right.plan.clone()),
+                            predicate: predicate.clone(),
+                        },
+                        cost: left.cost
+                            + right.cost
+                            + card_l * card_r * coef::NL_PAIR
+                            + out_card * coef::JOIN_OUT_ROW,
+                    });
+                }
+            }
+            RelExpr::Apply { kind, .. } => {
+                let (g_l, g_r) = (children[0], children[1]);
+                let left = self.best(g_l)?;
+                let right = self.best(g_r)?;
+                let card_l = self.card(g_l);
+                let params: Vec<ColId> = {
+                    let left_outs = self.outs(g_l);
+                    self.memo
+                        .group(g_r)
+                        .repr
+                        .free_cols()
+                        .into_iter()
+                        .filter(|c| left_outs.contains(c))
+                        .collect()
+                };
+                out.push(Costed {
+                    plan: PhysExpr::ApplyLoop {
+                        kind: *kind,
+                        left: Box::new(left.plan),
+                        right: Box::new(right.plan),
+                        params,
+                    },
+                    cost: left.cost + card_l * (coef::APPLY_INVOKE + right.cost),
+                });
+            }
+            RelExpr::SegmentApply { segment_cols, .. } => {
+                let (g_in, g_inner) = (children[0], children[1]);
+                let input = self.best(g_in)?;
+                let inner = self.best(g_inner)?;
+                let card_in = self.card(g_in);
+                let segments = self.est.group_count(segment_cols, card_in);
+                // Output layout: segmenting columns then inner extras.
+                let inner_outs = self.outs_vec(g_inner);
+                let mut out_cols = segment_cols.clone();
+                for c in inner_outs {
+                    if !out_cols.contains(&c) {
+                        out_cols.push(c);
+                    }
+                }
+                out.push(Costed {
+                    plan: PhysExpr::SegmentExec {
+                        input: Box::new(input.plan),
+                        segment_cols: segment_cols.clone(),
+                        inner: Box::new(inner.plan),
+                        out_cols,
+                    },
+                    cost: input.cost
+                        + card_in * coef::SEGMENT_ROW
+                        + segments * (coef::SEGMENT_INVOKE + inner.cost),
+                });
+            }
+            RelExpr::SegmentRef { cols } => {
+                out.push(Costed {
+                    plan: PhysExpr::SegmentScan {
+                        cols: cols.iter().map(|(m, src)| (m.id, *src)).collect(),
+                    },
+                    cost: 10.0 * coef::TRIVIAL_ROW,
+                });
+            }
+            RelExpr::GroupBy {
+                kind,
+                group_cols,
+                aggs,
+                ..
+            } => {
+                let g_in = children[0];
+                let child = self.best(g_in)?;
+                let card_in = self.card(g_in);
+                let groups = match kind {
+                    GroupKind::Scalar => 1.0,
+                    _ => self.est.group_count(group_cols, card_in),
+                };
+                out.push(Costed {
+                    plan: PhysExpr::HashAggregate {
+                        kind: *kind,
+                        input: Box::new(child.plan),
+                        group_cols: group_cols.clone(),
+                        aggs: aggs.clone(),
+                    },
+                    cost: child.cost + card_in * coef::AGG_ROW + groups * coef::GROUP_OUT,
+                });
+            }
+            RelExpr::UnionAll {
+                cols,
+                left_map,
+                right_map,
+                ..
+            } => {
+                let left = self.best(children[0])?;
+                let right = self.best(children[1])?;
+                let total = self.card(children[0]) + self.card(children[1]);
+                out.push(Costed {
+                    plan: PhysExpr::Concat {
+                        left: Box::new(left.plan),
+                        right: Box::new(right.plan),
+                        cols: cols.iter().map(|c| c.id).collect(),
+                        left_map: left_map.clone(),
+                        right_map: right_map.clone(),
+                    },
+                    cost: left.cost + right.cost + total * coef::CONCAT_ROW,
+                });
+            }
+            RelExpr::Except { right_map, .. } => {
+                let left = self.best(children[0])?;
+                let right = self.best(children[1])?;
+                let (card_l, card_r) = (self.card(children[0]), self.card(children[1]));
+                out.push(Costed {
+                    plan: PhysExpr::ExceptExec {
+                        left: Box::new(left.plan),
+                        right: Box::new(right.plan),
+                        right_map: right_map.clone(),
+                    },
+                    cost: left.cost
+                        + right.cost
+                        + card_r * coef::HASH_BUILD_ROW
+                        + card_l * coef::HASH_PROBE_ROW,
+                });
+            }
+            RelExpr::Max1Row { .. } => {
+                let child = self.best(children[0])?;
+                out.push(Costed {
+                    plan: PhysExpr::AssertMax1 {
+                        input: Box::new(child.plan),
+                    },
+                    cost: child.cost,
+                });
+            }
+            RelExpr::Enumerate { col, .. } => {
+                let child = self.best(children[0])?;
+                let card = self.card(children[0]);
+                out.push(Costed {
+                    plan: PhysExpr::RowNumber {
+                        input: Box::new(child.plan),
+                        col: col.id,
+                    },
+                    cost: child.cost + card * coef::TRIVIAL_ROW,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    fn outs(&self, gid: GroupId) -> BTreeSet<ColId> {
+        self.memo
+            .group(gid)
+            .repr
+            .output_col_ids()
+            .into_iter()
+            .collect()
+    }
+
+    fn outs_vec(&self, gid: GroupId) -> Vec<ColId> {
+        self.memo.group(gid).repr.output_col_ids()
+    }
+
+    /// IndexSeek alternatives for `σ_p(Get)`: an index is usable when
+    /// each indexed column has an equality conjunct against an
+    /// *invocation constant* (literal or outer parameter).
+    fn index_seek_alternatives(
+        &mut self,
+        predicate: &ScalarExpr,
+        g_in: GroupId,
+        _out_card: f64,
+    ) -> Vec<Costed> {
+        let mut out = Vec::new();
+        for expr in &self.memo.group(g_in).exprs {
+            let RelExpr::Get(g) = &expr.shell else { continue };
+            let own_ids: BTreeSet<ColId> = g.cols.iter().map(|c| c.id).collect();
+            for index in &g.indexes {
+                // Find probes: base position → probe expression.
+                let mut probes: Vec<Option<ScalarExpr>> = vec![None; index.len()];
+                let mut residual: Vec<ScalarExpr> = Vec::new();
+                for c in predicate.conjuncts() {
+                    let mut used = false;
+                    if let ScalarExpr::Cmp {
+                        op: orthopt_ir::CmpOp::Eq,
+                        left,
+                        right,
+                    } = &c
+                    {
+                        for (col_side, probe_side) in [(left, right), (right, left)] {
+                            if let ScalarExpr::Column(id) = col_side.as_ref() {
+                                if let Some(pos) = g.cols.iter().position(|m| m.id == *id) {
+                                    let base = g.positions[pos];
+                                    if let Some(slot) =
+                                        index.iter().position(|&b| b == base)
+                                    {
+                                        let probe_ok = probe_side
+                                            .cols()
+                                            .iter()
+                                            .all(|pc| !own_ids.contains(pc))
+                                            && !probe_side.has_subquery();
+                                        if probe_ok && probes[slot].is_none() {
+                                            probes[slot] = Some((**probe_side).clone());
+                                            used = true;
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if !used {
+                        residual.push(c);
+                    }
+                }
+                if probes.iter().any(Option::is_none) {
+                    continue;
+                }
+                let probes: Vec<ScalarExpr> = probes.into_iter().flatten().collect();
+                let ndv: f64 = index
+                    .iter()
+                    .map(|&base| {
+                        g.positions
+                            .iter()
+                            .position(|&p| p == base)
+                            .map(|i| self.est.stats.ndv(g.cols[i].id))
+                            .unwrap_or(100.0)
+                    })
+                    .product();
+                let matched = (g.row_count / ndv.max(1.0)).max(1.0);
+                let seek = PhysExpr::IndexSeek {
+                    table: g.table,
+                    positions: g.positions.clone(),
+                    cols: g.cols.iter().map(|c| c.id).collect(),
+                    index_cols: index.clone(),
+                    probes,
+                };
+                let mut cost = coef::INDEX_PROBE + matched * coef::INDEX_ROW;
+                let plan = if residual.is_empty() {
+                    seek
+                } else {
+                    cost += matched * coef::FILTER_ROW;
+                    PhysExpr::Filter {
+                        input: Box::new(seek),
+                        predicate: ScalarExpr::and(residual),
+                    }
+                };
+                out.push(Costed { plan, cost });
+            }
+        }
+        out
+    }
+}
+
+/// Sort and limit appended at the root (ORDER BY / LIMIT presentation).
+pub fn with_presentation(
+    plan: Costed,
+    by: Vec<(ColId, bool)>,
+    limit: Option<usize>,
+    rows: f64,
+) -> Costed {
+    let mut out = plan;
+    if !by.is_empty() {
+        out = Costed {
+            cost: out.cost + sort_cost(rows),
+            plan: PhysExpr::Sort {
+                input: Box::new(out.plan),
+                by,
+            },
+        };
+    }
+    if let Some(n) = limit {
+        out = Costed {
+            cost: out.cost,
+            plan: PhysExpr::Limit {
+                input: Box::new(out.plan),
+                n,
+            },
+        };
+    }
+    out
+}

@@ -1,0 +1,1489 @@
+//! Transformation rules.
+//!
+//! Every rule is a small, orthogonal primitive (the paper's central
+//! design position): rules match one memo expression (plus, when the
+//! pattern is two levels deep, the expressions of a child group) and
+//! emit alternative expressions into the *same* group.
+
+use std::collections::BTreeSet;
+
+use orthopt_common::{ColId, ColIdGen, DataType};
+use orthopt_ir::props;
+use orthopt_ir::{
+    iso, AggDef, AggFunc, ApplyKind, ColumnMeta, GroupKind, JoinKind, MapDef, RelExpr,
+    ScalarExpr,
+};
+
+use crate::cardinality::Estimator;
+use crate::memo::{placeholder, GroupId, MExpr, Memo, RTree};
+use crate::search::OptimizerConfig;
+
+/// Applies every enabled rule to one memo expression.
+pub fn apply_all(
+    memo: &Memo,
+    gid: GroupId,
+    eidx: usize,
+    est: &Estimator,
+    gen: &mut ColIdGen,
+    config: &OptimizerConfig,
+) -> Vec<RTree> {
+    let expr = memo.group(gid).exprs[eidx].clone();
+    let mut out = Vec::new();
+    if config.join_reorder {
+        out.extend(join_commute(&expr));
+        out.extend(join_associate(memo, &expr));
+        out.extend(select_below_join(memo, &expr));
+    }
+    if config.groupby_reorder {
+        out.extend(groupby_below_join(memo, &expr));
+        out.extend(groupby_above_join(memo, &expr));
+        out.extend(semijoin_below_groupby(memo, &expr));
+        out.extend(semijoin_to_join_distinct(memo, &expr));
+        out.extend(groupby_below_outerjoin(memo, &expr, gen));
+    }
+    if config.local_aggregate {
+        out.extend(split_local_groupby(memo, &expr, gen));
+        out.extend(local_groupby_below_join(memo, &expr));
+    }
+    if config.segment_apply {
+        out.extend(segment_apply_intro(memo, &expr));
+        out.extend(join_below_segment_apply(memo, &expr));
+    }
+    if config.correlated_execution {
+        out.extend(apply_intro(memo, &expr));
+    }
+    let _ = est;
+    out
+}
+
+fn outs(memo: &Memo, gid: GroupId) -> BTreeSet<ColId> {
+    memo.group(gid).repr.output_col_ids().into_iter().collect()
+}
+
+/// Decomposes a real tree into a rule-output tree of nested operators.
+fn rtree_from(rel: RelExpr) -> RTree {
+    let mut shell = rel;
+    let children: Vec<RelExpr> = shell
+        .children_mut()
+        .into_iter()
+        .map(|slot| std::mem::replace(slot, placeholder()))
+        .collect();
+    RTree::op(shell, children.into_iter().map(rtree_from).collect())
+}
+
+// ---------------------------------------------------------------------
+// Join reordering
+// ---------------------------------------------------------------------
+
+fn join_commute(expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::Join {
+        kind: JoinKind::Inner,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    vec![RTree::op(
+        expr.shell.clone(),
+        vec![RTree::Ref(expr.children[1]), RTree::Ref(expr.children[0])],
+    )]
+}
+
+fn join_associate(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::Join {
+        kind: JoinKind::Inner,
+        predicate: p_top,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    let g_left = expr.children[0];
+    let g_c = expr.children[1];
+    let mut out = Vec::new();
+    for inner in &memo.group(g_left).exprs {
+        let RelExpr::Join {
+            kind: JoinKind::Inner,
+            predicate: p_inner,
+            ..
+        } = &inner.shell
+        else {
+            continue;
+        };
+        let g_a = inner.children[0];
+        let g_b = inner.children[1];
+        // (A ⋈ B) ⋈ C  →  A ⋈ (B ⋈ C), redistributing conjuncts.
+        // Column-equality conjuncts are rebuilt as spanning trees of
+        // their equivalence classes so that *transitively implied*
+        // equalities connecting B and C materialize in the lower join
+        // (l1.partkey = part.partkey ∧ part.partkey = l2.partkey gives
+        // the lower join l1.partkey = l2.partkey — without this, Q17's
+        // segmentable self-join shape is unreachable).
+        let bc: BTreeSet<ColId> = outs(memo, g_b).union(&outs(memo, g_c)).copied().collect();
+        let all: Vec<ScalarExpr> = p_top
+            .conjuncts()
+            .into_iter()
+            .chain(p_inner.conjuncts())
+            .collect();
+        let (eqs, others): (Vec<_>, Vec<_>) = all.into_iter().partition(|c| {
+            matches!(
+                c,
+                ScalarExpr::Cmp {
+                    op: orthopt_ir::CmpOp::Eq,
+                    left,
+                    right,
+                    // A self-equality (x = x) is a NULL-rejection filter,
+                    // not an equivalence edge: a single-member class would
+                    // emit no spanning-tree edge and the conjunct would be
+                    // lost. Route it through the plain-conjunct path.
+                } if matches!((left.as_ref(), right.as_ref()),
+                    (ScalarExpr::Column(a), ScalarExpr::Column(b)) if a != b)
+            )
+        });
+        // Union-find over the equality graph.
+        let mut classes: Vec<BTreeSet<ColId>> = Vec::new();
+        for c in &eqs {
+            let ScalarExpr::Cmp { left, right, .. } = c else { unreachable!() };
+            let (ScalarExpr::Column(x), ScalarExpr::Column(y)) = (left.as_ref(), right.as_ref())
+            else {
+                unreachable!()
+            };
+            let ix = classes.iter().position(|s| s.contains(x));
+            let iy = classes.iter().position(|s| s.contains(y));
+            match (ix, iy) {
+                (Some(i), Some(j)) if i != j => {
+                    let merged = classes.swap_remove(i.max(j));
+                    classes[i.min(j)].extend(merged);
+                }
+                (Some(i), None) => {
+                    classes[i].insert(*y);
+                }
+                (None, Some(j)) => {
+                    classes[j].insert(*x);
+                }
+                (None, None) => {
+                    classes.push([*x, *y].into_iter().collect());
+                }
+                _ => {}
+            }
+        }
+        let mut lower = Vec::new();
+        let mut upper = Vec::new();
+        for class in &classes {
+            // Chain the B∪C members first (edges land in the lower
+            // join), then hook the remaining members on (upper).
+            let (in_bc, outside): (Vec<ColId>, Vec<ColId>) =
+                class.iter().partition(|c| bc.contains(c));
+            for w in in_bc.windows(2) {
+                lower.push(ScalarExpr::eq(ScalarExpr::col(w[0]), ScalarExpr::col(w[1])));
+            }
+            let anchor = in_bc.first().or(outside.first()).copied();
+            if let Some(anchor) = anchor {
+                for m in &outside {
+                    if *m != anchor {
+                        upper.push(ScalarExpr::eq(ScalarExpr::col(anchor), ScalarExpr::col(*m)));
+                    }
+                }
+            }
+        }
+        for c in others {
+            if c.cols().iter().all(|x| bc.contains(x)) {
+                lower.push(c);
+            } else {
+                upper.push(c);
+            }
+        }
+        out.push(RTree::op(
+            RelExpr::Join {
+                kind: JoinKind::Inner,
+                left: Box::new(placeholder()),
+                right: Box::new(placeholder()),
+                predicate: ScalarExpr::and(upper),
+            },
+            vec![
+                RTree::Ref(g_a),
+                RTree::op(
+                    RelExpr::Join {
+                        kind: JoinKind::Inner,
+                        left: Box::new(placeholder()),
+                        right: Box::new(placeholder()),
+                        predicate: ScalarExpr::and(lower),
+                    },
+                    vec![RTree::Ref(g_b), RTree::Ref(g_c)],
+                ),
+            ],
+        ));
+    }
+    out
+}
+
+/// Moves filter conjuncts below a join during exploration — needed to
+/// follow a pushed GroupBy (a HAVING predicate can chase the aggregate
+/// below the join, which is what makes Kim's strategy reachable from
+/// the subquery formulation).
+fn select_below_join(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::Select { predicate, .. } = &expr.shell else {
+        return vec![];
+    };
+    let g_in = expr.children[0];
+    let mut out = Vec::new();
+    for join in &memo.group(g_in).exprs {
+        let RelExpr::Join {
+            kind,
+            predicate: jp,
+            ..
+        } = &join.shell
+        else {
+            continue;
+        };
+        let (g_l, g_r) = (join.children[0], join.children[1]);
+        let cols_l = outs(memo, g_l);
+        let cols_r = outs(memo, g_r);
+        let mut on_left = Vec::new();
+        let mut on_right = Vec::new();
+        let mut rest = Vec::new();
+        for c in predicate.conjuncts() {
+            if c.has_subquery() {
+                rest.push(c);
+                continue;
+            }
+            let cols = c.cols();
+            if cols.iter().all(|x| cols_l.contains(x)) {
+                on_left.push(c);
+            } else if matches!(kind, JoinKind::Inner) && cols.iter().all(|x| cols_r.contains(x))
+            {
+                on_right.push(c);
+            } else {
+                rest.push(c);
+            }
+        }
+        if on_left.is_empty() && on_right.is_empty() {
+            continue;
+        }
+        let wrap = |conjs: Vec<ScalarExpr>, gid: GroupId| -> RTree {
+            if conjs.is_empty() {
+                RTree::Ref(gid)
+            } else {
+                RTree::op(
+                    RelExpr::Select {
+                        input: Box::new(placeholder()),
+                        predicate: ScalarExpr::and(conjs),
+                    },
+                    vec![RTree::Ref(gid)],
+                )
+            }
+        };
+        let new_join = RTree::op(
+            RelExpr::Join {
+                kind: *kind,
+                left: Box::new(placeholder()),
+                right: Box::new(placeholder()),
+                predicate: jp.clone(),
+            },
+            vec![wrap(on_left, g_l), wrap(on_right, g_r)],
+        );
+        if rest.is_empty() {
+            out.push(new_join);
+        } else {
+            out.push(RTree::op(
+                RelExpr::Select {
+                    input: Box::new(placeholder()),
+                    predicate: ScalarExpr::and(rest),
+                },
+                vec![new_join],
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// GroupBy reordering (§3.1) and the outerjoin extension (§3.2)
+// ---------------------------------------------------------------------
+
+/// Closure of a column set under the equality conjuncts of a predicate:
+/// a column equal (transitively) to a grouping column is functionally
+/// determined by the grouping columns — the paper states condition (1)
+/// in terms of functional determination, and this is the cheap sound
+/// approximation of it.
+fn eq_closure(start: &BTreeSet<ColId>, predicate: &ScalarExpr) -> BTreeSet<ColId> {
+    let mut set = start.clone();
+    let eqs: Vec<(ColId, ColId)> = predicate
+        .conjuncts()
+        .into_iter()
+        .filter_map(|c| match c {
+            ScalarExpr::Cmp {
+                op: orthopt_ir::CmpOp::Eq,
+                left,
+                right,
+            } => match (*left, *right) {
+                (ScalarExpr::Column(a), ScalarExpr::Column(b)) => Some((a, b)),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+    loop {
+        let before = set.len();
+        for (a, b) in &eqs {
+            if set.contains(a) {
+                set.insert(*b);
+            }
+            if set.contains(b) {
+                set.insert(*a);
+            }
+        }
+        if set.len() == before {
+            return set;
+        }
+    }
+}
+
+/// §3.1's three conditions for pushing `G_{A,F}` below `S ⋈p R`.
+fn push_conditions_hold(
+    memo: &Memo,
+    group_cols: &[ColId],
+    aggs: &[AggDef],
+    predicate: &ScalarExpr,
+    g_s: GroupId,
+    g_r: GroupId,
+) -> bool {
+    let cols_r = outs(memo, g_r);
+    let a: BTreeSet<ColId> = group_cols.iter().copied().collect();
+    // (1) join-predicate columns from R are functionally determined by
+    // the grouping columns (via the predicate's own equalities).
+    let determined = eq_closure(&a, predicate);
+    let cond1 = predicate
+        .cols()
+        .iter()
+        .all(|c| !cols_r.contains(c) || determined.contains(c));
+    // (2) a key of S is among the grouping columns.
+    let cond2 = props::has_key_within(&memo.group(g_s).repr, &a);
+    // (3) aggregate arguments use only R's columns.
+    let cond3 = aggs.iter().all(|agg| {
+        agg.arg
+            .as_ref()
+            .map(|arg| arg.cols().iter().all(|c| cols_r.contains(c)))
+            .unwrap_or(true)
+    });
+    cond1 && cond2 && cond3
+}
+
+fn pushed_group_cols(
+    memo: &Memo,
+    group_cols: &[ColId],
+    predicate: &ScalarExpr,
+    g_r: GroupId,
+) -> Vec<ColId> {
+    let cols_r = outs(memo, g_r);
+    let mut a: Vec<ColId> = group_cols
+        .iter()
+        .copied()
+        .filter(|c| cols_r.contains(c))
+        .collect();
+    for c in predicate.cols() {
+        if cols_r.contains(&c) && !a.contains(&c) {
+            a.push(c);
+        }
+    }
+    a
+}
+
+/// `G_{A,F}(S ⋈p R)  →  S ⋈p G_{A∪cols(p)−cols(S),F}(R)`.
+fn groupby_below_join(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::GroupBy {
+        kind: GroupKind::Vector,
+        group_cols,
+        aggs,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    let g_in = expr.children[0];
+    let mut out = Vec::new();
+    for join in &memo.group(g_in).exprs {
+        let RelExpr::Join {
+            kind: JoinKind::Inner,
+            predicate,
+            ..
+        } = &join.shell
+        else {
+            continue;
+        };
+        let (g_s, g_r) = (join.children[0], join.children[1]);
+        if !push_conditions_hold(memo, group_cols, aggs, predicate, g_s, g_r) {
+            continue;
+        }
+        let pushed = RelExpr::GroupBy {
+            kind: GroupKind::Vector,
+            input: Box::new(placeholder()),
+            group_cols: pushed_group_cols(memo, group_cols, predicate, g_r),
+            aggs: aggs.clone(),
+        };
+        out.push(RTree::op(
+            RelExpr::Join {
+                kind: JoinKind::Inner,
+                left: Box::new(placeholder()),
+                right: Box::new(placeholder()),
+                predicate: predicate.clone(),
+            },
+            vec![
+                RTree::Ref(g_s),
+                RTree::op(pushed, vec![RTree::Ref(g_r)]),
+            ],
+        ));
+    }
+    out
+}
+
+/// `S ⋈p G_{A,F}(R)  →  G_{A∪cols(S),F}(S ⋈p R)` — "pulling a GroupBy
+/// above a join is a lot easier": S needs a key and p must not use the
+/// aggregate outputs.
+fn groupby_above_join(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::Join {
+        kind: JoinKind::Inner,
+        predicate,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    let (g_s, g_gb) = (expr.children[0], expr.children[1]);
+    if props::keys(&memo.group(g_s).repr).is_empty() {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for gb in &memo.group(g_gb).exprs {
+        let RelExpr::GroupBy {
+            kind: GroupKind::Vector,
+            group_cols,
+            aggs,
+            ..
+        } = &gb.shell
+        else {
+            continue;
+        };
+        let agg_outs: BTreeSet<ColId> = aggs.iter().map(|a| a.out.id).collect();
+        if predicate.cols().iter().any(|c| agg_outs.contains(c)) {
+            continue;
+        }
+        let g_r = gb.children[0];
+        let mut pulled_groups: Vec<ColId> = outs(memo, g_s).into_iter().collect();
+        pulled_groups.extend(group_cols.iter().copied());
+        out.push(RTree::op(
+            RelExpr::GroupBy {
+                kind: GroupKind::Vector,
+                input: Box::new(placeholder()),
+                group_cols: pulled_groups,
+                aggs: aggs.clone(),
+            },
+            vec![RTree::op(
+                RelExpr::Join {
+                    kind: JoinKind::Inner,
+                    left: Box::new(placeholder()),
+                    right: Box::new(placeholder()),
+                    predicate: predicate.clone(),
+                },
+                vec![RTree::Ref(g_s), RTree::Ref(g_r)],
+            )],
+        ));
+    }
+    out
+}
+
+/// `(G_{A,F}R) ⋉p S  →  G_{A,F}(R ⋉p S)` when p ignores aggregate
+/// outputs and its non-S columns are grouping columns (§3.1, semijoins
+/// and antisemijoins "as filters").
+fn semijoin_below_groupby(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::Join {
+        kind: kind @ (JoinKind::LeftSemi | JoinKind::LeftAnti),
+        predicate,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    let (g_gb, g_s) = (expr.children[0], expr.children[1]);
+    let cols_s = outs(memo, g_s);
+    let mut out = Vec::new();
+    for gb in &memo.group(g_gb).exprs {
+        let RelExpr::GroupBy {
+            kind: GroupKind::Vector,
+            group_cols,
+            aggs,
+            ..
+        } = &gb.shell
+        else {
+            continue;
+        };
+        let agg_outs: BTreeSet<ColId> = aggs.iter().map(|a| a.out.id).collect();
+        let ok = predicate.cols().iter().all(|c| {
+            !agg_outs.contains(c) && (cols_s.contains(c) || group_cols.contains(c))
+        });
+        if !ok {
+            continue;
+        }
+        let g_r = gb.children[0];
+        out.push(RTree::op(
+            RelExpr::GroupBy {
+                kind: GroupKind::Vector,
+                input: Box::new(placeholder()),
+                group_cols: group_cols.clone(),
+                aggs: aggs.clone(),
+            },
+            vec![RTree::op(
+                RelExpr::Join {
+                    kind: *kind,
+                    left: Box::new(placeholder()),
+                    right: Box::new(placeholder()),
+                    predicate: predicate.clone(),
+                },
+                vec![RTree::Ref(g_r), RTree::Ref(g_s)],
+            )],
+        ));
+    }
+    out
+}
+
+/// §2.4: "For the resulting semijoin, we consider execution as join
+/// followed by GroupBy (distincting), which follows from the definition
+/// of semijoin. This GroupBy is also subject to reordering" — covering
+/// the magic-sets-style semijoin strategies of Pirahesh et al. Valid
+/// when the left side has a key (one output row per left row).
+fn semijoin_to_join_distinct(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::Join {
+        kind: JoinKind::LeftSemi,
+        predicate,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    let (g_l, g_r) = (expr.children[0], expr.children[1]);
+    let left_repr = &memo.group(g_l).repr;
+    if props::keys(left_repr).is_empty() {
+        return vec![];
+    }
+    let group_cols = left_repr.output_col_ids();
+    vec![RTree::op(
+        RelExpr::GroupBy {
+            kind: GroupKind::Vector,
+            input: Box::new(placeholder()),
+            group_cols,
+            aggs: vec![],
+        },
+        vec![RTree::op(
+            RelExpr::Join {
+                kind: JoinKind::Inner,
+                left: Box::new(placeholder()),
+                right: Box::new(placeholder()),
+                predicate: predicate.clone(),
+            },
+            vec![RTree::Ref(g_l), RTree::Ref(g_r)],
+        )],
+    )]
+}
+
+/// §3.2: `G_{A,F}(S LOJ_p R) → π_c(S LOJ_p (G_{A−cols(S),F}R))`, with a
+/// computing project restoring the aggregate-over-one-NULL-row results
+/// for unmatched rows (COUNT(*) ↦ 1, COUNT(col) ↦ 0; strict aggregates
+/// need nothing — the padding NULL is already correct).
+fn groupby_below_outerjoin(memo: &Memo, expr: &MExpr, gen: &mut ColIdGen) -> Vec<RTree> {
+    let RelExpr::GroupBy {
+        kind: GroupKind::Vector,
+        group_cols,
+        aggs,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    let g_in = expr.children[0];
+    let mut out = Vec::new();
+    for join in &memo.group(g_in).exprs {
+        let RelExpr::Join {
+            kind: JoinKind::LeftOuter,
+            predicate,
+            ..
+        } = &join.shell
+        else {
+            continue;
+        };
+        let (g_s, g_r) = (join.children[0], join.children[1]);
+        if !push_conditions_hold(memo, group_cols, aggs, predicate, g_s, g_r) {
+            continue;
+        }
+        let cols_r = outs(memo, g_r);
+        // Classify aggregates: strict ones pad correctly by themselves;
+        // counts need the compensating project.
+        let strict_ok = aggs.iter().all(|a| match a.func {
+            AggFunc::CountStar | AggFunc::Count => true,
+            _ => a
+                .arg
+                .as_ref()
+                .map(|arg| props::always_null_when(arg, &cols_r))
+                .unwrap_or(false),
+        });
+        if !strict_ok {
+            continue;
+        }
+        let needs_project = aggs
+            .iter()
+            .any(|a| matches!(a.func, AggFunc::CountStar | AggFunc::Count));
+        let pushed_groups = pushed_group_cols(memo, group_cols, predicate, g_r);
+        if !needs_project {
+            out.push(RTree::op(
+                RelExpr::Join {
+                    kind: JoinKind::LeftOuter,
+                    left: Box::new(placeholder()),
+                    right: Box::new(placeholder()),
+                    predicate: predicate.clone(),
+                },
+                vec![
+                    RTree::Ref(g_s),
+                    RTree::op(
+                        RelExpr::GroupBy {
+                            kind: GroupKind::Vector,
+                            input: Box::new(placeholder()),
+                            group_cols: pushed_groups,
+                            aggs: aggs.clone(),
+                        },
+                        vec![RTree::Ref(g_r)],
+                    ),
+                ],
+            ));
+            continue;
+        }
+        // Counts go below under fresh ids; the project above restores
+        // the original ids with the unmatched-row constants.
+        let mut pushed_aggs = Vec::with_capacity(aggs.len());
+        let mut defs: Vec<MapDef> = Vec::new();
+        let mut indicator: Option<ColId> = None;
+        for a in aggs {
+            match a.func {
+                AggFunc::CountStar | AggFunc::Count => {
+                    let fresh = ColumnMeta::new(
+                        gen.fresh(),
+                        format!("{}_pre", a.out.name),
+                        DataType::Int,
+                        false,
+                    );
+                    indicator = Some(fresh.id);
+                    pushed_aggs.push(AggDef {
+                        out: fresh.clone(),
+                        ..a.clone()
+                    });
+                    let constant = if a.func == AggFunc::CountStar { 1i64 } else { 0i64 };
+                    defs.push(MapDef {
+                        col: a.out.clone(),
+                        expr: ScalarExpr::Case {
+                            operand: None,
+                            whens: vec![(
+                                ScalarExpr::IsNull {
+                                    expr: Box::new(ScalarExpr::col(fresh.id)),
+                                    negated: false,
+                                },
+                                ScalarExpr::lit(constant),
+                            )],
+                            else_: Some(Box::new(ScalarExpr::col(fresh.id))),
+                        },
+                    });
+                }
+                _ => pushed_aggs.push(a.clone()),
+            }
+        }
+        let _ = indicator;
+        out.push(RTree::op(
+            RelExpr::Map {
+                input: Box::new(placeholder()),
+                defs,
+            },
+            vec![RTree::op(
+                RelExpr::Join {
+                    kind: JoinKind::LeftOuter,
+                    left: Box::new(placeholder()),
+                    right: Box::new(placeholder()),
+                    predicate: predicate.clone(),
+                },
+                vec![
+                    RTree::Ref(g_s),
+                    RTree::op(
+                        RelExpr::GroupBy {
+                            kind: GroupKind::Vector,
+                            input: Box::new(placeholder()),
+                            group_cols: pushed_groups,
+                            aggs: pushed_aggs,
+                        },
+                        vec![RTree::Ref(g_r)],
+                    ),
+                ],
+            )],
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// LocalGroupBy (§3.3)
+// ---------------------------------------------------------------------
+
+/// `G_{A,F} = G_{A,F_global} ∘ LG_{A,F_local}`.
+fn split_local_groupby(memo: &Memo, expr: &MExpr, gen: &mut ColIdGen) -> Vec<RTree> {
+    let RelExpr::GroupBy {
+        kind: GroupKind::Vector,
+        group_cols,
+        aggs,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    if aggs.is_empty()
+        || aggs
+            .iter()
+            .any(|a| a.distinct || a.func.split().is_none())
+    {
+        return vec![];
+    }
+    let g_in = expr.children[0];
+    // Don't split over an input that is already a LocalGroupBy (would
+    // recurse forever without gaining anything).
+    if memo
+        .group(g_in)
+        .exprs
+        .iter()
+        .any(|e| matches!(e.shell, RelExpr::GroupBy { kind: GroupKind::Local, .. }))
+    {
+        return vec![];
+    }
+    let mut locals = Vec::with_capacity(aggs.len());
+    let mut globals = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        let (lf, gf) = a.func.split().expect("checked splittable");
+        let local_ty = lf.output_type(a.arg.as_ref().map(|_| a.out.ty));
+        let local_out = ColumnMeta::new(
+            gen.fresh(),
+            format!("{}_local", a.out.name),
+            local_ty,
+            lf.output_nullable(),
+        );
+        locals.push(AggDef {
+            out: local_out.clone(),
+            func: lf,
+            arg: a.arg.clone(),
+            distinct: false,
+        });
+        globals.push(AggDef {
+            out: a.out.clone(),
+            func: gf,
+            arg: Some(ScalarExpr::col(local_out.id)),
+            distinct: false,
+        });
+    }
+    vec![RTree::op(
+        RelExpr::GroupBy {
+            kind: GroupKind::Vector,
+            input: Box::new(placeholder()),
+            group_cols: group_cols.clone(),
+            aggs: globals,
+        },
+        vec![RTree::op(
+            RelExpr::GroupBy {
+                kind: GroupKind::Local,
+                input: Box::new(placeholder()),
+                group_cols: group_cols.clone(),
+                aggs: locals,
+            },
+            vec![RTree::Ref(g_in)],
+        )],
+    )]
+}
+
+/// LocalGroupBy pushes below an inner join, to whichever side holds all
+/// the aggregate inputs; grouping columns extend freely (§3.3).
+fn local_groupby_below_join(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::GroupBy {
+        kind: GroupKind::Local,
+        group_cols,
+        aggs,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    let g_in = expr.children[0];
+    let mut out = Vec::new();
+    for join in &memo.group(g_in).exprs {
+        let RelExpr::Join {
+            kind: JoinKind::Inner,
+            predicate,
+            ..
+        } = &join.shell
+        else {
+            continue;
+        };
+        for (side, other) in [(1usize, 0usize), (0, 1)] {
+            let g_x = join.children[side];
+            let g_o = join.children[other];
+            let cols_x = outs(memo, g_x);
+            let args_on_x = aggs.iter().all(|a| {
+                a.arg
+                    .as_ref()
+                    .map(|arg| arg.cols().iter().all(|c| cols_x.contains(c)))
+                    .unwrap_or(false) // COUNT(*) counts join pairs: not pushable one-sided
+            });
+            if !args_on_x {
+                continue;
+            }
+            let mut a_x: Vec<ColId> = group_cols
+                .iter()
+                .copied()
+                .filter(|c| cols_x.contains(c))
+                .collect();
+            for c in predicate.cols() {
+                if cols_x.contains(&c) && !a_x.contains(&c) {
+                    a_x.push(c);
+                }
+            }
+            let pushed = RTree::op(
+                RelExpr::GroupBy {
+                    kind: GroupKind::Local,
+                    input: Box::new(placeholder()),
+                    group_cols: a_x,
+                    aggs: aggs.clone(),
+                },
+                vec![RTree::Ref(g_x)],
+            );
+            let (l, r) = if side == 1 {
+                (RTree::Ref(g_o), pushed)
+            } else {
+                (pushed, RTree::Ref(g_o))
+            };
+            out.push(RTree::op(
+                RelExpr::Join {
+                    kind: JoinKind::Inner,
+                    left: Box::new(placeholder()),
+                    right: Box::new(placeholder()),
+                    predicate: predicate.clone(),
+                },
+                vec![l, r],
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// SegmentApply (§3.4)
+// ---------------------------------------------------------------------
+
+/// §3.4.1: a join of two instances of the same expression, one of them
+/// aggregated (possibly under select/map wrappers), with an equality
+/// between corresponding columns — becomes per-segment correlated
+/// execution.
+fn segment_apply_intro(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::Join {
+        kind: JoinKind::Inner,
+        predicate,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    let (g_left, g_right) = (expr.children[0], expr.children[1]);
+    let t1 = &memo.group(g_left).repr;
+
+    // Strip Select/Map wrappers off the right side down to a vector
+    // GroupBy; keep the wrappers to rebuild inside the segment.
+    let mut wrappers: Vec<RelExpr> = Vec::new();
+    let mut cur = memo.group(g_right).repr.clone();
+    loop {
+        match cur {
+            RelExpr::Select { input, predicate } => {
+                wrappers.push(RelExpr::Select {
+                    input: Box::new(placeholder()),
+                    predicate,
+                });
+                cur = *input;
+            }
+            RelExpr::Map { input, defs } => {
+                wrappers.push(RelExpr::Map {
+                    input: Box::new(placeholder()),
+                    defs,
+                });
+                cur = *input;
+            }
+            RelExpr::Project { input, cols } => {
+                wrappers.push(RelExpr::Project {
+                    input: Box::new(placeholder()),
+                    cols,
+                });
+                cur = *input;
+            }
+            other => {
+                cur = other;
+                break;
+            }
+        }
+    }
+    let RelExpr::GroupBy {
+        kind: GroupKind::Vector,
+        input: gb_input,
+        group_cols: a2,
+        aggs: f2,
+    } = cur
+    else {
+        return vec![];
+    };
+    let t2 = *gb_input;
+
+    // The two instances must be the same expression up to column
+    // renaming — the aggregated instance may scan fewer columns — with
+    // shared outer parameters pinned.
+    let mut bij = iso::ColBijection::default();
+    let mut pins: BTreeSet<ColId> = t1.free_cols();
+    pins.extend(t2.free_cols());
+    if !iso::pin_identity(&mut bij, pins) {
+        return vec![];
+    }
+    if !iso::rel_instance_with(t1, &t2, &mut bij) {
+        return vec![];
+    }
+
+    // Segmenting columns: equality conjuncts t1.c = t2.g with g a
+    // grouping column and bij(c) = g.
+    let t1_outs: BTreeSet<ColId> = t1.output_col_ids().into_iter().collect();
+    let mut segment_cols: Vec<ColId> = Vec::new();
+    for c in predicate.conjuncts() {
+        if let ScalarExpr::Cmp {
+            op: orthopt_ir::CmpOp::Eq,
+            left,
+            right,
+        } = &c
+        {
+            for (x, y) in [(left, right), (right, left)] {
+                if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) =
+                    (x.as_ref(), y.as_ref())
+                {
+                    if t1_outs.contains(a)
+                        && a2.contains(b)
+                        && bij.map(*a) == Some(*b)
+                        && !segment_cols.contains(a)
+                    {
+                        segment_cols.push(*a);
+                    }
+                }
+            }
+        }
+    }
+    if segment_cols.is_empty() {
+        return vec![];
+    }
+
+    // Build the per-segment expression: both instances read the segment.
+    let seg1 = RelExpr::SegmentRef {
+        cols: t1
+            .output_cols()
+            .into_iter()
+            .map(|m| {
+                let src = m.id;
+                (m, src)
+            })
+            .collect(),
+    };
+    let inverse: std::collections::HashMap<ColId, ColId> = t1
+        .output_col_ids()
+        .iter()
+        .filter_map(|&c| bij.map(c).map(|m| (m, c)))
+        .collect();
+    let t2_cols = t2.output_cols();
+    // Every t2 output must correspond to a t1 output through the mapping.
+    let mut seg2_cols = Vec::with_capacity(t2_cols.len());
+    for m in t2_cols {
+        match inverse.get(&m.id) {
+            Some(&src) => seg2_cols.push((m, src)),
+            None => return vec![],
+        }
+    }
+    let seg2 = RelExpr::SegmentRef { cols: seg2_cols };
+    let mut agg_side = RelExpr::GroupBy {
+        kind: GroupKind::Vector,
+        input: Box::new(seg2),
+        group_cols: a2,
+        aggs: f2,
+    };
+    for mut w in wrappers.into_iter().rev() {
+        *w.children_mut()[0] = agg_side;
+        agg_side = w;
+    }
+    let inner = RelExpr::Join {
+        kind: JoinKind::Inner,
+        left: Box::new(seg1),
+        right: Box::new(agg_side),
+        predicate: predicate.clone(),
+    };
+    vec![RTree::op(
+        RelExpr::SegmentApply {
+            input: Box::new(placeholder()),
+            segment_cols,
+            inner: Box::new(placeholder()),
+        },
+        vec![RTree::Ref(g_left), rtree_from(inner)],
+    )]
+}
+
+/// §3.4.2: `(R SA_A E) ⋈p T = (R ⋈p T) SA_{A∪cols(T)} E` when p uses
+/// only segmenting columns and T's columns (all-or-none per segment).
+fn join_below_segment_apply(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::Join {
+        kind: JoinKind::Inner,
+        predicate,
+        ..
+    } = &expr.shell
+    else {
+        return vec![];
+    };
+    let (g_sa, g_t) = (expr.children[0], expr.children[1]);
+    let cols_t = outs(memo, g_t);
+    let mut out = Vec::new();
+    for sa in &memo.group(g_sa).exprs {
+        let RelExpr::SegmentApply { segment_cols, .. } = &sa.shell else {
+            continue;
+        };
+        let ok = predicate
+            .cols()
+            .iter()
+            .all(|c| segment_cols.contains(c) || cols_t.contains(c));
+        if !ok {
+            continue;
+        }
+        let (g_in, g_inner) = (sa.children[0], sa.children[1]);
+        // All of T's columns join the segmenting list (T's key would
+        // suffice; the full set keeps the output a superset and segments
+        // identical).
+        let mut new_segments = segment_cols.clone();
+        new_segments.extend(cols_t.iter().copied());
+        out.push(RTree::op(
+            RelExpr::SegmentApply {
+                input: Box::new(placeholder()),
+                segment_cols: new_segments,
+                inner: Box::new(placeholder()),
+            },
+            vec![
+                RTree::op(
+                    RelExpr::Join {
+                        kind: JoinKind::Inner,
+                        left: Box::new(placeholder()),
+                        right: Box::new(placeholder()),
+                        predicate: predicate.clone(),
+                    },
+                    vec![RTree::Ref(g_in), RTree::Ref(g_t)],
+                ),
+                RTree::Ref(g_inner),
+            ],
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Correlated-execution re-introduction (§4)
+// ---------------------------------------------------------------------
+
+/// A join whose inner side is an indexed scan becomes an Apply with a
+/// parameterized select — the optimizer's way back to index-lookup-join
+/// ("can be very effective if few outer rows are processed and
+/// appropriate indices exist", §2.5).
+fn apply_intro(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
+    let RelExpr::Join { kind, predicate, .. } = &expr.shell else {
+        return vec![];
+    };
+    let apply_kind = match kind {
+        JoinKind::Inner => ApplyKind::Cross,
+        JoinKind::LeftOuter => ApplyKind::LeftOuter,
+        JoinKind::LeftSemi => ApplyKind::Semi,
+        JoinKind::LeftAnti => ApplyKind::Anti,
+    };
+    if predicate.is_true() {
+        return vec![];
+    }
+    let (g_l, g_r) = (expr.children[0], expr.children[1]);
+    // The inner side must be (exactly) an indexed base-table scan.
+    let RelExpr::Get(g) = &memo.group(g_r).repr else {
+        return vec![];
+    };
+    if g.indexes.is_empty() {
+        return vec![];
+    }
+    // Some equality conjunct must reach an indexed column.
+    let cols_l = outs(memo, g_l);
+    let mut seekable = false;
+    for c in predicate.conjuncts() {
+        if let ScalarExpr::Cmp {
+            op: orthopt_ir::CmpOp::Eq,
+            left,
+            right,
+        } = &c
+        {
+            for (x, y) in [(left, right), (right, left)] {
+                if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) =
+                    (x.as_ref(), y.as_ref())
+                {
+                    if cols_l.contains(a) {
+                        if let Some(pos) = g.cols.iter().position(|m| m.id == *b) {
+                            let base = g.positions[pos];
+                            if g.indexes.iter().any(|ix| ix.contains(&base)) {
+                                seekable = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !seekable {
+        return vec![];
+    }
+    vec![RTree::op(
+        RelExpr::Apply {
+            kind: apply_kind,
+            left: Box::new(placeholder()),
+            right: Box::new(placeholder()),
+        },
+        vec![
+            RTree::Ref(g_l),
+            RTree::op(
+                RelExpr::Select {
+                    input: Box::new(placeholder()),
+                    predicate: predicate.clone(),
+                },
+                vec![RTree::Ref(g_r)],
+            ),
+        ],
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_ir::builder::{self, t};
+    use orthopt_ir::CmpOp;
+
+    fn explore(rel: RelExpr, config: &OptimizerConfig) -> (Memo, GroupId) {
+        let est = Estimator::new(&rel);
+        let mut used = rel.produced_cols();
+        used.extend(rel.referenced_cols());
+        let mut gen = ColIdGen::after(used);
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(rel);
+        let mut fired = std::collections::HashSet::new();
+        loop {
+            let mut added = false;
+            let groups = memo.group_count();
+            for g in 0..groups {
+                let gid = GroupId(g);
+                for e in 0..memo.group(gid).exprs.len() {
+                    if !fired.insert((g, e)) {
+                        continue;
+                    }
+                    for rt in apply_all(&memo, gid, e, &est, &mut gen, config) {
+                        added |= memo.add_expr(gid, rt);
+                    }
+                }
+            }
+            if !added && memo.group_count() == groups {
+                break;
+            }
+        }
+        (memo, root)
+    }
+
+    fn group_has(memo: &Memo, gid: GroupId, pred: &dyn Fn(&RelExpr) -> bool) -> bool {
+        memo.group(gid).exprs.iter().any(|e| pred(&e.shell))
+    }
+
+    fn gb_over_join() -> RelExpr {
+        // G_{a}[sum(d)](ab ⋈_{a=c} cd): a is a key of ab, aggregate uses
+        // only cd columns — all three §3.1 conditions hold via closure.
+        builder::groupby(
+            builder::join(
+                orthopt_ir::JoinKind::Inner,
+                t::get_ab(),
+                t::get_cd(),
+                ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_C)),
+            ),
+            vec![t::COL_A],
+            vec![builder::agg(
+                ColId(30),
+                "s",
+                AggFunc::Sum,
+                Some(ScalarExpr::col(t::COL_D)),
+            )],
+        )
+    }
+
+    #[test]
+    fn groupby_pushes_below_join_when_conditions_hold() {
+        let config = OptimizerConfig {
+            correlated_execution: false,
+            local_aggregate: false,
+            segment_apply: false,
+            ..OptimizerConfig::default()
+        };
+        let (memo, root) = explore(gb_over_join(), &config);
+        // Some alternative in the root group is a Join (the pushed form).
+        assert!(group_has(&memo, root, &|s| matches!(
+            s,
+            RelExpr::Join {
+                kind: orthopt_ir::JoinKind::Inner,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn groupby_push_blocked_without_outer_key() {
+        // nk has no key: condition (2) fails, the GroupBy stays put.
+        let gb = builder::groupby(
+            builder::join(
+                orthopt_ir::JoinKind::Inner,
+                t::get_nokey(),
+                t::get_cd(),
+                ScalarExpr::eq(ScalarExpr::col(ColId(4)), ScalarExpr::col(t::COL_C)),
+            ),
+            vec![ColId(4)],
+            vec![builder::agg(
+                ColId(31),
+                "s",
+                AggFunc::Sum,
+                Some(ScalarExpr::col(t::COL_D)),
+            )],
+        );
+        let config = OptimizerConfig {
+            correlated_execution: false,
+            local_aggregate: false,
+            segment_apply: false,
+            ..OptimizerConfig::default()
+        };
+        let (memo, root) = explore(gb, &config);
+        assert!(!group_has(&memo, root, &|s| matches!(
+            s,
+            RelExpr::Join { .. }
+        )));
+    }
+
+    #[test]
+    fn groupby_push_blocked_when_agg_uses_both_sides() {
+        // sum(b + d) mixes sides: condition (3) fails.
+        let gb = builder::groupby(
+            builder::join(
+                orthopt_ir::JoinKind::Inner,
+                t::get_ab(),
+                t::get_cd(),
+                ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_C)),
+            ),
+            vec![t::COL_A],
+            vec![builder::agg(
+                ColId(32),
+                "s",
+                AggFunc::Sum,
+                Some(ScalarExpr::Arith {
+                    op: orthopt_ir::ArithOp::Add,
+                    left: Box::new(ScalarExpr::col(t::COL_B)),
+                    right: Box::new(ScalarExpr::col(t::COL_D)),
+                }),
+            )],
+        );
+        let config = OptimizerConfig {
+            correlated_execution: false,
+            local_aggregate: false,
+            segment_apply: false,
+            ..OptimizerConfig::default()
+        };
+        let (memo, root) = explore(gb, &config);
+        assert!(!group_has(&memo, root, &|s| matches!(
+            s,
+            RelExpr::Join { .. }
+        )));
+    }
+
+    #[test]
+    fn local_split_skips_distinct_aggregates() {
+        let mut gb = gb_over_join();
+        if let RelExpr::GroupBy { aggs, .. } = &mut gb {
+            aggs[0].distinct = true;
+        }
+        let config = OptimizerConfig {
+            correlated_execution: false,
+            groupby_reorder: false,
+            segment_apply: false,
+            ..OptimizerConfig::default()
+        };
+        let (memo, root) = explore(gb, &config);
+        assert!(!group_has(&memo, root, &|s| matches!(
+            s,
+            RelExpr::GroupBy {
+                kind: GroupKind::Local,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn local_split_fires_on_plain_aggregates() {
+        let config = OptimizerConfig {
+            correlated_execution: false,
+            groupby_reorder: false,
+            segment_apply: false,
+            ..OptimizerConfig::default()
+        };
+        let (memo, root) = explore(gb_over_join(), &config);
+        // The root group gains a global-over-local alternative whose
+        // input group holds the LocalGroupBy.
+        let mut found_local = false;
+        for g in 0..memo.group_count() {
+            found_local |= group_has(&memo, GroupId(g), &|s| matches!(
+                s,
+                RelExpr::GroupBy {
+                    kind: GroupKind::Local,
+                    ..
+                }
+            ));
+        }
+        assert!(found_local);
+        let _ = root;
+    }
+
+    #[test]
+    fn apply_intro_requires_an_index() {
+        // cd has no indexes: no Apply alternative appears.
+        let join = builder::join(
+            orthopt_ir::JoinKind::Inner,
+            t::get_ab(),
+            t::get_cd(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_C)),
+        );
+        let config = OptimizerConfig {
+            groupby_reorder: false,
+            local_aggregate: false,
+            segment_apply: false,
+            ..OptimizerConfig::default()
+        };
+        let (memo, root) = explore(join, &config);
+        assert!(!group_has(&memo, root, &|s| matches!(
+            s,
+            RelExpr::Apply { .. }
+        )));
+    }
+
+    #[test]
+    fn apply_intro_fires_with_an_index() {
+        let mut right = t::get_cd();
+        if let RelExpr::Get(g) = &mut right {
+            g.indexes.push(vec![0]); // index on c
+        }
+        let join = builder::join(
+            orthopt_ir::JoinKind::Inner,
+            t::get_ab(),
+            right,
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_C)),
+        );
+        let config = OptimizerConfig {
+            groupby_reorder: false,
+            local_aggregate: false,
+            segment_apply: false,
+            ..OptimizerConfig::default()
+        };
+        let (memo, root) = explore(join, &config);
+        assert!(group_has(&memo, root, &|s| matches!(
+            s,
+            RelExpr::Apply { .. }
+        )));
+    }
+
+    #[test]
+    fn eq_closure_includes_transitive_members() {
+        let a: BTreeSet<ColId> = [ColId(1)].into_iter().collect();
+        let pred = ScalarExpr::and([
+            ScalarExpr::eq(ScalarExpr::col(ColId(1)), ScalarExpr::col(ColId(2))),
+            ScalarExpr::eq(ScalarExpr::col(ColId(2)), ScalarExpr::col(ColId(3))),
+            ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(ColId(4)), ScalarExpr::col(ColId(5))),
+        ]);
+        let closure = eq_closure(&a, &pred);
+        assert!(closure.contains(&ColId(2)) && closure.contains(&ColId(3)));
+        assert!(!closure.contains(&ColId(4)));
+    }
+
+    #[test]
+    fn segment_intro_requires_equality_on_grouping_column() {
+        // Self-join of ab with an aggregated copy, but the join predicate
+        // compares non-corresponding columns — the rule must not fire.
+        let mut gen = ColIdGen::starting_at(100);
+        let (copy, map) = t::get_ab().clone_with_fresh_cols(&mut gen);
+        let gb = builder::groupby(
+            copy,
+            vec![map[&t::COL_A]],
+            vec![builder::agg(
+                ColId(200),
+                "m",
+                AggFunc::Max,
+                Some(ScalarExpr::col(map[&t::COL_B])),
+            )],
+        );
+        // b (payload) compared with the copy's grouping column: not the
+        // corresponding column under the instance mapping.
+        let join = builder::join(
+            orthopt_ir::JoinKind::Inner,
+            t::get_ab(),
+            gb,
+            ScalarExpr::eq(ScalarExpr::col(t::COL_B), ScalarExpr::col(map[&t::COL_A])),
+        );
+        let config = OptimizerConfig {
+            correlated_execution: false,
+            groupby_reorder: false,
+            local_aggregate: false,
+            join_reorder: false,
+            ..OptimizerConfig::default()
+        };
+        let (memo, root) = explore(join, &config);
+        assert!(!group_has(&memo, root, &|s| matches!(
+            s,
+            RelExpr::SegmentApply { .. }
+        )));
+    }
+
+    #[test]
+    fn segment_intro_fires_on_corresponding_columns() {
+        let mut gen = ColIdGen::starting_at(100);
+        let (copy, map) = t::get_ab().clone_with_fresh_cols(&mut gen);
+        let gb = builder::groupby(
+            copy,
+            vec![map[&t::COL_A]],
+            vec![builder::agg(
+                ColId(201),
+                "m",
+                AggFunc::Max,
+                Some(ScalarExpr::col(map[&t::COL_B])),
+            )],
+        );
+        let join = builder::join(
+            orthopt_ir::JoinKind::Inner,
+            t::get_ab(),
+            gb,
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(map[&t::COL_A])),
+        );
+        let config = OptimizerConfig {
+            correlated_execution: false,
+            groupby_reorder: false,
+            local_aggregate: false,
+            join_reorder: false,
+            ..OptimizerConfig::default()
+        };
+        let (memo, root) = explore(join, &config);
+        assert!(group_has(&memo, root, &|s| matches!(
+            s,
+            RelExpr::SegmentApply { .. }
+        )));
+    }
+}

@@ -1,0 +1,185 @@
+//! The exploration loop: rules to fixpoint, then best-plan extraction.
+
+use std::collections::HashSet;
+
+use orthopt_common::{ColIdGen, Result};
+use orthopt_ir::RelExpr;
+use orthopt_exec::PhysExpr;
+
+use crate::cardinality::Estimator;
+use crate::memo::{GroupId, Memo};
+use crate::physical_gen::{with_presentation, Planner};
+use crate::rules;
+
+/// Which rule families participate — the knobs behind the benchmark
+/// harness's ablated "systems".
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerConfig {
+    /// Join commutativity + associativity.
+    pub join_reorder: bool,
+    /// GroupBy reordering around joins/semijoins/outerjoins (§3.1–3.2).
+    pub groupby_reorder: bool,
+    /// LocalGroupBy split + pushdown (§3.3).
+    pub local_aggregate: bool,
+    /// SegmentApply introduction + join pushdown (§3.4).
+    pub segment_apply: bool,
+    /// Correlated-execution re-introduction (index-lookup joins).
+    pub correlated_execution: bool,
+    /// Safety valve on total memo expressions.
+    pub max_exprs: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            join_reorder: true,
+            groupby_reorder: true,
+            local_aggregate: true,
+            segment_apply: true,
+            correlated_execution: true,
+            max_exprs: 20_000,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// No exploration at all: implement the normalized tree as-is.
+    pub fn none() -> Self {
+        OptimizerConfig {
+            join_reorder: false,
+            groupby_reorder: false,
+            local_aggregate: false,
+            segment_apply: false,
+            correlated_execution: false,
+            max_exprs: 0,
+        }
+    }
+}
+
+/// Optimizes a normalized logical tree into a physical plan; `order_by`
+/// appends a presentation sort.
+pub fn optimize(
+    rel: RelExpr,
+    order_by: Vec<(orthopt_common::ColId, bool)>,
+    config: &OptimizerConfig,
+) -> Result<PhysExpr> {
+    let est = Estimator::new(&rel);
+    let mut used = rel.produced_cols();
+    used.extend(rel.referenced_cols());
+    let mut gen = ColIdGen::after(used);
+
+    let mut memo = Memo::new();
+    let root = memo.insert_tree(rel);
+
+    // Exploration to fixpoint (bounded by max_exprs).
+    let mut fired: HashSet<(usize, usize)> = HashSet::new();
+    loop {
+        let mut added = false;
+        let group_count = memo.group_count();
+        for g in 0..group_count {
+            let gid = GroupId(g);
+            let expr_count = memo.group(gid).exprs.len();
+            for e in 0..expr_count {
+                if !fired.insert((g, e)) {
+                    continue;
+                }
+                let outputs = rules::apply_all(&memo, gid, e, &est, &mut gen, config);
+                for rtree in outputs {
+                    if memo.add_expr(gid, rtree) {
+                        added = true;
+                    }
+                }
+                if memo.expr_count() > config.max_exprs.max(1) {
+                    added = false;
+                    break;
+                }
+            }
+        }
+        if !added && memo.group_count() == group_count {
+            break;
+        }
+        if memo.expr_count() > config.max_exprs.max(1) {
+            break;
+        }
+    }
+
+    let root_card = est.card(&memo.group(root).repr);
+    let mut planner = Planner::new(&memo, &est);
+    let best = planner.best(root)?;
+    Ok(with_presentation(best, order_by, None, root_card).plan)
+}
+
+/// Exploration statistics, for tests and EXPLAIN output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchStats {
+    /// Number of memo groups after exploration.
+    pub groups: usize,
+    /// Number of logical expressions after exploration.
+    pub exprs: usize,
+    /// Estimated cost of the winning plan.
+    pub best_cost: f64,
+}
+
+/// Like [`optimize`] but also reports exploration statistics.
+pub fn optimize_with_stats(
+    rel: RelExpr,
+    order_by: Vec<(orthopt_common::ColId, bool)>,
+    config: &OptimizerConfig,
+) -> Result<(PhysExpr, SearchStats)> {
+    optimize_with_presentation(rel, order_by, None, config)
+}
+
+/// Like [`optimize_with_stats`] with an optional LIMIT at the root.
+pub fn optimize_with_presentation(
+    rel: RelExpr,
+    order_by: Vec<(orthopt_common::ColId, bool)>,
+    limit: Option<usize>,
+    config: &OptimizerConfig,
+) -> Result<(PhysExpr, SearchStats)> {
+    let est = Estimator::new(&rel);
+    let mut used = rel.produced_cols();
+    used.extend(rel.referenced_cols());
+    let mut gen = ColIdGen::after(used);
+    let mut memo = Memo::new();
+    let root = memo.insert_tree(rel);
+    let mut fired: HashSet<(usize, usize)> = HashSet::new();
+    loop {
+        let mut added = false;
+        let group_count = memo.group_count();
+        for g in 0..group_count {
+            let gid = GroupId(g);
+            let expr_count = memo.group(gid).exprs.len();
+            for e in 0..expr_count {
+                if !fired.insert((g, e)) {
+                    continue;
+                }
+                for rtree in rules::apply_all(&memo, gid, e, &est, &mut gen, config) {
+                    if memo.add_expr(gid, rtree) {
+                        added = true;
+                    }
+                }
+                if memo.expr_count() > config.max_exprs.max(1) {
+                    added = false;
+                    break;
+                }
+            }
+        }
+        if (!added && memo.group_count() == group_count)
+            || memo.expr_count() > config.max_exprs.max(1)
+        {
+            break;
+        }
+    }
+    let root_card = est.card(&memo.group(root).repr);
+    let mut planner = Planner::new(&memo, &est);
+    let best = planner.best(root)?;
+    let stats = SearchStats {
+        groups: memo.group_count(),
+        exprs: memo.expr_count(),
+        best_cost: best.cost,
+    };
+    Ok((
+        with_presentation(best, order_by, limit, root_card).plan,
+        stats,
+    ))
+}

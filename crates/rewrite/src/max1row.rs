@@ -1,0 +1,89 @@
+//! `Max1Row` elimination (§2.4).
+//!
+//! "In our experience, at most one row is returned in most meaningful
+//! cases, and the compiler can detect this from information about keys.
+//! There is no need for Max1row then." — the check is
+//! [`props::at_most_one_row`], which derives one-row bounds from scalar
+//! aggregation, keys pinned by equality against parameters/constants,
+//! and cardinality-preserving operators.
+
+use orthopt_ir::props;
+use orthopt_ir::RelExpr;
+
+/// Removes provably redundant `Max1Row` operators everywhere in a tree.
+pub fn eliminate_max1row(mut rel: RelExpr) -> RelExpr {
+    // Repeatedly unwrap at this node, then recurse.
+    loop {
+        match rel {
+            RelExpr::Max1Row { input } if props::at_most_one_row(&input) => {
+                rel = *input;
+            }
+            other => {
+                rel = other;
+                break;
+            }
+        }
+    }
+    for child in rel.children_mut() {
+        let taken = std::mem::replace(
+            child,
+            RelExpr::ConstRel {
+                cols: vec![],
+                rows: vec![],
+            },
+        );
+        *child = eliminate_max1row(taken);
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_ir::builder::{self, t};
+    use orthopt_ir::ScalarExpr;
+
+    #[test]
+    fn unwraps_scalar_groupby() {
+        let m = RelExpr::Max1Row {
+            input: Box::new(t::scalar_sum_b(t::get_ab())),
+        };
+        let out = eliminate_max1row(m);
+        assert!(!matches!(out, RelExpr::Max1Row { .. }));
+    }
+
+    #[test]
+    fn unwraps_key_equality_select() {
+        let m = RelExpr::Max1Row {
+            input: Box::new(builder::select(
+                t::get_ab(),
+                ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::lit(1i64)),
+            )),
+        };
+        let out = eliminate_max1row(m);
+        assert!(!matches!(out, RelExpr::Max1Row { .. }));
+    }
+
+    #[test]
+    fn keeps_unbounded_inputs() {
+        let m = RelExpr::Max1Row {
+            input: Box::new(t::get_ab()),
+        };
+        let out = eliminate_max1row(m);
+        assert!(matches!(out, RelExpr::Max1Row { .. }));
+    }
+
+    #[test]
+    fn recurses_into_children() {
+        let m = builder::select(
+            RelExpr::Max1Row {
+                input: Box::new(t::scalar_sum_b(t::get_ab())),
+            },
+            ScalarExpr::true_(),
+        );
+        let out = eliminate_max1row(m);
+        let mut found = false;
+        out.walk(&mut |r| found |= matches!(r, RelExpr::Max1Row { .. }));
+        assert!(!found);
+    }
+}

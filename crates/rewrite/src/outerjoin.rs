@@ -1,0 +1,291 @@
+//! Outerjoin simplification under null-rejecting predicates.
+//!
+//! The \[7\] framework: `σp(L LOJ R) = σp(L ⋈ R)` when `p` rejects NULL
+//! on R's columns. The paper adds **derivation of null-rejection in
+//! GroupBy**: correlation removal produces `σp(G_{A,F}(L LOJ R))` where
+//! `p` tests an aggregate output (e.g. `1000000 < X`); when the
+//! aggregate maps all-NULL groups to NULL and the grouping columns
+//! contain a key of `L` (so a padded row forms its own group), the LOJ
+//! below the GroupBy simplifies to a join as well.
+
+use std::collections::BTreeSet;
+
+use orthopt_common::ColId;
+use orthopt_ir::props;
+use orthopt_ir::{GroupKind, JoinKind, RelExpr, ScalarExpr};
+
+/// Simplifies outerjoins into joins wherever a predicate above rejects
+/// NULLs coming from the preserved side's padding.
+pub fn simplify_outerjoins(mut rel: RelExpr) -> RelExpr {
+    for child in rel.children_mut() {
+        let taken = std::mem::replace(
+            child,
+            RelExpr::ConstRel {
+                cols: vec![],
+                rows: vec![],
+            },
+        );
+        *child = simplify_outerjoins(taken);
+    }
+    if let RelExpr::Select { input, predicate } = rel {
+        let simplified = push_rejection(*input, &predicate);
+        rel = RelExpr::Select {
+            input: Box::new(simplified),
+            predicate,
+        };
+    }
+    rel
+}
+
+/// Applies the rejection information of `pred` to the operator directly
+/// below (and, through GroupBy, one level further).
+fn push_rejection(rel: RelExpr, pred: &ScalarExpr) -> RelExpr {
+    match rel {
+        RelExpr::Join {
+            kind: JoinKind::LeftOuter,
+            left,
+            right,
+            predicate,
+        } => {
+            let right_cols: BTreeSet<ColId> = right.output_col_ids().into_iter().collect();
+            if props::rejects_null_on(pred, &right_cols) {
+                RelExpr::Join {
+                    kind: JoinKind::Inner,
+                    left,
+                    right,
+                    predicate,
+                }
+            } else {
+                RelExpr::Join {
+                    kind: JoinKind::LeftOuter,
+                    left,
+                    right,
+                    predicate,
+                }
+            }
+        }
+        RelExpr::GroupBy {
+            kind: kind @ (GroupKind::Vector | GroupKind::Local),
+            input,
+            group_cols,
+            aggs,
+        } => {
+            // The paper's extension: derive rejection through the
+            // aggregates, then look at an outerjoin below.
+            let rejected_inputs = props::rejects_null_through_groupby(pred, &aggs);
+            let new_input = match *input {
+                RelExpr::Join {
+                    kind: JoinKind::LeftOuter,
+                    left,
+                    right,
+                    predicate,
+                } => {
+                    let right_cols: BTreeSet<ColId> =
+                        right.output_col_ids().into_iter().collect();
+                    // (a) some rejected aggregate input comes from the
+                    //     NULL-padded side;
+                    // (b) padded rows form singleton groups: grouping
+                    //     columns contain a key of the preserved side.
+                    let grouping: BTreeSet<ColId> = group_cols.iter().copied().collect();
+                    let aggregate_hits =
+                        rejected_inputs.iter().any(|c| right_cols.contains(c));
+                    let padded_isolated = props::has_key_within(&left, &grouping);
+                    if aggregate_hits && padded_isolated {
+                        RelExpr::Join {
+                            kind: JoinKind::Inner,
+                            left,
+                            right,
+                            predicate,
+                        }
+                    } else {
+                        RelExpr::Join {
+                            kind: JoinKind::LeftOuter,
+                            left,
+                            right,
+                            predicate,
+                        }
+                    }
+                }
+                other => other,
+            };
+            RelExpr::GroupBy {
+                kind,
+                input: Box::new(new_input),
+                group_cols,
+                aggs,
+            }
+        }
+        // Rejection passes through cardinality-preserving wrappers; the
+        // predicate is re-expressed over the Map's inputs by inlining
+        // the computed-column definitions (so e.g. a filter on
+        // `0.2 * avg` still derives rejection on the aggregate outputs
+        // behind the AVG expansion).
+        RelExpr::Map { input, defs } => {
+            let substitutions: std::collections::HashMap<_, _> = defs
+                .iter()
+                .map(|d| (d.col.id, d.expr.clone()))
+                .collect();
+            let mut inner_pred = pred.clone();
+            inner_pred.substitute(&substitutions);
+            RelExpr::Map {
+                input: Box::new(push_rejection(*input, &inner_pred)),
+                defs,
+            }
+        }
+        RelExpr::Project { input, cols } => RelExpr::Project {
+            input: Box::new(push_rejection(*input, pred)),
+            cols,
+        },
+        RelExpr::Select { input, predicate } => {
+            let inner = push_rejection(*input, pred);
+            // Also give the inner select's own predicate a chance.
+            let inner = push_rejection(inner, &predicate);
+            RelExpr::Select {
+                input: Box::new(inner),
+                predicate,
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_ir::builder::{self, t};
+    use orthopt_ir::CmpOp;
+
+    fn loj_ab_cd() -> RelExpr {
+        builder::join(
+            JoinKind::LeftOuter,
+            t::get_ab(),
+            t::get_cd(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_A), ScalarExpr::col(t::COL_C)),
+        )
+    }
+
+    fn has_loj(rel: &RelExpr) -> bool {
+        let mut found = false;
+        rel.walk(&mut |r| {
+            found |= matches!(
+                r,
+                RelExpr::Join {
+                    kind: JoinKind::LeftOuter,
+                    ..
+                }
+            )
+        });
+        found
+    }
+
+    #[test]
+    fn rejecting_predicate_simplifies() {
+        let plan = builder::select(
+            loj_ab_cd(),
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(t::COL_D), ScalarExpr::lit(0i64)),
+        );
+        assert!(!has_loj(&simplify_outerjoins(plan)));
+    }
+
+    #[test]
+    fn is_null_predicate_keeps_outerjoin() {
+        let plan = builder::select(
+            loj_ab_cd(),
+            ScalarExpr::IsNull {
+                expr: Box::new(ScalarExpr::col(t::COL_D)),
+                negated: false,
+            },
+        );
+        assert!(has_loj(&simplify_outerjoins(plan)));
+    }
+
+    #[test]
+    fn left_side_predicate_keeps_outerjoin() {
+        let plan = builder::select(
+            loj_ab_cd(),
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(t::COL_B), ScalarExpr::lit(0i64)),
+        );
+        assert!(has_loj(&simplify_outerjoins(plan)));
+    }
+
+    #[test]
+    fn derivation_through_groupby_simplifies() {
+        // σ_{1000000 < sum(d)}(G_{a}(ab LOJ cd)) — the paper's Q1 shape.
+        let gb = builder::groupby(
+            loj_ab_cd(),
+            vec![t::COL_A],
+            vec![builder::agg(
+                orthopt_common::ColId(30),
+                "x",
+                orthopt_ir::AggFunc::Sum,
+                Some(ScalarExpr::col(t::COL_D)),
+            )],
+        );
+        let plan = builder::select(
+            gb,
+            ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::lit(1_000_000i64),
+                ScalarExpr::col(orthopt_common::ColId(30)),
+            ),
+        );
+        assert!(!has_loj(&simplify_outerjoins(plan)));
+    }
+
+    #[test]
+    fn count_star_blocks_derivation() {
+        let gb = builder::groupby(
+            loj_ab_cd(),
+            vec![t::COL_A],
+            vec![builder::agg(
+                orthopt_common::ColId(31),
+                "n",
+                orthopt_ir::AggFunc::CountStar,
+                None,
+            )],
+        );
+        let plan = builder::select(
+            gb,
+            ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(orthopt_common::ColId(31)),
+                ScalarExpr::lit(0i64),
+            ),
+        );
+        assert!(has_loj(&simplify_outerjoins(plan)));
+    }
+
+    #[test]
+    fn groupby_without_left_key_blocks_derivation() {
+        // Group by a non-key column of the preserved side: a padded row
+        // may share a group with matched rows — no simplification.
+        let loj = builder::join(
+            JoinKind::LeftOuter,
+            t::get_nokey(),
+            t::get_cd(),
+            ScalarExpr::eq(
+                ScalarExpr::col(orthopt_common::ColId(4)),
+                ScalarExpr::col(t::COL_C),
+            ),
+        );
+        let gb = builder::groupby(
+            loj,
+            vec![orthopt_common::ColId(5)],
+            vec![builder::agg(
+                orthopt_common::ColId(32),
+                "x",
+                orthopt_ir::AggFunc::Sum,
+                Some(ScalarExpr::col(t::COL_D)),
+            )],
+        );
+        let plan = builder::select(
+            gb,
+            ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::lit(0i64),
+                ScalarExpr::col(orthopt_common::ColId(32)),
+            ),
+        );
+        assert!(has_loj(&simplify_outerjoins(plan)));
+    }
+}

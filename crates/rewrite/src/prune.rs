@@ -1,0 +1,324 @@
+//! Column pruning: narrows every operator to the columns actually
+//! required above it. TPC-H tables are wide; carrying only the needed
+//! columns through joins and aggregations matters for both the cost
+//! model's accuracy and execution speed.
+
+use std::collections::BTreeSet;
+
+use orthopt_common::ColId;
+use orthopt_ir::{GroupKind, RelExpr};
+
+/// Prunes unused columns everywhere below the root (the root's own
+/// output is preserved exactly).
+pub fn prune_columns(rel: RelExpr) -> RelExpr {
+    let required: BTreeSet<ColId> = rel.output_col_ids().into_iter().collect();
+    prune(rel, &required)
+}
+
+fn prune(rel: RelExpr, required: &BTreeSet<ColId>) -> RelExpr {
+    match rel {
+        RelExpr::Get(mut g) => {
+            // Retain the smallest declared key alongside the required
+            // columns: key information drives identities (7)–(9), GroupBy
+            // reordering and SegmentApply detection, and manufacturing a
+            // key later (Enumerate) is strictly worse than carrying one.
+            let key_ids: std::collections::BTreeSet<ColId> = g
+                .keys
+                .iter()
+                .min_by_key(|k| k.len())
+                .map(|k| k.iter().copied().collect())
+                .unwrap_or_default();
+            let keep: Vec<usize> = (0..g.cols.len())
+                .filter(|&i| {
+                    required.contains(&g.cols[i].id) || key_ids.contains(&g.cols[i].id)
+                })
+                .collect();
+            if keep.len() == g.cols.len() {
+                return RelExpr::Get(g);
+            }
+            g.positions = keep.iter().map(|&i| g.positions[i]).collect();
+            g.col_stats = keep.iter().map(|&i| g.col_stats[i].clone()).collect();
+            g.cols = keep.iter().map(|&i| g.cols[i].clone()).collect();
+            let retained: BTreeSet<ColId> = g.cols.iter().map(|c| c.id).collect();
+            g.keys.retain(|k| k.iter().all(|c| retained.contains(c)));
+            RelExpr::Get(g)
+        }
+        RelExpr::ConstRel { cols, rows } => {
+            let keep: Vec<usize> = (0..cols.len())
+                .filter(|&i| required.contains(&cols[i].id))
+                .collect();
+            if keep.len() == cols.len() {
+                return RelExpr::ConstRel { cols, rows };
+            }
+            let rows = rows
+                .into_iter()
+                .map(|r| keep.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            let cols = keep.iter().map(|&i| cols[i].clone()).collect();
+            RelExpr::ConstRel { cols, rows }
+        }
+        RelExpr::Select { input, predicate } => {
+            let mut child_req = required.clone();
+            child_req.extend(predicate.cols());
+            RelExpr::Select {
+                input: Box::new(prune(*input, &child_req)),
+                predicate,
+            }
+        }
+        RelExpr::Map { input, defs } => {
+            let defs: Vec<_> = defs
+                .into_iter()
+                .filter(|d| required.contains(&d.col.id))
+                .collect();
+            let mut child_req = required.clone();
+            for d in &defs {
+                child_req.extend(d.expr.cols());
+            }
+            let input = Box::new(prune(*input, &child_req));
+            if defs.is_empty() {
+                *input
+            } else {
+                RelExpr::Map { input, defs }
+            }
+        }
+        RelExpr::Project { input, cols } => {
+            let cols: Vec<ColId> = cols.into_iter().filter(|c| required.contains(c)).collect();
+            let child_req: BTreeSet<ColId> = cols.iter().copied().collect();
+            RelExpr::Project {
+                input: Box::new(prune(*input, &child_req)),
+                cols,
+            }
+        }
+        RelExpr::Join {
+            kind,
+            left,
+            right,
+            predicate,
+        } => {
+            let mut child_req = required.clone();
+            child_req.extend(predicate.cols());
+            RelExpr::Join {
+                kind,
+                left: Box::new(prune(*left, &child_req)),
+                right: Box::new(prune(*right, &child_req)),
+                predicate,
+            }
+        }
+        RelExpr::Apply { kind, left, right } => {
+            // The inner side's parameters must survive on the outer side.
+            let mut right_req = required.clone();
+            right_req.extend(right.referenced_cols());
+            let right = Box::new(prune(*right, &right_req));
+            let mut left_req = required.clone();
+            left_req.extend(right.free_cols());
+            RelExpr::Apply {
+                kind,
+                left: Box::new(prune(*left, &left_req)),
+                right,
+            }
+        }
+        RelExpr::SegmentApply {
+            input,
+            segment_cols,
+            inner,
+        } => {
+            let inner = Box::new(prune(*inner, required));
+            // Segment source columns read by the (pruned) inner side.
+            let mut input_req = required.clone();
+            input_req.extend(segment_cols.iter().copied());
+            inner.walk(&mut |r| {
+                if let RelExpr::SegmentRef { cols } = r {
+                    input_req.extend(cols.iter().map(|(_, src)| *src));
+                }
+            });
+            RelExpr::SegmentApply {
+                input: Box::new(prune(*input, &input_req)),
+                segment_cols,
+                inner,
+            }
+        }
+        RelExpr::SegmentRef { cols } => RelExpr::SegmentRef {
+            cols: cols
+                .into_iter()
+                .filter(|(m, _)| required.contains(&m.id))
+                .collect(),
+        },
+        RelExpr::GroupBy {
+            kind,
+            input,
+            mut group_cols,
+            aggs,
+        } => {
+            let aggs: Vec<_> = aggs
+                .into_iter()
+                .filter(|a| required.contains(&a.out.id) || kind == GroupKind::Local)
+                .collect();
+            // Shrink grouping columns: a grouping column that is unused
+            // above and functionally determined by a key still inside
+            // the grouping list can be dropped without changing groups.
+            // (Identity (9) groups by *all* outer columns; this narrows
+            // it back to the key — and makes equivalent formulations
+            // converge to the same normal form.)
+            if matches!(kind, GroupKind::Vector | GroupKind::Local) {
+                let group_set: BTreeSet<ColId> = group_cols.iter().copied().collect();
+                let key = orthopt_ir::props::keys(&input)
+                    .into_iter()
+                    .filter(|k| k.is_subset(&group_set))
+                    .min_by_key(BTreeSet::len);
+                if let Some(key) = key {
+                    group_cols.retain(|c| required.contains(c) || key.contains(c));
+                }
+            }
+            let mut child_req: BTreeSet<ColId> = group_cols.iter().copied().collect();
+            for a in &aggs {
+                if let Some(arg) = &a.arg {
+                    child_req.extend(arg.cols());
+                }
+            }
+            RelExpr::GroupBy {
+                kind,
+                input: Box::new(prune(*input, &child_req)),
+                group_cols,
+                aggs,
+            }
+        }
+        RelExpr::UnionAll {
+            left,
+            right,
+            cols,
+            left_map,
+            right_map,
+        } => {
+            let keep: Vec<usize> = (0..cols.len())
+                .filter(|&i| required.contains(&cols[i].id))
+                .collect();
+            let left_req: BTreeSet<ColId> = keep.iter().map(|&i| left_map[i]).collect();
+            let right_req: BTreeSet<ColId> = keep.iter().map(|&i| right_map[i]).collect();
+            RelExpr::UnionAll {
+                left: Box::new(prune(*left, &left_req)),
+                right: Box::new(prune(*right, &right_req)),
+                cols: keep.iter().map(|&i| cols[i].clone()).collect(),
+                left_map: keep.iter().map(|&i| left_map[i]).collect(),
+                right_map: keep.iter().map(|&i| right_map[i]).collect(),
+            }
+        }
+        RelExpr::Except {
+            left,
+            right,
+            right_map,
+        } => {
+            // Bag difference compares whole left rows: no pruning of the
+            // left side's output set is possible.
+            let left_req: BTreeSet<ColId> = left.output_col_ids().into_iter().collect();
+            let right_req: BTreeSet<ColId> = right_map.iter().copied().collect();
+            RelExpr::Except {
+                left: Box::new(prune(*left, &left_req)),
+                right: Box::new(prune(*right, &right_req)),
+                right_map,
+            }
+        }
+        RelExpr::Max1Row { input } => RelExpr::Max1Row {
+            input: Box::new(prune(*input, required)),
+        },
+        RelExpr::Enumerate { input, col } => {
+            if required.contains(&col.id) {
+                RelExpr::Enumerate {
+                    input: Box::new(prune(*input, required)),
+                    col,
+                }
+            } else {
+                // The manufactured key is unused: drop the operator.
+                prune(*input, required)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_ir::builder::{self, t};
+    use orthopt_ir::ScalarExpr;
+
+    #[test]
+    fn get_narrows_to_required_columns() {
+        let plan = RelExpr::Project {
+            input: Box::new(t::get_ab()),
+            cols: vec![t::COL_A],
+        };
+        let pruned = prune_columns(plan);
+        let mut get_width = None;
+        pruned.walk(&mut |r| {
+            if let RelExpr::Get(g) = r {
+                get_width = Some(g.cols.len());
+            }
+        });
+        assert_eq!(get_width, Some(1));
+    }
+
+    #[test]
+    fn predicate_columns_are_kept() {
+        let plan = RelExpr::Project {
+            input: Box::new(builder::select(
+                t::get_ab(),
+                ScalarExpr::eq(ScalarExpr::col(t::COL_B), ScalarExpr::lit(1i64)),
+            )),
+            cols: vec![t::COL_A],
+        };
+        let pruned = prune_columns(plan);
+        let mut get_width = None;
+        pruned.walk(&mut |r| {
+            if let RelExpr::Get(g) = r {
+                get_width = Some(g.cols.len());
+            }
+        });
+        assert_eq!(get_width, Some(2));
+    }
+
+    #[test]
+    fn apply_keeps_parameters_on_outer_side() {
+        let inner = builder::select(
+            t::get_cd(),
+            ScalarExpr::eq(ScalarExpr::col(t::COL_C), ScalarExpr::col(t::COL_B)),
+        );
+        let plan = RelExpr::Project {
+            input: Box::new(RelExpr::Apply {
+                kind: orthopt_ir::ApplyKind::Cross,
+                left: Box::new(t::get_ab()),
+                right: Box::new(inner),
+            }),
+            cols: vec![t::COL_A],
+        };
+        let pruned = prune_columns(plan);
+        // b is a parameter of the inner side; it must survive on ab.
+        let mut ab_cols = vec![];
+        pruned.walk(&mut |r| {
+            if let RelExpr::Get(g) = r {
+                if g.table_name == "ab" {
+                    ab_cols = g.cols.iter().map(|c| c.id).collect();
+                }
+            }
+        });
+        assert!(ab_cols.contains(&t::COL_B));
+    }
+
+    #[test]
+    fn unused_enumerate_is_dropped() {
+        let plan = RelExpr::Project {
+            input: Box::new(RelExpr::Enumerate {
+                input: Box::new(t::get_ab()),
+                col: orthopt_ir::ColumnMeta::new(
+                    orthopt_common::ColId(50),
+                    "rn",
+                    orthopt_common::DataType::Int,
+                    false,
+                ),
+            }),
+            cols: vec![t::COL_A],
+        };
+        let pruned = prune_columns(plan);
+        let mut found = false;
+        pruned.walk(&mut |r| found |= matches!(r, RelExpr::Enumerate { .. }));
+        assert!(!found);
+    }
+}

@@ -1,0 +1,590 @@
+//! Apply introduction: removing relational/scalar mutual recursion
+//! (§2.2), with the special boolean-subquery treatments of §2.4.
+//!
+//! The general scheme: for an operator with a scalar argument `e(Q)`
+//! using subquery `Q`, execute the subquery first with Apply so its
+//! result is available as a new column `q`, then replace the usage:
+//! `e(Q)(R) → e(q)(R A⊗ Q)`.
+//!
+//! Special cases:
+//! * A relational select whose conjunct *is* an existential subquery
+//!   becomes an Apply-semijoin / Apply-antisemijoin directly (`IN` and
+//!   quantified comparisons reduce to existentials with a correlated
+//!   filter; `NOT IN` gets the NULL-safe antijoin predicate).
+//! * Boolean subqueries in general scalar contexts (under `OR`, in a
+//!   select list, …) are rewritten as scalar **count** aggregates, per
+//!   §2.4.
+//! * Subqueries under `CASE` branches receive *conditional execution*: a
+//!   correlated guard filter inside the applied expression, so branches
+//!   not taken contribute no rows (and no `Max1Row` errors).
+
+use orthopt_common::{DataType, Error, Result, Value};
+use orthopt_ir::props::{self, ColumnEnv};
+use orthopt_ir::{
+    AggDef, AggFunc, ApplyKind, CmpOp, ColumnMeta, GroupKind, JoinKind, Quant, RelExpr,
+    ScalarExpr,
+};
+
+use crate::RewriteCtx;
+
+/// Replaces every subquery marker in the tree with an explicit Apply.
+pub fn remove_mutual_recursion(rel: RelExpr, ctx: &mut RewriteCtx) -> Result<RelExpr> {
+    let mut rel = rel;
+    // Children first (bottom-up), including derived tables.
+    for child in rel.children_mut() {
+        let taken = std::mem::replace(
+            child,
+            RelExpr::ConstRel {
+                cols: vec![],
+                rows: vec![],
+            },
+        );
+        *child = remove_mutual_recursion(taken, ctx)?;
+    }
+    match rel {
+        RelExpr::Select { input, predicate } if predicate.has_subquery() => {
+            rewrite_select(*input, predicate, ctx)
+        }
+        RelExpr::Join {
+            kind,
+            left,
+            right,
+            predicate,
+        } if predicate.has_subquery() => {
+            if kind != JoinKind::Inner {
+                return Err(Error::Plan(
+                    "subqueries in non-inner join conditions are not supported".into(),
+                ));
+            }
+            // σp(L × R), then the Select machinery applies.
+            let cross = RelExpr::Join {
+                kind: JoinKind::Inner,
+                left,
+                right,
+                predicate: ScalarExpr::true_(),
+            };
+            rewrite_select(cross, predicate, ctx)
+        }
+        RelExpr::Map { input, defs } if defs.iter().any(|d| d.expr.has_subquery()) => {
+            let mut rel = *input;
+            let mut new_defs = Vec::with_capacity(defs.len());
+            for mut def in defs {
+                let pending = extract_markers(&mut def.expr, &[], ctx)?;
+                rel = attach(rel, pending);
+                new_defs.push(def);
+            }
+            Ok(RelExpr::Map {
+                input: Box::new(rel),
+                defs: new_defs,
+            })
+        }
+        RelExpr::GroupBy {
+            kind,
+            input,
+            group_cols,
+            aggs,
+        } if aggs
+            .iter()
+            .any(|a| a.arg.as_ref().is_some_and(ScalarExpr::has_subquery)) =>
+        {
+            let mut rel = *input;
+            let mut new_aggs = Vec::with_capacity(aggs.len());
+            for mut agg in aggs {
+                if let Some(arg) = &mut agg.arg {
+                    let pending = extract_markers(arg, &[], ctx)?;
+                    rel = attach(rel, pending);
+                }
+                new_aggs.push(agg);
+            }
+            Ok(RelExpr::GroupBy {
+                kind,
+                input: Box::new(rel),
+                group_cols,
+                aggs: new_aggs,
+            })
+        }
+        other => Ok(other),
+    }
+}
+
+/// One Apply waiting to be attached below the operator whose scalar
+/// expression used the subquery.
+struct PendingApply {
+    kind: ApplyKind,
+    rel: RelExpr,
+}
+
+fn attach(mut rel: RelExpr, pending: Vec<PendingApply>) -> RelExpr {
+    for p in pending {
+        rel = RelExpr::Apply {
+            kind: p.kind,
+            left: Box::new(rel),
+            right: Box::new(p.rel),
+        };
+    }
+    rel
+}
+
+fn rewrite_select(
+    input: RelExpr,
+    predicate: ScalarExpr,
+    ctx: &mut RewriteCtx,
+) -> Result<RelExpr> {
+    // Subquery-free conjuncts filter *below* the introduced Applies:
+    // correlated evaluation should only run for rows that survive the
+    // ordinary predicates (this is also what keeps the Correlated
+    // baseline plans sane).
+    let input_cols: std::collections::BTreeSet<_> =
+        input.output_col_ids().into_iter().collect();
+    let mut plain: Vec<ScalarExpr> = Vec::new();
+    let mut rest: Vec<ScalarExpr> = Vec::new();
+    for c in predicate.conjuncts() {
+        if !c.has_subquery() && c.cols().iter().all(|x| input_cols.contains(x)) {
+            plain.push(c);
+        } else {
+            rest.push(c);
+        }
+    }
+    let mut rel = if plain.is_empty() {
+        input
+    } else {
+        RelExpr::Select {
+            input: Box::new(input),
+            predicate: ScalarExpr::and(plain),
+        }
+    };
+    let mut residual: Vec<ScalarExpr> = Vec::new();
+    for conjunct in rest {
+        match classify_existential(conjunct, ctx)? {
+            Classified::Existential { kind, sub } => {
+                rel = RelExpr::Apply {
+                    kind,
+                    left: Box::new(rel),
+                    right: Box::new(sub),
+                };
+            }
+            Classified::Plain(mut c) => {
+                if c.has_subquery() {
+                    let pending = extract_markers(&mut c, &[], ctx)?;
+                    rel = attach(rel, pending);
+                }
+                residual.push(c);
+            }
+        }
+    }
+    let pred = ScalarExpr::and(residual);
+    if pred.is_true() {
+        Ok(rel)
+    } else {
+        Ok(RelExpr::Select {
+            input: Box::new(rel),
+            predicate: pred,
+        })
+    }
+}
+
+enum Classified {
+    /// The whole conjunct reduces to (anti)semijoin Apply.
+    Existential { kind: ApplyKind, sub: RelExpr },
+    Plain(ScalarExpr),
+}
+
+/// §2.4 fast path: a conjunct that *is* an existential test turns the
+/// whole select into Apply-semijoin / Apply-antisemijoin.
+fn classify_existential(conjunct: ScalarExpr, ctx: &mut RewriteCtx) -> Result<Classified> {
+    // Unwrap NOT by flipping the target kind.
+    let (inner, mut negated) = match conjunct {
+        ScalarExpr::Not(e) => (*e, true),
+        other => (other, false),
+    };
+    match inner {
+        ScalarExpr::Exists { rel, negated: n } => {
+            negated ^= n;
+            Ok(Classified::Existential {
+                kind: if negated {
+                    ApplyKind::Anti
+                } else {
+                    ApplyKind::Semi
+                },
+                sub: *rel,
+            })
+        }
+        ScalarExpr::InSubquery {
+            expr,
+            rel,
+            negated: n,
+        } => {
+            negated ^= n;
+            // NOT under a NULL-producing IN is only a clean antijoin with
+            // the NULL-safe predicate; both cases reject unknown in WHERE.
+            let y = single_output(&rel)?;
+            let matching = if negated {
+                // NOT IN: reject when any row matches OR any comparison is
+                // unknown (x or y NULL).
+                ScalarExpr::Or(vec![
+                    ScalarExpr::eq((*expr).clone(), ScalarExpr::col(y)),
+                    ScalarExpr::IsNull {
+                        expr: expr.clone(),
+                        negated: false,
+                    },
+                    ScalarExpr::IsNull {
+                        expr: Box::new(ScalarExpr::col(y)),
+                        negated: false,
+                    },
+                ])
+            } else {
+                ScalarExpr::eq(*expr, ScalarExpr::col(y))
+            };
+            Ok(Classified::Existential {
+                kind: if negated {
+                    ApplyKind::Anti
+                } else {
+                    ApplyKind::Semi
+                },
+                sub: RelExpr::Select {
+                    input: rel,
+                    predicate: matching,
+                },
+            })
+        }
+        ScalarExpr::QuantifiedCmp {
+            op,
+            quant,
+            expr,
+            rel,
+        } => {
+            let y = single_output(&rel)?;
+            // x op ALL S ⇔ NOT (x ¬op ANY S); NOT ANY ⇔ antijoin over
+            // "comparison is true or unknown".
+            let (kind, pred) = match (quant, negated) {
+                (Quant::Any, false) => (
+                    ApplyKind::Semi,
+                    ScalarExpr::cmp(op, (*expr).clone(), ScalarExpr::col(y)),
+                ),
+                (Quant::Any, true) => (
+                    ApplyKind::Anti,
+                    true_or_unknown(op, &expr, y),
+                ),
+                (Quant::All, false) => (
+                    ApplyKind::Anti,
+                    true_or_unknown(op.negate(), &expr, y),
+                ),
+                (Quant::All, true) => (
+                    ApplyKind::Semi,
+                    ScalarExpr::cmp(op.negate(), (*expr).clone(), ScalarExpr::col(y)),
+                ),
+            };
+            Ok(Classified::Existential {
+                kind,
+                sub: RelExpr::Select {
+                    input: rel,
+                    predicate: pred,
+                },
+            })
+        }
+        other => {
+            let back = if negated {
+                ScalarExpr::Not(Box::new(other))
+            } else {
+                other
+            };
+            let _ = ctx;
+            Ok(Classified::Plain(back))
+        }
+    }
+}
+
+/// Predicate that holds when `x op y` is TRUE *or unknown* — the rows an
+/// antijoin must see to faithfully reject `ALL`/`NOT ANY` semantics.
+fn true_or_unknown(op: CmpOp, x: &ScalarExpr, y: orthopt_common::ColId) -> ScalarExpr {
+    ScalarExpr::Or(vec![
+        ScalarExpr::cmp(op, x.clone(), ScalarExpr::col(y)),
+        ScalarExpr::IsNull {
+            expr: Box::new(x.clone()),
+            negated: false,
+        },
+        ScalarExpr::IsNull {
+            expr: Box::new(ScalarExpr::col(y)),
+            negated: false,
+        },
+    ])
+}
+
+fn single_output(rel: &RelExpr) -> Result<orthopt_common::ColId> {
+    let cols = rel.output_col_ids();
+    match cols.as_slice() {
+        [one] => Ok(*one),
+        other => Err(Error::internal(format!(
+            "subquery expected one output column, got {}",
+            other.len()
+        ))),
+    }
+}
+
+/// Walks a scalar expression replacing each subquery marker with a
+/// reference to a column computed by a pending Apply. `guards` carries
+/// the CASE-branch conditions on the path to the current position.
+fn extract_markers(
+    expr: &mut ScalarExpr,
+    guards: &[ScalarExpr],
+    ctx: &mut RewriteCtx,
+) -> Result<Vec<PendingApply>> {
+    let mut out = Vec::new();
+    extract_rec(expr, guards, ctx, &mut out)?;
+    Ok(out)
+}
+
+fn extract_rec(
+    expr: &mut ScalarExpr,
+    guards: &[ScalarExpr],
+    ctx: &mut RewriteCtx,
+    out: &mut Vec<PendingApply>,
+) -> Result<()> {
+    match expr {
+        ScalarExpr::Subquery(_) => {
+            let ScalarExpr::Subquery(rel) = std::mem::replace(expr, ScalarExpr::true_()) else {
+                unreachable!()
+            };
+            let rel = remove_mutual_recursion(*rel, ctx)?;
+            let col = single_output(&rel)?;
+            let guarded = guard(rel, guards);
+            let kind = if matches!(
+                &guarded,
+                RelExpr::GroupBy {
+                    kind: GroupKind::Scalar,
+                    ..
+                }
+            ) {
+                // Scalar aggregation returns exactly one row: plain A×.
+                ApplyKind::Cross
+            } else {
+                ApplyKind::LeftOuter
+            };
+            let body = if kind == ApplyKind::Cross || props::at_most_one_row(&guarded) {
+                guarded
+            } else {
+                RelExpr::Max1Row {
+                    input: Box::new(guarded),
+                }
+            };
+            out.push(PendingApply { kind, rel: body });
+            *expr = ScalarExpr::col(col);
+            Ok(())
+        }
+        ScalarExpr::Exists { .. } => {
+            let ScalarExpr::Exists { rel, negated } =
+                std::mem::replace(expr, ScalarExpr::true_())
+            else {
+                unreachable!()
+            };
+            let rel = remove_mutual_recursion(*rel, ctx)?;
+            // §2.4: rewrite as a scalar count aggregate; the comparison
+            // context (`= 0` / `> 0`) lets execution stop at one row.
+            let n = ColumnMeta::new(ctx.gen.fresh(), "exists_n", DataType::Int, false);
+            let counted = RelExpr::GroupBy {
+                kind: GroupKind::Scalar,
+                input: Box::new(guard(rel, guards)),
+                group_cols: vec![],
+                aggs: vec![AggDef::new(n.clone(), AggFunc::CountStar, None)],
+            };
+            out.push(PendingApply {
+                kind: ApplyKind::Cross,
+                rel: counted,
+            });
+            *expr = ScalarExpr::cmp(
+                if negated { CmpOp::Eq } else { CmpOp::Gt },
+                ScalarExpr::col(n.id),
+                ScalarExpr::lit(0i64),
+            );
+            Ok(())
+        }
+        ScalarExpr::InSubquery { .. } => {
+            let ScalarExpr::InSubquery {
+                expr: mut x,
+                rel,
+                negated,
+            } = std::mem::replace(expr, ScalarExpr::true_())
+            else {
+                unreachable!()
+            };
+            extract_rec(&mut x, guards, ctx, out)?;
+            let rel = remove_mutual_recursion(*rel, ctx)?;
+            let test = count_based_any(CmpOp::Eq, (*x).clone(), rel, guards, ctx, out)?;
+            *expr = if negated {
+                ScalarExpr::Not(Box::new(test))
+            } else {
+                test
+            };
+            Ok(())
+        }
+        ScalarExpr::QuantifiedCmp { .. } => {
+            let ScalarExpr::QuantifiedCmp {
+                op,
+                quant,
+                expr: mut x,
+                rel,
+            } = std::mem::replace(expr, ScalarExpr::true_())
+            else {
+                unreachable!()
+            };
+            extract_rec(&mut x, guards, ctx, out)?;
+            let rel = remove_mutual_recursion(*rel, ctx)?;
+            let test = match quant {
+                Quant::Any => count_based_any(op, (*x).clone(), rel, guards, ctx, out)?,
+                // x op ALL S ⇔ NOT (x ¬op ANY S), valid in 3VL.
+                Quant::All => ScalarExpr::Not(Box::new(count_based_any(
+                    op.negate(),
+                    (*x).clone(),
+                    rel,
+                    guards,
+                    ctx,
+                    out,
+                )?)),
+            };
+            *expr = test;
+            Ok(())
+        }
+        ScalarExpr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
+            // Desugar simple CASE so guards are plain predicates.
+            if let Some(op) = operand.take() {
+                for (w, _) in whens.iter_mut() {
+                    *w = ScalarExpr::eq((*op).clone(), w.clone());
+                }
+            }
+            let mut taken_so_far: Vec<ScalarExpr> = Vec::new();
+            for (w, t) in whens.iter_mut() {
+                extract_rec(w, guards, ctx, out)?;
+                // Guard for this branch: all previous whens not-true,
+                // this when true.
+                let mut branch_guards: Vec<ScalarExpr> = guards.to_vec();
+                branch_guards.extend(taken_so_far.iter().cloned());
+                branch_guards.push(w.clone());
+                extract_rec(t, &branch_guards, ctx, out)?;
+                taken_so_far.push(not_true(w));
+            }
+            if let Some(e) = else_ {
+                let mut branch_guards: Vec<ScalarExpr> = guards.to_vec();
+                branch_guards.extend(taken_so_far);
+                extract_rec(e, &branch_guards, ctx, out)?;
+            }
+            Ok(())
+        }
+        ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+            extract_rec(left, guards, ctx, out)?;
+            extract_rec(right, guards, ctx, out)
+        }
+        ScalarExpr::Neg(e) | ScalarExpr::Not(e) => extract_rec(e, guards, ctx, out),
+        ScalarExpr::And(ps) | ScalarExpr::Or(ps) => {
+            for p in ps {
+                extract_rec(p, guards, ctx, out)?;
+            }
+            Ok(())
+        }
+        ScalarExpr::IsNull { expr, .. } => extract_rec(expr, guards, ctx, out),
+        ScalarExpr::Column(_) | ScalarExpr::Literal(_) => Ok(()),
+    }
+}
+
+/// `expr` is not TRUE (false or unknown) — as a TRUE/FALSE predicate.
+fn not_true(expr: &ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Or(vec![
+        ScalarExpr::Not(Box::new(expr.clone())),
+        ScalarExpr::IsNull {
+            expr: Box::new(expr.clone()),
+            negated: false,
+        },
+    ])
+}
+
+fn guard(rel: RelExpr, guards: &[ScalarExpr]) -> RelExpr {
+    if guards.is_empty() {
+        rel
+    } else {
+        RelExpr::Select {
+            input: Box::new(rel),
+            predicate: ScalarExpr::and(guards.to_vec()),
+        }
+    }
+}
+
+/// §2.4 general-context `ANY`: three scalar counts make the 3VL result
+/// expressible as a CASE over aggregate outputs.
+///
+/// `x op ANY S` = TRUE if some comparison is TRUE; UNKNOWN if none is
+/// TRUE but some is unknown; else FALSE.
+fn count_based_any(
+    op: CmpOp,
+    x: ScalarExpr,
+    rel: RelExpr,
+    guards: &[ScalarExpr],
+    ctx: &mut RewriteCtx,
+    out: &mut Vec<PendingApply>,
+) -> Result<ScalarExpr> {
+    let y = single_output(&rel)?;
+    let env = ColumnEnv::build(&rel);
+    let y_ty = env.ty(y).unwrap_or(DataType::Int);
+    let _ = y_ty;
+    let total = ColumnMeta::new(ctx.gen.fresh(), "q_total", DataType::Int, false);
+    let matches = ColumnMeta::new(ctx.gen.fresh(), "q_match", DataType::Int, false);
+    let unknowns = ColumnMeta::new(ctx.gen.fresh(), "q_unknown", DataType::Int, false);
+    let cmp = ScalarExpr::cmp(op, x.clone(), ScalarExpr::col(y));
+    let counted = RelExpr::GroupBy {
+        kind: GroupKind::Scalar,
+        input: Box::new(guard(rel, guards)),
+        group_cols: vec![],
+        aggs: vec![
+            AggDef::new(total.clone(), AggFunc::CountStar, None),
+            AggDef::new(
+                matches.clone(),
+                AggFunc::Count,
+                Some(ScalarExpr::Case {
+                    operand: None,
+                    whens: vec![(cmp.clone(), ScalarExpr::lit(1i64))],
+                    else_: None,
+                }),
+            ),
+            AggDef::new(
+                unknowns.clone(),
+                AggFunc::Count,
+                Some(ScalarExpr::Case {
+                    operand: None,
+                    whens: vec![(
+                        ScalarExpr::IsNull {
+                            expr: Box::new(cmp),
+                            negated: false,
+                        },
+                        ScalarExpr::lit(1i64),
+                    )],
+                    else_: None,
+                }),
+            ),
+        ],
+    };
+    out.push(PendingApply {
+        kind: ApplyKind::Cross,
+        rel: counted,
+    });
+    // CASE WHEN match>0 THEN TRUE WHEN unknown>0 THEN NULL ELSE FALSE END
+    Ok(ScalarExpr::Case {
+        operand: None,
+        whens: vec![
+            (
+                ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(matches.id), ScalarExpr::lit(0i64)),
+                ScalarExpr::lit(true),
+            ),
+            (
+                ScalarExpr::cmp(
+                    CmpOp::Gt,
+                    ScalarExpr::col(unknowns.id),
+                    ScalarExpr::lit(0i64),
+                ),
+                ScalarExpr::Literal(Value::Null),
+            ),
+        ],
+        else_: Some(Box::new(ScalarExpr::lit(false))),
+    })
+}

@@ -1,0 +1,152 @@
+//! §2.4's *conditional scalar execution*: subqueries under `CASE`
+//! guards must not run (and in particular must not raise run-time
+//! errors) for rows where their branch is not taken. The rewrite
+//! realizes this by planting the branch guard as a correlated filter
+//! inside the applied expression.
+
+use orthopt_common::{DataType, Error, Value};
+use orthopt_exec::Reference;
+use orthopt_rewrite::pipeline::{normalize, RewriteConfig};
+use orthopt_sql::compile;
+use orthopt_storage::{Catalog, ColumnDef, TableDef};
+
+fn fixture() -> Catalog {
+    let mut catalog = Catalog::new();
+    let r = catalog
+        .create_table(TableDef::new(
+            "r",
+            vec![
+                ColumnDef::new("rk", DataType::Int),
+                ColumnDef::nullable("rv", DataType::Int),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    let s = catalog
+        .create_table(TableDef::new(
+            "s",
+            vec![
+                ColumnDef::new("sk", DataType::Int),
+                ColumnDef::new("sr", DataType::Int),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    catalog
+        .table_mut(r)
+        .insert_all([
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Null],
+        ])
+        .unwrap();
+    // rk=1 has TWO s rows (a bare scalar subquery on it would error);
+    // rk=2 has none.
+    catalog
+        .table_mut(s)
+        .insert_all([
+            vec![Value::Int(100), Value::Int(1)],
+            vec![Value::Int(101), Value::Int(1)],
+        ])
+        .unwrap();
+    catalog.analyze_all();
+    catalog
+}
+
+fn run_normalized(catalog: &Catalog, sql: &str) -> Result<Vec<Vec<Value>>, Error> {
+    let bound = compile(sql, catalog).unwrap();
+    let normalized = normalize(bound.rel, RewriteConfig::default())?;
+    Ok(Reference::new(catalog).run(&normalized)?.rows)
+}
+
+#[test]
+fn guarded_then_branch_suppresses_error() {
+    // The THEN branch's subquery would error for rk=1; the guard
+    // rk <> 1 must keep it from running there.
+    let catalog = fixture();
+    let rows = run_normalized(
+        &catalog,
+        "select rk, case when rk <> 1 then \
+         (select sk from s where sr = rk) else -1 end as pick from r",
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 2);
+    let one = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+    assert_eq!(one[1], Value::Int(-1));
+    let two = rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+    assert!(two[1].is_null(), "no s rows for rk=2 ⇒ NULL");
+}
+
+#[test]
+fn unguarded_subquery_still_errors() {
+    let catalog = fixture();
+    let err = run_normalized(
+        &catalog,
+        "select rk, (select sk from s where sr = rk) from r",
+    )
+    .unwrap_err();
+    assert_eq!(err, Error::SubqueryReturnedMoreThanOneRow);
+}
+
+#[test]
+fn guard_that_admits_the_bad_row_errors() {
+    // Guard allows rk=1 into the subquery branch: the error must fire.
+    let catalog = fixture();
+    let err = run_normalized(
+        &catalog,
+        "select rk, case when rk = 1 then \
+         (select sk from s where sr = rk) else -1 end from r",
+    )
+    .unwrap_err();
+    assert_eq!(err, Error::SubqueryReturnedMoreThanOneRow);
+}
+
+#[test]
+fn multi_when_guards_compose() {
+    // Branch 2's guard includes "branch 1 not taken": the subquery only
+    // runs for rows past the first WHEN. rk=1 takes branch 1 (rv = 10),
+    // so the subquery never sees rk=1.
+    let catalog = fixture();
+    let rows = run_normalized(
+        &catalog,
+        "select rk, case when rv = 10 then 0 \
+         when rk > 0 then (select sk from s where sr = rk) \
+         else -1 end as pick from r",
+    )
+    .unwrap();
+    let one = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+    assert_eq!(one[1], Value::Int(0));
+    let two = rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+    assert!(two[1].is_null());
+}
+
+#[test]
+fn null_guard_skips_branch_correctly() {
+    // rk=2 has rv NULL: `rv = 10` is unknown, so its branch is skipped
+    // and the ELSE branch's subquery runs (empty set ⇒ NULL, no error).
+    let catalog = fixture();
+    let rows = run_normalized(
+        &catalog,
+        "select rk, case when rv = 10 then -5 \
+         else (select sk from s where sr = rk + 100) end as pick from r",
+    )
+    .unwrap();
+    let one = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+    assert_eq!(one[1], Value::Int(-5));
+    let two = rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+    assert!(two[1].is_null());
+}
+
+#[test]
+fn exists_under_case_guard() {
+    let catalog = fixture();
+    let rows = run_normalized(
+        &catalog,
+        "select rk, case when rk = 1 then \
+         (select count(*) from s where sr = rk) else 0 end as n from r",
+    )
+    .unwrap();
+    let one = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+    assert_eq!(one[1], Value::Int(2));
+    let two = rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+    assert_eq!(two[1], Value::Int(0));
+}

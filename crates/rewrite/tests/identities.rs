@@ -1,0 +1,589 @@
+//! Figure 4 identities, tested one by one: each test constructs an
+//! Apply tree, runs correlation removal, checks (a) the Apply is gone
+//! (or correctly retained for Class 2/3), and (b) *semantic
+//! equivalence* against the reference interpreter on concrete data.
+
+use orthopt_common::row::bag_eq;
+use orthopt_common::{ColId, DataType, TableId, Value};
+use orthopt_exec::Reference;
+use orthopt_ir::builder;
+use orthopt_ir::{
+    AggDef, AggFunc, ApplyKind, CmpOp, ColumnMeta, GroupKind, JoinKind, RelExpr, ScalarExpr,
+};
+use orthopt_rewrite::apply_removal::remove_applies;
+use orthopt_rewrite::{RewriteConfig, RewriteCtx};
+use orthopt_storage::{Catalog, ColumnDef, TableDef};
+
+// Column ids for the test tables (r: outer, s: inner).
+const R_K: ColId = ColId(0); // r.k (key)
+const R_V: ColId = ColId(1); // r.v (nullable)
+const S_K: ColId = ColId(2); // s.k (key)
+const S_R: ColId = ColId(3); // s.rk — foreign key into r
+const S_V: ColId = ColId(4); // s.v (nullable)
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let r = c
+        .create_table(TableDef::new(
+            "r",
+            vec![
+                ColumnDef::new("k", DataType::Int),
+                ColumnDef::nullable("v", DataType::Int),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    let s = c
+        .create_table(TableDef::new(
+            "s",
+            vec![
+                ColumnDef::new("k", DataType::Int),
+                ColumnDef::new("rk", DataType::Int),
+                ColumnDef::nullable("v", DataType::Int),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    c.table_mut(r)
+        .insert_all([
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+            vec![Value::Int(3), Value::Null],
+            vec![Value::Int(4), Value::Int(40)],
+        ])
+        .unwrap();
+    c.table_mut(s)
+        .insert_all([
+            vec![Value::Int(100), Value::Int(1), Value::Int(5)],
+            vec![Value::Int(101), Value::Int(1), Value::Int(7)],
+            vec![Value::Int(102), Value::Int(2), Value::Null],
+            vec![Value::Int(103), Value::Int(2), Value::Int(9)],
+            vec![Value::Int(104), Value::Int(9), Value::Int(1)],
+        ])
+        .unwrap();
+    c.analyze_all();
+    c
+}
+
+fn get_r() -> RelExpr {
+    builder::get(
+        TableId(0),
+        "r",
+        &[
+            (R_K, "k", DataType::Int, false),
+            (R_V, "v", DataType::Int, true),
+        ],
+        &[&[0]],
+        4.0,
+    )
+}
+
+fn get_s() -> RelExpr {
+    builder::get(
+        TableId(1),
+        "s",
+        &[
+            (S_K, "k", DataType::Int, false),
+            (S_R, "rk", DataType::Int, false),
+            (S_V, "v", DataType::Int, true),
+        ],
+        &[&[0]],
+        5.0,
+    )
+}
+
+/// σ_{rk = k}(s) — the canonical correlated inner expression.
+fn s_for_r() -> RelExpr {
+    builder::select(
+        get_s(),
+        ScalarExpr::eq(ScalarExpr::col(S_R), ScalarExpr::col(R_K)),
+    )
+}
+
+fn apply(kind: ApplyKind, left: RelExpr, right: RelExpr) -> RelExpr {
+    RelExpr::Apply {
+        kind,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+fn count_applies(rel: &RelExpr) -> usize {
+    let mut n = 0;
+    rel.walk(&mut |r| {
+        if matches!(r, RelExpr::Apply { .. }) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// Runs removal and asserts the rewritten tree yields the same bag of
+/// rows (restricted to the original output columns, since removal may
+/// expose manufactured helper columns).
+fn assert_equivalent_after_removal(original: RelExpr, expect_flat: bool) -> RelExpr {
+    let catalog = catalog();
+    let interp = Reference::new(&catalog);
+    let before = interp.run(&original).expect("original runs");
+
+    let mut ctx = RewriteCtx::for_tree(
+        &original,
+        RewriteConfig {
+            unnest_class2: true,
+            ..RewriteConfig::default()
+        },
+    );
+    let rewritten = remove_applies(original, &mut ctx).expect("removal");
+    if expect_flat {
+        assert_eq!(
+            count_applies(&rewritten),
+            0,
+            "expected full decorrelation:\n{}",
+            orthopt_ir::explain::explain(&rewritten)
+        );
+    }
+    let after = interp.run(&rewritten).expect("rewritten runs");
+    let projected = after.project(&before.cols).expect("columns preserved");
+    assert!(
+        bag_eq(&before.rows, &projected.rows),
+        "bags differ:\nbefore={:?}\nafter={:?}\nplan:\n{}",
+        before.rows,
+        projected.rows,
+        orthopt_ir::explain::explain(&rewritten)
+    );
+    rewritten
+}
+
+#[test]
+fn identity1_uncorrelated_apply_becomes_join() {
+    for kind in [
+        ApplyKind::Cross,
+        ApplyKind::LeftOuter,
+        ApplyKind::Semi,
+        ApplyKind::Anti,
+    ] {
+        let plan = apply(kind, get_r(), get_s());
+        let rewritten = assert_equivalent_after_removal(plan, true);
+        assert!(matches!(rewritten, RelExpr::Join { .. }));
+    }
+}
+
+#[test]
+fn identity2_parameterized_select_becomes_join_predicate() {
+    for kind in [
+        ApplyKind::Cross,
+        ApplyKind::LeftOuter,
+        ApplyKind::Semi,
+        ApplyKind::Anti,
+    ] {
+        let plan = apply(kind, get_r(), s_for_r());
+        let rewritten = assert_equivalent_after_removal(plan, true);
+        let RelExpr::Join {
+            kind: jk,
+            predicate,
+            ..
+        } = &rewritten
+        else {
+            panic!("expected join, got {rewritten:?}")
+        };
+        assert_eq!(*jk, kind.to_join_kind());
+        assert!(!predicate.is_true());
+    }
+}
+
+#[test]
+fn identity3_select_pulled_above_cross_apply() {
+    // Inner: σ_{v > r.v}(σ_{rk = k}(s)) — two correlated selects.
+    let inner = builder::select(
+        s_for_r(),
+        ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(S_V), ScalarExpr::col(R_V)),
+    );
+    let plan = apply(ApplyKind::Cross, get_r(), inner);
+    assert_equivalent_after_removal(plan, true);
+}
+
+#[test]
+fn identity4_project_pulled_above_apply() {
+    let inner = RelExpr::Project {
+        input: Box::new(s_for_r()),
+        cols: vec![S_V],
+    };
+    for kind in [ApplyKind::Cross, ApplyKind::LeftOuter, ApplyKind::Semi] {
+        let plan = apply(kind, get_r(), inner.clone());
+        assert_equivalent_after_removal(plan, true);
+    }
+}
+
+#[test]
+fn identity4_map_pulled_above_apply() {
+    // Strict computed column: v + 1 (NULL on padded rows).
+    let inner = builder::map1(
+        s_for_r(),
+        ColumnMeta::new(ColId(50), "vplus", DataType::Int, true),
+        ScalarExpr::Arith {
+            op: orthopt_ir::ArithOp::Add,
+            left: Box::new(ScalarExpr::col(S_V)),
+            right: Box::new(ScalarExpr::lit(1i64)),
+        },
+    );
+    for kind in [ApplyKind::Cross, ApplyKind::LeftOuter] {
+        let plan = apply(kind, get_r(), inner.clone());
+        assert_equivalent_after_removal(plan, true);
+    }
+}
+
+#[test]
+fn nonstrict_map_under_leftouter_apply_stays_correlated() {
+    // Map of a constant is NOT null on padded rows: pulling it above an
+    // outerjoin-Apply would be wrong, so the Apply must survive.
+    let inner = builder::map1(
+        s_for_r(),
+        ColumnMeta::new(ColId(51), "one", DataType::Int, false),
+        ScalarExpr::lit(1i64),
+    );
+    let plan = apply(ApplyKind::LeftOuter, get_r(), inner);
+    let rewritten = assert_equivalent_after_removal(plan, false);
+    assert_eq!(count_applies(&rewritten), 1);
+}
+
+#[test]
+fn identity5_unionall_duplicates_outer() {
+    let u_col = ColumnMeta::new(ColId(60), "u", DataType::Int, true);
+    let inner = RelExpr::UnionAll {
+        left: Box::new(RelExpr::Project {
+            input: Box::new(s_for_r()),
+            cols: vec![S_V],
+        }),
+        right: Box::new(RelExpr::Project {
+            input: Box::new(builder::select(
+                get_s(),
+                ScalarExpr::eq(ScalarExpr::col(ColId(70)), ScalarExpr::col(R_K)),
+            )),
+            cols: vec![ColId(72)],
+        }),
+        cols: vec![u_col],
+        left_map: vec![S_V],
+        right_map: vec![ColId(72)],
+    };
+    // Build the right branch over a *renamed* copy of s so ids stay
+    // unique across the two branches.
+    let mut inner = inner;
+    if let RelExpr::UnionAll { right, .. } = &mut inner {
+        let fresh = builder::get(
+            TableId(1),
+            "s",
+            &[
+                (ColId(71), "k", DataType::Int, false),
+                (ColId(70), "rk", DataType::Int, false),
+                (ColId(72), "v", DataType::Int, true),
+            ],
+            &[&[0]],
+            5.0,
+        );
+        **right = RelExpr::Project {
+            input: Box::new(builder::select(
+                fresh,
+                ScalarExpr::eq(ScalarExpr::col(ColId(70)), ScalarExpr::col(R_K)),
+            )),
+            cols: vec![ColId(72)],
+        };
+    }
+    let plan = apply(ApplyKind::Cross, get_r(), inner);
+    let rewritten = assert_equivalent_after_removal(plan, true);
+    assert!(matches!(rewritten, RelExpr::UnionAll { .. }));
+}
+
+#[test]
+fn identity6_except_duplicates_outer() {
+    let left = RelExpr::Project {
+        input: Box::new(s_for_r()),
+        cols: vec![S_V],
+    };
+    let fresh = builder::get(
+        TableId(1),
+        "s",
+        &[
+            (ColId(81), "k", DataType::Int, false),
+            (ColId(80), "rk", DataType::Int, false),
+            (ColId(82), "v", DataType::Int, true),
+        ],
+        &[&[0]],
+        5.0,
+    );
+    let right = RelExpr::Project {
+        input: Box::new(builder::select(
+            fresh,
+            ScalarExpr::and([
+                ScalarExpr::eq(ScalarExpr::col(ColId(80)), ScalarExpr::col(R_K)),
+                ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(ColId(82)), ScalarExpr::lit(6i64)),
+            ]),
+        )),
+        cols: vec![ColId(82)],
+    };
+    let inner = RelExpr::Except {
+        left: Box::new(left),
+        right: Box::new(right),
+        right_map: vec![ColId(82)],
+    };
+    let plan = apply(ApplyKind::Cross, get_r(), inner);
+    let rewritten = assert_equivalent_after_removal(plan, true);
+    assert!(matches!(rewritten, RelExpr::Except { .. }));
+}
+
+#[test]
+fn identity7_cross_product_of_two_correlated_sides() {
+    // E1 = σ_{rk=k}(s) over one copy, E2 over another copy, no predicate.
+    let e1 = s_for_r();
+    let fresh = builder::get(
+        TableId(1),
+        "s",
+        &[
+            (ColId(91), "k", DataType::Int, false),
+            (ColId(90), "rk", DataType::Int, false),
+            (ColId(92), "v", DataType::Int, true),
+        ],
+        &[&[0]],
+        5.0,
+    );
+    let e2 = builder::select(
+        fresh,
+        ScalarExpr::eq(ScalarExpr::col(ColId(90)), ScalarExpr::col(R_K)),
+    );
+    let inner = builder::join(JoinKind::Inner, e1, e2, ScalarExpr::true_());
+    let plan = apply(ApplyKind::Cross, get_r(), inner);
+    assert_equivalent_after_removal(plan, true);
+}
+
+#[test]
+fn identity8_vector_groupby_pushes_below_apply() {
+    let agg = AggDef::new(
+        ColumnMeta::new(ColId(55), "cnt", DataType::Int, false),
+        AggFunc::CountStar,
+        None,
+    );
+    let inner = RelExpr::GroupBy {
+        kind: GroupKind::Vector,
+        input: Box::new(s_for_r()),
+        group_cols: vec![S_V],
+        aggs: vec![agg],
+    };
+    let plan = apply(ApplyKind::Cross, get_r(), inner);
+    let rewritten = assert_equivalent_after_removal(plan, true);
+    // The GroupBy survives with extended grouping columns.
+    let mut group_widths = vec![];
+    rewritten.walk(&mut |r| {
+        if let RelExpr::GroupBy { group_cols, .. } = r {
+            group_widths.push(group_cols.len());
+        }
+    });
+    assert!(group_widths.iter().any(|&w| w > 1));
+}
+
+#[test]
+fn identity9_scalar_groupby_becomes_outerjoin_then_vector_groupby() {
+    // The paper's Figure 5: σ over Apply(scalar sum) — here without the
+    // outer σ; just the Apply.
+    let inner = builder::scalar_groupby(
+        s_for_r(),
+        vec![AggDef::new(
+            ColumnMeta::new(ColId(56), "x", DataType::Int, true),
+            AggFunc::Sum,
+            Some(ScalarExpr::col(S_V)),
+        )],
+    );
+    let plan = apply(ApplyKind::Cross, get_r(), inner);
+    let rewritten = assert_equivalent_after_removal(plan, true);
+    // Shape: GroupBy(vector) over LeftOuterJoin.
+    let RelExpr::GroupBy { kind, input, .. } = &rewritten else {
+        panic!(
+            "expected GroupBy root:\n{}",
+            orthopt_ir::explain::explain(&rewritten)
+        )
+    };
+    assert_eq!(*kind, GroupKind::Vector);
+    assert!(matches!(
+        input.as_ref(),
+        RelExpr::Join {
+            kind: JoinKind::LeftOuter,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn identity9_count_star_gets_probe_column() {
+    // count(*) over an empty correlated set must stay 0, not 1, after
+    // decorrelation: the probe-column rewrite.
+    let inner = builder::scalar_groupby(
+        s_for_r(),
+        vec![AggDef::new(
+            ColumnMeta::new(ColId(57), "n", DataType::Int, false),
+            AggFunc::CountStar,
+            None,
+        )],
+    );
+    let plan = apply(ApplyKind::Cross, get_r(), inner);
+    let rewritten = assert_equivalent_after_removal(plan, true);
+    // r.k = 3 and 4 have no s rows: their counts must be 0.
+    let catalog = catalog();
+    let out = Reference::new(&catalog).run(&rewritten).unwrap();
+    let n_pos = out.col_pos(ColId(57)).unwrap();
+    let k_pos = out.col_pos(R_K).unwrap();
+    let zero_rows = out
+        .rows
+        .iter()
+        .filter(|r| r[n_pos] == Value::Int(0))
+        .count();
+    assert_eq!(zero_rows, 2);
+    assert!(out
+        .rows
+        .iter()
+        .any(|r| r[k_pos] == Value::Int(1) && r[n_pos] == Value::Int(2)));
+}
+
+#[test]
+fn identity9_nonstrict_agg_arg_is_guarded() {
+    // sum(1) over the correlated set: 2 for r.k=1, NULL (not 1!) for
+    // customers with no rows.
+    let inner = builder::scalar_groupby(
+        s_for_r(),
+        vec![AggDef::new(
+            ColumnMeta::new(ColId(58), "s1", DataType::Int, true),
+            AggFunc::Sum,
+            Some(ScalarExpr::lit(1i64)),
+        )],
+    );
+    let plan = apply(ApplyKind::Cross, get_r(), inner);
+    assert_equivalent_after_removal(plan, true);
+}
+
+#[test]
+fn semi_apply_strips_maps_and_projects() {
+    // EXISTS over a projected, mapped, filtered subquery.
+    let inner = RelExpr::Project {
+        input: Box::new(builder::map1(
+            s_for_r(),
+            ColumnMeta::new(ColId(59), "m", DataType::Int, true),
+            ScalarExpr::col(S_V),
+        )),
+        cols: vec![ColId(59)],
+    };
+    let plan = apply(ApplyKind::Semi, get_r(), inner);
+    let rewritten = assert_equivalent_after_removal(plan, true);
+    assert!(matches!(
+        rewritten,
+        RelExpr::Join {
+            kind: JoinKind::LeftSemi,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn anti_apply_flattens_too() {
+    let plan = apply(ApplyKind::Anti, get_r(), s_for_r());
+    let rewritten = assert_equivalent_after_removal(plan, true);
+    assert!(matches!(
+        rewritten,
+        RelExpr::Join {
+            kind: JoinKind::LeftAnti,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn semi_apply_over_groupby_drops_the_groupby() {
+    // EXISTS (SELECT v, count(*) FROM s WHERE rk=k GROUP BY v): emptiness
+    // of a vector GroupBy is emptiness of its input.
+    let inner = RelExpr::GroupBy {
+        kind: GroupKind::Vector,
+        input: Box::new(s_for_r()),
+        group_cols: vec![S_V],
+        aggs: vec![],
+    };
+    let plan = apply(ApplyKind::Semi, get_r(), inner);
+    let rewritten = assert_equivalent_after_removal(plan, true);
+    let mut has_groupby = false;
+    rewritten.walk(&mut |r| has_groupby |= matches!(r, RelExpr::GroupBy { .. }));
+    assert!(!has_groupby);
+}
+
+#[test]
+fn class3_max1row_stays_correlated() {
+    let inner = RelExpr::Max1Row {
+        input: Box::new(s_for_r()),
+    };
+    let plan = apply(ApplyKind::LeftOuter, get_r(), inner);
+    let catalog = catalog();
+    let mut ctx = RewriteCtx::for_tree(&plan, RewriteConfig::default());
+    let rewritten = remove_applies(plan, &mut ctx).unwrap();
+    assert_eq!(count_applies(&rewritten), 1);
+    // And it still errors at run time (r.k = 1 has two s rows).
+    let err = Reference::new(&catalog).run(&rewritten).unwrap_err();
+    assert_eq!(err, orthopt_common::Error::SubqueryReturnedMoreThanOneRow);
+}
+
+#[test]
+fn class2_stays_correlated_without_flag() {
+    let u_col = ColumnMeta::new(ColId(61), "u", DataType::Int, true);
+    let fresh = builder::get(
+        TableId(1),
+        "s",
+        &[
+            (ColId(75), "k", DataType::Int, false),
+            (ColId(76), "rk", DataType::Int, false),
+            (ColId(77), "v", DataType::Int, true),
+        ],
+        &[&[0]],
+        5.0,
+    );
+    let inner = RelExpr::UnionAll {
+        left: Box::new(RelExpr::Project {
+            input: Box::new(s_for_r()),
+            cols: vec![S_V],
+        }),
+        right: Box::new(RelExpr::Project {
+            input: Box::new(builder::select(
+                fresh,
+                ScalarExpr::eq(ScalarExpr::col(ColId(76)), ScalarExpr::col(R_K)),
+            )),
+            cols: vec![ColId(77)],
+        }),
+        cols: vec![u_col],
+        left_map: vec![S_V],
+        right_map: vec![ColId(77)],
+    };
+    let plan = apply(ApplyKind::Cross, get_r(), inner);
+    let mut ctx = RewriteCtx::for_tree(&plan, RewriteConfig::default());
+    let rewritten = remove_applies(plan, &mut ctx).unwrap();
+    assert_eq!(count_applies(&rewritten), 1, "Class 2 must stay put");
+}
+
+#[test]
+fn nested_applies_decorrelate_inside_out() {
+    // r A× (σ_{rk=k} (s A^semi σ_{s2.rk = s.rk} s2)) — an Apply inside
+    // an Apply's inner expression.
+    let s2 = builder::get(
+        TableId(1),
+        "s",
+        &[
+            (ColId(95), "k", DataType::Int, false),
+            (ColId(96), "rk", DataType::Int, false),
+            (ColId(97), "v", DataType::Int, true),
+        ],
+        &[&[0]],
+        5.0,
+    );
+    let inner_exists = builder::select(
+        s2,
+        ScalarExpr::eq(ScalarExpr::col(ColId(96)), ScalarExpr::col(S_R)),
+    );
+    let nested = apply(ApplyKind::Semi, get_s(), inner_exists);
+    let correlated = builder::select(
+        nested,
+        ScalarExpr::eq(ScalarExpr::col(S_R), ScalarExpr::col(R_K)),
+    );
+    let plan = apply(ApplyKind::Cross, get_r(), correlated);
+    assert_equivalent_after_removal(plan, true);
+}

@@ -1,0 +1,187 @@
+//! Property-based semantic equivalence: on random databases and a
+//! family of subquery shapes, the normalized plan must behave exactly
+//! like the naive mutually-recursive execution — same bag of rows, or
+//! the same run-time error.
+
+use orthopt_common::row::bag_eq;
+use orthopt_common::{DataType, Value};
+use orthopt_exec::Reference;
+use orthopt_rewrite::pipeline::{normalize, RewriteConfig};
+use orthopt_sql::compile;
+use orthopt_storage::{Catalog, ColumnDef, TableDef};
+use proptest::prelude::*;
+
+/// A nullable small int: None is SQL NULL.
+fn nullable_int() -> impl Strategy<Value = Option<i64>> {
+    prop_oneof![
+        3 => (0i64..6).prop_map(Some),
+        1 => Just(None),
+    ]
+}
+
+fn opt_value(v: Option<i64>) -> Value {
+    v.map(Value::Int).unwrap_or(Value::Null)
+}
+
+fn build_catalog(r_rows: &[(i64, Option<i64>)], s_rows: &[(i64, i64, Option<i64>)]) -> Catalog {
+    let mut catalog = Catalog::new();
+    let r = catalog
+        .create_table(TableDef::new(
+            "r",
+            vec![
+                ColumnDef::new("rk", DataType::Int),
+                ColumnDef::nullable("rv", DataType::Int),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    let s = catalog
+        .create_table(TableDef::new(
+            "s",
+            vec![
+                ColumnDef::new("sk", DataType::Int),
+                ColumnDef::new("sr", DataType::Int),
+                ColumnDef::nullable("sv", DataType::Int),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    for (i, (_, rv)) in r_rows.iter().enumerate() {
+        catalog
+            .table_mut(r)
+            .insert(vec![Value::Int(i as i64), opt_value(*rv)])
+            .unwrap();
+    }
+    for (i, (_, sr, sv)) in s_rows.iter().enumerate() {
+        catalog
+            .table_mut(s)
+            .insert(vec![Value::Int(i as i64), Value::Int(*sr), opt_value(*sv)])
+            .unwrap();
+    }
+    catalog.analyze_all();
+    catalog
+}
+
+/// The query family: every §2 construct, parameterized by small
+/// constants so thresholds land inside the data range.
+fn query_templates(c: i64) -> Vec<String> {
+    vec![
+        // Class 1 scalar aggregates, all functions.
+        format!("select rk from r where {c} < (select sum(sv) from s where sr = rk)"),
+        format!("select rk from r where {c} >= (select count(*) from s where sr = rk)"),
+        format!("select rk from r where {c} = (select count(sv) from s where sr = rk)"),
+        format!("select rk from r where {c} > (select min(sv) from s where sr = rk)"),
+        format!("select rk from r where (select max(sv) from s where sr = rk) <= {c}"),
+        format!("select rk from r where (select avg(sv) from s where sr = rk) > {c}"),
+        // Correlation inside the aggregate argument.
+        format!("select rk from r where {c} < (select sum(sv + rv) from s where sr = rk)"),
+        // Existentials.
+        format!("select rk from r where exists (select 1 from s where sr = rk and sv > {c})"),
+        format!("select rk from r where not exists (select 1 from s where sr = rk and sv > {c})"),
+        // IN / NOT IN with NULLs flowing.
+        "select rk from r where rv in (select sv from s where sr = rk)".to_string(),
+        "select rk from r where rv not in (select sv from s where sr = rk)".to_string(),
+        format!("select rk from r where {c} in (select sv from s)"),
+        format!("select rk from r where {c} not in (select sv from s)"),
+        // Quantified comparisons.
+        format!("select rk from r where rv > any (select sv from s where sr = rk)"),
+        format!("select rk from r where rv <= all (select sv from s where sr = rk)"),
+        format!("select rk from r where {c} <> all (select sv from s where sr = rk)"),
+        // Scalar subquery in the select list (NULL on empty).
+        "select rk, (select sum(sv) from s where sr = rk) from r".to_string(),
+        // Boolean subquery in general (OR) context: count rewrite.
+        format!(
+            "select rk from r where rk = {c} or exists (select 1 from s where sr = rk)"
+        ),
+        // Uncorrelated subquery.
+        format!("select rk from r where {c} < (select count(*) from s)"),
+        // Subquery over an aggregated subquery (nested).
+        format!(
+            "select rk from r where {c} < (select count(*) from s where sr = rk and sv > \
+             (select min(sv) from s where sr = rk))"
+        ),
+        // Exception subquery (may raise at run time).
+        "select rk, (select sv from s where sr = rk) from r".to_string(),
+        // Class 2: UNION ALL inside the subquery.
+        format!(
+            "select rk from r where {c} > (select sum(u) from \
+             (select sv as u from s where sr = rk union all \
+              select sv as u from s where sr = rk) as both)"
+        ),
+        // GROUP BY + HAVING formulation (no subquery at all).
+        format!(
+            "select rk from r left outer join s on sr = rk group by rk \
+             having {c} < sum(sv)"
+        ),
+        // Semijoin via IN over derived aggregate.
+        format!(
+            "select rk from r where rk in \
+             (select sr from s group by sr having count(*) > {c})"
+        ),
+    ]
+}
+
+fn check_equivalence(
+    catalog: &Catalog,
+    sql: &str,
+    config: RewriteConfig,
+) -> std::result::Result<(), TestCaseError> {
+    let bound = compile(sql, catalog).expect("template compiles");
+    let interp = Reference::new(catalog);
+    let before = interp.run(&bound.rel);
+    let normalized = normalize(bound.rel.clone(), config).expect("normalization succeeds");
+    let after = interp.run(&normalized);
+    match (before, after) {
+        (Ok(b), Ok(a)) => {
+            let a = a.project(&b.cols).expect("output columns preserved");
+            prop_assert!(
+                bag_eq(&b.rows, &a.rows),
+                "{sql}\nbefore={:?}\nafter={:?}\nplan:\n{}",
+                b.rows,
+                a.rows,
+                orthopt_ir::explain::explain(&normalized)
+            );
+        }
+        (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2, "different errors for {}", sql),
+        (b, a) => {
+            return Err(TestCaseError::fail(format!(
+                "one side errored: before={b:?} after={a:?} for {sql}\nplan:\n{}",
+                orthopt_ir::explain::explain(&normalized)
+            )))
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn normalalization_preserves_semantics(
+        r_vals in prop::collection::vec(nullable_int(), 0..8),
+        s_rows in prop::collection::vec((0i64..6, nullable_int()), 0..16),
+        c in 0i64..8,
+        template in 0usize..24,
+    ) {
+        let r_rows: Vec<(i64, Option<i64>)> =
+            r_vals.iter().enumerate().map(|(i, v)| (i as i64, *v)).collect();
+        let s_rows: Vec<(i64, i64, Option<i64>)> = s_rows
+            .iter()
+            .enumerate()
+            .map(|(i, (sr, sv))| (i as i64, *sr, *sv))
+            .collect();
+        let catalog = build_catalog(&r_rows, &s_rows);
+        let templates = query_templates(c);
+        let sql = &templates[template % templates.len()];
+        check_equivalence(&catalog, sql, RewriteConfig::default())?;
+        check_equivalence(
+            &catalog,
+            sql,
+            RewriteConfig { unnest_class2: true, ..RewriteConfig::default() },
+        )?;
+        check_equivalence(&catalog, sql, RewriteConfig::correlated_baseline())?;
+    }
+}

@@ -1,0 +1,233 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+/// A full query: set expression plus presentation order and limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Body (SELECT or UNION ALL chain).
+    pub body: SetExpr,
+    /// ORDER BY items (output names or expressions; `true` = DESC).
+    pub order_by: Vec<(Expr, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// Set-level expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A single SELECT block.
+    Select(Box<Select>),
+    /// `UNION ALL` of two bodies.
+    UnionAll(Box<SetExpr>, Box<SetExpr>),
+}
+
+/// One SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection items.
+    pub items: Vec<SelectItem>,
+    /// FROM clause (comma-separated refs are cross joins).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_: Option<Expr>,
+    /// GROUP BY expressions (column references).
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+}
+
+/// Projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+}
+
+/// FROM-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table with optional alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Alias (defaults to the table name).
+        alias: Option<String>,
+    },
+    /// Derived table `(query) AS alias`.
+    Derived {
+        /// The subquery.
+        query: Query,
+        /// Mandatory alias.
+        alias: String,
+    },
+    /// Explicit join.
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join kind.
+        kind: JoinKind,
+        /// ON predicate.
+        on: Expr,
+    },
+}
+
+/// AST join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT [OUTER] JOIN`
+    LeftOuter,
+}
+
+/// Binary operators (comparisons and arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Quantifier for quantified comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `ANY` / `SOME`
+    Any,
+    /// `ALL`
+    All,
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Date (days since epoch), from `DATE 'yyyy-mm-dd'`.
+    Date(i32),
+}
+
+/// Scalar expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Possibly-qualified identifier (`a`, `t.a`).
+    Ident(Vec<String>),
+    /// Literal.
+    Literal(Literal),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List items.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (subquery)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Subquery.
+        query: Box<Query>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// Subquery.
+        query: Box<Query>,
+        /// True for `NOT EXISTS`.
+        negated: bool,
+    },
+    /// Scalar subquery.
+    Subquery(Box<Query>),
+    /// `expr op ANY/ALL (subquery)`.
+    Quantified {
+        /// Comparison operator.
+        op: BinOp,
+        /// Quantifier.
+        quant: Quantifier,
+        /// Left operand.
+        expr: Box<Expr>,
+        /// Subquery.
+        query: Box<Query>,
+    },
+    /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`.
+    Case {
+        /// Optional comparand.
+        operand: Option<Box<Expr>>,
+        /// WHEN/THEN pairs.
+        whens: Vec<(Expr, Expr)>,
+        /// ELSE expression.
+        else_: Option<Box<Expr>>,
+    },
+    /// Function call: aggregates (`sum`, `count`, …) or `count(*)`.
+    FuncCall {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments (empty plus `star=true` for `count(*)`).
+        args: Vec<Expr>,
+        /// `DISTINCT` inside the call.
+        distinct: bool,
+        /// True for `count(*)`.
+        star: bool,
+    },
+}

@@ -1,0 +1,857 @@
+//! Name resolution and IR construction ("algebrize", §2.1/§4).
+//!
+//! The binder turns an AST `Query` into a `RelExpr` where scalar
+//! expressions may still own relational subqueries — the mutually
+//! recursive form of Figure 3. Correlation needs no special machinery:
+//! an inner query that resolves a name against an *enclosing* scope
+//! simply ends up referencing a [`ColId`] it does not produce.
+
+use std::collections::HashMap;
+
+use orthopt_common::{ColId, ColIdGen, DataType, Error, Result, Value};
+use orthopt_ir::{
+    AggDef, AggFunc, ArithOp, CmpOp, ColStat, ColumnMeta, GetMeta, GroupKind, JoinKind, MapDef,
+    Quant, RelExpr, ScalarExpr,
+};
+use orthopt_storage::Catalog;
+
+use crate::ast;
+
+/// A bound query: operator tree plus presentation metadata.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// The operator tree (un-normalized; may contain subquery markers).
+    pub rel: RelExpr,
+    /// Output column metadata, parallel to `rel.output_cols()`.
+    pub output: Vec<ColumnMeta>,
+    /// ORDER BY columns (subset of output), major first; `true` = DESC.
+    pub order_by: Vec<(ColId, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// Binds a parsed query against a catalog.
+pub fn bind(query: &ast::Query, catalog: &Catalog) -> Result<BoundQuery> {
+    let mut binder = Binder {
+        catalog,
+        gen: ColIdGen::default(),
+        col_meta: HashMap::new(),
+    };
+    let scope = Scope::root();
+    let bound = binder.bind_set_expr(&query.body, &scope)?;
+    let order_by = binder.bind_order_by(&query.order_by, &bound)?;
+    Ok(BoundQuery {
+        rel: bound.rel,
+        output: bound.cols,
+        order_by,
+        limit: query.limit.map(|n| n as usize),
+    })
+}
+
+/// One visible relation in a scope level.
+#[derive(Debug, Clone)]
+struct Frame {
+    alias: String,
+    cols: Vec<ColumnMeta>,
+}
+
+/// Lexical scope: a stack of levels, each holding the FROM frames of one
+/// SELECT. Inner queries see outer levels — resolving there creates a
+/// correlation.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    levels: Vec<Vec<Frame>>,
+}
+
+impl Scope {
+    fn root() -> Scope {
+        Scope::default()
+    }
+
+    /// New scope for a nested SELECT: same outer levels plus a fresh one.
+    fn child(&self) -> Scope {
+        let mut s = self.clone();
+        s.levels.push(Vec::new());
+        s
+    }
+
+    fn current_mut(&mut self) -> &mut Vec<Frame> {
+        self.levels.last_mut().expect("scope has a level")
+    }
+
+    fn current(&self) -> &[Frame] {
+        self.levels.last().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Column ids visible in the current (innermost) level.
+    fn current_col_ids(&self) -> Vec<ColId> {
+        self.current()
+            .iter()
+            .flat_map(|f| f.cols.iter().map(|c| c.id))
+            .collect()
+    }
+
+    fn resolve(&self, parts: &[String]) -> Result<ColumnMeta> {
+        let (qual, name) = match parts {
+            [name] => (None, name.as_str()),
+            [qual, name] => (Some(qual.as_str()), name.as_str()),
+            _ => {
+                return Err(Error::Bind(format!(
+                    "unsupported qualified name {}",
+                    parts.join(".")
+                )))
+            }
+        };
+        for level in self.levels.iter().rev() {
+            let mut hits = Vec::new();
+            for frame in level {
+                if let Some(q) = qual {
+                    if frame.alias != q {
+                        continue;
+                    }
+                }
+                for c in &frame.cols {
+                    if c.name == name {
+                        hits.push(c.clone());
+                    }
+                }
+            }
+            match hits.len() {
+                0 => continue,
+                1 => return Ok(hits.pop().expect("one hit")),
+                _ => {
+                    return Err(Error::Bind(format!("ambiguous column reference {name}")))
+                }
+            }
+        }
+        Err(Error::UnknownColumn(parts.join(".")))
+    }
+}
+
+/// A bound set expression.
+struct Bound {
+    rel: RelExpr,
+    cols: Vec<ColumnMeta>,
+}
+
+/// Collects aggregate calls while binding a grouped SELECT.
+#[derive(Default)]
+struct AggCollector {
+    defs: Vec<AggDef>,
+}
+
+impl AggCollector {
+    /// Registers an aggregate call, reusing an existing definition for
+    /// syntactically identical calls.
+    fn register(
+        &mut self,
+        func: AggFunc,
+        arg: Option<ScalarExpr>,
+        distinct: bool,
+        out: ColumnMeta,
+    ) -> ColId {
+        for d in &self.defs {
+            if d.func == func && d.arg == arg && d.distinct == distinct {
+                return d.out.id;
+            }
+        }
+        let id = out.id;
+        self.defs.push(AggDef {
+            out,
+            func,
+            arg,
+            distinct,
+        });
+        id
+    }
+}
+
+struct Binder<'a> {
+    catalog: &'a Catalog,
+    gen: ColIdGen,
+    /// Metadata of every column this binder has created, for type
+    /// inference of computed expressions.
+    col_meta: HashMap<ColId, ColumnMeta>,
+}
+
+impl Binder<'_> {
+    fn fresh_col(&mut self, name: impl Into<String>, ty: DataType, nullable: bool) -> ColumnMeta {
+        let meta = ColumnMeta::new(self.gen.fresh(), name, ty, nullable);
+        self.col_meta.insert(meta.id, meta.clone());
+        meta
+    }
+
+    fn bind_set_expr(&mut self, body: &ast::SetExpr, scope: &Scope) -> Result<Bound> {
+        match body {
+            ast::SetExpr::Select(select) => self.bind_select(select, scope),
+            ast::SetExpr::UnionAll(left, right) => {
+                let l = self.bind_set_expr(left, scope)?;
+                let r = self.bind_set_expr(right, scope)?;
+                if l.cols.len() != r.cols.len() {
+                    return Err(Error::Bind(format!(
+                        "UNION ALL arity mismatch: {} vs {} columns",
+                        l.cols.len(),
+                        r.cols.len()
+                    )));
+                }
+                let cols: Vec<ColumnMeta> = l
+                    .cols
+                    .iter()
+                    .zip(&r.cols)
+                    .map(|(lc, rc)| self.fresh_col(lc.name.clone(), lc.ty, lc.nullable || rc.nullable))
+                    .collect();
+                let rel = RelExpr::UnionAll {
+                    left: Box::new(l.rel),
+                    right: Box::new(r.rel),
+                    cols: cols.clone(),
+                    left_map: l.cols.iter().map(|c| c.id).collect(),
+                    right_map: r.cols.iter().map(|c| c.id).collect(),
+                };
+                Ok(Bound { rel, cols })
+            }
+        }
+    }
+
+    fn bind_select(&mut self, select: &ast::Select, outer: &Scope) -> Result<Bound> {
+        let mut scope = outer.child();
+
+        // FROM: comma list folds into cross joins.
+        let mut rel: Option<RelExpr> = None;
+        for table_ref in &select.from {
+            let r = self.bind_table_ref(table_ref, outer, &mut scope)?;
+            rel = Some(match rel {
+                None => r,
+                Some(acc) => RelExpr::Join {
+                    kind: JoinKind::Inner,
+                    left: Box::new(acc),
+                    right: Box::new(r),
+                    predicate: ScalarExpr::true_(),
+                },
+            });
+        }
+        let mut rel = rel.unwrap_or(RelExpr::ConstRel {
+            cols: vec![],
+            rows: vec![vec![]],
+        });
+
+        // WHERE (aggregates not allowed here).
+        if let Some(w) = &select.where_ {
+            let predicate = self.bind_scalar(w, &scope, None)?;
+            rel = RelExpr::Select {
+                input: Box::new(rel),
+                predicate,
+            };
+        }
+
+        // GROUP BY columns.
+        let mut group_cols = Vec::new();
+        for g in &select.group_by {
+            match self.bind_scalar(g, &scope, None)? {
+                ScalarExpr::Column(id) => group_cols.push(id),
+                other => {
+                    return Err(Error::Bind(format!(
+                        "GROUP BY supports column references only, got {other}"
+                    )))
+                }
+            }
+        }
+
+        // Bind projection items and HAVING, collecting aggregates.
+        let mut collector = AggCollector::default();
+        let mut items: Vec<(ScalarExpr, Option<String>)> = Vec::new();
+        let mut saw_wildcard = false;
+        for item in &select.items {
+            match item {
+                ast::SelectItem::Wildcard => {
+                    saw_wildcard = true;
+                    for frame in scope.current() {
+                        for c in &frame.cols {
+                            items.push((ScalarExpr::Column(c.id), Some(c.name.clone())));
+                        }
+                    }
+                }
+                ast::SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_scalar(expr, &scope, Some(&mut collector))?;
+                    items.push((bound, alias.clone()));
+                }
+            }
+        }
+        let having = select
+            .having
+            .as_ref()
+            .map(|h| self.bind_scalar(h, &scope, Some(&mut collector)))
+            .transpose()?;
+
+        let grouped = !group_cols.is_empty() || !collector.defs.is_empty() || select.having.is_some();
+        if grouped {
+            if saw_wildcard {
+                return Err(Error::Bind(
+                    "SELECT * cannot be combined with aggregation".into(),
+                ));
+            }
+            // References to ungrouped current-level columns are errors.
+            let current: Vec<ColId> = scope.current_col_ids();
+            let agg_internal: std::collections::BTreeSet<ColId> = collector
+                .defs
+                .iter()
+                .flat_map(|d| d.arg.iter().flat_map(|a| a.cols()))
+                .collect();
+            let check = |expr: &ScalarExpr| -> Result<()> {
+                for c in expr.top_level_cols() {
+                    if current.contains(&c) && !group_cols.contains(&c) && !agg_internal.contains(&c)
+                    {
+                        return Err(Error::Bind(format!(
+                            "column {c} must appear in GROUP BY or inside an aggregate"
+                        )));
+                    }
+                }
+                Ok(())
+            };
+            for (expr, _) in &items {
+                check(expr)?;
+            }
+            if let Some(h) = &having {
+                check(h)?;
+            }
+            let kind = if group_cols.is_empty() {
+                GroupKind::Scalar
+            } else {
+                GroupKind::Vector
+            };
+            rel = RelExpr::GroupBy {
+                kind,
+                input: Box::new(rel),
+                group_cols,
+                aggs: collector.defs,
+            };
+            if let Some(h) = having {
+                rel = RelExpr::Select {
+                    input: Box::new(rel),
+                    predicate: h,
+                };
+            }
+        }
+
+        // Projection: bare columns pass through; computed items get a Map.
+        let mut out_cols: Vec<ColumnMeta> = Vec::with_capacity(items.len());
+        let mut defs: Vec<MapDef> = Vec::new();
+        for (i, (expr, alias)) in items.into_iter().enumerate() {
+            match expr {
+                ScalarExpr::Column(id) => {
+                    let meta = self
+                        .col_meta
+                        .get(&id)
+                        .cloned()
+                        .unwrap_or_else(|| ColumnMeta::new(id, format!("col{i}"), DataType::Int, true));
+                    let name = alias.unwrap_or_else(|| meta.name.clone());
+                    out_cols.push(ColumnMeta { name, ..meta });
+                }
+                computed => {
+                    let (ty, nullable) = self.infer_type(&computed);
+                    let name = alias.unwrap_or_else(|| format!("col{i}"));
+                    let meta = self.fresh_col(name, ty, nullable);
+                    defs.push(MapDef {
+                        col: meta.clone(),
+                        expr: computed,
+                    });
+                    out_cols.push(meta);
+                }
+            }
+        }
+        if !defs.is_empty() {
+            rel = RelExpr::Map {
+                input: Box::new(rel),
+                defs,
+            };
+        }
+        rel = RelExpr::Project {
+            input: Box::new(rel),
+            cols: out_cols.iter().map(|c| c.id).collect(),
+        };
+
+        if select.distinct {
+            rel = RelExpr::GroupBy {
+                kind: GroupKind::Vector,
+                input: Box::new(rel),
+                group_cols: out_cols.iter().map(|c| c.id).collect(),
+                aggs: vec![],
+            };
+        }
+        Ok(Bound {
+            rel,
+            cols: out_cols,
+        })
+    }
+
+    fn bind_table_ref(
+        &mut self,
+        table_ref: &ast::TableRef,
+        outer: &Scope,
+        scope: &mut Scope,
+    ) -> Result<RelExpr> {
+        match table_ref {
+            ast::TableRef::Table { name, alias } => {
+                let id = self.catalog.resolve(name)?;
+                let table = self.catalog.table(id);
+                let mut cols = Vec::with_capacity(table.def.columns.len());
+                for c in &table.def.columns {
+                    cols.push(self.fresh_col(c.name.clone(), c.ty, c.nullable));
+                }
+                let keys = table
+                    .def
+                    .keys
+                    .iter()
+                    .map(|k| k.iter().map(|&i| cols[i].id).collect())
+                    .collect();
+                let stats = table.stats();
+                let row_count = stats.map_or(1000.0, |s| s.row_count as f64);
+                let col_stats = (0..cols.len())
+                    .map(|i| match stats {
+                        Some(s) => {
+                            let cs = &s.columns[i];
+                            ColStat {
+                                ndv: (cs.ndv as f64).max(1.0),
+                                null_frac: if s.row_count == 0 {
+                                    0.0
+                                } else {
+                                    cs.null_count as f64 / s.row_count as f64
+                                },
+                                min: cs.min.as_ref().and_then(value_as_f64),
+                                max: cs.max.as_ref().and_then(value_as_f64),
+                            }
+                        }
+                        None => ColStat::unknown(),
+                    })
+                    .collect();
+                let indexes = table.indexes().iter().map(|ix| ix.cols.clone()).collect();
+                let get = RelExpr::Get(GetMeta {
+                    table: id,
+                    table_name: table.def.name.clone(),
+                    positions: (0..cols.len()).collect(),
+                    keys,
+                    row_count,
+                    col_stats,
+                    indexes,
+                    cols: cols.clone(),
+                });
+                scope.current_mut().push(Frame {
+                    alias: alias.clone().unwrap_or_else(|| table.def.name.clone()),
+                    cols,
+                });
+                Ok(get)
+            }
+            ast::TableRef::Derived { query, alias } => {
+                // Derived tables see outer scopes but not sibling frames.
+                let inner_scope = outer.clone();
+                let bound = self.bind_set_expr(&query.body, &inner_scope)?;
+                if !query.order_by.is_empty() {
+                    return Err(Error::Bind(
+                        "ORDER BY in a derived table is not supported".into(),
+                    ));
+                }
+                scope.current_mut().push(Frame {
+                    alias: alias.clone(),
+                    cols: bound.cols,
+                });
+                Ok(bound.rel)
+            }
+            ast::TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let l = self.bind_table_ref(left, outer, scope)?;
+                let r = self.bind_table_ref(right, outer, scope)?;
+                let predicate = self.bind_scalar(on, scope, None)?;
+                Ok(RelExpr::Join {
+                    kind: match kind {
+                        ast::JoinKind::Inner => JoinKind::Inner,
+                        ast::JoinKind::LeftOuter => JoinKind::LeftOuter,
+                    },
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    predicate,
+                })
+            }
+        }
+    }
+
+    fn bind_scalar(
+        &mut self,
+        expr: &ast::Expr,
+        scope: &Scope,
+        mut aggs: Option<&mut AggCollector>,
+    ) -> Result<ScalarExpr> {
+        match expr {
+            ast::Expr::Ident(parts) => Ok(ScalarExpr::Column(scope.resolve(parts)?.id)),
+            ast::Expr::Literal(lit) => Ok(ScalarExpr::Literal(match lit {
+                ast::Literal::Null => Value::Null,
+                ast::Literal::Bool(b) => Value::Bool(*b),
+                ast::Literal::Int(i) => Value::Int(*i),
+                ast::Literal::Float(f) => Value::Float(*f),
+                ast::Literal::Str(s) => Value::str(s),
+                ast::Literal::Date(d) => Value::Date(*d),
+            })),
+            ast::Expr::Binary { op, left, right } => {
+                let l = self.bind_scalar(left, scope, aggs.as_deref_mut())?;
+                let r = self.bind_scalar(right, scope, aggs)?;
+                Ok(match bin_op(*op) {
+                    BoundOp::Cmp(c) => ScalarExpr::cmp(c, l, r),
+                    BoundOp::Arith(a) => ScalarExpr::Arith {
+                        op: a,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                })
+            }
+            ast::Expr::Neg(e) => Ok(ScalarExpr::Neg(Box::new(self.bind_scalar(
+                e,
+                scope,
+                aggs,
+            )?))),
+            ast::Expr::And(a, b) => {
+                let l = self.bind_scalar(a, scope, aggs.as_deref_mut())?;
+                let r = self.bind_scalar(b, scope, aggs)?;
+                Ok(ScalarExpr::and([l, r]))
+            }
+            ast::Expr::Or(a, b) => {
+                let l = self.bind_scalar(a, scope, aggs.as_deref_mut())?;
+                let r = self.bind_scalar(b, scope, aggs)?;
+                Ok(ScalarExpr::Or(vec![l, r]))
+            }
+            ast::Expr::Not(e) => Ok(ScalarExpr::Not(Box::new(self.bind_scalar(
+                e,
+                scope,
+                aggs,
+            )?))),
+            ast::Expr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
+                expr: Box::new(self.bind_scalar(expr, scope, aggs)?),
+                negated: *negated,
+            }),
+            ast::Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                // x IN (a, b) desugars to x = a OR x = b.
+                let x = self.bind_scalar(expr, scope, aggs.as_deref_mut())?;
+                let mut arms = Vec::with_capacity(list.len());
+                for item in list {
+                    let v = self.bind_scalar(item, scope, aggs.as_deref_mut())?;
+                    arms.push(ScalarExpr::eq(x.clone(), v));
+                }
+                let test = ScalarExpr::Or(arms);
+                Ok(if *negated {
+                    ScalarExpr::Not(Box::new(test))
+                } else {
+                    test
+                })
+            }
+            ast::Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let x = self.bind_scalar(expr, scope, aggs)?;
+                let rel = self.bind_subquery(query, scope, 1)?;
+                Ok(ScalarExpr::InSubquery {
+                    expr: Box::new(x),
+                    rel: Box::new(rel),
+                    negated: *negated,
+                })
+            }
+            ast::Expr::Exists { query, negated } => {
+                let rel = self.bind_subquery(query, scope, 0)?;
+                Ok(ScalarExpr::Exists {
+                    rel: Box::new(rel),
+                    negated: *negated,
+                })
+            }
+            ast::Expr::Subquery(query) => {
+                let rel = self.bind_subquery(query, scope, 1)?;
+                Ok(ScalarExpr::Subquery(Box::new(rel)))
+            }
+            ast::Expr::Quantified {
+                op,
+                quant,
+                expr,
+                query,
+            } => {
+                let x = self.bind_scalar(expr, scope, aggs)?;
+                let rel = self.bind_subquery(query, scope, 1)?;
+                let cmp = match bin_op(*op) {
+                    BoundOp::Cmp(c) => c,
+                    BoundOp::Arith(_) => {
+                        return Err(Error::Bind("quantifier needs a comparison".into()))
+                    }
+                };
+                Ok(ScalarExpr::QuantifiedCmp {
+                    op: cmp,
+                    quant: match quant {
+                        ast::Quantifier::Any => Quant::Any,
+                        ast::Quantifier::All => Quant::All,
+                    },
+                    expr: Box::new(x),
+                    rel: Box::new(rel),
+                })
+            }
+            ast::Expr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
+                let operand = operand
+                    .as_ref()
+                    .map(|o| self.bind_scalar(o, scope, aggs.as_deref_mut()))
+                    .transpose()?
+                    .map(Box::new);
+                let mut bound_whens = Vec::with_capacity(whens.len());
+                for (w, t) in whens {
+                    let bw = self.bind_scalar(w, scope, aggs.as_deref_mut())?;
+                    let bt = self.bind_scalar(t, scope, aggs.as_deref_mut())?;
+                    bound_whens.push((bw, bt));
+                }
+                let else_ = else_
+                    .as_ref()
+                    .map(|e| self.bind_scalar(e, scope, aggs))
+                    .transpose()?
+                    .map(Box::new);
+                Ok(ScalarExpr::Case {
+                    operand,
+                    whens: bound_whens,
+                    else_,
+                })
+            }
+            ast::Expr::FuncCall {
+                name,
+                args,
+                distinct,
+                star,
+            } => {
+                let func = match name.as_str() {
+                    "count" if *star => AggFunc::CountStar,
+                    "count" => AggFunc::Count,
+                    "sum" => AggFunc::Sum,
+                    "min" => AggFunc::Min,
+                    "max" => AggFunc::Max,
+                    "avg" => AggFunc::Avg,
+                    other => {
+                        return Err(Error::Bind(format!("unknown function {other}")))
+                    }
+                };
+                let collector = aggs.ok_or_else(|| {
+                    Error::Bind(format!("aggregate {name} not allowed in this context"))
+                })?;
+                let arg = if *star {
+                    None
+                } else {
+                    if args.len() != 1 {
+                        return Err(Error::Bind(format!(
+                            "{name} takes exactly one argument"
+                        )));
+                    }
+                    // Nested aggregates are invalid.
+                    Some(self.bind_scalar(&args[0], scope, None)?)
+                };
+                let arg_ty = arg
+                    .as_ref()
+                    .map(|a| self.infer_type(a).0)
+                    .unwrap_or(DataType::Int);
+                let ty = func.output_type(Some(arg_ty));
+                let nullable = func.output_nullable();
+                let out = self.fresh_col(format!("{name}_{}", self.gen.peek()), ty, nullable);
+                let id = collector.register(func, arg, *distinct, out);
+                Ok(ScalarExpr::Column(id))
+            }
+        }
+    }
+
+    fn bind_subquery(
+        &mut self,
+        query: &ast::Query,
+        scope: &Scope,
+        expect_cols: usize,
+    ) -> Result<RelExpr> {
+        if !query.order_by.is_empty() {
+            return Err(Error::Bind("ORDER BY in a subquery is not supported".into()));
+        }
+        let bound = self.bind_set_expr(&query.body, scope)?;
+        if expect_cols > 0 && bound.cols.len() != expect_cols {
+            return Err(Error::Bind(format!(
+                "subquery must return {expect_cols} column(s), got {}",
+                bound.cols.len()
+            )));
+        }
+        Ok(bound.rel)
+    }
+
+    fn bind_order_by(
+        &mut self,
+        order_by: &[(ast::Expr, bool)],
+        bound: &Bound,
+    ) -> Result<Vec<(ColId, bool)>> {
+        let mut out = Vec::with_capacity(order_by.len());
+        for (item, desc) in order_by {
+            let id = match item {
+                ast::Expr::Literal(ast::Literal::Int(pos)) => {
+                    let idx = *pos as usize;
+                    if idx == 0 || idx > bound.cols.len() {
+                        return Err(Error::Bind(format!("ORDER BY position {pos} out of range")));
+                    }
+                    bound.cols[idx - 1].id
+                }
+                ast::Expr::Ident(parts) if parts.len() == 1 => bound
+                    .cols
+                    .iter()
+                    .find(|c| c.name == parts[0])
+                    .map(|c| c.id)
+                    .ok_or_else(|| Error::UnknownColumn(parts[0].clone()))?,
+                other => {
+                    return Err(Error::Bind(format!(
+                        "ORDER BY supports output columns or positions, got {other:?}"
+                    )))
+                }
+            };
+            out.push((id, *desc));
+        }
+        Ok(out)
+    }
+
+    /// Lightweight type inference over bound expressions using the
+    /// binder's column registry.
+    fn infer_type(&self, expr: &ScalarExpr) -> (DataType, bool) {
+        match expr {
+            ScalarExpr::Column(c) => self
+                .col_meta
+                .get(c)
+                .map(|m| (m.ty, m.nullable))
+                .unwrap_or((DataType::Int, true)),
+            ScalarExpr::Literal(v) => (v.data_type().unwrap_or(DataType::Int), v.is_null()),
+            ScalarExpr::Cmp { left, right, .. } => {
+                let n = self.infer_type(left).1 || self.infer_type(right).1;
+                (DataType::Bool, n)
+            }
+            ScalarExpr::Arith { op, left, right } => {
+                let (lt, ln) = self.infer_type(left);
+                let (rt, rn) = self.infer_type(right);
+                let ty = if matches!(op, ArithOp::Div)
+                    || lt == DataType::Float
+                    || rt == DataType::Float
+                {
+                    DataType::Float
+                } else {
+                    lt
+                };
+                (ty, ln || rn)
+            }
+            ScalarExpr::Neg(e) => self.infer_type(e),
+            ScalarExpr::And(ps) | ScalarExpr::Or(ps) => {
+                (DataType::Bool, ps.iter().any(|p| self.infer_type(p).1))
+            }
+            ScalarExpr::Not(e) => (DataType::Bool, self.infer_type(e).1),
+            ScalarExpr::IsNull { .. } => (DataType::Bool, false),
+            ScalarExpr::Case { whens, else_, .. } => {
+                let (ty, mut nullable) = whens
+                    .first()
+                    .map(|(_, t)| self.infer_type(t))
+                    .unwrap_or((DataType::Int, true));
+                for (_, t) in whens.iter().skip(1) {
+                    nullable |= self.infer_type(t).1;
+                }
+                nullable |= else_.as_ref().is_none_or(|e| self.infer_type(e).1);
+                (ty, nullable)
+            }
+            ScalarExpr::Subquery(rel) => rel
+                .output_cols()
+                .first()
+                .map(|c| (c.ty, true))
+                .unwrap_or((DataType::Int, true)),
+            ScalarExpr::Exists { .. }
+            | ScalarExpr::InSubquery { .. }
+            | ScalarExpr::QuantifiedCmp { .. } => (DataType::Bool, true),
+        }
+    }
+}
+
+fn value_as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Date(d) => Some(*d as f64),
+        _ => None,
+    }
+}
+
+enum BoundOp {
+    Cmp(CmpOp),
+    Arith(ArithOp),
+}
+
+fn bin_op(op: ast::BinOp) -> BoundOp {
+    match op {
+        ast::BinOp::Eq => BoundOp::Cmp(CmpOp::Eq),
+        ast::BinOp::Ne => BoundOp::Cmp(CmpOp::Ne),
+        ast::BinOp::Lt => BoundOp::Cmp(CmpOp::Lt),
+        ast::BinOp::Le => BoundOp::Cmp(CmpOp::Le),
+        ast::BinOp::Gt => BoundOp::Cmp(CmpOp::Gt),
+        ast::BinOp::Ge => BoundOp::Cmp(CmpOp::Ge),
+        ast::BinOp::Add => BoundOp::Arith(ArithOp::Add),
+        ast::BinOp::Sub => BoundOp::Arith(ArithOp::Sub),
+        ast::BinOp::Mul => BoundOp::Arith(ArithOp::Mul),
+        ast::BinOp::Div => BoundOp::Arith(ArithOp::Div),
+    }
+}
+
+/// Column references of an expression *excluding* those inside relational
+/// subqueries — used for GROUP BY validation, where a correlated
+/// subquery's internal references don't count.
+trait TopLevelCols {
+    fn top_level_cols(&self) -> Vec<ColId>;
+}
+
+impl TopLevelCols for ScalarExpr {
+    fn top_level_cols(&self) -> Vec<ColId> {
+        let mut out = Vec::new();
+        fn go(e: &ScalarExpr, out: &mut Vec<ColId>) {
+            match e {
+                ScalarExpr::Column(c) => out.push(*c),
+                ScalarExpr::Literal(_) => {}
+                ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+                    go(left, out);
+                    go(right, out);
+                }
+                ScalarExpr::Neg(x) | ScalarExpr::Not(x) => go(x, out),
+                ScalarExpr::And(ps) | ScalarExpr::Or(ps) => {
+                    for p in ps {
+                        go(p, out);
+                    }
+                }
+                ScalarExpr::IsNull { expr, .. } => go(expr, out),
+                ScalarExpr::Case {
+                    operand,
+                    whens,
+                    else_,
+                } => {
+                    if let Some(o) = operand {
+                        go(o, out);
+                    }
+                    for (w, t) in whens {
+                        go(w, out);
+                        go(t, out);
+                    }
+                    if let Some(x) = else_ {
+                        go(x, out);
+                    }
+                }
+                // Subquery bodies excluded; their left-hand operands count.
+                ScalarExpr::Subquery(_) | ScalarExpr::Exists { .. } => {}
+                ScalarExpr::InSubquery { expr, .. } | ScalarExpr::QuantifiedCmp { expr, .. } => {
+                    go(expr, out)
+                }
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}

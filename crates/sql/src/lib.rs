@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! SQL front end for `orthopt`.
+//!
+//! Implements the "parse and bind" step of §4: SQL text becomes an
+//! operator tree "containing both relational and scalar operators",
+//! where any scalar expression may have relational children (correlated
+//! subqueries are allowed anywhere scalar expressions are, §2.1). The
+//! output of [`bind`] is the *un-normalized* form — Figure 3 of the
+//! paper — which `orthopt-rewrite` then normalizes.
+//!
+//! The dialect is the subset of SQL-92 the paper exercises: SELECT
+//! (DISTINCT) lists with expressions and subqueries, FROM with inner /
+//! left outer joins and derived tables, WHERE, GROUP BY / HAVING,
+//! UNION ALL, ORDER BY, EXISTS / IN / quantified comparisons, CASE, and
+//! the five standard aggregates.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::{bind, BoundQuery};
+pub use parser::parse;
+
+use orthopt_common::Result;
+use orthopt_storage::Catalog;
+
+/// Convenience: parse + bind in one call.
+pub fn compile(sql: &str, catalog: &Catalog) -> Result<BoundQuery> {
+    let query = parse(sql)?;
+    bind(&query, catalog)
+}

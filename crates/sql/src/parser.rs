@@ -1,0 +1,844 @@
+//! Recursive-descent parser.
+
+use orthopt_common::{Error, Result};
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Sym, Token};
+
+/// Parses one SQL query (optionally `;`-terminated).
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    p.eat_symbol(Sym::Semi);
+    if !p.at_end() {
+        return Err(Error::Parse(format!(
+            "trailing input at token {:?}",
+            p.peek()
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {kw:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {s:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) if !is_reserved(&s) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // query := set_expr [ORDER BY expr (, expr)*]
+    fn parse_query(&mut self) -> Result<Query> {
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((expr, desc));
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(Error::Parse(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query { body, order_by, limit })
+    }
+
+    // set_expr := select (UNION ALL select)*
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = SetExpr::Select(Box::new(self.parse_select()?));
+        while self.peek_kw("union") {
+            self.pos += 1;
+            self.expect_kw("all")?;
+            let right = SetExpr::Select(Box::new(self.parse_select()?));
+            left = SetExpr::UnionAll(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol(Sym::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.expect_ident()?)
+                } else if let Some(Token::Ident(s)) = self.peek() {
+                    if !is_reserved(s) {
+                        let s = s.clone();
+                        self.pos += 1;
+                        Some(s)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.parse_table_ref()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_ = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_,
+            group_by,
+            having,
+        })
+    }
+
+    // table_ref := primary_ref (join primary_ref ON expr)*
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_primary_ref()?;
+        loop {
+            let kind = if self.peek_kw("join") || self.peek_kw("inner") {
+                self.eat_kw("inner");
+                self.expect_kw("join")?;
+                JoinKind::Inner
+            } else if self.peek_kw("left") {
+                self.pos += 1;
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::LeftOuter
+            } else {
+                break;
+            };
+            let right = self.parse_primary_ref()?;
+            self.expect_kw("on")?;
+            let on = self.parse_expr()?;
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_primary_ref(&mut self) -> Result<TableRef> {
+        if self.eat_symbol(Sym::LParen) {
+            // Derived table or parenthesized join.
+            if self.peek_kw("select") {
+                let query = self.parse_query()?;
+                self.expect_symbol(Sym::RParen)?;
+                self.eat_kw("as");
+                let alias = self.expect_ident()?;
+                return Ok(TableRef::Derived { query, alias });
+            }
+            let inner = self.parse_table_ref()?;
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.expect_ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident()?)
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            if !is_reserved(s) {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // Expression precedence: OR < AND < NOT < predicate < add < mul < unary.
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_predicate()
+    }
+
+    // predicate := additive [cmp (additive | ANY/ALL subquery)]
+    //            | additive IS [NOT] NULL
+    //            | additive [NOT] IN (list | subquery)
+    //            | additive BETWEEN additive AND additive
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        if self.peek_kw("exists") {
+            self.pos += 1;
+            self.expect_symbol(Sym::LParen)?;
+            let q = self.parse_query()?;
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::Exists {
+                query: Box::new(q),
+                negated: false,
+            });
+        }
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN / BETWEEN
+        let negated = if self.peek_kw("not")
+            && matches!(self.peek2(), Some(Token::Ident(s)) if s == "in" || s == "between")
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("in") {
+            self.expect_symbol(Sym::LParen)?;
+            if self.peek_kw("select") {
+                let q = self.parse_query()?;
+                self.expect_symbol(Sym::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(q),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("between") {
+            let lo = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let hi = self.parse_additive()?;
+            let test = Expr::And(
+                Box::new(Expr::Binary {
+                    op: BinOp::Ge,
+                    left: Box::new(left.clone()),
+                    right: Box::new(lo),
+                }),
+                Box::new(Expr::Binary {
+                    op: BinOp::Le,
+                    left: Box::new(left),
+                    right: Box::new(hi),
+                }),
+            );
+            return Ok(if negated {
+                Expr::Not(Box::new(test))
+            } else {
+                test
+            });
+        }
+        if negated {
+            return Err(Error::Parse("dangling NOT".into()));
+        }
+        // Comparison.
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => Some(BinOp::Eq),
+            Some(Token::Symbol(Sym::Ne)) => Some(BinOp::Ne),
+            Some(Token::Symbol(Sym::Lt)) => Some(BinOp::Lt),
+            Some(Token::Symbol(Sym::Le)) => Some(BinOp::Le),
+            Some(Token::Symbol(Sym::Gt)) => Some(BinOp::Gt),
+            Some(Token::Symbol(Sym::Ge)) => Some(BinOp::Ge),
+            _ => None,
+        };
+        let Some(op) = op else { return Ok(left) };
+        self.pos += 1;
+        // Quantified comparison?
+        if self.peek_kw("any") || self.peek_kw("some") || self.peek_kw("all") {
+            let quant = if self.eat_kw("all") {
+                Quantifier::All
+            } else {
+                self.eat_kw("any");
+                self.eat_kw("some");
+                Quantifier::Any
+            };
+            self.expect_symbol(Sym::LParen)?;
+            let q = self.parse_query()?;
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::Quantified {
+                op,
+                quant,
+                expr: Box::new(left),
+                query: Box::new(q),
+            });
+        }
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Plus)) => BinOp::Add,
+                Some(Token::Symbol(Sym::Minus)) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Star)) => BinOp::Mul,
+                Some(Token::Symbol(Sym::Slash)) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol(Sym::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.parse_primary_expr()
+    }
+
+    fn parse_primary_expr(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Float(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(Token::Symbol(Sym::LParen)) => {
+                self.pos += 1;
+                if self.peek_kw("select") {
+                    let q = self.parse_query()?;
+                    self.expect_symbol(Sym::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(q)));
+                }
+                let e = self.parse_expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(word)) => match word.as_str() {
+                "null" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Literal::Null))
+                }
+                "true" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Literal::Bool(true)))
+                }
+                "false" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Literal::Bool(false)))
+                }
+                "date" => {
+                    // DATE 'yyyy-mm-dd'
+                    self.pos += 1;
+                    match self.next() {
+                        Some(Token::Str(s)) => {
+                            Ok(Expr::Literal(Literal::Date(parse_date(&s)?)))
+                        }
+                        other => Err(Error::Parse(format!(
+                            "expected date string, found {other:?}"
+                        ))),
+                    }
+                }
+                "case" => self.parse_case(),
+                _ => {
+                    // Function call or identifier.
+                    if matches!(self.peek2(), Some(Token::Symbol(Sym::LParen)))
+                        && !is_reserved(&word)
+                    {
+                        self.pos += 2;
+                        let distinct = self.eat_kw("distinct");
+                        let mut star = false;
+                        let mut args = Vec::new();
+                        if self.eat_symbol(Sym::Star) {
+                            star = true;
+                        } else if !matches!(self.peek(), Some(Token::Symbol(Sym::RParen))) {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if !self.eat_symbol(Sym::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(Expr::FuncCall {
+                            name: word,
+                            args,
+                            distinct,
+                            star,
+                        });
+                    }
+                    if is_reserved(&word) {
+                        return Err(Error::Parse(format!(
+                            "unexpected keyword {word:?} in expression"
+                        )));
+                    }
+                    self.pos += 1;
+                    let mut parts = vec![word];
+                    while self.eat_symbol(Sym::Dot) {
+                        parts.push(self.expect_ident()?);
+                    }
+                    Ok(Expr::Ident(parts))
+                }
+            },
+            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_kw("case")?;
+        let operand = if self.peek_kw("when") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut whens = Vec::new();
+        while self.eat_kw("when") {
+            let w = self.parse_expr()?;
+            self.expect_kw("then")?;
+            let t = self.parse_expr()?;
+            whens.push((w, t));
+        }
+        if whens.is_empty() {
+            return Err(Error::Parse("CASE without WHEN".into()));
+        }
+        let else_ = if self.eat_kw("else") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("end")?;
+        Ok(Expr::Case {
+            operand,
+            whens,
+            else_,
+        })
+    }
+}
+
+/// Days since 1970-01-01 for a `yyyy-mm-dd` string (proleptic Gregorian).
+pub fn parse_date(s: &str) -> Result<i32> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(Error::Parse(format!("bad date literal {s:?}")));
+    }
+    let y: i64 = parts[0]
+        .parse()
+        .map_err(|_| Error::Parse(format!("bad date {s:?}")))?;
+    let m: i64 = parts[1]
+        .parse()
+        .map_err(|_| Error::Parse(format!("bad date {s:?}")))?;
+    let d: i64 = parts[2]
+        .parse()
+        .map_err(|_| Error::Parse(format!("bad date {s:?}")))?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(Error::Parse(format!("bad date {s:?}")));
+    }
+    // Howard Hinnant's days_from_civil.
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Ok((era * 146_097 + doe - 719_468) as i32)
+}
+
+fn is_reserved(word: &str) -> bool {
+    matches!(
+        word,
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "by"
+            | "having"
+            | "order"
+            | "union"
+            | "all"
+            | "any"
+            | "some"
+            | "distinct"
+            | "as"
+            | "on"
+            | "join"
+            | "inner"
+            | "left"
+            | "outer"
+            | "and"
+            | "or"
+            | "not"
+            | "in"
+            | "is"
+            | "null"
+            | "exists"
+            | "between"
+            | "case"
+            | "when"
+            | "then"
+            | "else"
+            | "end"
+            | "true"
+            | "false"
+            | "asc"
+            | "desc"
+            | "limit"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q1() {
+        let q = parse(
+            "select c_custkey from customer where 1000000 < \
+             (select sum(o_totalprice) from orders where o_custkey = c_custkey)",
+        )
+        .unwrap();
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert_eq!(s.items.len(), 1);
+        let Some(Expr::Binary { op: BinOp::Lt, right, .. }) = &s.where_ else {
+            panic!("where: {:?}", s.where_)
+        };
+        assert!(matches!(right.as_ref(), Expr::Subquery(_)));
+    }
+
+    #[test]
+    fn parses_outerjoin_groupby_having() {
+        let q = parse(
+            "select c_custkey from customer left outer join orders \
+             on o_custkey = c_custkey group by c_custkey \
+             having 1000000 < sum(o_totalprice)",
+        )
+        .unwrap();
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(s.from[0], TableRef::Join { kind: JoinKind::LeftOuter, .. }));
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+    }
+
+    #[test]
+    fn parses_derived_table() {
+        let q = parse(
+            "select * from customer, (select o_custkey from orders group by o_custkey) \
+             as aggresult where o_custkey = c_custkey",
+        )
+        .unwrap();
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert_eq!(s.from.len(), 2);
+        assert!(matches!(&s.from[1], TableRef::Derived { alias, .. } if alias == "aggresult"));
+    }
+
+    #[test]
+    fn parses_union_all() {
+        let q = parse("select a from t union all select b from u").unwrap();
+        assert!(matches!(q.body, SetExpr::UnionAll(_, _)));
+    }
+
+    #[test]
+    fn parses_exists_and_not_exists() {
+        let q = parse("select 1 from t where not exists (select 1 from u)").unwrap();
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(
+            s.where_,
+            Some(Expr::Not(ref inner)) if matches!(**inner, Expr::Exists { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_quantified_and_in() {
+        let q = parse(
+            "select 1 from t where a > all (select b from u) and c in (select d from v) \
+             and e not in (1, 2, 3)",
+        )
+        .unwrap();
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        let mut found_quant = false;
+        let mut found_insub = false;
+        let mut found_inlist = false;
+        fn walk(e: &Expr, f: &mut impl FnMut(&Expr)) {
+            f(e);
+            match e {
+                Expr::And(a, b) | Expr::Or(a, b) => {
+                    walk(a, f);
+                    walk(b, f);
+                }
+                Expr::Not(a) => walk(a, f),
+                _ => {}
+            }
+        }
+        walk(s.where_.as_ref().unwrap(), &mut |e| match e {
+            Expr::Quantified { .. } => found_quant = true,
+            Expr::InSubquery { .. } => found_insub = true,
+            Expr::InList { negated: true, .. } => found_inlist = true,
+            _ => {}
+        });
+        assert!(found_quant && found_insub && found_inlist);
+    }
+
+    #[test]
+    fn parses_case_and_arithmetic_precedence() {
+        let q = parse("select case when a then 1 else 2 end, 1 + 2 * 3 from t").unwrap();
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.items[1] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        assert!(matches!(
+            expr,
+            Expr::Binary { op: BinOp::Add, right, .. }
+                if matches!(**right, Expr::Binary { op: BinOp::Mul, .. })
+        ));
+    }
+
+    #[test]
+    fn parses_between_as_range() {
+        let q = parse("select 1 from t where a between 1 and 3").unwrap();
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(s.where_, Some(Expr::And(_, _))));
+    }
+
+    #[test]
+    fn date_literal_days() {
+        assert_eq!(parse_date("1970-01-01").unwrap(), 0);
+        assert_eq!(parse_date("1970-01-02").unwrap(), 1);
+        assert_eq!(parse_date("2000-01-01").unwrap(), 10957);
+        assert!(parse_date("1970-13-01").is_err());
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let q = parse("select count(*), count(distinct a) from t").unwrap();
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: Expr::FuncCall { star: true, .. }, .. }
+        ));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: Expr::FuncCall { distinct: true, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("select 1 from t extra garbage here").is_err());
+    }
+
+    #[test]
+    fn qualified_names() {
+        let q = parse("select t.a from s t where t.a = 1").unwrap();
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: Expr::Ident(parts), .. } if parts.len() == 2
+        ));
+    }
+
+    #[test]
+    fn order_by_parses() {
+        let q = parse("select a from t order by a, b").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+    }
+}

@@ -1,0 +1,341 @@
+//! End-to-end front-end tests: SQL text → bind → reference interpreter.
+//!
+//! These validate the §2.1 pipeline: the binder's mutually recursive
+//! output executes correctly (if naively) before any normalization.
+
+use orthopt_common::row::bag_eq;
+use orthopt_common::{DataType, Error, Value};
+use orthopt_exec::Reference;
+use orthopt_sql::compile;
+use orthopt_storage::{Catalog, ColumnDef, TableDef};
+
+fn fixture() -> Catalog {
+    let mut catalog = Catalog::new();
+    let cust = catalog
+        .create_table(TableDef::new(
+            "customer",
+            vec![
+                ColumnDef::new("c_custkey", DataType::Int),
+                ColumnDef::new("c_name", DataType::Str),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    let orders = catalog
+        .create_table(TableDef::new(
+            "orders",
+            vec![
+                ColumnDef::new("o_orderkey", DataType::Int),
+                ColumnDef::new("o_custkey", DataType::Int),
+                ColumnDef::nullable("o_totalprice", DataType::Float),
+            ],
+            vec![vec![0]],
+        ))
+        .unwrap();
+    catalog
+        .table_mut(cust)
+        .insert_all([
+            vec![Value::Int(1), Value::str("alice")],
+            vec![Value::Int(2), Value::str("bob")],
+            vec![Value::Int(3), Value::str("carol")],
+        ])
+        .unwrap();
+    catalog
+        .table_mut(orders)
+        .insert_all([
+            vec![Value::Int(10), Value::Int(1), Value::Float(100.0)],
+            vec![Value::Int(11), Value::Int(1), Value::Float(200.0)],
+            vec![Value::Int(12), Value::Int(2), Value::Float(50.0)],
+            vec![Value::Int(13), Value::Int(2), Value::Null],
+        ])
+        .unwrap();
+    catalog.analyze_all();
+    catalog
+}
+
+fn run(catalog: &Catalog, sql: &str) -> Vec<Vec<Value>> {
+    let bound = compile(sql, catalog).expect("compile");
+    Reference::new(catalog).run(&bound.rel).expect("run").rows
+}
+
+#[test]
+fn paper_q1_correlated_subquery() {
+    let catalog = fixture();
+    let rows = run(
+        &catalog,
+        "select c_custkey from customer where 150 < \
+         (select sum(o_totalprice) from orders where o_custkey = c_custkey)",
+    );
+    assert!(bag_eq(&rows, &[vec![Value::Int(1)]]));
+}
+
+#[test]
+fn paper_q1_outerjoin_formulation_is_equivalent() {
+    let catalog = fixture();
+    let a = run(
+        &catalog,
+        "select c_custkey from customer where 150 < \
+         (select sum(o_totalprice) from orders where o_custkey = c_custkey)",
+    );
+    let b = run(
+        &catalog,
+        "select c_custkey from customer left outer join orders \
+         on o_custkey = c_custkey group by c_custkey \
+         having 150 < sum(o_totalprice)",
+    );
+    assert!(bag_eq(&a, &b));
+}
+
+#[test]
+fn paper_q1_derived_table_formulation_is_equivalent() {
+    let catalog = fixture();
+    let a = run(
+        &catalog,
+        "select c_custkey from customer where 150 < \
+         (select sum(o_totalprice) from orders where o_custkey = c_custkey)",
+    );
+    let b = run(
+        &catalog,
+        "select c_custkey from customer, \
+         (select o_custkey from orders group by o_custkey \
+          having 150 < sum(o_totalprice)) as aggresult \
+         where o_custkey = c_custkey",
+    );
+    assert!(bag_eq(&a, &b));
+}
+
+#[test]
+fn select_list_scalar_subquery_with_null_for_empty() {
+    let catalog = fixture();
+    let rows = run(
+        &catalog,
+        "select c_custkey, (select sum(o_totalprice) from orders \
+         where o_custkey = c_custkey) as total from customer",
+    );
+    assert_eq!(rows.len(), 3);
+    let carol = rows.iter().find(|r| r[0] == Value::Int(3)).unwrap();
+    assert!(carol[1].is_null());
+    let alice = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+    assert_eq!(alice[1], Value::Float(300.0));
+}
+
+#[test]
+fn paper_q2_exception_subquery_raises() {
+    let catalog = fixture();
+    let bound = compile(
+        "select c_name, (select o_orderkey from orders where o_custkey = c_custkey) \
+         from customer",
+        &catalog,
+    )
+    .unwrap();
+    let err = Reference::new(&catalog).run(&bound.rel).unwrap_err();
+    assert_eq!(err, Error::SubqueryReturnedMoreThanOneRow);
+}
+
+#[test]
+fn exists_not_exists_in_where() {
+    let catalog = fixture();
+    let with_orders = run(
+        &catalog,
+        "select c_custkey from customer where exists \
+         (select 1 from orders where o_custkey = c_custkey)",
+    );
+    assert!(bag_eq(&with_orders, &[vec![Value::Int(1)], vec![Value::Int(2)]]));
+    let without = run(
+        &catalog,
+        "select c_custkey from customer where not exists \
+         (select 1 from orders where o_custkey = c_custkey)",
+    );
+    assert!(bag_eq(&without, &[vec![Value::Int(3)]]));
+}
+
+#[test]
+fn in_subquery_and_not_in_with_nulls() {
+    let catalog = fixture();
+    let have = run(
+        &catalog,
+        "select c_custkey from customer where c_custkey in \
+         (select o_custkey from orders)",
+    );
+    assert!(bag_eq(&have, &[vec![Value::Int(1)], vec![Value::Int(2)]]));
+    // NOT IN over a column containing NULL filters everything.
+    let none = run(
+        &catalog,
+        "select c_custkey from customer where 125 not in \
+         (select o_totalprice from orders)",
+    );
+    assert!(none.is_empty());
+}
+
+#[test]
+fn group_by_with_having_and_expression_items() {
+    let catalog = fixture();
+    let rows = run(
+        &catalog,
+        "select o_custkey, sum(o_totalprice) * 2 as dbl, count(*) as n \
+         from orders group by o_custkey having count(*) >= 2",
+    );
+    assert_eq!(rows.len(), 2);
+    let one = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+    assert_eq!(one[1], Value::Float(600.0));
+    assert_eq!(one[2], Value::Int(2));
+    let two = rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+    assert_eq!(two[1], Value::Float(100.0)); // NULL skipped by SUM
+}
+
+#[test]
+fn scalar_aggregate_without_group_by() {
+    let catalog = fixture();
+    let rows = run(&catalog, "select count(*), avg(o_totalprice) from orders");
+    assert_eq!(rows, vec![vec![Value::Int(4), Value::Float(350.0 / 3.0)]]);
+    // Scalar aggregation over an empty filter result still yields a row.
+    let rows = run(
+        &catalog,
+        "select count(*), sum(o_totalprice) from orders where o_orderkey > 999",
+    );
+    assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
+}
+
+#[test]
+fn distinct_collapses_duplicates() {
+    let catalog = fixture();
+    let rows = run(&catalog, "select distinct o_custkey from orders");
+    assert!(bag_eq(&rows, &[vec![Value::Int(1)], vec![Value::Int(2)]]));
+}
+
+#[test]
+fn union_all_keeps_duplicates() {
+    let catalog = fixture();
+    let rows = run(
+        &catalog,
+        "select c_custkey from customer union all select o_custkey from orders",
+    );
+    assert_eq!(rows.len(), 7);
+}
+
+#[test]
+fn quantified_comparison_binds_and_runs() {
+    let catalog = fixture();
+    let rows = run(
+        &catalog,
+        "select c_custkey from customer where c_custkey <= all \
+         (select o_custkey from orders)",
+    );
+    assert!(bag_eq(&rows, &[vec![Value::Int(1)]]));
+}
+
+#[test]
+fn case_expression_in_select() {
+    let catalog = fixture();
+    let rows = run(
+        &catalog,
+        "select c_custkey, case when c_custkey = 1 then 'vip' else 'std' end \
+         from customer",
+    );
+    let alice = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+    assert_eq!(alice[1], Value::str("vip"));
+}
+
+#[test]
+fn qualified_references_and_aliases() {
+    let catalog = fixture();
+    let rows = run(
+        &catalog,
+        "select c.c_custkey from customer c, orders o \
+         where c.c_custkey = o.o_custkey and o.o_totalprice > 150",
+    );
+    assert!(bag_eq(&rows, &[vec![Value::Int(1)]]));
+}
+
+#[test]
+fn bind_errors() {
+    let catalog = fixture();
+    for (sql, what) in [
+        ("select nope from customer", "unknown column"),
+        ("select * from nope", "unknown table"),
+        (
+            "select o_custkey, o_totalprice from orders group by o_custkey",
+            "ungrouped",
+        ),
+        (
+            "select c_custkey from customer where sum(c_custkey) > 1",
+            "aggregate in WHERE",
+        ),
+        (
+            "select (select o_orderkey, o_custkey from orders) from customer",
+            "multi-column scalar subquery",
+        ),
+        ("select c_custkey from customer, orders where o_orderkey in (select 1, 2)", "arity"),
+    ] {
+        assert!(compile(sql, &catalog).is_err(), "should fail: {what}: {sql}");
+    }
+}
+
+#[test]
+fn ambiguous_column_is_an_error() {
+    let mut catalog = fixture();
+    catalog
+        .create_table(TableDef::new(
+            "orders2",
+            vec![ColumnDef::new("o_custkey", DataType::Int)],
+            vec![],
+        ))
+        .unwrap();
+    assert!(compile(
+        "select o_custkey from orders, orders2",
+        &catalog
+    )
+    .is_err());
+}
+
+#[test]
+fn order_by_resolves_names_and_positions() {
+    let catalog = fixture();
+    let bound = compile(
+        "select c_custkey, c_name from customer order by c_name, 1",
+        &catalog,
+    )
+    .unwrap();
+    assert_eq!(bound.order_by.len(), 2);
+    assert_eq!(bound.order_by[0], (bound.output[1].id, false));
+    assert_eq!(bound.order_by[1], (bound.output[0].id, false));
+}
+
+#[test]
+fn output_names_follow_aliases() {
+    let catalog = fixture();
+    let bound = compile(
+        "select c_custkey as id, c_name from customer",
+        &catalog,
+    )
+    .unwrap();
+    assert_eq!(bound.output[0].name, "id");
+    assert_eq!(bound.output[1].name, "c_name");
+}
+
+#[test]
+fn correlated_subquery_uses_free_columns() {
+    let catalog = fixture();
+    let bound = compile(
+        "select c_custkey from customer where 150 < \
+         (select sum(o_totalprice) from orders where o_custkey = c_custkey)",
+        &catalog,
+    )
+    .unwrap();
+    // The subquery marker's relational body must reference the outer
+    // customer key as a free column.
+    let mut free_found = false;
+    bound.rel.walk_scalars(&mut |e| {
+        if let orthopt_ir::ScalarExpr::Subquery(rel) = e {
+            free_found = !rel.free_cols().is_empty();
+        }
+    });
+    assert!(free_found);
+}
+
+#[test]
+fn select_without_from() {
+    let catalog = fixture();
+    let rows = run(&catalog, "select 1 + 1, 'x'");
+    assert_eq!(rows, vec![vec![Value::Int(2), Value::str("x")]]);
+}

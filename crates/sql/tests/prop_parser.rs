@@ -1,0 +1,66 @@
+//! Parser robustness: random input must never panic — it either parses
+//! or returns a parse error — and structured generated queries must
+//! always parse.
+
+use orthopt_sql::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(s in "\\PC{0,120}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop_oneof![
+            Just("select".to_string()),
+            Just("from".to_string()),
+            Just("where".to_string()),
+            Just("group".to_string()),
+            Just("by".to_string()),
+            Just("having".to_string()),
+            Just("exists".to_string()),
+            Just("in".to_string()),
+            Just("not".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just(",".to_string()),
+            Just("*".to_string()),
+            Just("=".to_string()),
+            Just("<".to_string()),
+            Just("'str'".to_string()),
+            Just("42".to_string()),
+            Just("3.5".to_string()),
+            Just("tbl".to_string()),
+            Just("col".to_string()),
+        ],
+        0..24,
+    )) {
+        let _ = parse(&tokens.join(" "));
+    }
+
+    #[test]
+    fn generated_selects_parse(
+        ncols in 1usize..4,
+        threshold in 0i64..100,
+        use_group in any::<bool>(),
+        cmp in prop_oneof![Just("<"), Just(">="), Just("=")],
+    ) {
+        let cols: Vec<String> = (0..ncols).map(|i| format!("c{i}")).collect();
+        let mut sql = format!("select {} from t where c0 {} {}", cols.join(", "), cmp, threshold);
+        if use_group {
+            sql.push_str(&format!(" group by {}", cols.join(", ")));
+        }
+        parse(&sql).expect("generated query must parse");
+    }
+
+    #[test]
+    fn nested_subqueries_parse(depth in 1usize..6) {
+        let mut sql = "select a from t0".to_string();
+        for d in 1..=depth {
+            sql = format!("select a from t{d} where x in ({sql})");
+        }
+        parse(&sql).expect("nested query must parse");
+    }
+}

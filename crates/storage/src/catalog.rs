@@ -1,0 +1,111 @@
+//! The catalog: a named collection of tables.
+
+use std::collections::HashMap;
+
+use orthopt_common::{Error, Result, TableId};
+
+use crate::table::{Table, TableDef};
+
+/// Owns all tables of a database and resolves names to [`TableId`]s.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a table and returns its id. Fails on duplicate names or
+    /// invalid key declarations.
+    pub fn create_table(&mut self, def: TableDef) -> Result<TableId> {
+        let name = def.name.clone();
+        if self.by_name.contains_key(&name) {
+            return Err(Error::Bind(format!("table {name} already exists")));
+        }
+        let table = Table::new(def)?;
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(table);
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Resolves a table name (case-insensitive).
+    pub fn resolve(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Immutable access by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Mutable access by id (loading, indexing, analyzing).
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id.0 as usize]
+    }
+
+    /// Immutable access by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&Table> {
+        Ok(self.table(self.resolve(name)?))
+    }
+
+    /// Iterates over `(id, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+
+    /// Runs [`Table::analyze`] on every table.
+    pub fn analyze_all(&mut self) {
+        for t in &mut self.tables {
+            t.analyze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColumnDef;
+    use orthopt_common::DataType;
+
+    fn def(name: &str) -> TableDef {
+        TableDef::new(name, vec![ColumnDef::new("a", DataType::Int)], vec![vec![0]])
+    }
+
+    #[test]
+    fn create_and_resolve() {
+        let mut c = Catalog::new();
+        let id = c.create_table(def("Orders")).unwrap();
+        assert_eq!(c.resolve("orders").unwrap(), id);
+        assert_eq!(c.resolve("ORDERS").unwrap(), id);
+        assert!(c.resolve("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new();
+        c.create_table(def("t")).unwrap();
+        assert!(c.create_table(def("T")).is_err());
+    }
+
+    #[test]
+    fn analyze_all_covers_every_table() {
+        let mut c = Catalog::new();
+        c.create_table(def("a")).unwrap();
+        c.create_table(def("b")).unwrap();
+        c.analyze_all();
+        for (_, t) in c.iter() {
+            assert!(t.stats().is_some());
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Secondary hash indexes.
+//!
+//! An index on columns `(a, b)` maps each non-NULL key tuple to the row
+//! positions holding it. SQL equality never matches NULL, so rows with a
+//! NULL in any indexed column are simply absent from the map — an equality
+//! seek could never return them anyway.
+
+use std::collections::HashMap;
+
+use orthopt_common::{Row, Value};
+
+/// Hash index over a set of column positions.
+#[derive(Debug)]
+pub struct Index {
+    /// Indexed column positions, in declaration order.
+    pub cols: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+    empty: Vec<usize>,
+}
+
+impl Index {
+    /// Builds the index from the current table contents.
+    pub fn build(cols: Vec<usize>, rows: &[Row]) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        'row: for (pos, row) in rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(cols.len());
+            for &c in &cols {
+                if row[c].is_null() {
+                    continue 'row;
+                }
+                key.push(row[c].clone());
+            }
+            map.entry(key).or_default().push(pos);
+        }
+        Index {
+            cols,
+            map,
+            empty: Vec::new(),
+        }
+    }
+
+    /// Row positions whose indexed columns equal `key` (key values given
+    /// in the index's own column order). NULL key parts match nothing.
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        if key.iter().any(Value::is_null) {
+            return &self.empty;
+        }
+        self.map.get(key).map_or(&self.empty[..], |v| &v[..])
+    }
+
+    /// Like [`Index::lookup`], but `key` is given in the order of
+    /// `query_cols` (a permutation of the index columns) and is reordered
+    /// internally.
+    pub fn lookup_ordered(&self, query_cols: &[usize], key: &[Value]) -> &[usize] {
+        debug_assert_eq!(query_cols.len(), self.cols.len());
+        if query_cols == self.cols.as_slice() {
+            return self.lookup(key);
+        }
+        let reordered: Vec<Value> = self
+            .cols
+            .iter()
+            .map(|c| {
+                let pos = query_cols.iter().position(|q| q == c).expect("permutation");
+                key[pos].clone()
+            })
+            .collect();
+        self.lookup(&reordered)
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Incrementally indexes one appended row (NULL key parts are
+    /// skipped, as at build time).
+    pub fn insert_row(&mut self, pos: usize, row: &Row) {
+        let mut key = Vec::with_capacity(self.cols.len());
+        for &c in &self.cols {
+            if row[c].is_null() {
+                return;
+            }
+            key.push(row[c].clone());
+        }
+        self.map.entry(key).or_default().push(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+            vec![Value::Int(1), Value::str("c")],
+            vec![Value::Null, Value::str("d")],
+        ]
+    }
+
+    #[test]
+    fn lookup_groups_row_positions() {
+        let ix = Index::build(vec![0], &rows());
+        assert_eq!(ix.lookup(&[Value::Int(1)]), &[0, 2]);
+        assert_eq!(ix.lookup(&[Value::Int(2)]), &[1]);
+    }
+
+    #[test]
+    fn null_rows_are_unindexed_and_null_probe_matches_nothing() {
+        let ix = Index::build(vec![0], &rows());
+        assert_eq!(ix.distinct_keys(), 2);
+        assert!(ix.lookup(&[Value::Null]).is_empty());
+    }
+
+    #[test]
+    fn multi_column_lookup_with_permutation() {
+        let ix = Index::build(vec![0, 1], &rows());
+        let direct = ix.lookup(&[Value::Int(1), Value::str("c")]);
+        assert_eq!(direct, &[2]);
+        let permuted = ix.lookup_ordered(&[1, 0], &[Value::str("c"), Value::Int(1)]);
+        assert_eq!(permuted, &[2]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Table statistics for cardinality estimation.
+
+use std::collections::HashSet;
+
+use orthopt_common::{Row, Value};
+
+use crate::table::TableDef;
+
+/// Per-column statistics.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Number of distinct non-NULL values.
+    pub ndv: u64,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// Minimum non-NULL value (total order), if any rows exist.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value, if any rows exist.
+    pub max: Option<Value>,
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Total row count.
+    pub row_count: u64,
+    /// One entry per column, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Exact statistics from a full scan — fine at in-memory scale, and
+    /// it keeps the cost model's inputs honest in experiments.
+    pub fn compute(def: &TableDef, rows: &[Row]) -> TableStats {
+        let ncols = def.columns.len();
+        let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); ncols];
+        let mut nulls = vec![0u64; ncols];
+        let mut mins: Vec<Option<Value>> = vec![None; ncols];
+        let mut maxs: Vec<Option<Value>> = vec![None; ncols];
+        for row in rows {
+            for (i, v) in row.iter().enumerate() {
+                if v.is_null() {
+                    nulls[i] += 1;
+                    continue;
+                }
+                distinct[i].insert(v.clone());
+                match &mins[i] {
+                    Some(m) if m.total_cmp(v).is_le() => {}
+                    _ => mins[i] = Some(v.clone()),
+                }
+                match &maxs[i] {
+                    Some(m) if m.total_cmp(v).is_ge() => {}
+                    _ => maxs[i] = Some(v.clone()),
+                }
+            }
+        }
+        let columns = (0..ncols)
+            .map(|i| ColumnStats {
+                ndv: distinct[i].len() as u64,
+                null_count: nulls[i],
+                min: mins[i].take(),
+                max: maxs[i].take(),
+            })
+            .collect();
+        TableStats {
+            row_count: rows.len() as u64,
+            columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColumnDef;
+    use orthopt_common::DataType;
+
+    #[test]
+    fn compute_counts_ndv_nulls_min_max() {
+        let def = TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::nullable("b", DataType::Int),
+            ],
+            vec![],
+        );
+        let rows = vec![
+            vec![Value::Int(3), Value::Null],
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(3), Value::Int(20)],
+        ];
+        let s = TableStats::compute(&def, &rows);
+        assert_eq!(s.row_count, 3);
+        assert_eq!(s.columns[0].ndv, 2);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(3)));
+        assert_eq!(s.columns[1].null_count, 1);
+        assert_eq!(s.columns[1].ndv, 2);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let def = TableDef::new("t", vec![ColumnDef::new("a", DataType::Int)], vec![]);
+        let s = TableStats::compute(&def, &[]);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.columns[0].ndv, 0);
+        assert!(s.columns[0].min.is_none());
+    }
+}

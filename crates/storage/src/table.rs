@@ -1,0 +1,311 @@
+//! Table definitions and row storage.
+
+use orthopt_common::{DataType, Error, Result, Row, Value};
+
+use crate::index::Index;
+use crate::stats::TableStats;
+
+/// Schema of one column of a base table.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// Column name as referenced in SQL (lower-cased by the catalog).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Whether NULLs may appear. Non-nullable columns matter for the
+    /// paper's `COUNT(*) → COUNT(c)` rewrite (identity (9)) and for
+    /// outerjoin simplification.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Convenience constructor for a non-nullable column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// Convenience constructor for a nullable column.
+    pub fn nullable(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            nullable: true,
+            ..ColumnDef::new(name, ty)
+        }
+    }
+}
+
+/// Static definition of a table: name, columns, and declared keys
+/// (each key is a set of column positions whose combination is unique).
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Table name (lower-cased).
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Declared unique keys, as positional column index sets.
+    pub keys: Vec<Vec<usize>>,
+}
+
+impl TableDef {
+    /// Creates a definition; key positions are validated on table creation.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, keys: Vec<Vec<usize>>) -> Self {
+        TableDef {
+            name: name.into().to_ascii_lowercase(),
+            columns,
+            keys,
+        }
+    }
+
+    /// Finds a column position by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+}
+
+/// A heap of rows plus secondary hash indexes and gathered statistics.
+#[derive(Debug)]
+pub struct Table {
+    /// Schema and key declarations.
+    pub def: TableDef,
+    rows: Vec<Row>,
+    indexes: Vec<Index>,
+    stats: Option<TableStats>,
+}
+
+impl Table {
+    /// Creates an empty table, validating column/key declarations.
+    pub fn new(def: TableDef) -> Result<Self> {
+        let ncols = def.columns.len();
+        for key in &def.keys {
+            if key.is_empty() || key.iter().any(|&i| i >= ncols) {
+                return Err(Error::internal(format!(
+                    "invalid key declaration on table {}",
+                    def.name
+                )));
+            }
+        }
+        Ok(Table {
+            def,
+            rows: Vec::new(),
+            indexes: Vec::new(),
+            stats: None,
+        })
+    }
+
+    /// Appends a row after checking arity and types. Hash indexes are
+    /// maintained incrementally; statistics are invalidated (recompute
+    /// via [`Table::analyze`] after bulk loads).
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.def.columns.len() {
+            return Err(Error::Exec(format!(
+                "row arity {} does not match table {} ({} columns)",
+                row.len(),
+                self.def.name,
+                self.def.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.def.columns) {
+            match v.data_type() {
+                None if !c.nullable => {
+                    return Err(Error::Exec(format!(
+                        "NULL in non-nullable column {}.{}",
+                        self.def.name, c.name
+                    )));
+                }
+                Some(t) if t != c.ty => {
+                    return Err(Error::TypeMismatch(format!(
+                        "{}.{} expects {}, got {t}",
+                        self.def.name, c.name, c.ty
+                    )));
+                }
+                _ => {}
+            }
+        }
+        let pos = self.rows.len();
+        for ix in &mut self.indexes {
+            ix.insert_row(pos, &row);
+        }
+        self.rows.push(row);
+        self.stats = None;
+        Ok(())
+    }
+
+    /// Bulk insert.
+    pub fn insert_all(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<()> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of stored rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Builds (or rebuilds) a hash index over the given column positions.
+    pub fn build_index(&mut self, cols: Vec<usize>) -> Result<()> {
+        if cols.iter().any(|&i| i >= self.def.columns.len()) {
+            return Err(Error::internal("index column out of range"));
+        }
+        // Replace an existing index on the same columns.
+        self.indexes.retain(|ix| ix.cols != cols);
+        let index = Index::build(cols, &self.rows);
+        self.indexes.push(index);
+        Ok(())
+    }
+
+    /// Drops the index on exactly these column positions, if present
+    /// (used by experiments that isolate set-oriented strategies).
+    pub fn drop_index(&mut self, cols: &[usize]) {
+        self.indexes.retain(|ix| {
+            !(ix.cols.len() == cols.len() && cols.iter().all(|c| ix.cols.contains(c)))
+        });
+    }
+
+    /// Finds an index whose columns are exactly `cols` (order-insensitive).
+    pub fn index_on(&self, cols: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|ix| {
+            ix.cols.len() == cols.len() && cols.iter().all(|c| ix.cols.contains(c))
+        })
+    }
+
+    /// All indexes on this table.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Computes statistics over the current contents.
+    pub fn analyze(&mut self) {
+        self.stats = Some(TableStats::compute(&self.def, &self.rows));
+    }
+
+    /// Gathered statistics, if [`Table::analyze`] has run since the last
+    /// mutation.
+    pub fn stats(&self) -> Option<&TableStats> {
+        self.stats.as_ref()
+    }
+
+    /// Row indexes matching `key` through the index on `cols`, or `None`
+    /// when no such index exists. NULL key parts never match (SQL
+    /// equality semantics).
+    pub fn index_lookup(&self, cols: &[usize], key: &[Value]) -> Option<&[usize]> {
+        self.index_on(cols).map(|ix| ix.lookup_ordered(cols, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col_def() -> TableDef {
+        TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::nullable("b", DataType::Str),
+            ],
+            vec![vec![0]],
+        )
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut t = Table::new(two_col_def()).unwrap();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn insert_checks_types() {
+        let mut t = Table::new(two_col_def()).unwrap();
+        assert!(t
+            .insert(vec![Value::str("oops"), Value::str("x")])
+            .is_err());
+    }
+
+    #[test]
+    fn insert_checks_nullability() {
+        let mut t = Table::new(two_col_def()).unwrap();
+        assert!(t.insert(vec![Value::Null, Value::str("x")]).is_err());
+        assert!(t.insert(vec![Value::Int(1), Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn bad_key_declaration_rejected() {
+        let def = TableDef::new("t", vec![ColumnDef::new("a", DataType::Int)], vec![vec![3]]);
+        assert!(Table::new(def).is_err());
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let def = two_col_def();
+        assert_eq!(def.column_index("A"), Some(0));
+        assert_eq!(def.column_index("missing"), None);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut t = Table::new(two_col_def()).unwrap();
+        t.insert_all([
+            vec![Value::Int(1), Value::str("x")],
+            vec![Value::Int(2), Value::str("y")],
+            vec![Value::Int(1), Value::str("z")],
+        ])
+        .unwrap();
+        t.build_index(vec![0]).unwrap();
+        let hits = t.index_lookup(&[0], &[Value::Int(1)]).unwrap();
+        assert_eq!(hits, &[0, 2]);
+        assert!(t.index_lookup(&[0], &[Value::Int(9)]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn analyze_populates_stats() {
+        let mut t = Table::new(two_col_def()).unwrap();
+        t.insert_all([
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(2), Value::str("y")],
+        ])
+        .unwrap();
+        t.analyze();
+        let s = t.stats().unwrap();
+        assert_eq!(s.row_count, 2);
+        assert_eq!(s.columns[0].ndv, 2);
+        assert_eq!(s.columns[1].null_count, 1);
+    }
+}
+
+#[cfg(test)]
+mod incremental_index_tests {
+    use super::*;
+    use orthopt_common::{DataType, Value};
+
+    #[test]
+    fn inserts_after_index_build_are_visible() {
+        let def = TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::nullable("b", DataType::Int),
+            ],
+            vec![vec![0]],
+        );
+        let mut t = Table::new(def).unwrap();
+        t.insert(vec![Value::Int(1), Value::Int(10)]).unwrap();
+        t.build_index(vec![1]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Int(10)]).unwrap();
+        t.insert(vec![Value::Int(3), Value::Null]).unwrap();
+        let hits = t.index_lookup(&[1], &[Value::Int(10)]).unwrap();
+        assert_eq!(hits, &[0, 1]);
+        // The NULL-keyed row stays unindexed.
+        assert_eq!(t.index_on(&[1]).unwrap().distinct_keys(), 1);
+    }
+}

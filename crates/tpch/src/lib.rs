@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! TPC-H substrate: the workload of the paper's evaluation (§5).
+//!
+//! [`generate`] builds all eight TPC-H tables at a laptop scale factor
+//! with a deterministic in-tree PRNG (bit-stable across runs and
+//! machines), declares primary keys, builds the foreign-key hash
+//! indexes TPC-H permits, and gathers statistics. [`queries`] holds the
+//! paper's example query (§1.1's Q1) and the benchmark queries its
+//! evaluation highlights (Q2 and Q17), plus the EXISTS-heavy Q4,
+//! adapted to the engine's SQL subset (no LIKE; string equality on
+//! generated categorical values instead).
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{generate, TpchConfig};

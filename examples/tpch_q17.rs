@@ -1,0 +1,63 @@
+//! TPC-H Q17 — the paper's segmented-execution showcase (§3.4,
+//! Figures 6 and 7) — run at every optimizer level with wall-clock
+//! timings, on a generated TPC-H database.
+//!
+//! ```text
+//! cargo run --release --example tpch_q17 [scale]
+//! ```
+
+use std::time::Instant;
+
+use orthopt::tpch::queries;
+use orthopt::{Database, OptimizerLevel};
+
+fn main() -> orthopt::common::Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    println!("generating TPC-H at scale factor {scale} …");
+    let t0 = Instant::now();
+    let db = Database::tpch(scale)?;
+    println!(
+        "  {} lineitems, {} parts  ({:.1?})\n",
+        db.catalog().table_by_name("lineitem")?.row_count(),
+        db.catalog().table_by_name("part")?.row_count(),
+        t0.elapsed()
+    );
+
+    let sql = queries::q17_brand_only("brand#23");
+    println!("Q17 (brand-only variant):\n  {sql}\n");
+
+    let mut reference: Option<Vec<orthopt::common::Row>> = None;
+    println!(
+        "{:>16} {:>12} {:>12} {:>10}",
+        "level", "plan (ms)", "exec (ms)", "rows"
+    );
+    for level in OptimizerLevel::ALL {
+        let t_plan = Instant::now();
+        let plan = db.plan(&sql, level)?;
+        let plan_ms = t_plan.elapsed().as_secs_f64() * 1e3;
+        let t_exec = Instant::now();
+        let result = db.run(&plan)?;
+        let exec_ms = t_exec.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:>16} {:>12.2} {:>12.2} {:>10}",
+            level.name(),
+            plan_ms,
+            exec_ms,
+            result.rows.len()
+        );
+        match &reference {
+            None => reference = Some(result.rows),
+            Some(expect) => assert!(
+                orthopt::common::row::bag_eq_approx(expect, &result.rows, 1e-6),
+                "level {level:?} disagrees"
+            ),
+        }
+    }
+
+    println!("\nFull-level plan:\n");
+    println!("{}", db.explain(&sql, OptimizerLevel::Full)?);
+    Ok(())
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every paper-reproduction artifact into results/.
+# See DESIGN.md for the per-experiment index and EXPERIMENTS.md for the
+# recorded paper-vs-measured discussion.
+set -euo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+
+cargo build --release -p orthopt-bench --bins
+
+echo "== E-FIG1: strategy lattice =="
+./target/release/fig1_table "${FIG1_SCALE:-0.005}" | tee results/fig1_table.txt
+echo
+echo "== E-FIG8: power-run table =="
+./target/release/fig8_table "${FIG8_SCALE:-0.005}" | tee results/fig8_table.txt
+echo
+echo "== E-FIG9: Q2/Q17 series =="
+./target/release/fig9_table "${FIG9_MAX_SCALE:-0.02}" | tee results/fig9_table.txt
+echo
+echo "== quick probe (plans + costs at every level) =="
+./target/release/power_probe "${PROBE_SCALE:-0.005}" | tee results/power_probe.txt
+echo
+echo "== criterion ablations (fig1/fig9/abl_*) =="
+cargo bench -p orthopt-bench 2>&1 | tee results/criterion.txt
