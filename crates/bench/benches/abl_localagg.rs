@@ -22,11 +22,9 @@ fn abl_localagg(c: &mut Criterion) {
                    group by o_orderpriority";
         for level in [OptimizerLevel::GroupByReorder, OptimizerLevel::Full] {
             let compiled = plan(&db, sql, level);
-            group.bench_with_input(
-                BenchmarkId::new(level.name(), scale),
-                &compiled,
-                |b, p| b.iter(|| run(&db, p)),
-            );
+            group.bench_with_input(BenchmarkId::new(level.name(), scale), &compiled, |b, p| {
+                b.iter(|| run(&db, p))
+            });
         }
     }
     group.finish();

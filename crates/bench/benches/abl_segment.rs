@@ -29,11 +29,9 @@ fn abl_segment(c: &mut Criterion) {
     for (name, sql) in &cases {
         for level in [OptimizerLevel::GroupByReorder, OptimizerLevel::Full] {
             let compiled = plan(&db, sql, level);
-            group.bench_with_input(
-                BenchmarkId::new(level.name(), name),
-                &compiled,
-                |b, p| b.iter(|| run(&db, p)),
-            );
+            group.bench_with_input(BenchmarkId::new(level.name(), name), &compiled, |b, p| {
+                b.iter(|| run(&db, p))
+            });
         }
     }
     group.finish();

@@ -17,11 +17,9 @@ fn fig9_q17(c: &mut Criterion) {
         let sql = queries::q17_brand_only("brand#23");
         for level in OptimizerLevel::ALL {
             let compiled = plan(&db, &sql, level);
-            group.bench_with_input(
-                BenchmarkId::new(level.name(), scale),
-                &compiled,
-                |b, p| b.iter(|| run(&db, p)),
-            );
+            group.bench_with_input(BenchmarkId::new(level.name(), scale), &compiled, |b, p| {
+                b.iter(|| run(&db, p))
+            });
         }
     }
     group.finish();

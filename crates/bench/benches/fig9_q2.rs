@@ -19,11 +19,9 @@ fn fig9_q2(c: &mut Criterion) {
         let sql = queries::q2(15, "standard anodized", "europe");
         for level in OptimizerLevel::ALL {
             let compiled = plan(&db, &sql, level);
-            group.bench_with_input(
-                BenchmarkId::new(level.name(), scale),
-                &compiled,
-                |b, p| b.iter(|| run(&db, p)),
-            );
+            group.bench_with_input(BenchmarkId::new(level.name(), scale), &compiled, |b, p| {
+                b.iter(|| run(&db, p))
+            });
         }
     }
     group.finish();

@@ -1,0 +1,121 @@
+//! Machine-readable benchmark emitter: runs the Figure-9 queries (Q2
+//! and Q17) at every optimizer level and writes per-query elapsed
+//! times plus per-operator pipeline statistics (rows, batches, opens,
+//! inclusive time) to `results/bench.json` — for CI tracking and
+//! regression diffing, where the human-oriented table binaries don't
+//! compose.
+//!
+//! ```text
+//! cargo run --release -p orthopt-bench --bin bench_json [scale] [out.json]
+//! ```
+
+use std::fmt::Write as _;
+
+use orthopt::exec::{phys_node_labels, Bindings, Pipeline};
+use orthopt::tpch::queries;
+use orthopt::OptimizerLevel;
+use orthopt_bench::{median_ms, plan, tpch};
+
+/// Minimal JSON string escaping (labels contain no exotic characters,
+/// but quotes and backslashes must not corrupt the document).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "results/bench.json".to_string());
+
+    let db = tpch(scale);
+    type QueryFn = fn() -> String;
+    let queries: [(&str, QueryFn); 2] = [
+        ("Q2", || queries::q2(15, "standard anodized", "europe")),
+        ("Q17", || queries::q17_brand_only("brand#23")),
+    ];
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"queries\": [");
+    for (qi, (name, sql_of)) in queries.iter().enumerate() {
+        let sql = sql_of();
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", esc(name));
+        let _ = writeln!(json, "      \"sql\": \"{}\",", esc(&sql));
+        let _ = writeln!(json, "      \"levels\": [");
+        for (li, level) in OptimizerLevel::ALL.into_iter().enumerate() {
+            let p = plan(&db, &sql, level);
+            let elapsed = median_ms(&db, &p, 5);
+            // One instrumented run for the operator-level counters.
+            let mut pipeline = Pipeline::compile(&p.physical).expect("pipeline compiles");
+            let chunk = pipeline
+                .execute(db.catalog(), &Bindings::new())
+                .expect("execution");
+            let labels = phys_node_labels(&p.physical);
+            let stats = pipeline.stats();
+            let cached = pipeline.cached_nodes();
+            eprintln!("{name} {level:>16?}: {elapsed:.2} ms, {} rows", chunk.len());
+            let _ = writeln!(json, "        {{");
+            let _ = writeln!(json, "          \"level\": \"{}\",", esc(level.name()));
+            let _ = writeln!(json, "          \"elapsed_ms\": {elapsed:.4},");
+            let _ = writeln!(json, "          \"rows\": {},", chunk.len());
+            let _ = writeln!(json, "          \"operators\": [");
+            for (id, ((depth, label), s)) in labels.iter().zip(stats.iter()).enumerate() {
+                let _ = writeln!(
+                    json,
+                    "            {{\"id\": {id}, \"depth\": {depth}, \"op\": \"{}\", \
+                     \"rows\": {}, \"batches\": {}, \"opens\": {}, \"time_ms\": {:.4}, \
+                     \"cached\": {}}}{}",
+                    esc(label),
+                    s.rows,
+                    s.batches,
+                    s.opens,
+                    s.elapsed.as_secs_f64() * 1e3,
+                    cached.contains(&id),
+                    if id + 1 == labels.len() { "" } else { "," },
+                );
+            }
+            let _ = writeln!(json, "          ]");
+            let _ = writeln!(
+                json,
+                "        }}{}",
+                if li + 1 == OptimizerLevel::ALL.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if qi + 1 == queries.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out_path, &json).expect("write bench.json");
+    eprintln!("wrote {out_path}");
+}

@@ -6,12 +6,15 @@
 //! cargo run --release -p orthopt-bench --bin power_probe [scale]
 //! ```
 
-use std::io::Write;
-use std::time::Instant;
 use orthopt::tpch::queries;
 use orthopt::{Database, OptimizerLevel};
+use std::io::Write;
+use std::time::Instant;
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.002);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.002);
     let t = Instant::now();
     let db = Database::tpch(scale).unwrap();
     println!("gen {scale}: {:?}", t.elapsed());
@@ -28,7 +31,11 @@ fn main() {
                     println!("{name:<10} {:>16}: plan {plan_t:>10.2?} ({:>4} exprs, cost {:>12.0}) exec {:>10.2?} rows {:?}",
                         level.name(), p.search.exprs, p.search.best_cost, t.elapsed(), r.map(|x| x.rows.len()));
                 }
-                Err(e) => println!("{name:<10} {:>16}: plan FAILED {e} after {:?}", level.name(), t.elapsed()),
+                Err(e) => println!(
+                    "{name:<10} {:>16}: plan FAILED {e} after {:?}",
+                    level.name(),
+                    t.elapsed()
+                ),
             }
             std::io::stdout().flush().unwrap();
         }

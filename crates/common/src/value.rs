@@ -219,9 +219,8 @@ impl Value {
     }
 
     fn numeric_operand(&self, op: &str) -> Result<f64> {
-        self.as_f64().ok_or_else(|| {
-            Error::TypeMismatch(format!("operand of {op} is not numeric: {self:?}"))
-        })
+        self.as_f64()
+            .ok_or_else(|| Error::TypeMismatch(format!("operand of {op} is not numeric: {self:?}")))
     }
 
     fn arith(
@@ -422,15 +421,15 @@ mod tests {
 
     #[test]
     fn division_by_zero_errors() {
-        assert_eq!(
-            Value::Int(1).div(&Value::Int(0)),
-            Err(Error::DivideByZero)
-        );
+        assert_eq!(Value::Int(1).div(&Value::Int(0)), Err(Error::DivideByZero));
     }
 
     #[test]
     fn division_produces_float() {
-        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
     }
 
     #[test]
@@ -465,7 +464,7 @@ mod tests {
 
     #[test]
     fn total_cmp_sorts_null_first() {
-        let mut v = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        let mut v = [Value::Int(2), Value::Null, Value::Int(1)];
         v.sort_by(|a, b| a.total_cmp(b));
         assert!(v[0].is_null());
         assert_eq!(v[1], Value::Int(1));

@@ -13,7 +13,11 @@ fn value() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         (-100i64..100).prop_map(Value::Int),
         (-100i64..100).prop_map(|i| Value::Float(i as f64 / 4.0)),
-        prop_oneof![Just(Value::Float(0.0)), Just(Value::Float(-0.0)), Just(Value::Float(f64::NAN))],
+        prop_oneof![
+            Just(Value::Float(0.0)),
+            Just(Value::Float(-0.0)),
+            Just(Value::Float(f64::NAN))
+        ],
         "[a-c]{0,3}".prop_map(|s| Value::str(&s)),
         (-1000i32..1000).prop_map(Value::Date),
     ]

@@ -50,7 +50,7 @@ pub use orthopt_tpch as tpch;
 
 use orthopt_common::{Error, Result, Row};
 use orthopt_exec::physical::Executor;
-use orthopt_exec::{Bindings, Chunk, PhysExpr, Reference};
+use orthopt_exec::{Bindings, Chunk, PhysExpr, Pipeline, Reference};
 use orthopt_ir::{ColumnMeta, RelExpr};
 use orthopt_optimizer::search::{optimize_with_presentation, OptimizerConfig, SearchStats};
 use orthopt_rewrite::pipeline::{classify, normalize, NormalForm, RewriteConfig};
@@ -311,6 +311,30 @@ impl Database {
         present(chunk, &bound.output)
     }
 
+    /// EXPLAIN ANALYZE: compiles the query, runs it through the
+    /// streaming pipeline, and renders the physical plan annotated with
+    /// per-operator rows / batches / opens / time (plus which subtrees
+    /// were cached as parameter-invariant).
+    pub fn explain_analyze(&self, sql: &str, level: OptimizerLevel) -> Result<String> {
+        let plan = self.plan(sql, level)?;
+        let mut pipeline = Pipeline::compile(&plan.physical)?;
+        let started = std::time::Instant::now();
+        let chunk = pipeline.execute(&self.catalog, &Bindings::new())?;
+        let elapsed = started.elapsed();
+        let rendered = orthopt_exec::explain_phys::explain_phys_analyze(
+            &plan.physical,
+            &pipeline.stats(),
+            pipeline.cached_nodes(),
+        );
+        Ok(format!(
+            "== physical (analyzed: {} rows, {:.3}ms total, batch size {}) ==\n{}",
+            chunk.len(),
+            elapsed.as_secs_f64() * 1e3,
+            pipeline.batch_size(),
+            rendered,
+        ))
+    }
+
     /// EXPLAIN: normalized logical plan, physical plan summary, and
     /// search statistics.
     pub fn explain(&self, sql: &str, level: OptimizerLevel) -> Result<String> {
@@ -372,7 +396,9 @@ mod tests {
     #[test]
     fn execute_roundtrip() {
         let db = tiny_db();
-        let r = db.execute("select k, v from t where v >= 10 order by k").unwrap();
+        let r = db
+            .execute("select k, v from t where v >= 10 order by k")
+            .unwrap();
         assert_eq!(r.columns, vec!["k", "v"]);
         assert_eq!(
             r.rows,
@@ -406,6 +432,20 @@ mod tests {
     }
 
     #[test]
+    fn explain_analyze_reports_operator_stats() {
+        let db = tiny_db();
+        for level in OptimizerLevel::ALL {
+            let s = db
+                .explain_analyze("select k from t where v > 5", level)
+                .unwrap();
+            assert!(s.contains("analyzed: "), "{level:?}: {s}");
+            assert!(s.contains("rows="), "{level:?}: {s}");
+            assert!(s.contains("batches="), "{level:?}: {s}");
+            assert!(s.contains("time="), "{level:?}: {s}");
+        }
+    }
+
+    #[test]
     fn plan_reports_normal_form() {
         let db = tiny_db();
         let plan = db
@@ -431,9 +471,7 @@ mod tests {
     #[test]
     fn tpch_database_builds_and_answers() {
         let db = Database::tpch(0.002).unwrap();
-        let r = db
-            .execute("select count(*) from customer")
-            .unwrap();
+        let r = db.execute("select count(*) from customer").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(300)]]);
     }
 }

@@ -78,9 +78,9 @@ impl AggAcc {
             AggAcc::Max(acc) => {
                 if let Some(x) = v {
                     if !x.is_null() {
-                        let better = acc.as_ref().is_none_or(|cur| {
-                            x.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)
-                        });
+                        let better = acc
+                            .as_ref()
+                            .is_none_or(|cur| x.sql_cmp(cur) == Some(std::cmp::Ordering::Greater));
                         if better {
                             *acc = Some(x.clone());
                         }
@@ -133,30 +133,59 @@ struct GroupState {
     seen: Vec<Option<HashSet<Value>>>,
 }
 
-/// Hash aggregation over already-extracted inputs.
-///
-/// `rows` supplies, per input row, the group key and the evaluated
-/// argument of each aggregate (`None` for `COUNT(*)`). Returns one row
-/// per group laid out as `group key values ++ aggregate results`.
-pub fn hash_aggregate(
-    kind: GroupKind,
-    aggs: &[AggDef],
-    rows: impl IntoIterator<Item = (Vec<Value>, Vec<Option<Value>>)>,
-) -> Result<Vec<Row>> {
-    let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    for (key, args) in rows {
-        let state = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            GroupState {
-                accs: aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
-                seen: aggs
-                    .iter()
-                    .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
-                    .collect(),
+impl GroupState {
+    fn new(specs: &[(AggFunc, bool)]) -> GroupState {
+        GroupState {
+            accs: specs.iter().map(|(f, _)| AggAcc::new(*f)).collect(),
+            seen: specs
+                .iter()
+                .map(|(_, distinct)| {
+                    if *distinct {
+                        Some(HashSet::new())
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Incremental hash-aggregation state: feed `(key, args)` pairs batch by
+/// batch, then [`finish`](GroupedAggState::finish) to emit one row per
+/// group in first-seen order.
+pub struct GroupedAggState {
+    /// `(function, distinct)` per aggregate.
+    specs: Vec<(AggFunc, bool)>,
+    /// `on_empty` results, for scalar aggregation over empty input.
+    on_empty: Vec<Value>,
+    groups: HashMap<Vec<Value>, GroupState>,
+    order: Vec<Vec<Value>>,
+}
+
+impl GroupedAggState {
+    /// Fresh state for a set of aggregate definitions.
+    pub fn new(aggs: &[AggDef]) -> GroupedAggState {
+        GroupedAggState {
+            specs: aggs.iter().map(|a| (a.func, a.distinct)).collect(),
+            on_empty: aggs.iter().map(|a| a.func.on_empty()).collect(),
+            groups: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Feeds one input row: its group key plus the evaluated argument of
+    /// each aggregate (`None` for `COUNT(*)`). The key is cloned only
+    /// when a new group is created.
+    pub fn feed(&mut self, key: Vec<Value>, args: Vec<Option<Value>>) -> Result<()> {
+        debug_assert_eq!(args.len(), self.specs.len());
+        let state = match self.groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.order.push(e.key().clone());
+                e.insert(GroupState::new(&self.specs))
             }
-        });
-        debug_assert_eq!(args.len(), aggs.len());
+        };
         for (i, arg) in args.into_iter().enumerate() {
             if let Some(seen) = &mut state.seen[i] {
                 // DISTINCT: skip repeated non-NULL values.
@@ -168,22 +197,42 @@ pub fn hash_aggregate(
             }
             state.accs[i].update(arg.as_ref())?;
         }
+        Ok(())
     }
 
-    // Scalar aggregation over empty input: one row of agg(∅).
-    if groups.is_empty() && matches!(kind, GroupKind::Scalar) {
-        let row = aggs.iter().map(|a| a.func.on_empty()).collect();
-        return Ok(vec![row]);
+    /// Emits one row per group laid out as
+    /// `group key values ++ aggregate results`.
+    pub fn finish(mut self, kind: GroupKind) -> Vec<Row> {
+        // Scalar aggregation over empty input: one row of agg(∅).
+        if self.groups.is_empty() && matches!(kind, GroupKind::Scalar) {
+            return vec![self.on_empty];
+        }
+        let mut out = Vec::with_capacity(self.order.len());
+        for key in self.order {
+            let state = self.groups.remove(&key).expect("group present");
+            let mut row = key;
+            row.extend(state.accs.into_iter().map(AggAcc::finish));
+            out.push(row);
+        }
+        out
     }
+}
 
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let state = groups.remove(&key).expect("group present");
-        let mut row = key;
-        row.extend(state.accs.into_iter().map(AggAcc::finish));
-        out.push(row);
+/// Hash aggregation over already-extracted inputs.
+///
+/// `rows` supplies, per input row, the group key and the evaluated
+/// argument of each aggregate (`None` for `COUNT(*)`). Returns one row
+/// per group laid out as `group key values ++ aggregate results`.
+pub fn hash_aggregate(
+    kind: GroupKind,
+    aggs: &[AggDef],
+    rows: impl IntoIterator<Item = (Vec<Value>, Vec<Option<Value>>)>,
+) -> Result<Vec<Row>> {
+    let mut state = GroupedAggState::new(aggs);
+    for (key, args) in rows {
+        state.feed(key, args)?;
     }
-    Ok(out)
+    Ok(state.finish(kind))
 }
 
 #[cfg(test)]

@@ -55,6 +55,20 @@ impl Bindings {
         out
     }
 
+    /// Pushes `segment` as the innermost table-valued parameter in
+    /// place — the streaming engine's counterpart of [`with_segment`]
+    /// (no bindings clone per segment).
+    ///
+    /// [`with_segment`]: Bindings::with_segment
+    pub fn push_segment(&mut self, segment: Rc<Chunk>) {
+        self.segments.push(segment);
+    }
+
+    /// Pops the innermost table-valued parameter.
+    pub fn pop_segment(&mut self) -> Option<Rc<Chunk>> {
+        self.segments.pop()
+    }
+
     /// The innermost segment, if executing under a `SegmentApply`.
     pub fn current_segment(&self) -> Option<&Rc<Chunk>> {
         self.segments.last()

@@ -13,6 +13,17 @@ pub struct Chunk {
 }
 
 impl Chunk {
+    /// Builds a chunk, checking in debug builds that every row's arity
+    /// matches the layout.
+    pub fn new(cols: Vec<ColId>, rows: Vec<Row>) -> Self {
+        debug_assert!(
+            rows.iter().all(|r| r.len() == cols.len()),
+            "chunk arity mismatch: layout has {} columns",
+            cols.len()
+        );
+        Chunk { cols, rows }
+    }
+
     /// An empty chunk with the given layout.
     pub fn empty(cols: Vec<ColId>) -> Self {
         Chunk { cols, rows: vec![] }
@@ -98,5 +109,17 @@ mod tests {
         let c = chunk();
         let k = c.key_of(&c.rows[1], &[ColId(2)]).unwrap();
         assert_eq!(k, vec![Value::str("b")]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn malformed_chunk_is_caught_in_debug_builds() {
+        let err = std::panic::catch_unwind(|| {
+            Chunk::new(
+                vec![ColId(1), ColId(2)],
+                vec![vec![Value::Int(1)]], // arity 1 != layout arity 2
+            )
+        });
+        assert!(err.is_err());
     }
 }

@@ -57,9 +57,9 @@ impl<'a> EvalCtx<'a> {
     }
 
     fn subquery_rows(&self, rel: &RelExpr) -> Result<Chunk> {
-        let hook = self.subq.ok_or_else(|| {
-            Error::internal("subquery in scalar expression after normalization")
-        })?;
+        let hook = self
+            .subq
+            .ok_or_else(|| Error::internal("subquery in scalar expression after normalization"))?;
         // The subquery sees the current row's columns as parameters.
         let inner_binds = self.binds.extended(self.cols, self.row, self.cols);
         hook.eval_rel(rel, &inner_binds)
@@ -152,11 +152,7 @@ pub fn eval(expr: &ScalarExpr, ctx: &EvalCtx<'_>) -> Result<Value> {
             let result = ctx.subquery_rows(rel)?;
             Ok(Value::Bool(result.is_empty() == *negated))
         }
-        ScalarExpr::InSubquery {
-            expr,
-            rel,
-            negated,
-        } => {
+        ScalarExpr::InSubquery { expr, rel, negated } => {
             let needle = eval(expr, ctx)?;
             let result = ctx.subquery_rows(rel)?;
             let mut found = Some(false);
@@ -318,7 +314,10 @@ mod tests {
         assert_eq!(eval(&searched, &c).unwrap(), Value::Int(2));
         let simple = ScalarExpr::Case {
             operand: Some(Box::new(ScalarExpr::lit(5i64))),
-            whens: vec![(ScalarExpr::lit(5i64), ScalarExpr::Literal(Value::str("hit")))],
+            whens: vec![(
+                ScalarExpr::lit(5i64),
+                ScalarExpr::Literal(Value::str("hit")),
+            )],
             else_: None,
         };
         assert_eq!(eval(&simple, &c).unwrap(), Value::str("hit"));
@@ -362,4 +361,3 @@ mod tests {
         assert!(matches!(eval(&e, &c), Err(Error::Internal(_))));
     }
 }
-

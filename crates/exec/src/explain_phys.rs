@@ -1,27 +1,118 @@
-//! Compact physical-plan printer (EXPLAIN output).
+//! Compact physical-plan printer (EXPLAIN / EXPLAIN ANALYZE output).
+//!
+//! Nodes are numbered and walked in pre-order — parent, then left
+//! input, then right/inner input — exactly the order
+//! [`Pipeline::compile`](crate::pipeline::Pipeline::compile) assigns
+//! operator ids, so [`OpStats`] from a pipeline run can be zipped onto
+//! the rendered tree by position.
 
 use std::fmt::Write as _;
 
 use crate::physical::PhysExpr;
+use crate::stats::OpStats;
 
 /// Renders a physical plan as an indented outline.
 pub fn explain_phys(plan: &PhysExpr) -> String {
     let mut out = String::new();
-    fmt(plan, 0, &mut out);
+    let mut walker = Walker {
+        stats: None,
+        cached: &[],
+        next_id: 0,
+    };
+    walker.fmt(plan, 0, &mut out);
     out
 }
 
-fn indent(depth: usize, out: &mut String) {
-    for _ in 0..depth {
-        out.push_str("  ");
+/// Renders a physical plan with per-operator runtime statistics, as
+/// collected by a [`Pipeline`](crate::pipeline::Pipeline) run. `stats`
+/// is indexed by pre-order node id; `cached` lists ids of subtrees the
+/// compiler put behind a one-time materialization cache.
+pub fn explain_phys_analyze(plan: &PhysExpr, stats: &[OpStats], cached: &[usize]) -> String {
+    let mut out = String::new();
+    let mut walker = Walker {
+        stats: Some(stats),
+        cached,
+        next_id: 0,
+    };
+    walker.fmt(plan, 0, &mut out);
+    out
+}
+
+/// One-line operator labels in pre-order (the pipeline's node-id
+/// order), with the depth of each node — for tools that pair plan
+/// shape with [`OpStats`] outside the text renderer (e.g. the JSON
+/// benchmark emitter).
+pub fn phys_node_labels(plan: &PhysExpr) -> Vec<(usize, String)> {
+    fn walk(plan: &PhysExpr, depth: usize, out: &mut Vec<(usize, String)>) {
+        out.push((depth, label(plan)));
+        for child in children(plan) {
+            walk(child, depth + 1, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, 0, &mut out);
+    out
+}
+
+struct Walker<'a> {
+    stats: Option<&'a [OpStats]>,
+    cached: &'a [usize],
+    next_id: usize,
+}
+
+impl Walker<'_> {
+    fn fmt(&mut self, plan: &PhysExpr, depth: usize, out: &mut String) {
+        let id = self.next_id;
+        self.next_id += 1;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&label(plan));
+        if let Some(stats) = self.stats {
+            if let Some(s) = stats.get(id) {
+                let _ = write!(out, "  [{}", s.render());
+                if self.cached.contains(&id) {
+                    out.push_str(" cached");
+                }
+                out.push(']');
+            }
+        }
+        out.push('\n');
+        for child in children(plan) {
+            self.fmt(child, depth + 1, out);
+        }
     }
 }
 
-fn fmt(plan: &PhysExpr, depth: usize, out: &mut String) {
-    indent(depth, out);
+/// Child subtrees in execution-id order (left/input before right/inner).
+fn children(plan: &PhysExpr) -> Vec<&PhysExpr> {
+    match plan {
+        PhysExpr::Filter { input, .. }
+        | PhysExpr::Compute { input, .. }
+        | PhysExpr::ProjectCols { input, .. }
+        | PhysExpr::HashAggregate { input, .. }
+        | PhysExpr::AssertMax1 { input }
+        | PhysExpr::RowNumber { input, .. }
+        | PhysExpr::Sort { input, .. }
+        | PhysExpr::Limit { input, .. } => vec![input],
+        PhysExpr::HashJoin { left, right, .. }
+        | PhysExpr::NLJoin { left, right, .. }
+        | PhysExpr::ApplyLoop { left, right, .. }
+        | PhysExpr::Concat { left, right, .. }
+        | PhysExpr::ExceptExec { left, right, .. } => vec![left, right],
+        PhysExpr::SegmentExec { input, inner, .. } => vec![input, inner],
+        PhysExpr::TableScan { .. }
+        | PhysExpr::IndexSeek { .. }
+        | PhysExpr::SegmentScan { .. }
+        | PhysExpr::ConstScan { .. } => vec![],
+    }
+}
+
+/// One-line description of a node (no children, no newline).
+fn label(plan: &PhysExpr) -> String {
     match plan {
         PhysExpr::TableScan { table, cols, .. } => {
-            let _ = writeln!(out, "TableScan {table} [{} cols]", cols.len());
+            format!("TableScan {table} [{} cols]", cols.len())
         }
         PhysExpr::IndexSeek {
             table,
@@ -30,33 +121,26 @@ fn fmt(plan: &PhysExpr, depth: usize, out: &mut String) {
             ..
         } => {
             let ps: Vec<String> = probes.iter().map(|p| p.to_string()).collect();
-            let _ = writeln!(
-                out,
+            format!(
                 "IndexSeek {table} on {index_cols:?} probe ({})",
                 ps.join(", ")
-            );
+            )
         }
-        PhysExpr::Filter { input, predicate } => {
-            let _ = writeln!(out, "Filter {predicate}");
-            fmt(input, depth + 1, out);
-        }
-        PhysExpr::Compute { input, defs } => {
+        PhysExpr::Filter { predicate, .. } => format!("Filter {predicate}"),
+        PhysExpr::Compute { defs, .. } => {
             let ds: Vec<String> = defs.iter().map(|(c, e)| format!("{c}:={e}")).collect();
-            let _ = writeln!(out, "Compute [{}]", ds.join(", "));
-            fmt(input, depth + 1, out);
+            format!("Compute [{}]", ds.join(", "))
         }
-        PhysExpr::ProjectCols { input, cols } => {
+        PhysExpr::ProjectCols { cols, .. } => {
             let cs: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
-            let _ = writeln!(out, "Project [{}]", cs.join(", "));
-            fmt(input, depth + 1, out);
+            format!("Project [{}]", cs.join(", "))
         }
         PhysExpr::HashJoin {
             kind,
-            left,
-            right,
             left_keys,
             right_keys,
             residual,
+            ..
         } => {
             let keys: Vec<String> = left_keys
                 .iter()
@@ -68,95 +152,50 @@ fn fmt(plan: &PhysExpr, depth: usize, out: &mut String) {
             } else {
                 format!(" residual {residual}")
             };
-            let _ = writeln!(out, "Hash{kind:?} on {}{res}", keys.join(" AND "));
-            fmt(left, depth + 1, out);
-            fmt(right, depth + 1, out);
+            format!("Hash{kind:?} on {}{res}", keys.join(" AND "))
         }
         PhysExpr::NLJoin {
-            kind,
-            left,
-            right,
-            predicate,
-        } => {
-            let _ = writeln!(out, "NestedLoop{kind:?} {predicate}");
-            fmt(left, depth + 1, out);
-            fmt(right, depth + 1, out);
-        }
-        PhysExpr::ApplyLoop {
-            kind,
-            left,
-            right,
-            params,
-        } => {
+            kind, predicate, ..
+        } => format!("NestedLoop{kind:?} {predicate}"),
+        PhysExpr::ApplyLoop { kind, params, .. } => {
             let ps: Vec<String> = params.iter().map(|c| c.to_string()).collect();
-            let _ = writeln!(out, "ApplyLoop{kind:?} (bind: {})", ps.join(", "));
-            fmt(left, depth + 1, out);
-            fmt(right, depth + 1, out);
+            format!("ApplyLoop{kind:?} (bind: {})", ps.join(", "))
         }
-        PhysExpr::SegmentExec {
-            input,
-            segment_cols,
-            inner,
-            ..
-        } => {
+        PhysExpr::SegmentExec { segment_cols, .. } => {
             let cs: Vec<String> = segment_cols.iter().map(|c| c.to_string()).collect();
-            let _ = writeln!(out, "SegmentExec [{}]", cs.join(", "));
-            fmt(input, depth + 1, out);
-            fmt(inner, depth + 1, out);
+            format!("SegmentExec [{}]", cs.join(", "))
         }
         PhysExpr::SegmentScan { cols } => {
             let cs: Vec<String> = cols.iter().map(|(o, s)| format!("{o}←{s}")).collect();
-            let _ = writeln!(out, "SegmentScan [{}]", cs.join(", "));
+            format!("SegmentScan [{}]", cs.join(", "))
         }
         PhysExpr::HashAggregate {
             kind,
-            input,
             group_cols,
             aggs,
+            ..
         } => {
             let gs: Vec<String> = group_cols.iter().map(|c| c.to_string()).collect();
             let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
-            let _ = writeln!(
-                out,
+            format!(
                 "HashAggregate({kind:?}) [{}] [{}]",
                 gs.join(", "),
                 as_.join(", ")
-            );
-            fmt(input, depth + 1, out);
+            )
         }
-        PhysExpr::Concat { left, right, .. } => {
-            let _ = writeln!(out, "Concat");
-            fmt(left, depth + 1, out);
-            fmt(right, depth + 1, out);
-        }
-        PhysExpr::ExceptExec { left, right, .. } => {
-            let _ = writeln!(out, "Except");
-            fmt(left, depth + 1, out);
-            fmt(right, depth + 1, out);
-        }
-        PhysExpr::AssertMax1 { input } => {
-            let _ = writeln!(out, "AssertMax1Row");
-            fmt(input, depth + 1, out);
-        }
-        PhysExpr::RowNumber { input, col } => {
-            let _ = writeln!(out, "RowNumber [{col}]");
-            fmt(input, depth + 1, out);
-        }
-        PhysExpr::ConstScan { rows, .. } => {
-            let _ = writeln!(out, "ConstScan ({} rows)", rows.len());
-        }
-        PhysExpr::Sort { input, by } => {
+        PhysExpr::Concat { .. } => "Concat".to_string(),
+        PhysExpr::ExceptExec { .. } => "Except".to_string(),
+        PhysExpr::AssertMax1 { .. } => "AssertMax1Row".to_string(),
+        PhysExpr::RowNumber { col, .. } => format!("RowNumber [{col}]"),
+        PhysExpr::ConstScan { rows, .. } => format!("ConstScan ({} rows)", rows.len()),
+        PhysExpr::Sort { by, .. } => {
             let bs: Vec<String> = by
                 .iter()
                 .map(|(c, desc)| format!("{c}{}", if *desc { " desc" } else { "" }))
                 .collect();
-            let _ = writeln!(out, "Sort [{}]", bs.join(", "));
-            fmt(input, depth + 1, out);
+            format!("Sort [{}]", bs.join(", "))
         }
-        PhysExpr::Limit { input, n } => {
-            let _ = writeln!(out, "Limit {n}");
-            fmt(input, depth + 1, out);
-        }
+        PhysExpr::Limit { n, .. } => format!("Limit {n}"),
     }
 }
 
@@ -198,5 +237,41 @@ mod tests {
         };
         let s = explain_phys(&plan);
         assert!(s.contains("c1=c2"), "{s}");
+    }
+
+    #[test]
+    fn analyze_zips_stats_by_preorder_id() {
+        let plan = PhysExpr::Filter {
+            input: Box::new(PhysExpr::TableScan {
+                table: TableId(0),
+                positions: vec![0],
+                cols: vec![ColId(1)],
+            }),
+            predicate: ScalarExpr::true_(),
+        };
+        let stats = vec![
+            OpStats {
+                rows: 1,
+                batches: 1,
+                opens: 1,
+                ..Default::default()
+            },
+            OpStats {
+                rows: 7,
+                batches: 2,
+                opens: 1,
+                ..Default::default()
+            },
+        ];
+        let s = explain_phys_analyze(&plan, &stats, &[1]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(
+            lines[0].starts_with("Filter") && lines[0].contains("rows=1"),
+            "{s}"
+        );
+        assert!(
+            lines[1].contains("rows=7") && lines[1].contains("cached"),
+            "{s}"
+        );
     }
 }

@@ -9,9 +9,12 @@
 //!   `Apply` loops (§1.3). It is deliberately naive: it serves as the
 //!   semantics oracle for every rewrite and as the paper's "correlated
 //!   execution" baseline.
-//! * [`physical`] — the real engine: hash joins, hash aggregation, index
-//!   seeks, parameterized re-execution for `Apply`, and segmented
-//!   execution for `SegmentApply`.
+//! * [`physical`] + [`pipeline`] — the real engine: physical plans are
+//!   compiled into a streaming pull-based [`Pipeline`] of batched
+//!   operators (hash joins, hash aggregation, index seeks,
+//!   rebind-and-rewind re-execution for `Apply`, segmented execution
+//!   for `SegmentApply`), with per-operator [`OpStats`] for
+//!   `EXPLAIN ANALYZE`.
 
 pub mod aggregate;
 pub mod bindings;
@@ -19,9 +22,14 @@ pub mod chunk;
 pub mod eval;
 pub mod explain_phys;
 pub mod physical;
+pub mod pipeline;
 pub mod reference;
+pub mod stats;
 
 pub use bindings::Bindings;
 pub use chunk::Chunk;
+pub use explain_phys::{explain_phys, explain_phys_analyze, phys_node_labels};
 pub use physical::{PhysExpr, PhysPlan};
+pub use pipeline::{Batch, ExecCtx, Operator, Pipeline, DEFAULT_BATCH_SIZE};
 pub use reference::Reference;
+pub use stats::OpStats;

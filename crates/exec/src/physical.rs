@@ -6,22 +6,19 @@
 //! execution (§4: "the simplest and most common being index-lookup
 //! join"), and `SegmentExec` for segmented execution (§3.4).
 //!
-//! Execution is batch-at-a-time: each operator materializes its result
-//! [`Chunk`]. Parameterized operators (`ApplyLoop`, `SegmentExec`)
-//! re-execute their inner plan per outer row / per segment under
-//! extended [`Bindings`].
+//! Execution is streaming: [`Executor::exec`] compiles the operator
+//! tree into a pull-based [`Pipeline`](crate::pipeline::Pipeline) of
+//! batched operators and drains it. Parameterized operators
+//! (`ApplyLoop`, `SegmentExec`) rebind parameters and rewind their
+//! inner pipeline per outer row / per segment; see [`crate::pipeline`].
 
-use std::collections::HashMap;
-use std::rc::Rc;
-
-use orthopt_common::{ColId, Error, Result, Row, TableId, Value};
+use orthopt_common::{ColId, Result, Row, TableId};
 use orthopt_ir::{AggDef, ApplyKind, ColumnMeta, GroupKind, JoinKind, ScalarExpr};
 use orthopt_storage::Catalog;
 
-use crate::aggregate::hash_aggregate;
 use crate::bindings::Bindings;
 use crate::chunk::Chunk;
-use crate::eval::{eval, eval_predicate, EvalCtx};
+use crate::pipeline::Pipeline;
 
 /// A physical operator tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -268,12 +265,8 @@ impl PhysExpr {
             | PhysExpr::NLJoin { left, right, .. }
             | PhysExpr::ApplyLoop { left, right, .. }
             | PhysExpr::Concat { left, right, .. }
-            | PhysExpr::ExceptExec { left, right, .. } => {
-                left.node_count() + right.node_count()
-            }
-            PhysExpr::SegmentExec { input, inner, .. } => {
-                input.node_count() + inner.node_count()
-            }
+            | PhysExpr::ExceptExec { left, right, .. } => left.node_count() + right.node_count(),
+            PhysExpr::SegmentExec { input, inner, .. } => input.node_count() + inner.node_count(),
             _ => 0,
         }
     }
@@ -303,483 +296,12 @@ pub struct Executor<'a> {
 }
 
 impl Executor<'_> {
-    /// Executes an operator under parameter bindings.
+    /// Executes an operator under parameter bindings by compiling it
+    /// into a streaming [`Pipeline`] and draining the result.
+    ///
+    /// Plans executed repeatedly (benchmarks, `EXPLAIN ANALYZE`) should
+    /// compile a [`Pipeline`] once and re-`execute` it instead.
     pub fn exec(&self, p: &PhysExpr, binds: &Bindings) -> Result<Chunk> {
-        match p {
-            PhysExpr::TableScan {
-                table,
-                positions,
-                cols,
-            } => {
-                let t = self.catalog.table(*table);
-                let rows = t
-                    .rows()
-                    .iter()
-                    .map(|r| positions.iter().map(|&i| r[i].clone()).collect())
-                    .collect();
-                Ok(Chunk {
-                    cols: cols.clone(),
-                    rows,
-                })
-            }
-            PhysExpr::IndexSeek {
-                table,
-                positions,
-                cols,
-                index_cols,
-                probes,
-            } => {
-                let t = self.catalog.table(*table);
-                let empty_ctx = EvalCtx::plain(&[], &[], binds);
-                let mut key = Vec::with_capacity(probes.len());
-                for probe in probes {
-                    let v = eval(probe, &empty_ctx)?;
-                    if v.is_null() {
-                        return Ok(Chunk::empty(cols.clone()));
-                    }
-                    key.push(v);
-                }
-                let hits = t.index_lookup(index_cols, &key).ok_or_else(|| {
-                    Error::internal(format!(
-                        "missing index on {:?} of {}",
-                        index_cols,
-                        t.def.name
-                    ))
-                })?;
-                let rows = hits
-                    .iter()
-                    .map(|&rid| {
-                        let r = &t.rows()[rid];
-                        positions.iter().map(|&i| r[i].clone()).collect()
-                    })
-                    .collect();
-                Ok(Chunk {
-                    cols: cols.clone(),
-                    rows,
-                })
-            }
-            PhysExpr::Filter { input, predicate } => {
-                let inp = self.exec(input, binds)?;
-                let mut rows = Vec::new();
-                for r in inp.rows {
-                    if eval_predicate(predicate, &EvalCtx::plain(&inp.cols, &r, binds))? {
-                        rows.push(r);
-                    }
-                }
-                Ok(Chunk {
-                    cols: inp.cols,
-                    rows,
-                })
-            }
-            PhysExpr::Compute { input, defs } => {
-                let inp = self.exec(input, binds)?;
-                let mut cols = inp.cols.clone();
-                cols.extend(defs.iter().map(|(c, _)| *c));
-                let mut rows = Vec::with_capacity(inp.len());
-                for r in inp.rows {
-                    let mut out = r.clone();
-                    for (_, e) in defs {
-                        out.push(eval(e, &EvalCtx::plain(&inp.cols, &r, binds))?);
-                    }
-                    rows.push(out);
-                }
-                Ok(Chunk { cols, rows })
-            }
-            PhysExpr::ProjectCols { input, cols } => {
-                let inp = self.exec(input, binds)?;
-                inp.project(cols)
-            }
-            PhysExpr::HashJoin {
-                kind,
-                left,
-                right,
-                left_keys,
-                right_keys,
-                residual,
-            } => {
-                let l = self.exec(left, binds)?;
-                let r = self.exec(right, binds)?;
-                self.hash_join(*kind, &l, &r, left_keys, right_keys, residual, binds)
-            }
-            PhysExpr::NLJoin {
-                kind,
-                left,
-                right,
-                predicate,
-            } => {
-                let l = self.exec(left, binds)?;
-                let r = self.exec(right, binds)?;
-                nl_join(*kind, &l, &r, |row, cols| {
-                    eval_predicate(predicate, &EvalCtx::plain(cols, row, binds))
-                })
-            }
-            PhysExpr::ApplyLoop {
-                kind,
-                left,
-                right,
-                params,
-            } => {
-                let l = self.exec(left, binds)?;
-                let right_width = right.out_cols().len();
-                let mut rows = Vec::new();
-                // One bindings clone for the whole loop: every iteration
-                // overwrites the same parameter keys.
-                let mut inner_binds = binds.clone();
-                let param_positions: Vec<(ColId, usize)> = params
-                    .iter()
-                    .filter_map(|p| l.col_pos(*p).map(|i| (*p, i)))
-                    .collect();
-                for lr in &l.rows {
-                    for (p, i) in &param_positions {
-                        inner_binds.set(*p, lr[*i].clone());
-                    }
-                    let inner = self.exec(right, &inner_binds)?;
-                    match kind {
-                        ApplyKind::Cross | ApplyKind::LeftOuter => {
-                            if inner.is_empty() && *kind == ApplyKind::LeftOuter {
-                                let mut row = lr.clone();
-                                row.extend(std::iter::repeat_n(Value::Null, right_width));
-                                rows.push(row);
-                            } else {
-                                for ir in inner.rows {
-                                    let mut row = lr.clone();
-                                    row.extend(ir);
-                                    rows.push(row);
-                                }
-                            }
-                        }
-                        ApplyKind::Semi => {
-                            if !inner.is_empty() {
-                                rows.push(lr.clone());
-                            }
-                        }
-                        ApplyKind::Anti => {
-                            if inner.is_empty() {
-                                rows.push(lr.clone());
-                            }
-                        }
-                    }
-                }
-                Ok(Chunk {
-                    cols: p.out_cols(),
-                    rows,
-                })
-            }
-            PhysExpr::SegmentExec {
-                input,
-                segment_cols,
-                inner,
-                out_cols,
-            } => {
-                let inp = self.exec(input, binds)?;
-                let mut order: Vec<Vec<Value>> = Vec::new();
-                let mut segments: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
-                for r in &inp.rows {
-                    let key = inp.key_of(r, segment_cols)?;
-                    segments
-                        .entry(key.clone())
-                        .or_insert_with(|| {
-                            order.push(key);
-                            Vec::new()
-                        })
-                        .push(r.clone());
-                }
-                let inner_cols = inner.out_cols();
-                let mut rows = Vec::new();
-                for key in order {
-                    let seg_rows = segments.remove(&key).expect("segment present");
-                    let segment = Rc::new(Chunk {
-                        cols: inp.cols.clone(),
-                        rows: seg_rows,
-                    });
-                    let seg_binds = binds.with_segment(segment);
-                    let result = self.exec(inner, &seg_binds)?;
-                    for ir in result.rows {
-                        let mut row: Row = Vec::with_capacity(out_cols.len());
-                        for oc in out_cols {
-                            if let Some(i) = segment_cols.iter().position(|c| c == oc) {
-                                row.push(key[i].clone());
-                            } else {
-                                let pos = inner_cols
-                                    .iter()
-                                    .position(|c| c == oc)
-                                    .ok_or_else(|| Error::internal("segment output column"))?;
-                                row.push(ir[pos].clone());
-                            }
-                        }
-                        rows.push(row);
-                    }
-                }
-                Ok(Chunk {
-                    cols: out_cols.clone(),
-                    rows,
-                })
-            }
-            PhysExpr::SegmentScan { cols } => {
-                let segment = binds
-                    .current_segment()
-                    .ok_or_else(|| Error::internal("SegmentScan outside SegmentExec"))?
-                    .clone();
-                let positions: Vec<usize> = cols
-                    .iter()
-                    .map(|(_, src)| segment.require_pos(*src))
-                    .collect::<Result<_>>()?;
-                let rows = segment
-                    .rows
-                    .iter()
-                    .map(|r| positions.iter().map(|&i| r[i].clone()).collect())
-                    .collect();
-                Ok(Chunk {
-                    cols: cols.iter().map(|(o, _)| *o).collect(),
-                    rows,
-                })
-            }
-            PhysExpr::HashAggregate {
-                kind,
-                input,
-                group_cols,
-                aggs,
-            } => {
-                let inp = self.exec(input, binds)?;
-                let mut feed = Vec::with_capacity(inp.len());
-                for r in &inp.rows {
-                    let key = inp.key_of(r, group_cols)?;
-                    let args = aggs
-                        .iter()
-                        .map(|a| {
-                            a.arg
-                                .as_ref()
-                                .map(|e| eval(e, &EvalCtx::plain(&inp.cols, r, binds)))
-                                .transpose()
-                        })
-                        .collect::<Result<Vec<_>>>()?;
-                    feed.push((key, args));
-                }
-                let rows = hash_aggregate(*kind, aggs, feed)?;
-                Ok(Chunk {
-                    cols: p.out_cols(),
-                    rows,
-                })
-            }
-            PhysExpr::Concat {
-                left,
-                right,
-                cols,
-                left_map,
-                right_map,
-            } => {
-                let l = self.exec(left, binds)?;
-                let r = self.exec(right, binds)?;
-                let lpos: Vec<usize> = left_map
-                    .iter()
-                    .map(|c| l.require_pos(*c))
-                    .collect::<Result<_>>()?;
-                let rpos: Vec<usize> = right_map
-                    .iter()
-                    .map(|c| r.require_pos(*c))
-                    .collect::<Result<_>>()?;
-                let mut rows = Vec::with_capacity(l.len() + r.len());
-                for row in &l.rows {
-                    rows.push(lpos.iter().map(|&i| row[i].clone()).collect());
-                }
-                for row in &r.rows {
-                    rows.push(rpos.iter().map(|&i| row[i].clone()).collect());
-                }
-                Ok(Chunk {
-                    cols: cols.clone(),
-                    rows,
-                })
-            }
-            PhysExpr::ExceptExec {
-                left,
-                right,
-                right_map,
-            } => {
-                let l = self.exec(left, binds)?;
-                let r = self.exec(right, binds)?;
-                let rpos: Vec<usize> = right_map
-                    .iter()
-                    .map(|c| r.require_pos(*c))
-                    .collect::<Result<_>>()?;
-                let mut counts: HashMap<Row, usize> = HashMap::new();
-                for row in &r.rows {
-                    let key: Row = rpos.iter().map(|&i| row[i].clone()).collect();
-                    *counts.entry(key).or_insert(0) += 1;
-                }
-                let mut rows = Vec::new();
-                for row in l.rows {
-                    match counts.get_mut(&row) {
-                        Some(n) if *n > 0 => *n -= 1,
-                        _ => rows.push(row),
-                    }
-                }
-                Ok(Chunk { cols: l.cols, rows })
-            }
-            PhysExpr::AssertMax1 { input } => {
-                let inp = self.exec(input, binds)?;
-                if inp.len() > 1 {
-                    return Err(Error::SubqueryReturnedMoreThanOneRow);
-                }
-                Ok(inp)
-            }
-            PhysExpr::RowNumber { input, .. } => {
-                let inp = self.exec(input, binds)?;
-                let rows = inp
-                    .rows
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, mut r)| {
-                        r.push(Value::Int(i as i64));
-                        r
-                    })
-                    .collect();
-                Ok(Chunk {
-                    cols: p.out_cols(),
-                    rows,
-                })
-            }
-            PhysExpr::ConstScan { cols, rows } => Ok(Chunk {
-                cols: cols.clone(),
-                rows: rows.clone(),
-            }),
-            PhysExpr::Sort { input, by } => {
-                let mut inp = self.exec(input, binds)?;
-                let positions: Vec<(usize, bool)> = by
-                    .iter()
-                    .map(|(c, desc)| Ok((inp.require_pos(*c)?, *desc)))
-                    .collect::<Result<_>>()?;
-                inp.rows.sort_by(|a, b| {
-                    for &(i, desc) in &positions {
-                        let mut o = a[i].total_cmp(&b[i]);
-                        if desc {
-                            o = o.reverse();
-                        }
-                        if o != std::cmp::Ordering::Equal {
-                            return o;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
-                Ok(inp)
-            }
-            PhysExpr::Limit { input, n } => {
-                let mut inp = self.exec(input, binds)?;
-                inp.rows.truncate(*n);
-                Ok(inp)
-            }
-        }
+        Pipeline::compile(p)?.execute(self.catalog, binds)
     }
-
-    #[allow(clippy::too_many_arguments)]
-    fn hash_join(
-        &self,
-        kind: JoinKind,
-        l: &Chunk,
-        r: &Chunk,
-        left_keys: &[ColId],
-        right_keys: &[ColId],
-        residual: &ScalarExpr,
-        binds: &Bindings,
-    ) -> Result<Chunk> {
-        let mut combined_cols = l.cols.clone();
-        combined_cols.extend(r.cols.iter().copied());
-        // Build on the right side; SQL equality never matches NULL keys.
-        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        'build: for (i, rr) in r.rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(right_keys.len());
-            for c in right_keys {
-                let v = &rr[r.require_pos(*c)?];
-                if v.is_null() {
-                    continue 'build;
-                }
-                key.push(v.clone());
-            }
-            table.entry(key).or_default().push(i);
-        }
-        let mut rows = Vec::new();
-        for lr in &l.rows {
-            let mut key = Some(Vec::with_capacity(left_keys.len()));
-            for c in left_keys {
-                let v = &lr[l.require_pos(*c)?];
-                if v.is_null() {
-                    key = None;
-                    break;
-                }
-                if let Some(k) = &mut key {
-                    k.push(v.clone());
-                }
-            }
-            let matches = key.as_ref().and_then(|k| table.get(k));
-            let mut matched = false;
-            if let Some(idxs) = matches {
-                for &i in idxs {
-                    let mut row = lr.clone();
-                    row.extend(r.rows[i].iter().cloned());
-                    if eval_predicate(residual, &EvalCtx::plain(&combined_cols, &row, binds))? {
-                        matched = true;
-                        match kind {
-                            JoinKind::Inner | JoinKind::LeftOuter => rows.push(row),
-                            JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                        }
-                    }
-                }
-            }
-            match kind {
-                JoinKind::LeftOuter if !matched => {
-                    let mut row = lr.clone();
-                    row.extend(std::iter::repeat_n(Value::Null, r.cols.len()));
-                    rows.push(row);
-                }
-                JoinKind::LeftSemi if matched => rows.push(lr.clone()),
-                JoinKind::LeftAnti if !matched => rows.push(lr.clone()),
-                _ => {}
-            }
-        }
-        let cols = match kind {
-            JoinKind::Inner | JoinKind::LeftOuter => combined_cols,
-            JoinKind::LeftSemi | JoinKind::LeftAnti => l.cols.clone(),
-        };
-        Ok(Chunk { cols, rows })
-    }
-}
-
-/// Nested-loop join shared with tests.
-pub fn nl_join(
-    kind: JoinKind,
-    l: &Chunk,
-    r: &Chunk,
-    mut pred: impl FnMut(&[Value], &[ColId]) -> Result<bool>,
-) -> Result<Chunk> {
-    let mut combined_cols = l.cols.clone();
-    combined_cols.extend(r.cols.iter().copied());
-    let mut rows = Vec::new();
-    for lr in &l.rows {
-        let mut matched = false;
-        for rr in &r.rows {
-            let mut row = lr.clone();
-            row.extend(rr.iter().cloned());
-            if pred(&row, &combined_cols)? {
-                matched = true;
-                match kind {
-                    JoinKind::Inner | JoinKind::LeftOuter => rows.push(row),
-                    JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                }
-            }
-        }
-        match kind {
-            JoinKind::LeftOuter if !matched => {
-                let mut row = lr.clone();
-                row.extend(std::iter::repeat_n(Value::Null, r.cols.len()));
-                rows.push(row);
-            }
-            JoinKind::LeftSemi if matched => rows.push(lr.clone()),
-            JoinKind::LeftAnti if !matched => rows.push(lr.clone()),
-            _ => {}
-        }
-    }
-    let cols = match kind {
-        JoinKind::Inner | JoinKind::LeftOuter => combined_cols,
-        JoinKind::LeftSemi | JoinKind::LeftAnti => l.cols.clone(),
-    };
-    Ok(Chunk { cols, rows })
 }

@@ -1,0 +1,1824 @@
+//! Streaming pull-based execution pipeline.
+//!
+//! [`Pipeline::compile`] turns a [`PhysExpr`] tree into a tree of
+//! [`Operator`]s driven Volcano-style: `open` resets state,
+//! `next_batch` pulls up to [`DEFAULT_BATCH_SIZE`] rows at a time, and
+//! `close` reports [`OpStats`]. Column layouts are compiled once into
+//! `Rc<[ColId]>` plus positional indices, so batches flow between
+//! operators without re-resolving columns or deep-cloning layouts.
+//!
+//! Pipeline breakers (hash-join build, aggregation, sort) keep state
+//! across batches. Parameterized scopes (`ApplyLoop` inner plans,
+//! `SegmentExec` inner plans) are *rebound and rewound*: the parent
+//! re-`open`s the inner subtree per outer row / per segment. At compile
+//! time a free-variable analysis finds inner subtrees that reference no
+//! outer parameter and no outer segment; those are wrapped in a
+//! [`CacheOp`] that materializes once and replays on every rewind, and
+//! stable hash-join builds / nested-loop inner sides are kept across
+//! re-opens.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+use std::time::Instant;
+
+use orthopt_common::{ColId, Error, Result, Row, TableId, Value};
+use orthopt_ir::{AggDef, ApplyKind, GroupKind, JoinKind, ScalarExpr};
+use orthopt_storage::Catalog;
+
+use crate::aggregate::GroupedAggState;
+use crate::bindings::Bindings;
+use crate::chunk::Chunk;
+use crate::eval::{eval, eval_predicate, EvalCtx};
+use crate::physical::PhysExpr;
+use crate::stats::OpStats;
+
+/// Default maximum number of rows per batch.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// A bounded slice of rows flowing through the pipeline; the layout is
+/// shared by reference with the producing operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Column ids, positionally matching each row.
+    pub cols: Rc<[ColId]>,
+    /// Row data.
+    pub rows: Vec<Row>,
+}
+
+impl Batch {
+    /// Builds a batch, checking row arity against the layout in debug
+    /// builds.
+    pub fn new(cols: Rc<[ColId]>, rows: Vec<Row>) -> Batch {
+        debug_assert!(
+            rows.iter().all(|r| r.len() == cols.len()),
+            "batch arity mismatch: layout has {} columns",
+            cols.len()
+        );
+        Batch { cols, rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Everything an operator needs at run time: the catalog plus the
+/// current parameter bindings (shared so parameterized parents can
+/// rebind between re-opens).
+pub struct ExecCtx<'a> {
+    /// The database.
+    pub catalog: &'a Catalog,
+    /// Scalar parameters and segment stack.
+    pub binds: Rc<RefCell<Bindings>>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A context over fresh bindings.
+    pub fn new(catalog: &'a Catalog, binds: Bindings) -> ExecCtx<'a> {
+        ExecCtx {
+            catalog,
+            binds: Rc::new(RefCell::new(binds)),
+        }
+    }
+}
+
+/// A streaming physical operator.
+///
+/// Lifecycle: `open` (re)initializes state — it may be called again
+/// after exhaustion to rewind, possibly under different parameter
+/// bindings; `next_batch` returns `None` once exhausted; `close`
+/// reports the stats accumulated since the pipeline started.
+pub trait Operator {
+    /// (Re)initializes the operator; called before the first
+    /// `next_batch` and again on every rewind.
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()>;
+    /// Produces the next batch, or `None` when exhausted.
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>>;
+    /// Reports accumulated stats (meaningful on metered nodes).
+    fn close(&mut self) -> OpStats {
+        OpStats::default()
+    }
+}
+
+type BoxOp = Box<dyn Operator>;
+
+/// A compiled streaming plan plus its stats registry.
+pub struct Pipeline {
+    root: BoxOp,
+    cols: Rc<[ColId]>,
+    stats: Rc<RefCell<Vec<OpStats>>>,
+    cached: Vec<usize>,
+    batch_size: usize,
+}
+
+impl Pipeline {
+    /// Compiles a physical plan with the default batch size.
+    pub fn compile(plan: &PhysExpr) -> Result<Pipeline> {
+        Pipeline::with_batch_size(plan, DEFAULT_BATCH_SIZE)
+    }
+
+    /// Compiles a physical plan with an explicit batch size (min 1).
+    pub fn with_batch_size(plan: &PhysExpr, batch_size: usize) -> Result<Pipeline> {
+        let mut c = Compiler {
+            batch_size: batch_size.max(1),
+            stats: Rc::new(RefCell::new(Vec::new())),
+            next_id: 0,
+            cached: Vec::new(),
+        };
+        let root = c.compile(plan, false)?;
+        Ok(Pipeline {
+            root,
+            cols: rc_cols(&plan.out_cols()),
+            stats: c.stats,
+            cached: c.cached,
+            batch_size: batch_size.max(1),
+        })
+    }
+
+    /// Runs the pipeline to completion, materializing the result.
+    /// Stats are reset at the start of each execution.
+    pub fn execute(&mut self, catalog: &Catalog, binds: &Bindings) -> Result<Chunk> {
+        for s in self.stats.borrow_mut().iter_mut() {
+            *s = OpStats::default();
+        }
+        let ctx = ExecCtx::new(catalog, binds.clone());
+        self.root.open(&ctx)?;
+        let mut rows = Vec::new();
+        while let Some(b) = self.root.next_batch(&ctx)? {
+            rows.extend(b.rows);
+        }
+        self.root.close();
+        Ok(Chunk::new(self.cols.to_vec(), rows))
+    }
+
+    /// Output layout of the root operator.
+    pub fn out_cols(&self) -> &[ColId] {
+        &self.cols
+    }
+
+    /// Per-operator stats, indexed by pre-order node id (the order
+    /// `explain_phys` prints nodes in).
+    pub fn stats(&self) -> Vec<OpStats> {
+        self.stats.borrow().clone()
+    }
+
+    /// Pre-order ids of subtree roots that were compiled behind a
+    /// one-time materialization cache.
+    pub fn cached_nodes(&self) -> &[usize] {
+        &self.cached
+    }
+
+    /// Number of operators in the compiled plan.
+    pub fn node_count(&self) -> usize {
+        self.stats.borrow().len()
+    }
+
+    /// The batch size the pipeline was compiled with.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+fn rc_cols(cols: &[ColId]) -> Rc<[ColId]> {
+    cols.into()
+}
+
+fn pos_of(layout: &[ColId], id: ColId) -> Result<usize> {
+    layout
+        .iter()
+        .position(|c| *c == id)
+        .ok_or_else(|| Error::internal(format!("column {id} missing from operator layout")))
+}
+
+/// Splits off up to `batch_size` rows from the front of `pending`.
+fn drain_pending(pending: &mut Vec<Row>, batch_size: usize, cols: &Rc<[ColId]>) -> Option<Batch> {
+    if pending.is_empty() {
+        return None;
+    }
+    if pending.len() <= batch_size {
+        return Some(Batch::new(cols.clone(), std::mem::take(pending)));
+    }
+    let rest = pending.split_off(batch_size);
+    let head = std::mem::replace(pending, rest);
+    Some(Batch::new(cols.clone(), head))
+}
+
+// ---------------------------------------------------------------------
+// Free-variable analysis for rebind-and-rewind caching.
+// ---------------------------------------------------------------------
+
+/// What a subtree needs from its enclosing parameter scope.
+#[derive(Debug, Default)]
+struct FreeSet {
+    /// Column ids resolved through outer bindings.
+    cols: BTreeSet<ColId>,
+    /// True if the subtree reads a segment bound outside it.
+    segment: bool,
+}
+
+impl FreeSet {
+    fn is_invariant(&self) -> bool {
+        self.cols.is_empty() && !self.segment
+    }
+
+    fn union(mut self, other: FreeSet) -> FreeSet {
+        self.cols.extend(other.cols);
+        self.segment |= other.segment;
+        self
+    }
+
+    /// Adds the references of `exprs` that `provided` does not supply.
+    fn add_exprs<'e>(
+        mut self,
+        exprs: impl IntoIterator<Item = &'e ScalarExpr>,
+        provided: &[ColId],
+    ) -> FreeSet {
+        for e in exprs {
+            for c in e.cols() {
+                if !provided.contains(&c) {
+                    self.cols.insert(c);
+                }
+            }
+        }
+        self
+    }
+}
+
+/// Computes the outer parameters and segments a subtree depends on.
+/// A subtree with an empty [`FreeSet`] produces the same result on
+/// every rewind, so its materialization can be cached.
+fn free_inputs(p: &PhysExpr) -> FreeSet {
+    match p {
+        PhysExpr::TableScan { .. } | PhysExpr::ConstScan { .. } => FreeSet::default(),
+        PhysExpr::IndexSeek { probes, .. } => FreeSet::default().add_exprs(probes, &[]),
+        PhysExpr::Filter { input, predicate } => {
+            free_inputs(input).add_exprs([predicate], &input.out_cols())
+        }
+        PhysExpr::Compute { input, defs } => {
+            free_inputs(input).add_exprs(defs.iter().map(|(_, e)| e), &input.out_cols())
+        }
+        PhysExpr::ProjectCols { input, .. }
+        | PhysExpr::AssertMax1 { input }
+        | PhysExpr::RowNumber { input, .. }
+        | PhysExpr::Sort { input, .. }
+        | PhysExpr::Limit { input, .. } => free_inputs(input),
+        PhysExpr::HashJoin {
+            left,
+            right,
+            residual,
+            ..
+        } => {
+            let mut provided = left.out_cols();
+            provided.extend(right.out_cols());
+            free_inputs(left)
+                .union(free_inputs(right))
+                .add_exprs([residual], &provided)
+        }
+        PhysExpr::NLJoin {
+            left,
+            right,
+            predicate,
+            ..
+        } => {
+            let mut provided = left.out_cols();
+            provided.extend(right.out_cols());
+            free_inputs(left)
+                .union(free_inputs(right))
+                .add_exprs([predicate], &provided)
+        }
+        PhysExpr::ApplyLoop {
+            left,
+            right,
+            params,
+            ..
+        } => {
+            let mut inner = free_inputs(right);
+            for p in params {
+                inner.cols.remove(p);
+            }
+            free_inputs(left).union(inner)
+        }
+        PhysExpr::SegmentExec { input, inner, .. } => {
+            // The inner plan's segment reads are bound by this node.
+            let mut fin = free_inputs(inner);
+            fin.segment = false;
+            free_inputs(input).union(fin)
+        }
+        PhysExpr::SegmentScan { .. } => FreeSet {
+            cols: BTreeSet::new(),
+            segment: true,
+        },
+        PhysExpr::HashAggregate { input, aggs, .. } => free_inputs(input).add_exprs(
+            aggs.iter().filter_map(|a| a.arg.as_ref()),
+            &input.out_cols(),
+        ),
+        PhysExpr::Concat { left, right, .. } | PhysExpr::ExceptExec { left, right, .. } => {
+            free_inputs(left).union(free_inputs(right))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiler.
+// ---------------------------------------------------------------------
+
+struct Compiler {
+    batch_size: usize,
+    stats: Rc<RefCell<Vec<OpStats>>>,
+    next_id: usize,
+    cached: Vec<usize>,
+}
+
+impl Compiler {
+    /// Compiles a subtree. `in_param` is true inside a rebind-and-rewind
+    /// scope (an `ApplyLoop`/`SegmentExec` inner plan), where invariant
+    /// subtrees get a one-time materialization cache.
+    fn compile(&mut self, p: &PhysExpr, in_param: bool) -> Result<BoxOp> {
+        let cacheable = in_param
+            && !matches!(
+                p,
+                PhysExpr::TableScan { .. }
+                    | PhysExpr::ConstScan { .. }
+                    | PhysExpr::IndexSeek { .. }
+                    | PhysExpr::SegmentScan { .. }
+            )
+            && free_inputs(p).is_invariant();
+        if cacheable {
+            self.cached.push(self.next_id);
+            // Children no longer need their own caches.
+            let inner = self.compile_bare(p, false)?;
+            return Ok(Box::new(CacheOp::new(inner, self.batch_size)));
+        }
+        self.compile_bare(p, in_param)
+    }
+
+    fn compile_bare(&mut self, p: &PhysExpr, in_param: bool) -> Result<BoxOp> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stats.borrow_mut().push(OpStats::default());
+        let bs = self.batch_size;
+        let op: BoxOp = match p {
+            PhysExpr::TableScan {
+                table,
+                positions,
+                cols,
+            } => Box::new(ScanOp {
+                table: *table,
+                positions: positions.clone(),
+                cols: rc_cols(cols),
+                cursor: 0,
+                batch_size: bs,
+            }),
+            PhysExpr::IndexSeek {
+                table,
+                positions,
+                cols,
+                index_cols,
+                probes,
+            } => Box::new(SeekOp {
+                table: *table,
+                positions: positions.clone(),
+                cols: rc_cols(cols),
+                index_cols: index_cols.clone(),
+                probes: probes.clone(),
+                hits: Vec::new(),
+                cursor: 0,
+                batch_size: bs,
+            }),
+            PhysExpr::Filter { input, predicate } => Box::new(FilterOp {
+                cols: rc_cols(&input.out_cols()),
+                input: self.compile(input, in_param)?,
+                predicate: predicate.clone(),
+            }),
+            PhysExpr::Compute { input, defs } => Box::new(ComputeOp {
+                in_cols: rc_cols(&input.out_cols()),
+                out_cols: rc_cols(&p.out_cols()),
+                input: self.compile(input, in_param)?,
+                defs: defs.clone(),
+            }),
+            PhysExpr::ProjectCols { input, cols } => {
+                let in_layout = input.out_cols();
+                let positions = cols
+                    .iter()
+                    .map(|c| pos_of(&in_layout, *c))
+                    .collect::<Result<_>>()?;
+                Box::new(ProjectOp {
+                    input: self.compile(input, in_param)?,
+                    positions,
+                    cols: rc_cols(cols),
+                })
+            }
+            PhysExpr::HashJoin {
+                kind,
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
+                let lout = left.out_cols();
+                let rout = right.out_cols();
+                let left_pos = left_keys
+                    .iter()
+                    .map(|c| pos_of(&lout, *c))
+                    .collect::<Result<Vec<_>>>()?;
+                let right_pos = right_keys
+                    .iter()
+                    .map(|c| pos_of(&rout, *c))
+                    .collect::<Result<Vec<_>>>()?;
+                let mut combined = lout.clone();
+                combined.extend(rout.iter().copied());
+                // Inside a parameterized scope an invariant build side
+                // can keep its hash table across rewinds.
+                let build_stable = in_param && free_inputs(right).is_invariant();
+                Box::new(HashJoinOp {
+                    kind: *kind,
+                    left: self.compile(left, in_param)?,
+                    right: self.compile(right, in_param && !build_stable)?,
+                    left_pos,
+                    right_pos,
+                    residual: residual.clone(),
+                    residual_trivial: residual.is_true(),
+                    combined: rc_cols(&combined),
+                    out_cols: rc_cols(&p.out_cols()),
+                    right_width: rout.len(),
+                    build_stable,
+                    table: HashMap::new(),
+                    built: false,
+                    pending: Vec::new(),
+                    left_done: false,
+                    batch_size: bs,
+                })
+            }
+            PhysExpr::NLJoin {
+                kind,
+                left,
+                right,
+                predicate,
+            } => {
+                let lout = left.out_cols();
+                let rout = right.out_cols();
+                let mut combined = lout.clone();
+                combined.extend(rout.iter().copied());
+                let right_stable = in_param && free_inputs(right).is_invariant();
+                Box::new(NLJoinOp {
+                    kind: *kind,
+                    left: self.compile(left, in_param)?,
+                    right: self.compile(right, in_param && !right_stable)?,
+                    predicate: predicate.clone(),
+                    combined: rc_cols(&combined),
+                    out_cols: rc_cols(&p.out_cols()),
+                    right_width: rout.len(),
+                    right_stable,
+                    right_rows: Vec::new(),
+                    right_built: false,
+                    pending: Vec::new(),
+                    left_done: false,
+                    batch_size: bs,
+                })
+            }
+            PhysExpr::ApplyLoop {
+                kind,
+                left,
+                right,
+                params,
+            } => {
+                let lout = left.out_cols();
+                let param_pos: Vec<(ColId, usize)> = params
+                    .iter()
+                    .filter_map(|c| lout.iter().position(|l| l == c).map(|i| (*c, i)))
+                    .collect();
+                Box::new(ApplyLoopOp {
+                    kind: *kind,
+                    left: self.compile(left, in_param)?,
+                    inner: self.compile(right, true)?,
+                    param_pos,
+                    right_width: right.out_cols().len(),
+                    out_cols: rc_cols(&p.out_cols()),
+                    inner_binds: Rc::new(RefCell::new(Bindings::new())),
+                    pending: Vec::new(),
+                    left_done: false,
+                    batch_size: bs,
+                })
+            }
+            PhysExpr::SegmentExec {
+                input,
+                segment_cols,
+                inner,
+                out_cols,
+            } => {
+                let in_layout = input.out_cols();
+                let seg_pos = segment_cols
+                    .iter()
+                    .map(|c| pos_of(&in_layout, *c))
+                    .collect::<Result<Vec<_>>>()?;
+                let inner_layout = inner.out_cols();
+                let out_src = out_cols
+                    .iter()
+                    .map(|oc| {
+                        if let Some(i) = segment_cols.iter().position(|c| c == oc) {
+                            Ok(OutSrc::Seg(i))
+                        } else {
+                            pos_of(&inner_layout, *oc)
+                                .map(OutSrc::Inner)
+                                .map_err(|_| Error::internal("segment output column"))
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Box::new(SegmentExecOp {
+                    input: self.compile(input, in_param)?,
+                    inner: self.compile(inner, true)?,
+                    seg_pos,
+                    input_cols: in_layout,
+                    out_src,
+                    out_cols: rc_cols(out_cols),
+                    inner_binds: Rc::new(RefCell::new(Bindings::new())),
+                    segments: Vec::new(),
+                    partitioned: false,
+                    seg_cursor: 0,
+                    pending: Vec::new(),
+                    batch_size: bs,
+                })
+            }
+            PhysExpr::SegmentScan { cols } => Box::new(SegmentScanOp {
+                cols: cols.clone(),
+                out_cols: rc_cols(&p.out_cols()),
+                segment: None,
+                positions: Vec::new(),
+                cursor: 0,
+                batch_size: bs,
+            }),
+            PhysExpr::HashAggregate {
+                kind,
+                input,
+                group_cols,
+                aggs,
+            } => {
+                let in_layout = input.out_cols();
+                let group_pos = group_cols
+                    .iter()
+                    .map(|c| pos_of(&in_layout, *c))
+                    .collect::<Result<Vec<_>>>()?;
+                Box::new(HashAggregateOp {
+                    kind: *kind,
+                    input: self.compile(input, in_param)?,
+                    group_pos,
+                    aggs: aggs.clone(),
+                    in_cols: rc_cols(&in_layout),
+                    out_cols: rc_cols(&p.out_cols()),
+                    state: None,
+                    result: Vec::new(),
+                    done: false,
+                    batch_size: bs,
+                })
+            }
+            PhysExpr::Concat {
+                left,
+                right,
+                cols,
+                left_map,
+                right_map,
+            } => {
+                let lout = left.out_cols();
+                let rout = right.out_cols();
+                let lpos = left_map
+                    .iter()
+                    .map(|c| pos_of(&lout, *c))
+                    .collect::<Result<Vec<_>>>()?;
+                let rpos = right_map
+                    .iter()
+                    .map(|c| pos_of(&rout, *c))
+                    .collect::<Result<Vec<_>>>()?;
+                Box::new(ConcatOp {
+                    left: self.compile(left, in_param)?,
+                    right: self.compile(right, in_param)?,
+                    lpos,
+                    rpos,
+                    cols: rc_cols(cols),
+                    on_right: false,
+                })
+            }
+            PhysExpr::ExceptExec {
+                left,
+                right,
+                right_map,
+            } => {
+                let rout = right.out_cols();
+                let rpos = right_map
+                    .iter()
+                    .map(|c| pos_of(&rout, *c))
+                    .collect::<Result<Vec<_>>>()?;
+                Box::new(ExceptOp {
+                    left: self.compile(left, in_param)?,
+                    right: self.compile(right, in_param)?,
+                    rpos,
+                    cols: rc_cols(&left.out_cols()),
+                    counts: HashMap::new(),
+                    built: false,
+                })
+            }
+            PhysExpr::AssertMax1 { input } => Box::new(AssertMax1Op {
+                cols: rc_cols(&input.out_cols()),
+                input: self.compile(input, in_param)?,
+                buffered: Vec::new(),
+                done: false,
+            }),
+            PhysExpr::RowNumber { input, .. } => Box::new(RowNumberOp {
+                input: self.compile(input, in_param)?,
+                out_cols: rc_cols(&p.out_cols()),
+                counter: 0,
+            }),
+            PhysExpr::ConstScan { cols, rows } => Box::new(ConstScanOp {
+                cols: rc_cols(cols),
+                rows: Rc::new(rows.clone()),
+                cursor: 0,
+                batch_size: bs,
+            }),
+            PhysExpr::Sort { input, by } => {
+                let in_layout = input.out_cols();
+                let by_pos = by
+                    .iter()
+                    .map(|(c, desc)| Ok((pos_of(&in_layout, *c)?, *desc)))
+                    .collect::<Result<Vec<_>>>()?;
+                Box::new(SortOp {
+                    input: self.compile(input, in_param)?,
+                    by_pos,
+                    cols: rc_cols(&in_layout),
+                    buffered: Vec::new(),
+                    sorted: false,
+                    batch_size: bs,
+                })
+            }
+            PhysExpr::Limit { input, n } => Box::new(LimitOp {
+                cols: rc_cols(&input.out_cols()),
+                input: self.compile(input, in_param)?,
+                n: *n,
+                buffered: Vec::new(),
+                done: false,
+                batch_size: bs,
+            }),
+        };
+        Ok(Box::new(Metered {
+            op,
+            id,
+            stats: self.stats.clone(),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instrumentation.
+// ---------------------------------------------------------------------
+
+/// Wraps an operator to record [`OpStats`] into the pipeline registry.
+struct Metered {
+    op: BoxOp,
+    id: usize,
+    stats: Rc<RefCell<Vec<OpStats>>>,
+}
+
+impl Operator for Metered {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        let t = Instant::now();
+        let r = self.op.open(ctx);
+        let mut stats = self.stats.borrow_mut();
+        let s = &mut stats[self.id];
+        s.opens += 1;
+        s.elapsed += t.elapsed();
+        r
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let t = Instant::now();
+        let r = self.op.next_batch(ctx);
+        let mut stats = self.stats.borrow_mut();
+        let s = &mut stats[self.id];
+        s.elapsed += t.elapsed();
+        if let Ok(Some(b)) = &r {
+            s.batches += 1;
+            s.rows += b.len() as u64;
+        }
+        r
+    }
+
+    fn close(&mut self) -> OpStats {
+        self.op.close();
+        self.stats.borrow()[self.id]
+    }
+}
+
+/// One-time materialization of a parameter-invariant subtree: drains
+/// its input on first demand and replays the result on every rewind.
+struct CacheOp {
+    input: BoxOp,
+    filled: bool,
+    cols: Option<Rc<[ColId]>>,
+    rows: Vec<Row>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl CacheOp {
+    fn new(input: BoxOp, batch_size: usize) -> CacheOp {
+        CacheOp {
+            input,
+            filled: false,
+            cols: None,
+            rows: Vec::new(),
+            cursor: 0,
+            batch_size,
+        }
+    }
+}
+
+impl Operator for CacheOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.cursor = 0;
+        if self.filled {
+            return Ok(());
+        }
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.filled {
+            while let Some(b) = self.input.next_batch(ctx)? {
+                self.cols.get_or_insert_with(|| b.cols.clone());
+                self.rows.extend(b.rows);
+            }
+            self.filled = true;
+            self.input.close();
+        }
+        let Some(cols) = &self.cols else {
+            return Ok(None);
+        };
+        if self.cursor >= self.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch_size).min(self.rows.len());
+        let rows = self.rows[self.cursor..end].to_vec();
+        self.cursor = end;
+        Ok(Some(Batch::new(cols.clone(), rows)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaf operators.
+// ---------------------------------------------------------------------
+
+struct ScanOp {
+    table: TableId,
+    positions: Vec<usize>,
+    cols: Rc<[ColId]>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl Operator for ScanOp {
+    fn open(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let all = ctx.catalog.table(self.table).rows();
+        if self.cursor >= all.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch_size).min(all.len());
+        let rows = all[self.cursor..end]
+            .iter()
+            .map(|r| self.positions.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        self.cursor = end;
+        Ok(Some(Batch::new(self.cols.clone(), rows)))
+    }
+}
+
+struct SeekOp {
+    table: TableId,
+    positions: Vec<usize>,
+    cols: Rc<[ColId]>,
+    index_cols: Vec<usize>,
+    probes: Vec<ScalarExpr>,
+    hits: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl Operator for SeekOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.hits.clear();
+        self.cursor = 0;
+        let binds = ctx.binds.borrow();
+        let empty_ctx = EvalCtx::plain(&[], &[], &binds);
+        let mut key = Vec::with_capacity(self.probes.len());
+        for probe in &self.probes {
+            let v = eval(probe, &empty_ctx)?;
+            if v.is_null() {
+                // SQL equality never matches NULL: empty result.
+                return Ok(());
+            }
+            key.push(v);
+        }
+        let t = ctx.catalog.table(self.table);
+        let hits = t.index_lookup(&self.index_cols, &key).ok_or_else(|| {
+            Error::internal(format!(
+                "missing index on {:?} of {}",
+                self.index_cols, t.def.name
+            ))
+        })?;
+        self.hits.extend_from_slice(hits);
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.cursor >= self.hits.len() {
+            return Ok(None);
+        }
+        let all = ctx.catalog.table(self.table).rows();
+        let end = (self.cursor + self.batch_size).min(self.hits.len());
+        let rows = self.hits[self.cursor..end]
+            .iter()
+            .map(|&rid| {
+                let r = &all[rid];
+                self.positions.iter().map(|&i| r[i].clone()).collect()
+            })
+            .collect();
+        self.cursor = end;
+        Ok(Some(Batch::new(self.cols.clone(), rows)))
+    }
+}
+
+struct ConstScanOp {
+    cols: Rc<[ColId]>,
+    rows: Rc<Vec<Row>>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl Operator for ConstScanOp {
+    fn open(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.cursor >= self.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch_size).min(self.rows.len());
+        let rows = self.rows[self.cursor..end].to_vec();
+        self.cursor = end;
+        Ok(Some(Batch::new(self.cols.clone(), rows)))
+    }
+}
+
+struct SegmentScanOp {
+    cols: Vec<(ColId, ColId)>,
+    out_cols: Rc<[ColId]>,
+    segment: Option<Rc<Chunk>>,
+    positions: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl Operator for SegmentScanOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.cursor = 0;
+        let binds = ctx.binds.borrow();
+        let segment = binds
+            .current_segment()
+            .ok_or_else(|| Error::internal("SegmentScan outside SegmentExec"))?
+            .clone();
+        self.positions = self
+            .cols
+            .iter()
+            .map(|(_, src)| segment.require_pos(*src))
+            .collect::<Result<_>>()?;
+        self.segment = Some(segment);
+        Ok(())
+    }
+
+    fn next_batch(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let Some(segment) = &self.segment else {
+            return Ok(None);
+        };
+        if self.cursor >= segment.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch_size).min(segment.rows.len());
+        let rows = segment.rows[self.cursor..end]
+            .iter()
+            .map(|r| self.positions.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        self.cursor = end;
+        Ok(Some(Batch::new(self.out_cols.clone(), rows)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Row-at-a-time streaming operators.
+// ---------------------------------------------------------------------
+
+struct FilterOp {
+    input: BoxOp,
+    predicate: ScalarExpr,
+    cols: Rc<[ColId]>,
+}
+
+impl Operator for FilterOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        loop {
+            let Some(batch) = self.input.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let binds = ctx.binds.borrow();
+            let mut kept = Vec::new();
+            for r in batch.rows {
+                if eval_predicate(&self.predicate, &EvalCtx::plain(&self.cols, &r, &binds))? {
+                    kept.push(r);
+                }
+            }
+            if !kept.is_empty() {
+                return Ok(Some(Batch::new(self.cols.clone(), kept)));
+            }
+        }
+    }
+}
+
+struct ComputeOp {
+    input: BoxOp,
+    defs: Vec<(ColId, ScalarExpr)>,
+    in_cols: Rc<[ColId]>,
+    out_cols: Rc<[ColId]>,
+}
+
+impl Operator for ComputeOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let Some(batch) = self.input.next_batch(ctx)? else {
+            return Ok(None);
+        };
+        let binds = ctx.binds.borrow();
+        let mut rows = Vec::with_capacity(batch.rows.len());
+        for mut r in batch.rows {
+            // Evaluation sees only the input layout, so appending in
+            // place is safe: lookups never index past `in_cols`.
+            for (_, e) in &self.defs {
+                let v = eval(e, &EvalCtx::plain(&self.in_cols, &r, &binds))?;
+                r.push(v);
+            }
+            rows.push(r);
+        }
+        Ok(Some(Batch::new(self.out_cols.clone(), rows)))
+    }
+}
+
+struct ProjectOp {
+    input: BoxOp,
+    positions: Vec<usize>,
+    cols: Rc<[ColId]>,
+}
+
+impl Operator for ProjectOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let Some(batch) = self.input.next_batch(ctx)? else {
+            return Ok(None);
+        };
+        let rows = batch
+            .rows
+            .iter()
+            .map(|r| self.positions.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Some(Batch::new(self.cols.clone(), rows)))
+    }
+}
+
+struct RowNumberOp {
+    input: BoxOp,
+    out_cols: Rc<[ColId]>,
+    counter: i64,
+}
+
+impl Operator for RowNumberOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.counter = 0;
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let Some(batch) = self.input.next_batch(ctx)? else {
+            return Ok(None);
+        };
+        let mut rows = batch.rows;
+        for r in &mut rows {
+            r.push(Value::Int(self.counter));
+            self.counter += 1;
+        }
+        Ok(Some(Batch::new(self.out_cols.clone(), rows)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Joins.
+// ---------------------------------------------------------------------
+
+/// Extracts a join key; `None` when any key value is NULL (SQL equality
+/// never matches NULL).
+fn join_key(row: &[Value], positions: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(positions.len());
+    for &i in positions {
+        if row[i].is_null() {
+            return None;
+        }
+        key.push(row[i].clone());
+    }
+    Some(key)
+}
+
+struct HashJoinOp {
+    kind: JoinKind,
+    left: BoxOp,
+    right: BoxOp,
+    left_pos: Vec<usize>,
+    right_pos: Vec<usize>,
+    residual: ScalarExpr,
+    residual_trivial: bool,
+    combined: Rc<[ColId]>,
+    out_cols: Rc<[ColId]>,
+    right_width: usize,
+    /// Keep the hash table across rewinds (invariant build side inside
+    /// a parameterized scope).
+    build_stable: bool,
+    table: HashMap<Vec<Value>, Vec<Row>>,
+    built: bool,
+    pending: Vec<Row>,
+    left_done: bool,
+    batch_size: usize,
+}
+
+impl HashJoinOp {
+    fn probe_batch(&mut self, batch: Batch, binds: &Bindings) -> Result<()> {
+        for lr in batch.rows {
+            let matches = join_key(&lr, &self.left_pos).and_then(|k| self.table.get(&k));
+            let mut matched = false;
+            if let Some(rows) = matches {
+                for rr in rows {
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    let pass = self.residual_trivial
+                        || eval_predicate(
+                            &self.residual,
+                            &EvalCtx::plain(&self.combined, &row, binds),
+                        )?;
+                    if pass {
+                        matched = true;
+                        match self.kind {
+                            JoinKind::Inner | JoinKind::LeftOuter => self.pending.push(row),
+                            JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                        }
+                    }
+                }
+            }
+            match self.kind {
+                JoinKind::LeftOuter if !matched => {
+                    let mut row = lr;
+                    row.extend(std::iter::repeat_n(Value::Null, self.right_width));
+                    self.pending.push(row);
+                }
+                JoinKind::LeftSemi if matched => self.pending.push(lr),
+                JoinKind::LeftAnti if !matched => self.pending.push(lr),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.pending.clear();
+        self.left_done = false;
+        self.left.open(ctx)?;
+        if !(self.build_stable && self.built) {
+            self.table.clear();
+            self.built = false;
+            self.right.open(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.built {
+            while let Some(b) = self.right.next_batch(ctx)? {
+                for rr in b.rows {
+                    if let Some(key) = join_key(&rr, &self.right_pos) {
+                        self.table.entry(key).or_default().push(rr);
+                    }
+                }
+            }
+            self.built = true;
+        }
+        while self.pending.len() < self.batch_size && !self.left_done {
+            match self.left.next_batch(ctx)? {
+                None => self.left_done = true,
+                Some(batch) => {
+                    let binds = ctx.binds.borrow().clone();
+                    self.probe_batch(batch, &binds)?;
+                }
+            }
+        }
+        Ok(drain_pending(
+            &mut self.pending,
+            self.batch_size,
+            &self.out_cols,
+        ))
+    }
+}
+
+struct NLJoinOp {
+    kind: JoinKind,
+    left: BoxOp,
+    right: BoxOp,
+    predicate: ScalarExpr,
+    combined: Rc<[ColId]>,
+    out_cols: Rc<[ColId]>,
+    right_width: usize,
+    /// Keep the materialized inner side across rewinds.
+    right_stable: bool,
+    right_rows: Vec<Row>,
+    right_built: bool,
+    pending: Vec<Row>,
+    left_done: bool,
+    batch_size: usize,
+}
+
+impl NLJoinOp {
+    fn probe_batch(&mut self, batch: Batch, binds: &Bindings) -> Result<()> {
+        for lr in batch.rows {
+            let mut matched = false;
+            for rr in &self.right_rows {
+                let mut row = lr.clone();
+                row.extend(rr.iter().cloned());
+                if eval_predicate(
+                    &self.predicate,
+                    &EvalCtx::plain(&self.combined, &row, binds),
+                )? {
+                    matched = true;
+                    match self.kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => self.pending.push(row),
+                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                    }
+                }
+            }
+            match self.kind {
+                JoinKind::LeftOuter if !matched => {
+                    let mut row = lr;
+                    row.extend(std::iter::repeat_n(Value::Null, self.right_width));
+                    self.pending.push(row);
+                }
+                JoinKind::LeftSemi if matched => self.pending.push(lr),
+                JoinKind::LeftAnti if !matched => self.pending.push(lr),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for NLJoinOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.pending.clear();
+        self.left_done = false;
+        self.left.open(ctx)?;
+        if !(self.right_stable && self.right_built) {
+            self.right_rows.clear();
+            self.right_built = false;
+            self.right.open(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.right_built {
+            while let Some(b) = self.right.next_batch(ctx)? {
+                self.right_rows.extend(b.rows);
+            }
+            self.right_built = true;
+        }
+        while self.pending.len() < self.batch_size && !self.left_done {
+            match self.left.next_batch(ctx)? {
+                None => self.left_done = true,
+                Some(batch) => {
+                    let binds = ctx.binds.borrow().clone();
+                    self.probe_batch(batch, &binds)?;
+                }
+            }
+        }
+        Ok(drain_pending(
+            &mut self.pending,
+            self.batch_size,
+            &self.out_cols,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parameterized (rebind-and-rewind) operators.
+// ---------------------------------------------------------------------
+
+struct ApplyLoopOp {
+    kind: ApplyKind,
+    left: BoxOp,
+    inner: BoxOp,
+    param_pos: Vec<(ColId, usize)>,
+    right_width: usize,
+    out_cols: Rc<[ColId]>,
+    /// Private bindings the inner plan runs under; parameter slots are
+    /// overwritten per outer row, then the inner subtree is re-opened.
+    inner_binds: Rc<RefCell<Bindings>>,
+    pending: Vec<Row>,
+    left_done: bool,
+    batch_size: usize,
+}
+
+impl Operator for ApplyLoopOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.inner_binds = Rc::new(RefCell::new(ctx.binds.borrow().clone()));
+        self.pending.clear();
+        self.left_done = false;
+        self.left.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        while self.pending.len() < self.batch_size && !self.left_done {
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                self.left_done = true;
+                break;
+            };
+            let ictx = ExecCtx {
+                catalog: ctx.catalog,
+                binds: self.inner_binds.clone(),
+            };
+            for lr in batch.rows {
+                {
+                    let mut binds = self.inner_binds.borrow_mut();
+                    for (p, i) in &self.param_pos {
+                        binds.set(*p, lr[*i].clone());
+                    }
+                }
+                self.inner.open(&ictx)?;
+                let mut inner_rows = Vec::new();
+                while let Some(b) = self.inner.next_batch(&ictx)? {
+                    inner_rows.extend(b.rows);
+                }
+                match self.kind {
+                    ApplyKind::Cross | ApplyKind::LeftOuter => {
+                        if inner_rows.is_empty() && self.kind == ApplyKind::LeftOuter {
+                            let mut row = lr;
+                            row.extend(std::iter::repeat_n(Value::Null, self.right_width));
+                            self.pending.push(row);
+                        } else {
+                            for ir in inner_rows {
+                                let mut row = lr.clone();
+                                row.extend(ir);
+                                self.pending.push(row);
+                            }
+                        }
+                    }
+                    ApplyKind::Semi => {
+                        if !inner_rows.is_empty() {
+                            self.pending.push(lr);
+                        }
+                    }
+                    ApplyKind::Anti => {
+                        if inner_rows.is_empty() {
+                            self.pending.push(lr);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(drain_pending(
+            &mut self.pending,
+            self.batch_size,
+            &self.out_cols,
+        ))
+    }
+}
+
+/// Where each `SegmentExec` output column comes from.
+enum OutSrc {
+    /// Position within the segment key.
+    Seg(usize),
+    /// Position within the inner plan's output.
+    Inner(usize),
+}
+
+struct SegmentExecOp {
+    input: BoxOp,
+    inner: BoxOp,
+    seg_pos: Vec<usize>,
+    input_cols: Vec<ColId>,
+    out_src: Vec<OutSrc>,
+    out_cols: Rc<[ColId]>,
+    inner_binds: Rc<RefCell<Bindings>>,
+    /// Segments in first-seen order: `(key, rows)`.
+    segments: Vec<(Vec<Value>, Vec<Row>)>,
+    partitioned: bool,
+    seg_cursor: usize,
+    pending: Vec<Row>,
+    batch_size: usize,
+}
+
+impl Operator for SegmentExecOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.inner_binds = Rc::new(RefCell::new(ctx.binds.borrow().clone()));
+        self.segments.clear();
+        self.partitioned = false;
+        self.seg_cursor = 0;
+        self.pending.clear();
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.partitioned {
+            // The partitioner is a pipeline breaker: it must see every
+            // input row before any segment runs.
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            while let Some(b) = self.input.next_batch(ctx)? {
+                for r in b.rows {
+                    let key: Vec<Value> = self.seg_pos.iter().map(|&i| r[i].clone()).collect();
+                    match index.get(&key) {
+                        Some(&i) => self.segments[i].1.push(r),
+                        None => {
+                            index.insert(key.clone(), self.segments.len());
+                            self.segments.push((key, vec![r]));
+                        }
+                    }
+                }
+            }
+            self.partitioned = true;
+        }
+        while self.pending.len() < self.batch_size && self.seg_cursor < self.segments.len() {
+            let (key, rows) = {
+                let (k, r) = &mut self.segments[self.seg_cursor];
+                (k.clone(), std::mem::take(r))
+            };
+            self.seg_cursor += 1;
+            let segment = Rc::new(Chunk::new(self.input_cols.clone(), rows));
+            self.inner_binds.borrow_mut().push_segment(segment);
+            let ictx = ExecCtx {
+                catalog: ctx.catalog,
+                binds: self.inner_binds.clone(),
+            };
+            let run = (|| -> Result<()> {
+                self.inner.open(&ictx)?;
+                while let Some(b) = self.inner.next_batch(&ictx)? {
+                    for ir in b.rows {
+                        let row: Row = self
+                            .out_src
+                            .iter()
+                            .map(|src| match src {
+                                OutSrc::Seg(i) => key[*i].clone(),
+                                OutSrc::Inner(p) => ir[*p].clone(),
+                            })
+                            .collect();
+                        self.pending.push(row);
+                    }
+                }
+                Ok(())
+            })();
+            self.inner_binds.borrow_mut().pop_segment();
+            run?;
+        }
+        Ok(drain_pending(
+            &mut self.pending,
+            self.batch_size,
+            &self.out_cols,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline breakers.
+// ---------------------------------------------------------------------
+
+struct HashAggregateOp {
+    kind: GroupKind,
+    input: BoxOp,
+    group_pos: Vec<usize>,
+    aggs: Vec<AggDef>,
+    in_cols: Rc<[ColId]>,
+    out_cols: Rc<[ColId]>,
+    state: Option<GroupedAggState>,
+    result: Vec<Row>,
+    done: bool,
+    batch_size: usize,
+}
+
+impl Operator for HashAggregateOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.state = Some(GroupedAggState::new(&self.aggs));
+        self.result.clear();
+        self.done = false;
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.done {
+            let mut state = self
+                .state
+                .take()
+                .ok_or_else(|| Error::internal("aggregate state missing"))?;
+            while let Some(b) = self.input.next_batch(ctx)? {
+                let binds = ctx.binds.borrow();
+                for r in &b.rows {
+                    let key: Vec<Value> = self.group_pos.iter().map(|&i| r[i].clone()).collect();
+                    let args = self
+                        .aggs
+                        .iter()
+                        .map(|a| {
+                            a.arg
+                                .as_ref()
+                                .map(|e| eval(e, &EvalCtx::plain(&self.in_cols, r, &binds)))
+                                .transpose()
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    state.feed(key, args)?;
+                }
+            }
+            self.result = state.finish(self.kind);
+            self.done = true;
+        }
+        Ok(drain_pending(
+            &mut self.result,
+            self.batch_size,
+            &self.out_cols,
+        ))
+    }
+}
+
+struct SortOp {
+    input: BoxOp,
+    by_pos: Vec<(usize, bool)>,
+    cols: Rc<[ColId]>,
+    buffered: Vec<Row>,
+    sorted: bool,
+    batch_size: usize,
+}
+
+impl Operator for SortOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.buffered.clear();
+        self.sorted = false;
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.sorted {
+            while let Some(b) = self.input.next_batch(ctx)? {
+                self.buffered.extend(b.rows);
+            }
+            let by = &self.by_pos;
+            self.buffered.sort_by(|a, b| {
+                for &(i, desc) in by {
+                    let mut o = a[i].total_cmp(&b[i]);
+                    if desc {
+                        o = o.reverse();
+                    }
+                    if o != std::cmp::Ordering::Equal {
+                        return o;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.sorted = true;
+        }
+        Ok(drain_pending(
+            &mut self.buffered,
+            self.batch_size,
+            &self.cols,
+        ))
+    }
+}
+
+struct LimitOp {
+    input: BoxOp,
+    n: usize,
+    cols: Rc<[ColId]>,
+    buffered: Vec<Row>,
+    done: bool,
+    batch_size: usize,
+}
+
+impl Operator for LimitOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.buffered.clear();
+        self.done = false;
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.done {
+            // Drain the child completely so errors past the cutoff still
+            // surface, matching materialized semantics.
+            while let Some(b) = self.input.next_batch(ctx)? {
+                let room = self.n.saturating_sub(self.buffered.len());
+                self.buffered.extend(b.rows.into_iter().take(room));
+            }
+            self.done = true;
+        }
+        Ok(drain_pending(
+            &mut self.buffered,
+            self.batch_size,
+            &self.cols,
+        ))
+    }
+}
+
+struct AssertMax1Op {
+    input: BoxOp,
+    cols: Rc<[ColId]>,
+    buffered: Vec<Row>,
+    done: bool,
+}
+
+impl Operator for AssertMax1Op {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.buffered.clear();
+        self.done = false;
+        self.input.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        // Materialize first: input errors take precedence over the
+        // cardinality violation, as in the reference semantics.
+        while let Some(b) = self.input.next_batch(ctx)? {
+            self.buffered.extend(b.rows);
+        }
+        self.done = true;
+        if self.buffered.len() > 1 {
+            return Err(Error::SubqueryReturnedMoreThanOneRow);
+        }
+        if self.buffered.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Batch::new(
+            self.cols.clone(),
+            std::mem::take(&mut self.buffered),
+        )))
+    }
+}
+
+struct ConcatOp {
+    left: BoxOp,
+    right: BoxOp,
+    lpos: Vec<usize>,
+    rpos: Vec<usize>,
+    cols: Rc<[ColId]>,
+    on_right: bool,
+}
+
+impl Operator for ConcatOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.on_right = false;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.on_right {
+            if let Some(b) = self.left.next_batch(ctx)? {
+                let rows = b
+                    .rows
+                    .iter()
+                    .map(|r| self.lpos.iter().map(|&i| r[i].clone()).collect())
+                    .collect();
+                return Ok(Some(Batch::new(self.cols.clone(), rows)));
+            }
+            self.on_right = true;
+        }
+        let Some(b) = self.right.next_batch(ctx)? else {
+            return Ok(None);
+        };
+        let rows = b
+            .rows
+            .iter()
+            .map(|r| self.rpos.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Some(Batch::new(self.cols.clone(), rows)))
+    }
+}
+
+struct ExceptOp {
+    left: BoxOp,
+    right: BoxOp,
+    rpos: Vec<usize>,
+    cols: Rc<[ColId]>,
+    counts: HashMap<Row, usize>,
+    built: bool,
+}
+
+impl Operator for ExceptOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.counts.clear();
+        self.built = false;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.built {
+            while let Some(b) = self.right.next_batch(ctx)? {
+                for r in &b.rows {
+                    let key: Row = self.rpos.iter().map(|&i| r[i].clone()).collect();
+                    *self.counts.entry(key).or_insert(0) += 1;
+                }
+            }
+            self.built = true;
+        }
+        loop {
+            let Some(b) = self.left.next_batch(ctx)? else {
+                return Ok(None);
+            };
+            let mut rows = Vec::new();
+            for row in b.rows {
+                match self.counts.get_mut(&row) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => rows.push(row),
+                }
+            }
+            if !rows.is_empty() {
+                return Ok(Some(Batch::new(self.cols.clone(), rows)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_common::DataType;
+    use orthopt_storage::{Catalog, ColumnDef, TableDef};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let t = c
+            .create_table(TableDef::new(
+                "t",
+                vec![
+                    ColumnDef::new("a", DataType::Int),
+                    ColumnDef::new("b", DataType::Int),
+                ],
+                vec![vec![0]],
+            ))
+            .unwrap();
+        c.table_mut(t)
+            .insert_all((0..7).map(|i| vec![Value::Int(i), Value::Int(i * 10)]))
+            .unwrap();
+        c
+    }
+
+    fn scan() -> PhysExpr {
+        PhysExpr::TableScan {
+            table: TableId(0),
+            positions: vec![0, 1],
+            cols: vec![ColId(1), ColId(2)],
+        }
+    }
+
+    #[test]
+    fn scan_respects_batch_size() {
+        let catalog = catalog();
+        let mut p = Pipeline::with_batch_size(&scan(), 3).unwrap();
+        let out = p.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(out.len(), 7);
+        let stats = p.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].rows, 7);
+        assert_eq!(stats[0].batches, 3); // 3 + 3 + 1
+        assert_eq!(stats[0].opens, 1);
+    }
+
+    #[test]
+    fn filter_skips_empty_batches() {
+        let catalog = catalog();
+        let plan = PhysExpr::Filter {
+            input: Box::new(scan()),
+            predicate: ScalarExpr::eq(ScalarExpr::col(ColId(1)), ScalarExpr::lit(5i64)),
+        };
+        let mut p = Pipeline::with_batch_size(&plan, 2).unwrap();
+        let out = p.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(5), Value::Int(50)]]);
+        let stats = p.stats();
+        // Node 0 is the filter, node 1 the scan (pre-order).
+        assert_eq!(stats[0].rows, 1);
+        assert_eq!(stats[1].rows, 7);
+    }
+
+    #[test]
+    fn stats_reset_between_executions() {
+        let catalog = catalog();
+        let mut p = Pipeline::compile(&scan()).unwrap();
+        p.execute(&catalog, &Bindings::new()).unwrap();
+        p.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(p.stats()[0].rows, 7);
+    }
+
+    #[test]
+    fn invariant_apply_inner_is_cached() {
+        // ApplyLoop whose inner never references the outer row: the
+        // inner subtree must be wrapped in a cache and opened once.
+        let catalog = catalog();
+        let inner = PhysExpr::Filter {
+            input: Box::new(scan()),
+            predicate: ScalarExpr::eq(ScalarExpr::col(ColId(1)), ScalarExpr::lit(1i64)),
+        };
+        let plan = PhysExpr::ApplyLoop {
+            kind: ApplyKind::Cross,
+            left: Box::new(PhysExpr::TableScan {
+                table: TableId(0),
+                positions: vec![0],
+                cols: vec![ColId(3)],
+            }),
+            right: Box::new(inner),
+            params: vec![],
+        };
+        let mut p = Pipeline::compile(&plan).unwrap();
+        assert_eq!(p.cached_nodes(), &[2]); // the inner Filter subtree
+        let out = p.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(out.len(), 7); // 7 outer rows x 1 cached inner row
+        let stats = p.stats();
+        // Cached inner filter ran exactly once despite 7 outer rows.
+        assert_eq!(stats[2].opens, 1);
+        assert_eq!(stats[3].opens, 1);
+    }
+
+    #[test]
+    fn correlated_apply_reopens_inner() {
+        let catalog = catalog();
+        let inner = PhysExpr::Filter {
+            input: Box::new(scan()),
+            predicate: ScalarExpr::eq(ScalarExpr::col(ColId(1)), ScalarExpr::col(ColId(3))),
+        };
+        let plan = PhysExpr::ApplyLoop {
+            kind: ApplyKind::Semi,
+            left: Box::new(PhysExpr::TableScan {
+                table: TableId(0),
+                positions: vec![0],
+                cols: vec![ColId(3)],
+            }),
+            right: Box::new(inner),
+            params: vec![ColId(3)],
+        };
+        let mut p = Pipeline::compile(&plan).unwrap();
+        assert!(p.cached_nodes().is_empty());
+        let out = p.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(out.len(), 7);
+        assert_eq!(p.stats()[2].opens, 7); // inner filter re-opened per row
+    }
+
+    #[test]
+    fn empty_input_yields_empty_chunk_with_layout() {
+        let mut c = Catalog::new();
+        c.create_table(TableDef::new(
+            "e",
+            vec![ColumnDef::new("a", DataType::Int)],
+            vec![vec![0]],
+        ))
+        .unwrap();
+        let plan = PhysExpr::TableScan {
+            table: TableId(0),
+            positions: vec![0],
+            cols: vec![ColId(1)],
+        };
+        let mut p = Pipeline::compile(&plan).unwrap();
+        let out = p.execute(&c, &Bindings::new()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.cols, vec![ColId(1)]);
+        assert_eq!(p.stats()[0].batches, 0);
+    }
+}

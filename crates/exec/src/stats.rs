@@ -1,0 +1,34 @@
+//! Per-operator runtime statistics for `EXPLAIN ANALYZE`.
+
+use std::time::Duration;
+
+/// Counters recorded by one pipeline operator over one execution.
+///
+/// Times are *inclusive*: an operator's `elapsed` covers the time spent
+/// inside its whole subtree, because a pull-based parent blocks on its
+/// children inside `next_batch`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Number of `open` calls (re-opens under `ApplyLoop`/`SegmentExec`
+    /// count; a cached subtree stays at 1).
+    pub opens: u64,
+    /// Non-empty batches produced.
+    pub batches: u64,
+    /// Total rows produced.
+    pub rows: u64,
+    /// Inclusive wall-clock time spent in `open` + `next_batch`.
+    pub elapsed: Duration,
+}
+
+impl OpStats {
+    /// Renders the stats as a compact bracketed annotation.
+    pub fn render(&self) -> String {
+        format!(
+            "rows={} batches={} opens={} time={:.3}ms",
+            self.rows,
+            self.batches,
+            self.opens,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}

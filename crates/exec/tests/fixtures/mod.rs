@@ -1,5 +1,8 @@
 //! Shared test fixtures: a tiny customers/orders catalog mirroring the
 //! paper's running example (Q1 of §1.1).
+//!
+//! Compiled into several test binaries, each using a different subset.
+#![allow(dead_code)]
 
 use orthopt_common::{ColId, DataType, TableId, Value};
 use orthopt_ir::builder;

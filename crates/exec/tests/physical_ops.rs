@@ -28,7 +28,12 @@ fn scan_orders() -> PhysExpr {
 
 fn agg_def(out: ColId, func: AggFunc, arg: Option<ScalarExpr>) -> orthopt_ir::AggDef {
     orthopt_ir::AggDef::new(
-        orthopt_ir::ColumnMeta::new(out, "agg", func.output_type(Some(orthopt_common::DataType::Float)), true),
+        orthopt_ir::ColumnMeta::new(
+            out,
+            "agg",
+            func.output_type(Some(orthopt_common::DataType::Float)),
+            true,
+        ),
         func,
         arg,
     )
@@ -85,10 +90,7 @@ fn hash_join_variants_match_nested_loop_semantics() {
             kind,
             left: Box::new(scan_customer()),
             right: Box::new(scan_orders()),
-            predicate: ScalarExpr::eq(
-                ScalarExpr::col(C_CUSTKEY),
-                ScalarExpr::col(O_CUSTKEY),
-            ),
+            predicate: ScalarExpr::eq(ScalarExpr::col(C_CUSTKEY), ScalarExpr::col(O_CUSTKEY)),
         };
         let h = ex.exec(&hash, &Bindings::new()).unwrap();
         let n = ex.exec(&nl, &Bindings::new()).unwrap();
@@ -199,15 +201,15 @@ fn hash_aggregate_vector_scalar_and_having_shape() {
         kind: GroupKind::Vector,
         input: Box::new(scan_orders()),
         group_cols: vec![O_CUSTKEY],
-        aggs: vec![agg_def(sum, AggFunc::Sum, Some(ScalarExpr::col(O_TOTALPRICE)))],
+        aggs: vec![agg_def(
+            sum,
+            AggFunc::Sum,
+            Some(ScalarExpr::col(O_TOTALPRICE)),
+        )],
     };
     let having = PhysExpr::Filter {
         input: Box::new(agg),
-        predicate: ScalarExpr::cmp(
-            CmpOp::Lt,
-            ScalarExpr::lit(150.0f64),
-            ScalarExpr::col(sum),
-        ),
+        predicate: ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::lit(150.0f64), ScalarExpr::col(sum)),
     };
     let out = ex.exec(&having, &Bindings::new()).unwrap();
     assert_eq!(out.len(), 1);
@@ -280,7 +282,10 @@ fn concat_except_assert_rownumber_sort() {
         right_map: vec![ColId(95)],
     };
     let out = ex.exec(&except, &Bindings::new()).unwrap();
-    assert!(bag_eq(&out.rows, &[vec![Value::Int(1)], vec![Value::Int(3)]]));
+    assert!(bag_eq(
+        &out.rows,
+        &[vec![Value::Int(1)], vec![Value::Int(3)]]
+    ));
 
     let assert1 = PhysExpr::AssertMax1 {
         input: Box::new(keys.clone()),

@@ -5,11 +5,9 @@ mod fixtures;
 use fixtures::*;
 use orthopt_common::row::bag_eq;
 use orthopt_common::{ColId, DataType, Error, Value};
-use orthopt_ir::builder;
-use orthopt_ir::{
-    AggFunc, ApplyKind, CmpOp, ColumnMeta, GroupKind, JoinKind, RelExpr, ScalarExpr,
-};
 use orthopt_exec::Reference;
+use orthopt_ir::builder;
+use orthopt_ir::{AggFunc, ApplyKind, CmpOp, ColumnMeta, JoinKind, RelExpr, ScalarExpr};
 
 /// Figure 2 of the paper: σ_{1000000<X}(customer A× G¹_{X=sum(price)}
 /// σ_{o_custkey=c_custkey} orders) — here with a 150.0 threshold so the
@@ -76,7 +74,12 @@ fn left_outer_join_pads_and_inner_join_drops() {
     let catalog = customers_orders();
     let interp = Reference::new(&catalog);
     let pred = ScalarExpr::eq(ScalarExpr::col(O_CUSTKEY), ScalarExpr::col(C_CUSTKEY));
-    let loj = builder::join(JoinKind::LeftOuter, get_customer(), get_orders(), pred.clone());
+    let loj = builder::join(
+        JoinKind::LeftOuter,
+        get_customer(),
+        get_orders(),
+        pred.clone(),
+    );
     let out = interp.run(&loj).unwrap();
     // alice×2 + bob×2 + carol padded = 5
     assert_eq!(out.len(), 5);
@@ -89,7 +92,12 @@ fn semijoin_and_antijoin_partition_customers() {
     let catalog = customers_orders();
     let interp = Reference::new(&catalog);
     let pred = ScalarExpr::eq(ScalarExpr::col(O_CUSTKEY), ScalarExpr::col(C_CUSTKEY));
-    let semi = builder::join(JoinKind::LeftSemi, get_customer(), get_orders(), pred.clone());
+    let semi = builder::join(
+        JoinKind::LeftSemi,
+        get_customer(),
+        get_orders(),
+        pred.clone(),
+    );
     let anti = builder::join(JoinKind::LeftAnti, get_customer(), get_orders(), pred);
     let semi_out = interp.run(&semi).unwrap();
     let anti_out = interp.run(&anti).unwrap();
@@ -117,7 +125,12 @@ fn vector_groupby_drops_empty_and_scalar_keeps_one_row() {
     let scalar = builder::scalar_groupby(
         empty,
         vec![
-            builder::agg(ColId(42), "s", AggFunc::Sum, Some(ScalarExpr::col(O_TOTALPRICE))),
+            builder::agg(
+                ColId(42),
+                "s",
+                AggFunc::Sum,
+                Some(ScalarExpr::col(O_TOTALPRICE)),
+            ),
             builder::agg(ColId(43), "n", AggFunc::CountStar, None),
         ],
     );

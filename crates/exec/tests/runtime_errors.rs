@@ -6,7 +6,7 @@
 mod fixtures;
 
 use fixtures::*;
-use orthopt_common::{ColId, Error, TableId, Value};
+use orthopt_common::{ColId, Error, TableId};
 use orthopt_exec::physical::Executor;
 use orthopt_exec::{Bindings, PhysExpr};
 use orthopt_ir::{ArithOp, CmpOp, ScalarExpr};

@@ -179,10 +179,22 @@ mod tests {
 
     #[test]
     fn output_types() {
-        assert_eq!(AggFunc::Sum.output_type(Some(DataType::Float)), DataType::Float);
-        assert_eq!(AggFunc::Count.output_type(Some(DataType::Str)), DataType::Int);
-        assert_eq!(AggFunc::Avg.output_type(Some(DataType::Int)), DataType::Float);
-        assert_eq!(AggFunc::Min.output_type(Some(DataType::Date)), DataType::Date);
+        assert_eq!(
+            AggFunc::Sum.output_type(Some(DataType::Float)),
+            DataType::Float
+        );
+        assert_eq!(
+            AggFunc::Count.output_type(Some(DataType::Str)),
+            DataType::Int
+        );
+        assert_eq!(
+            AggFunc::Avg.output_type(Some(DataType::Int)),
+            DataType::Float
+        );
+        assert_eq!(
+            AggFunc::Min.output_type(Some(DataType::Date)),
+            DataType::Date
+        );
     }
 
     #[test]

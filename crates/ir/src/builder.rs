@@ -39,11 +39,7 @@ pub fn get(
 }
 
 /// Builds a vector GroupBy.
-pub fn groupby(
-    input: RelExpr,
-    group_cols: Vec<ColId>,
-    aggs: Vec<AggDef>,
-) -> RelExpr {
+pub fn groupby(input: RelExpr, group_cols: Vec<ColId>, aggs: Vec<AggDef>) -> RelExpr {
     RelExpr::GroupBy {
         kind: GroupKind::Vector,
         input: Box::new(input),

@@ -26,7 +26,11 @@ fn fmt_rel(rel: &RelExpr, depth: usize, out: &mut String) {
     indent(depth, out);
     match rel {
         RelExpr::Get(g) => {
-            let cols: Vec<String> = g.cols.iter().map(|c| format!("{}:{}", c.id, c.name)).collect();
+            let cols: Vec<String> = g
+                .cols
+                .iter()
+                .map(|c| format!("{}:{}", c.id, c.name))
+                .collect();
             let _ = writeln!(out, "Get {} [{}]", g.table_name, cols.join(", "));
         }
         RelExpr::ConstRel { cols, rows } => {
@@ -171,8 +175,10 @@ mod tests {
         // Children indented deeper than parents.
         let join_line = s.lines().find(|l| l.contains("LeftOuterJoin")).unwrap();
         let get_line = s.lines().find(|l| l.contains("Get ab")).unwrap();
-        assert!(get_line.len() - get_line.trim_start().len()
-            > join_line.len() - join_line.trim_start().len());
+        assert!(
+            get_line.len() - get_line.trim_start().len()
+                > join_line.len() - join_line.trim_start().len()
+        );
     }
 
     #[test]

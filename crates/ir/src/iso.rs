@@ -88,10 +88,26 @@ pub fn rel_instance_with(a: &RelExpr, b: &RelExpr, bij: &mut ColBijection) -> bo
     // Same operator kind with matching scalar content, children compared
     // recursively in instance mode.
     match (a, b) {
-        (RelExpr::Select { input: ia, predicate: pa }, RelExpr::Select { input: ib, predicate: pb }) => {
-            rel_instance_with(ia, ib, bij) && scalar_iso(pa, pb, bij)
-        }
-        (RelExpr::Project { input: ia, cols: ca }, RelExpr::Project { input: ib, cols: cb }) => {
+        (
+            RelExpr::Select {
+                input: ia,
+                predicate: pa,
+            },
+            RelExpr::Select {
+                input: ib,
+                predicate: pb,
+            },
+        ) => rel_instance_with(ia, ib, bij) && scalar_iso(pa, pb, bij),
+        (
+            RelExpr::Project {
+                input: ia,
+                cols: ca,
+            },
+            RelExpr::Project {
+                input: ib,
+                cols: cb,
+            },
+        ) => {
             rel_instance_with(ia, ib, bij)
                 && ca.len() == cb.len()
                 && ca.iter().zip(cb).all(|(&x, &y)| bij.unify(x, y))
@@ -139,10 +155,7 @@ fn rel_iso(a: &RelExpr, b: &RelExpr, bij: &mut ColBijection) -> bool {
                     .zip(&gb.cols)
                     .all(|(x, y)| x.ty == y.ty && bij.unify(x.id, y.id))
         }
-        (
-            ConstRel { cols: ca, rows: ra },
-            ConstRel { cols: cb, rows: rb },
-        ) => {
+        (ConstRel { cols: ca, rows: ra }, ConstRel { cols: cb, rows: rb }) => {
             ra == rb
                 && ca.len() == cb.len()
                 && ca
@@ -160,7 +173,16 @@ fn rel_iso(a: &RelExpr, b: &RelExpr, bij: &mut ColBijection) -> bool {
                 predicate: pb,
             },
         ) => rel_iso(ia, ib, bij) && scalar_iso(pa, pb, bij),
-        (Map { input: ia, defs: da }, Map { input: ib, defs: db }) => {
+        (
+            Map {
+                input: ia,
+                defs: da,
+            },
+            Map {
+                input: ib,
+                defs: db,
+            },
+        ) => {
             rel_iso(ia, ib, bij)
                 && da.len() == db.len()
                 && da.iter().zip(db).all(|(x, y)| {
@@ -169,7 +191,16 @@ fn rel_iso(a: &RelExpr, b: &RelExpr, bij: &mut ColBijection) -> bool {
                         && bij.unify(x.col.id, y.col.id)
                 })
         }
-        (Project { input: ia, cols: ca }, Project { input: ib, cols: cb }) => {
+        (
+            Project {
+                input: ia,
+                cols: ca,
+            },
+            Project {
+                input: ib,
+                cols: cb,
+            },
+        ) => {
             rel_iso(ia, ib, bij)
                 && ca.len() == cb.len()
                 && ca.iter().zip(cb).all(|(&x, &y)| bij.unify(x, y))
@@ -187,12 +218,7 @@ fn rel_iso(a: &RelExpr, b: &RelExpr, bij: &mut ColBijection) -> bool {
                 right: rb,
                 predicate: pb,
             },
-        ) => {
-            ka == kb
-                && rel_iso(la, lb, bij)
-                && rel_iso(ra, rb, bij)
-                && scalar_iso(pa, pb, bij)
-        }
+        ) => ka == kb && rel_iso(la, lb, bij) && rel_iso(ra, rb, bij) && scalar_iso(pa, pb, bij),
         (
             Apply {
                 kind: ka,
@@ -289,10 +315,9 @@ fn rel_iso(a: &RelExpr, b: &RelExpr, bij: &mut ColBijection) -> bool {
                 && rma.iter().zip(rmb).all(|(&x, &y)| bij.unify(x, y))
         }
         (Max1Row { input: ia }, Max1Row { input: ib }) => rel_iso(ia, ib, bij),
-        (
-            Enumerate { input: ia, col: ca },
-            Enumerate { input: ib, col: cb },
-        ) => rel_iso(ia, ib, bij) && bij.unify(ca.id, cb.id),
+        (Enumerate { input: ia, col: ca }, Enumerate { input: ib, col: cb }) => {
+            rel_iso(ia, ib, bij) && bij.unify(ca.id, cb.id)
+        }
         _ => false,
     }
 }
@@ -378,9 +403,10 @@ fn scalar_iso(a: &ScalarExpr, b: &ScalarExpr, bij: &mut ColBijection) -> bool {
             };
             opnd && els
                 && wa.len() == wb.len()
-                && wa.iter().zip(wb).all(|((w1, t1), (w2, t2))| {
-                    scalar_iso(w1, w2, bij) && scalar_iso(t1, t2, bij)
-                })
+                && wa
+                    .iter()
+                    .zip(wb)
+                    .all(|((w1, t1), (w2, t2))| scalar_iso(w1, w2, bij) && scalar_iso(t1, t2, bij))
         }
         (Subquery(x), Subquery(y)) => rel_iso(x, y, bij),
         (

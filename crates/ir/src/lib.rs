@@ -29,7 +29,5 @@ pub mod scalar;
 pub mod visit;
 
 pub use agg::{AggDef, AggFunc};
-pub use relop::{
-    ApplyKind, ColStat, ColumnMeta, GetMeta, GroupKind, JoinKind, MapDef, RelExpr,
-};
+pub use relop::{ApplyKind, ColStat, ColumnMeta, GetMeta, GroupKind, JoinKind, MapDef, RelExpr};
 pub use scalar::{ArithOp, CmpOp, Quant, ScalarExpr};

@@ -60,14 +60,8 @@ impl ColumnEnv {
     /// Infers the type and nullability of a scalar expression.
     pub fn type_of(&self, expr: &ScalarExpr) -> (DataType, bool) {
         match expr {
-            ScalarExpr::Column(c) => (
-                self.ty(*c).unwrap_or(DataType::Int),
-                self.nullable(*c),
-            ),
-            ScalarExpr::Literal(v) => (
-                v.data_type().unwrap_or(DataType::Int),
-                v.is_null(),
-            ),
+            ScalarExpr::Column(c) => (self.ty(*c).unwrap_or(DataType::Int), self.nullable(*c)),
+            ScalarExpr::Literal(v) => (v.data_type().unwrap_or(DataType::Int), v.is_null()),
             ScalarExpr::Cmp { left, right, .. } => {
                 let (_, ln) = self.type_of(left);
                 let (_, rn) = self.type_of(right);
@@ -124,11 +118,7 @@ pub fn keys(rel: &RelExpr) -> Vec<BTreeSet<ColId>> {
             .collect()
     };
     match rel {
-        RelExpr::Get(g) => g
-            .keys
-            .iter()
-            .map(|k| k.iter().copied().collect())
-            .collect(),
+        RelExpr::Get(g) => g.keys.iter().map(|k| k.iter().copied().collect()).collect(),
         RelExpr::ConstRel { rows, .. } => {
             if rows.len() <= 1 {
                 vec![BTreeSet::new()]
@@ -186,10 +176,7 @@ pub fn keys(rel: &RelExpr) -> Vec<BTreeSet<ColId>> {
     }
 }
 
-fn compose_keys(
-    left: Vec<BTreeSet<ColId>>,
-    right: Vec<BTreeSet<ColId>>,
-) -> Vec<BTreeSet<ColId>> {
+fn compose_keys(left: Vec<BTreeSet<ColId>>, right: Vec<BTreeSet<ColId>>) -> Vec<BTreeSet<ColId>> {
     let mut out = Vec::new();
     for l in &left {
         for r in &right {
@@ -550,11 +537,7 @@ mod tests {
     fn and_rejects_if_any_conjunct_rejects() {
         let p = ScalarExpr::and([
             ScalarExpr::eq(ScalarExpr::col(ColId(10)), ScalarExpr::lit(2i64)),
-            ScalarExpr::cmp(
-                CmpOp::Gt,
-                ScalarExpr::col(ColId(9)),
-                ScalarExpr::lit(0i64),
-            ),
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(ColId(9)), ScalarExpr::lit(0i64)),
         ]);
         let cols = [ColId(9)].into_iter().collect();
         assert!(rejects_null_on(&p, &cols));

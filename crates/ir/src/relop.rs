@@ -456,9 +456,7 @@ impl RelExpr {
                 vec![predicate]
             }
             RelExpr::Map { defs, .. } => defs.iter().map(|d| &d.expr).collect(),
-            RelExpr::GroupBy { aggs, .. } => {
-                aggs.iter().filter_map(|a| a.arg.as_ref()).collect()
-            }
+            RelExpr::GroupBy { aggs, .. } => aggs.iter().filter_map(|a| a.arg.as_ref()).collect(),
             _ => vec![],
         }
     }
@@ -563,7 +561,9 @@ impl RelExpr {
                     out.extend(left_map.iter().copied());
                     out.extend(right_map.iter().copied());
                 }
-                RelExpr::Except { right_map, left, .. } => {
+                RelExpr::Except {
+                    right_map, left, ..
+                } => {
                     out.extend(right_map.iter().copied());
                     // Except compares full left rows against the right map.
                     out.extend(left.output_col_ids());

@@ -246,10 +246,7 @@ impl ScalarExpr {
     /// Splits a predicate into its top-level conjuncts.
     pub fn conjuncts(&self) -> Vec<ScalarExpr> {
         match self {
-            ScalarExpr::And(parts) => parts
-                .iter()
-                .flat_map(|p| p.conjuncts())
-                .collect(),
+            ScalarExpr::And(parts) => parts.iter().flat_map(|p| p.conjuncts()).collect(),
             ScalarExpr::Literal(Value::Bool(true)) => vec![],
             other => vec![other.clone()],
         }
@@ -511,11 +508,7 @@ mod tests {
 
     #[test]
     fn substitute_replaces_column_with_expression() {
-        let mut e = ScalarExpr::cmp(
-            CmpOp::Gt,
-            ScalarExpr::col(ColId(1)),
-            ScalarExpr::lit(0i64),
-        );
+        let mut e = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(ColId(1)), ScalarExpr::lit(0i64));
         let defs = [(
             ColId(1),
             ScalarExpr::Arith {

@@ -135,15 +135,10 @@ impl RelExpr {
     /// Deep copy where every column *produced* inside the tree gets a
     /// fresh id; returns the copy and the old→new mapping. References to
     /// outer parameters (free columns) are left untouched.
-    pub fn clone_with_fresh_cols(
-        &self,
-        gen: &mut ColIdGen,
-    ) -> (RelExpr, HashMap<ColId, ColId>) {
+    pub fn clone_with_fresh_cols(&self, gen: &mut ColIdGen) -> (RelExpr, HashMap<ColId, ColId>) {
         let produced = self.produced_cols();
-        let map: HashMap<ColId, ColId> = produced
-            .into_iter()
-            .map(|old| (old, gen.fresh()))
-            .collect();
+        let map: HashMap<ColId, ColId> =
+            produced.into_iter().map(|old| (old, gen.fresh())).collect();
         let mut copy = self.clone();
         copy.remap_columns(&map);
         (copy, map)

@@ -157,9 +157,7 @@ impl Estimator {
                 let in_card = self.card_inner(input, seg);
                 match kind {
                     GroupKind::Scalar => 1.0,
-                    GroupKind::Vector | GroupKind::Local => {
-                        self.group_count(group_cols, in_card)
-                    }
+                    GroupKind::Vector | GroupKind::Local => self.group_count(group_cols, in_card),
                 }
             }
             RelExpr::UnionAll { left, right, .. } => {
@@ -216,17 +214,18 @@ impl Estimator {
                 CmpOp::Ne => 1.0 - 1.0 / self.stats.ndv(*a).max(self.stats.ndv(*b)),
                 _ => RANGE_SEL,
             },
-            (ScalarExpr::Column(c), ScalarExpr::Literal(v)) => self
-                .stats
-                .range_fraction(*c, op, v)
-                .unwrap_or(match op {
+            (ScalarExpr::Column(c), ScalarExpr::Literal(v)) => {
+                self.stats.range_fraction(*c, op, v).unwrap_or(match op {
                     CmpOp::Eq => 1.0 / self.stats.ndv(*c),
                     CmpOp::Ne => 1.0 - 1.0 / self.stats.ndv(*c),
                     _ => RANGE_SEL,
-                }),
-            (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => {
-                self.cmp_selectivity(op.flip(), &ScalarExpr::Column(*c), &ScalarExpr::Literal(v.clone()))
+                })
             }
+            (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => self.cmp_selectivity(
+                op.flip(),
+                &ScalarExpr::Column(*c),
+                &ScalarExpr::Literal(v.clone()),
+            ),
             _ => match op {
                 CmpOp::Eq => 0.1,
                 _ => RANGE_SEL,

@@ -110,10 +110,7 @@ impl Memo {
     pub fn insert_tree(&mut self, rel: RelExpr) -> GroupId {
         let repr = rel.clone();
         let (shell, children) = decompose(rel);
-        let child_ids: Vec<GroupId> = children
-            .into_iter()
-            .map(|c| self.insert_tree(c))
-            .collect();
+        let child_ids: Vec<GroupId> = children.into_iter().map(|c| self.insert_tree(c)).collect();
         let key = fingerprint(&shell, &child_ids);
         if let Some(&gid) = self.index.get(&key) {
             return gid;
@@ -154,10 +151,7 @@ impl Memo {
         match rtree {
             RTree::Ref(_) => panic!("top of a rule output must be an operator"),
             RTree::Op(shell, children) => {
-                let child_ids = children
-                    .into_iter()
-                    .map(|c| self.intern_child(c))
-                    .collect();
+                let child_ids = children.into_iter().map(|c| self.intern_child(c)).collect();
                 (*shell, child_ids)
             }
         }
@@ -167,10 +161,8 @@ impl Memo {
         match rtree {
             RTree::Ref(gid) => gid,
             RTree::Op(shell, children) => {
-                let child_ids: Vec<GroupId> = children
-                    .into_iter()
-                    .map(|c| self.intern_child(c))
-                    .collect();
+                let child_ids: Vec<GroupId> =
+                    children.into_iter().map(|c| self.intern_child(c)).collect();
                 let key = fingerprint(&shell, &child_ids);
                 if let Some(&gid) = self.index.get(&key) {
                     return gid;
@@ -261,7 +253,10 @@ mod tests {
         );
         let gid = memo.insert_tree(join);
         let expr = memo.group(gid).exprs[0].clone();
-        let dup = RTree::op(expr.shell.clone(), expr.children.iter().map(|&c| RTree::Ref(c)).collect());
+        let dup = RTree::op(
+            expr.shell.clone(),
+            expr.children.iter().map(|&c| RTree::Ref(c)).collect(),
+        );
         assert!(!memo.add_expr(gid, dup));
         // A commuted version is new.
         let commuted = RTree::op(

@@ -3,8 +3,8 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use orthopt_common::{ColId, Error, Result};
-use orthopt_ir::{GroupKind, RelExpr, ScalarExpr};
 use orthopt_exec::PhysExpr;
+use orthopt_ir::{GroupKind, RelExpr, ScalarExpr};
 
 use crate::cardinality::Estimator;
 use crate::cost::{coef, sort_cost};
@@ -131,13 +131,14 @@ impl<'a> Planner<'a> {
                     cost: child.cost + in_card * coef::TRIVIAL_ROW,
                 });
             }
-            RelExpr::Join { kind, predicate, .. } => {
+            RelExpr::Join {
+                kind, predicate, ..
+            } => {
                 let (g_l, g_r) = (children[0], children[1]);
                 let left = self.best(g_l)?;
                 let right = self.best(g_r)?;
                 let (card_l, card_r) = (self.card(g_l), self.card(g_r));
-                let out_card =
-                    card_l * card_r * self.est.selectivity(predicate);
+                let out_card = card_l * card_r * self.est.selectivity(predicate);
                 // Hash join on equi-conjuncts.
                 let left_ids = self.outs(g_l);
                 let right_ids = self.outs(g_r);
@@ -367,7 +368,9 @@ impl<'a> Planner<'a> {
     ) -> Vec<Costed> {
         let mut out = Vec::new();
         for expr in &self.memo.group(g_in).exprs {
-            let RelExpr::Get(g) = &expr.shell else { continue };
+            let RelExpr::Get(g) = &expr.shell else {
+                continue;
+            };
             let own_ids: BTreeSet<ColId> = g.cols.iter().map(|c| c.id).collect();
             for index in &g.indexes {
                 // Find probes: base position → probe expression.
@@ -385,9 +388,7 @@ impl<'a> Planner<'a> {
                             if let ScalarExpr::Column(id) = col_side.as_ref() {
                                 if let Some(pos) = g.cols.iter().position(|m| m.id == *id) {
                                     let base = g.positions[pos];
-                                    if let Some(slot) =
-                                        index.iter().position(|&b| b == base)
-                                    {
+                                    if let Some(slot) = index.iter().position(|&b| b == base) {
                                         let probe_ok = probe_side
                                             .cols()
                                             .iter()

@@ -10,8 +10,7 @@ use std::collections::BTreeSet;
 use orthopt_common::{ColId, ColIdGen, DataType};
 use orthopt_ir::props;
 use orthopt_ir::{
-    iso, AggDef, AggFunc, ApplyKind, ColumnMeta, GroupKind, JoinKind, MapDef, RelExpr,
-    ScalarExpr,
+    iso, AggDef, AggFunc, ApplyKind, ColumnMeta, GroupKind, JoinKind, MapDef, RelExpr, ScalarExpr,
 };
 
 use crate::cardinality::Estimator;
@@ -143,7 +142,9 @@ fn join_associate(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
         // Union-find over the equality graph.
         let mut classes: Vec<BTreeSet<ColId>> = Vec::new();
         for c in &eqs {
-            let ScalarExpr::Cmp { left, right, .. } = c else { unreachable!() };
+            let ScalarExpr::Cmp { left, right, .. } = c else {
+                unreachable!()
+            };
             let (ScalarExpr::Column(x), ScalarExpr::Column(y)) = (left.as_ref(), right.as_ref())
             else {
                 unreachable!()
@@ -250,8 +251,7 @@ fn select_below_join(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
             let cols = c.cols();
             if cols.iter().all(|x| cols_l.contains(x)) {
                 on_left.push(c);
-            } else if matches!(kind, JoinKind::Inner) && cols.iter().all(|x| cols_r.contains(x))
-            {
+            } else if matches!(kind, JoinKind::Inner) && cols.iter().all(|x| cols_r.contains(x)) {
                 on_right.push(c);
             } else {
                 rest.push(c);
@@ -428,10 +428,7 @@ fn groupby_below_join(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
                 right: Box::new(placeholder()),
                 predicate: predicate.clone(),
             },
-            vec![
-                RTree::Ref(g_s),
-                RTree::op(pushed, vec![RTree::Ref(g_r)]),
-            ],
+            vec![RTree::Ref(g_s), RTree::op(pushed, vec![RTree::Ref(g_r)])],
         ));
     }
     out
@@ -518,9 +515,10 @@ fn semijoin_below_groupby(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
             continue;
         };
         let agg_outs: BTreeSet<ColId> = aggs.iter().map(|a| a.out.id).collect();
-        let ok = predicate.cols().iter().all(|c| {
-            !agg_outs.contains(c) && (cols_s.contains(c) || group_cols.contains(c))
-        });
+        let ok = predicate
+            .cols()
+            .iter()
+            .all(|c| !agg_outs.contains(c) && (cols_s.contains(c) || group_cols.contains(c)));
         if !ok {
             continue;
         }
@@ -674,7 +672,11 @@ fn groupby_below_outerjoin(memo: &Memo, expr: &MExpr, gen: &mut ColIdGen) -> Vec
                         out: fresh.clone(),
                         ..a.clone()
                     });
-                    let constant = if a.func == AggFunc::CountStar { 1i64 } else { 0i64 };
+                    let constant = if a.func == AggFunc::CountStar {
+                        1i64
+                    } else {
+                        0i64
+                    };
                     defs.push(MapDef {
                         col: a.out.clone(),
                         expr: ScalarExpr::Case {
@@ -739,22 +741,21 @@ fn split_local_groupby(memo: &Memo, expr: &MExpr, gen: &mut ColIdGen) -> Vec<RTr
     else {
         return vec![];
     };
-    if aggs.is_empty()
-        || aggs
-            .iter()
-            .any(|a| a.distinct || a.func.split().is_none())
-    {
+    if aggs.is_empty() || aggs.iter().any(|a| a.distinct || a.func.split().is_none()) {
         return vec![];
     }
     let g_in = expr.children[0];
     // Don't split over an input that is already a LocalGroupBy (would
     // recurse forever without gaining anything).
-    if memo
-        .group(g_in)
-        .exprs
-        .iter()
-        .any(|e| matches!(e.shell, RelExpr::GroupBy { kind: GroupKind::Local, .. }))
-    {
+    if memo.group(g_in).exprs.iter().any(|e| {
+        matches!(
+            e.shell,
+            RelExpr::GroupBy {
+                kind: GroupKind::Local,
+                ..
+            }
+        )
+    }) {
         return vec![];
     }
     let mut locals = Vec::with_capacity(aggs.len());
@@ -963,9 +964,7 @@ fn segment_apply_intro(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
         } = &c
         {
             for (x, y) in [(left, right), (right, left)] {
-                if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) =
-                    (x.as_ref(), y.as_ref())
-                {
+                if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) = (x.as_ref(), y.as_ref()) {
                     if t1_outs.contains(a)
                         && a2.contains(b)
                         && bij.map(*a) == Some(*b)
@@ -1096,7 +1095,10 @@ fn join_below_segment_apply(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
 /// ("can be very effective if few outer rows are processed and
 /// appropriate indices exist", §2.5).
 fn apply_intro(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
-    let RelExpr::Join { kind, predicate, .. } = &expr.shell else {
+    let RelExpr::Join {
+        kind, predicate, ..
+    } = &expr.shell
+    else {
         return vec![];
     };
     let apply_kind = match kind {
@@ -1127,9 +1129,7 @@ fn apply_intro(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
         } = &c
         {
             for (x, y) in [(left, right), (right, left)] {
-                if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) =
-                    (x.as_ref(), y.as_ref())
-                {
+                if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) = (x.as_ref(), y.as_ref()) {
                     if cols_l.contains(a) {
                         if let Some(pos) = g.cols.iter().position(|m| m.id == *b) {
                             let base = g.positions[pos];
@@ -1343,13 +1343,15 @@ mod tests {
         // input group holds the LocalGroupBy.
         let mut found_local = false;
         for g in 0..memo.group_count() {
-            found_local |= group_has(&memo, GroupId(g), &|s| matches!(
-                s,
-                RelExpr::GroupBy {
-                    kind: GroupKind::Local,
-                    ..
-                }
-            ));
+            found_local |= group_has(&memo, GroupId(g), &|s| {
+                matches!(
+                    s,
+                    RelExpr::GroupBy {
+                        kind: GroupKind::Local,
+                        ..
+                    }
+                )
+            });
         }
         assert!(found_local);
         let _ = root;
@@ -1408,7 +1410,11 @@ mod tests {
         let pred = ScalarExpr::and([
             ScalarExpr::eq(ScalarExpr::col(ColId(1)), ScalarExpr::col(ColId(2))),
             ScalarExpr::eq(ScalarExpr::col(ColId(2)), ScalarExpr::col(ColId(3))),
-            ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(ColId(4)), ScalarExpr::col(ColId(5))),
+            ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::col(ColId(4)),
+                ScalarExpr::col(ColId(5)),
+            ),
         ]);
         let closure = eq_closure(&a, &pred);
         assert!(closure.contains(&ColId(2)) && closure.contains(&ColId(3)));

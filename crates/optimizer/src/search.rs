@@ -3,8 +3,8 @@
 use std::collections::HashSet;
 
 use orthopt_common::{ColIdGen, Result};
-use orthopt_ir::RelExpr;
 use orthopt_exec::PhysExpr;
+use orthopt_ir::RelExpr;
 
 use crate::cardinality::Estimator;
 use crate::memo::{GroupId, Memo};

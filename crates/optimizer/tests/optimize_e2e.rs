@@ -71,9 +71,7 @@ fn run_and_check(catalog: &Catalog, sql: &str, config: &OptimizerConfig) -> Phys
     let got = Executor { catalog }
         .exec(&plan, &Bindings::new())
         .expect("execute");
-    let got = got
-        .project(&oracle.cols)
-        .expect("output columns preserved");
+    let got = got.project(&oracle.cols).expect("output columns preserved");
     assert!(
         bag_eq_approx(&oracle.rows, &got.rows, 1e-9),
         "{sql}\noracle={:?}\ngot={:?}",
@@ -135,8 +133,7 @@ fn exploration_finds_more_expressions_with_more_rules() {
     let normalized = normalize(bound.rel, RewriteConfig::default()).unwrap();
     let (_, none) =
         optimize_with_stats(normalized.clone(), vec![], &OptimizerConfig::none()).unwrap();
-    let (_, full) =
-        optimize_with_stats(normalized, vec![], &OptimizerConfig::default()).unwrap();
+    let (_, full) = optimize_with_stats(normalized, vec![], &OptimizerConfig::default()).unwrap();
     assert!(full.exprs > none.exprs);
     assert!(full.best_cost <= none.best_cost);
 }
@@ -302,9 +299,12 @@ fn order_by_appends_sort() {
     )
     .unwrap();
     let normalized = normalize(bound.rel, RewriteConfig::default()).unwrap();
-    let (plan, _) =
-        optimize_with_stats(normalized, bound.order_by.clone(), &OptimizerConfig::default())
-            .unwrap();
+    let (plan, _) = optimize_with_stats(
+        normalized,
+        bound.order_by.clone(),
+        &OptimizerConfig::default(),
+    )
+    .unwrap();
     assert!(matches!(plan, PhysExpr::Sort { .. }));
     let got = Executor { catalog: &catalog }
         .exec(&plan, &Bindings::new())
@@ -329,8 +329,7 @@ fn class3_exception_queries_execute_via_apply_loop() {
                where o_custkey = c_custkey and o_totalprice > 1000) from customer";
     let bound = compile(sql, &catalog).unwrap();
     let normalized = normalize(bound.rel, RewriteConfig::default()).unwrap();
-    let (plan, _) =
-        optimize_with_stats(normalized, vec![], &OptimizerConfig::default()).unwrap();
+    let (plan, _) = optimize_with_stats(normalized, vec![], &OptimizerConfig::default()).unwrap();
     // No order with price > 1000 exists, so Max1Row never trips; the
     // plan must still carry the run-time check.
     assert!(count_ops(&plan, &|p| matches!(p, PhysExpr::AssertMax1 { .. })) >= 1);

@@ -76,17 +76,14 @@ fn templates(c: i64) -> Vec<String> {
         "select rk, (select sum(sv) from s where sr = rk) from r".to_string(),
         format!("select sr, sum(sv), count(*) from s group by sr having count(*) > {c}"),
         "select rv, sum(sv) from r, s where rk = sr group by rv".to_string(),
-        format!(
-            "select rk from r where rv > any (select sv from s where sr = rk and sv < {c})"
-        ),
+        format!("select rk from r where rv > any (select sv from s where sr = rk and sv < {c})"),
         // Self-join with aggregation: the SegmentApply shape.
         "select sk from s, (select sr as g, avg(sv) as m from s group by sr) as t \
          where sr = g and sv < m"
             .to_string(),
         // Exception subquery: errors must match exactly.
         "select rk, (select sv from s where sr = rk) from r".to_string(),
-        "select rk from r left outer join s on sr = rk group by rk having sum(sv) > 3"
-            .to_string(),
+        "select rk from r left outer join s on sr = rk group by rk having sum(sv) > 3".to_string(),
     ]
 }
 

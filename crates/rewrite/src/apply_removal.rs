@@ -177,9 +177,7 @@ fn push_once(
                 }))
             }
             // Projection cannot change emptiness.
-            ApplyKind::Semi | ApplyKind::Anti => {
-                Ok(Pushed::Changed(apply(kind, outer, *input)))
-            }
+            ApplyKind::Semi | ApplyKind::Anti => Ok(Pushed::Changed(apply(kind, outer, *input))),
         },
 
         // ---- Map (identity 4 for computed columns) --------------------
@@ -192,8 +190,7 @@ fn push_once(
                 // Pulling Map above an outerjoin-Apply is only valid when
                 // each computed column is NULL on NULL-padded rows
                 // (strictness) — otherwise padding would differ.
-                let inner_cols: BTreeSet<ColId> =
-                    input.output_col_ids().into_iter().collect();
+                let inner_cols: BTreeSet<ColId> = input.output_col_ids().into_iter().collect();
                 if defs
                     .iter()
                     .all(|d| props::always_null_when(&d.expr, &inner_cols))
@@ -210,9 +207,7 @@ fn push_once(
                 }
             }
             // Computed columns cannot change emptiness.
-            ApplyKind::Semi | ApplyKind::Anti => {
-                Ok(Pushed::Changed(apply(kind, outer, *input)))
-            }
+            ApplyKind::Semi | ApplyKind::Anti => Ok(Pushed::Changed(apply(kind, outer, *input))),
         },
 
         // ---- Scalar GroupBy (identity 9) ------------------------------
@@ -255,9 +250,7 @@ fn push_once(
             }
             // Vector aggregation is empty exactly when its input is:
             // existential tests ignore the aggregates entirely.
-            ApplyKind::Semi | ApplyKind::Anti => {
-                Ok(Pushed::Changed(apply(kind, outer, *input)))
-            }
+            ApplyKind::Semi | ApplyKind::Anti => Ok(Pushed::Changed(apply(kind, outer, *input))),
             ApplyKind::LeftOuter => Ok(Pushed::Stuck(
                 Box::new(outer),
                 Box::new(RelExpr::GroupBy {
@@ -529,8 +522,7 @@ fn strip_for_existential(
                 current = *input;
             }
             base => {
-                if correlated_with(&base, outer_cols)
-                    || preds.iter().any(ScalarExpr::has_subquery)
+                if correlated_with(&base, outer_cols) || preds.iter().any(ScalarExpr::has_subquery)
                 {
                     return Err((base, preds));
                 }
@@ -607,9 +599,10 @@ fn push_through_join(
                 let mut e2 = e2;
                 // Point E2's parameters at the copy.
                 e2.remap_columns(&rename);
-                let key_pred = ScalarExpr::and(key.iter().map(|c| {
-                    ScalarExpr::eq(ScalarExpr::col(*c), ScalarExpr::col(rename[c]))
-                }));
+                let key_pred = ScalarExpr::and(
+                    key.iter()
+                        .map(|c| ScalarExpr::eq(ScalarExpr::col(*c), ScalarExpr::col(rename[c]))),
+                );
                 let left = apply(ApplyKind::Cross, outer, e1);
                 let right = apply(ApplyKind::Cross, outer2, e2);
                 let mut out_cols = left.output_col_ids();

@@ -31,6 +31,7 @@ pub mod pipeline;
 pub mod prune;
 pub mod simplify;
 pub mod subquery;
+pub mod testgen;
 
 pub use pipeline::{normalize, RewriteConfig};
 

@@ -80,15 +80,13 @@ fn push_rejection(rel: RelExpr, pred: &ScalarExpr) -> RelExpr {
                     right,
                     predicate,
                 } => {
-                    let right_cols: BTreeSet<ColId> =
-                        right.output_col_ids().into_iter().collect();
+                    let right_cols: BTreeSet<ColId> = right.output_col_ids().into_iter().collect();
                     // (a) some rejected aggregate input comes from the
                     //     NULL-padded side;
                     // (b) padded rows form singleton groups: grouping
                     //     columns contain a key of the preserved side.
                     let grouping: BTreeSet<ColId> = group_cols.iter().copied().collect();
-                    let aggregate_hits =
-                        rejected_inputs.iter().any(|c| right_cols.contains(c));
+                    let aggregate_hits = rejected_inputs.iter().any(|c| right_cols.contains(c));
                     let padded_isolated = props::has_key_within(&left, &grouping);
                     if aggregate_hits && padded_isolated {
                         RelExpr::Join {
@@ -121,10 +119,8 @@ fn push_rejection(rel: RelExpr, pred: &ScalarExpr) -> RelExpr {
         // `0.2 * avg` still derives rejection on the aggregate outputs
         // behind the AVG expansion).
         RelExpr::Map { input, defs } => {
-            let substitutions: std::collections::HashMap<_, _> = defs
-                .iter()
-                .map(|d| (d.col.id, d.expr.clone()))
-                .collect();
+            let substitutions: std::collections::HashMap<_, _> =
+                defs.iter().map(|d| (d.col.id, d.expr.clone())).collect();
             let mut inner_pred = pred.clone();
             inner_pred.substitute(&substitutions);
             RelExpr::Map {

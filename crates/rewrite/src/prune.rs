@@ -29,9 +29,7 @@ fn prune(rel: RelExpr, required: &BTreeSet<ColId>) -> RelExpr {
                 .map(|k| k.iter().copied().collect())
                 .unwrap_or_default();
             let keep: Vec<usize> = (0..g.cols.len())
-                .filter(|&i| {
-                    required.contains(&g.cols[i].id) || key_ids.contains(&g.cols[i].id)
-                })
+                .filter(|&i| required.contains(&g.cols[i].id) || key_ids.contains(&g.cols[i].id))
                 .collect();
             if keep.len() == g.cols.len() {
                 return RelExpr::Get(g);

@@ -5,9 +5,7 @@
 use std::collections::BTreeSet;
 
 use orthopt_common::{ColId, DataType, Value};
-use orthopt_ir::{
-    AggDef, AggFunc, ColumnMeta, GroupKind, JoinKind, MapDef, RelExpr, ScalarExpr,
-};
+use orthopt_ir::{AggDef, AggFunc, ColumnMeta, GroupKind, JoinKind, MapDef, RelExpr, ScalarExpr};
 
 use crate::RewriteCtx;
 
@@ -153,8 +151,7 @@ fn step(rel: RelExpr) -> Step {
             if predicate.is_true() {
                 return Step::Changed(*input);
             }
-            if matches!(&predicate, ScalarExpr::Literal(v) if !matches!(v, Value::Bool(true)))
-            {
+            if matches!(&predicate, ScalarExpr::Literal(v) if !matches!(v, Value::Bool(true))) {
                 // FALSE or NULL constant predicate: empty.
                 let e = empty_like(&input);
                 return Step::Changed(e);
@@ -288,10 +285,7 @@ fn step(rel: RelExpr) -> Step {
             right_map,
         } => {
             if is_empty_const(&left) && is_empty_const(&right) {
-                return Step::Changed(RelExpr::ConstRel {
-                    cols,
-                    rows: vec![],
-                });
+                return Step::Changed(RelExpr::ConstRel { cols, rows: vec![] });
             }
             Step::Done(RelExpr::UnionAll {
                 left,

@@ -21,8 +21,7 @@
 use orthopt_common::{DataType, Error, Result, Value};
 use orthopt_ir::props::{self, ColumnEnv};
 use orthopt_ir::{
-    AggDef, AggFunc, ApplyKind, CmpOp, ColumnMeta, GroupKind, JoinKind, Quant, RelExpr,
-    ScalarExpr,
+    AggDef, AggFunc, ApplyKind, CmpOp, ColumnMeta, GroupKind, JoinKind, Quant, RelExpr, ScalarExpr,
 };
 
 use crate::RewriteCtx;
@@ -125,17 +124,12 @@ fn attach(mut rel: RelExpr, pending: Vec<PendingApply>) -> RelExpr {
     rel
 }
 
-fn rewrite_select(
-    input: RelExpr,
-    predicate: ScalarExpr,
-    ctx: &mut RewriteCtx,
-) -> Result<RelExpr> {
+fn rewrite_select(input: RelExpr, predicate: ScalarExpr, ctx: &mut RewriteCtx) -> Result<RelExpr> {
     // Subquery-free conjuncts filter *below* the introduced Applies:
     // correlated evaluation should only run for rows that survive the
     // ordinary predicates (this is also what keeps the Correlated
     // baseline plans sane).
-    let input_cols: std::collections::BTreeSet<_> =
-        input.output_col_ids().into_iter().collect();
+    let input_cols: std::collections::BTreeSet<_> = input.output_col_ids().into_iter().collect();
     let mut plain: Vec<ScalarExpr> = Vec::new();
     let mut rest: Vec<ScalarExpr> = Vec::new();
     for c in predicate.conjuncts() {
@@ -185,7 +179,10 @@ fn rewrite_select(
 
 enum Classified {
     /// The whole conjunct reduces to (anti)semijoin Apply.
-    Existential { kind: ApplyKind, sub: RelExpr },
+    Existential {
+        kind: ApplyKind,
+        sub: RelExpr,
+    },
     Plain(ScalarExpr),
 }
 
@@ -261,14 +258,8 @@ fn classify_existential(conjunct: ScalarExpr, ctx: &mut RewriteCtx) -> Result<Cl
                     ApplyKind::Semi,
                     ScalarExpr::cmp(op, (*expr).clone(), ScalarExpr::col(y)),
                 ),
-                (Quant::Any, true) => (
-                    ApplyKind::Anti,
-                    true_or_unknown(op, &expr, y),
-                ),
-                (Quant::All, false) => (
-                    ApplyKind::Anti,
-                    true_or_unknown(op.negate(), &expr, y),
-                ),
+                (Quant::Any, true) => (ApplyKind::Anti, true_or_unknown(op, &expr, y)),
+                (Quant::All, false) => (ApplyKind::Anti, true_or_unknown(op.negate(), &expr, y)),
                 (Quant::All, true) => (
                     ApplyKind::Semi,
                     ScalarExpr::cmp(op.negate(), (*expr).clone(), ScalarExpr::col(y)),
@@ -372,8 +363,7 @@ fn extract_rec(
             Ok(())
         }
         ScalarExpr::Exists { .. } => {
-            let ScalarExpr::Exists { rel, negated } =
-                std::mem::replace(expr, ScalarExpr::true_())
+            let ScalarExpr::Exists { rel, negated } = std::mem::replace(expr, ScalarExpr::true_())
             else {
                 unreachable!()
             };
@@ -573,7 +563,11 @@ fn count_based_any(
         operand: None,
         whens: vec![
             (
-                ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(matches.id), ScalarExpr::lit(0i64)),
+                ScalarExpr::cmp(
+                    CmpOp::Gt,
+                    ScalarExpr::col(matches.id),
+                    ScalarExpr::lit(0i64),
+                ),
                 ScalarExpr::lit(true),
             ),
             (

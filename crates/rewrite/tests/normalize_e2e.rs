@@ -371,7 +371,10 @@ fn predicate_pushdown_reaches_the_scan() {
 #[test]
 fn column_pruning_narrows_scans() {
     let catalog = fixture();
-    let normalized = check(&catalog, "select c_custkey from customer, orders where c_custkey = o_custkey");
+    let normalized = check(
+        &catalog,
+        "select c_custkey from customer, orders where c_custkey = o_custkey",
+    );
     normalized.walk(&mut |r| {
         if let RelExpr::Get(g) = r {
             match g.table_name.as_str() {
@@ -391,8 +394,7 @@ fn column_pruning_narrows_scans() {
 fn correlated_baseline_keeps_applies() {
     let catalog = fixture();
     let bound = compile(Q1, &catalog).unwrap();
-    let normalized =
-        normalize(bound.rel, RewriteConfig::correlated_baseline()).unwrap();
+    let normalized = normalize(bound.rel, RewriteConfig::correlated_baseline()).unwrap();
     assert!(classify(&normalized).applies >= 1);
     // It still runs — through the Apply loop.
     let out = Reference::new(&catalog).run(&normalized).unwrap();
@@ -418,7 +420,12 @@ fn union_all_subquery_decorrelates_with_class2_flag() {
         },
     )
     .unwrap();
-    assert_eq!(classify(&with_flag).applies, 0, "{}", orthopt_ir::explain::explain(&with_flag));
+    assert_eq!(
+        classify(&with_flag).applies,
+        0,
+        "{}",
+        orthopt_ir::explain::explain(&with_flag)
+    );
     let after = interp.run(&with_flag).unwrap();
     let after = after.project(&before.cols).unwrap();
     assert!(bag_eq(&before.rows, &after.rows));
@@ -431,7 +438,9 @@ fn union_all_subquery_decorrelates_with_class2_flag() {
 fn empty_detection_folds_contradictions() {
     let catalog = fixture();
     let normalized = check(&catalog, "select c_custkey from customer where false");
-    assert!(matches!(normalized, RelExpr::ConstRel { ref rows, .. } if rows.is_empty())
-        || matches!(&normalized, RelExpr::Project { input, .. }
-            if matches!(input.as_ref(), RelExpr::ConstRel { rows, .. } if rows.is_empty())));
+    assert!(
+        matches!(normalized, RelExpr::ConstRel { ref rows, .. } if rows.is_empty())
+            || matches!(&normalized, RelExpr::Project { input, .. }
+            if matches!(input.as_ref(), RelExpr::ConstRel { rows, .. } if rows.is_empty()))
+    );
 }

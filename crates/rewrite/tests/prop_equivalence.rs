@@ -4,11 +4,11 @@
 //! the same run-time error.
 
 use orthopt_common::row::bag_eq;
-use orthopt_common::{DataType, Value};
 use orthopt_exec::Reference;
 use orthopt_rewrite::pipeline::{normalize, RewriteConfig};
+use orthopt_rewrite::testgen::{build_catalog, query_templates};
 use orthopt_sql::compile;
-use orthopt_storage::{Catalog, ColumnDef, TableDef};
+use orthopt_storage::Catalog;
 use proptest::prelude::*;
 
 /// A nullable small int: None is SQL NULL.
@@ -16,108 +16,6 @@ fn nullable_int() -> impl Strategy<Value = Option<i64>> {
     prop_oneof![
         3 => (0i64..6).prop_map(Some),
         1 => Just(None),
-    ]
-}
-
-fn opt_value(v: Option<i64>) -> Value {
-    v.map(Value::Int).unwrap_or(Value::Null)
-}
-
-fn build_catalog(r_rows: &[(i64, Option<i64>)], s_rows: &[(i64, i64, Option<i64>)]) -> Catalog {
-    let mut catalog = Catalog::new();
-    let r = catalog
-        .create_table(TableDef::new(
-            "r",
-            vec![
-                ColumnDef::new("rk", DataType::Int),
-                ColumnDef::nullable("rv", DataType::Int),
-            ],
-            vec![vec![0]],
-        ))
-        .unwrap();
-    let s = catalog
-        .create_table(TableDef::new(
-            "s",
-            vec![
-                ColumnDef::new("sk", DataType::Int),
-                ColumnDef::new("sr", DataType::Int),
-                ColumnDef::nullable("sv", DataType::Int),
-            ],
-            vec![vec![0]],
-        ))
-        .unwrap();
-    for (i, (_, rv)) in r_rows.iter().enumerate() {
-        catalog
-            .table_mut(r)
-            .insert(vec![Value::Int(i as i64), opt_value(*rv)])
-            .unwrap();
-    }
-    for (i, (_, sr, sv)) in s_rows.iter().enumerate() {
-        catalog
-            .table_mut(s)
-            .insert(vec![Value::Int(i as i64), Value::Int(*sr), opt_value(*sv)])
-            .unwrap();
-    }
-    catalog.analyze_all();
-    catalog
-}
-
-/// The query family: every §2 construct, parameterized by small
-/// constants so thresholds land inside the data range.
-fn query_templates(c: i64) -> Vec<String> {
-    vec![
-        // Class 1 scalar aggregates, all functions.
-        format!("select rk from r where {c} < (select sum(sv) from s where sr = rk)"),
-        format!("select rk from r where {c} >= (select count(*) from s where sr = rk)"),
-        format!("select rk from r where {c} = (select count(sv) from s where sr = rk)"),
-        format!("select rk from r where {c} > (select min(sv) from s where sr = rk)"),
-        format!("select rk from r where (select max(sv) from s where sr = rk) <= {c}"),
-        format!("select rk from r where (select avg(sv) from s where sr = rk) > {c}"),
-        // Correlation inside the aggregate argument.
-        format!("select rk from r where {c} < (select sum(sv + rv) from s where sr = rk)"),
-        // Existentials.
-        format!("select rk from r where exists (select 1 from s where sr = rk and sv > {c})"),
-        format!("select rk from r where not exists (select 1 from s where sr = rk and sv > {c})"),
-        // IN / NOT IN with NULLs flowing.
-        "select rk from r where rv in (select sv from s where sr = rk)".to_string(),
-        "select rk from r where rv not in (select sv from s where sr = rk)".to_string(),
-        format!("select rk from r where {c} in (select sv from s)"),
-        format!("select rk from r where {c} not in (select sv from s)"),
-        // Quantified comparisons.
-        format!("select rk from r where rv > any (select sv from s where sr = rk)"),
-        format!("select rk from r where rv <= all (select sv from s where sr = rk)"),
-        format!("select rk from r where {c} <> all (select sv from s where sr = rk)"),
-        // Scalar subquery in the select list (NULL on empty).
-        "select rk, (select sum(sv) from s where sr = rk) from r".to_string(),
-        // Boolean subquery in general (OR) context: count rewrite.
-        format!(
-            "select rk from r where rk = {c} or exists (select 1 from s where sr = rk)"
-        ),
-        // Uncorrelated subquery.
-        format!("select rk from r where {c} < (select count(*) from s)"),
-        // Subquery over an aggregated subquery (nested).
-        format!(
-            "select rk from r where {c} < (select count(*) from s where sr = rk and sv > \
-             (select min(sv) from s where sr = rk))"
-        ),
-        // Exception subquery (may raise at run time).
-        "select rk, (select sv from s where sr = rk) from r".to_string(),
-        // Class 2: UNION ALL inside the subquery.
-        format!(
-            "select rk from r where {c} > (select sum(u) from \
-             (select sv as u from s where sr = rk union all \
-              select sv as u from s where sr = rk) as both)"
-        ),
-        // GROUP BY + HAVING formulation (no subquery at all).
-        format!(
-            "select rk from r left outer join s on sr = rk group by rk \
-             having {c} < sum(sv)"
-        ),
-        // Semijoin via IN over derived aggregate.
-        format!(
-            "select rk from r where rk in \
-             (select sr from s group by sr having count(*) > {c})"
-        ),
     ]
 }
 

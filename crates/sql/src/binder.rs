@@ -119,9 +119,7 @@ impl Scope {
             match hits.len() {
                 0 => continue,
                 1 => return Ok(hits.pop().expect("one hit")),
-                _ => {
-                    return Err(Error::Bind(format!("ambiguous column reference {name}")))
-                }
+                _ => return Err(Error::Bind(format!("ambiguous column reference {name}"))),
             }
         }
         Err(Error::UnknownColumn(parts.join(".")))
@@ -198,7 +196,9 @@ impl Binder<'_> {
                     .cols
                     .iter()
                     .zip(&r.cols)
-                    .map(|(lc, rc)| self.fresh_col(lc.name.clone(), lc.ty, lc.nullable || rc.nullable))
+                    .map(|(lc, rc)| {
+                        self.fresh_col(lc.name.clone(), lc.ty, lc.nullable || rc.nullable)
+                    })
                     .collect();
                 let rel = RelExpr::UnionAll {
                     left: Box::new(l.rel),
@@ -282,7 +282,8 @@ impl Binder<'_> {
             .map(|h| self.bind_scalar(h, &scope, Some(&mut collector)))
             .transpose()?;
 
-        let grouped = !group_cols.is_empty() || !collector.defs.is_empty() || select.having.is_some();
+        let grouped =
+            !group_cols.is_empty() || !collector.defs.is_empty() || select.having.is_some();
         if grouped {
             if saw_wildcard {
                 return Err(Error::Bind(
@@ -298,7 +299,9 @@ impl Binder<'_> {
                 .collect();
             let check = |expr: &ScalarExpr| -> Result<()> {
                 for c in expr.top_level_cols() {
-                    if current.contains(&c) && !group_cols.contains(&c) && !agg_internal.contains(&c)
+                    if current.contains(&c)
+                        && !group_cols.contains(&c)
+                        && !agg_internal.contains(&c)
                     {
                         return Err(Error::Bind(format!(
                             "column {c} must appear in GROUP BY or inside an aggregate"
@@ -338,11 +341,9 @@ impl Binder<'_> {
         for (i, (expr, alias)) in items.into_iter().enumerate() {
             match expr {
                 ScalarExpr::Column(id) => {
-                    let meta = self
-                        .col_meta
-                        .get(&id)
-                        .cloned()
-                        .unwrap_or_else(|| ColumnMeta::new(id, format!("col{i}"), DataType::Int, true));
+                    let meta = self.col_meta.get(&id).cloned().unwrap_or_else(|| {
+                        ColumnMeta::new(id, format!("col{i}"), DataType::Int, true)
+                    });
                     let name = alias.unwrap_or_else(|| meta.name.clone());
                     out_cols.push(ColumnMeta { name, ..meta });
                 }
@@ -505,11 +506,7 @@ impl Binder<'_> {
                     },
                 })
             }
-            ast::Expr::Neg(e) => Ok(ScalarExpr::Neg(Box::new(self.bind_scalar(
-                e,
-                scope,
-                aggs,
-            )?))),
+            ast::Expr::Neg(e) => Ok(ScalarExpr::Neg(Box::new(self.bind_scalar(e, scope, aggs)?))),
             ast::Expr::And(a, b) => {
                 let l = self.bind_scalar(a, scope, aggs.as_deref_mut())?;
                 let r = self.bind_scalar(b, scope, aggs)?;
@@ -520,11 +517,7 @@ impl Binder<'_> {
                 let r = self.bind_scalar(b, scope, aggs)?;
                 Ok(ScalarExpr::Or(vec![l, r]))
             }
-            ast::Expr::Not(e) => Ok(ScalarExpr::Not(Box::new(self.bind_scalar(
-                e,
-                scope,
-                aggs,
-            )?))),
+            ast::Expr::Not(e) => Ok(ScalarExpr::Not(Box::new(self.bind_scalar(e, scope, aggs)?))),
             ast::Expr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
                 expr: Box::new(self.bind_scalar(expr, scope, aggs)?),
                 negated: *negated,
@@ -636,9 +629,7 @@ impl Binder<'_> {
                     "min" => AggFunc::Min,
                     "max" => AggFunc::Max,
                     "avg" => AggFunc::Avg,
-                    other => {
-                        return Err(Error::Bind(format!("unknown function {other}")))
-                    }
+                    other => return Err(Error::Bind(format!("unknown function {other}"))),
                 };
                 let collector = aggs.ok_or_else(|| {
                     Error::Bind(format!("aggregate {name} not allowed in this context"))
@@ -647,9 +638,7 @@ impl Binder<'_> {
                     None
                 } else {
                     if args.len() != 1 {
-                        return Err(Error::Bind(format!(
-                            "{name} takes exactly one argument"
-                        )));
+                        return Err(Error::Bind(format!("{name} takes exactly one argument")));
                     }
                     // Nested aggregates are invalid.
                     Some(self.bind_scalar(&args[0], scope, None)?)
@@ -674,7 +663,9 @@ impl Binder<'_> {
         expect_cols: usize,
     ) -> Result<RelExpr> {
         if !query.order_by.is_empty() {
-            return Err(Error::Bind("ORDER BY in a subquery is not supported".into()));
+            return Err(Error::Bind(
+                "ORDER BY in a subquery is not supported".into(),
+            ));
         }
         let bound = self.bind_set_expr(&query.body, scope)?;
         if expect_cols > 0 && bound.cols.len() != expect_cols {
@@ -735,14 +726,13 @@ impl Binder<'_> {
             ScalarExpr::Arith { op, left, right } => {
                 let (lt, ln) = self.infer_type(left);
                 let (rt, rn) = self.infer_type(right);
-                let ty = if matches!(op, ArithOp::Div)
-                    || lt == DataType::Float
-                    || rt == DataType::Float
-                {
-                    DataType::Float
-                } else {
-                    lt
-                };
+                let ty =
+                    if matches!(op, ArithOp::Div) || lt == DataType::Float || rt == DataType::Float
+                    {
+                        DataType::Float
+                    } else {
+                        lt
+                    };
                 (ty, ln || rn)
             }
             ScalarExpr::Neg(e) => self.infer_type(e),

@@ -96,22 +96,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::Symbol(Sym::Ne));
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        out.push(Token::Symbol(Sym::Le));
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(Token::Symbol(Sym::Ne));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Symbol(Sym::Lt));
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Symbol(Sym::Le));
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Symbol(Sym::Ge));
@@ -154,9 +152,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                             s.push(b as char);
                             i += 1;
                         }
-                        None => {
-                            return Err(Error::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(Error::Parse("unterminated string literal".into())),
                     }
                 }
                 out.push(Token::Str(s));

@@ -93,7 +93,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) if !is_reserved(&s) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -129,7 +131,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { body, order_by, limit })
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+        })
     }
 
     // set_expr := select (UNION ALL select)*
@@ -513,9 +519,7 @@ impl Parser {
                     // DATE 'yyyy-mm-dd'
                     self.pos += 1;
                     match self.next() {
-                        Some(Token::Str(s)) => {
-                            Ok(Expr::Literal(Literal::Date(parse_date(&s)?)))
-                        }
+                        Some(Token::Str(s)) => Ok(Expr::Literal(Literal::Date(parse_date(&s)?))),
                         other => Err(Error::Parse(format!(
                             "expected date string, found {other:?}"
                         ))),
@@ -682,7 +686,12 @@ mod tests {
             panic!()
         };
         assert_eq!(s.items.len(), 1);
-        let Some(Expr::Binary { op: BinOp::Lt, right, .. }) = &s.where_ else {
+        let Some(Expr::Binary {
+            op: BinOp::Lt,
+            right,
+            ..
+        }) = &s.where_
+        else {
             panic!("where: {:?}", s.where_)
         };
         assert!(matches!(right.as_ref(), Expr::Subquery(_)));
@@ -699,7 +708,13 @@ mod tests {
         let SetExpr::Select(s) = &q.body else {
             panic!()
         };
-        assert!(matches!(s.from[0], TableRef::Join { kind: JoinKind::LeftOuter, .. }));
+        assert!(matches!(
+            s.from[0],
+            TableRef::Join {
+                kind: JoinKind::LeftOuter,
+                ..
+            }
+        ));
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
     }
@@ -811,11 +826,17 @@ mod tests {
         };
         assert!(matches!(
             &s.items[0],
-            SelectItem::Expr { expr: Expr::FuncCall { star: true, .. }, .. }
+            SelectItem::Expr {
+                expr: Expr::FuncCall { star: true, .. },
+                ..
+            }
         ));
         assert!(matches!(
             &s.items[1],
-            SelectItem::Expr { expr: Expr::FuncCall { distinct: true, .. }, .. }
+            SelectItem::Expr {
+                expr: Expr::FuncCall { distinct: true, .. },
+                ..
+            }
         ));
     }
 

@@ -140,7 +140,10 @@ fn exists_not_exists_in_where() {
         "select c_custkey from customer where exists \
          (select 1 from orders where o_custkey = c_custkey)",
     );
-    assert!(bag_eq(&with_orders, &[vec![Value::Int(1)], vec![Value::Int(2)]]));
+    assert!(bag_eq(
+        &with_orders,
+        &[vec![Value::Int(1)], vec![Value::Int(2)]]
+    ));
     let without = run(
         &catalog,
         "select c_custkey from customer where not exists \
@@ -265,9 +268,15 @@ fn bind_errors() {
             "select (select o_orderkey, o_custkey from orders) from customer",
             "multi-column scalar subquery",
         ),
-        ("select c_custkey from customer, orders where o_orderkey in (select 1, 2)", "arity"),
+        (
+            "select c_custkey from customer, orders where o_orderkey in (select 1, 2)",
+            "arity",
+        ),
     ] {
-        assert!(compile(sql, &catalog).is_err(), "should fail: {what}: {sql}");
+        assert!(
+            compile(sql, &catalog).is_err(),
+            "should fail: {what}: {sql}"
+        );
     }
 }
 
@@ -281,11 +290,7 @@ fn ambiguous_column_is_an_error() {
             vec![],
         ))
         .unwrap();
-    assert!(compile(
-        "select o_custkey from orders, orders2",
-        &catalog
-    )
-    .is_err());
+    assert!(compile("select o_custkey from orders, orders2", &catalog).is_err());
 }
 
 #[test]
@@ -304,11 +309,7 @@ fn order_by_resolves_names_and_positions() {
 #[test]
 fn output_names_follow_aliases() {
     let catalog = fixture();
-    let bound = compile(
-        "select c_custkey as id, c_name from customer",
-        &catalog,
-    )
-    .unwrap();
+    let bound = compile("select c_custkey as id, c_name from customer", &catalog).unwrap();
     assert_eq!(bound.output[0].name, "id");
     assert_eq!(bound.output[1].name, "c_name");
 }

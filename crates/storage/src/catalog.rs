@@ -79,7 +79,11 @@ mod tests {
     use orthopt_common::DataType;
 
     fn def(name: &str) -> TableDef {
-        TableDef::new(name, vec![ColumnDef::new("a", DataType::Int)], vec![vec![0]])
+        TableDef::new(
+            name,
+            vec![ColumnDef::new("a", DataType::Int)],
+            vec![vec![0]],
+        )
     }
 
     #[test]

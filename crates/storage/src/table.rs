@@ -174,9 +174,9 @@ impl Table {
 
     /// Finds an index whose columns are exactly `cols` (order-insensitive).
     pub fn index_on(&self, cols: &[usize]) -> Option<&Index> {
-        self.indexes.iter().find(|ix| {
-            ix.cols.len() == cols.len() && cols.iter().all(|c| ix.cols.contains(c))
-        })
+        self.indexes
+            .iter()
+            .find(|ix| ix.cols.len() == cols.len() && cols.iter().all(|c| ix.cols.contains(c)))
     }
 
     /// All indexes on this table.
@@ -227,9 +227,7 @@ mod tests {
     #[test]
     fn insert_checks_types() {
         let mut t = Table::new(two_col_def()).unwrap();
-        assert!(t
-            .insert(vec![Value::str("oops"), Value::str("x")])
-            .is_err());
+        assert!(t.insert(vec![Value::str("oops"), Value::str("x")]).is_err());
     }
 
     #[test]

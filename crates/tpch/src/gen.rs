@@ -434,6 +434,10 @@ mod tests {
                 brands.insert(b.clone());
             }
         }
-        assert!(brands.len() > 15, "expected most of 25 brands, got {}", brands.len());
+        assert!(
+            brands.len() > 15,
+            "expected most of 25 brands, got {}",
+            brands.len()
+        );
     }
 }

@@ -51,8 +51,10 @@ fn main() -> orthopt::common::Result<()> {
     // Stage 0: parse + bind — relational and scalar operators mixed,
     // the subquery nested inside the filter predicate (Figure 3).
     let bound = orthopt::sql::compile(sql, db.catalog())?;
-    println!("— stage 0: algebrized (mutually recursive, Figure 3) —\n{}",
-        explain(&bound.rel));
+    println!(
+        "— stage 0: algebrized (mutually recursive, Figure 3) —\n{}",
+        explain(&bound.rel)
+    );
 
     let mut ctx = RewriteCtx::for_tree(&bound.rel, RewriteConfig::default());
 
@@ -60,7 +62,10 @@ fn main() -> orthopt::common::Result<()> {
     // the subquery becomes an explicit operator (Figure 2).
     let rel = subquery::remove_mutual_recursion(bound.rel, &mut ctx)?;
     let rel = max1row::eliminate_max1row(rel);
-    println!("— stage 1: Apply introduced (Figure 2) —\n{}", explain(&rel));
+    println!(
+        "— stage 1: Apply introduced (Figure 2) —\n{}",
+        explain(&rel)
+    );
 
     // Stage 2: push Apply down with identities (1)–(9) until the inner
     // side no longer references the outer (§2.3) — first line of the

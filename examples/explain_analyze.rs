@@ -1,0 +1,39 @@
+//! EXPLAIN ANALYZE — run a correlated query at every optimizer level
+//! and print the physical tree annotated with per-operator statistics
+//! (rows produced, batches, opens, inclusive wall time).
+//!
+//! The `opens` counter makes the paper's story visible: under
+//! `Correlated` execution the inner aggregate re-opens once per outer
+//! row, while the decorrelated levels run every operator exactly once.
+//! Parameter-invariant inner subtrees are cached (`opens=1 … cached`)
+//! even inside a correlated loop.
+//!
+//! ```text
+//! cargo run --release --example explain_analyze [scale]
+//! ```
+
+use orthopt::{Database, OptimizerLevel};
+
+fn main() -> orthopt::common::Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    println!("generating TPC-H at scale factor {scale} …\n");
+    let db = Database::tpch(scale)?;
+
+    let sql = "select c_custkey from customer where 1000000 < \
+               (select sum(o_totalprice) from orders where o_custkey = c_custkey)";
+    println!("query:\n  {sql}\n");
+
+    for level in OptimizerLevel::ALL {
+        println!("--- {} ---", level.name());
+        println!("{}\n", db.explain_analyze(sql, level)?);
+    }
+
+    println!(
+        "Note how the aggregate's opens count drops from once-per-customer \
+         at Correlated to exactly 1 once the Apply is removed."
+    );
+    Ok(())
+}

@@ -25,13 +25,14 @@ fn main() -> orthopt::common::Result<()> {
 
     let formulations = [
         ("correlated subquery", queries::paper_q1(threshold)),
-        ("outerjoin + HAVING (Dayal)", queries::paper_q1_outerjoin(threshold)),
+        (
+            "outerjoin + HAVING (Dayal)",
+            queries::paper_q1_outerjoin(threshold),
+        ),
         ("derived table (Kim)", queries::paper_q1_derived(threshold)),
     ];
 
-    println!(
-        "Q1 strategies at TPC-H scale {scale} (threshold ${threshold}):\n"
-    );
+    println!("Q1 strategies at TPC-H scale {scale} (threshold ${threshold}):\n");
     println!(
         "{:<30} {:>16} {:>10} {:>8}",
         "formulation", "level", "exec (ms)", "rows"
@@ -66,8 +67,6 @@ fn main() -> orthopt::common::Result<()> {
     let a = db.plan(&formulations[0].1, OptimizerLevel::Full)?;
     let b = db.plan(&formulations[1].1, OptimizerLevel::Full)?;
     let isomorphic = orthopt::ir::iso::rel_isomorphic(&a.logical, &b.logical).is_some();
-    println!(
-        "normalized plans of formulations 1 and 2 isomorphic: {isomorphic}"
-    );
+    println!("normalized plans of formulations 1 and 2 isomorphic: {isomorphic}");
     Ok(())
 }

@@ -207,10 +207,7 @@ fn exception_subquery_error_matches_reference() {
     let sql = "select c_custkey, (select o_orderkey from orders \
                where o_custkey = c_custkey) from customer";
     let oracle = db.execute_reference(sql);
-    assert_eq!(
-        oracle.unwrap_err(),
-        Error::SubqueryReturnedMoreThanOneRow
-    );
+    assert_eq!(oracle.unwrap_err(), Error::SubqueryReturnedMoreThanOneRow);
     for level in OptimizerLevel::ALL {
         assert_eq!(
             db.execute_with(sql, level).unwrap_err(),
@@ -268,17 +265,16 @@ fn reproducible_across_identical_databases() {
     let b = db(21, 35);
     let sql = "select c_nation, sum(o_totalprice) from customer, orders \
                where c_custkey = o_custkey group by c_nation";
-    assert_eq!(
-        a.execute(sql).unwrap().rows,
-        b.execute(sql).unwrap().rows
-    );
+    assert_eq!(a.execute(sql).unwrap().rows, b.execute(sql).unwrap().rows);
 }
 
 #[test]
 fn order_by_desc_and_limit() {
     let db = db(22, 25);
     let r = db
-        .execute("select c_custkey, c_acctbal from customer order by c_acctbal desc, c_custkey limit 5")
+        .execute(
+            "select c_custkey, c_acctbal from customer order by c_acctbal desc, c_custkey limit 5",
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 5);
     for w in r.rows.windows(2) {
@@ -286,11 +282,15 @@ fn order_by_desc_and_limit() {
     }
     // Matches the reference path (which applies order + limit too).
     let oracle = db
-        .execute_reference("select c_custkey, c_acctbal from customer order by c_acctbal desc, c_custkey limit 5")
+        .execute_reference(
+            "select c_custkey, c_acctbal from customer order by c_acctbal desc, c_custkey limit 5",
+        )
         .unwrap();
     assert_eq!(r.rows, oracle.rows);
     // limit 0 yields nothing.
-    let empty = db.execute("select c_custkey from customer limit 0").unwrap();
+    let empty = db
+        .execute("select c_custkey from customer limit 0")
+        .unwrap();
     assert!(empty.rows.is_empty());
 }
 

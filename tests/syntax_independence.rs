@@ -69,8 +69,5 @@ fn search_costs_converge_across_formulations() {
         .collect();
     let max = costs.iter().cloned().fold(f64::MIN, f64::max);
     let min = costs.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(
-        (max - min) / max < 0.05,
-        "best costs diverge: {costs:?}"
-    );
+    assert!((max - min) / max < 0.05, "best costs diverge: {costs:?}");
 }

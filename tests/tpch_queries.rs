@@ -116,9 +116,27 @@ fn q22ish_levels_agree_and_flatten() {
     let db = tpch();
     let rows = check_levels_agree(&db, &queries::q22ish());
     assert!(!rows.is_empty());
-    let plan = db
-        .plan(&queries::q22ish(), OptimizerLevel::Full)
-        .unwrap();
+    let plan = db.plan(&queries::q22ish(), OptimizerLevel::Full).unwrap();
     assert_eq!(plan.normal_form.applies, 0);
     assert_eq!(plan.normal_form.max1rows, 0);
+}
+
+#[test]
+fn explain_analyze_covers_q2_and_q17_at_every_level() {
+    let db = tpch();
+    for sql in [
+        queries::q2(15, "standard anodized", "europe"),
+        queries::q17_brand_only("brand#23"),
+    ] {
+        for level in OptimizerLevel::ALL {
+            let rendered = db.explain_analyze(&sql, level).expect(&sql);
+            assert!(rendered.contains("analyzed:"), "{level:?}\n{rendered}");
+            assert!(rendered.contains("rows="), "{level:?}\n{rendered}");
+            assert!(rendered.contains("opens="), "{level:?}\n{rendered}");
+            // Every operator line carries a stats block.
+            for line in rendered.lines().skip(1) {
+                assert!(line.contains("[rows="), "unannotated line: {line}");
+            }
+        }
+    }
 }
