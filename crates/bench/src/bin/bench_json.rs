@@ -3,7 +3,9 @@
 //! times plus per-operator pipeline statistics (rows, batches, opens,
 //! inclusive time) to `results/bench.json` — for CI tracking and
 //! regression diffing, where the human-oriented table binaries don't
-//! compose.
+//! compose. Each level also records wall-clock medians at 1, 2, and 4
+//! exchange workers (replanned per worker count, since exchange
+//! placement is cost-based).
 //!
 //! ```text
 //! cargo run --release -p orthopt-bench --bin bench_json [scale] [out.json]
@@ -43,7 +45,7 @@ fn main() {
         .nth(2)
         .unwrap_or_else(|| "results/bench.json".to_string());
 
-    let db = tpch(scale);
+    let mut db = tpch(scale);
     type QueryFn = fn() -> String;
     let queries: [(&str, QueryFn); 2] = [
         ("Q2", || queries::q2(15, "standard anodized", "europe")),
@@ -61,8 +63,21 @@ fn main() {
         let _ = writeln!(json, "      \"sql\": \"{}\",", esc(&sql));
         let _ = writeln!(json, "      \"levels\": [");
         for (li, level) in OptimizerLevel::ALL.into_iter().enumerate() {
+            db.set_parallelism(1);
             let p = plan(&db, &sql, level);
             let elapsed = median_ms(&db, &p, 5);
+            // Wall clock at 1/2/4 exchange workers, replanning each
+            // time so the cost model can place exchanges for that pool.
+            let mut worker_runs = Vec::new();
+            for workers in [1usize, 2, 4] {
+                db.set_parallelism(workers);
+                let pw = plan(&db, &sql, level);
+                let exchanges = orthopt::exec::explain_phys(&pw.physical)
+                    .matches("Exchange")
+                    .count();
+                worker_runs.push((workers, median_ms(&db, &pw, 5), exchanges));
+            }
+            db.set_parallelism(1);
             // One instrumented run for the operator-level counters.
             let mut pipeline = Pipeline::compile(&p.physical).expect("pipeline compiles");
             let chunk = pipeline
@@ -76,6 +91,16 @@ fn main() {
             let _ = writeln!(json, "          \"level\": \"{}\",", esc(level.name()));
             let _ = writeln!(json, "          \"elapsed_ms\": {elapsed:.4},");
             let _ = writeln!(json, "          \"rows\": {},", chunk.len());
+            let _ = writeln!(json, "          \"workers\": [");
+            for (wi, (workers, ms, exchanges)) in worker_runs.iter().enumerate() {
+                let _ = writeln!(
+                    json,
+                    "            {{\"workers\": {workers}, \"elapsed_ms\": {ms:.4}, \
+                     \"exchanges\": {exchanges}}}{}",
+                    if wi + 1 == worker_runs.len() { "" } else { "," },
+                );
+            }
+            let _ = writeln!(json, "          ],");
             let _ = writeln!(json, "          \"operators\": [");
             for (id, ((depth, label), s)) in labels.iter().zip(stats.iter()).enumerate() {
                 let _ = writeln!(

@@ -49,7 +49,6 @@ pub use orthopt_storage as storage;
 pub use orthopt_tpch as tpch;
 
 use orthopt_common::{Error, Result, Row};
-use orthopt_exec::physical::Executor;
 use orthopt_exec::{Bindings, Chunk, PhysExpr, Pipeline, Reference};
 use orthopt_ir::{ColumnMeta, RelExpr};
 use orthopt_optimizer::search::{optimize_with_presentation, OptimizerConfig, SearchStats};
@@ -112,6 +111,7 @@ impl OptimizerLevel {
                 segment_apply: false,
                 correlated_execution: false,
                 max_exprs: 2_000,
+                parallelism: 1,
             },
             OptimizerLevel::Decorrelated => OptimizerConfig {
                 join_reorder: true,
@@ -120,6 +120,7 @@ impl OptimizerLevel {
                 segment_apply: false,
                 correlated_execution: false,
                 max_exprs: 20_000,
+                parallelism: 1,
             },
             OptimizerLevel::GroupByReorder => OptimizerConfig {
                 join_reorder: true,
@@ -128,6 +129,7 @@ impl OptimizerLevel {
                 segment_apply: false,
                 correlated_execution: true,
                 max_exprs: 20_000,
+                parallelism: 1,
             },
             OptimizerLevel::Full => OptimizerConfig::default(),
         }
@@ -194,10 +196,30 @@ impl QueryResult {
     }
 }
 
+/// Worker-pool size from the `ORTHOPT_PARALLELISM` environment
+/// variable, defaulting to 1 (serial) when unset or unparseable.
+fn env_parallelism() -> usize {
+    std::env::var("ORTHOPT_PARALLELISM")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .clamp(1, orthopt_exec::parallel::MAX_WORKERS)
+}
+
 /// The façade: a catalog plus the full compile/execute pipeline.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
+    parallelism: usize,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            catalog: Catalog::default(),
+            parallelism: env_parallelism(),
+        }
+    }
 }
 
 impl Database {
@@ -208,7 +230,25 @@ impl Database {
 
     /// Wraps an existing catalog (e.g. a generated TPC-H database).
     pub fn from_catalog(catalog: Catalog) -> Self {
-        Database { catalog }
+        Database {
+            catalog,
+            parallelism: env_parallelism(),
+        }
+    }
+
+    /// Sets the worker-pool size for parallel execution (min 1, capped
+    /// at [`orthopt_exec::parallel::MAX_WORKERS`]). Affects both
+    /// planning (the optimizer places `Exchange` operators when
+    /// parallelism pays) and execution (how many workers each exchange
+    /// fans out to). The initial value comes from the
+    /// `ORTHOPT_PARALLELISM` environment variable, default 1.
+    pub fn set_parallelism(&mut self, n: usize) {
+        self.parallelism = n.clamp(1, orthopt_exec::parallel::MAX_WORKERS);
+    }
+
+    /// The configured worker-pool size.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// A TPC-H database at the given scale factor.
@@ -243,12 +283,10 @@ impl Database {
                 "subquery markers survived normalization".into(),
             ));
         }
-        let (physical, search) = optimize_with_presentation(
-            normalized.clone(),
-            bound.order_by,
-            bound.limit,
-            &level.optimizer_config(),
-        )?;
+        let mut config = level.optimizer_config();
+        config.parallelism = self.parallelism;
+        let (physical, search) =
+            optimize_with_presentation(normalized.clone(), bound.order_by, bound.limit, &config)?;
         Ok(Plan {
             physical,
             logical: normalized,
@@ -260,10 +298,9 @@ impl Database {
 
     /// Executes a compiled plan.
     pub fn run(&self, plan: &Plan) -> Result<QueryResult> {
-        let chunk = Executor {
-            catalog: &self.catalog,
-        }
-        .exec(&plan.physical, &Bindings::new())?;
+        let mut pipeline = Pipeline::compile(&plan.physical)?;
+        pipeline.set_parallelism(self.parallelism);
+        let chunk = pipeline.execute(&self.catalog, &Bindings::new())?;
         present(chunk, &plan.output)
     }
 
@@ -318,6 +355,7 @@ impl Database {
     pub fn explain_analyze(&self, sql: &str, level: OptimizerLevel) -> Result<String> {
         let plan = self.plan(sql, level)?;
         let mut pipeline = Pipeline::compile(&plan.physical)?;
+        pipeline.set_parallelism(self.parallelism);
         let started = std::time::Instant::now();
         let chunk = pipeline.execute(&self.catalog, &Bindings::new())?;
         let elapsed = started.elapsed();

@@ -111,6 +111,34 @@ impl AggAcc {
         Ok(())
     }
 
+    /// Folds another accumulator of the same function into this one —
+    /// the global half of the §3.3 local/global split, used when
+    /// thread-local partial aggregation states are merged at close.
+    pub fn merge(&mut self, other: AggAcc) -> Result<()> {
+        match (self, other) {
+            (AggAcc::Count(n), AggAcc::Count(m)) => *n += m,
+            (AggAcc::Sum(acc), AggAcc::Sum(v)) => {
+                if let Some(x) = v {
+                    *acc = Some(match acc.take() {
+                        Some(cur) => cur.add(&x)?,
+                        None => x,
+                    });
+                }
+            }
+            (acc @ AggAcc::Min(_), AggAcc::Min(v)) | (acc @ AggAcc::Max(_), AggAcc::Max(v)) => {
+                if let Some(x) = v {
+                    acc.update(Some(&x))?;
+                }
+            }
+            (AggAcc::Avg(sum, n), AggAcc::Avg(s2, n2)) => {
+                *sum += s2;
+                *n += n2;
+            }
+            _ => return Err(Error::internal("merge of mismatched aggregate states")),
+        }
+        Ok(())
+    }
+
     /// Final value of the aggregate for this group.
     pub fn finish(self) -> Value {
         match self {
@@ -196,6 +224,52 @@ impl GroupedAggState {
                 }
             }
             state.accs[i].update(arg.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Number of distinct groups fed so far.
+    pub fn group_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Folds another partial state (same specs) into this one. Groups
+    /// unseen here are moved over wholesale (preserving `other`'s
+    /// first-seen order after this state's own); shared groups merge
+    /// accumulator-wise, with DISTINCT filters re-deduplicated against
+    /// this state's seen sets.
+    pub fn merge(&mut self, other: GroupedAggState) -> Result<()> {
+        debug_assert_eq!(self.specs, other.specs);
+        let mut other_groups = other.groups;
+        for key in other.order {
+            let theirs = other_groups.remove(&key).expect("group present");
+            match self.groups.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.order.push(e.key().clone());
+                    e.insert(theirs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    for (i, (acc, seen)) in theirs.accs.into_iter().zip(theirs.seen).enumerate() {
+                        match seen {
+                            // DISTINCT: replay only values this state has
+                            // not yet seen; the partial accumulator is
+                            // discarded (it may double-count values both
+                            // workers saw).
+                            Some(their_seen) => {
+                                let my_seen =
+                                    mine.seen[i].as_mut().expect("distinct filter present");
+                                for v in their_seen {
+                                    if my_seen.insert(v.clone()) {
+                                        mine.accs[i].update(Some(&v))?;
+                                    }
+                                }
+                            }
+                            None => mine.accs[i].merge(acc)?,
+                        }
+                    }
+                }
+            }
         }
         Ok(())
     }

@@ -94,7 +94,8 @@ fn children(plan: &PhysExpr) -> Vec<&PhysExpr> {
         | PhysExpr::AssertMax1 { input }
         | PhysExpr::RowNumber { input, .. }
         | PhysExpr::Sort { input, .. }
-        | PhysExpr::Limit { input, .. } => vec![input],
+        | PhysExpr::Limit { input, .. }
+        | PhysExpr::Exchange { input } => vec![input],
         PhysExpr::HashJoin { left, right, .. }
         | PhysExpr::NLJoin { left, right, .. }
         | PhysExpr::ApplyLoop { left, right, .. }
@@ -104,7 +105,8 @@ fn children(plan: &PhysExpr) -> Vec<&PhysExpr> {
         PhysExpr::TableScan { .. }
         | PhysExpr::IndexSeek { .. }
         | PhysExpr::SegmentScan { .. }
-        | PhysExpr::ConstScan { .. } => vec![],
+        | PhysExpr::ConstScan { .. }
+        | PhysExpr::MorselScan { .. } => vec![],
     }
 }
 
@@ -196,6 +198,10 @@ fn label(plan: &PhysExpr) -> String {
             format!("Sort [{}]", bs.join(", "))
         }
         PhysExpr::Limit { n, .. } => format!("Limit {n}"),
+        PhysExpr::Exchange { .. } => "Exchange".to_string(),
+        PhysExpr::MorselScan { table, ranges, .. } => {
+            format!("MorselScan {table} [{} ranges]", ranges.len())
+        }
     }
 }
 

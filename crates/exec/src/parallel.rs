@@ -1,0 +1,1069 @@
+//! Morsel-driven parallel execution.
+//!
+//! An [`Exchange`](PhysExpr::Exchange) node marks a subtree the runtime
+//! may execute across a small fixed pool of `std::thread` workers
+//! (sized by [`ExecCtx::parallelism`]). Three physical strategies are
+//! implemented, chosen by the shape of the wrapped subtree:
+//!
+//! * **Pipelined scan** — a chain of row-at-a-time operators over a
+//!   `TableScan` (optionally through one hash join) is cloned per
+//!   worker with the scan replaced by a
+//!   [`MorselScan`](PhysExpr::MorselScan) over statically-assigned row
+//!   ranges; a join's build side is computed once and broadcast to the
+//!   workers as a `ConstScan`.
+//! * **Repartitioned probe** — when the subtree root is exactly a hash
+//!   join, the build side is computed once and hash-partitioned into
+//!   one table per worker; workers probe their morsel-split chain
+//!   against the shared read-only partition tables.
+//! * **Partial aggregation** — when the root is a `HashAggregate`, each
+//!   worker feeds its morsels into a thread-local
+//!   [`GroupedAggState`]; the partial states are merged at close. This
+//!   is the paper's LocalGroupBy (§3.3) realized physically: the
+//!   thread-local states are LocalGroupBys over the morsel partitions
+//!   and the merge is the global GroupBy.
+//!
+//! Determinism: morsels are assigned round-robin by a static schedule,
+//! worker outputs are gathered in worker order, the partition hash is
+//! a fixed-key [`DefaultHasher`], and aggregate states merge in worker
+//! order — repeated parallel runs are byte-identical. Subtrees whose
+//! shape the runtime does not recognize, non-invariant subtrees (ones
+//! referencing outer parameters or segments), and `parallelism <= 1`
+//! all fall back to serial execution of the unmodified subtree, with
+//! per-node stats copied one-to-one.
+
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::time::Instant;
+
+use orthopt_common::{ColId, Result, Row, Value};
+use orthopt_ir::{AggDef, GroupKind, JoinKind, ScalarExpr};
+use orthopt_storage::Catalog;
+
+use crate::aggregate::GroupedAggState;
+use crate::bindings::Bindings;
+use crate::eval::{eval, eval_predicate, EvalCtx};
+use crate::physical::PhysExpr;
+use crate::pipeline::{drain_pending, free_inputs, Batch, ExecCtx, Operator, Pipeline};
+use crate::stats::OpStats;
+
+/// Upper bound on the worker pool, whatever the knob says.
+pub const MAX_WORKERS: usize = 64;
+
+/// Morsels larger than this are split further so the static schedule
+/// stays balanced.
+const MAX_MORSEL: usize = 4096;
+
+// ---------------------------------------------------------------------
+// Eligibility: the plan-shape grammar the exchange runtime understands.
+// ---------------------------------------------------------------------
+
+/// A chain of per-row wrappers (`Filter`/`Compute`/`ProjectCols`) over a
+/// `TableScan` — the driving path a morsel split applies to.
+fn chain(p: &PhysExpr) -> bool {
+    match p {
+        PhysExpr::TableScan { .. } => true,
+        PhysExpr::Filter { input, .. }
+        | PhysExpr::Compute { input, .. }
+        | PhysExpr::ProjectCols { input, .. } => chain(input),
+        _ => false,
+    }
+}
+
+/// A chain, or wrappers over a single hash join whose probe side is a
+/// chain (the build side is arbitrary: it runs once, serially).
+fn splittable(p: &PhysExpr) -> bool {
+    match p {
+        PhysExpr::TableScan { .. } => true,
+        PhysExpr::Filter { input, .. }
+        | PhysExpr::Compute { input, .. }
+        | PhysExpr::ProjectCols { input, .. } => splittable(input),
+        PhysExpr::HashJoin { left, .. } => chain(left),
+        _ => false,
+    }
+}
+
+/// Whether the exchange runtime can parallelize this subtree: a
+/// splittable plan, or a `HashAggregate` over one, that does not depend
+/// on outer parameters or segments.
+pub fn exchange_eligible(p: &PhysExpr) -> bool {
+    let shape =
+        splittable(p) || matches!(p, PhysExpr::HashAggregate { input, .. } if splittable(input));
+    shape && free_inputs(p).is_invariant()
+}
+
+/// Removes `Exchange` nodes from the driving path (root, wrapper
+/// chains, the probe side of a join, an aggregate's input) so a larger
+/// wrap can subsume exchanges a bottom-up planner already placed on
+/// children. Build sides keep theirs — they execute serially under the
+/// parent exchange, where a nested exchange degrades to a no-op.
+fn strip_driving_exchanges(p: &PhysExpr) -> PhysExpr {
+    match p {
+        PhysExpr::Exchange { input } => strip_driving_exchanges(input),
+        PhysExpr::Filter { input, predicate } => PhysExpr::Filter {
+            input: Box::new(strip_driving_exchanges(input)),
+            predicate: predicate.clone(),
+        },
+        PhysExpr::Compute { input, defs } => PhysExpr::Compute {
+            input: Box::new(strip_driving_exchanges(input)),
+            defs: defs.clone(),
+        },
+        PhysExpr::ProjectCols { input, cols } => PhysExpr::ProjectCols {
+            input: Box::new(strip_driving_exchanges(input)),
+            cols: cols.clone(),
+        },
+        PhysExpr::HashAggregate {
+            kind,
+            input,
+            group_cols,
+            aggs,
+        } => PhysExpr::HashAggregate {
+            kind: *kind,
+            input: Box::new(strip_driving_exchanges(input)),
+            group_cols: group_cols.clone(),
+            aggs: aggs.clone(),
+        },
+        PhysExpr::HashJoin {
+            kind,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => PhysExpr::HashJoin {
+            kind: *kind,
+            left: Box::new(strip_driving_exchanges(left)),
+            right: right.clone(),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            residual: residual.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Wraps a plan in an `Exchange` if it is eligible, first stripping
+/// exchanges a bottom-up planner already placed on the driving path
+/// (so the larger wrap subsumes them rather than being blocked by
+/// them). Used by the optimizer when the cost model decides
+/// parallelism pays.
+pub fn wrap_exchange(p: &PhysExpr) -> Option<PhysExpr> {
+    let inner = strip_driving_exchanges(p);
+    if exchange_eligible(&inner) {
+        Some(PhysExpr::Exchange {
+            input: Box::new(inner),
+        })
+    } else {
+        None
+    }
+}
+
+/// Structurally wraps every maximal eligible subtree in an `Exchange`,
+/// regardless of cost — the conformance suite uses this to exercise the
+/// parallel runtime on tables far too small for the cost model to pick
+/// exchanges on its own.
+pub fn place_exchanges(p: &PhysExpr) -> PhysExpr {
+    if exchange_eligible(p) {
+        return PhysExpr::Exchange {
+            input: Box::new(p.clone()),
+        };
+    }
+    match p {
+        PhysExpr::Filter { input, predicate } => PhysExpr::Filter {
+            input: Box::new(place_exchanges(input)),
+            predicate: predicate.clone(),
+        },
+        PhysExpr::Compute { input, defs } => PhysExpr::Compute {
+            input: Box::new(place_exchanges(input)),
+            defs: defs.clone(),
+        },
+        PhysExpr::ProjectCols { input, cols } => PhysExpr::ProjectCols {
+            input: Box::new(place_exchanges(input)),
+            cols: cols.clone(),
+        },
+        PhysExpr::HashJoin {
+            kind,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => PhysExpr::HashJoin {
+            kind: *kind,
+            left: Box::new(place_exchanges(left)),
+            right: Box::new(place_exchanges(right)),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            residual: residual.clone(),
+        },
+        PhysExpr::NLJoin {
+            kind,
+            left,
+            right,
+            predicate,
+        } => PhysExpr::NLJoin {
+            kind: *kind,
+            left: Box::new(place_exchanges(left)),
+            right: Box::new(place_exchanges(right)),
+            predicate: predicate.clone(),
+        },
+        PhysExpr::ApplyLoop {
+            kind,
+            left,
+            right,
+            params,
+        } => PhysExpr::ApplyLoop {
+            kind: *kind,
+            left: Box::new(place_exchanges(left)),
+            right: Box::new(place_exchanges(right)),
+            params: params.clone(),
+        },
+        PhysExpr::SegmentExec {
+            input,
+            segment_cols,
+            inner,
+            out_cols,
+        } => PhysExpr::SegmentExec {
+            input: Box::new(place_exchanges(input)),
+            segment_cols: segment_cols.clone(),
+            inner: Box::new(place_exchanges(inner)),
+            out_cols: out_cols.clone(),
+        },
+        PhysExpr::HashAggregate {
+            kind,
+            input,
+            group_cols,
+            aggs,
+        } => PhysExpr::HashAggregate {
+            kind: *kind,
+            input: Box::new(place_exchanges(input)),
+            group_cols: group_cols.clone(),
+            aggs: aggs.clone(),
+        },
+        PhysExpr::Concat {
+            left,
+            right,
+            cols,
+            left_map,
+            right_map,
+        } => PhysExpr::Concat {
+            left: Box::new(place_exchanges(left)),
+            right: Box::new(place_exchanges(right)),
+            cols: cols.clone(),
+            left_map: left_map.clone(),
+            right_map: right_map.clone(),
+        },
+        PhysExpr::ExceptExec {
+            left,
+            right,
+            right_map,
+        } => PhysExpr::ExceptExec {
+            left: Box::new(place_exchanges(left)),
+            right: Box::new(place_exchanges(right)),
+            right_map: right_map.clone(),
+        },
+        PhysExpr::AssertMax1 { input } => PhysExpr::AssertMax1 {
+            input: Box::new(place_exchanges(input)),
+        },
+        PhysExpr::RowNumber { input, col } => PhysExpr::RowNumber {
+            input: Box::new(place_exchanges(input)),
+            col: *col,
+        },
+        PhysExpr::Sort { input, by } => PhysExpr::Sort {
+            input: Box::new(place_exchanges(input)),
+            by: by.clone(),
+        },
+        PhysExpr::Limit { input, n } => PhysExpr::Limit {
+            input: Box::new(place_exchanges(input)),
+            n: *n,
+        },
+        PhysExpr::Exchange { input } => PhysExpr::Exchange {
+            input: input.clone(),
+        },
+        PhysExpr::TableScan { .. }
+        | PhysExpr::IndexSeek { .. }
+        | PhysExpr::SegmentScan { .. }
+        | PhysExpr::ConstScan { .. }
+        | PhysExpr::MorselScan { .. } => p.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan surgery: locating the driving scan / build side, substitution.
+// ---------------------------------------------------------------------
+
+/// The build subtree on the driving path, if the subtree contains a
+/// join (at most one, by the eligibility grammar).
+fn build_side(p: &PhysExpr) -> Option<&PhysExpr> {
+    match p {
+        PhysExpr::Filter { input, .. }
+        | PhysExpr::Compute { input, .. }
+        | PhysExpr::ProjectCols { input, .. }
+        | PhysExpr::HashAggregate { input, .. } => build_side(input),
+        PhysExpr::HashJoin { right, .. } => Some(right),
+        _ => None,
+    }
+}
+
+/// Row count of the driving scan's table.
+fn driving_len(p: &PhysExpr, catalog: &Catalog) -> usize {
+    match p {
+        PhysExpr::TableScan { table, .. } => catalog.table(*table).row_count(),
+        PhysExpr::Filter { input, .. }
+        | PhysExpr::Compute { input, .. }
+        | PhysExpr::ProjectCols { input, .. }
+        | PhysExpr::HashAggregate { input, .. } => driving_len(input, catalog),
+        PhysExpr::HashJoin { left, .. } => driving_len(left, catalog),
+        _ => 0,
+    }
+}
+
+/// Broadcast replacement for a join build side: its output layout plus
+/// the serially-computed rows.
+struct BuildRows {
+    cols: Vec<ColId>,
+    rows: Vec<Row>,
+}
+
+/// Clones the subtree for one worker: the driving `TableScan` becomes a
+/// `MorselScan` over the worker's ranges, and the build side (if any)
+/// becomes a `ConstScan` over the broadcast build rows.
+fn substitute(p: &PhysExpr, ranges: &[(usize, usize)], build: Option<&BuildRows>) -> PhysExpr {
+    match p {
+        PhysExpr::TableScan {
+            table,
+            positions,
+            cols,
+        } => PhysExpr::MorselScan {
+            table: *table,
+            positions: positions.clone(),
+            cols: cols.clone(),
+            ranges: ranges.to_vec(),
+        },
+        PhysExpr::Filter { input, predicate } => PhysExpr::Filter {
+            input: Box::new(substitute(input, ranges, build)),
+            predicate: predicate.clone(),
+        },
+        PhysExpr::Compute { input, defs } => PhysExpr::Compute {
+            input: Box::new(substitute(input, ranges, build)),
+            defs: defs.clone(),
+        },
+        PhysExpr::ProjectCols { input, cols } => PhysExpr::ProjectCols {
+            input: Box::new(substitute(input, ranges, build)),
+            cols: cols.clone(),
+        },
+        PhysExpr::HashJoin {
+            kind,
+            left,
+            right: _,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let b = build.expect("build rows present for join substitution");
+            PhysExpr::HashJoin {
+                kind: *kind,
+                left: Box::new(substitute(left, ranges, None)),
+                right: Box::new(PhysExpr::ConstScan {
+                    cols: b.cols.clone(),
+                    rows: b.rows.clone(),
+                }),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                residual: residual.clone(),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Static morsel schedule: the table's row space is cut into morsels of
+/// `clamp(ceil(len / (workers * 4)), 1, MAX_MORSEL)` rows and morsel
+/// `m` goes to worker `m % workers` — deterministic run to run.
+fn worker_ranges(len: usize, workers: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut out = vec![Vec::new(); workers];
+    if len == 0 {
+        return out;
+    }
+    let morsel = len.div_ceil(workers * 4).clamp(1, MAX_MORSEL);
+    let mut start = 0;
+    let mut m = 0;
+    while start < len {
+        let end = (start + morsel).min(len);
+        out[m % workers].push((start, end));
+        start = end;
+        m += 1;
+    }
+    out
+}
+
+/// Key extraction mirroring the serial hash join: `None` when any key
+/// value is NULL (SQL equality never matches NULL).
+fn partition_key(row: &[Value], positions: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(positions.len());
+    for &i in positions {
+        if row[i].is_null() {
+            return None;
+        }
+        key.push(row[i].clone());
+    }
+    Some(key)
+}
+
+/// Fixed-key hash so partition assignment is deterministic across runs
+/// (unlike `RandomState`).
+fn key_hash(key: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Worker pool.
+// ---------------------------------------------------------------------
+
+/// Runs one closure per plan on its own thread and gathers the results
+/// in worker order. Worker panics propagate; the first (by worker
+/// order) error wins.
+fn scatter<T, F>(plans: Vec<PhysExpr>, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(PhysExpr) -> Result<T> + Sync,
+{
+    let joined: Vec<std::thread::Result<Result<T>>> = std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = plans.into_iter().map(|p| s.spawn(move || f(p))).collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut out = Vec::with_capacity(joined.len());
+    for r in joined {
+        match r {
+            Ok(v) => out.push(v?),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+    Ok(out)
+}
+
+#[allow(dead_code)]
+fn thread_safety_asserts() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    // Worker plans move into threads; catalogs are shared by reference;
+    // rows and partial aggregation states travel back.
+    send::<PhysExpr>();
+    send::<Row>();
+    send::<GroupedAggState>();
+    sync::<Catalog>();
+    sync::<HashMap<Vec<Value>, Vec<Row>>>();
+}
+
+// ---------------------------------------------------------------------
+// The exchange operator.
+// ---------------------------------------------------------------------
+
+/// Runtime of an `Exchange` node: decides serial fallback vs. one of
+/// the three parallel strategies at execution time, runs the workers,
+/// and merges per-worker [`OpStats`] into the enclosing pipeline's
+/// registry at the subtree's pre-order slots.
+pub struct ExchangeOp {
+    plan: PhysExpr,
+    /// First stats slot of the wrapped subtree (the slot right after the
+    /// exchange's own).
+    base: usize,
+    stats: Rc<RefCell<Vec<OpStats>>>,
+    batch_size: usize,
+    out_cols: Rc<[ColId]>,
+    invariant: bool,
+    pending: Vec<Row>,
+    done: bool,
+}
+
+impl ExchangeOp {
+    pub(crate) fn new(
+        plan: PhysExpr,
+        base: usize,
+        stats: Rc<RefCell<Vec<OpStats>>>,
+        batch_size: usize,
+    ) -> ExchangeOp {
+        let out_cols: Rc<[ColId]> = plan.out_cols().as_slice().into();
+        let invariant = free_inputs(&plan).is_invariant();
+        ExchangeOp {
+            plan,
+            base,
+            stats,
+            batch_size,
+            out_cols,
+            invariant,
+            pending: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Serial fallback: compile and run the unmodified subtree, copying
+    /// its per-node stats one-to-one into the reserved slots.
+    fn run_serial(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        let mut pipe = Pipeline::with_batch_size(&self.plan, self.batch_size)?;
+        let binds = ctx.binds.borrow().clone();
+        let chunk = pipe.execute(ctx.catalog, &binds)?;
+        let sub = pipe.stats();
+        let mut stats = self.stats.borrow_mut();
+        for (i, s) in sub.iter().enumerate() {
+            let slot = &mut stats[self.base + i];
+            slot.opens += s.opens;
+            slot.batches += s.batches;
+            slot.rows += s.rows;
+            slot.elapsed += s.elapsed;
+        }
+        drop(stats);
+        self.pending.extend(chunk.rows);
+        Ok(())
+    }
+
+    /// Runs a join build side once, serially, recording its stats into
+    /// the trailing reserved slots (the build subtree is last in the
+    /// subtree's pre-order).
+    fn run_build(&self, ctx: &ExecCtx<'_>, build: &PhysExpr) -> Result<BuildRows> {
+        let mut pipe = Pipeline::with_batch_size(build, self.batch_size)?;
+        let chunk = pipe.execute(ctx.catalog, &Bindings::new())?;
+        let sub = pipe.stats();
+        let start = self.base + self.plan.node_count() - build.node_count();
+        let mut stats = self.stats.borrow_mut();
+        for (i, s) in sub.iter().enumerate() {
+            let slot = &mut stats[start + i];
+            slot.opens += s.opens;
+            slot.batches += s.batches;
+            slot.rows += s.rows;
+            slot.elapsed += s.elapsed;
+        }
+        Ok(BuildRows {
+            cols: build.out_cols(),
+            rows: chunk.rows,
+        })
+    }
+
+    /// Folds each worker's pipeline stats into the aligned slot prefix.
+    /// Worker plans share the subtree's pre-order for their first
+    /// `align` nodes because the build subtree (whose replacement is the
+    /// trailing `ConstScan`) sorts last in pre-order.
+    fn absorb_workers(&self, offset: usize, align: usize, per_worker: &[Vec<OpStats>]) {
+        let mut stats = self.stats.borrow_mut();
+        for wstats in per_worker {
+            for i in 0..align.min(wstats.len()) {
+                stats[self.base + offset + i].absorb_worker(&wstats[i]);
+            }
+        }
+    }
+
+    /// Synthesizes the stats of a node the workers replaced (the join in
+    /// repartition mode, the aggregate in partial-agg mode) so its slot
+    /// matches what a serial run would report.
+    fn synthesize_root(&self, rows: usize, elapsed: std::time::Duration, workers: usize, max: u64) {
+        let mut stats = self.stats.borrow_mut();
+        let slot = &mut stats[self.base];
+        slot.opens += 1;
+        slot.rows += rows as u64;
+        slot.batches += (rows as u64).div_ceil(self.batch_size as u64);
+        slot.elapsed += elapsed;
+        slot.workers += workers as u64;
+        slot.worker_rows_max = slot.worker_rows_max.max(max);
+    }
+
+    fn compute(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        let workers = ctx.parallelism.min(MAX_WORKERS);
+        if workers <= 1 || !self.invariant {
+            return self.run_serial(ctx);
+        }
+        match &self.plan {
+            PhysExpr::HashAggregate {
+                kind,
+                input,
+                group_cols,
+                aggs,
+            } if splittable(input) => {
+                let (kind, input) = (*kind, (**input).clone());
+                let (group_cols, aggs) = (group_cols.clone(), aggs.clone());
+                self.run_partial_agg(ctx, workers, kind, &input, &group_cols, &aggs)
+            }
+            PhysExpr::HashJoin { left, .. } if chain(left) => self.run_repartition(ctx, workers),
+            p if splittable(p) => self.run_pipelined(ctx, workers),
+            _ => self.run_serial(ctx),
+        }
+    }
+
+    /// Pipelined mode: each worker runs a full clone of the subtree over
+    /// its morsels (build side broadcast as a `ConstScan`); outputs are
+    /// gathered worker-major.
+    fn run_pipelined(&mut self, ctx: &ExecCtx<'_>, workers: usize) -> Result<()> {
+        let build = match build_side(&self.plan) {
+            Some(b) => Some(self.run_build(ctx, b)?),
+            None => None,
+        };
+        let align = self.plan.node_count() - build_side(&self.plan).map_or(0, |b| b.node_count());
+        let ranges = worker_ranges(driving_len(&self.plan, ctx.catalog), workers);
+        let plans: Vec<PhysExpr> = ranges
+            .iter()
+            .map(|r| substitute(&self.plan, r, build.as_ref()))
+            .collect();
+        let catalog = ctx.catalog;
+        let bs = self.batch_size;
+        let results = scatter(plans, |plan| {
+            let mut pipe = Pipeline::with_batch_size(&plan, bs)?;
+            let chunk = pipe.execute(catalog, &Bindings::new())?;
+            Ok((chunk.rows, pipe.stats()))
+        })?;
+        let per_worker: Vec<Vec<OpStats>> = results.iter().map(|(_, s)| s.clone()).collect();
+        self.absorb_workers(0, align, &per_worker);
+        for (rows, _) in results {
+            self.pending.extend(rows);
+        }
+        Ok(())
+    }
+
+    /// Repartition mode (subtree root is exactly a hash join): the
+    /// build rows are hash-partitioned into one table per worker; each
+    /// worker probes its morsel-split chain against the shared
+    /// read-only partition tables, replicating the serial join's probe
+    /// semantics (NULL keys never match, residual after key match, all
+    /// four join kinds).
+    fn run_repartition(&mut self, ctx: &ExecCtx<'_>, workers: usize) -> Result<()> {
+        let PhysExpr::HashJoin {
+            kind,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } = &self.plan
+        else {
+            return self.run_serial(ctx);
+        };
+        let t = Instant::now();
+        let build = self.run_build(ctx, right)?;
+        let lout = left.out_cols();
+        let left_pos: Vec<usize> = left_keys
+            .iter()
+            .map(|c| {
+                lout.iter()
+                    .position(|l| l == c)
+                    .expect("probe key in layout")
+            })
+            .collect();
+        let right_pos: Vec<usize> = right_keys
+            .iter()
+            .map(|c| {
+                build
+                    .cols
+                    .iter()
+                    .position(|l| l == c)
+                    .expect("build key in layout")
+            })
+            .collect();
+        let mut combined = lout.clone();
+        combined.extend(build.cols.iter().copied());
+        let right_width = build.cols.len();
+
+        // Partitioned build tables, filled in serial build order so the
+        // per-key row order matches the serial join's.
+        let mut parts: Vec<HashMap<Vec<Value>, Vec<Row>>> = vec![HashMap::new(); workers];
+        for rr in build.rows {
+            if let Some(key) = partition_key(&rr, &right_pos) {
+                let p = (key_hash(&key) as usize) % workers;
+                parts[p].entry(key).or_default().push(rr);
+            }
+        }
+        let parts = &parts;
+
+        let chain_plan = (**left).clone();
+        let chain_count = chain_plan.node_count();
+        let ranges = worker_ranges(driving_len(&chain_plan, ctx.catalog), workers);
+        let plans: Vec<PhysExpr> = ranges
+            .iter()
+            .map(|r| substitute(&chain_plan, r, None))
+            .collect();
+        let catalog = ctx.catalog;
+        let bs = self.batch_size;
+        let kind = *kind;
+        let residual: &ScalarExpr = residual;
+        let residual_trivial = residual.is_true();
+        let combined = &combined;
+        let left_pos = &left_pos;
+        let results = scatter(plans, |plan| {
+            let mut pipe = Pipeline::with_batch_size(&plan, bs)?;
+            let binds = Bindings::new();
+            let mut out: Vec<Row> = Vec::new();
+            pipe.execute_each(catalog, &binds, |b| {
+                for lr in b.rows {
+                    let matches = partition_key(&lr, left_pos).and_then(|k| {
+                        let p = (key_hash(&k) as usize) % workers;
+                        parts[p].get(&k)
+                    });
+                    let mut matched = false;
+                    if let Some(rows) = matches {
+                        for rr in rows {
+                            let mut row = lr.clone();
+                            row.extend(rr.iter().cloned());
+                            let pass = residual_trivial
+                                || eval_predicate(
+                                    residual,
+                                    &EvalCtx::plain(combined, &row, &binds),
+                                )?;
+                            if pass {
+                                matched = true;
+                                match kind {
+                                    JoinKind::Inner | JoinKind::LeftOuter => out.push(row),
+                                    JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                                }
+                            }
+                        }
+                    }
+                    match kind {
+                        JoinKind::LeftOuter if !matched => {
+                            let mut row = lr;
+                            row.extend(std::iter::repeat_n(Value::Null, right_width));
+                            out.push(row);
+                        }
+                        JoinKind::LeftSemi if matched => out.push(lr),
+                        JoinKind::LeftAnti if !matched => out.push(lr),
+                        _ => {}
+                    }
+                }
+                Ok(())
+            })?;
+            Ok((out, pipe.stats()))
+        })?;
+        let per_worker: Vec<Vec<OpStats>> = results.iter().map(|(_, s)| s.clone()).collect();
+        // Probe chain occupies the slots right after the join node.
+        self.absorb_workers(1, chain_count, &per_worker);
+        let mut total = 0usize;
+        let mut max = 0u64;
+        for (rows, _) in results {
+            total += rows.len();
+            max = max.max(rows.len() as u64);
+            self.pending.extend(rows);
+        }
+        self.synthesize_root(total, t.elapsed(), workers, max);
+        Ok(())
+    }
+
+    /// Partial-aggregation mode: workers feed their morsels into
+    /// thread-local [`GroupedAggState`]s; states merge in worker order
+    /// and finish once (preserving scalar-on-empty semantics).
+    fn run_partial_agg(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        workers: usize,
+        kind: GroupKind,
+        input: &PhysExpr,
+        group_cols: &[ColId],
+        aggs: &[AggDef],
+    ) -> Result<()> {
+        let t = Instant::now();
+        let build = match build_side(input) {
+            Some(b) => {
+                // run_build indexes trailing slots relative to the whole
+                // subtree (aggregate + input), which is where the build
+                // nodes sit in pre-order.
+                Some(self.run_build(ctx, b)?)
+            }
+            None => None,
+        };
+        let in_cols = input.out_cols();
+        let group_pos: Vec<usize> = group_cols
+            .iter()
+            .map(|c| {
+                in_cols
+                    .iter()
+                    .position(|l| l == c)
+                    .expect("group column in layout")
+            })
+            .collect();
+        let align = input.node_count() - build_side(input).map_or(0, |b| b.node_count());
+        let ranges = worker_ranges(driving_len(input, ctx.catalog), workers);
+        let plans: Vec<PhysExpr> = ranges
+            .iter()
+            .map(|r| substitute(input, r, build.as_ref()))
+            .collect();
+        let catalog = ctx.catalog;
+        let bs = self.batch_size;
+        let in_cols = &in_cols;
+        let group_pos = &group_pos;
+        let results = scatter(plans, |plan| {
+            let mut pipe = Pipeline::with_batch_size(&plan, bs)?;
+            let binds = Bindings::new();
+            let mut state = GroupedAggState::new(aggs);
+            pipe.execute_each(catalog, &binds, |b| {
+                for r in &b.rows {
+                    let key: Vec<Value> = group_pos.iter().map(|&i| r[i].clone()).collect();
+                    let args = aggs
+                        .iter()
+                        .map(|a| {
+                            a.arg
+                                .as_ref()
+                                .map(|e| eval(e, &EvalCtx::plain(in_cols, r, &binds)))
+                                .transpose()
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    state.feed(key, args)?;
+                }
+                Ok(())
+            })?;
+            Ok((state, pipe.stats()))
+        })?;
+        let per_worker: Vec<Vec<OpStats>> = results.iter().map(|(_, s)| s.clone()).collect();
+        // The input subtree sits right after the aggregate node.
+        self.absorb_workers(1, align, &per_worker);
+        let mut merged: Option<GroupedAggState> = None;
+        let mut max = 0u64;
+        for (state, _) in results {
+            max = max.max(state.group_count() as u64);
+            match &mut merged {
+                None => merged = Some(state),
+                Some(m) => m.merge(state)?,
+            }
+        }
+        let rows = merged
+            .unwrap_or_else(|| GroupedAggState::new(aggs))
+            .finish(kind);
+        self.synthesize_root(rows.len(), t.elapsed(), workers, max);
+        self.pending.extend(rows);
+        Ok(())
+    }
+}
+
+impl Operator for ExchangeOp {
+    fn open(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.pending.clear();
+        self.done = false;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.done {
+            self.compute(ctx)?;
+            self.done = true;
+        }
+        Ok(drain_pending(
+            &mut self.pending,
+            self.batch_size,
+            &self.out_cols,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_common::{DataType, TableId};
+    use orthopt_storage::{ColumnDef, TableDef};
+
+    fn catalog(rows: i64) -> Catalog {
+        let mut c = Catalog::new();
+        let t = c
+            .create_table(TableDef::new(
+                "t",
+                vec![
+                    ColumnDef::new("a", DataType::Int),
+                    ColumnDef::new("b", DataType::Int),
+                ],
+                vec![vec![0]],
+            ))
+            .unwrap();
+        c.table_mut(t)
+            .insert_all((0..rows).map(|i| vec![Value::Int(i), Value::Int(i % 5)]))
+            .unwrap();
+        c
+    }
+
+    fn scan() -> PhysExpr {
+        PhysExpr::TableScan {
+            table: TableId(0),
+            positions: vec![0, 1],
+            cols: vec![ColId(1), ColId(2)],
+        }
+    }
+
+    fn run_at(plan: &PhysExpr, catalog: &Catalog, n: usize) -> Vec<Row> {
+        let mut p = Pipeline::compile(plan).unwrap();
+        p.set_parallelism(n);
+        p.execute(catalog, &Bindings::new()).unwrap().rows
+    }
+
+    #[test]
+    fn morsel_schedule_covers_every_row_once() {
+        for (len, workers) in [(0, 4), (1, 4), (7, 2), (1024, 4), (4097, 3)] {
+            let ranges = worker_ranges(len, workers);
+            assert_eq!(ranges.len(), workers);
+            let mut seen = vec![false; len];
+            for r in ranges.iter().flatten() {
+                for (i, s) in seen.iter_mut().enumerate().take(r.1).skip(r.0) {
+                    assert!(!*s, "row {i} scheduled twice");
+                    *s = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "unscheduled rows at len {len}");
+        }
+    }
+
+    #[test]
+    fn eligibility_grammar() {
+        let filter = PhysExpr::Filter {
+            input: Box::new(scan()),
+            predicate: ScalarExpr::eq(ScalarExpr::col(ColId(2)), ScalarExpr::lit(1i64)),
+        };
+        assert!(exchange_eligible(&filter));
+        let join = PhysExpr::HashJoin {
+            kind: JoinKind::Inner,
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            left_keys: vec![ColId(2)],
+            right_keys: vec![ColId(2)],
+            residual: ScalarExpr::lit(true),
+        };
+        assert!(exchange_eligible(&join));
+        // Two joins on the driving path are out of grammar.
+        let nested = PhysExpr::HashJoin {
+            kind: JoinKind::Inner,
+            left: Box::new(join.clone()),
+            right: Box::new(scan()),
+            left_keys: vec![ColId(2)],
+            right_keys: vec![ColId(2)],
+            residual: ScalarExpr::lit(true),
+        };
+        assert!(!exchange_eligible(&nested));
+        // ...but a join below the *build* side is fine.
+        let build_nested = PhysExpr::HashJoin {
+            kind: JoinKind::Inner,
+            left: Box::new(scan()),
+            right: Box::new(join),
+            left_keys: vec![ColId(2)],
+            right_keys: vec![ColId(2)],
+            residual: ScalarExpr::lit(true),
+        };
+        assert!(exchange_eligible(&build_nested));
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_and_is_deterministic() {
+        let c = catalog(1025);
+        let plan = PhysExpr::Exchange {
+            input: Box::new(scan()),
+        };
+        let serial = run_at(&plan, &c, 1);
+        assert_eq!(serial.len(), 1025);
+        for n in [2, 3, 4] {
+            let par = run_at(&plan, &c, n);
+            // Gathering is worker-major over a static schedule, so even
+            // the order is reproducible; the multiset trivially matches.
+            assert_eq!(
+                par,
+                run_at(&plan, &c, n),
+                "parallelism {n} not deterministic"
+            );
+            let mut a = serial.clone();
+            let mut b = par;
+            a.sort_by(orthopt_common::row::cmp_rows);
+            b.sort_by(orthopt_common::row::cmp_rows);
+            assert_eq!(a, b, "parallelism {n} changed the result");
+        }
+    }
+
+    #[test]
+    fn repartition_join_matches_serial() {
+        let c = catalog(123);
+        let join = PhysExpr::HashJoin {
+            kind: JoinKind::Inner,
+            left: Box::new(scan()),
+            right: Box::new(PhysExpr::TableScan {
+                table: TableId(0),
+                positions: vec![0, 1],
+                cols: vec![ColId(3), ColId(4)],
+            }),
+            left_keys: vec![ColId(2)],
+            right_keys: vec![ColId(4)],
+            residual: ScalarExpr::lit(true),
+        };
+        let plan = PhysExpr::Exchange {
+            input: Box::new(join),
+        };
+        let mut serial = run_at(&plan, &c, 1);
+        let mut par = run_at(&plan, &c, 4);
+        assert_eq!(serial.len(), par.len());
+        serial.sort_by(orthopt_common::row::cmp_rows);
+        par.sort_by(orthopt_common::row::cmp_rows);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn partial_aggregation_matches_serial() {
+        use orthopt_ir::{AggFunc, ColumnMeta};
+        let c = catalog(1024);
+        let agg = PhysExpr::HashAggregate {
+            kind: GroupKind::Vector,
+            input: Box::new(scan()),
+            group_cols: vec![ColId(2)],
+            aggs: vec![
+                AggDef::new(
+                    ColumnMeta::new(ColId(10), "n", DataType::Int, false),
+                    AggFunc::CountStar,
+                    None,
+                ),
+                AggDef::new(
+                    ColumnMeta::new(ColId(11), "s", DataType::Int, true),
+                    AggFunc::Sum,
+                    Some(ScalarExpr::col(ColId(1))),
+                ),
+            ],
+        };
+        let plan = PhysExpr::Exchange {
+            input: Box::new(agg),
+        };
+        let mut serial = run_at(&plan, &c, 1);
+        let mut par = run_at(&plan, &c, 4);
+        serial.sort_by(orthopt_common::row::cmp_rows);
+        par.sort_by(orthopt_common::row::cmp_rows);
+        assert_eq!(serial, par);
+        assert_eq!(serial.len(), 5);
+    }
+
+    #[test]
+    fn scalar_aggregate_on_empty_table_stays_scalar() {
+        use orthopt_ir::{AggFunc, ColumnMeta};
+        let c = catalog(0);
+        let agg = PhysExpr::HashAggregate {
+            kind: GroupKind::Scalar,
+            input: Box::new(scan()),
+            group_cols: vec![],
+            aggs: vec![AggDef::new(
+                ColumnMeta::new(ColId(10), "n", DataType::Int, false),
+                AggFunc::CountStar,
+                None,
+            )],
+        };
+        let plan = PhysExpr::Exchange {
+            input: Box::new(agg),
+        };
+        assert_eq!(run_at(&plan, &c, 4), vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn stats_slots_cover_the_subtree() {
+        let c = catalog(100);
+        let plan = PhysExpr::Exchange {
+            input: Box::new(PhysExpr::Filter {
+                input: Box::new(scan()),
+                predicate: ScalarExpr::eq(ScalarExpr::col(ColId(2)), ScalarExpr::lit(1i64)),
+            }),
+        };
+        let mut p = Pipeline::compile(&plan).unwrap();
+        assert_eq!(p.node_count(), 3); // exchange + filter + scan
+        p.set_parallelism(4);
+        p.execute(&c, &Bindings::new()).unwrap();
+        let stats = p.stats();
+        assert_eq!(stats[2].rows, 100, "scan rows summed across workers");
+        assert_eq!(stats[1].rows, 20, "filter rows summed across workers");
+        assert!(stats[2].workers > 0, "worker counters merged");
+    }
+}

@@ -190,6 +190,28 @@ pub enum PhysExpr {
         /// Maximum rows to emit.
         n: usize,
     },
+    /// Parallel-execution boundary: runs `input` across the worker pool
+    /// (morsel-split scans, partitioned hash-join builds, thread-local
+    /// partial aggregation — the paper's LocalGroupBy, §3.3, realized
+    /// physically) and gathers worker output deterministically. Falls
+    /// back to serial execution when the effective parallelism is 1 or
+    /// the subtree shape is not recognized by the exchange runtime.
+    Exchange {
+        /// Subtree to parallelize.
+        input: Box<PhysExpr>,
+    },
+    /// Worker-local table scan restricted to row ranges (morsels).
+    /// Created only by the exchange runtime, never by the optimizer.
+    MorselScan {
+        /// Table id.
+        table: TableId,
+        /// Base-column positions to read.
+        positions: Vec<usize>,
+        /// Output column ids (parallel to `positions`).
+        cols: Vec<ColId>,
+        /// Half-open `[start, end)` row ranges this worker owns.
+        ranges: Vec<(usize, usize)>,
+    },
 }
 
 impl PhysExpr {
@@ -247,6 +269,8 @@ impl PhysExpr {
                 cols
             }
             PhysExpr::ConstScan { cols, .. } => cols.clone(),
+            PhysExpr::Exchange { input } => input.out_cols(),
+            PhysExpr::MorselScan { cols, .. } => cols.clone(),
         }
     }
 
@@ -260,6 +284,7 @@ impl PhysExpr {
             | PhysExpr::RowNumber { input, .. }
             | PhysExpr::Sort { input, .. }
             | PhysExpr::Limit { input, .. }
+            | PhysExpr::Exchange { input }
             | PhysExpr::HashAggregate { input, .. } => input.node_count(),
             PhysExpr::HashJoin { left, right, .. }
             | PhysExpr::NLJoin { left, right, .. }

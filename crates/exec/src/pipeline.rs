@@ -58,6 +58,23 @@ impl Batch {
         Batch { cols, rows }
     }
 
+    /// Debug-asserts that the layout and every row have exactly `width`
+    /// columns. Stateful operators call this before concatenating a
+    /// batch into their buffers: `Batch`'s fields are public, so a
+    /// malformed literal can bypass [`Batch::new`]'s arity check and
+    /// would otherwise corrupt buffered state silently.
+    pub fn expect_width(&self, width: usize) {
+        debug_assert_eq!(
+            self.cols.len(),
+            width,
+            "batch layout width mismatch: expected {width} columns"
+        );
+        debug_assert!(
+            self.rows.iter().all(|r| r.len() == width),
+            "batch row arity mismatch: expected {width} columns"
+        );
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -77,14 +94,17 @@ pub struct ExecCtx<'a> {
     pub catalog: &'a Catalog,
     /// Scalar parameters and segment stack.
     pub binds: Rc<RefCell<Bindings>>,
+    /// Worker-pool size exchange operators may fan out to (1 = serial).
+    pub parallelism: usize,
 }
 
 impl<'a> ExecCtx<'a> {
-    /// A context over fresh bindings.
+    /// A context over fresh bindings, serial by default.
     pub fn new(catalog: &'a Catalog, binds: Bindings) -> ExecCtx<'a> {
         ExecCtx {
             catalog,
             binds: Rc::new(RefCell::new(binds)),
+            parallelism: 1,
         }
     }
 }
@@ -116,6 +136,7 @@ pub struct Pipeline {
     stats: Rc<RefCell<Vec<OpStats>>>,
     cached: Vec<usize>,
     batch_size: usize,
+    parallelism: usize,
 }
 
 impl Pipeline {
@@ -139,23 +160,57 @@ impl Pipeline {
             stats: c.stats,
             cached: c.cached,
             batch_size: batch_size.max(1),
+            parallelism: 1,
         })
+    }
+
+    /// Sets the worker-pool size exchange operators fan out to on the
+    /// next execution (min 1; plans without `Exchange` nodes ignore it).
+    pub fn set_parallelism(&mut self, n: usize) {
+        self.parallelism = n.max(1);
+    }
+
+    /// The configured worker-pool size.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Runs the pipeline to completion, materializing the result.
     /// Stats are reset at the start of each execution.
     pub fn execute(&mut self, catalog: &Catalog, binds: &Bindings) -> Result<Chunk> {
+        let mut rows = Vec::new();
+        self.execute_each(catalog, binds, |b| {
+            rows.extend(b.rows);
+            Ok(())
+        })?;
+        Ok(Chunk::new(self.cols.to_vec(), rows))
+    }
+
+    /// Runs the pipeline to completion, handing each produced batch to
+    /// `f` instead of materializing — the streaming entry point the
+    /// exchange runtime drives worker pipelines through. Stats are
+    /// reset at the start of each execution.
+    pub fn execute_each(
+        &mut self,
+        catalog: &Catalog,
+        binds: &Bindings,
+        mut f: impl FnMut(Batch) -> Result<()>,
+    ) -> Result<()> {
         for s in self.stats.borrow_mut().iter_mut() {
             *s = OpStats::default();
         }
-        let ctx = ExecCtx::new(catalog, binds.clone());
+        let ctx = ExecCtx {
+            catalog,
+            binds: Rc::new(RefCell::new(binds.clone())),
+            parallelism: self.parallelism,
+        };
         self.root.open(&ctx)?;
-        let mut rows = Vec::new();
         while let Some(b) = self.root.next_batch(&ctx)? {
-            rows.extend(b.rows);
+            b.expect_width(self.cols.len());
+            f(b)?;
         }
         self.root.close();
-        Ok(Chunk::new(self.cols.to_vec(), rows))
+        Ok(())
     }
 
     /// Output layout of the root operator.
@@ -198,7 +253,11 @@ fn pos_of(layout: &[ColId], id: ColId) -> Result<usize> {
 }
 
 /// Splits off up to `batch_size` rows from the front of `pending`.
-fn drain_pending(pending: &mut Vec<Row>, batch_size: usize, cols: &Rc<[ColId]>) -> Option<Batch> {
+pub(crate) fn drain_pending(
+    pending: &mut Vec<Row>,
+    batch_size: usize,
+    cols: &Rc<[ColId]>,
+) -> Option<Batch> {
     if pending.is_empty() {
         return None;
     }
@@ -216,7 +275,7 @@ fn drain_pending(pending: &mut Vec<Row>, batch_size: usize, cols: &Rc<[ColId]>) 
 
 /// What a subtree needs from its enclosing parameter scope.
 #[derive(Debug, Default)]
-struct FreeSet {
+pub(crate) struct FreeSet {
     /// Column ids resolved through outer bindings.
     cols: BTreeSet<ColId>,
     /// True if the subtree reads a segment bound outside it.
@@ -224,7 +283,7 @@ struct FreeSet {
 }
 
 impl FreeSet {
-    fn is_invariant(&self) -> bool {
+    pub(crate) fn is_invariant(&self) -> bool {
         self.cols.is_empty() && !self.segment
     }
 
@@ -254,9 +313,12 @@ impl FreeSet {
 /// Computes the outer parameters and segments a subtree depends on.
 /// A subtree with an empty [`FreeSet`] produces the same result on
 /// every rewind, so its materialization can be cached.
-fn free_inputs(p: &PhysExpr) -> FreeSet {
+pub(crate) fn free_inputs(p: &PhysExpr) -> FreeSet {
     match p {
-        PhysExpr::TableScan { .. } | PhysExpr::ConstScan { .. } => FreeSet::default(),
+        PhysExpr::TableScan { .. } | PhysExpr::ConstScan { .. } | PhysExpr::MorselScan { .. } => {
+            FreeSet::default()
+        }
+        PhysExpr::Exchange { input } => free_inputs(input),
         PhysExpr::IndexSeek { probes, .. } => FreeSet::default().add_exprs(probes, &[]),
         PhysExpr::Filter { input, predicate } => {
             free_inputs(input).add_exprs([predicate], &input.out_cols())
@@ -348,6 +410,7 @@ impl Compiler {
                     | PhysExpr::ConstScan { .. }
                     | PhysExpr::IndexSeek { .. }
                     | PhysExpr::SegmentScan { .. }
+                    | PhysExpr::MorselScan { .. }
             )
             && free_inputs(p).is_invariant();
         if cacheable {
@@ -664,6 +727,38 @@ impl Compiler {
                 done: false,
                 batch_size: bs,
             }),
+            PhysExpr::Exchange { input } => {
+                // The subtree is not compiled here: the exchange runtime
+                // builds per-worker pipelines at execution time. Reserve
+                // one stats slot per subtree node so worker-side counters
+                // land at the pre-order ids `explain_phys` prints.
+                let count = input.node_count();
+                let base = self.next_id;
+                self.next_id += count;
+                self.stats
+                    .borrow_mut()
+                    .extend(std::iter::repeat_with(OpStats::default).take(count));
+                Box::new(crate::parallel::ExchangeOp::new(
+                    (**input).clone(),
+                    base,
+                    self.stats.clone(),
+                    bs,
+                ))
+            }
+            PhysExpr::MorselScan {
+                table,
+                positions,
+                cols,
+                ranges,
+            } => Box::new(MorselScanOp {
+                table: *table,
+                positions: positions.clone(),
+                cols: rc_cols(cols),
+                ranges: ranges.clone(),
+                range_idx: 0,
+                cursor: 0,
+                batch_size: bs,
+            }),
         };
         Ok(Box::new(Metered {
             op,
@@ -750,6 +845,7 @@ impl Operator for CacheOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.filled {
             while let Some(b) = self.input.next_batch(ctx)? {
+                b.expect_width(b.cols.len());
                 self.cols.get_or_insert_with(|| b.cols.clone());
                 self.rows.extend(b.rows);
             }
@@ -799,6 +895,48 @@ impl Operator for ScanOp {
             .collect();
         self.cursor = end;
         Ok(Some(Batch::new(self.cols.clone(), rows)))
+    }
+}
+
+/// Worker-local scan over a static set of row ranges (morsels); see
+/// [`crate::parallel`] for how ranges are assigned.
+struct MorselScanOp {
+    table: TableId,
+    positions: Vec<usize>,
+    cols: Rc<[ColId]>,
+    ranges: Vec<(usize, usize)>,
+    range_idx: usize,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl Operator for MorselScanOp {
+    fn open(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.range_idx = 0;
+        self.cursor = self.ranges.first().map_or(0, |r| r.0);
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let all = ctx.catalog.table(self.table).rows();
+        while let Some(&(_, end)) = self.ranges.get(self.range_idx) {
+            let end = end.min(all.len());
+            if self.cursor >= end {
+                self.range_idx += 1;
+                if let Some(&(start, _)) = self.ranges.get(self.range_idx) {
+                    self.cursor = start;
+                }
+                continue;
+            }
+            let stop = (self.cursor + self.batch_size).min(end);
+            let rows = all[self.cursor..stop]
+                .iter()
+                .map(|r| self.positions.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            self.cursor = stop;
+            return Ok(Some(Batch::new(self.cols.clone(), rows)));
+        }
+        Ok(None)
     }
 }
 
@@ -1130,6 +1268,7 @@ impl Operator for HashJoinOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.built {
             while let Some(b) = self.right.next_batch(ctx)? {
+                b.expect_width(self.right_width);
                 for rr in b.rows {
                     if let Some(key) = join_key(&rr, &self.right_pos) {
                         self.table.entry(key).or_default().push(rr);
@@ -1221,6 +1360,7 @@ impl Operator for NLJoinOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.right_built {
             while let Some(b) = self.right.next_batch(ctx)? {
+                b.expect_width(self.right_width);
                 self.right_rows.extend(b.rows);
             }
             self.right_built = true;
@@ -1278,6 +1418,7 @@ impl Operator for ApplyLoopOp {
             let ictx = ExecCtx {
                 catalog: ctx.catalog,
                 binds: self.inner_binds.clone(),
+                parallelism: ctx.parallelism,
             };
             for lr in batch.rows {
                 {
@@ -1289,6 +1430,7 @@ impl Operator for ApplyLoopOp {
                 self.inner.open(&ictx)?;
                 let mut inner_rows = Vec::new();
                 while let Some(b) = self.inner.next_batch(&ictx)? {
+                    b.expect_width(self.right_width);
                     inner_rows.extend(b.rows);
                 }
                 match self.kind {
@@ -1366,6 +1508,7 @@ impl Operator for SegmentExecOp {
             // input row before any segment runs.
             let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
             while let Some(b) = self.input.next_batch(ctx)? {
+                b.expect_width(self.input_cols.len());
                 for r in b.rows {
                     let key: Vec<Value> = self.seg_pos.iter().map(|&i| r[i].clone()).collect();
                     match index.get(&key) {
@@ -1390,6 +1533,7 @@ impl Operator for SegmentExecOp {
             let ictx = ExecCtx {
                 catalog: ctx.catalog,
                 binds: self.inner_binds.clone(),
+                parallelism: ctx.parallelism,
             };
             let run = (|| -> Result<()> {
                 self.inner.open(&ictx)?;
@@ -1497,6 +1641,7 @@ impl Operator for SortOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.sorted {
             while let Some(b) = self.input.next_batch(ctx)? {
+                b.expect_width(self.cols.len());
                 self.buffered.extend(b.rows);
             }
             let by = &self.by_pos;
@@ -1543,6 +1688,7 @@ impl Operator for LimitOp {
             // Drain the child completely so errors past the cutoff still
             // surface, matching materialized semantics.
             while let Some(b) = self.input.next_batch(ctx)? {
+                b.expect_width(self.cols.len());
                 let room = self.n.saturating_sub(self.buffered.len());
                 self.buffered.extend(b.rows.into_iter().take(room));
             }
@@ -1577,6 +1723,7 @@ impl Operator for AssertMax1Op {
         // Materialize first: input errors take precedence over the
         // cardinality violation, as in the reference semantics.
         while let Some(b) = self.input.next_batch(ctx)? {
+            b.expect_width(self.cols.len());
             self.buffered.extend(b.rows);
         }
         self.done = true;
@@ -1820,5 +1967,56 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(out.cols, vec![ColId(1)]);
         assert_eq!(p.stats()[0].batches, 0);
+    }
+
+    /// `Batch`'s fields are public, so a literal can bypass the arity
+    /// `debug_assert` in [`Batch::new`]. Stateful operators must catch
+    /// the mismatch on their own batch-concatenation path.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn malformed_batch_caught_on_concat_path() {
+        struct LyingOp {
+            cols: Rc<[ColId]>,
+            fired: bool,
+        }
+        impl Operator for LyingOp {
+            fn open(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+                self.fired = false;
+                Ok(())
+            }
+            fn next_batch(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+                if self.fired {
+                    return Ok(None);
+                }
+                self.fired = true;
+                // Literal construction: two-column layout, one-column row.
+                Ok(Some(Batch {
+                    cols: self.cols.clone(),
+                    rows: vec![vec![Value::Int(1)]],
+                }))
+            }
+        }
+        let layout = rc_cols(&[ColId(1), ColId(2)]);
+        let mut sort = SortOp {
+            input: Box::new(LyingOp {
+                cols: layout.clone(),
+                fired: false,
+            }),
+            by_pos: vec![(0, false)],
+            cols: layout,
+            buffered: Vec::new(),
+            sorted: false,
+            batch_size: 16,
+        };
+        let catalog = catalog();
+        let ctx = ExecCtx::new(&catalog, Bindings::new());
+        sort.open(&ctx).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = sort.next_batch(&ctx);
+        }));
+        assert!(
+            caught.is_err(),
+            "arity mismatch must panic on the buffering path"
+        );
     }
 }

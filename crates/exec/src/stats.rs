@@ -18,17 +18,43 @@ pub struct OpStats {
     pub rows: u64,
     /// Inclusive wall-clock time spent in `open` + `next_batch`.
     pub elapsed: Duration,
+    /// Number of workers that contributed to these counters (0 for
+    /// purely serial execution; set by the exchange runtime when
+    /// per-worker counters are merged).
+    pub workers: u64,
+    /// Largest per-worker row count folded into `rows` — exposes skew
+    /// across morsel assignments.
+    pub worker_rows_max: u64,
 }
 
 impl OpStats {
     /// Renders the stats as a compact bracketed annotation.
     pub fn render(&self) -> String {
-        format!(
+        let mut s = format!(
             "rows={} batches={} opens={} time={:.3}ms",
             self.rows,
             self.batches,
             self.opens,
             self.elapsed.as_secs_f64() * 1e3,
-        )
+        );
+        if self.workers > 0 {
+            s.push_str(&format!(
+                " workers={} max/worker={}",
+                self.workers, self.worker_rows_max
+            ));
+        }
+        s
+    }
+
+    /// Folds one worker's counters into this (merged) entry: additive
+    /// counts, max elapsed (workers run concurrently, so the slowest
+    /// worker bounds the wall clock).
+    pub fn absorb_worker(&mut self, w: &OpStats) {
+        self.opens += w.opens;
+        self.batches += w.batches;
+        self.rows += w.rows;
+        self.elapsed = self.elapsed.max(w.elapsed);
+        self.workers += 1;
+        self.worker_rows_max = self.worker_rows_max.max(w.rows);
     }
 }

@@ -40,6 +40,25 @@ pub mod coef {
     pub const SORT_FACTOR: f64 = 0.3;
     /// Row-number / assert per row.
     pub const TRIVIAL_ROW: f64 = 0.05;
+    /// Fixed cost of spinning up one exchange worker (thread spawn,
+    /// plan clone, broadcast of the build side).
+    pub const EXCHANGE_SETUP: f64 = 500.0;
+    /// Gathering one row through the exchange.
+    pub const EXCHANGE_ROW: f64 = 0.1;
+}
+
+/// Fraction of a subtree's work the exchange runtime can actually
+/// spread across workers (the rest — build sides, merge, gather —
+/// stays serial; a crude Amdahl split).
+const EXCHANGE_PARALLEL_FRACTION: f64 = 0.85;
+
+/// Cost of running a subtree of serial cost `serial` under an exchange
+/// with `workers` workers, gathering `rows_out` result rows.
+pub fn exchange_cost(serial: f64, rows_out: f64, workers: usize) -> f64 {
+    let w = workers.max(1) as f64;
+    serial * ((1.0 - EXCHANGE_PARALLEL_FRACTION) + EXCHANGE_PARALLEL_FRACTION / w)
+        + coef::EXCHANGE_SETUP * w
+        + rows_out.max(0.0) * coef::EXCHANGE_ROW
 }
 
 /// Cost of sorting `n` rows.

@@ -7,7 +7,7 @@ use orthopt_exec::PhysExpr;
 use orthopt_ir::{GroupKind, RelExpr, ScalarExpr};
 
 use crate::cardinality::Estimator;
-use crate::cost::{coef, sort_cost};
+use crate::cost::{coef, exchange_cost, sort_cost};
 use crate::memo::{GroupId, Memo};
 
 /// A costed physical plan.
@@ -25,16 +25,21 @@ pub struct Planner<'a> {
     est: &'a Estimator,
     cache: HashMap<usize, Costed>,
     in_progress: HashSet<usize>,
+    /// Worker-pool size exchanges may fan out to (1 = plan serially).
+    workers: usize,
 }
 
 impl<'a> Planner<'a> {
-    /// Creates a planner over an explored memo.
-    pub fn new(memo: &'a Memo, est: &'a Estimator) -> Self {
+    /// Creates a planner over an explored memo. `workers > 1` lets the
+    /// planner wrap eligible subtrees in `Exchange` nodes when the cost
+    /// model says parallelism pays.
+    pub fn new(memo: &'a Memo, est: &'a Estimator, workers: usize) -> Self {
         Planner {
             memo,
             est,
             cache: HashMap::new(),
             in_progress: HashSet::new(),
+            workers: workers.max(1),
         }
     }
 
@@ -62,7 +67,22 @@ impl<'a> Planner<'a> {
             }
         }
         self.in_progress.remove(&gid.0);
-        let best = best.ok_or_else(|| Error::Plan("no implementable alternative".into()))?;
+        let mut best = best.ok_or_else(|| Error::Plan("no implementable alternative".into()))?;
+        // Consider a parallel boundary over the chosen plan: cheapest
+        // serial plan, exchanged, if the Amdahl split beats the setup
+        // cost. Children already wrapped make parents ineligible, so
+        // this greedy bottom-up placement never nests exchanges.
+        if self.workers > 1 {
+            if let Some(wrapped) = orthopt_exec::wrap_exchange(&best.plan) {
+                let cost = exchange_cost(best.cost, self.card(gid), self.workers);
+                if cost < best.cost {
+                    best = Costed {
+                        plan: wrapped,
+                        cost,
+                    };
+                }
+            }
+        }
         self.cache.insert(gid.0, best.clone());
         Ok(best)
     }

@@ -27,6 +27,9 @@ pub struct OptimizerConfig {
     pub correlated_execution: bool,
     /// Safety valve on total memo expressions.
     pub max_exprs: usize,
+    /// Worker-pool size for parallel execution; above 1 the planner
+    /// places `Exchange` nodes where the cost model says they pay.
+    pub parallelism: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -38,6 +41,7 @@ impl Default for OptimizerConfig {
             segment_apply: true,
             correlated_execution: true,
             max_exprs: 20_000,
+            parallelism: 1,
         }
     }
 }
@@ -52,6 +56,7 @@ impl OptimizerConfig {
             segment_apply: false,
             correlated_execution: false,
             max_exprs: 0,
+            parallelism: 1,
         }
     }
 }
@@ -104,7 +109,7 @@ pub fn optimize(
     }
 
     let root_card = est.card(&memo.group(root).repr);
-    let mut planner = Planner::new(&memo, &est);
+    let mut planner = Planner::new(&memo, &est, config.parallelism);
     let best = planner.best(root)?;
     Ok(with_presentation(best, order_by, None, root_card).plan)
 }
@@ -171,7 +176,7 @@ pub fn optimize_with_presentation(
         }
     }
     let root_card = est.card(&memo.group(root).repr);
-    let mut planner = Planner::new(&memo, &est);
+    let mut planner = Planner::new(&memo, &est, config.parallelism);
     let best = planner.best(root)?;
     let stats = SearchStats {
         groups: memo.group_count(),

@@ -60,8 +60,12 @@ fn derived_table_form_flattens_completely_too() {
 fn search_costs_converge_across_formulations() {
     // Beyond isomorphic normal forms: with the full rule set, the
     // *chosen* plans of all three formulations cost the same (the rules
-    // connect the Figure-1 lattice in both directions).
-    let db = Database::tpch(0.002).unwrap();
+    // connect the Figure-1 lattice in both directions). Pinned to
+    // serial planning: exchange placement is a greedy post-pass whose
+    // opportunities depend on physical plan shape, so its savings are
+    // not covered by the §1.2 convergence claim.
+    let mut db = Database::tpch(0.002).unwrap();
+    db.set_parallelism(1);
     let forms = formulations(800_000.0);
     let costs: Vec<f64> = forms
         .iter()
