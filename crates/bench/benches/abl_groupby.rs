@@ -34,7 +34,7 @@ fn abl_groupby(c: &mut Criterion) {
         for level in [OptimizerLevel::Decorrelated, OptimizerLevel::GroupByReorder] {
             let compiled = plan(&db, &sql, level);
             group.bench_with_input(BenchmarkId::new(level.name(), name), &compiled, |b, p| {
-                b.iter(|| run(&db, p))
+                b.iter(|| run(&db, p));
             });
         }
     }

@@ -23,7 +23,7 @@ fn abl_localagg(c: &mut Criterion) {
         for level in [OptimizerLevel::GroupByReorder, OptimizerLevel::Full] {
             let compiled = plan(&db, sql, level);
             group.bench_with_input(BenchmarkId::new(level.name(), scale), &compiled, |b, p| {
-                b.iter(|| run(&db, p))
+                b.iter(|| run(&db, p));
             });
         }
     }

@@ -30,7 +30,7 @@ fn abl_segment(c: &mut Criterion) {
         for level in [OptimizerLevel::GroupByReorder, OptimizerLevel::Full] {
             let compiled = plan(&db, sql, level);
             group.bench_with_input(BenchmarkId::new(level.name(), name), &compiled, |b, p| {
-                b.iter(|| run(&db, p))
+                b.iter(|| run(&db, p));
             });
         }
     }

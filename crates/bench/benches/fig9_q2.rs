@@ -20,7 +20,7 @@ fn fig9_q2(c: &mut Criterion) {
         for level in OptimizerLevel::ALL {
             let compiled = plan(&db, &sql, level);
             group.bench_with_input(BenchmarkId::new(level.name(), scale), &compiled, |b, p| {
-                b.iter(|| run(&db, p))
+                b.iter(|| run(&db, p));
             });
         }
     }

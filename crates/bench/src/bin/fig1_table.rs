@@ -64,8 +64,7 @@ fn main() {
         let winner = times
             .iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(n, _)| *n)
-            .unwrap_or("-");
+            .map_or("-", |(n, _)| *n);
         cells.push(winner.to_string());
         row(&cells);
     }

@@ -48,8 +48,8 @@ fn main() {
                 times.push(ms.max(1e-3));
                 cells.push(format!("{ms:.2}"));
             }
-            let worst = times.iter().cloned().fold(f64::MIN, f64::max);
-            let best = times.iter().cloned().fold(f64::MAX, f64::min);
+            let worst = times.iter().copied().fold(f64::MIN, f64::max);
+            let best = times.iter().copied().fold(f64::MAX, f64::min);
             cells.push(format!("{:.1}x", worst / best));
             row(&cells);
         }

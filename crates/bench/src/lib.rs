@@ -40,7 +40,7 @@ pub fn time_execution_ms(db: &Database, plan: &Plan) -> f64 {
 pub fn median_ms(db: &Database, plan: &Plan, n: usize) -> f64 {
     let _ = time_execution_ms(db, plan); // warm-up
     let mut samples: Vec<f64> = (0..n.max(1)).map(|_| time_execution_ms(db, plan)).collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 

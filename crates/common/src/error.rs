@@ -37,6 +37,10 @@ pub enum Error {
     UnknownColumn(String),
     /// Invariant violation inside the engine; always a bug.
     Internal(String),
+    /// A plan-invariant check failed after a rewrite or optimizer rule.
+    /// The message carries the blame report: rule name, identity number,
+    /// offending node and before/after plan explains.
+    Plancheck(String),
 }
 
 impl fmt::Display for Error {
@@ -55,6 +59,7 @@ impl fmt::Display for Error {
             Error::UnknownTable(t) => write!(f, "unknown table: {t}"),
             Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::Plancheck(m) => write!(f, "plan invariant violation: {m}"),
         }
     }
 }

@@ -465,7 +465,7 @@ mod tests {
     #[test]
     fn total_cmp_sorts_null_first() {
         let mut v = [Value::Int(2), Value::Null, Value::Int(1)];
-        v.sort_by(|a, b| a.total_cmp(b));
+        v.sort_by(super::Value::total_cmp);
         assert!(v[0].is_null());
         assert_eq!(v[1], Value::Int(1));
     }

@@ -43,6 +43,7 @@ pub use orthopt_common as common;
 pub use orthopt_exec as exec;
 pub use orthopt_ir as ir;
 pub use orthopt_optimizer as optimizer;
+pub use orthopt_plancheck as plancheck;
 pub use orthopt_rewrite as rewrite;
 pub use orthopt_sql as sql;
 pub use orthopt_storage as storage;
@@ -164,11 +165,11 @@ pub struct QueryResult {
 impl QueryResult {
     /// Renders the result as a fixed-width text table (examples, REPLs).
     pub fn to_table(&self) -> String {
-        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
         let cells: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .map(|r| r.iter().map(ToString::to_string).collect())
             .collect();
         for row in &cells {
             for (i, c) in row.iter().enumerate() {
@@ -348,12 +349,44 @@ impl Database {
         present(chunk, &bound.output)
     }
 
+    /// Statically verifies a compiled plan: the normalized logical tree
+    /// is checked in closed mode (schema/arity propagation, correlation
+    /// scoping, GroupBy soundness) and the physical tree for legality
+    /// (Exchange shape grammar, operator wiring). Returns a one-line
+    /// summary on success; violations come back as
+    /// [`Error::Plancheck`](orthopt_common::Error::Plancheck) with the
+    /// full report.
+    pub fn check_plan(&self, plan: &Plan) -> Result<String> {
+        let mut violations = orthopt_plancheck::check_closed(&plan.logical);
+        violations.extend(orthopt_plancheck::check_physical(&plan.physical));
+        if violations.is_empty() {
+            let mut logical_nodes = 0usize;
+            plan.logical.walk(&mut |_| logical_nodes += 1);
+            return Ok(format!(
+                "plancheck: ok ({logical_nodes} logical nodes, {} physical nodes verified)",
+                plan.physical.node_count()
+            ));
+        }
+        Err(orthopt_plancheck::BlameReport {
+            rule: "Database::check_plan".to_owned(),
+            identity: None,
+            violations,
+            before: orthopt_ir::explain::explain(&plan.logical),
+            after: orthopt_exec::explain_phys::explain_phys(&plan.physical),
+        }
+        .into_error())
+    }
+
     /// EXPLAIN ANALYZE: compiles the query, runs it through the
     /// streaming pipeline, and renders the physical plan annotated with
     /// per-operator rows / batches / opens / time (plus which subtrees
-    /// were cached as parameter-invariant).
+    /// were cached as parameter-invariant) and a plancheck summary.
     pub fn explain_analyze(&self, sql: &str, level: OptimizerLevel) -> Result<String> {
         let plan = self.plan(sql, level)?;
+        let check = match self.check_plan(&plan) {
+            Ok(summary) => summary,
+            Err(e) => format!("plancheck: FAILED — {e}"),
+        };
         let mut pipeline = Pipeline::compile(&plan.physical)?;
         pipeline.set_parallelism(self.parallelism);
         let started = std::time::Instant::now();
@@ -365,7 +398,7 @@ impl Database {
             pipeline.cached_nodes(),
         );
         Ok(format!(
-            "== physical (analyzed: {} rows, {:.3}ms total, batch size {}) ==\n{}",
+            "== physical (analyzed: {} rows, {:.3}ms total, batch size {}) ==\n{}== {check} ==",
             chunk.len(),
             elapsed.as_secs_f64() * 1e3,
             pipeline.batch_size(),

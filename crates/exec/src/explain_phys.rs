@@ -122,7 +122,7 @@ fn label(plan: &PhysExpr) -> String {
             probes,
             ..
         } => {
-            let ps: Vec<String> = probes.iter().map(|p| p.to_string()).collect();
+            let ps: Vec<String> = probes.iter().map(ToString::to_string).collect();
             format!(
                 "IndexSeek {table} on {index_cols:?} probe ({})",
                 ps.join(", ")
@@ -134,7 +134,7 @@ fn label(plan: &PhysExpr) -> String {
             format!("Compute [{}]", ds.join(", "))
         }
         PhysExpr::ProjectCols { cols, .. } => {
-            let cs: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+            let cs: Vec<String> = cols.iter().map(ToString::to_string).collect();
             format!("Project [{}]", cs.join(", "))
         }
         PhysExpr::HashJoin {
@@ -160,11 +160,11 @@ fn label(plan: &PhysExpr) -> String {
             kind, predicate, ..
         } => format!("NestedLoop{kind:?} {predicate}"),
         PhysExpr::ApplyLoop { kind, params, .. } => {
-            let ps: Vec<String> = params.iter().map(|c| c.to_string()).collect();
+            let ps: Vec<String> = params.iter().map(ToString::to_string).collect();
             format!("ApplyLoop{kind:?} (bind: {})", ps.join(", "))
         }
         PhysExpr::SegmentExec { segment_cols, .. } => {
-            let cs: Vec<String> = segment_cols.iter().map(|c| c.to_string()).collect();
+            let cs: Vec<String> = segment_cols.iter().map(ToString::to_string).collect();
             format!("SegmentExec [{}]", cs.join(", "))
         }
         PhysExpr::SegmentScan { cols } => {
@@ -177,8 +177,8 @@ fn label(plan: &PhysExpr) -> String {
             aggs,
             ..
         } => {
-            let gs: Vec<String> = group_cols.iter().map(|c| c.to_string()).collect();
-            let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+            let gs: Vec<String> = group_cols.iter().map(ToString::to_string).collect();
+            let as_: Vec<String> = aggs.iter().map(ToString::to_string).collect();
             format!(
                 "HashAggregate({kind:?}) [{}] [{}]",
                 gs.join(", "),

@@ -38,7 +38,7 @@ use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::time::Instant;
 
-use orthopt_common::{ColId, Result, Row, Value};
+use orthopt_common::{ColId, Error, Result, Row, Value};
 use orthopt_ir::{AggDef, GroupKind, JoinKind, ScalarExpr};
 use orthopt_storage::Catalog;
 
@@ -435,7 +435,10 @@ where
     let joined: Vec<std::thread::Result<Result<T>>> = std::thread::scope(|s| {
         let f = &f;
         let handles: Vec<_> = plans.into_iter().map(|p| s.spawn(move || f(p))).collect();
-        handles.into_iter().map(|h| h.join()).collect()
+        handles
+            .into_iter()
+            .map(std::thread::ScopedJoinHandle::join)
+            .collect()
     });
     let mut out = Vec::with_capacity(joined.len());
     for r in joined {
@@ -445,6 +448,23 @@ where
         }
     }
     Ok(out)
+}
+
+/// Verifies every gathered row matches the expected output layout
+/// before it enters a shared buffer. Worker plans are synthesized by
+/// plan surgery ([`substitute`]), so a substitution bug would otherwise
+/// corrupt the merged stream silently; like
+/// [`Batch::check_width`](crate::pipeline::Batch::check_width) this
+/// runs in release builds too and reports through `common::error`
+/// rather than panicking.
+fn check_gathered(rows: &[Row], width: usize, site: &str) -> Result<()> {
+    match rows.iter().find(|r| r.len() != width) {
+        None => Ok(()),
+        Some(r) => Err(Error::internal(format!(
+            "exchange {site}: gathered row has {} columns, layout expects {width}",
+            r.len()
+        ))),
+    }
 }
 
 #[allow(dead_code)]
@@ -518,6 +538,7 @@ impl ExchangeOp {
             slot.elapsed += s.elapsed;
         }
         drop(stats);
+        check_gathered(&chunk.rows, self.out_cols.len(), "serial fallback")?;
         self.pending.extend(chunk.rows);
         Ok(())
     }
@@ -538,8 +559,10 @@ impl ExchangeOp {
             slot.rows += s.rows;
             slot.elapsed += s.elapsed;
         }
+        let cols = build.out_cols();
+        check_gathered(&chunk.rows, cols.len(), "build broadcast")?;
         Ok(BuildRows {
-            cols: build.out_cols(),
+            cols,
             rows: chunk.rows,
         })
     }
@@ -601,7 +624,8 @@ impl ExchangeOp {
             Some(b) => Some(self.run_build(ctx, b)?),
             None => None,
         };
-        let align = self.plan.node_count() - build_side(&self.plan).map_or(0, |b| b.node_count());
+        let align = self.plan.node_count()
+            - build_side(&self.plan).map_or(0, super::physical::PhysExpr::node_count);
         let ranges = worker_ranges(driving_len(&self.plan, ctx.catalog), workers);
         let plans: Vec<PhysExpr> = ranges
             .iter()
@@ -617,6 +641,7 @@ impl ExchangeOp {
         let per_worker: Vec<Vec<OpStats>> = results.iter().map(|(_, s)| s.clone()).collect();
         self.absorb_workers(0, align, &per_worker);
         for (rows, _) in results {
+            check_gathered(&rows, self.out_cols.len(), "pipelined gather")?;
             self.pending.extend(rows);
         }
         Ok(())
@@ -742,6 +767,7 @@ impl ExchangeOp {
         for (rows, _) in results {
             total += rows.len();
             max = max.max(rows.len() as u64);
+            check_gathered(&rows, self.out_cols.len(), "repartition gather")?;
             self.pending.extend(rows);
         }
         self.synthesize_root(total, t.elapsed(), workers, max);
@@ -780,7 +806,8 @@ impl ExchangeOp {
                     .expect("group column in layout")
             })
             .collect();
-        let align = input.node_count() - build_side(input).map_or(0, |b| b.node_count());
+        let align =
+            input.node_count() - build_side(input).map_or(0, super::physical::PhysExpr::node_count);
         let ranges = worker_ranges(driving_len(input, ctx.catalog), workers);
         let plans: Vec<PhysExpr> = ranges
             .iter()
@@ -828,6 +855,7 @@ impl ExchangeOp {
             .unwrap_or_else(|| GroupedAggState::new(aggs))
             .finish(kind);
         self.synthesize_root(rows.len(), t.elapsed(), workers, max);
+        check_gathered(&rows, self.out_cols.len(), "partial-agg merge")?;
         self.pending.extend(rows);
         Ok(())
     }

@@ -58,21 +58,28 @@ impl Batch {
         Batch { cols, rows }
     }
 
-    /// Debug-asserts that the layout and every row have exactly `width`
+    /// Checks that the layout and every row have exactly `width`
     /// columns. Stateful operators call this before concatenating a
     /// batch into their buffers: `Batch`'s fields are public, so a
     /// malformed literal can bypass [`Batch::new`]'s arity check and
-    /// would otherwise corrupt buffered state silently.
-    pub fn expect_width(&self, width: usize) {
-        debug_assert_eq!(
-            self.cols.len(),
-            width,
-            "batch layout width mismatch: expected {width} columns"
-        );
-        debug_assert!(
-            self.rows.iter().all(|r| r.len() == width),
-            "batch row arity mismatch: expected {width} columns"
-        );
+    /// would otherwise corrupt buffered state silently. Unlike the
+    /// `debug_assert` in [`Batch::new`], this runs in release builds
+    /// too and reports through [`Error::Internal`] rather than
+    /// panicking — a malformed batch aborts the query, not the process.
+    pub fn check_width(&self, width: usize) -> Result<()> {
+        if self.cols.len() != width {
+            return Err(Error::internal(format!(
+                "batch layout width mismatch: expected {width} columns, layout has {}",
+                self.cols.len()
+            )));
+        }
+        if let Some(r) = self.rows.iter().find(|r| r.len() != width) {
+            return Err(Error::internal(format!(
+                "batch row arity mismatch: expected {width} columns, row has {}",
+                r.len()
+            )));
+        }
+        Ok(())
     }
 
     /// Number of rows.
@@ -206,7 +213,7 @@ impl Pipeline {
         };
         self.root.open(&ctx)?;
         while let Some(b) = self.root.next_batch(&ctx)? {
-            b.expect_width(self.cols.len());
+            b.check_width(self.cols.len())?;
             f(b)?;
         }
         self.root.close();
@@ -845,7 +852,7 @@ impl Operator for CacheOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.filled {
             while let Some(b) = self.input.next_batch(ctx)? {
-                b.expect_width(b.cols.len());
+                b.check_width(b.cols.len())?;
                 self.cols.get_or_insert_with(|| b.cols.clone());
                 self.rows.extend(b.rows);
             }
@@ -1268,7 +1275,7 @@ impl Operator for HashJoinOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.built {
             while let Some(b) = self.right.next_batch(ctx)? {
-                b.expect_width(self.right_width);
+                b.check_width(self.right_width)?;
                 for rr in b.rows {
                     if let Some(key) = join_key(&rr, &self.right_pos) {
                         self.table.entry(key).or_default().push(rr);
@@ -1360,7 +1367,7 @@ impl Operator for NLJoinOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.right_built {
             while let Some(b) = self.right.next_batch(ctx)? {
-                b.expect_width(self.right_width);
+                b.check_width(self.right_width)?;
                 self.right_rows.extend(b.rows);
             }
             self.right_built = true;
@@ -1430,7 +1437,7 @@ impl Operator for ApplyLoopOp {
                 self.inner.open(&ictx)?;
                 let mut inner_rows = Vec::new();
                 while let Some(b) = self.inner.next_batch(&ictx)? {
-                    b.expect_width(self.right_width);
+                    b.check_width(self.right_width)?;
                     inner_rows.extend(b.rows);
                 }
                 match self.kind {
@@ -1508,7 +1515,7 @@ impl Operator for SegmentExecOp {
             // input row before any segment runs.
             let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
             while let Some(b) = self.input.next_batch(ctx)? {
-                b.expect_width(self.input_cols.len());
+                b.check_width(self.input_cols.len())?;
                 for r in b.rows {
                     let key: Vec<Value> = self.seg_pos.iter().map(|&i| r[i].clone()).collect();
                     match index.get(&key) {
@@ -1641,7 +1648,7 @@ impl Operator for SortOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.sorted {
             while let Some(b) = self.input.next_batch(ctx)? {
-                b.expect_width(self.cols.len());
+                b.check_width(self.cols.len())?;
                 self.buffered.extend(b.rows);
             }
             let by = &self.by_pos;
@@ -1688,7 +1695,7 @@ impl Operator for LimitOp {
             // Drain the child completely so errors past the cutoff still
             // surface, matching materialized semantics.
             while let Some(b) = self.input.next_batch(ctx)? {
-                b.expect_width(self.cols.len());
+                b.check_width(self.cols.len())?;
                 let room = self.n.saturating_sub(self.buffered.len());
                 self.buffered.extend(b.rows.into_iter().take(room));
             }
@@ -1723,7 +1730,7 @@ impl Operator for AssertMax1Op {
         // Materialize first: input errors take precedence over the
         // cardinality violation, as in the reference semantics.
         while let Some(b) = self.input.next_batch(ctx)? {
-            b.expect_width(self.cols.len());
+            b.check_width(self.cols.len())?;
             self.buffered.extend(b.rows);
         }
         self.done = true;
@@ -1971,9 +1978,9 @@ mod tests {
 
     /// `Batch`'s fields are public, so a literal can bypass the arity
     /// `debug_assert` in [`Batch::new`]. Stateful operators must catch
-    /// the mismatch on their own batch-concatenation path.
+    /// the mismatch on their own batch-concatenation path — in release
+    /// builds too, as a query error rather than a panic.
     #[test]
-    #[cfg(debug_assertions)]
     fn malformed_batch_caught_on_concat_path() {
         struct LyingOp {
             cols: Rc<[ColId]>,
@@ -2011,12 +2018,12 @@ mod tests {
         let catalog = catalog();
         let ctx = ExecCtx::new(&catalog, Bindings::new());
         sort.open(&ctx).unwrap();
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = sort.next_batch(&ctx);
-        }));
+        let err = sort
+            .next_batch(&ctx)
+            .expect_err("arity mismatch must error on the buffering path");
         assert!(
-            caught.is_err(),
-            "arity mismatch must panic on the buffering path"
+            matches!(err, Error::Internal(ref m) if m.contains("arity")),
+            "unexpected error: {err}"
         );
     }
 }

@@ -54,7 +54,7 @@ fn fmt_rel(rel: &RelExpr, depth: usize, out: &mut String) {
             fmt_rel(input, depth + 1, out);
         }
         RelExpr::Project { input, cols } => {
-            let ids: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+            let ids: Vec<String> = cols.iter().map(ToString::to_string).collect();
             let _ = writeln!(out, "Project [{}]", ids.join(", "));
             fmt_rel(input, depth + 1, out);
         }
@@ -69,7 +69,7 @@ fn fmt_rel(rel: &RelExpr, depth: usize, out: &mut String) {
             fmt_rel(right, depth + 1, out);
         }
         RelExpr::Apply { kind, left, right } => {
-            let params: Vec<String> = right.free_cols().iter().map(|c| c.to_string()).collect();
+            let params: Vec<String> = right.free_cols().iter().map(ToString::to_string).collect();
             let _ = writeln!(out, "{kind} (bind: {})", params.join(", "));
             fmt_rel(left, depth + 1, out);
             fmt_rel(right, depth + 1, out);
@@ -79,7 +79,7 @@ fn fmt_rel(rel: &RelExpr, depth: usize, out: &mut String) {
             segment_cols,
             inner,
         } => {
-            let segs: Vec<String> = segment_cols.iter().map(|c| c.to_string()).collect();
+            let segs: Vec<String> = segment_cols.iter().map(ToString::to_string).collect();
             let _ = writeln!(out, "SegmentApply [{}]", segs.join(", "));
             fmt_rel(input, depth + 1, out);
             fmt_rel(inner, depth + 1, out);
@@ -97,8 +97,8 @@ fn fmt_rel(rel: &RelExpr, depth: usize, out: &mut String) {
             group_cols,
             aggs,
         } => {
-            let gs: Vec<String> = group_cols.iter().map(|c| c.to_string()).collect();
-            let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+            let gs: Vec<String> = group_cols.iter().map(ToString::to_string).collect();
+            let as_: Vec<String> = aggs.iter().map(ToString::to_string).collect();
             match kind {
                 GroupKind::Scalar => {
                     let _ = writeln!(out, "ScalarGroupBy [{}]", as_.join(", "));

@@ -27,7 +27,9 @@ pub mod props;
 pub mod relop;
 pub mod scalar;
 pub mod visit;
+pub mod witness;
 
 pub use agg::{AggDef, AggFunc};
 pub use relop::{ApplyKind, ColStat, ColumnMeta, GetMeta, GroupKind, JoinKind, MapDef, RelExpr};
 pub use scalar::{ArithOp, CmpOp, Quant, ScalarExpr};
+pub use witness::{GroupByDerivation, NullRejectWitness};

@@ -88,8 +88,7 @@ impl ColumnEnv {
             ScalarExpr::Case { whens, else_, .. } => {
                 let (ty, mut nullable) = whens
                     .first()
-                    .map(|(_, t)| self.type_of(t))
-                    .unwrap_or((DataType::Int, true));
+                    .map_or((DataType::Int, true), |(_, t)| self.type_of(t));
                 nullable |= else_.as_ref().is_none_or(|e| self.type_of(e).1);
                 for (_, t) in whens.iter().skip(1) {
                     nullable |= self.type_of(t).1;
@@ -99,8 +98,7 @@ impl ColumnEnv {
             ScalarExpr::Subquery(rel) => rel
                 .output_cols()
                 .first()
-                .map(|c| (c.ty, true))
-                .unwrap_or((DataType::Int, true)),
+                .map_or((DataType::Int, true), |c| (c.ty, true)),
             ScalarExpr::Exists { .. }
             | ScalarExpr::InSubquery { .. }
             | ScalarExpr::QuantifiedCmp { .. } => (DataType::Bool, true),
@@ -357,12 +355,7 @@ fn abs_eval(e: &ScalarExpr, null_cols: &BTreeSet<ColId>) -> Abs {
             whens,
             else_,
         } => {
-            let else_abs = || {
-                else_
-                    .as_ref()
-                    .map(|e| abs_eval(e, null_cols))
-                    .unwrap_or(Abs::Null)
-            };
+            let else_abs = || else_.as_ref().map_or(Abs::Null, |e| abs_eval(e, null_cols));
             if let Some(op) = operand {
                 // Simple CASE: a NULL comparand makes every WHEN unknown,
                 // so the ELSE branch is taken.
@@ -379,7 +372,7 @@ fn abs_eval(e: &ScalarExpr, null_cols: &BTreeSet<ColId>) -> Abs {
             let mut fell_through = true;
             for (w, t) in whens {
                 match abs_eval(w, null_cols) {
-                    Abs::False | Abs::Null => continue,
+                    Abs::False | Abs::Null => {}
                     Abs::True => {
                         possible.push(abs_eval(t, null_cols));
                         fell_through = false;
@@ -471,7 +464,7 @@ mod tests {
     fn scalar_groupby_is_at_most_one_row() {
         let gb = t::scalar_sum_b(t::get_ab());
         assert!(at_most_one_row(&gb));
-        assert!(keys(&gb).iter().any(|k| k.is_empty()));
+        assert!(keys(&gb).iter().any(std::collections::BTreeSet::is_empty));
     }
 
     #[test]

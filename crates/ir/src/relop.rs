@@ -550,7 +550,7 @@ impl RelExpr {
                 RelExpr::Project { cols, .. } => out.extend(cols.iter().copied()),
                 RelExpr::GroupBy { group_cols, .. } => out.extend(group_cols.iter().copied()),
                 RelExpr::SegmentApply { segment_cols, .. } => {
-                    out.extend(segment_cols.iter().copied())
+                    out.extend(segment_cols.iter().copied());
                 }
                 RelExpr::SegmentRef { cols } => out.extend(cols.iter().map(|(_, src)| *src)),
                 RelExpr::UnionAll {

@@ -246,7 +246,7 @@ impl ScalarExpr {
     /// Splits a predicate into its top-level conjuncts.
     pub fn conjuncts(&self) -> Vec<ScalarExpr> {
         match self {
-            ScalarExpr::And(parts) => parts.iter().flat_map(|p| p.conjuncts()).collect(),
+            ScalarExpr::And(parts) => parts.iter().flat_map(ScalarExpr::conjuncts).collect(),
             ScalarExpr::Literal(Value::Bool(true)) => vec![],
             other => vec![other.clone()],
         }
@@ -418,11 +418,11 @@ impl fmt::Display for ScalarExpr {
             ScalarExpr::Arith { op, left, right } => write!(f, "({left} {op} {right})"),
             ScalarExpr::Neg(e) => write!(f, "(-{e})"),
             ScalarExpr::And(parts) => {
-                let s: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                let s: Vec<String> = parts.iter().map(ToString::to_string).collect();
                 write!(f, "({})", s.join(" AND "))
             }
             ScalarExpr::Or(parts) => {
-                let s: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                let s: Vec<String> = parts.iter().map(ToString::to_string).collect();
                 write!(f, "({})", s.join(" OR "))
             }
             ScalarExpr::Not(e) => write!(f, "NOT {e}"),

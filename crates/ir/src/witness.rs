@@ -1,0 +1,82 @@
+//! Witnesses for outerjoin simplification.
+//!
+//! Each `LOJ → Join` conversion performed by
+//! `orthopt-rewrite::outerjoin` records a [`NullRejectWitness`]: the
+//! predicate it relied on, the columns of the NULL-padded side, and —
+//! for the paper's derivation *through GroupBy* — the aggregates and
+//! grouping evidence. The witness is self-contained: `plancheck`
+//! re-verifies the null-rejection claim from the witness alone, without
+//! re-running the rewrite, so a broken simplification rule cannot smuggle
+//! an unsound conversion past the audit.
+
+use std::collections::BTreeSet;
+
+use orthopt_common::ColId;
+
+use crate::agg::AggDef;
+use crate::scalar::ScalarExpr;
+
+/// Evidence for one `LOJ → Join` conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NullRejectWitness {
+    /// The predicate claimed to reject NULLs from the padded side.
+    pub predicate: ScalarExpr,
+    /// Output columns of the NULL-padded (non-preserved) input.
+    pub padded_cols: BTreeSet<ColId>,
+    /// Present when rejection was derived through a GroupBy below the
+    /// predicate rather than directly on the join's own columns.
+    pub via_groupby: Option<GroupByDerivation>,
+}
+
+/// The GroupBy-mediated derivation (§ outerjoin simplification): the
+/// predicate rejects NULL on an aggregate *output*, the aggregate maps
+/// all-NULL groups to NULL, and the grouping columns contain a key of
+/// the preserved side so each padded row forms its own group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByDerivation {
+    /// Aggregates of the GroupBy the derivation went through.
+    pub aggs: Vec<AggDef>,
+    /// The GroupBy's grouping columns.
+    pub group_cols: BTreeSet<ColId>,
+    /// A key of the preserved side contained in `group_cols`,
+    /// guaranteeing padded rows are isolated in singleton groups.
+    pub preserved_key: BTreeSet<ColId>,
+}
+
+impl NullRejectWitness {
+    /// Re-verifies the null-rejection claim from the recorded evidence.
+    /// Returns `Err` with a human-readable reason when the witness does
+    /// not actually justify an `LOJ → Join` conversion.
+    pub fn verify(&self) -> Result<(), String> {
+        match &self.via_groupby {
+            None => {
+                if crate::props::rejects_null_on(&self.predicate, &self.padded_cols) {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "predicate {:?} does not reject NULL on padded columns {:?}",
+                        self.predicate, self.padded_cols
+                    ))
+                }
+            }
+            Some(d) => {
+                let rejected = crate::props::rejects_null_through_groupby(&self.predicate, &d.aggs);
+                if !rejected.iter().any(|c| self.padded_cols.contains(c)) {
+                    return Err(format!(
+                        "no aggregate input from the padded side {:?} has NULL rejected \
+                         through the GroupBy (rejected inputs: {:?})",
+                        self.padded_cols, rejected
+                    ));
+                }
+                if d.preserved_key.is_empty() || !d.preserved_key.is_subset(&d.group_cols) {
+                    return Err(format!(
+                        "preserved-side key {:?} is not contained in grouping columns {:?}; \
+                         padded rows are not isolated in singleton groups",
+                        d.preserved_key, d.group_cols
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}

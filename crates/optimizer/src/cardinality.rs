@@ -48,11 +48,11 @@ impl StatsEnv {
 
     /// NDV of a column (pessimistic default when unknown).
     pub fn ndv(&self, col: ColId) -> f64 {
-        self.cols.get(&col).map(|s| s.ndv.max(1.0)).unwrap_or(100.0)
+        self.cols.get(&col).map_or(100.0, |s| s.ndv.max(1.0))
     }
 
     fn null_frac(&self, col: ColId) -> f64 {
-        self.cols.get(&col).map(|s| s.null_frac).unwrap_or(0.0)
+        self.cols.get(&col).map_or(0.0, |s| s.null_frac)
     }
 
     /// Fraction of a column's range below/above a literal, when bounds

@@ -73,7 +73,7 @@ fn decompose(mut rel: RelExpr) -> (RelExpr, Vec<RelExpr>) {
 }
 
 fn fingerprint(shell: &RelExpr, children: &[GroupId]) -> String {
-    format!("{:?}|{:?}", shell, children)
+    format!("{shell:?}|{children:?}")
 }
 
 /// The memo.

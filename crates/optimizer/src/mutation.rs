@@ -1,0 +1,141 @@
+//! Deliberately broken optimizer-rule variants, for testing the
+//! verifier (see `orthopt_rewrite::mutation` for the rewrite-side
+//! counterparts). Only compiled under the `plancheck` feature.
+
+use orthopt_common::{ColIdGen, Result};
+use orthopt_exec::PhysExpr;
+use orthopt_ir::{explain, AggDef, AggFunc, ColumnMeta, GroupKind, RelExpr, ScalarExpr};
+use orthopt_plancheck as plancheck;
+
+/// Mutated §3.3 LocalGroupBy split: splits every aggregate but combines
+/// `COUNT` partials with `COUNT` instead of `SUM` — the (local, global)
+/// pair no longer matches any [`AggFunc::split`], so the reconstruction
+/// invariant fails.
+pub fn local_split_wrong_combiner(rel: RelExpr) -> Result<RelExpr> {
+    let mut used = rel.produced_cols();
+    used.extend(rel.referenced_cols());
+    let mut gen = ColIdGen::after(used);
+    let mut hit = false;
+    let after = split_first(rel, &mut gen, &mut hit);
+    let violations = plancheck::check_logical(&after);
+    if violations.is_empty() {
+        return Ok(after);
+    }
+    Err(plancheck::BlameReport {
+        rule: "mutation::local_split_wrong_combiner".to_owned(),
+        identity: None,
+        violations,
+        before: String::new(),
+        after: explain::explain(&after),
+    }
+    .into_error())
+}
+
+fn split_first(mut rel: RelExpr, gen: &mut ColIdGen, hit: &mut bool) -> RelExpr {
+    if !*hit {
+        if let RelExpr::GroupBy {
+            kind: GroupKind::Vector,
+            input,
+            group_cols,
+            aggs,
+        } = rel
+        {
+            let splittable = aggs.iter().all(|a| a.func.split().is_some());
+            let has_count = aggs
+                .iter()
+                .any(|a| matches!(a.func, AggFunc::Count | AggFunc::CountStar));
+            if splittable && has_count {
+                *hit = true;
+                let mut local_aggs = Vec::new();
+                let mut global_aggs = Vec::new();
+                for a in aggs {
+                    let (lf, gf) = a.func.split().expect("checked splittable");
+                    let local_out = ColumnMeta::new(
+                        gen.fresh(),
+                        format!("l_{}", a.out.name),
+                        a.out.ty,
+                        a.out.nullable,
+                    );
+                    // The mutation: COUNT partials combined with COUNT.
+                    let global_func = if matches!(a.func, AggFunc::Count | AggFunc::CountStar) {
+                        lf
+                    } else {
+                        gf
+                    };
+                    global_aggs.push(AggDef {
+                        out: a.out,
+                        func: global_func,
+                        arg: Some(ScalarExpr::col(local_out.id)),
+                        distinct: false,
+                    });
+                    local_aggs.push(AggDef {
+                        out: local_out,
+                        func: lf,
+                        arg: a.arg,
+                        distinct: a.distinct,
+                    });
+                }
+                return RelExpr::GroupBy {
+                    kind: GroupKind::Vector,
+                    input: Box::new(RelExpr::GroupBy {
+                        kind: GroupKind::Local,
+                        input,
+                        group_cols: group_cols.clone(),
+                        aggs: local_aggs,
+                    }),
+                    group_cols,
+                    aggs: global_aggs,
+                };
+            }
+            rel = RelExpr::GroupBy {
+                kind: GroupKind::Vector,
+                input,
+                group_cols,
+                aggs,
+            };
+        }
+    }
+    for child in rel.children_mut() {
+        let taken = std::mem::replace(
+            child,
+            RelExpr::ConstRel {
+                cols: vec![],
+                rows: vec![],
+            },
+        );
+        *child = split_first(taken, gen, hit);
+        if *hit {
+            break;
+        }
+    }
+    rel
+}
+
+/// Mutated Exchange placement: wraps a subtree that does *not* satisfy
+/// the parallel shape grammar (nesting a second Exchange when the plan
+/// itself would be eligible), violating physical legality.
+pub fn exchange_out_of_grammar(plan: PhysExpr) -> Result<PhysExpr> {
+    let wrapped = if orthopt_exec::exchange_eligible(&plan) {
+        PhysExpr::Exchange {
+            input: Box::new(PhysExpr::Exchange {
+                input: Box::new(plan),
+            }),
+        }
+    } else {
+        PhysExpr::Exchange {
+            input: Box::new(plan),
+        }
+    };
+    let violations = plancheck::check_physical(&wrapped);
+    if violations.is_empty() {
+        return Ok(wrapped);
+    }
+    Err(plancheck::BlameReport {
+        rule: "mutation::exchange_out_of_grammar".to_owned(),
+        identity: None,
+        violations,
+        before: String::new(),
+        after: orthopt_exec::explain_phys(&wrapped),
+    }
+    .into_error())
+}

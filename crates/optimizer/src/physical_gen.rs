@@ -55,15 +55,14 @@ impl<'a> Planner<'a> {
         let exprs = self.memo.group(gid).exprs.clone();
         let mut best: Option<Costed> = None;
         for expr in &exprs {
-            match self.implementations(&expr.shell, &expr.children) {
-                Ok(alts) => {
-                    for alt in alts {
-                        if best.as_ref().is_none_or(|b| alt.cost < b.cost) {
-                            best = Some(alt);
-                        }
+            // A failed alternative is simply not implementable on this
+            // path; other alternatives may still produce a plan.
+            if let Ok(alts) = self.implementations(&expr.shell, &expr.children) {
+                for alt in alts {
+                    if best.as_ref().is_none_or(|b| alt.cost < b.cost) {
+                        best = Some(alt);
                     }
                 }
-                Err(_) => continue, // alternative not implementable on this path
             }
         }
         self.in_progress.remove(&gid.0);
@@ -438,8 +437,7 @@ impl<'a> Planner<'a> {
                         g.positions
                             .iter()
                             .position(|&p| p == base)
-                            .map(|i| self.est.stats.ndv(g.cols[i].id))
-                            .unwrap_or(100.0)
+                            .map_or(100.0, |i| self.est.stats.ndv(g.cols[i].id))
                     })
                     .product();
                 let matched = (g.row_count / ndv.max(1.0)).max(1.0);

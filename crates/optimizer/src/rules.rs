@@ -17,7 +17,9 @@ use crate::cardinality::Estimator;
 use crate::memo::{placeholder, GroupId, MExpr, Memo, RTree};
 use crate::search::OptimizerConfig;
 
-/// Applies every enabled rule to one memo expression.
+/// Applies every enabled rule to one memo expression. Each output is
+/// tagged with the producing rule's name so the search loop can blame
+/// it if the alternative fails plan verification.
 pub fn apply_all(
     memo: &Memo,
     gid: GroupId,
@@ -25,31 +27,74 @@ pub fn apply_all(
     est: &Estimator,
     gen: &mut ColIdGen,
     config: &OptimizerConfig,
-) -> Vec<RTree> {
+) -> Vec<(&'static str, RTree)> {
     let expr = memo.group(gid).exprs[eidx].clone();
-    let mut out = Vec::new();
+    let mut out: Vec<(&'static str, RTree)> = Vec::new();
+    let push = |name: &'static str, trees: Vec<RTree>, out: &mut Vec<(&'static str, RTree)>| {
+        out.extend(trees.into_iter().map(|t| (name, t)));
+    };
     if config.join_reorder {
-        out.extend(join_commute(&expr));
-        out.extend(join_associate(memo, &expr));
-        out.extend(select_below_join(memo, &expr));
+        push("join_commute", join_commute(&expr), &mut out);
+        push("join_associate", join_associate(memo, &expr), &mut out);
+        push(
+            "select_below_join",
+            select_below_join(memo, &expr),
+            &mut out,
+        );
     }
     if config.groupby_reorder {
-        out.extend(groupby_below_join(memo, &expr));
-        out.extend(groupby_above_join(memo, &expr));
-        out.extend(semijoin_below_groupby(memo, &expr));
-        out.extend(semijoin_to_join_distinct(memo, &expr));
-        out.extend(groupby_below_outerjoin(memo, &expr, gen));
+        push(
+            "groupby_below_join",
+            groupby_below_join(memo, &expr),
+            &mut out,
+        );
+        push(
+            "groupby_above_join",
+            groupby_above_join(memo, &expr),
+            &mut out,
+        );
+        push(
+            "semijoin_below_groupby",
+            semijoin_below_groupby(memo, &expr),
+            &mut out,
+        );
+        push(
+            "semijoin_to_join_distinct",
+            semijoin_to_join_distinct(memo, &expr),
+            &mut out,
+        );
+        push(
+            "groupby_below_outerjoin",
+            groupby_below_outerjoin(memo, &expr, gen),
+            &mut out,
+        );
     }
     if config.local_aggregate {
-        out.extend(split_local_groupby(memo, &expr, gen));
-        out.extend(local_groupby_below_join(memo, &expr));
+        push(
+            "split_local_groupby",
+            split_local_groupby(memo, &expr, gen),
+            &mut out,
+        );
+        push(
+            "local_groupby_below_join",
+            local_groupby_below_join(memo, &expr),
+            &mut out,
+        );
     }
     if config.segment_apply {
-        out.extend(segment_apply_intro(memo, &expr));
-        out.extend(join_below_segment_apply(memo, &expr));
+        push(
+            "segment_apply_intro",
+            segment_apply_intro(memo, &expr),
+            &mut out,
+        );
+        push(
+            "join_below_segment_apply",
+            join_below_segment_apply(memo, &expr),
+            &mut out,
+        );
     }
     if config.correlated_execution {
-        out.extend(apply_intro(memo, &expr));
+        push("apply_intro", apply_intro(memo, &expr), &mut out);
     }
     let _ = est;
     out
@@ -363,8 +408,7 @@ fn push_conditions_hold(
     let cond3 = aggs.iter().all(|agg| {
         agg.arg
             .as_ref()
-            .map(|arg| arg.cols().iter().all(|c| cols_r.contains(c)))
-            .unwrap_or(true)
+            .is_none_or(|arg| arg.cols().iter().all(|c| cols_r.contains(c)))
     });
     cond1 && cond2 && cond3
 }
@@ -620,8 +664,7 @@ fn groupby_below_outerjoin(memo: &Memo, expr: &MExpr, gen: &mut ColIdGen) -> Vec
             _ => a
                 .arg
                 .as_ref()
-                .map(|arg| props::always_null_when(arg, &cols_r))
-                .unwrap_or(false),
+                .is_some_and(|arg| props::always_null_when(arg, &cols_r)),
         });
         if !strict_ok {
             continue;
@@ -831,8 +874,8 @@ fn local_groupby_below_join(memo: &Memo, expr: &MExpr) -> Vec<RTree> {
             let args_on_x = aggs.iter().all(|a| {
                 a.arg
                     .as_ref()
-                    .map(|arg| arg.cols().iter().all(|c| cols_x.contains(c)))
-                    .unwrap_or(false) // COUNT(*) counts join pairs: not pushable one-sided
+                    .is_some_and(|arg| arg.cols().iter().all(|c| cols_x.contains(c)))
+                // COUNT(*) counts join pairs: not pushable one-sided
             });
             if !args_on_x {
                 continue;
@@ -1187,7 +1230,7 @@ mod tests {
                     if !fired.insert((g, e)) {
                         continue;
                     }
-                    for rt in apply_all(&memo, gid, e, &est, &mut gen, config) {
+                    for (_, rt) in apply_all(&memo, gid, e, &est, &mut gen, config) {
                         added |= memo.add_expr(gid, rt);
                     }
                 }

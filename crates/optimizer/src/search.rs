@@ -9,7 +9,7 @@ use orthopt_ir::RelExpr;
 use crate::cardinality::Estimator;
 use crate::memo::{GroupId, Memo};
 use crate::physical_gen::{with_presentation, Planner};
-use crate::rules;
+use crate::{rules, verify};
 
 /// Which rule families participate — the knobs behind the benchmark
 /// harness's ablated "systems".
@@ -68,50 +68,7 @@ pub fn optimize(
     order_by: Vec<(orthopt_common::ColId, bool)>,
     config: &OptimizerConfig,
 ) -> Result<PhysExpr> {
-    let est = Estimator::new(&rel);
-    let mut used = rel.produced_cols();
-    used.extend(rel.referenced_cols());
-    let mut gen = ColIdGen::after(used);
-
-    let mut memo = Memo::new();
-    let root = memo.insert_tree(rel);
-
-    // Exploration to fixpoint (bounded by max_exprs).
-    let mut fired: HashSet<(usize, usize)> = HashSet::new();
-    loop {
-        let mut added = false;
-        let group_count = memo.group_count();
-        for g in 0..group_count {
-            let gid = GroupId(g);
-            let expr_count = memo.group(gid).exprs.len();
-            for e in 0..expr_count {
-                if !fired.insert((g, e)) {
-                    continue;
-                }
-                let outputs = rules::apply_all(&memo, gid, e, &est, &mut gen, config);
-                for rtree in outputs {
-                    if memo.add_expr(gid, rtree) {
-                        added = true;
-                    }
-                }
-                if memo.expr_count() > config.max_exprs.max(1) {
-                    added = false;
-                    break;
-                }
-            }
-        }
-        if !added && memo.group_count() == group_count {
-            break;
-        }
-        if memo.expr_count() > config.max_exprs.max(1) {
-            break;
-        }
-    }
-
-    let root_card = est.card(&memo.group(root).repr);
-    let mut planner = Planner::new(&memo, &est, config.parallelism);
-    let best = planner.best(root)?;
-    Ok(with_presentation(best, order_by, None, root_card).plan)
+    optimize_with_presentation(rel, order_by, None, config).map(|(plan, _)| plan)
 }
 
 /// Exploration statistics, for tests and EXPLAIN output.
@@ -135,6 +92,12 @@ pub fn optimize_with_stats(
 }
 
 /// Like [`optimize_with_stats`] with an optional LIMIT at the root.
+///
+/// Under the `plancheck` feature (with the runtime gate on) every rule
+/// output is materialized and statically verified *before* it enters
+/// the memo — a violating alternative aborts optimization with a blame
+/// report naming the rule — and the winning physical plan is checked
+/// for physical legality (Exchange grammar, operator wiring).
 pub fn optimize_with_presentation(
     rel: RelExpr,
     order_by: Vec<(orthopt_common::ColId, bool)>,
@@ -147,6 +110,7 @@ pub fn optimize_with_presentation(
     let mut gen = ColIdGen::after(used);
     let mut memo = Memo::new();
     let root = memo.insert_tree(rel);
+    // Exploration to fixpoint (bounded by max_exprs).
     let mut fired: HashSet<(usize, usize)> = HashSet::new();
     loop {
         let mut added = false;
@@ -158,7 +122,8 @@ pub fn optimize_with_presentation(
                 if !fired.insert((g, e)) {
                     continue;
                 }
-                for rtree in rules::apply_all(&memo, gid, e, &est, &mut gen, config) {
+                for (rule, rtree) in rules::apply_all(&memo, gid, e, &est, &mut gen, config) {
+                    verify::check_rule_output(&memo, rule, &rtree)?;
                     if memo.add_expr(gid, rtree) {
                         added = true;
                     }
@@ -183,8 +148,7 @@ pub fn optimize_with_presentation(
         exprs: memo.expr_count(),
         best_cost: best.cost,
     };
-    Ok((
-        with_presentation(best, order_by, limit, root_card).plan,
-        stats,
-    ))
+    let plan = with_presentation(best, order_by, limit, root_card).plan;
+    verify::check_final_plan(&plan)?;
+    Ok((plan, stats))
 }

@@ -47,7 +47,7 @@ fn build_catalog(r_vals: &[Option<i64>], s_rows: &[(i64, Option<i64>)]) -> Catal
             .table_mut(r)
             .insert(vec![
                 Value::Int(i as i64),
-                v.map(Value::Int).unwrap_or(Value::Null),
+                v.map_or(Value::Null, Value::Int),
             ])
             .unwrap();
     }
@@ -57,7 +57,7 @@ fn build_catalog(r_vals: &[Option<i64>], s_rows: &[(i64, Option<i64>)]) -> Catal
             .insert(vec![
                 Value::Int(i as i64),
                 Value::Int(*sr),
-                sv.map(Value::Int).unwrap_or(Value::Null),
+                sv.map_or(Value::Null, Value::Int),
             ])
             .unwrap();
     }

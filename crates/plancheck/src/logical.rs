@@ -1,0 +1,548 @@
+//! Invariant checks over the logical IR ([`RelExpr`]).
+//!
+//! The checker performs a scoped pre-order walk. At every point it
+//! knows which columns are *visible*: the outputs of the node's inputs,
+//! plus the bindings contributed by enclosing scopes (`Apply` left
+//! sides, subquery owner scopes, `SegmentApply` segments). A column
+//! reference outside that set is classified as:
+//!
+//! * a **scope violation** when the column is produced somewhere in the
+//!   checked tree — it exists but cannot flow to the reference point
+//!   (a sibling leak, a column destroyed by aggregation/projection);
+//! * in **closed mode** ([`check_closed`]), additionally a violation
+//!   when the column is produced nowhere — a fully decorrelated plan
+//!   must contain zero residual outer references. In fragment mode
+//!   ([`check_logical`]) such references are assumed to be legitimate
+//!   outer parameters of the fragment.
+
+use std::collections::BTreeSet;
+
+use orthopt_common::ColId;
+use orthopt_ir::{AggDef, AggFunc, GroupKind, RelExpr, ScalarExpr};
+
+use crate::{CheckKind, Violation};
+
+/// Checks a plan *fragment*: references to columns produced nowhere in
+/// the fragment are treated as outer parameters and allowed. This is
+/// the mode used after each individual rewrite/optimizer rule, where
+/// the rule only sees a subtree of the full query.
+pub fn check_logical(rel: &RelExpr) -> Vec<Violation> {
+    run(rel, false)
+}
+
+/// Checks a complete plan: every reference must resolve, the root must
+/// have no free columns, and every LocalGroupBy must be combined by a
+/// global GroupBy above it.
+pub fn check_closed(rel: &RelExpr) -> Vec<Violation> {
+    run(rel, true)
+}
+
+fn run(rel: &RelExpr, closed: bool) -> Vec<Violation> {
+    let mut cx = Cx {
+        produced: rel.produced_cols(),
+        closed,
+        out: Vec::new(),
+    };
+    let scope = Scope::default();
+    cx.check(rel, &scope);
+    let mut ancestors: Vec<&RelExpr> = Vec::new();
+    cx.check_locals(rel, &mut ancestors);
+    cx.out
+}
+
+/// One-line description of a node, used to anchor violations.
+pub(crate) fn describe(rel: &RelExpr) -> String {
+    match rel {
+        RelExpr::Get(g) => format!("Get({})", g.table_name),
+        RelExpr::ConstRel { .. } => "ConstRel".into(),
+        RelExpr::Select { .. } => "Select".into(),
+        RelExpr::Map { .. } => "Map".into(),
+        RelExpr::Project { .. } => "Project".into(),
+        RelExpr::Join { kind, .. } => kind.to_string(),
+        RelExpr::Apply { kind, .. } => kind.to_string(),
+        RelExpr::SegmentApply { .. } => "SegmentApply".into(),
+        RelExpr::SegmentRef { .. } => "SegmentRef".into(),
+        RelExpr::GroupBy { kind, .. } => kind.to_string(),
+        RelExpr::UnionAll { .. } => "UnionAll".into(),
+        RelExpr::Except { .. } => "Except".into(),
+        RelExpr::Max1Row { .. } => "Max1Row".into(),
+        RelExpr::Enumerate { .. } => "Enumerate".into(),
+    }
+}
+
+#[derive(Clone, Default)]
+struct Scope {
+    /// Columns bound by enclosing scopes (Apply left sides, subquery
+    /// owners).
+    outer: BTreeSet<ColId>,
+    /// Stack of segment scopes: output ids of enclosing `SegmentApply`
+    /// inputs, innermost last.
+    segments: Vec<BTreeSet<ColId>>,
+}
+
+struct Cx {
+    /// All ids produced anywhere in the checked tree.
+    produced: BTreeSet<ColId>,
+    closed: bool,
+    out: Vec<Violation>,
+}
+
+impl Cx {
+    fn violation(&mut self, kind: CheckKind, node: &RelExpr, message: String) {
+        self.out.push(Violation {
+            kind,
+            node: describe(node),
+            message,
+        });
+    }
+
+    fn check(&mut self, rel: &RelExpr, scope: &Scope) {
+        // Every operator must expose a duplicate-free output layout.
+        let outs = rel.output_col_ids();
+        let distinct: BTreeSet<ColId> = outs.iter().copied().collect();
+        if distinct.len() != outs.len() {
+            self.violation(
+                CheckKind::Arity,
+                rel,
+                format!("duplicate column ids in output layout {outs:?}"),
+            );
+        }
+
+        match rel {
+            RelExpr::Get(g) => {
+                if g.cols.len() != g.positions.len() {
+                    self.violation(
+                        CheckKind::Arity,
+                        rel,
+                        format!(
+                            "{} bound columns but {} base positions",
+                            g.cols.len(),
+                            g.positions.len()
+                        ),
+                    );
+                }
+            }
+            RelExpr::ConstRel { cols, rows } => {
+                if let Some(bad) = rows.iter().find(|r| r.len() != cols.len()) {
+                    self.violation(
+                        CheckKind::Arity,
+                        rel,
+                        format!("row width {} != declared width {}", bad.len(), cols.len()),
+                    );
+                }
+            }
+            RelExpr::Select { input, predicate } => {
+                let vis = id_set(input);
+                self.scalar(predicate, &vis, scope, rel, CheckKind::Scope, "predicate");
+                self.check(input, scope);
+            }
+            RelExpr::Map { input, defs } => {
+                // Computed columns see only the input layout (plus outer
+                // bindings) — never each other; execution appends them
+                // without re-exposing earlier definitions.
+                let vis = id_set(input);
+                for d in defs {
+                    self.scalar(
+                        &d.expr,
+                        &vis,
+                        scope,
+                        rel,
+                        CheckKind::Scope,
+                        "computed column",
+                    );
+                }
+                self.check(input, scope);
+            }
+            RelExpr::Project { input, cols } => {
+                let vis = id_set(input);
+                for c in cols {
+                    if !vis.contains(c) {
+                        self.violation(
+                            CheckKind::Scope,
+                            rel,
+                            format!("retained column {c} is not produced by the input"),
+                        );
+                    }
+                }
+                self.check(input, scope);
+            }
+            RelExpr::Join {
+                left,
+                right,
+                predicate,
+                ..
+            } => {
+                let mut vis = id_set(left);
+                vis.extend(id_set(right));
+                self.scalar(
+                    predicate,
+                    &vis,
+                    scope,
+                    rel,
+                    CheckKind::Scope,
+                    "join predicate",
+                );
+                // Join inputs are independent: each side is checked in the
+                // enclosing scope, so a reference from one side to a column
+                // produced by the other is caught as out-of-scope.
+                self.check(left, scope);
+                self.check(right, scope);
+            }
+            RelExpr::Apply { left, right, .. } => {
+                self.check(left, scope);
+                // Correlation scoping (invariant b): the inner side may
+                // reference exactly the outer side's output bindings (plus
+                // enclosing scopes).
+                let mut rscope = scope.clone();
+                rscope.outer.extend(id_set(left));
+                self.check(right, &rscope);
+            }
+            RelExpr::SegmentApply {
+                input,
+                segment_cols,
+                inner,
+            } => {
+                let inset = id_set(input);
+                for c in segment_cols {
+                    if !inset.contains(c) {
+                        self.violation(
+                            CheckKind::Scope,
+                            rel,
+                            format!("segmenting column {c} is not produced by the input"),
+                        );
+                    }
+                }
+                self.check(input, scope);
+                // The inner expression reads the segment only through
+                // SegmentRef leaves; direct references to input columns
+                // would be unbound at execution time.
+                let mut iscope = scope.clone();
+                iscope.segments.push(inset);
+                self.check(inner, &iscope);
+            }
+            RelExpr::SegmentRef { cols } => match scope.segments.last() {
+                None => {
+                    // In fragment mode the enclosing SegmentApply may lie
+                    // outside the checked subtree (the optimizer checks
+                    // rule outputs inside the inner group); only a closed
+                    // plan must contain it.
+                    if self.closed {
+                        self.violation(
+                            CheckKind::Correlation,
+                            rel,
+                            "SegmentRef outside any SegmentApply inner expression".into(),
+                        );
+                    }
+                }
+                Some(seg) => {
+                    for (_, src) in cols {
+                        if !seg.contains(src) {
+                            self.violation(
+                                CheckKind::Scope,
+                                rel,
+                                format!(
+                                    "segment source {src} is not produced by the segment input"
+                                ),
+                            );
+                        }
+                    }
+                }
+            },
+            RelExpr::GroupBy {
+                kind,
+                input,
+                group_cols,
+                aggs,
+            } => {
+                let vis = id_set(input);
+                if *kind == GroupKind::Scalar && !group_cols.is_empty() {
+                    self.violation(
+                        CheckKind::GroupBy,
+                        rel,
+                        format!("scalar GroupBy with grouping columns {group_cols:?}"),
+                    );
+                }
+                for c in group_cols {
+                    if !vis.contains(c) {
+                        self.violation(
+                            CheckKind::GroupBy,
+                            rel,
+                            format!("grouping column {c} is not produced by the input"),
+                        );
+                    }
+                }
+                for a in aggs {
+                    match (&a.arg, a.func) {
+                        (None, AggFunc::CountStar) => {}
+                        (None, f) => self.violation(
+                            CheckKind::GroupBy,
+                            rel,
+                            format!("aggregate {f:?} ({}) has no argument", a.out.id),
+                        ),
+                        (Some(arg), _) => {
+                            self.scalar(
+                                arg,
+                                &vis,
+                                scope,
+                                rel,
+                                CheckKind::GroupBy,
+                                "aggregate argument",
+                            );
+                        }
+                    }
+                }
+                self.check(input, scope);
+            }
+            RelExpr::UnionAll {
+                left,
+                right,
+                cols,
+                left_map,
+                right_map,
+            } => {
+                if left_map.len() != cols.len() || right_map.len() != cols.len() {
+                    self.violation(
+                        CheckKind::Arity,
+                        rel,
+                        format!(
+                            "output width {} but branch maps have widths {}/{}",
+                            cols.len(),
+                            left_map.len(),
+                            right_map.len()
+                        ),
+                    );
+                }
+                let lvis = id_set(left);
+                let rvis = id_set(right);
+                for c in left_map {
+                    if !lvis.contains(c) {
+                        self.violation(
+                            CheckKind::Scope,
+                            rel,
+                            format!(
+                                "left branch map column {c} is not produced by the left branch"
+                            ),
+                        );
+                    }
+                }
+                for c in right_map {
+                    if !rvis.contains(c) {
+                        self.violation(
+                            CheckKind::Scope,
+                            rel,
+                            format!(
+                                "right branch map column {c} is not produced by the right branch"
+                            ),
+                        );
+                    }
+                }
+                self.check(left, scope);
+                self.check(right, scope);
+            }
+            RelExpr::Except {
+                left,
+                right,
+                right_map,
+            } => {
+                let lw = left.output_col_ids().len();
+                if right_map.len() != lw {
+                    self.violation(
+                        CheckKind::Arity,
+                        rel,
+                        format!("left width {lw} but right map width {}", right_map.len()),
+                    );
+                }
+                let rvis = id_set(right);
+                for c in right_map {
+                    if !rvis.contains(c) {
+                        self.violation(
+                            CheckKind::Scope,
+                            rel,
+                            format!("right map column {c} is not produced by the right branch"),
+                        );
+                    }
+                }
+                self.check(left, scope);
+                self.check(right, scope);
+            }
+            RelExpr::Max1Row { input } | RelExpr::Enumerate { input, .. } => {
+                self.check(input, scope);
+            }
+        }
+    }
+
+    /// Checks one scalar expression: every column reference must resolve
+    /// in `visible` or an enclosing scope, and subquery bodies are
+    /// checked with the owning node's scope added as outer bindings.
+    fn scalar(
+        &mut self,
+        e: &ScalarExpr,
+        visible: &BTreeSet<ColId>,
+        scope: &Scope,
+        node: &RelExpr,
+        kind: CheckKind,
+        what: &str,
+    ) {
+        match e {
+            ScalarExpr::Column(c) => {
+                if !visible.contains(c) && !scope.outer.contains(c) {
+                    let produced = self.produced.contains(c);
+                    if produced {
+                        self.violation(
+                            kind,
+                            node,
+                            format!(
+                                "{what} references {c}, which is produced elsewhere in the plan \
+                                 but not visible here (sibling leak or destroyed column)"
+                            ),
+                        );
+                    } else if self.closed {
+                        self.violation(
+                            CheckKind::Correlation,
+                            node,
+                            format!("{what} references {c}, a residual outer reference in a closed plan"),
+                        );
+                    }
+                }
+            }
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+                self.scalar(left, visible, scope, node, kind, what);
+                self.scalar(right, visible, scope, node, kind, what);
+            }
+            ScalarExpr::Neg(x) | ScalarExpr::Not(x) => {
+                self.scalar(x, visible, scope, node, kind, what);
+            }
+            ScalarExpr::And(parts) | ScalarExpr::Or(parts) => {
+                for p in parts {
+                    self.scalar(p, visible, scope, node, kind, what);
+                }
+            }
+            ScalarExpr::IsNull { expr, .. } => self.scalar(expr, visible, scope, node, kind, what),
+            ScalarExpr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
+                if let Some(op) = operand {
+                    self.scalar(op, visible, scope, node, kind, what);
+                }
+                for (w, t) in whens {
+                    self.scalar(w, visible, scope, node, kind, what);
+                    self.scalar(t, visible, scope, node, kind, what);
+                }
+                if let Some(el) = else_ {
+                    self.scalar(el, visible, scope, node, kind, what);
+                }
+            }
+            ScalarExpr::Subquery(rel) | ScalarExpr::Exists { rel, .. } => {
+                self.subquery(rel, visible, scope);
+            }
+            ScalarExpr::InSubquery { expr, rel, .. } => {
+                self.scalar(expr, visible, scope, node, kind, what);
+                self.subquery(rel, visible, scope);
+            }
+            ScalarExpr::QuantifiedCmp { expr, rel, .. } => {
+                self.scalar(expr, visible, scope, node, kind, what);
+                self.subquery(rel, visible, scope);
+            }
+        }
+    }
+
+    fn subquery(&mut self, rel: &RelExpr, visible: &BTreeSet<ColId>, scope: &Scope) {
+        let mut sub = scope.clone();
+        sub.outer.extend(visible.iter().copied());
+        self.check(rel, &sub);
+    }
+
+    /// Invariant (c), second half: every LocalGroupBy output must be
+    /// combined above by a global GroupBy through the matching
+    /// [`AggFunc::split`] pair, so that global∘local reconstructs the
+    /// original aggregate (§3.3).
+    fn check_locals<'t>(&mut self, rel: &'t RelExpr, ancestors: &mut Vec<&'t RelExpr>) {
+        if let RelExpr::GroupBy {
+            kind: GroupKind::Local,
+            aggs,
+            ..
+        } = rel
+        {
+            for la in aggs {
+                match find_combiner(la, ancestors) {
+                    Some((global_node, gf)) if !valid_split_pair(la.func, gf) => {
+                        self.out.push(Violation {
+                            kind: CheckKind::GroupBy,
+                            node: describe(global_node),
+                            message: format!(
+                                "global aggregate {gf:?} over LocalGroupBy output {} does not \
+                                 reconstruct any original aggregate (local part {:?}; no \
+                                 AggFunc::split yields this pair)",
+                                la.out.id, la.func
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                    None if self.closed => {
+                        self.violation(
+                            CheckKind::GroupBy,
+                            rel,
+                            format!(
+                                "LocalGroupBy output {} ({:?}) is never combined by a global \
+                                 GroupBy above",
+                                la.out.id, la.func
+                            ),
+                        );
+                    }
+                    None => {}
+                }
+            }
+        }
+        ancestors.push(rel);
+        for c in rel.children() {
+            self.check_locals(c, ancestors);
+        }
+        ancestors.pop();
+    }
+}
+
+fn id_set(rel: &RelExpr) -> BTreeSet<ColId> {
+    rel.output_col_ids().into_iter().collect()
+}
+
+/// Finds the nearest enclosing global (vector/scalar) GroupBy consuming
+/// the local aggregate's output column, returning it with the combining
+/// function.
+fn find_combiner<'t>(local: &AggDef, ancestors: &[&'t RelExpr]) -> Option<(&'t RelExpr, AggFunc)> {
+    for anc in ancestors.iter().rev() {
+        if let RelExpr::GroupBy {
+            kind: GroupKind::Vector | GroupKind::Scalar,
+            aggs,
+            ..
+        } = anc
+        {
+            for g in aggs {
+                if let Some(ScalarExpr::Column(c)) = &g.arg {
+                    if *c == local.out.id {
+                        return Some((anc, g.func));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether `(local, global)` is a pair produced by some
+/// [`AggFunc::split`] — i.e. the global function over the local partial
+/// results reconstructs an original aggregate.
+pub(crate) fn valid_split_pair(local: AggFunc, global: AggFunc) -> bool {
+    [
+        AggFunc::CountStar,
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::Avg,
+    ]
+    .iter()
+    .any(|f| f.split() == Some((local, global)))
+}

@@ -21,7 +21,7 @@ use orthopt_ir::{
     AggDef, AggFunc, ApplyKind, ColumnMeta, GroupKind, JoinKind, MapDef, RelExpr, ScalarExpr,
 };
 
-use crate::RewriteCtx;
+use crate::{verify, RewriteCtx};
 
 /// Pushes down and removes Apply operators wherever the identities
 /// permit; unremovable Applies (Class 2 without the flag, Class 3)
@@ -35,8 +35,21 @@ pub fn remove_applies(rel: RelExpr, ctx: &mut RewriteCtx) -> Result<RelExpr> {
     loop {
         match rel {
             RelExpr::Apply { kind, left, right } => {
+                let before = verify::active().then(|| RelExpr::Apply {
+                    kind,
+                    left: left.clone(),
+                    right: right.clone(),
+                });
                 match push_once(kind, *left, *right, ctx)? {
-                    Pushed::Changed(new) => {
+                    Pushed::Changed(new, identity) => {
+                        verify::step(
+                            verify::RuleTag {
+                                rule: "apply_removal::push_once",
+                                identity,
+                            },
+                            before.as_ref(),
+                            &new,
+                        )?;
                         // Re-run children that the rewrite may have
                         // created (e.g. an Apply pushed one level down).
                         let mut new = new;
@@ -74,7 +87,10 @@ fn take(slot: &mut RelExpr) -> RelExpr {
 }
 
 enum Pushed {
-    Changed(RelExpr),
+    /// A successful push, tagged with the Apply-removal identity number
+    /// (1–9) that fired, when the rewrite is one of the paper's numbered
+    /// identities; `None` for auxiliary canonicalizations.
+    Changed(RelExpr, Option<u8>),
     Stuck(Box<RelExpr>, Box<RelExpr>),
 }
 
@@ -115,12 +131,15 @@ fn push_once(
 
     // Identity (1): no parameters resolved from the outer — plain join.
     if !correlated_with(&inner, &outer_cols) {
-        return Ok(Pushed::Changed(RelExpr::Join {
-            kind: kind.to_join_kind(),
-            left: Box::new(outer),
-            right: Box::new(inner),
-            predicate: ScalarExpr::true_(),
-        }));
+        return Ok(Pushed::Changed(
+            RelExpr::Join {
+                kind: kind.to_join_kind(),
+                left: Box::new(outer),
+                right: Box::new(inner),
+                predicate: ScalarExpr::true_(),
+            },
+            Some(1),
+        ));
     }
 
     match inner {
@@ -129,27 +148,36 @@ fn push_once(
             if !correlated_with(&input, &outer_cols) {
                 // Identity (2): absorb the parameterized select as the
                 // join predicate.
-                return Ok(Pushed::Changed(RelExpr::Join {
-                    kind: kind.to_join_kind(),
-                    left: Box::new(outer),
-                    right: input,
-                    predicate,
-                }));
+                return Ok(Pushed::Changed(
+                    RelExpr::Join {
+                        kind: kind.to_join_kind(),
+                        left: Box::new(outer),
+                        right: input,
+                        predicate,
+                    },
+                    Some(2),
+                ));
             }
             match kind {
                 // Identity (3): pull the select above A×.
-                ApplyKind::Cross => Ok(Pushed::Changed(RelExpr::Select {
-                    input: Box::new(apply(ApplyKind::Cross, outer, *input)),
-                    predicate,
-                })),
+                ApplyKind::Cross => Ok(Pushed::Changed(
+                    RelExpr::Select {
+                        input: Box::new(apply(ApplyKind::Cross, outer, *input)),
+                        predicate,
+                    },
+                    Some(3),
+                )),
                 ApplyKind::Semi | ApplyKind::Anti => {
                     match strip_for_existential(*input, vec![predicate], &outer_cols) {
-                        Ok((base, preds)) => Ok(Pushed::Changed(RelExpr::Join {
-                            kind: kind.to_join_kind(),
-                            left: Box::new(outer),
-                            right: Box::new(base),
-                            predicate: ScalarExpr::and(preds),
-                        })),
+                        Ok((base, preds)) => Ok(Pushed::Changed(
+                            RelExpr::Join {
+                                kind: kind.to_join_kind(),
+                                left: Box::new(outer),
+                                right: Box::new(base),
+                                predicate: ScalarExpr::and(preds),
+                            },
+                            Some(2),
+                        )),
                         Err((base, preds)) => Ok(Pushed::Stuck(
                             Box::new(outer),
                             Box::new(RelExpr::Select {
@@ -171,21 +199,29 @@ fn push_once(
             ApplyKind::Cross | ApplyKind::LeftOuter => {
                 let mut new_cols = outer.output_col_ids();
                 new_cols.extend(cols);
-                Ok(Pushed::Changed(RelExpr::Project {
-                    input: Box::new(apply(kind, outer, *input)),
-                    cols: new_cols,
-                }))
+                Ok(Pushed::Changed(
+                    RelExpr::Project {
+                        input: Box::new(apply(kind, outer, *input)),
+                        cols: new_cols,
+                    },
+                    Some(4),
+                ))
             }
             // Projection cannot change emptiness.
-            ApplyKind::Semi | ApplyKind::Anti => Ok(Pushed::Changed(apply(kind, outer, *input))),
+            ApplyKind::Semi | ApplyKind::Anti => {
+                Ok(Pushed::Changed(apply(kind, outer, *input), Some(4)))
+            }
         },
 
         // ---- Map (identity 4 for computed columns) --------------------
         RelExpr::Map { input, defs } => match kind {
-            ApplyKind::Cross => Ok(Pushed::Changed(RelExpr::Map {
-                input: Box::new(apply(ApplyKind::Cross, outer, *input)),
-                defs,
-            })),
+            ApplyKind::Cross => Ok(Pushed::Changed(
+                RelExpr::Map {
+                    input: Box::new(apply(ApplyKind::Cross, outer, *input)),
+                    defs,
+                },
+                Some(4),
+            )),
             ApplyKind::LeftOuter => {
                 // Pulling Map above an outerjoin-Apply is only valid when
                 // each computed column is NULL on NULL-padded rows
@@ -195,10 +231,13 @@ fn push_once(
                     .iter()
                     .all(|d| props::always_null_when(&d.expr, &inner_cols))
                 {
-                    Ok(Pushed::Changed(RelExpr::Map {
-                        input: Box::new(apply(ApplyKind::LeftOuter, outer, *input)),
-                        defs,
-                    }))
+                    Ok(Pushed::Changed(
+                        RelExpr::Map {
+                            input: Box::new(apply(ApplyKind::LeftOuter, outer, *input)),
+                            defs,
+                        },
+                        Some(4),
+                    ))
                 } else {
                     Ok(Pushed::Stuck(
                         Box::new(outer),
@@ -207,7 +246,9 @@ fn push_once(
                 }
             }
             // Computed columns cannot change emptiness.
-            ApplyKind::Semi | ApplyKind::Anti => Ok(Pushed::Changed(apply(kind, outer, *input))),
+            ApplyKind::Semi | ApplyKind::Anti => {
+                Ok(Pushed::Changed(apply(kind, outer, *input), Some(4)))
+            }
         },
 
         // ---- Scalar GroupBy (identity 9) ------------------------------
@@ -222,12 +263,15 @@ fn push_once(
             let outer = ensure_key(outer, ctx);
             let group_cols = outer.output_col_ids();
             let (input, aggs) = fix_aggs_for_outerjoin(*input, aggs, ctx);
-            Ok(Pushed::Changed(RelExpr::GroupBy {
-                kind: GroupKind::Vector,
-                input: Box::new(apply(ApplyKind::LeftOuter, outer, input)),
-                group_cols,
-                aggs,
-            }))
+            Ok(Pushed::Changed(
+                RelExpr::GroupBy {
+                    kind: GroupKind::Vector,
+                    input: Box::new(apply(ApplyKind::LeftOuter, outer, input)),
+                    group_cols,
+                    aggs,
+                },
+                Some(9),
+            ))
         }
 
         // ---- Vector / Local GroupBy (identity 8) ----------------------
@@ -241,16 +285,21 @@ fn push_once(
                 let outer = ensure_key(outer, ctx);
                 let mut new_groups = outer.output_col_ids();
                 new_groups.extend(group_cols);
-                Ok(Pushed::Changed(RelExpr::GroupBy {
-                    kind: gk,
-                    input: Box::new(apply(ApplyKind::Cross, outer, *input)),
-                    group_cols: new_groups,
-                    aggs,
-                }))
+                Ok(Pushed::Changed(
+                    RelExpr::GroupBy {
+                        kind: gk,
+                        input: Box::new(apply(ApplyKind::Cross, outer, *input)),
+                        group_cols: new_groups,
+                        aggs,
+                    },
+                    Some(8),
+                ))
             }
             // Vector aggregation is empty exactly when its input is:
             // existential tests ignore the aggregates entirely.
-            ApplyKind::Semi | ApplyKind::Anti => Ok(Pushed::Changed(apply(kind, outer, *input))),
+            ApplyKind::Semi | ApplyKind::Anti => {
+                Ok(Pushed::Changed(apply(kind, outer, *input), Some(8)))
+            }
             ApplyKind::LeftOuter => Ok(Pushed::Stuck(
                 Box::new(outer),
                 Box::new(RelExpr::GroupBy {
@@ -280,13 +329,16 @@ fn push_once(
             new_left_map.extend(left_map);
             let mut new_right_map = outer_ids;
             new_right_map.extend(right_map);
-            Ok(Pushed::Changed(RelExpr::UnionAll {
-                left: Box::new(apply(ApplyKind::Cross, outer.clone(), *left)),
-                right: Box::new(apply(ApplyKind::Cross, outer, *right)),
-                cols: new_cols,
-                left_map: new_left_map,
-                right_map: new_right_map,
-            }))
+            Ok(Pushed::Changed(
+                RelExpr::UnionAll {
+                    left: Box::new(apply(ApplyKind::Cross, outer.clone(), *left)),
+                    right: Box::new(apply(ApplyKind::Cross, outer, *right)),
+                    cols: new_cols,
+                    left_map: new_left_map,
+                    right_map: new_right_map,
+                },
+                Some(5),
+            ))
         }
 
         // ---- Except (identity 6, Class 2) ------------------------------
@@ -298,11 +350,14 @@ fn push_once(
             let outer_ids = outer.output_col_ids();
             let mut new_right_map = outer_ids;
             new_right_map.extend(right_map);
-            Ok(Pushed::Changed(RelExpr::Except {
-                left: Box::new(apply(ApplyKind::Cross, outer.clone(), *left)),
-                right: Box::new(apply(ApplyKind::Cross, outer, *right)),
-                right_map: new_right_map,
-            }))
+            Ok(Pushed::Changed(
+                RelExpr::Except {
+                    left: Box::new(apply(ApplyKind::Cross, outer.clone(), *left)),
+                    right: Box::new(apply(ApplyKind::Cross, outer, *right)),
+                    right_map: new_right_map,
+                },
+                Some(6),
+            ))
         }
 
         // ---- Join -----------------------------------------------------
@@ -316,13 +371,14 @@ fn push_once(
         // Existential tests over UNION ALL distribute without touching
         // the aggregates: emptiness of a union is emptiness of both
         // branches (anti chains; semi via bag difference, Class 2).
-        RelExpr::UnionAll { left, right, .. } if kind == ApplyKind::Anti => {
-            Ok(Pushed::Changed(apply(
+        RelExpr::UnionAll { left, right, .. } if kind == ApplyKind::Anti => Ok(Pushed::Changed(
+            apply(
                 ApplyKind::Anti,
                 apply(ApplyKind::Anti, outer, *left),
                 *right,
-            )))
-        }
+            ),
+            Some(5),
+        )),
         RelExpr::UnionAll { left, right, .. }
             if kind == ApplyKind::Semi && ctx.config.unnest_class2 =>
         {
@@ -333,11 +389,14 @@ fn push_once(
                 *right,
             );
             let right_map = outer.output_col_ids();
-            Ok(Pushed::Changed(RelExpr::Except {
-                left: Box::new(outer),
-                right: Box::new(anti),
-                right_map,
-            }))
+            Ok(Pushed::Changed(
+                RelExpr::Except {
+                    left: Box::new(outer),
+                    right: Box::new(anti),
+                    right_map,
+                },
+                Some(5),
+            ))
         }
 
         // ---- Max1Row: Class 3, stays correlated ------------------------
@@ -359,7 +418,7 @@ fn push_once(
                 && ctx.config.unnest_class2
                 && !matches!(other, RelExpr::Max1Row { .. } | RelExpr::Apply { .. })
             {
-                return Ok(Pushed::Changed(loj_compensation(outer, other, ctx)));
+                return Ok(Pushed::Changed(loj_compensation(outer, other, ctx), None));
             }
             Ok(Pushed::Stuck(Box::new(outer), Box::new(other)))
         }
@@ -555,37 +614,46 @@ fn push_through_join(
         (ApplyKind::Cross, JoinKind::Inner) => {
             if c1 && !c2 && predicate_stays(&predicate, &outer_cols) {
                 // (R A× E1) ⋈p E2
-                return Ok(Pushed::Changed(RelExpr::Join {
-                    kind: JoinKind::Inner,
-                    left: Box::new(apply(ApplyKind::Cross, outer, e1)),
-                    right: Box::new(e2),
-                    predicate,
-                }));
+                return Ok(Pushed::Changed(
+                    RelExpr::Join {
+                        kind: JoinKind::Inner,
+                        left: Box::new(apply(ApplyKind::Cross, outer, e1)),
+                        right: Box::new(e2),
+                        predicate,
+                    },
+                    Some(7),
+                ));
             }
             if !c1 && c2 && predicate_stays(&predicate, &outer_cols) {
                 // (R A× E2) ⋈p E1 — commute; column order restored above.
-                return Ok(Pushed::Changed(RelExpr::Join {
-                    kind: JoinKind::Inner,
-                    left: Box::new(apply(ApplyKind::Cross, outer, e2)),
-                    right: Box::new(e1),
-                    predicate,
-                }));
+                return Ok(Pushed::Changed(
+                    RelExpr::Join {
+                        kind: JoinKind::Inner,
+                        left: Box::new(apply(ApplyKind::Cross, outer, e2)),
+                        right: Box::new(e1),
+                        predicate,
+                    },
+                    Some(7),
+                ));
             }
             if !predicate.is_true() {
                 // Canonicalize σp(E1 × E2) and let identity (3) take it.
-                return Ok(Pushed::Changed(apply(
-                    ApplyKind::Cross,
-                    outer,
-                    RelExpr::Select {
-                        input: Box::new(RelExpr::Join {
-                            kind: JoinKind::Inner,
-                            left: Box::new(e1),
-                            right: Box::new(e2),
-                            predicate: ScalarExpr::true_(),
-                        }),
-                        predicate,
-                    },
-                )));
+                return Ok(Pushed::Changed(
+                    apply(
+                        ApplyKind::Cross,
+                        outer,
+                        RelExpr::Select {
+                            input: Box::new(RelExpr::Join {
+                                kind: JoinKind::Inner,
+                                left: Box::new(e1),
+                                right: Box::new(e2),
+                                predicate: ScalarExpr::true_(),
+                            }),
+                            predicate,
+                        },
+                    ),
+                    None,
+                ));
             }
             if ctx.config.unnest_class2 {
                 // Identity (7): R A× (E1 × E2) =
@@ -612,15 +680,18 @@ fn push_through_join(
                 let copy_ids: BTreeSet<ColId> = rename.values().copied().collect();
                 out_cols.extend(right_out.into_iter().filter(|c| !copy_ids.contains(c)));
                 let _ = left_width;
-                return Ok(Pushed::Changed(RelExpr::Project {
-                    input: Box::new(RelExpr::Join {
-                        kind: JoinKind::Inner,
-                        left: Box::new(left),
-                        right: Box::new(right),
-                        predicate: key_pred,
-                    }),
-                    cols: out_cols,
-                }));
+                return Ok(Pushed::Changed(
+                    RelExpr::Project {
+                        input: Box::new(RelExpr::Join {
+                            kind: JoinKind::Inner,
+                            left: Box::new(left),
+                            right: Box::new(right),
+                            predicate: key_pred,
+                        }),
+                        cols: out_cols,
+                    },
+                    Some(7),
+                ));
             }
             Ok(Pushed::Stuck(
                 Box::new(outer),
@@ -634,20 +705,26 @@ fn push_through_join(
         }
         (ApplyKind::Cross, JoinKind::LeftOuter) if c1 && !c2 => {
             // Padding happens per E1-row in both forms.
-            Ok(Pushed::Changed(RelExpr::Join {
-                kind: JoinKind::LeftOuter,
-                left: Box::new(apply(ApplyKind::Cross, outer, e1)),
-                right: Box::new(e2),
-                predicate,
-            }))
+            Ok(Pushed::Changed(
+                RelExpr::Join {
+                    kind: JoinKind::LeftOuter,
+                    left: Box::new(apply(ApplyKind::Cross, outer, e1)),
+                    right: Box::new(e2),
+                    predicate,
+                },
+                Some(7),
+            ))
         }
         (ApplyKind::Cross, JoinKind::LeftSemi | JoinKind::LeftAnti) if c1 && !c2 => {
-            Ok(Pushed::Changed(RelExpr::Join {
-                kind: jk,
-                left: Box::new(apply(ApplyKind::Cross, outer, e1)),
-                right: Box::new(e2),
-                predicate,
-            }))
+            Ok(Pushed::Changed(
+                RelExpr::Join {
+                    kind: jk,
+                    left: Box::new(apply(ApplyKind::Cross, outer, e1)),
+                    right: Box::new(e2),
+                    predicate,
+                },
+                Some(7),
+            ))
         }
         (ApplyKind::Semi | ApplyKind::Anti, JoinKind::Inner) => {
             // Canonicalize to σp(cross) and use the existential strip.
@@ -665,12 +742,15 @@ fn push_through_join(
                 &outer_cols,
             );
             match stripped {
-                Ok((base, preds)) => Ok(Pushed::Changed(RelExpr::Join {
-                    kind: kind.to_join_kind(),
-                    left: Box::new(outer),
-                    right: Box::new(base),
-                    predicate: ScalarExpr::and(preds),
-                })),
+                Ok((base, preds)) => Ok(Pushed::Changed(
+                    RelExpr::Join {
+                        kind: kind.to_join_kind(),
+                        left: Box::new(outer),
+                        right: Box::new(base),
+                        predicate: ScalarExpr::and(preds),
+                    },
+                    Some(2),
+                )),
                 Err((base, preds)) => Ok(Pushed::Stuck(
                     Box::new(outer),
                     Box::new(RelExpr::Select {

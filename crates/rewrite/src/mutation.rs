@@ -1,0 +1,206 @@
+//! Deliberately broken rule variants, for testing the verifier.
+//!
+//! Each function applies a *mutated* version of a real rewrite rule —
+//! one with a guard removed or a bookkeeping step forgotten — and then
+//! runs the same plancheck step the genuine rule runs. A correct
+//! verifier must reject the result with a blame report naming the
+//! mutated rule; the mutation tests in `crates/core/tests` assert
+//! exactly that. Only compiled under the `plancheck` feature.
+
+// The decline path of [`rewrite_first`] hands the unmatched node back
+// through `Err` by design — no allocation, no loss of ownership.
+#![allow(clippy::result_large_err)]
+
+use orthopt_common::Result;
+use orthopt_ir::{ApplyKind, JoinKind, RelExpr};
+
+use crate::verify::{self, RuleTag};
+
+/// Applies `f` at the first (top-down) node where it fires, leaving the
+/// rest of the tree untouched. `f` returns `Ok(new)` to replace the
+/// node, `Err(original)` to decline.
+fn rewrite_first<F>(rel: RelExpr, f: &mut F, hit: &mut bool) -> RelExpr
+where
+    F: FnMut(RelExpr) -> std::result::Result<RelExpr, RelExpr>,
+{
+    if *hit {
+        return rel;
+    }
+    match f(rel) {
+        Ok(new) => {
+            *hit = true;
+            new
+        }
+        Err(mut rel) => {
+            for child in rel.children_mut() {
+                let taken = std::mem::replace(
+                    child,
+                    RelExpr::ConstRel {
+                        cols: vec![],
+                        rows: vec![],
+                    },
+                );
+                *child = rewrite_first(taken, f, hit);
+                if *hit {
+                    break;
+                }
+            }
+            rel
+        }
+    }
+}
+
+/// Mutated outerjoin simplification: converts every `LOJ` to an inner
+/// join *unconditionally* and records no witnesses. The audit must
+/// notice the conversion-count/witness mismatch.
+pub fn outerjoin_drop_witness(rel: RelExpr) -> Result<RelExpr> {
+    let before = rel.clone();
+    let mut after = rel;
+    let mut convert = |r: RelExpr| match r {
+        RelExpr::Join {
+            kind: JoinKind::LeftOuter,
+            left,
+            right,
+            predicate,
+        } => Ok(RelExpr::Join {
+            kind: JoinKind::Inner,
+            left,
+            right,
+            predicate,
+        }),
+        other => Err(other),
+    };
+    let mut hit = false;
+    after = rewrite_first(after, &mut convert, &mut hit);
+    verify::step_outerjoin(
+        RuleTag::pass("mutation::outerjoin_drop_witness"),
+        &before,
+        &after,
+        &[],
+    )?;
+    Ok(after)
+}
+
+/// Mutated identity (2): absorbs a parameterized Select into a join
+/// without checking that the Select's *input* is uncorrelated. When it
+/// is correlated, the resulting join's right child references columns
+/// produced by its left sibling — a correlation-scoping leak.
+pub fn select_absorb_ignoring_correlation(rel: RelExpr) -> Result<RelExpr> {
+    let before = verify::snapshot(&rel);
+    let mut broken = |r: RelExpr| match r {
+        RelExpr::Apply { kind, left, right } => match *right {
+            RelExpr::Select { input, predicate } => Ok(RelExpr::Join {
+                kind: kind.to_join_kind(),
+                left,
+                right: input,
+                predicate,
+            }),
+            other => Err(RelExpr::Apply {
+                kind,
+                left,
+                right: Box::new(other),
+            }),
+        },
+        other => Err(other),
+    };
+    let mut hit = false;
+    let after = rewrite_first(rel, &mut broken, &mut hit);
+    verify::step(
+        RuleTag {
+            rule: "mutation::select_absorb_ignoring_correlation",
+            identity: Some(2),
+        },
+        before.as_ref(),
+        &after,
+    )?;
+    Ok(after)
+}
+
+/// Mutated identity (5): pushes `A×` below a `UnionAll`, extends the
+/// output columns with the outer's columns but *forgets to extend the
+/// branch maps* — the positional maps no longer match the output width.
+pub fn union_push_forgetting_maps(rel: RelExpr) -> Result<RelExpr> {
+    let before = verify::snapshot(&rel);
+    let mut broken = |r: RelExpr| match r {
+        RelExpr::Apply {
+            kind: ApplyKind::Cross,
+            left: outer,
+            right,
+        } => match *right {
+            RelExpr::UnionAll {
+                left,
+                right,
+                cols,
+                left_map,
+                right_map,
+            } => {
+                let mut new_cols = outer.output_cols();
+                new_cols.extend(cols);
+                Ok(RelExpr::UnionAll {
+                    left: Box::new(RelExpr::Apply {
+                        kind: ApplyKind::Cross,
+                        left: outer.clone(),
+                        right: left,
+                    }),
+                    right: Box::new(RelExpr::Apply {
+                        kind: ApplyKind::Cross,
+                        left: outer,
+                        right,
+                    }),
+                    cols: new_cols,
+                    left_map,
+                    right_map,
+                })
+            }
+            other => Err(RelExpr::Apply {
+                kind: ApplyKind::Cross,
+                left: outer,
+                right: Box::new(other),
+            }),
+        },
+        other => Err(other),
+    };
+    let mut hit = false;
+    let after = rewrite_first(rel, &mut broken, &mut hit);
+    verify::step(
+        RuleTag {
+            rule: "mutation::union_push_forgetting_maps",
+            identity: Some(5),
+        },
+        before.as_ref(),
+        &after,
+    )?;
+    Ok(after)
+}
+
+/// Mutated column pruning: projects a `GroupBy`'s input down to the
+/// grouping columns alone, destroying the columns its aggregate
+/// arguments still reference.
+pub fn prune_destroys_agg_input(rel: RelExpr) -> Result<RelExpr> {
+    let before = verify::snapshot(&rel);
+    let mut broken = |r: RelExpr| match r {
+        RelExpr::GroupBy {
+            kind,
+            input,
+            group_cols,
+            aggs,
+        } if aggs.iter().any(|a| a.arg.is_some()) => Ok(RelExpr::GroupBy {
+            kind,
+            input: Box::new(RelExpr::Project {
+                input,
+                cols: group_cols.clone(),
+            }),
+            group_cols,
+            aggs,
+        }),
+        other => Err(other),
+    };
+    let mut hit = false;
+    let after = rewrite_first(rel, &mut broken, &mut hit);
+    verify::step(
+        RuleTag::pass("mutation::prune_destroys_agg_input"),
+        before.as_ref(),
+        &after,
+    )?;
+    Ok(after)
+}

@@ -12,11 +12,22 @@ use std::collections::BTreeSet;
 
 use orthopt_common::ColId;
 use orthopt_ir::props;
-use orthopt_ir::{GroupKind, JoinKind, RelExpr, ScalarExpr};
+use orthopt_ir::{GroupByDerivation, GroupKind, JoinKind, NullRejectWitness, RelExpr, ScalarExpr};
 
 /// Simplifies outerjoins into joins wherever a predicate above rejects
 /// NULLs coming from the preserved side's padding.
-pub fn simplify_outerjoins(mut rel: RelExpr) -> RelExpr {
+pub fn simplify_outerjoins(rel: RelExpr) -> RelExpr {
+    let mut witnesses = Vec::new();
+    simplify_outerjoins_audited(rel, &mut witnesses)
+}
+
+/// Like [`simplify_outerjoins`], but records one [`NullRejectWitness`]
+/// per `LOJ → Join` conversion so the plan verifier can re-check that
+/// every conversion was justified (and that none went unaccounted).
+pub fn simplify_outerjoins_audited(
+    mut rel: RelExpr,
+    witnesses: &mut Vec<NullRejectWitness>,
+) -> RelExpr {
     for child in rel.children_mut() {
         let taken = std::mem::replace(
             child,
@@ -25,10 +36,10 @@ pub fn simplify_outerjoins(mut rel: RelExpr) -> RelExpr {
                 rows: vec![],
             },
         );
-        *child = simplify_outerjoins(taken);
+        *child = simplify_outerjoins_audited(taken, witnesses);
     }
     if let RelExpr::Select { input, predicate } = rel {
-        let simplified = push_rejection(*input, &predicate);
+        let simplified = push_rejection(*input, &predicate, witnesses);
         rel = RelExpr::Select {
             input: Box::new(simplified),
             predicate,
@@ -39,7 +50,11 @@ pub fn simplify_outerjoins(mut rel: RelExpr) -> RelExpr {
 
 /// Applies the rejection information of `pred` to the operator directly
 /// below (and, through GroupBy, one level further).
-fn push_rejection(rel: RelExpr, pred: &ScalarExpr) -> RelExpr {
+fn push_rejection(
+    rel: RelExpr,
+    pred: &ScalarExpr,
+    witnesses: &mut Vec<NullRejectWitness>,
+) -> RelExpr {
     match rel {
         RelExpr::Join {
             kind: JoinKind::LeftOuter,
@@ -49,6 +64,11 @@ fn push_rejection(rel: RelExpr, pred: &ScalarExpr) -> RelExpr {
         } => {
             let right_cols: BTreeSet<ColId> = right.output_col_ids().into_iter().collect();
             if props::rejects_null_on(pred, &right_cols) {
+                witnesses.push(NullRejectWitness {
+                    predicate: pred.clone(),
+                    padded_cols: right_cols,
+                    via_groupby: None,
+                });
                 RelExpr::Join {
                     kind: JoinKind::Inner,
                     left,
@@ -89,6 +109,18 @@ fn push_rejection(rel: RelExpr, pred: &ScalarExpr) -> RelExpr {
                     let aggregate_hits = rejected_inputs.iter().any(|c| right_cols.contains(c));
                     let padded_isolated = props::has_key_within(&left, &grouping);
                     if aggregate_hits && padded_isolated {
+                        witnesses.push(NullRejectWitness {
+                            predicate: pred.clone(),
+                            padded_cols: right_cols,
+                            via_groupby: Some(GroupByDerivation {
+                                aggs: aggs.clone(),
+                                group_cols: grouping.clone(),
+                                preserved_key: props::keys(&left)
+                                    .into_iter()
+                                    .find(|k| k.is_subset(&grouping))
+                                    .unwrap_or_default(),
+                            }),
+                        });
                         RelExpr::Join {
                             kind: JoinKind::Inner,
                             left,
@@ -124,18 +156,18 @@ fn push_rejection(rel: RelExpr, pred: &ScalarExpr) -> RelExpr {
             let mut inner_pred = pred.clone();
             inner_pred.substitute(&substitutions);
             RelExpr::Map {
-                input: Box::new(push_rejection(*input, &inner_pred)),
+                input: Box::new(push_rejection(*input, &inner_pred, witnesses)),
                 defs,
             }
         }
         RelExpr::Project { input, cols } => RelExpr::Project {
-            input: Box::new(push_rejection(*input, pred)),
+            input: Box::new(push_rejection(*input, pred, witnesses)),
             cols,
         },
         RelExpr::Select { input, predicate } => {
-            let inner = push_rejection(*input, pred);
+            let inner = push_rejection(*input, pred, witnesses);
             // Also give the inner select's own predicate a chance.
-            let inner = push_rejection(inner, &predicate);
+            let inner = push_rejection(inner, &predicate, witnesses);
             RelExpr::Select {
                 input: Box::new(inner),
                 predicate,
@@ -169,7 +201,7 @@ mod tests {
                     kind: JoinKind::LeftOuter,
                     ..
                 }
-            )
+            );
         });
         found
     }

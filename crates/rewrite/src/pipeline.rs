@@ -3,7 +3,7 @@
 use orthopt_common::Result;
 use orthopt_ir::RelExpr;
 
-use crate::{apply_removal, max1row, outerjoin, prune, simplify, subquery, RewriteCtx};
+use crate::{apply_removal, max1row, outerjoin, prune, simplify, subquery, verify, RewriteCtx};
 
 /// Feature toggles for normalization. The defaults mirror the paper's
 /// implementation; the benchmark harness dials features down to build
@@ -57,42 +57,70 @@ impl RewriteConfig {
 }
 
 /// Runs the full normalization pipeline over a bound tree.
+///
+/// Under the `plancheck` feature (with the runtime gate on) every pass
+/// is followed by a static invariant check; `apply_removal` further
+/// verifies after every individual identity push. A violation surfaces
+/// as [`orthopt_common::Error::Plancheck`] blaming the offending pass.
 pub fn normalize(rel: RelExpr, config: RewriteConfig) -> Result<RelExpr> {
     let mut ctx = RewriteCtx::for_tree(&rel, config);
     let mut rel = rel;
 
     // Composite aggregates first so every later pass sees splittable
     // aggregates only.
-    rel = simplify::expand_composite_aggs(rel, &mut ctx);
+    rel = verify::checked_pass("simplify::expand_composite_aggs", rel, |r| {
+        Ok(simplify::expand_composite_aggs(r, &mut ctx))
+    })?;
 
     if config.remove_mutual_recursion {
-        rel = subquery::remove_mutual_recursion(rel, &mut ctx)?;
+        rel = verify::checked_pass("subquery::remove_mutual_recursion", rel, |r| {
+            subquery::remove_mutual_recursion(r, &mut ctx)
+        })?;
     }
-    rel = max1row::eliminate_max1row(rel);
+    rel = verify::checked_pass("max1row::eliminate_max1row", rel, |r| {
+        Ok(max1row::eliminate_max1row(r))
+    })?;
     if config.prune_columns {
         // Early pruning drops dead computed columns (e.g. the constant
         // of `EXISTS (SELECT 1 …)`) that would otherwise block Apply
         // pushes through non-strict Maps.
-        rel = prune::prune_columns(rel);
+        rel = verify::checked_pass("prune::prune_columns", rel, |r| Ok(prune::prune_columns(r)))?;
     }
     if config.decorrelate {
+        // remove_applies self-verifies after every individual identity
+        // push (with the identity number in the blame report).
         rel = apply_removal::remove_applies(rel, &mut ctx)?;
     }
     // Two rounds: outerjoin simplification can expose new pushdown
     // opportunities and vice versa.
     for _ in 0..2 {
-        rel = simplify::simplify(rel);
+        rel = verify::checked_pass("simplify::simplify", rel, |r| Ok(simplify::simplify(r)))?;
         if config.simplify_outerjoin {
-            rel = outerjoin::simplify_outerjoins(rel);
+            let before = verify::snapshot(&rel);
+            let mut witnesses = Vec::new();
+            rel = outerjoin::simplify_outerjoins_audited(rel, &mut witnesses);
+            if let Some(before) = before {
+                verify::step_outerjoin(
+                    verify::RuleTag::pass("outerjoin::simplify_outerjoins"),
+                    &before,
+                    &rel,
+                    &witnesses,
+                )?;
+            }
         }
         if config.push_predicates {
-            rel = simplify::push_down_predicates(rel);
+            rel = verify::checked_pass("simplify::push_down_predicates", rel, |r| {
+                Ok(simplify::push_down_predicates(r))
+            })?;
         }
     }
-    rel = simplify::simplify(rel);
+    rel = verify::checked_pass("simplify::simplify", rel, |r| Ok(simplify::simplify(r)))?;
     if config.prune_columns {
-        rel = prune::prune_columns(rel);
+        rel = verify::checked_pass("prune::prune_columns", rel, |r| Ok(prune::prune_columns(r)))?;
     }
+    // The normalized tree must be self-contained: any residual outer
+    // reference at this point is a correlation-scoping bug.
+    verify::step_closed(verify::RuleTag::pass("pipeline::normalize"), None, &rel)?;
     Ok(rel)
 }
 

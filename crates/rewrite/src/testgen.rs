@@ -12,7 +12,7 @@ use orthopt_storage::{Catalog, ColumnDef, TableDef};
 
 /// Maps an optional small int to a SQL value (`None` is NULL).
 pub fn opt_value(v: Option<i64>) -> Value {
-    v.map(Value::Int).unwrap_or(Value::Null)
+    v.map_or(Value::Null, Value::Int)
 }
 
 /// Builds the two-table catalog the query family runs against:

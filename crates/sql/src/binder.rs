@@ -80,7 +80,7 @@ impl Scope {
     }
 
     fn current(&self) -> &[Frame] {
-        self.levels.last().map(Vec::as_slice).unwrap_or(&[])
+        self.levels.last().map_or(&[], Vec::as_slice)
     }
 
     /// Column ids visible in the current (innermost) level.
@@ -117,7 +117,7 @@ impl Scope {
                 }
             }
             match hits.len() {
-                0 => continue,
+                0 => {}
                 1 => return Ok(hits.pop().expect("one hit")),
                 _ => return Err(Error::Bind(format!("ambiguous column reference {name}"))),
             }
@@ -295,7 +295,7 @@ impl Binder<'_> {
             let agg_internal: std::collections::BTreeSet<ColId> = collector
                 .defs
                 .iter()
-                .flat_map(|d| d.arg.iter().flat_map(|a| a.cols()))
+                .flat_map(|d| d.arg.iter().flat_map(orthopt_ir::ScalarExpr::cols))
                 .collect();
             let check = |expr: &ScalarExpr| -> Result<()> {
                 for c in expr.top_level_cols() {
@@ -643,10 +643,7 @@ impl Binder<'_> {
                     // Nested aggregates are invalid.
                     Some(self.bind_scalar(&args[0], scope, None)?)
                 };
-                let arg_ty = arg
-                    .as_ref()
-                    .map(|a| self.infer_type(a).0)
-                    .unwrap_or(DataType::Int);
+                let arg_ty = arg.as_ref().map_or(DataType::Int, |a| self.infer_type(a).0);
                 let ty = func.output_type(Some(arg_ty));
                 let nullable = func.output_nullable();
                 let out = self.fresh_col(format!("{name}_{}", self.gen.peek()), ty, nullable);
@@ -716,8 +713,7 @@ impl Binder<'_> {
             ScalarExpr::Column(c) => self
                 .col_meta
                 .get(c)
-                .map(|m| (m.ty, m.nullable))
-                .unwrap_or((DataType::Int, true)),
+                .map_or((DataType::Int, true), |m| (m.ty, m.nullable)),
             ScalarExpr::Literal(v) => (v.data_type().unwrap_or(DataType::Int), v.is_null()),
             ScalarExpr::Cmp { left, right, .. } => {
                 let n = self.infer_type(left).1 || self.infer_type(right).1;
@@ -744,8 +740,7 @@ impl Binder<'_> {
             ScalarExpr::Case { whens, else_, .. } => {
                 let (ty, mut nullable) = whens
                     .first()
-                    .map(|(_, t)| self.infer_type(t))
-                    .unwrap_or((DataType::Int, true));
+                    .map_or((DataType::Int, true), |(_, t)| self.infer_type(t));
                 for (_, t) in whens.iter().skip(1) {
                     nullable |= self.infer_type(t).1;
                 }
@@ -755,8 +750,7 @@ impl Binder<'_> {
             ScalarExpr::Subquery(rel) => rel
                 .output_cols()
                 .first()
-                .map(|c| (c.ty, true))
-                .unwrap_or((DataType::Int, true)),
+                .map_or((DataType::Int, true), |c| (c.ty, true)),
             ScalarExpr::Exists { .. }
             | ScalarExpr::InSubquery { .. }
             | ScalarExpr::QuantifiedCmp { .. } => (DataType::Bool, true),
@@ -837,7 +831,7 @@ impl TopLevelCols for ScalarExpr {
                 // Subquery bodies excluded; their left-hand operands count.
                 ScalarExpr::Subquery(_) | ScalarExpr::Exists { .. } => {}
                 ScalarExpr::InSubquery { expr, .. } | ScalarExpr::QuantifiedCmp { expr, .. } => {
-                    go(expr, out)
+                    go(expr, out);
                 }
             }
         }

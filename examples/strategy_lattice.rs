@@ -55,7 +55,7 @@ fn main() -> orthopt::common::Result<()> {
             match &baseline {
                 None => baseline = Some(result.rows),
                 Some(expect) => {
-                    assert!(bag_eq(expect, &result.rows), "{name} at {level:?} differs")
+                    assert!(bag_eq(expect, &result.rows), "{name} at {level:?} differs");
                 }
             }
         }

@@ -71,7 +71,7 @@ fn search_costs_converge_across_formulations() {
         .iter()
         .map(|(_, sql)| db.plan(sql, OptimizerLevel::Full).unwrap().search.best_cost)
         .collect();
-    let max = costs.iter().cloned().fold(f64::MIN, f64::max);
-    let min = costs.iter().cloned().fold(f64::MAX, f64::min);
+    let max = costs.iter().copied().fold(f64::MIN, f64::max);
+    let min = costs.iter().copied().fold(f64::MAX, f64::min);
     assert!((max - min) / max < 0.05, "best costs diverge: {costs:?}");
 }

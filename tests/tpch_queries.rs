@@ -133,9 +133,14 @@ fn explain_analyze_covers_q2_and_q17_at_every_level() {
             assert!(rendered.contains("analyzed:"), "{level:?}\n{rendered}");
             assert!(rendered.contains("rows="), "{level:?}\n{rendered}");
             assert!(rendered.contains("opens="), "{level:?}\n{rendered}");
+            // The static verifier signs off on every compiled plan.
+            assert!(rendered.contains("plancheck: ok"), "{level:?}\n{rendered}");
             // Every operator line carries a stats block.
             for line in rendered.lines().skip(1) {
-                assert!(line.contains("[rows="), "unannotated line: {line}");
+                assert!(
+                    line.contains("[rows=") || line.contains("plancheck:"),
+                    "unannotated line: {line}"
+                );
             }
         }
     }
