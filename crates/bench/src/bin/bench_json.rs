@@ -13,10 +13,11 @@
 
 use std::fmt::Write as _;
 
+use orthopt::common::QueryContext;
 use orthopt::exec::{phys_node_labels, Bindings, Pipeline};
 use orthopt::tpch::queries;
 use orthopt::OptimizerLevel;
-use orthopt_bench::{median_ms, plan, tpch};
+use orthopt_bench::{median_ms, median_ms_governed, plan, tpch};
 
 /// Minimal JSON string escaping (labels contain no exotic characters,
 /// but quotes and backslashes must not corrupt the document).
@@ -78,18 +79,41 @@ fn main() {
                 worker_runs.push((workers, median_ms(&db, &pw, 5), exchanges));
             }
             db.set_parallelism(1);
-            // One instrumented run for the operator-level counters.
+            // Governor-on median on the same plan: a generous budget (so
+            // nothing trips) exposes the accounting overhead vs. the
+            // ungoverned `elapsed` above.
+            let gov = QueryContext::new().with_memory_limit(1 << 30);
+            let governed_ms = median_ms_governed(&db, &p, 5, &gov);
+            let overhead_pct = if elapsed > 0.0 {
+                (governed_ms - elapsed) / elapsed * 100.0
+            } else {
+                0.0
+            };
+            // One instrumented, budgeted run for the operator-level
+            // counters and the query-wide peak of live buffered bytes.
             let mut pipeline = Pipeline::compile(&p.physical).expect("pipeline compiles");
+            pipeline.set_governor(QueryContext::new().with_memory_limit(1 << 30));
             let chunk = pipeline
                 .execute(db.catalog(), &Bindings::new())
                 .expect("execution");
+            let mem_peak = pipeline.governor().mem_peak().unwrap_or(0);
             let labels = phys_node_labels(&p.physical);
             let stats = pipeline.stats();
             let cached = pipeline.cached_nodes();
-            eprintln!("{name} {level:>16?}: {elapsed:.2} ms, {} rows", chunk.len());
+            eprintln!(
+                "{name} {level:>16?}: {elapsed:.2} ms ({governed_ms:.2} governed), \
+                 {} rows, peak {mem_peak}B",
+                chunk.len()
+            );
             let _ = writeln!(json, "        {{");
             let _ = writeln!(json, "          \"level\": \"{}\",", esc(level.name()));
             let _ = writeln!(json, "          \"elapsed_ms\": {elapsed:.4},");
+            let _ = writeln!(json, "          \"governed_ms\": {governed_ms:.4},");
+            let _ = writeln!(
+                json,
+                "          \"governed_overhead_pct\": {overhead_pct:.2},"
+            );
+            let _ = writeln!(json, "          \"mem_peak_bytes\": {mem_peak},");
             let _ = writeln!(json, "          \"rows\": {},", chunk.len());
             let _ = writeln!(json, "          \"workers\": [");
             for (wi, (workers, ms, exchanges)) in worker_runs.iter().enumerate() {
@@ -107,12 +131,13 @@ fn main() {
                     json,
                     "            {{\"id\": {id}, \"depth\": {depth}, \"op\": \"{}\", \
                      \"rows\": {}, \"batches\": {}, \"opens\": {}, \"time_ms\": {:.4}, \
-                     \"cached\": {}}}{}",
+                     \"mem_peak\": {}, \"cached\": {}}}{}",
                     esc(label),
                     s.rows,
                     s.batches,
                     s.opens,
                     s.elapsed.as_secs_f64() * 1e3,
+                    s.mem_peak,
                     cached.contains(&id),
                     if id + 1 == labels.len() { "" } else { "," },
                 );

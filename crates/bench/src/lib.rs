@@ -7,6 +7,7 @@
 
 use std::time::Instant;
 
+use orthopt::common::QueryContext;
 use orthopt::{Database, OptimizerLevel, Plan, QueryResult};
 
 /// Builds a TPC-H database at the given scale factor (panics on error:
@@ -40,6 +41,30 @@ pub fn time_execution_ms(db: &Database, plan: &Plan) -> f64 {
 pub fn median_ms(db: &Database, plan: &Plan, n: usize) -> f64 {
     let _ = time_execution_ms(db, plan); // warm-up
     let mut samples: Vec<f64> = (0..n.max(1)).map(|_| time_execution_ms(db, plan)).collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Wall-clock milliseconds of one execution under an explicit
+/// governance context (fresh clone per run: the pool is shared, but
+/// reservations drain between runs).
+pub fn time_execution_governed_ms(db: &Database, plan: &Plan, gov: &QueryContext) -> f64 {
+    let t = Instant::now();
+    let result = db
+        .run_with_context(plan, gov.clone())
+        .expect("governed execution");
+    let elapsed = t.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(result.rows.len());
+    elapsed
+}
+
+/// Median of `n` governed executions after one warm-up; used by the
+/// E-GOV overhead comparison (governor on vs. off on the same plan).
+pub fn median_ms_governed(db: &Database, plan: &Plan, n: usize, gov: &QueryContext) -> f64 {
+    let _ = time_execution_governed_ms(db, plan, gov); // warm-up
+    let mut samples: Vec<f64> = (0..n.max(1))
+        .map(|_| time_execution_governed_ms(db, plan, gov))
+        .collect();
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }

@@ -10,7 +10,10 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// The paper's "exception subqueries" (§2.4, Class 3) hinge on the fact
 /// that some subqueries can raise *run-time* errors — represented here by
 /// [`Error::SubqueryReturnedMoreThanOneRow`], raised by the `Max1Row`
-/// operator during execution.
+/// operator during execution. The runtime resource governor adds two
+/// further structured run-time conditions: [`Error::ResourceExhausted`]
+/// (a memory budget trip at a named buffering operator) and
+/// [`Error::Cancelled`] (cooperative cancellation or deadline expiry).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// Lexer/parser failure, with position information in the message.
@@ -41,6 +44,35 @@ pub enum Error {
     /// The message carries the blame report: rule name, identity number,
     /// offending node and before/after plan explains.
     Plancheck(String),
+    /// A buffering operator asked the per-query memory pool for more
+    /// bytes than the budget allows. Carries the blamed operator, the
+    /// size of the refused request, and the configured limit.
+    ResourceExhausted {
+        /// Buffering site that made the refused request (e.g.
+        /// `"HashJoin"`, `"Sort"`, `"Cache"`).
+        operator: String,
+        /// Bytes the operator tried to reserve.
+        requested: u64,
+        /// The per-query budget in bytes.
+        limit: u64,
+    },
+    /// The query was cancelled cooperatively — by an explicit cancel
+    /// handle or an expired deadline — at an operator boundary.
+    Cancelled {
+        /// Operator at whose `next_batch` boundary the cancellation was
+        /// observed.
+        operator: String,
+        /// Milliseconds since the query (its cancellation scope) started.
+        elapsed_ms: u64,
+    },
+    /// A contextual wrapper around another error; the inner error is
+    /// reachable through [`std::error::Error::source`].
+    Context {
+        /// What the failing layer was doing.
+        msg: String,
+        /// The underlying failure.
+        source: Box<Error>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -60,15 +92,100 @@ impl fmt::Display for Error {
             Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::Plancheck(m) => write!(f, "plan invariant violation: {m}"),
+            Error::ResourceExhausted {
+                operator,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "resource exhausted: {operator} requested {requested} bytes \
+                 over a {limit}-byte memory budget"
+            ),
+            Error::Cancelled {
+                operator,
+                elapsed_ms,
+            } => write!(f, "query cancelled at {operator} after {elapsed_ms}ms"),
+            Error::Context { msg, source } => write!(f, "{msg}: {source}"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Context { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl Error {
     /// Shorthand for an [`Error::Internal`] with a formatted message.
     pub fn internal(msg: impl Into<String>) -> Self {
         Error::Internal(msg.into())
+    }
+
+    /// Wraps this error with a layer of context; the original error
+    /// stays reachable through [`std::error::Error::source`].
+    #[must_use]
+    pub fn context(self, msg: impl Into<String>) -> Self {
+        Error::Context {
+            msg: msg.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// The innermost error of a [`Error::Context`] chain (`self` when
+    /// not wrapped). Tests and retry logic match on this to see the
+    /// root condition regardless of how many layers annotated it.
+    pub fn root_cause(&self) -> &Error {
+        let mut e = self;
+        while let Error::Context { source, .. } = e {
+            e = source;
+        }
+        e
+    }
+
+    /// True when the root cause is a governor condition (budget trip or
+    /// cancellation) rather than a data-dependent or internal error.
+    pub fn is_governor(&self) -> bool {
+        matches!(
+            self.root_cause(),
+            Error::ResourceExhausted { .. } | Error::Cancelled { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn context_chains_through_source() {
+        let e = Error::DivideByZero.context("evaluating predicate");
+        assert_eq!(e.to_string(), "evaluating predicate: division by zero");
+        let src = e.source().expect("source present");
+        assert_eq!(src.to_string(), "division by zero");
+        assert_eq!(e.root_cause(), &Error::DivideByZero);
+    }
+
+    #[test]
+    fn governor_variants_render_structured_fields() {
+        let e = Error::ResourceExhausted {
+            operator: "HashJoin".into(),
+            requested: 4096,
+            limit: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("HashJoin") && s.contains("4096") && s.contains("1024"));
+        assert!(e.is_governor());
+        let c = Error::Cancelled {
+            operator: "Sort".into(),
+            elapsed_ms: 12,
+        };
+        assert!(c.to_string().contains("Sort"));
+        assert!(c.is_governor());
+        assert!(!Error::DivideByZero.is_governor());
     }
 }

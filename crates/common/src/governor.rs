@@ -1,0 +1,379 @@
+//! Per-query runtime resource governance: memory budgets and
+//! cooperative cancellation.
+//!
+//! A [`QueryContext`] is the per-query root of governance state. It is
+//! cheap to clone (two `Option<Arc<..>>`s) and is threaded through the
+//! executor so every buffering operator can carve a [`MemoryReservation`]
+//! out of the shared [`MemoryPool`] and every `next_batch` boundary can
+//! poll the [`CancellationToken`].
+//!
+//! The default context is *ungoverned*: no pool, no token. In that state
+//! `MemoryReservation::grow` is a branch on a `None` and
+//! `CancellationToken::check` is a branch on a `None` — no atomics touch
+//! the hot path, which is how the ≤2 % governor-off overhead budget is
+//! met (same gating pattern as the plancheck runtime switch).
+
+use crate::error::{Error, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared per-query byte budget. All reservations of one query charge
+/// the same pool, so the limit bounds the *sum* of live buffered bytes
+/// across operators (and across worker threads — the counters are
+/// atomic precisely so morsel workers can charge concurrently).
+#[derive(Debug)]
+pub struct MemoryPool {
+    limit: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryPool {
+    fn new(limit: u64) -> Self {
+        MemoryPool {
+            limit,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to reserve `bytes` for `operator`. On refusal the pool
+    /// is left unchanged and the returned error carries the structured
+    /// blame fields.
+    fn grow(&self, operator: &str, bytes: u64) -> Result<()> {
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        let now = prev + bytes;
+        if now > self.limit {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(Error::ResourceExhausted {
+                operator: operator.to_string(),
+                requested: bytes,
+                limit: self.limit,
+            });
+        }
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn shrink(&self, bytes: u64) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of reserved bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// The configured budget.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+/// A per-operator handle on the query's [`MemoryPool`].
+///
+/// Buffering operators create one in `open` (naming themselves for
+/// blame), call [`grow`](MemoryReservation::grow) as their buffers fill,
+/// and release everything either explicitly via
+/// [`reset`](MemoryReservation::reset) or implicitly on drop. The handle
+/// additionally tracks its own local peak so `OpStats` can report
+/// per-operator memory even though the pool only knows the query total.
+#[derive(Debug, Default)]
+pub struct MemoryReservation {
+    pool: Option<Arc<MemoryPool>>,
+    operator: &'static str,
+    held: u64,
+    peak: u64,
+}
+
+impl MemoryReservation {
+    /// A reservation attached to no pool: `grow` always succeeds and
+    /// only maintains the local `held`/`peak` counters.
+    pub fn detached(operator: &'static str) -> Self {
+        MemoryReservation {
+            pool: None,
+            operator,
+            held: 0,
+            peak: 0,
+        }
+    }
+
+    /// Charges `bytes` against the query budget; refuses with
+    /// [`Error::ResourceExhausted`] when the pool would exceed its limit.
+    pub fn grow(&mut self, bytes: u64) -> Result<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        if let Some(pool) = &self.pool {
+            pool.grow(self.operator, bytes)?;
+        }
+        self.held += bytes;
+        if self.held > self.peak {
+            self.peak = self.held;
+        }
+        Ok(())
+    }
+
+    /// Returns `bytes` to the pool (e.g. a cache being shed).
+    pub fn shrink(&mut self, bytes: u64) {
+        let bytes = bytes.min(self.held);
+        if let Some(pool) = &self.pool {
+            pool.shrink(bytes);
+        }
+        self.held -= bytes;
+    }
+
+    /// Releases everything held while keeping the recorded peak; used
+    /// when an operator drops its buffers on `close`/rewind.
+    pub fn reset(&mut self) {
+        let held = self.held;
+        self.shrink(held);
+    }
+
+    /// Bytes currently held by this reservation.
+    pub fn held(&self) -> u64 {
+        self.held
+    }
+
+    /// This reservation's own high-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// The blame label this reservation charges under.
+    pub fn operator(&self) -> &'static str {
+        self.operator
+    }
+}
+
+impl Drop for MemoryReservation {
+    fn drop(&mut self) {
+        self.reset();
+    }
+}
+
+#[derive(Debug)]
+struct CancelState {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    started: Instant,
+}
+
+/// Cooperative cancellation handle, polled at operator batch boundaries
+/// and morsel boundaries. Cloning shares the underlying flag, so a
+/// caller can keep one clone and `cancel` a query mid-flight from
+/// another thread.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    inner: Option<Arc<CancelState>>,
+}
+
+impl CancellationToken {
+    /// A token that can be triggered via [`cancel`](Self::cancel),
+    /// with an optional deadline after which checks fail on their own.
+    pub fn new(deadline: Option<Duration>) -> Self {
+        let started = Instant::now();
+        CancellationToken {
+            inner: Some(Arc::new(CancelState {
+                flag: AtomicBool::new(false),
+                deadline: deadline.map(|d| started + d),
+                started,
+            })),
+        }
+    }
+
+    /// Requests cancellation; every subsequent [`check`](Self::check)
+    /// on any clone fails.
+    pub fn cancel(&self) {
+        if let Some(s) = &self.inner {
+            s.flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// True once [`cancel`](Self::cancel) was called or the deadline
+    /// passed. Inert tokens are never cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(s) => {
+                s.flag.load(Ordering::Relaxed) || s.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// Fails with [`Error::Cancelled`] (blaming `operator`) once the
+    /// token fired or its deadline expired. Inert tokens never fail and
+    /// cost a single `Option` test.
+    pub fn check(&self, operator: &str) -> Result<()> {
+        let Some(s) = &self.inner else { return Ok(()) };
+        let tripped =
+            s.flag.load(Ordering::Relaxed) || s.deadline.is_some_and(|d| Instant::now() >= d);
+        if tripped {
+            return Err(Error::Cancelled {
+                operator: operator.to_string(),
+                elapsed_ms: u64::try_from(s.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-query governance root: an optional memory budget plus an optional
+/// cancellation token. `Default` is fully ungoverned.
+#[derive(Debug, Clone, Default)]
+pub struct QueryContext {
+    pool: Option<Arc<MemoryPool>>,
+    cancel: CancellationToken,
+}
+
+impl QueryContext {
+    /// Ungoverned context — no budget, no cancellation.
+    pub fn new() -> Self {
+        QueryContext::default()
+    }
+
+    /// Installs a fresh memory pool limited to `bytes`.
+    #[must_use]
+    pub fn with_memory_limit(mut self, bytes: u64) -> Self {
+        self.pool = Some(Arc::new(MemoryPool::new(bytes)));
+        self
+    }
+
+    /// Installs a cancellation token that trips after `timeout`.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.cancel = CancellationToken::new(Some(timeout));
+        self
+    }
+
+    /// Installs a manually triggered cancellation token; grab a clone of
+    /// [`cancel_token`](Self::cancel_token) to fire it from elsewhere.
+    #[must_use]
+    pub fn with_cancellation(mut self) -> Self {
+        self.cancel = CancellationToken::new(None);
+        self
+    }
+
+    /// Installs an externally created token (e.g. shared across queries).
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancellationToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// True when either a budget or a live cancellation token is set.
+    pub fn is_governed(&self) -> bool {
+        self.pool.is_some() || self.cancel.inner.is_some()
+    }
+
+    /// A new reservation charging this context's pool under `operator`.
+    pub fn reservation(&self, operator: &'static str) -> MemoryReservation {
+        MemoryReservation {
+            pool: self.pool.clone(),
+            operator,
+            held: 0,
+            peak: 0,
+        }
+    }
+
+    /// Polls the cancellation token, blaming `operator` on failure.
+    pub fn check_cancelled(&self, operator: &str) -> Result<()> {
+        self.cancel.check(operator)
+    }
+
+    /// The cancel handle (clone to cancel from another thread).
+    pub fn cancel_token(&self) -> &CancellationToken {
+        &self.cancel
+    }
+
+    /// Bytes currently reserved across the query, if budgeted.
+    pub fn mem_used(&self) -> Option<u64> {
+        self.pool.as_ref().map(|p| p.used())
+    }
+
+    /// Query-wide peak reserved bytes, if budgeted.
+    pub fn mem_peak(&self) -> Option<u64> {
+        self.pool.as_ref().map(|p| p.peak())
+    }
+
+    /// The configured budget, if any.
+    pub fn mem_limit(&self) -> Option<u64> {
+        self.pool.as_ref().map(|p| p.limit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ungoverned_grow_and_check_never_fail() {
+        let ctx = QueryContext::new();
+        assert!(!ctx.is_governed());
+        let mut r = ctx.reservation("Sort");
+        r.grow(u64::MAX / 2).expect("no pool, no limit");
+        r.grow(u64::MAX / 2).expect("no pool, no limit");
+        assert!(ctx.check_cancelled("Sort").is_ok());
+        assert_eq!(ctx.mem_peak(), None);
+    }
+
+    #[test]
+    fn budget_trips_with_blame_and_releases() {
+        let ctx = QueryContext::new().with_memory_limit(100);
+        let mut a = ctx.reservation("HashJoin");
+        let mut b = ctx.reservation("Sort");
+        a.grow(60).expect("within budget");
+        b.grow(30).expect("within budget");
+        let err = b.grow(20).expect_err("over budget");
+        assert_eq!(
+            err,
+            Error::ResourceExhausted {
+                operator: "Sort".into(),
+                requested: 20,
+                limit: 100
+            }
+        );
+        // Refused request must not leak into the pool.
+        assert_eq!(ctx.mem_used(), Some(90));
+        drop(a);
+        assert_eq!(ctx.mem_used(), Some(30));
+        b.grow(20).expect("fits after release");
+        assert_eq!(ctx.mem_peak(), Some(90));
+        drop(b);
+        assert_eq!(ctx.mem_used(), Some(0));
+    }
+
+    #[test]
+    fn reset_keeps_local_peak() {
+        let ctx = QueryContext::new().with_memory_limit(1000);
+        let mut r = ctx.reservation("Cache");
+        r.grow(400).expect("within budget");
+        r.reset();
+        assert_eq!(r.held(), 0);
+        assert_eq!(r.peak(), 400);
+        assert_eq!(ctx.mem_used(), Some(0));
+        assert_eq!(ctx.mem_peak(), Some(400));
+    }
+
+    #[test]
+    fn manual_cancellation_fires_on_clones() {
+        let ctx = QueryContext::new().with_cancellation();
+        let handle = ctx.cancel_token().clone();
+        assert!(ctx.check_cancelled("Scan").is_ok());
+        handle.cancel();
+        let err = ctx.check_cancelled("Scan").expect_err("cancelled");
+        assert!(matches!(err, Error::Cancelled { ref operator, .. } if operator == "Scan"));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let ctx = QueryContext::new().with_timeout(Duration::ZERO);
+        assert!(ctx.check_cancelled("Scan").is_err());
+    }
+}

@@ -10,12 +10,14 @@
 //! executor crates all speak in terms of these types.
 
 pub mod error;
+pub mod governor;
 pub mod ids;
 pub mod prng;
 pub mod row;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use governor::{CancellationToken, MemoryPool, MemoryReservation, QueryContext};
 pub use ids::{ColId, ColIdGen, TableId};
 pub use prng::Prng;
 pub use row::Row;

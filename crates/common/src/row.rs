@@ -24,6 +24,29 @@ pub fn cmp_rows(a: &Row, b: &Row) -> std::cmp::Ordering {
     a.len().cmp(&b.len())
 }
 
+/// Approximate heap footprint of one row in bytes, used by the memory
+/// governor to charge buffering operators. Counts the `Vec` header, the
+/// inline `Value` slots, and the heap payload of string values. This is
+/// an accounting estimate (allocator slack and `Arc` sharing are
+/// ignored), but it is deterministic and monotone in the data size,
+/// which is all budget enforcement needs.
+pub fn row_bytes(row: &[Value]) -> u64 {
+    let inline = std::mem::size_of::<Row>() + std::mem::size_of_val(row);
+    let heap: usize = row
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        })
+        .sum();
+    (inline + heap) as u64
+}
+
+/// Sum of [`row_bytes`] over a batch of rows.
+pub fn rows_bytes(rows: &[Row]) -> u64 {
+    rows.iter().map(|r| row_bytes(r)).sum()
+}
+
 /// Bag (multiset) equality of two row collections, ignoring order.
 pub fn bag_eq(a: &[Row], b: &[Row]) -> bool {
     if a.len() != b.len() {

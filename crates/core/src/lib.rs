@@ -49,12 +49,13 @@ pub use orthopt_sql as sql;
 pub use orthopt_storage as storage;
 pub use orthopt_tpch as tpch;
 
-use orthopt_common::{Error, Result, Row};
+use orthopt_common::{CancellationToken, Error, QueryContext, Result, Row};
 use orthopt_exec::{Bindings, Chunk, PhysExpr, Pipeline, Reference};
 use orthopt_ir::{ColumnMeta, RelExpr};
 use orthopt_optimizer::search::{optimize_with_presentation, OptimizerConfig, SearchStats};
 use orthopt_rewrite::pipeline::{classify, normalize, NormalForm, RewriteConfig};
 use orthopt_storage::Catalog;
+use std::time::Duration;
 
 /// Optimization levels — the ablation ladder used to reproduce the
 /// paper's Figure 8/9 comparisons with one engine instead of four
@@ -207,11 +208,48 @@ fn env_parallelism() -> usize {
         .clamp(1, orthopt_exec::parallel::MAX_WORKERS)
 }
 
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (binary
+/// multiples, case-insensitive), e.g. `64m` = 64 MiB.
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let mult = match s.as_bytes()[s.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (d, mult)
+        }
+        None => (s.as_str(), 1),
+    };
+    digits.trim().parse::<u64>().ok()?.checked_mul(mult)
+}
+
+/// Per-query memory budget from `ORTHOPT_MEM_LIMIT` (bytes, optional
+/// `k`/`m`/`g` suffix); `None` when unset or unparseable.
+fn env_mem_limit() -> Option<u64> {
+    std::env::var("ORTHOPT_MEM_LIMIT")
+        .ok()
+        .and_then(|s| parse_bytes(&s))
+}
+
+/// Per-query timeout from `ORTHOPT_TIMEOUT_MS` (milliseconds); `None`
+/// when unset or unparseable.
+fn env_timeout() -> Option<Duration> {
+    std::env::var("ORTHOPT_TIMEOUT_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
 /// The façade: a catalog plus the full compile/execute pipeline.
 #[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
     parallelism: usize,
+    mem_limit: Option<u64>,
+    timeout: Option<Duration>,
 }
 
 impl Default for Database {
@@ -219,6 +257,8 @@ impl Default for Database {
         Database {
             catalog: Catalog::default(),
             parallelism: env_parallelism(),
+            mem_limit: env_mem_limit(),
+            timeout: env_timeout(),
         }
     }
 }
@@ -234,6 +274,8 @@ impl Database {
         Database {
             catalog,
             parallelism: env_parallelism(),
+            mem_limit: env_mem_limit(),
+            timeout: env_timeout(),
         }
     }
 
@@ -250,6 +292,52 @@ impl Database {
     /// The configured worker-pool size.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Sets (or clears) the per-query memory budget in bytes. Every
+    /// buffering operator — hash-join builds, aggregation state, sort
+    /// and spool buffers, apply-loop caches, exchange gathers — charges
+    /// the shared budget; a query whose live buffered bytes would
+    /// exceed it fails with
+    /// [`Error::ResourceExhausted`](orthopt_common::Error::ResourceExhausted)
+    /// naming the operator that tripped, leaving the database usable.
+    /// The initial value comes from the `ORTHOPT_MEM_LIMIT` environment
+    /// variable (bytes, optional `k`/`m`/`g` suffix), default unlimited.
+    pub fn set_memory_limit(&mut self, bytes: Option<u64>) {
+        self.mem_limit = bytes;
+    }
+
+    /// The configured per-query memory budget, if any.
+    pub fn memory_limit(&self) -> Option<u64> {
+        self.mem_limit
+    }
+
+    /// Sets (or clears) the per-query timeout. Expiry surfaces as
+    /// [`Error::Cancelled`](orthopt_common::Error::Cancelled) at the
+    /// next operator batch boundary. The initial value comes from the
+    /// `ORTHOPT_TIMEOUT_MS` environment variable, default none.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// The configured per-query timeout, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// The governance context queries run under: the configured memory
+    /// budget and timeout, if any. Use this as a base to attach an
+    /// explicit cancellation handle via
+    /// [`QueryContext::with_cancellation`].
+    pub fn query_context(&self) -> QueryContext {
+        let mut gov = QueryContext::new();
+        if let Some(limit) = self.mem_limit {
+            gov = gov.with_memory_limit(limit);
+        }
+        if let Some(timeout) = self.timeout {
+            gov = gov.with_timeout(timeout);
+        }
+        gov
     }
 
     /// A TPC-H database at the given scale factor.
@@ -297,12 +385,35 @@ impl Database {
         })
     }
 
-    /// Executes a compiled plan.
+    /// Executes a compiled plan under the database's configured
+    /// governance (memory budget and timeout, if set).
     pub fn run(&self, plan: &Plan) -> Result<QueryResult> {
+        self.run_with_context(plan, self.query_context())
+    }
+
+    /// Executes a compiled plan under an explicit [`QueryContext`] —
+    /// the caller controls budget, deadline, and cancellation handle.
+    /// Operator panics are isolated: they surface as
+    /// [`Error::Exec`](orthopt_common::Error::Exec) naming the operator
+    /// the panic unwound out of, and the database stays usable.
+    pub fn run_with_context(&self, plan: &Plan, gov: QueryContext) -> Result<QueryResult> {
         let mut pipeline = Pipeline::compile(&plan.physical)?;
         pipeline.set_parallelism(self.parallelism);
-        let chunk = pipeline.execute(&self.catalog, &Bindings::new())?;
+        pipeline.set_governor(gov);
+        let chunk = run_caught(&mut pipeline, &self.catalog)?;
         present(chunk, &plan.output)
+    }
+
+    /// Compiles and executes at [`OptimizerLevel::Full`] with the given
+    /// deadline layered on top of the configured governance; expiry
+    /// surfaces as
+    /// [`Error::Cancelled`](orthopt_common::Error::Cancelled).
+    pub fn run_with_deadline(&self, sql: &str, deadline: Duration) -> Result<QueryResult> {
+        let plan = self.plan(sql, OptimizerLevel::Full)?;
+        let gov = self
+            .query_context()
+            .with_cancel_token(CancellationToken::new(Some(deadline)));
+        self.run_with_context(&plan, gov)
     }
 
     /// Compiles and executes at [`OptimizerLevel::Full`].
@@ -389,16 +500,26 @@ impl Database {
         };
         let mut pipeline = Pipeline::compile(&plan.physical)?;
         pipeline.set_parallelism(self.parallelism);
+        pipeline.set_governor(self.query_context());
         let started = std::time::Instant::now();
-        let chunk = pipeline.execute(&self.catalog, &Bindings::new())?;
+        let chunk = run_caught(&mut pipeline, &self.catalog)?;
         let elapsed = started.elapsed();
+        let governor = match (
+            pipeline.governor().mem_peak(),
+            pipeline.governor().mem_limit(),
+        ) {
+            (Some(peak), Some(limit)) => {
+                format!("\n== governor: peak {peak}B of {limit}B budget ==")
+            }
+            _ => String::new(),
+        };
         let rendered = orthopt_exec::explain_phys::explain_phys_analyze(
             &plan.physical,
             &pipeline.stats(),
             pipeline.cached_nodes(),
         );
         Ok(format!(
-            "== physical (analyzed: {} rows, {:.3}ms total, batch size {}) ==\n{}== {check} ==",
+            "== physical (analyzed: {} rows, {:.3}ms total, batch size {}) ==\n{}== {check} =={governor}",
             chunk.len(),
             elapsed.as_secs_f64() * 1e3,
             pipeline.batch_size(),
@@ -422,6 +543,29 @@ impl Database {
             orthopt_exec::explain_phys::explain_phys(&plan.physical),
         ))
     }
+}
+
+/// Runs a compiled pipeline with panic isolation: a panic unwinding out
+/// of an operator (serial path — parallel workers catch their own) is
+/// converted to [`Error::Exec`] blaming the operator the executor was
+/// inside, so a buggy or fault-injected operator cannot tear down the
+/// caller. The pipeline's own error path already closes operators and
+/// records stats before returning.
+fn run_caught(pipeline: &mut Pipeline, catalog: &Catalog) -> Result<Chunk> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pipeline.execute(catalog, &Bindings::new())
+    }))
+    .unwrap_or_else(|payload| {
+        let at = orthopt_exec::current_op().map_or_else(String::new, |(id, name)| {
+            format!(" in operator {name}#{id}")
+        });
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(Error::Exec(format!("panic{at}: {msg}")))
+    })
 }
 
 fn present(chunk: Chunk, output: &[ColumnMeta]) -> Result<QueryResult> {

@@ -1,0 +1,224 @@
+//! The fault matrix: deterministic fault injection across the shared
+//! `testgen` query corpus, serial and parallel, at multiple optimizer
+//! levels. Every injected run must either fail with the injected
+//! structured error (`ResourceExhausted` / `Exec`) or — when the armed
+//! site is not on the executed path — succeed with exactly the
+//! `Reference` oracle's answer. After every case the engine must run
+//! the same query cleanly, proving nothing leaked.
+//!
+//! Compiled only with the `fault-injection` feature (CI runs it under
+//! `ORTHOPT_PARALLELISM` 1 and 4). Lives in its own test binary so the
+//! process-global fault registry cannot perturb other suites; tests
+//! inside serialize on a mutex.
+#![cfg(feature = "fault-injection")]
+
+use orthopt::common::row::bag_eq;
+use orthopt::common::Error;
+use orthopt::exec::faults::{self, FaultAction};
+use orthopt::exec::{place_exchanges, Bindings, Pipeline, Reference};
+use orthopt::{Database, OptimizerLevel};
+use orthopt_rewrite::testgen::{build_catalog, query_templates};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn registry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Every failpoint site compiled into the executor: buffer-growth sites
+/// plus a sample of operator batch boundaries.
+const SITES: [&str; 14] = [
+    "hashjoin.build",
+    "nljoin.build",
+    "hashagg.state",
+    "sort.buffer",
+    "limit.buffer",
+    "max1.buffer",
+    "except.build",
+    "segment.partition",
+    "cache.fill",
+    "exchange.gather",
+    "HashJoin",
+    "HashAggregate",
+    "TableScan",
+    "ApplyLoop",
+];
+
+/// Fixed corpus data: small but non-trivial, NULLs included, chosen so
+/// morsel and batch boundaries land mid-group.
+fn corpus_db() -> Database {
+    let r_rows: Vec<(i64, Option<i64>)> = (0..6)
+        .map(|i| (i, if i == 4 { None } else { Some(i % 4) }))
+        .collect();
+    let s_rows: Vec<(i64, i64, Option<i64>)> = (0..18)
+        .map(|i| (i, i % 6, if i % 7 == 0 { None } else { Some(i % 5) }))
+        .collect();
+    Database::from_catalog(build_catalog(&r_rows, &s_rows))
+}
+
+/// One injected execution. Returns a printable outcome tag for the
+/// determinism check.
+fn run_once(db: &Database, sql: &str, level: OptimizerLevel, workers: usize) -> String {
+    let plan = match db.plan(sql, level) {
+        Ok(p) => p,
+        Err(e) => return format!("plan-err:{e}"),
+    };
+    let forced = place_exchanges(&plan.physical);
+    let out_ids: Vec<_> = plan.output.iter().map(|c| c.id).collect();
+    let mut pipeline = match Pipeline::compile(&forced) {
+        Ok(p) => p,
+        Err(e) => return format!("compile-err:{e}"),
+    };
+    pipeline.set_parallelism(workers);
+    match pipeline
+        .execute(db.catalog(), &Bindings::new())
+        .and_then(|chunk| chunk.project(&out_ids))
+    {
+        Ok(chunk) => format!("ok:{}", chunk.rows.len()),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// The matrix proper: each corpus template is paired round-robin with a
+/// fault site, armed with both refusal and hard-error actions, and run
+/// serial + parallel at two optimizer levels. Outcomes are checked for
+/// error identity (the injected structured error and nothing weirder)
+/// or oracle-identical success, and the engine must answer the same
+/// query cleanly immediately after.
+#[test]
+fn matrix_error_identity_and_clean_recovery() {
+    let _g = registry_lock();
+    let db = corpus_db();
+    let templates = query_templates(3);
+    for (i, sql) in templates.iter().enumerate() {
+        let site = SITES[i % SITES.len()];
+        let bound = orthopt_sql::compile(sql, db.catalog()).expect("template compiles");
+        let oracle = Reference::new(db.catalog()).run(&bound.rel);
+        for action in [FaultAction::RefuseAlloc, FaultAction::Error] {
+            for level in [OptimizerLevel::Correlated, OptimizerLevel::Full] {
+                for workers in [1usize, 2] {
+                    let plan = db.plan(sql, level).expect("planning succeeds");
+                    let forced = place_exchanges(&plan.physical);
+                    let out_ids: Vec<_> = plan.output.iter().map(|c| c.id).collect();
+
+                    faults::install(site, action.clone(), 0);
+                    let mut pipeline = Pipeline::compile(&forced).expect("compiles");
+                    pipeline.set_parallelism(workers);
+                    let got = pipeline
+                        .execute(db.catalog(), &Bindings::new())
+                        .and_then(|chunk| chunk.project(&out_ids));
+                    faults::clear();
+
+                    let ctx = format!(
+                        "{sql}\nsite={site} action={action:?} level={level:?} workers={workers}"
+                    );
+                    match (&oracle, got) {
+                        // Site off the executed path: oracle answer, exactly.
+                        (Ok(expected), Ok(chunk)) => {
+                            let expected = expected.project(&out_ids).expect("oracle keeps cols");
+                            assert!(bag_eq(&expected.rows, &chunk.rows), "{ctx}");
+                        }
+                        // Injected failure: must be the structured kinds the
+                        // failpoints produce — never Internal, never a panic.
+                        (_, Err(e)) => {
+                            assert!(
+                                matches!(
+                                    e.root_cause(),
+                                    Error::ResourceExhausted { .. }
+                                        | Error::Exec(_)
+                                        | Error::DivideByZero
+                                        | Error::NumericOverflow
+                                        | Error::SubqueryReturnedMoreThanOneRow
+                                ),
+                                "{ctx}\nunexpected error kind: {e:?}"
+                            );
+                        }
+                        (Err(_), Ok(_)) => {
+                            panic!("{ctx}\nfault run succeeded where oracle errors")
+                        }
+                    }
+
+                    // Clean close / engine reusability: the disarmed engine
+                    // answers identically to the oracle right away.
+                    let mut clean = Pipeline::compile(&forced).expect("compiles");
+                    clean.set_parallelism(workers);
+                    let clean_got = clean
+                        .execute(db.catalog(), &Bindings::new())
+                        .and_then(|chunk| chunk.project(&out_ids));
+                    match (&oracle, clean_got) {
+                        (Ok(expected), Ok(chunk)) => {
+                            let expected = expected.project(&out_ids).expect("oracle keeps cols");
+                            assert!(bag_eq(&expected.rows, &chunk.rows), "clean rerun: {ctx}");
+                        }
+                        (Err(_), Err(_)) => {}
+                        (o, g) => panic!("clean rerun diverged: {ctx}\n{o:?} vs {g:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Two runs with the same seed arm the same site with the same action
+/// and fail (or pass) identically — the suite's determinism guarantee.
+#[test]
+fn seeded_runs_are_reproducible() {
+    let _g = registry_lock();
+    let db = corpus_db();
+    let templates = query_templates(3);
+    for (t, seed) in [(2usize, 0xfa417u64), (7, 0xfa418), (11, 0xfa419)] {
+        let sql = &templates[t];
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            let schedule = faults::install_seeded(seed, &SITES);
+            let outcome = run_once(&db, sql, OptimizerLevel::Full, 2);
+            faults::clear();
+            outcomes.push((schedule, outcome));
+        }
+        assert_eq!(outcomes[0], outcomes[1], "seed {seed:#x} on template {t}");
+    }
+}
+
+/// Forced panics stay inside the engine: the `Database` façade converts
+/// them to `Error::Exec` with operator attribution, and the same
+/// `Database` then answers cleanly.
+#[test]
+fn injected_panic_is_isolated_by_the_facade() {
+    let _g = registry_lock();
+    let db = corpus_db();
+    let sql = "select sr, count(*) from s group by sr";
+    let clean = db.execute(sql).unwrap();
+
+    faults::install("HashAggregate", FaultAction::Panic, 0);
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence the expected unwind
+    let got = db.execute(sql);
+    std::panic::set_hook(hook);
+    faults::clear();
+
+    match got {
+        Err(Error::Exec(msg)) => {
+            assert!(msg.contains("panic"), "{msg}");
+            assert!(msg.contains("HashAggregate"), "attribution: {msg}");
+        }
+        other => panic!("expected Exec(panic …), got {other:?}"),
+    }
+    assert_eq!(db.execute(sql).unwrap().rows, clean.rows);
+}
+
+/// Synthetic slowdowns compose with deadlines: a slowed scan under a
+/// short deadline trips `Error::Cancelled` at a batch boundary.
+#[test]
+fn slowdown_plus_deadline_cancels() {
+    let _g = registry_lock();
+    let db = corpus_db();
+    let sql = "select sr, count(*) from s group by sr";
+    faults::install("TableScan", FaultAction::SlowMs(30), 0);
+    let got = db.run_with_deadline(sql, std::time::Duration::from_millis(5));
+    faults::clear();
+    match got {
+        Err(Error::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert!(db.execute(sql).is_ok());
+}

@@ -10,7 +10,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use orthopt_common::{Error, Result, Row, Value};
+use orthopt_common::row::row_bytes;
+use orthopt_common::{Error, MemoryReservation, Result, Row, Value};
 use orthopt_ir::{AggDef, AggFunc, GroupKind};
 
 /// Running state of one aggregate over one group.
@@ -189,6 +190,16 @@ pub struct GroupedAggState {
     on_empty: Vec<Value>,
     groups: HashMap<Vec<Value>, GroupState>,
     order: Vec<Vec<Value>>,
+    /// Memory charged for group state (detached unless the owner
+    /// attached a budgeted reservation).
+    mem: MemoryReservation,
+}
+
+/// Approximate heap footprint of one aggregate input value (DISTINCT
+/// filter entries).
+fn value_bytes(v: &Value) -> u64 {
+    let heap = if let Value::Str(s) = v { s.len() } else { 0 };
+    (std::mem::size_of::<Value>() + heap) as u64
 }
 
 impl GroupedAggState {
@@ -199,7 +210,19 @@ impl GroupedAggState {
             on_empty: aggs.iter().map(|a| a.func.on_empty()).collect(),
             groups: HashMap::new(),
             order: Vec::new(),
+            mem: MemoryReservation::detached("HashAggregate"),
         }
+    }
+
+    /// Attaches a memory reservation: every new group (and every DISTINCT
+    /// filter entry) is charged against it from now on.
+    pub fn set_reservation(&mut self, mem: MemoryReservation) {
+        self.mem = mem;
+    }
+
+    /// Peak bytes this state's reservation has held.
+    pub fn mem_peak(&self) -> u64 {
+        self.mem.peak()
     }
 
     /// Feeds one input row: its group key plus the evaluated argument of
@@ -210,6 +233,14 @@ impl GroupedAggState {
         let state = match self.groups.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
+                let bytes = {
+                    let key = e.key();
+                    let accs = self.specs.len()
+                        * (std::mem::size_of::<AggAcc>()
+                            + std::mem::size_of::<Option<HashSet<Value>>>());
+                    2 * row_bytes(key) + accs as u64
+                };
+                self.mem.grow(bytes)?;
                 self.order.push(e.key().clone());
                 e.insert(GroupState::new(&self.specs))
             }
@@ -218,8 +249,11 @@ impl GroupedAggState {
             if let Some(seen) = &mut state.seen[i] {
                 // DISTINCT: skip repeated non-NULL values.
                 if let Some(v) = &arg {
-                    if !v.is_null() && !seen.insert(v.clone()) {
-                        continue;
+                    if !v.is_null() {
+                        if !seen.insert(v.clone()) {
+                            continue;
+                        }
+                        self.mem.grow(value_bytes(v))?;
                     }
                 }
             }
@@ -242,9 +276,19 @@ impl GroupedAggState {
         debug_assert_eq!(self.specs, other.specs);
         let mut other_groups = other.groups;
         for key in other.order {
-            let theirs = other_groups.remove(&key).expect("group present");
+            let theirs = other_groups.remove(&key).ok_or_else(|| {
+                Error::internal("partial-aggregate group listed in order but missing from map")
+            })?;
             match self.groups.entry(key) {
                 std::collections::hash_map::Entry::Vacant(e) => {
+                    let bytes = {
+                        let key = e.key();
+                        let accs = self.specs.len()
+                            * (std::mem::size_of::<AggAcc>()
+                                + std::mem::size_of::<Option<HashSet<Value>>>());
+                        2 * row_bytes(key) + accs as u64
+                    };
+                    self.mem.grow(bytes)?;
                     self.order.push(e.key().clone());
                     e.insert(theirs);
                 }
@@ -257,8 +301,11 @@ impl GroupedAggState {
                             // discarded (it may double-count values both
                             // workers saw).
                             Some(their_seen) => {
-                                let my_seen =
-                                    mine.seen[i].as_mut().expect("distinct filter present");
+                                let my_seen = mine.seen[i].as_mut().ok_or_else(|| {
+                                    Error::internal(
+                                        "distinct filter missing while merging partial aggregates",
+                                    )
+                                })?;
                                 for v in their_seen {
                                     if my_seen.insert(v.clone()) {
                                         mine.accs[i].update(Some(&v))?;
@@ -283,7 +330,12 @@ impl GroupedAggState {
         }
         let mut out = Vec::with_capacity(self.order.len());
         for key in self.order {
-            let state = self.groups.remove(&key).expect("group present");
+            // Unreachable by construction: `feed`/`merge` insert into
+            // `groups` and `order` together, and `finish` consumes self.
+            let state = self
+                .groups
+                .remove(&key)
+                .expect("every key in order has a group (feed/merge insert both)");
             let mut row = key;
             row.extend(state.accs.into_iter().map(AggAcc::finish));
             out.push(row);

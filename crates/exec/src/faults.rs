@@ -1,0 +1,229 @@
+//! Deterministic fault injection at named operator sites.
+//!
+//! A *failpoint* is a named hook compiled into the executor at the
+//! places where things can go wrong: buffer growth (`"hashjoin.build"`,
+//! `"sort.buffer"`, …) and operator batch boundaries (the plain operator
+//! name: `"HashJoin"`, `"Sort"`, …). Tests arm a site with a
+//! [`FaultAction`] and the next
+//! execution that crosses it fails in the requested way — an
+//! allocation refusal ([`Error::ResourceExhausted`]), a forced panic, a
+//! plain [`Error::Exec`], or a synthetic slowdown.
+//!
+//! The whole facility is gated behind the `fault-injection` cargo
+//! feature. With the feature off (the default) every hook is an empty
+//! `#[inline(always)]` function and [`COMPILED`] is `false`, so
+//! production builds carry no registry, no locks, and no branch.
+//!
+//! Schedules can be derived deterministically from a seed via
+//! [`install_seeded`], using the workspace PRNG (`common::prng`), so two
+//! runs with the same seed arm the same sites with the same actions and
+//! fail identically — the property the fault-matrix suite asserts.
+
+#[cfg(not(feature = "fault-injection"))]
+use orthopt_common::Result;
+
+/// What an armed failpoint does when execution crosses it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the site with [`orthopt_common::Error::ResourceExhausted`]
+    /// as if the memory pool had refused the site's request.
+    RefuseAlloc,
+    /// Panic with a recognizable payload; exercises the panic-isolation
+    /// boundaries (worker `catch_unwind`, top-level `catch_unwind`).
+    Panic,
+    /// Fail the site with a plain [`orthopt_common::Error::Exec`].
+    Error,
+    /// Sleep for the given number of milliseconds, then continue;
+    /// used to force deadline expiry deterministically.
+    SlowMs(u64),
+}
+
+/// True when the crate was built with the `fault-injection` feature, so
+/// tests (and CI's compile-out check) can assert which world they're in.
+#[cfg(feature = "fault-injection")]
+pub const COMPILED: bool = true;
+/// True when the crate was built with the `fault-injection` feature, so
+/// tests (and CI's compile-out check) can assert which world they're in.
+#[cfg(not(feature = "fault-injection"))]
+pub const COMPILED: bool = false;
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use super::FaultAction;
+    use orthopt_common::{Error, Prng, Result};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct FaultState {
+        action: FaultAction,
+        /// Number of hits to let pass before firing.
+        after: u64,
+        hits: u64,
+        fired: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, FaultState>> {
+        static REG: OnceLock<Mutex<HashMap<String, FaultState>>> = OnceLock::new();
+        REG.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, HashMap<String, FaultState>> {
+        // A test that panicked *on purpose* (FaultAction::Panic) poisons
+        // the mutex; the registry stays structurally valid, so recover.
+        registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Arms `site` with `action`, firing on every hit after skipping
+    /// `after` of them. Re-installing a site replaces its previous state.
+    pub fn install(site: &str, action: FaultAction, after: u64) {
+        lock().insert(
+            site.to_string(),
+            FaultState {
+                action,
+                after,
+                hits: 0,
+                fired: 0,
+            },
+        );
+    }
+
+    /// Disarms every failpoint and forgets all counters.
+    pub fn clear() {
+        lock().clear();
+    }
+
+    /// How many times `site` actually fired since it was installed.
+    pub fn fired(site: &str) -> u64 {
+        lock().get(site).map_or(0, |s| s.fired)
+    }
+
+    /// Derives a deterministic schedule from `seed`: picks one of
+    /// `sites` and one action, arms it, and returns a description
+    /// (`"site=… action=… after=…"`) so a second run can be compared.
+    /// Panics are excluded from seeded schedules — they are exercised
+    /// separately — so a seeded run always fails with an `Err`.
+    pub fn install_seeded(seed: u64, sites: &[&str]) -> String {
+        let mut rng = Prng::new(seed);
+        let site = sites[(rng.next_u64() % sites.len() as u64) as usize];
+        let action = match rng.next_u64() % 3 {
+            0 => FaultAction::RefuseAlloc,
+            1 => FaultAction::Error,
+            _ => FaultAction::SlowMs(30),
+        };
+        let after = rng.next_u64() % 3;
+        install(site, action.clone(), after);
+        format!("site={site} action={action:?} after={after}")
+    }
+
+    /// The hook compiled into every instrumented site. Returns `Err`
+    /// (or panics, or sleeps) when the site is armed and due.
+    pub fn hit(site: &str) -> Result<()> {
+        let action = {
+            let mut reg = lock();
+            let Some(state) = reg.get_mut(site) else {
+                return Ok(());
+            };
+            state.hits += 1;
+            if state.hits <= state.after {
+                return Ok(());
+            }
+            state.fired += 1;
+            state.action.clone()
+        };
+        match action {
+            FaultAction::RefuseAlloc => Err(Error::ResourceExhausted {
+                operator: format!("fault:{site}"),
+                requested: 0,
+                limit: 0,
+            }),
+            FaultAction::Error => Err(Error::Exec(format!("injected fault at {site}"))),
+            FaultAction::Panic => panic!("injected panic at {site}"),
+            FaultAction::SlowMs(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use imp::{clear, fired, hit, install, install_seeded};
+
+/// No-op hook (feature off): optimizes away entirely.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn hit(_site: &str) -> Result<()> {
+    Ok(())
+}
+
+/// No-op install (feature off).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn install(_site: &str, _action: FaultAction, _after: u64) {}
+
+/// No-op clear (feature off).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn clear() {}
+
+/// Always zero with the feature off.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fired(_site: &str) -> u64 {
+    0
+}
+
+/// No-op seeded install (feature off); returns an empty schedule.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn install_seeded(_seed: u64, _sites: &[&str]) -> String {
+    String::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiled_flag_matches_feature() {
+        assert_eq!(COMPILED, cfg!(feature = "fault-injection"));
+    }
+
+    /// The registry is process-global; tests that touch it take this
+    /// lock so `clear()` in one test can't disarm another's site.
+    #[cfg(feature = "fault-injection")]
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn after_counter_skips_then_fires() {
+        let _g = test_lock();
+        let site = "test.after_counter";
+        install(site, FaultAction::Error, 2);
+        assert!(hit(site).is_ok());
+        assert!(hit(site).is_ok());
+        assert!(hit(site).is_err());
+        assert_eq!(fired(site), 1);
+        clear();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let _g = test_lock();
+        let sites = ["test.seed_a", "test.seed_b", "test.seed_c"];
+        let one = install_seeded(0xfeed, &sites);
+        clear();
+        let two = install_seeded(0xfeed, &sites);
+        clear();
+        assert_eq!(one, two);
+        assert_ne!(one, install_seeded(0xbeef, &sites));
+        clear();
+    }
+}

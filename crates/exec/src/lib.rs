@@ -21,6 +21,7 @@ pub mod bindings;
 pub mod chunk;
 pub mod eval;
 pub mod explain_phys;
+pub mod faults;
 pub mod parallel;
 pub mod physical;
 pub mod pipeline;
@@ -32,6 +33,6 @@ pub use chunk::Chunk;
 pub use explain_phys::{explain_phys, explain_phys_analyze, phys_node_labels};
 pub use parallel::{exchange_eligible, place_exchanges, wrap_exchange};
 pub use physical::{PhysExpr, PhysPlan};
-pub use pipeline::{Batch, ExecCtx, Operator, Pipeline, DEFAULT_BATCH_SIZE};
+pub use pipeline::{current_op, Batch, ExecCtx, Operator, Pipeline, DEFAULT_BATCH_SIZE};
 pub use reference::Reference;
 pub use stats::OpStats;

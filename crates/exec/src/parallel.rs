@@ -38,7 +38,8 @@ use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::time::Instant;
 
-use orthopt_common::{ColId, Error, Result, Row, Value};
+use orthopt_common::row::rows_bytes;
+use orthopt_common::{ColId, Error, MemoryReservation, Result, Row, Value};
 use orthopt_ir::{AggDef, GroupKind, JoinKind, ScalarExpr};
 use orthopt_storage::Catalog;
 
@@ -329,9 +330,16 @@ struct BuildRows {
 
 /// Clones the subtree for one worker: the driving `TableScan` becomes a
 /// `MorselScan` over the worker's ranges, and the build side (if any)
-/// becomes a `ConstScan` over the broadcast build rows.
-fn substitute(p: &PhysExpr, ranges: &[(usize, usize)], build: Option<&BuildRows>) -> PhysExpr {
-    match p {
+/// becomes a `ConstScan` over the broadcast build rows. Reaching a join
+/// without broadcast rows means the eligibility grammar and the build
+/// locator disagree — reported as an internal error rather than a
+/// panic so the engine survives the (never observed) inconsistency.
+fn substitute(
+    p: &PhysExpr,
+    ranges: &[(usize, usize)],
+    build: Option<&BuildRows>,
+) -> Result<PhysExpr> {
+    Ok(match p {
         PhysExpr::TableScan {
             table,
             positions,
@@ -343,15 +351,15 @@ fn substitute(p: &PhysExpr, ranges: &[(usize, usize)], build: Option<&BuildRows>
             ranges: ranges.to_vec(),
         },
         PhysExpr::Filter { input, predicate } => PhysExpr::Filter {
-            input: Box::new(substitute(input, ranges, build)),
+            input: Box::new(substitute(input, ranges, build)?),
             predicate: predicate.clone(),
         },
         PhysExpr::Compute { input, defs } => PhysExpr::Compute {
-            input: Box::new(substitute(input, ranges, build)),
+            input: Box::new(substitute(input, ranges, build)?),
             defs: defs.clone(),
         },
         PhysExpr::ProjectCols { input, cols } => PhysExpr::ProjectCols {
-            input: Box::new(substitute(input, ranges, build)),
+            input: Box::new(substitute(input, ranges, build)?),
             cols: cols.clone(),
         },
         PhysExpr::HashJoin {
@@ -362,10 +370,12 @@ fn substitute(p: &PhysExpr, ranges: &[(usize, usize)], build: Option<&BuildRows>
             right_keys,
             residual,
         } => {
-            let b = build.expect("build rows present for join substitution");
+            let b = build.ok_or_else(|| {
+                Error::internal("exchange substitution reached a join without broadcast build rows")
+            })?;
             PhysExpr::HashJoin {
                 kind: *kind,
-                left: Box::new(substitute(left, ranges, None)),
+                left: Box::new(substitute(left, ranges, None)?),
                 right: Box::new(PhysExpr::ConstScan {
                     cols: b.cols.clone(),
                     rows: b.rows.clone(),
@@ -376,7 +386,7 @@ fn substitute(p: &PhysExpr, ranges: &[(usize, usize)], build: Option<&BuildRows>
             }
         }
         other => other.clone(),
-    }
+    })
 }
 
 /// Static morsel schedule: the table's row space is cut into morsels of
@@ -424,9 +434,24 @@ fn key_hash(key: &[Value]) -> u64 {
 // Worker pool.
 // ---------------------------------------------------------------------
 
+/// Renders a panic payload as text for error reporting.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs one closure per plan on its own thread and gathers the results
-/// in worker order. Worker panics propagate; the first (by worker
-/// order) error wins.
+/// in worker order. Each worker body runs under `catch_unwind`, so a
+/// panicking operator is reported as an [`Error::Exec`] naming the
+/// operator the worker was inside (via the worker thread's
+/// [`current_op`](crate::pipeline::current_op) note) instead of tearing
+/// down the process; the remaining workers finish and are joined
+/// normally. The first (by worker order) error wins.
 fn scatter<T, F>(plans: Vec<PhysExpr>, f: F) -> Result<Vec<T>>
 where
     T: Send,
@@ -434,7 +459,28 @@ where
 {
     let joined: Vec<std::thread::Result<Result<T>>> = std::thread::scope(|s| {
         let f = &f;
-        let handles: Vec<_> = plans.into_iter().map(|p| s.spawn(move || f(p))).collect();
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|p| {
+                s.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p))).unwrap_or_else(
+                        |payload| {
+                            // Read the op note on the worker's own thread:
+                            // it is thread-local, so it names the operator
+                            // the panic unwound out of.
+                            let at = crate::pipeline::current_op()
+                                .map_or_else(String::new, |(id, name)| {
+                                    format!(" in operator {name}#{id}")
+                                });
+                            Err(Error::Exec(format!(
+                                "worker panicked{at}: {}",
+                                panic_message(payload.as_ref())
+                            )))
+                        },
+                    )
+                })
+            })
+            .collect();
         handles
             .into_iter()
             .map(std::thread::ScopedJoinHandle::join)
@@ -444,7 +490,15 @@ where
     for r in joined {
         match r {
             Ok(v) => out.push(v?),
-            Err(panic) => std::panic::resume_unwind(panic),
+            // The worker body is fully wrapped in catch_unwind, so a join
+            // failure means the panic escaped during payload teardown —
+            // still convert rather than abort the process.
+            Err(panic) => {
+                return Err(Error::Exec(format!(
+                    "worker thread died: {}",
+                    panic_message(panic.as_ref())
+                )))
+            }
         }
     }
     Ok(out)
@@ -499,6 +553,9 @@ pub struct ExchangeOp {
     invariant: bool,
     pending: Vec<Row>,
     done: bool,
+    /// Charges the gathered-row buffer (`pending`) against the query's
+    /// memory budget; workers stream into it before the parent drains.
+    mem: MemoryReservation,
 }
 
 impl ExchangeOp {
@@ -519,13 +576,23 @@ impl ExchangeOp {
             invariant,
             pending: Vec::new(),
             done: false,
+            mem: MemoryReservation::detached("Exchange"),
         }
+    }
+
+    /// Charges freshly gathered rows to the exchange's reservation
+    /// before they enter the shared `pending` buffer. Also a fault site
+    /// (`exchange.gather`), so injection can exercise the gather path.
+    fn charge_gathered(&mut self, rows: &[Row]) -> Result<()> {
+        crate::faults::hit("exchange.gather")?;
+        self.mem.grow(rows_bytes(rows))
     }
 
     /// Serial fallback: compile and run the unmodified subtree, copying
     /// its per-node stats one-to-one into the reserved slots.
     fn run_serial(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         let mut pipe = Pipeline::with_batch_size(&self.plan, self.batch_size)?;
+        pipe.set_governor(ctx.gov.clone());
         let binds = ctx.binds.borrow().clone();
         let chunk = pipe.execute(ctx.catalog, &binds)?;
         let sub = pipe.stats();
@@ -536,9 +603,11 @@ impl ExchangeOp {
             slot.batches += s.batches;
             slot.rows += s.rows;
             slot.elapsed += s.elapsed;
+            slot.mem_peak = slot.mem_peak.max(s.mem_peak);
         }
         drop(stats);
         check_gathered(&chunk.rows, self.out_cols.len(), "serial fallback")?;
+        self.charge_gathered(&chunk.rows)?;
         self.pending.extend(chunk.rows);
         Ok(())
     }
@@ -548,6 +617,7 @@ impl ExchangeOp {
     /// subtree's pre-order).
     fn run_build(&self, ctx: &ExecCtx<'_>, build: &PhysExpr) -> Result<BuildRows> {
         let mut pipe = Pipeline::with_batch_size(build, self.batch_size)?;
+        pipe.set_governor(ctx.gov.clone());
         let chunk = pipe.execute(ctx.catalog, &Bindings::new())?;
         let sub = pipe.stats();
         let start = self.base + self.plan.node_count() - build.node_count();
@@ -558,6 +628,7 @@ impl ExchangeOp {
             slot.batches += s.batches;
             slot.rows += s.rows;
             slot.elapsed += s.elapsed;
+            slot.mem_peak = slot.mem_peak.max(s.mem_peak);
         }
         let cols = build.out_cols();
         check_gathered(&chunk.rows, cols.len(), "build broadcast")?;
@@ -595,6 +666,7 @@ impl ExchangeOp {
     }
 
     fn compute(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        ctx.gov.check_cancelled("Exchange")?;
         let workers = ctx.parallelism.min(MAX_WORKERS);
         if workers <= 1 || !self.invariant {
             return self.run_serial(ctx);
@@ -630,11 +702,13 @@ impl ExchangeOp {
         let plans: Vec<PhysExpr> = ranges
             .iter()
             .map(|r| substitute(&self.plan, r, build.as_ref()))
-            .collect();
+            .collect::<Result<_>>()?;
         let catalog = ctx.catalog;
         let bs = self.batch_size;
+        let gov = &ctx.gov;
         let results = scatter(plans, |plan| {
             let mut pipe = Pipeline::with_batch_size(&plan, bs)?;
+            pipe.set_governor(gov.clone());
             let chunk = pipe.execute(catalog, &Bindings::new())?;
             Ok((chunk.rows, pipe.stats()))
         })?;
@@ -642,6 +716,7 @@ impl ExchangeOp {
         self.absorb_workers(0, align, &per_worker);
         for (rows, _) in results {
             check_gathered(&rows, self.out_cols.len(), "pipelined gather")?;
+            self.charge_gathered(&rows)?;
             self.pending.extend(rows);
         }
         Ok(())
@@ -673,9 +748,9 @@ impl ExchangeOp {
             .map(|c| {
                 lout.iter()
                     .position(|l| l == c)
-                    .expect("probe key in layout")
+                    .ok_or_else(|| Error::internal("repartition probe key missing from layout"))
             })
-            .collect();
+            .collect::<Result<_>>()?;
         let right_pos: Vec<usize> = right_keys
             .iter()
             .map(|c| {
@@ -683,9 +758,9 @@ impl ExchangeOp {
                     .cols
                     .iter()
                     .position(|l| l == c)
-                    .expect("build key in layout")
+                    .ok_or_else(|| Error::internal("repartition build key missing from layout"))
             })
-            .collect();
+            .collect::<Result<_>>()?;
         let mut combined = lout.clone();
         combined.extend(build.cols.iter().copied());
         let right_width = build.cols.len();
@@ -707,7 +782,7 @@ impl ExchangeOp {
         let plans: Vec<PhysExpr> = ranges
             .iter()
             .map(|r| substitute(&chain_plan, r, None))
-            .collect();
+            .collect::<Result<_>>()?;
         let catalog = ctx.catalog;
         let bs = self.batch_size;
         let kind = *kind;
@@ -715,8 +790,10 @@ impl ExchangeOp {
         let residual_trivial = residual.is_true();
         let combined = &combined;
         let left_pos = &left_pos;
+        let gov = &ctx.gov;
         let results = scatter(plans, |plan| {
             let mut pipe = Pipeline::with_batch_size(&plan, bs)?;
+            pipe.set_governor(gov.clone());
             let binds = Bindings::new();
             let mut out: Vec<Row> = Vec::new();
             pipe.execute_each(catalog, &binds, |b| {
@@ -768,6 +845,7 @@ impl ExchangeOp {
             total += rows.len();
             max = max.max(rows.len() as u64);
             check_gathered(&rows, self.out_cols.len(), "repartition gather")?;
+            self.charge_gathered(&rows)?;
             self.pending.extend(rows);
         }
         self.synthesize_root(total, t.elapsed(), workers, max);
@@ -803,24 +881,29 @@ impl ExchangeOp {
                 in_cols
                     .iter()
                     .position(|l| l == c)
-                    .expect("group column in layout")
+                    .ok_or_else(|| Error::internal("partial-agg group column missing from layout"))
             })
-            .collect();
+            .collect::<Result<_>>()?;
         let align =
             input.node_count() - build_side(input).map_or(0, super::physical::PhysExpr::node_count);
         let ranges = worker_ranges(driving_len(input, ctx.catalog), workers);
         let plans: Vec<PhysExpr> = ranges
             .iter()
             .map(|r| substitute(input, r, build.as_ref()))
-            .collect();
+            .collect::<Result<_>>()?;
         let catalog = ctx.catalog;
         let bs = self.batch_size;
         let in_cols = &in_cols;
         let group_pos = &group_pos;
+        let gov = &ctx.gov;
         let results = scatter(plans, |plan| {
             let mut pipe = Pipeline::with_batch_size(&plan, bs)?;
+            pipe.set_governor(gov.clone());
             let binds = Bindings::new();
             let mut state = GroupedAggState::new(aggs);
+            // Each worker's thread-local state charges the shared pool;
+            // the merged total is what a serial aggregate would hold.
+            state.set_reservation(gov.reservation("PartialAgg"));
             pipe.execute_each(catalog, &binds, |b| {
                 for r in &b.rows {
                     let key: Vec<Value> = group_pos.iter().map(|&i| r[i].clone()).collect();
@@ -851,20 +934,29 @@ impl ExchangeOp {
                 Some(m) => m.merge(state)?,
             }
         }
-        let rows = merged
-            .unwrap_or_else(|| GroupedAggState::new(aggs))
-            .finish(kind);
+        let merged = merged.unwrap_or_else(|| GroupedAggState::new(aggs));
+        // The merged state's peak covers every group the workers found:
+        // merging re-charges vacant groups into the surviving state.
+        let state_peak = merged.mem_peak();
+        let rows = merged.finish(kind);
         self.synthesize_root(rows.len(), t.elapsed(), workers, max);
+        {
+            let mut stats = self.stats.borrow_mut();
+            let slot = &mut stats[self.base];
+            slot.mem_peak = slot.mem_peak.max(state_peak);
+        }
         check_gathered(&rows, self.out_cols.len(), "partial-agg merge")?;
+        self.charge_gathered(&rows)?;
         self.pending.extend(rows);
         Ok(())
     }
 }
 
 impl Operator for ExchangeOp {
-    fn open(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         self.pending.clear();
         self.done = false;
+        self.mem = ctx.gov.reservation("Exchange");
         Ok(())
     }
 
@@ -878,6 +970,10 @@ impl Operator for ExchangeOp {
             self.batch_size,
             &self.out_cols,
         ))
+    }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
     }
 }
 

@@ -17,12 +17,13 @@
 //! stable hash-join builds / nested-loop inner sides are kept across
 //! re-opens.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 use std::time::Instant;
 
-use orthopt_common::{ColId, Error, Result, Row, TableId, Value};
+use orthopt_common::row::rows_bytes;
+use orthopt_common::{ColId, Error, MemoryReservation, QueryContext, Result, Row, TableId, Value};
 use orthopt_ir::{AggDef, ApplyKind, GroupKind, JoinKind, ScalarExpr};
 use orthopt_storage::Catalog;
 
@@ -103,17 +104,39 @@ pub struct ExecCtx<'a> {
     pub binds: Rc<RefCell<Bindings>>,
     /// Worker-pool size exchange operators may fan out to (1 = serial).
     pub parallelism: usize,
+    /// Per-query resource governance (memory budget + cancellation);
+    /// ungoverned by default.
+    pub gov: QueryContext,
 }
 
 impl<'a> ExecCtx<'a> {
-    /// A context over fresh bindings, serial by default.
+    /// A context over fresh bindings, serial and ungoverned by default.
     pub fn new(catalog: &'a Catalog, binds: Bindings) -> ExecCtx<'a> {
         ExecCtx {
             catalog,
             binds: Rc::new(RefCell::new(binds)),
             parallelism: 1,
+            gov: QueryContext::default(),
         }
     }
+}
+
+thread_local! {
+    /// `(pre-order id, operator name)` of the operator most recently
+    /// entered on this thread — consulted by panic handlers to attach
+    /// an operator path to converted panics.
+    static CURRENT_OP: Cell<Option<(usize, &'static str)>> = const { Cell::new(None) };
+}
+
+/// The `(pre-order id, name)` of the operator most recently entered on
+/// the calling thread, if any. Panic-isolation boundaries read this to
+/// blame the operator a caught panic unwound out of.
+pub fn current_op() -> Option<(usize, &'static str)> {
+    CURRENT_OP.with(Cell::get)
+}
+
+pub(crate) fn note_current_op(id: usize, name: &'static str) {
+    CURRENT_OP.with(|c| c.set(Some((id, name))));
 }
 
 /// A streaming physical operator.
@@ -132,6 +155,11 @@ pub trait Operator {
     fn close(&mut self) -> OpStats {
         OpStats::default()
     }
+    /// Peak bytes held by this operator's memory reservation; 0 for
+    /// non-buffering operators.
+    fn mem_peak(&self) -> u64 {
+        0
+    }
 }
 
 type BoxOp = Box<dyn Operator>;
@@ -144,6 +172,7 @@ pub struct Pipeline {
     cached: Vec<usize>,
     batch_size: usize,
     parallelism: usize,
+    gov: QueryContext,
 }
 
 impl Pipeline {
@@ -168,6 +197,7 @@ impl Pipeline {
             cached: c.cached,
             batch_size: batch_size.max(1),
             parallelism: 1,
+            gov: QueryContext::default(),
         })
     }
 
@@ -180,6 +210,18 @@ impl Pipeline {
     /// The configured worker-pool size.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Installs the per-query governance context (memory budget and
+    /// cancellation token) used by subsequent executions. The default
+    /// context is ungoverned.
+    pub fn set_governor(&mut self, gov: QueryContext) {
+        self.gov = gov;
+    }
+
+    /// The installed governance context.
+    pub fn governor(&self) -> &QueryContext {
+        &self.gov
     }
 
     /// Runs the pipeline to completion, materializing the result.
@@ -210,14 +252,21 @@ impl Pipeline {
             catalog,
             binds: Rc::new(RefCell::new(binds.clone())),
             parallelism: self.parallelism,
+            gov: self.gov.clone(),
         };
-        self.root.open(&ctx)?;
-        while let Some(b) = self.root.next_batch(&ctx)? {
-            b.check_width(self.cols.len())?;
-            f(b)?;
-        }
+        let run = (|| {
+            self.root.open(&ctx)?;
+            while let Some(b) = self.root.next_batch(&ctx)? {
+                b.check_width(self.cols.len())?;
+                f(b)?;
+            }
+            Ok(())
+        })();
+        // Close unconditionally: stats (including memory peaks) must be
+        // recorded and buffers released on the error path too, so the
+        // pipeline is reusable after a budget trip or cancellation.
         self.root.close();
-        Ok(())
+        run
     }
 
     /// Output layout of the root operator.
@@ -398,6 +447,34 @@ pub(crate) fn free_inputs(p: &PhysExpr) -> FreeSet {
 // Compiler.
 // ---------------------------------------------------------------------
 
+/// Short stable operator name used for cancellation blame, failpoint
+/// sites (`faults::hit(name)` at every batch boundary), and panic
+/// attribution.
+pub(crate) fn op_name(p: &PhysExpr) -> &'static str {
+    match p {
+        PhysExpr::TableScan { .. } => "TableScan",
+        PhysExpr::MorselScan { .. } => "MorselScan",
+        PhysExpr::IndexSeek { .. } => "IndexSeek",
+        PhysExpr::Filter { .. } => "Filter",
+        PhysExpr::Compute { .. } => "Compute",
+        PhysExpr::ProjectCols { .. } => "Project",
+        PhysExpr::HashJoin { .. } => "HashJoin",
+        PhysExpr::NLJoin { .. } => "NLJoin",
+        PhysExpr::ApplyLoop { .. } => "ApplyLoop",
+        PhysExpr::SegmentExec { .. } => "SegmentExec",
+        PhysExpr::SegmentScan { .. } => "SegmentScan",
+        PhysExpr::HashAggregate { .. } => "HashAggregate",
+        PhysExpr::Concat { .. } => "Concat",
+        PhysExpr::ExceptExec { .. } => "Except",
+        PhysExpr::AssertMax1 { .. } => "Max1Row",
+        PhysExpr::RowNumber { .. } => "RowNumber",
+        PhysExpr::ConstScan { .. } => "ConstScan",
+        PhysExpr::Sort { .. } => "Sort",
+        PhysExpr::Limit { .. } => "Limit",
+        PhysExpr::Exchange { .. } => "Exchange",
+    }
+}
+
 struct Compiler {
     batch_size: usize,
     stats: Rc<RefCell<Vec<OpStats>>>,
@@ -421,10 +498,16 @@ impl Compiler {
             )
             && free_inputs(p).is_invariant();
         if cacheable {
-            self.cached.push(self.next_id);
+            let id = self.next_id;
+            self.cached.push(id);
             // Children no longer need their own caches.
             let inner = self.compile_bare(p, false)?;
-            return Ok(Box::new(CacheOp::new(inner, self.batch_size)));
+            return Ok(Box::new(CacheOp::new(
+                inner,
+                self.batch_size,
+                self.stats.clone(),
+                id,
+            )));
         }
         self.compile_bare(p, in_param)
     }
@@ -525,6 +608,7 @@ impl Compiler {
                     pending: Vec::new(),
                     left_done: false,
                     batch_size: bs,
+                    mem: MemoryReservation::detached("HashJoin"),
                 })
             }
             PhysExpr::NLJoin {
@@ -552,6 +636,7 @@ impl Compiler {
                     pending: Vec::new(),
                     left_done: false,
                     batch_size: bs,
+                    mem: MemoryReservation::detached("NLJoin"),
                 })
             }
             PhysExpr::ApplyLoop {
@@ -615,6 +700,7 @@ impl Compiler {
                     seg_cursor: 0,
                     pending: Vec::new(),
                     batch_size: bs,
+                    mem: MemoryReservation::detached("SegmentExec"),
                 })
             }
             PhysExpr::SegmentScan { cols } => Box::new(SegmentScanOp {
@@ -647,6 +733,7 @@ impl Compiler {
                     result: Vec::new(),
                     done: false,
                     batch_size: bs,
+                    mem_peak: 0,
                 })
             }
             PhysExpr::Concat {
@@ -692,6 +779,7 @@ impl Compiler {
                     cols: rc_cols(&left.out_cols()),
                     counts: HashMap::new(),
                     built: false,
+                    mem: MemoryReservation::detached("Except"),
                 })
             }
             PhysExpr::AssertMax1 { input } => Box::new(AssertMax1Op {
@@ -699,6 +787,7 @@ impl Compiler {
                 input: self.compile(input, in_param)?,
                 buffered: Vec::new(),
                 done: false,
+                mem: MemoryReservation::detached("Max1Row"),
             }),
             PhysExpr::RowNumber { input, .. } => Box::new(RowNumberOp {
                 input: self.compile(input, in_param)?,
@@ -724,6 +813,7 @@ impl Compiler {
                     buffered: Vec::new(),
                     sorted: false,
                     batch_size: bs,
+                    mem: MemoryReservation::detached("Sort"),
                 })
             }
             PhysExpr::Limit { input, n } => Box::new(LimitOp {
@@ -733,6 +823,7 @@ impl Compiler {
                 buffered: Vec::new(),
                 done: false,
                 batch_size: bs,
+                mem: MemoryReservation::detached("Limit"),
             }),
             PhysExpr::Exchange { input } => {
                 // The subtree is not compiled here: the exchange runtime
@@ -770,6 +861,7 @@ impl Compiler {
         Ok(Box::new(Metered {
             op,
             id,
+            name: op_name(p),
             stats: self.stats.clone(),
         }))
     }
@@ -780,14 +872,20 @@ impl Compiler {
 // ---------------------------------------------------------------------
 
 /// Wraps an operator to record [`OpStats`] into the pipeline registry.
+/// Also the per-operator governance boundary: every `next_batch` polls
+/// the cancellation token and the (feature-gated) failpoint registry,
+/// and notes the operator in thread-local state so panic handlers can
+/// attach an operator path.
 struct Metered {
     op: BoxOp,
     id: usize,
+    name: &'static str,
     stats: Rc<RefCell<Vec<OpStats>>>,
 }
 
 impl Operator for Metered {
     fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        note_current_op(self.id, self.name);
         let t = Instant::now();
         let r = self.op.open(ctx);
         let mut stats = self.stats.borrow_mut();
@@ -798,45 +896,84 @@ impl Operator for Metered {
     }
 
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        note_current_op(self.id, self.name);
+        ctx.gov.check_cancelled(self.name)?;
+        crate::faults::hit(self.name)?;
         let t = Instant::now();
         let r = self.op.next_batch(ctx);
         let mut stats = self.stats.borrow_mut();
         let s = &mut stats[self.id];
         s.elapsed += t.elapsed();
-        if let Ok(Some(b)) = &r {
-            s.batches += 1;
-            s.rows += b.len() as u64;
+        match &r {
+            Ok(Some(b)) => {
+                s.batches += 1;
+                s.rows += b.len() as u64;
+            }
+            // Exhaustion or failure: fold in the operator's memory peak
+            // (close is not recursive, so this is where inner buffering
+            // operators surface their reservation peaks).
+            Ok(None) | Err(_) => s.mem_peak = s.mem_peak.max(self.op.mem_peak()),
         }
         r
     }
 
     fn close(&mut self) -> OpStats {
         self.op.close();
-        self.stats.borrow()[self.id]
+        let mut stats = self.stats.borrow_mut();
+        let s = &mut stats[self.id];
+        s.mem_peak = s.mem_peak.max(self.op.mem_peak());
+        *s
     }
 }
 
 /// One-time materialization of a parameter-invariant subtree: drains
 /// its input on first demand and replays the result on every rewind.
+///
+/// When the memory budget refuses the materialization, the cache *sheds*
+/// instead of failing: buffered rows are released and the operator
+/// degrades to a passthrough that re-executes its input on every rewind
+/// — the pre-cache behavior, slower but correct.
 struct CacheOp {
     input: BoxOp,
     filled: bool,
+    /// Budget refusal during fill happened: operate as a passthrough.
+    degraded: bool,
     cols: Option<Rc<[ColId]>>,
     rows: Vec<Row>,
     cursor: usize,
     batch_size: usize,
+    mem: MemoryReservation,
+    /// The cache is not itself a metered node — it records its peak
+    /// into the cached subtree root's stats slot.
+    stats: Rc<RefCell<Vec<OpStats>>>,
+    id: usize,
 }
 
 impl CacheOp {
-    fn new(input: BoxOp, batch_size: usize) -> CacheOp {
+    fn new(
+        input: BoxOp,
+        batch_size: usize,
+        stats: Rc<RefCell<Vec<OpStats>>>,
+        id: usize,
+    ) -> CacheOp {
         CacheOp {
             input,
             filled: false,
+            degraded: false,
             cols: None,
             rows: Vec::new(),
             cursor: 0,
             batch_size,
+            mem: MemoryReservation::detached("Cache"),
+            stats,
+            id,
         }
+    }
+
+    fn record_peak(&self) {
+        let mut stats = self.stats.borrow_mut();
+        let s = &mut stats[self.id];
+        s.mem_peak = s.mem_peak.max(self.mem.peak());
     }
 }
 
@@ -846,29 +983,61 @@ impl Operator for CacheOp {
         if self.filled {
             return Ok(());
         }
+        if self.degraded {
+            // Passthrough mode: every rewind re-executes the input.
+            self.rows.clear();
+            return self.input.open(ctx);
+        }
+        self.mem = ctx.gov.reservation("Cache");
         self.input.open(ctx)
     }
 
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
-        if !self.filled {
+        if !self.filled && !self.degraded {
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(b.cols.len())?;
                 self.cols.get_or_insert_with(|| b.cols.clone());
-                self.rows.extend(b.rows);
+                let charged = crate::faults::hit("cache.fill")
+                    .and_then(|()| self.mem.grow(rows_bytes(&b.rows)));
+                match charged {
+                    Ok(()) => self.rows.extend(b.rows),
+                    Err(Error::ResourceExhausted { .. }) => {
+                        // Shed: stream out what is buffered (plus the
+                        // batch in hand), then abandon caching.
+                        self.record_peak();
+                        self.mem.reset();
+                        self.degraded = true;
+                        self.rows.extend(b.rows);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
-            self.filled = true;
-            self.input.close();
+            if !self.degraded {
+                self.filled = true;
+                self.record_peak();
+                self.input.close();
+            }
         }
-        let Some(cols) = &self.cols else {
-            return Ok(None);
-        };
-        if self.cursor >= self.rows.len() {
-            return Ok(None);
+        if self.cursor < self.rows.len() {
+            let cols = self
+                .cols
+                .clone()
+                .ok_or_else(|| Error::internal("cache buffered rows without a layout"))?;
+            let end = (self.cursor + self.batch_size).min(self.rows.len());
+            let rows = self.rows[self.cursor..end].to_vec();
+            self.cursor = end;
+            return Ok(Some(Batch::new(cols, rows)));
         }
-        let end = (self.cursor + self.batch_size).min(self.rows.len());
-        let rows = self.rows[self.cursor..end].to_vec();
-        self.cursor = end;
-        Ok(Some(Batch::new(cols.clone(), rows)))
+        if self.degraded {
+            // Head drained; release it and stream the live input.
+            if !self.rows.is_empty() {
+                self.rows = Vec::new();
+                self.cursor = 0;
+            }
+            return self.input.next_batch(ctx);
+        }
+        Ok(None)
     }
 }
 
@@ -1219,6 +1388,7 @@ struct HashJoinOp {
     pending: Vec<Row>,
     left_done: bool,
     batch_size: usize,
+    mem: MemoryReservation,
 }
 
 impl HashJoinOp {
@@ -1267,6 +1437,9 @@ impl Operator for HashJoinOp {
         if !(self.build_stable && self.built) {
             self.table.clear();
             self.built = false;
+            // Fresh reservation: replacing the old one releases the
+            // dropped table's bytes back to the pool.
+            self.mem = ctx.gov.reservation("HashJoin");
             self.right.open(ctx)?;
         }
         Ok(())
@@ -1276,6 +1449,8 @@ impl Operator for HashJoinOp {
         if !self.built {
             while let Some(b) = self.right.next_batch(ctx)? {
                 b.check_width(self.right_width)?;
+                crate::faults::hit("hashjoin.build")?;
+                self.mem.grow(rows_bytes(&b.rows))?;
                 for rr in b.rows {
                     if let Some(key) = join_key(&rr, &self.right_pos) {
                         self.table.entry(key).or_default().push(rr);
@@ -1299,6 +1474,10 @@ impl Operator for HashJoinOp {
             &self.out_cols,
         ))
     }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
+    }
 }
 
 struct NLJoinOp {
@@ -1316,6 +1495,7 @@ struct NLJoinOp {
     pending: Vec<Row>,
     left_done: bool,
     batch_size: usize,
+    mem: MemoryReservation,
 }
 
 impl NLJoinOp {
@@ -1359,6 +1539,7 @@ impl Operator for NLJoinOp {
         if !(self.right_stable && self.right_built) {
             self.right_rows.clear();
             self.right_built = false;
+            self.mem = ctx.gov.reservation("NLJoin");
             self.right.open(ctx)?;
         }
         Ok(())
@@ -1368,6 +1549,8 @@ impl Operator for NLJoinOp {
         if !self.right_built {
             while let Some(b) = self.right.next_batch(ctx)? {
                 b.check_width(self.right_width)?;
+                crate::faults::hit("nljoin.build")?;
+                self.mem.grow(rows_bytes(&b.rows))?;
                 self.right_rows.extend(b.rows);
             }
             self.right_built = true;
@@ -1386,6 +1569,10 @@ impl Operator for NLJoinOp {
             self.batch_size,
             &self.out_cols,
         ))
+    }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
     }
 }
 
@@ -1426,6 +1613,7 @@ impl Operator for ApplyLoopOp {
                 catalog: ctx.catalog,
                 binds: self.inner_binds.clone(),
                 parallelism: ctx.parallelism,
+                gov: ctx.gov.clone(),
             };
             for lr in batch.rows {
                 {
@@ -1497,6 +1685,7 @@ struct SegmentExecOp {
     seg_cursor: usize,
     pending: Vec<Row>,
     batch_size: usize,
+    mem: MemoryReservation,
 }
 
 impl Operator for SegmentExecOp {
@@ -1506,6 +1695,7 @@ impl Operator for SegmentExecOp {
         self.partitioned = false;
         self.seg_cursor = 0;
         self.pending.clear();
+        self.mem = ctx.gov.reservation("SegmentExec");
         self.input.open(ctx)
     }
 
@@ -1516,6 +1706,8 @@ impl Operator for SegmentExecOp {
             let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(self.input_cols.len())?;
+                crate::faults::hit("segment.partition")?;
+                self.mem.grow(rows_bytes(&b.rows))?;
                 for r in b.rows {
                     let key: Vec<Value> = self.seg_pos.iter().map(|&i| r[i].clone()).collect();
                     match index.get(&key) {
@@ -1541,6 +1733,7 @@ impl Operator for SegmentExecOp {
                 catalog: ctx.catalog,
                 binds: self.inner_binds.clone(),
                 parallelism: ctx.parallelism,
+                gov: ctx.gov.clone(),
             };
             let run = (|| -> Result<()> {
                 self.inner.open(&ictx)?;
@@ -1568,6 +1761,10 @@ impl Operator for SegmentExecOp {
             &self.out_cols,
         ))
     }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1585,13 +1782,19 @@ struct HashAggregateOp {
     result: Vec<Row>,
     done: bool,
     batch_size: usize,
+    /// Peak bytes of the grouped state, captured before `finish`
+    /// consumes it (the reservation lives inside the state).
+    mem_peak: u64,
 }
 
 impl Operator for HashAggregateOp {
     fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
-        self.state = Some(GroupedAggState::new(&self.aggs));
+        let mut state = GroupedAggState::new(&self.aggs);
+        state.set_reservation(ctx.gov.reservation("HashAggregate"));
+        self.state = Some(state);
         self.result.clear();
         self.done = false;
+        self.mem_peak = 0;
         self.input.open(ctx)
     }
 
@@ -1601,23 +1804,30 @@ impl Operator for HashAggregateOp {
                 .state
                 .take()
                 .ok_or_else(|| Error::internal("aggregate state missing"))?;
-            while let Some(b) = self.input.next_batch(ctx)? {
-                let binds = ctx.binds.borrow();
-                for r in &b.rows {
-                    let key: Vec<Value> = self.group_pos.iter().map(|&i| r[i].clone()).collect();
-                    let args = self
-                        .aggs
-                        .iter()
-                        .map(|a| {
-                            a.arg
-                                .as_ref()
-                                .map(|e| eval(e, &EvalCtx::plain(&self.in_cols, r, &binds)))
-                                .transpose()
-                        })
-                        .collect::<Result<Vec<_>>>()?;
-                    state.feed(key, args)?;
+            let fed = (|| -> Result<()> {
+                while let Some(b) = self.input.next_batch(ctx)? {
+                    crate::faults::hit("hashagg.state")?;
+                    let binds = ctx.binds.borrow();
+                    for r in &b.rows {
+                        let key: Vec<Value> =
+                            self.group_pos.iter().map(|&i| r[i].clone()).collect();
+                        let args = self
+                            .aggs
+                            .iter()
+                            .map(|a| {
+                                a.arg
+                                    .as_ref()
+                                    .map(|e| eval(e, &EvalCtx::plain(&self.in_cols, r, &binds)))
+                                    .transpose()
+                            })
+                            .collect::<Result<Vec<_>>>()?;
+                        state.feed(key, args)?;
+                    }
                 }
-            }
+                Ok(())
+            })();
+            self.mem_peak = self.mem_peak.max(state.mem_peak());
+            fed?;
             self.result = state.finish(self.kind);
             self.done = true;
         }
@@ -1626,6 +1836,10 @@ impl Operator for HashAggregateOp {
             self.batch_size,
             &self.out_cols,
         ))
+    }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem_peak
     }
 }
 
@@ -1636,12 +1850,14 @@ struct SortOp {
     buffered: Vec<Row>,
     sorted: bool,
     batch_size: usize,
+    mem: MemoryReservation,
 }
 
 impl Operator for SortOp {
     fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         self.buffered.clear();
         self.sorted = false;
+        self.mem = ctx.gov.reservation("Sort");
         self.input.open(ctx)
     }
 
@@ -1649,6 +1865,8 @@ impl Operator for SortOp {
         if !self.sorted {
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(self.cols.len())?;
+                crate::faults::hit("sort.buffer")?;
+                self.mem.grow(rows_bytes(&b.rows))?;
                 self.buffered.extend(b.rows);
             }
             let by = &self.by_pos;
@@ -1672,6 +1890,10 @@ impl Operator for SortOp {
             &self.cols,
         ))
     }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
+    }
 }
 
 struct LimitOp {
@@ -1681,12 +1903,14 @@ struct LimitOp {
     buffered: Vec<Row>,
     done: bool,
     batch_size: usize,
+    mem: MemoryReservation,
 }
 
 impl Operator for LimitOp {
     fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         self.buffered.clear();
         self.done = false;
+        self.mem = ctx.gov.reservation("Limit");
         self.input.open(ctx)
     }
 
@@ -1697,7 +1921,12 @@ impl Operator for LimitOp {
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(self.cols.len())?;
                 let room = self.n.saturating_sub(self.buffered.len());
-                self.buffered.extend(b.rows.into_iter().take(room));
+                let kept: Vec<Row> = b.rows.into_iter().take(room).collect();
+                if !kept.is_empty() {
+                    crate::faults::hit("limit.buffer")?;
+                    self.mem.grow(rows_bytes(&kept))?;
+                    self.buffered.extend(kept);
+                }
             }
             self.done = true;
         }
@@ -1707,6 +1936,10 @@ impl Operator for LimitOp {
             &self.cols,
         ))
     }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
+    }
 }
 
 struct AssertMax1Op {
@@ -1714,12 +1947,14 @@ struct AssertMax1Op {
     cols: Rc<[ColId]>,
     buffered: Vec<Row>,
     done: bool,
+    mem: MemoryReservation,
 }
 
 impl Operator for AssertMax1Op {
     fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         self.buffered.clear();
         self.done = false;
+        self.mem = ctx.gov.reservation("Max1Row");
         self.input.open(ctx)
     }
 
@@ -1731,6 +1966,8 @@ impl Operator for AssertMax1Op {
         // cardinality violation, as in the reference semantics.
         while let Some(b) = self.input.next_batch(ctx)? {
             b.check_width(self.cols.len())?;
+            crate::faults::hit("max1.buffer")?;
+            self.mem.grow(rows_bytes(&b.rows))?;
             self.buffered.extend(b.rows);
         }
         self.done = true;
@@ -1744,6 +1981,10 @@ impl Operator for AssertMax1Op {
             self.cols.clone(),
             std::mem::take(&mut self.buffered),
         )))
+    }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
     }
 }
 
@@ -1794,12 +2035,14 @@ struct ExceptOp {
     cols: Rc<[ColId]>,
     counts: HashMap<Row, usize>,
     built: bool,
+    mem: MemoryReservation,
 }
 
 impl Operator for ExceptOp {
     fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         self.counts.clear();
         self.built = false;
+        self.mem = ctx.gov.reservation("Except");
         self.left.open(ctx)?;
         self.right.open(ctx)
     }
@@ -1807,6 +2050,8 @@ impl Operator for ExceptOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.built {
             while let Some(b) = self.right.next_batch(ctx)? {
+                crate::faults::hit("except.build")?;
+                self.mem.grow(rows_bytes(&b.rows))?;
                 for r in &b.rows {
                     let key: Row = self.rpos.iter().map(|&i| r[i].clone()).collect();
                     *self.counts.entry(key).or_insert(0) += 1;
@@ -1829,6 +2074,10 @@ impl Operator for ExceptOp {
                 return Ok(Some(Batch::new(self.cols.clone(), rows)));
             }
         }
+    }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
     }
 }
 
@@ -2014,6 +2263,7 @@ mod tests {
             buffered: Vec::new(),
             sorted: false,
             batch_size: 16,
+            mem: MemoryReservation::detached("Sort"),
         };
         let catalog = catalog();
         let ctx = ExecCtx::new(&catalog, Bindings::new());

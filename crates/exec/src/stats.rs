@@ -25,6 +25,10 @@ pub struct OpStats {
     /// Largest per-worker row count folded into `rows` — exposes skew
     /// across morsel assignments.
     pub worker_rows_max: u64,
+    /// Peak bytes held by this operator's memory reservation (0 for
+    /// non-buffering operators). Recorded whether or not a budget is
+    /// set, so `explain_analyze` always shows where memory concentrates.
+    pub mem_peak: u64,
 }
 
 impl OpStats {
@@ -43,6 +47,9 @@ impl OpStats {
                 self.workers, self.worker_rows_max
             ));
         }
+        if self.mem_peak > 0 {
+            s.push_str(&format!(" mem={}B", self.mem_peak));
+        }
         s
     }
 
@@ -56,5 +63,6 @@ impl OpStats {
         self.elapsed = self.elapsed.max(w.elapsed);
         self.workers += 1;
         self.worker_rows_max = self.worker_rows_max.max(w.rows);
+        self.mem_peak += w.mem_peak;
     }
 }

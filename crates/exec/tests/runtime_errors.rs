@@ -195,3 +195,199 @@ fn assert_max1_errors_with_sql_error_kind() {
         Error::SubqueryReturnedMoreThanOneRow
     );
 }
+
+// ---------------------------------------------------------------------
+// Resource governor: memory budgets, cancellation, reuse after failure.
+// ---------------------------------------------------------------------
+
+mod governor {
+    use super::*;
+    use orthopt_common::{QueryContext, Result};
+    use orthopt_exec::{Chunk, Pipeline};
+    use orthopt_ir::JoinKind;
+    use orthopt_storage::Catalog;
+    use std::time::Duration;
+
+    fn scan_customer() -> PhysExpr {
+        PhysExpr::TableScan {
+            table: TableId(0),
+            positions: vec![0, 1],
+            cols: vec![C_CUSTKEY, C_NAME],
+        }
+    }
+
+    fn join_plan() -> PhysExpr {
+        PhysExpr::HashJoin {
+            kind: JoinKind::Inner,
+            left: Box::new(scan_customer()),
+            right: Box::new(scan_orders()),
+            left_keys: vec![C_CUSTKEY],
+            right_keys: vec![O_CUSTKEY],
+            residual: ScalarExpr::lit(true),
+        }
+    }
+
+    fn run_governed(plan: &PhysExpr, catalog: &Catalog, gov: QueryContext) -> Result<Chunk> {
+        let mut pipe = Pipeline::compile(plan)?;
+        pipe.set_governor(gov);
+        pipe.execute(catalog, &Bindings::new())
+    }
+
+    fn expect_exhausted(r: Result<Chunk>, operator: &str) {
+        match r {
+            Err(Error::ResourceExhausted {
+                operator: op,
+                limit,
+                ..
+            }) => {
+                assert_eq!(op, operator, "blame names the buffering operator");
+                assert!(limit > 0, "limit carried through");
+            }
+            other => panic!("expected ResourceExhausted at {operator}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_trips_hash_join_build_with_blame() {
+        let catalog = customers_orders();
+        let gov = QueryContext::new().with_memory_limit(16);
+        expect_exhausted(run_governed(&join_plan(), &catalog, gov), "HashJoin");
+    }
+
+    #[test]
+    fn budget_trips_sort_buffer() {
+        let catalog = customers_orders();
+        let plan = PhysExpr::Sort {
+            input: Box::new(scan_orders()),
+            by: vec![(O_TOTALPRICE, false)],
+        };
+        let gov = QueryContext::new().with_memory_limit(16);
+        expect_exhausted(run_governed(&plan, &catalog, gov), "Sort");
+    }
+
+    #[test]
+    fn budget_trips_aggregate_state() {
+        let catalog = customers_orders();
+        let plan = PhysExpr::HashAggregate {
+            kind: orthopt_ir::GroupKind::Vector,
+            input: Box::new(scan_orders()),
+            group_cols: vec![O_CUSTKEY],
+            aggs: vec![orthopt_ir::AggDef::new(
+                orthopt_ir::ColumnMeta::new(ColId(80), "n", orthopt_common::DataType::Int, false),
+                orthopt_ir::AggFunc::CountStar,
+                None,
+            )],
+        };
+        let gov = QueryContext::new().with_memory_limit(16);
+        expect_exhausted(run_governed(&plan, &catalog, gov), "HashAggregate");
+    }
+
+    #[test]
+    fn generous_budget_passes_and_records_peaks() {
+        let catalog = customers_orders();
+        let mut pipe = Pipeline::compile(&join_plan()).unwrap();
+        let gov = QueryContext::new().with_memory_limit(1 << 20);
+        pipe.set_governor(gov);
+        let chunk = pipe.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(chunk.rows.len(), 4);
+        let peak = pipe.governor().mem_peak().unwrap();
+        assert!(peak > 0, "pool saw the build bytes");
+        let stats = pipe.stats();
+        assert!(
+            stats.iter().any(|s| s.mem_peak > 0),
+            "some operator reported a memory peak: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn apply_cache_sheds_and_falls_back_to_reexecution() {
+        // The inner side is parameter-invariant (no params), so the
+        // compiler wraps it in a cache. Under a budget too small for the
+        // cached rows the cache must shed and re-execute per outer row
+        // instead of failing the query.
+        let catalog = customers_orders();
+        let inner = PhysExpr::Filter {
+            input: Box::new(scan_orders()),
+            predicate: ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(O_ORDERKEY),
+                ScalarExpr::lit(0i64),
+            ),
+        };
+        let plan = PhysExpr::ApplyLoop {
+            kind: orthopt_ir::ApplyKind::Cross,
+            left: Box::new(scan_customer()),
+            right: Box::new(inner),
+            params: vec![],
+        };
+        let ungoverned = run_governed(&plan, &catalog, QueryContext::new()).unwrap();
+        assert_eq!(ungoverned.rows.len(), 12);
+        // 16 bytes cannot hold even one cached row.
+        let gov = QueryContext::new().with_memory_limit(16);
+        let governed = run_governed(&plan, &catalog, gov).expect("cache sheds, query survives");
+        assert!(orthopt_common::row::bag_eq(
+            &ungoverned.rows,
+            &governed.rows
+        ));
+    }
+
+    #[test]
+    fn pre_cancelled_token_fails_fast() {
+        let catalog = customers_orders();
+        let gov = QueryContext::new().with_cancellation();
+        gov.cancel_token().cancel();
+        match run_governed(&join_plan(), &catalog, gov) {
+            Err(Error::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_cancels_at_first_boundary() {
+        let catalog = customers_orders();
+        let gov = QueryContext::new().with_timeout(Duration::ZERO);
+        match run_governed(&join_plan(), &catalog, gov) {
+            Err(Error::Cancelled { ref operator, .. }) => {
+                assert!(!operator.is_empty(), "cancellation blames an operator");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_reusable_after_governor_failure() {
+        let catalog = customers_orders();
+        let mut pipe = Pipeline::compile(&join_plan()).unwrap();
+        pipe.set_governor(QueryContext::new().with_memory_limit(16));
+        assert!(pipe.execute(&catalog, &Bindings::new()).is_err());
+        // Same compiled pipeline, governor lifted: clean answer.
+        pipe.set_governor(QueryContext::new());
+        let chunk = pipe.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(chunk.rows.len(), 4);
+    }
+
+    #[test]
+    fn parallel_exchange_respects_budget_and_cancellation() {
+        let catalog = customers_orders();
+        let plan = PhysExpr::Exchange {
+            input: Box::new(scan_orders()),
+        };
+        let mut pipe = Pipeline::compile(&plan).unwrap();
+        pipe.set_parallelism(4);
+        pipe.set_governor(QueryContext::new().with_memory_limit(16));
+        match pipe.execute(&catalog, &Bindings::new()) {
+            Err(Error::ResourceExhausted { .. }) => {}
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        let gov = QueryContext::new().with_cancellation();
+        gov.cancel_token().cancel();
+        pipe.set_governor(gov);
+        match pipe.execute(&catalog, &Bindings::new()) {
+            Err(Error::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // And clean afterwards.
+        pipe.set_governor(QueryContext::new());
+        assert_eq!(pipe.execute(&catalog, &Bindings::new()).unwrap().len(), 4);
+    }
+}
