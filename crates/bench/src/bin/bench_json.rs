@@ -1,9 +1,10 @@
 //! Machine-readable benchmark emitter: runs the Figure-9 queries (Q2
 //! and Q17) at every optimizer level and writes per-query elapsed
-//! times plus per-operator pipeline statistics (rows, batches, opens,
-//! inclusive time) to `results/bench.json` — for CI tracking and
-//! regression diffing, where the human-oriented table binaries don't
-//! compose. Each level also records wall-clock medians at 1, 2, and 4
+//! times, pipeline row throughput (`rows_per_sec`), and per-operator
+//! pipeline statistics (rows, batches, opens, inclusive time,
+//! vector-kernel and row-bridge counts) to `results/bench.json` — for
+//! CI tracking and regression diffing, where the human-oriented table
+//! binaries don't compose. Each level also records wall-clock medians at 1, 2, and 4
 //! exchange workers (replanned per worker count, since exchange
 //! placement is cost-based).
 //!
@@ -56,6 +57,11 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(
+        json,
+        "  \"columnar\": {},",
+        orthopt::exec::columnar_enabled()
+    );
     let _ = writeln!(json, "  \"queries\": [");
     for (qi, (name, sql_of)) in queries.iter().enumerate() {
         let sql = sql_of();
@@ -115,6 +121,16 @@ fn main() {
             );
             let _ = writeln!(json, "          \"mem_peak_bytes\": {mem_peak},");
             let _ = writeln!(json, "          \"rows\": {},", chunk.len());
+            // Pipeline throughput: total rows crossing all operator
+            // boundaries (from the instrumented run) over the median
+            // ungoverned wall clock.
+            let total_rows: u64 = stats.iter().map(|s| s.rows).sum();
+            let rows_per_sec = if elapsed > 0.0 {
+                total_rows as f64 / (elapsed / 1e3)
+            } else {
+                0.0
+            };
+            let _ = writeln!(json, "          \"rows_per_sec\": {rows_per_sec:.0},");
             let _ = writeln!(json, "          \"workers\": [");
             for (wi, (workers, ms, exchanges)) in worker_runs.iter().enumerate() {
                 let _ = writeln!(
@@ -131,13 +147,15 @@ fn main() {
                     json,
                     "            {{\"id\": {id}, \"depth\": {depth}, \"op\": \"{}\", \
                      \"rows\": {}, \"batches\": {}, \"opens\": {}, \"time_ms\": {:.4}, \
-                     \"mem_peak\": {}, \"cached\": {}}}{}",
+                     \"mem_peak\": {}, \"kernels\": {}, \"bridged\": {}, \"cached\": {}}}{}",
                     esc(label),
                     s.rows,
                     s.batches,
                     s.opens,
                     s.elapsed.as_secs_f64() * 1e3,
                     s.mem_peak,
+                    s.kernels,
+                    s.bridged,
                     cached.contains(&id),
                     if id + 1 == labels.len() { "" } else { "," },
                 );

@@ -1,0 +1,516 @@
+//! Typed column vectors with null bitmaps — the columnar half of the
+//! execution engine's batch representation.
+//!
+//! A [`Column`] is an immutable, shareable slice over typed value
+//! storage ([`ColData`]) plus an Arrow-style validity [`Bitmap`]
+//! (bit set = value present, bit clear = SQL NULL). Columns are cheap
+//! to slice (`Arc` clone + offset arithmetic), so table scans can hand
+//! out windows over resident column data without touching the values.
+//!
+//! The representation is deliberately lossless with respect to the
+//! row engine: [`Column::value`] reconstructs exactly the [`Value`]
+//! that a row pipeline would have carried, and [`cols_bytes`] charges
+//! exactly what [`crate::row::rows_bytes`] charges for the equivalent
+//! rows, so the memory governor's thresholds do not shift between the
+//! row and columnar paths (see the parity test below).
+
+use std::sync::Arc;
+
+use crate::row::Row;
+use crate::value::{DataType, Value};
+
+/// Validity bitmap: bit set ⇒ value present, bit clear ⇒ NULL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+    /// Number of clear (NULL) bits — lets `all_valid` answer in O(1).
+    nulls: usize,
+}
+
+impl Bitmap {
+    /// An all-valid bitmap of the given length.
+    pub fn new_valid(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+            nulls: 0,
+        }
+    }
+
+    /// Builds a bitmap from per-position validity flags.
+    pub fn from_flags(flags: impl IntoIterator<Item = bool>) -> Bitmap {
+        let mut b = Bitmap {
+            words: Vec::new(),
+            len: 0,
+            nulls: 0,
+        };
+        for f in flags {
+            b.push(f);
+        }
+        b
+    }
+
+    /// Appends one validity flag.
+    pub fn push(&mut self, valid: bool) {
+        let (w, bit) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[w] |= 1u64 << bit;
+        } else {
+            self.nulls += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Whether position `i` holds a value (not NULL).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when no position is NULL — kernels use this to skip
+    /// per-lane validity branches entirely.
+    pub fn all_valid(&self) -> bool {
+        self.nulls == 0
+    }
+
+    /// Number of NULL positions.
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+}
+
+/// Typed value storage for one column.
+///
+/// Each variant stores the non-NULL payload inline; NULL positions hold
+/// an arbitrary placeholder and are masked by the validity bitmap. The
+/// [`Val`](ColData::Val) fallback keeps untypeable columns (mixed
+/// `Int`/`Float` arithmetic results, heterogeneous constants) exact —
+/// it stores `Value`s verbatim so no information is lost relative to
+/// the row representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Strings (shared payloads).
+    Str(Vec<Arc<str>>),
+    /// Dates as days since the epoch.
+    Date(Vec<i32>),
+    /// Fallback: verbatim values (mixed or untypeable columns).
+    Val(Vec<Value>),
+}
+
+impl ColData {
+    fn len(&self) -> usize {
+        match self {
+            ColData::Int(v) => v.len(),
+            ColData::Float(v) => v.len(),
+            ColData::Bool(v) => v.len(),
+            ColData::Str(v) => v.len(),
+            ColData::Date(v) => v.len(),
+            ColData::Val(v) => v.len(),
+        }
+    }
+}
+
+/// Owned column storage: typed data plus validity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnData {
+    /// Typed payload.
+    pub data: ColData,
+    /// Validity bitmap (bit set = present).
+    pub validity: Bitmap,
+}
+
+/// An immutable, shareable window over a [`ColumnData`].
+///
+/// Cloning and [slicing](Column::slice) are O(1) (`Arc` clone plus
+/// offset arithmetic), which is what makes columnar scans zero-copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: Arc<ColumnData>,
+    offset: usize,
+    len: usize,
+}
+
+impl Column {
+    /// Wraps owned column storage as a full-length column.
+    pub fn from_data(data: ColumnData) -> Column {
+        debug_assert_eq!(data.data.len(), data.validity.len());
+        let len = data.validity.len();
+        Column {
+            data: Arc::new(data),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// Builds a column from values, choosing a typed representation
+    /// when every non-NULL value shares one [`DataType`] and falling
+    /// back to [`ColData::Val`] otherwise.
+    pub fn from_values(vals: Vec<Value>) -> Column {
+        let mut ty: Option<DataType> = None;
+        let mut uniform = true;
+        for v in &vals {
+            if let Some(t) = v.data_type() {
+                match ty {
+                    None => ty = Some(t),
+                    Some(prev) if prev != t => {
+                        uniform = false;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        let validity = Bitmap::from_flags(vals.iter().map(|v| !v.is_null()));
+        let data = match (uniform, ty) {
+            (true, Some(DataType::Int)) => ColData::Int(
+                vals.iter()
+                    .map(|v| if let Value::Int(i) = v { *i } else { 0 })
+                    .collect(),
+            ),
+            (true, Some(DataType::Float)) => ColData::Float(
+                vals.iter()
+                    .map(|v| if let Value::Float(f) = v { *f } else { 0.0 })
+                    .collect(),
+            ),
+            (true, Some(DataType::Bool)) => ColData::Bool(
+                vals.iter()
+                    .map(|v| matches!(v, Value::Bool(true)))
+                    .collect(),
+            ),
+            (true, Some(DataType::Str)) => ColData::Str(
+                vals.iter()
+                    .map(|v| {
+                        if let Value::Str(s) = v {
+                            s.clone()
+                        } else {
+                            Arc::from("")
+                        }
+                    })
+                    .collect(),
+            ),
+            (true, Some(DataType::Date)) => ColData::Date(
+                vals.iter()
+                    .map(|v| if let Value::Date(d) = v { *d } else { 0 })
+                    .collect(),
+            ),
+            // All-NULL columns are typeless; keep them exact via the
+            // fallback (every lane is masked anyway).
+            _ => ColData::Val(vals),
+        };
+        Column::from_data(ColumnData { data, validity })
+    }
+
+    /// Number of values in this window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when no value in this window is NULL.
+    pub fn all_valid(&self) -> bool {
+        self.data.validity.all_valid()
+            || (0..self.len).all(|i| self.data.validity.get(self.offset + i))
+    }
+
+    /// Whether position `i` holds a value (not NULL).
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.data.validity.get(self.offset + i)
+    }
+
+    /// Reconstructs the [`Value`] at position `i` — exactly the value
+    /// the equivalent row would carry.
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        debug_assert!(i < self.len);
+        let j = self.offset + i;
+        if !self.data.validity.get(j) {
+            return Value::Null;
+        }
+        match &self.data.data {
+            ColData::Int(v) => Value::Int(v[j]),
+            ColData::Float(v) => Value::Float(v[j]),
+            ColData::Bool(v) => Value::Bool(v[j]),
+            ColData::Str(v) => Value::Str(v[j].clone()),
+            ColData::Date(v) => Value::Date(v[j]),
+            ColData::Val(v) => v[j].clone(),
+        }
+    }
+
+    /// Compares the value at position `i` against `v` under grouping
+    /// equality (the derived `PartialEq` on [`Value`]) without
+    /// materializing a `Value` for the lane.
+    #[inline]
+    pub fn lane_eq(&self, i: usize, v: &Value) -> bool {
+        let j = self.offset + i;
+        if !self.data.validity.get(j) {
+            return v.is_null();
+        }
+        match (&self.data.data, v) {
+            (ColData::Int(d), Value::Int(x)) => d[j] == *x,
+            (ColData::Float(d), Value::Float(x)) => Value::Float(d[j]) == Value::Float(*x),
+            (ColData::Int(d), Value::Float(_)) => Value::Int(d[j]) == *v,
+            (ColData::Float(d), Value::Int(_)) => Value::Float(d[j]) == *v,
+            (ColData::Bool(d), Value::Bool(x)) => d[j] == *x,
+            (ColData::Str(d), Value::Str(x)) => d[j] == *x,
+            (ColData::Date(d), Value::Date(x)) => d[j] == *x,
+            (ColData::Val(d), _) => d[j] == *v,
+            _ => false,
+        }
+    }
+
+    /// A zero-copy window over `[offset, offset + len)` of this column.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        debug_assert!(offset + len <= self.len);
+        Column {
+            data: self.data.clone(),
+            offset: self.offset + offset,
+            len,
+        }
+    }
+
+    /// Gathers the values at `idx` into a new dense column, preserving
+    /// the typed representation.
+    pub fn gather(&self, idx: &[usize]) -> Column {
+        let validity = Bitmap::from_flags(idx.iter().map(|&i| self.is_valid(i)));
+        let o = self.offset;
+        let data = match &self.data.data {
+            ColData::Int(v) => ColData::Int(idx.iter().map(|&i| v[o + i]).collect()),
+            ColData::Float(v) => ColData::Float(idx.iter().map(|&i| v[o + i]).collect()),
+            ColData::Bool(v) => ColData::Bool(idx.iter().map(|&i| v[o + i]).collect()),
+            ColData::Str(v) => ColData::Str(idx.iter().map(|&i| v[o + i].clone()).collect()),
+            ColData::Date(v) => ColData::Date(idx.iter().map(|&i| v[o + i]).collect()),
+            ColData::Val(v) => ColData::Val(idx.iter().map(|&i| v[o + i].clone()).collect()),
+        };
+        Column::from_data(ColumnData { data, validity })
+    }
+
+    /// Concatenates columns into one dense column. Parts with the same
+    /// typed representation are appended typed; mixed representations
+    /// fall back to verbatim values.
+    pub fn concat(parts: &[Column]) -> Column {
+        let total: usize = parts.iter().map(Column::len).sum();
+        let mut validity = Bitmap::from_flags(std::iter::empty());
+        for p in parts {
+            for i in 0..p.len {
+                validity.push(p.is_valid(i));
+            }
+        }
+        let same_variant = parts.windows(2).all(|w| {
+            std::mem::discriminant(&w[0].data.data) == std::mem::discriminant(&w[1].data.data)
+        });
+        if !same_variant || parts.is_empty() {
+            let mut vals = Vec::with_capacity(total);
+            for p in parts {
+                for i in 0..p.len {
+                    vals.push(p.value(i));
+                }
+            }
+            return Column::from_values(vals);
+        }
+        macro_rules! typed_concat {
+            ($variant:ident) => {{
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    if let ColData::$variant(v) = &p.data.data {
+                        out.extend_from_slice(&v[p.offset..p.offset + p.len]);
+                    }
+                }
+                ColData::$variant(out)
+            }};
+        }
+        let data = match &parts[0].data.data {
+            ColData::Int(_) => typed_concat!(Int),
+            ColData::Float(_) => typed_concat!(Float),
+            ColData::Bool(_) => typed_concat!(Bool),
+            ColData::Str(_) => typed_concat!(Str),
+            ColData::Date(_) => typed_concat!(Date),
+            ColData::Val(_) => typed_concat!(Val),
+        };
+        Column::from_data(ColumnData { data, validity })
+    }
+
+    /// The typed payload and the window bounds, for kernels that want
+    /// direct slice access: `(data, validity, offset)`. The window
+    /// covers `[offset, offset + self.len())` of the returned storage.
+    pub fn parts(&self) -> (&ColData, &Bitmap, usize) {
+        (&self.data.data, &self.data.validity, self.offset)
+    }
+}
+
+/// Governor accounting for a columnar batch: charges exactly what
+/// [`crate::row::rows_bytes`] charges for the equivalent rows — the
+/// per-row `Vec` header, the inline `Value` slots, and the heap payload
+/// of present string values — so ResourceExhausted thresholds are
+/// identical on both paths. `len` is the batch's row count (columns may
+/// be empty when the layout has zero columns).
+pub fn cols_bytes(columns: &[Column], len: usize) -> u64 {
+    let inline = len * (std::mem::size_of::<Row>() + columns.len() * std::mem::size_of::<Value>());
+    let mut heap = 0usize;
+    for c in columns {
+        match &c.data.data {
+            ColData::Str(v) => {
+                for i in 0..c.len {
+                    if c.data.validity.get(c.offset + i) {
+                        heap += v[c.offset + i].len();
+                    }
+                }
+            }
+            ColData::Val(v) => {
+                for i in 0..c.len {
+                    if let Value::Str(s) = &v[c.offset + i] {
+                        if c.data.validity.get(c.offset + i) {
+                            heap += s.len();
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (inline + heap) as u64
+}
+
+/// Transposes rows into columns (one per position of `width`).
+pub fn rows_to_columns(rows: &[Row], width: usize) -> Vec<Column> {
+    (0..width)
+        .map(|j| Column::from_values(rows.iter().map(|r| r[j].clone()).collect()))
+        .collect()
+}
+
+/// Transposes columns back into rows.
+pub fn columns_to_rows(columns: &[Column], len: usize) -> Vec<Row> {
+    (0..len)
+        .map(|i| columns.iter().map(|c| c.value(i)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::rows_bytes;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(1), Value::str("alpha"), Value::Float(1.5)],
+            vec![Value::Int(2), Value::Null, Value::Float(2.5)],
+            vec![Value::Null, Value::str("g"), Value::Null],
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let rows = sample_rows();
+        let cols = rows_to_columns(&rows, 3);
+        assert_eq!(columns_to_rows(&cols, rows.len()), rows);
+    }
+
+    #[test]
+    fn typed_representation_is_chosen() {
+        let c = Column::from_values(vec![Value::Int(1), Value::Null, Value::Int(3)]);
+        assert!(matches!(c.parts().0, ColData::Int(_)));
+        assert!(!c.all_valid());
+        assert_eq!(c.value(1), Value::Null);
+        // Mixed numeric types fall back to verbatim storage.
+        let m = Column::from_values(vec![Value::Int(1), Value::Float(2.0)]);
+        assert!(matches!(m.parts().0, ColData::Val(_)));
+        assert_eq!(m.value(1), Value::Float(2.0));
+    }
+
+    #[test]
+    fn slice_and_gather_window_correctly() {
+        let c = Column::from_values((0..10).map(Value::Int).collect());
+        let s = c.slice(3, 4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.value(0), Value::Int(3));
+        let g = s.gather(&[3, 0]);
+        assert_eq!(g.value(0), Value::Int(6));
+        assert_eq!(g.value(1), Value::Int(3));
+    }
+
+    #[test]
+    fn concat_keeps_typed_storage() {
+        let a = Column::from_values(vec![Value::Int(1), Value::Null]);
+        let b = Column::from_values(vec![Value::Int(3)]);
+        let c = Column::concat(&[a, b]);
+        assert!(matches!(c.parts().0, ColData::Int(_)));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int(3));
+    }
+
+    #[test]
+    fn lane_eq_matches_grouping_equality() {
+        let c = Column::from_values(vec![Value::Int(3), Value::Null, Value::str("x")]);
+        assert!(c.lane_eq(0, &Value::Int(3)));
+        assert!(
+            c.lane_eq(0, &Value::Float(3.0)),
+            "int/float grouping equality"
+        );
+        assert!(c.lane_eq(1, &Value::Null));
+        assert!(!c.lane_eq(1, &Value::Int(0)));
+        let s = Column::from_values(vec![Value::str("x")]);
+        assert!(s.lane_eq(0, &Value::str("x")));
+    }
+
+    /// Satellite: `cols_bytes` must charge the same logical totals as
+    /// `rows_bytes` for the equivalent rows, so the governor's
+    /// ResourceExhausted thresholds do not shift between paths.
+    #[test]
+    fn cols_bytes_matches_rows_bytes() {
+        let cases: Vec<Vec<Row>> = vec![
+            sample_rows(),
+            vec![],
+            vec![vec![Value::str("a long string payload"), Value::Date(42)]],
+            vec![vec![Value::Null], vec![Value::Null]],
+            (0..100)
+                .map(|i| vec![Value::Int(i), Value::str(format!("s{i}"))])
+                .collect(),
+        ];
+        for rows in cases {
+            let width = rows.first().map_or(0, Vec::len);
+            let cols = rows_to_columns(&rows, width);
+            assert_eq!(
+                cols_bytes(&cols, rows.len()),
+                rows_bytes(&rows),
+                "parity violated for {rows:?}"
+            );
+        }
+    }
+
+    /// Slices charge only their window — and still match the rows they
+    /// logically contain.
+    #[test]
+    fn cols_bytes_respects_slices() {
+        let rows: Vec<Row> = (0..10).map(|i| vec![Value::str(format!("v{i}"))]).collect();
+        let cols = rows_to_columns(&rows, 1);
+        let sliced: Vec<Column> = cols.iter().map(|c| c.slice(2, 5)).collect();
+        assert_eq!(cols_bytes(&sliced, 5), rows_bytes(&rows[2..7]));
+    }
+}

@@ -9,6 +9,7 @@
 //! Everything here is deliberately engine-agnostic: the IR, optimizer and
 //! executor crates all speak in terms of these types.
 
+pub mod column;
 pub mod error;
 pub mod governor;
 pub mod ids;
@@ -16,6 +17,9 @@ pub mod prng;
 pub mod row;
 pub mod value;
 
+pub use column::{
+    cols_bytes, columns_to_rows, rows_to_columns, Bitmap, ColData, Column, ColumnData,
+};
 pub use error::{Error, Result};
 pub use governor::{CancellationToken, MemoryPool, MemoryReservation, QueryContext};
 pub use ids::{ColId, ColIdGen, TableId};

@@ -159,6 +159,47 @@ fn matrix_error_identity_and_clean_recovery() {
     }
 }
 
+/// The columnar hash-join build charges the governor through the same
+/// failpoint as the row build: arming `hashjoin.build` with an
+/// allocation refusal while sources emit columnar batches yields the
+/// structured `ResourceExhausted`, and the disarmed engine answers the
+/// same query cleanly — proving the vectorized path neither skips the
+/// site nor leaks on unwind.
+#[test]
+fn columnar_hashjoin_build_refusal_is_structured() {
+    let _g = registry_lock();
+    let db = corpus_db();
+    let sql = "select rk, sv from r, s where sr = rk";
+    orthopt::exec::set_columnar(true);
+    let plan = db.plan(sql, OptimizerLevel::Full).expect("plans");
+    let out_ids: Vec<_> = plan.output.iter().map(|c| c.id).collect();
+
+    faults::install("hashjoin.build", FaultAction::RefuseAlloc, 0);
+    let mut pipeline = Pipeline::compile(&plan.physical).expect("compiles");
+    let got = pipeline
+        .execute(db.catalog(), &Bindings::new())
+        .and_then(|chunk| chunk.project(&out_ids));
+    faults::clear();
+    match got {
+        Err(e) => assert!(
+            matches!(e.root_cause(), Error::ResourceExhausted { .. }),
+            "expected ResourceExhausted from the columnar build, got {e:?}"
+        ),
+        Ok(_) => panic!("hashjoin.build refusal did not trip — hash join off the plan?"),
+    }
+
+    let oracle = Reference::new(db.catalog())
+        .run(&orthopt_sql::compile(sql, db.catalog()).unwrap().rel)
+        .unwrap();
+    let expected = oracle.project(&out_ids).unwrap();
+    let mut clean = Pipeline::compile(&plan.physical).expect("compiles");
+    let chunk = clean
+        .execute(db.catalog(), &Bindings::new())
+        .and_then(|chunk| chunk.project(&out_ids))
+        .unwrap();
+    assert!(bag_eq(&expected.rows, &chunk.rows), "clean rerun diverged");
+}
+
 /// Two runs with the same seed arm the same site with the same action
 /// and fail (or pass) identically — the suite's determinism guarantee.
 #[test]

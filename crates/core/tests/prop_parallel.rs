@@ -22,15 +22,21 @@ fn nullable_int() -> impl Strategy<Value = Option<i64>> {
 }
 
 /// Batch sizes that stress boundary handling inside and across the
-/// exchange (single-row batches, a tiny odd size, the default).
-const BATCH_SIZES: [usize; 3] = [1, 7, 1024];
+/// exchange (single-row batches, a tiny odd size, one row either side
+/// of the default).
+const BATCH_SIZES: [usize; 5] = [1, 7, 1023, 1024, 1025];
 
 /// Worker-pool sizes: serial fallback, two, four.
 const PARALLELISM: [usize; 3] = [1, 2, 4];
 
+/// Both batch representations: columnar sources (the default) and the
+/// row-at-a-time engine. Sources capture the toggle at compile time, so
+/// each pipeline must be compiled after `set_columnar`.
+const COLUMNAR: [bool; 2] = [true, false];
+
 /// Plans `sql` at every level, forces exchanges onto every eligible
-/// subtree, and checks every `(batch size, parallelism)` combination
-/// against the `Reference` oracle on the unnormalized tree.
+/// subtree, and checks every `(batch size, parallelism, representation)`
+/// combination against the `Reference` oracle on the unnormalized tree.
 fn check_parallel(db: &Database, sql: &str) -> std::result::Result<(), TestCaseError> {
     let bound = orthopt_sql::compile(sql, db.catalog()).expect("template compiles");
     let oracle = Reference::new(db.catalog()).run(&bound.rel);
@@ -40,34 +46,39 @@ fn check_parallel(db: &Database, sql: &str) -> std::result::Result<(), TestCaseE
         let out_ids: Vec<_> = plan.output.iter().map(|c| c.id).collect();
         for bs in BATCH_SIZES {
             for workers in PARALLELISM {
-                let mut pipeline = Pipeline::with_batch_size(&forced, bs)
-                    .expect("forced plan compiles to pipeline");
-                pipeline.set_parallelism(workers);
-                let got = pipeline
-                    .execute(db.catalog(), &Bindings::new())
-                    .and_then(|chunk| chunk.project(&out_ids));
-                match (&oracle, got) {
-                    (Ok(expected), Ok(got)) => {
-                        let expected = expected
-                            .project(&out_ids)
-                            .expect("oracle keeps output cols");
-                        prop_assert!(
-                            bag_eq(&expected.rows, &got.rows),
-                            "{sql}\nlevel={level:?} bs={bs} workers={workers}\n\
-                             oracle={:?}\nparallel={:?}",
-                            expected.rows,
-                            got.rows,
-                        );
-                    }
-                    // Runtime errors must not appear or vanish under
-                    // parallel execution (exact messages may differ by
-                    // which worker trips first).
-                    (Err(_), Err(_)) => {}
-                    (o, g) => {
-                        return Err(TestCaseError::fail(format!(
-                            "one side errored: oracle={o:?} parallel={g:?} \
-                             for {sql} at {level:?} bs={bs} workers={workers}"
-                        )))
+                for col in COLUMNAR {
+                    orthopt_exec::set_columnar(col);
+                    let mut pipeline = Pipeline::with_batch_size(&forced, bs)
+                        .expect("forced plan compiles to pipeline");
+                    pipeline.set_parallelism(workers);
+                    let got = pipeline
+                        .execute(db.catalog(), &Bindings::new())
+                        .and_then(|chunk| chunk.project(&out_ids));
+                    orthopt_exec::set_columnar(true);
+                    match (&oracle, got) {
+                        (Ok(expected), Ok(got)) => {
+                            let expected = expected
+                                .project(&out_ids)
+                                .expect("oracle keeps output cols");
+                            prop_assert!(
+                                bag_eq(&expected.rows, &got.rows),
+                                "{sql}\nlevel={level:?} bs={bs} workers={workers} \
+                                 columnar={col}\noracle={:?}\nparallel={:?}",
+                                expected.rows,
+                                got.rows,
+                            );
+                        }
+                        // Runtime errors must not appear or vanish under
+                        // parallel execution (exact messages may differ by
+                        // which worker trips first).
+                        (Err(_), Err(_)) => {}
+                        (o, g) => {
+                            return Err(TestCaseError::fail(format!(
+                                "one side errored: oracle={o:?} parallel={g:?} \
+                                 for {sql} at {level:?} bs={bs} workers={workers} \
+                                 columnar={col}"
+                            )))
+                        }
                     }
                 }
             }

@@ -19,13 +19,18 @@ fn nullable_int() -> impl Strategy<Value = Option<i64>> {
     ]
 }
 
-/// Batch sizes that stress boundary handling: single-row batches, tiny
-/// odd sizes, and the default.
-const BATCH_SIZES: [usize; 4] = [1, 2, 7, 1024];
+/// Batch sizes that stress boundary handling: single-row batches, a
+/// tiny odd size, and one row either side of the default.
+const BATCH_SIZES: [usize; 5] = [1, 7, 1023, 1024, 1025];
 
-/// Runs `sql` through every optimizer level and batch size and checks
-/// each streaming execution against the `Reference` oracle on the
-/// unnormalized tree.
+/// Both batch representations: columnar sources (the default) and the
+/// row-at-a-time engine. Sources capture the toggle at compile time, so
+/// each pipeline must be compiled after `set_columnar`.
+const COLUMNAR: [bool; 2] = [true, false];
+
+/// Runs `sql` through every optimizer level, batch size, and batch
+/// representation and checks each streaming execution against the
+/// `Reference` oracle on the unnormalized tree.
 fn check_streaming(db: &Database, sql: &str) -> std::result::Result<(), TestCaseError> {
     let bound = orthopt_sql::compile(sql, db.catalog()).expect("template compiles");
     let oracle = Reference::new(db.catalog()).run(&bound.rel);
@@ -33,36 +38,42 @@ fn check_streaming(db: &Database, sql: &str) -> std::result::Result<(), TestCase
         let plan = db.plan(sql, level).expect("planning succeeds");
         let out_ids: Vec<_> = plan.output.iter().map(|c| c.id).collect();
         for bs in BATCH_SIZES {
-            let mut pipeline =
-                Pipeline::with_batch_size(&plan.physical, bs).expect("plan compiles to pipeline");
-            let streamed = pipeline
-                .execute(db.catalog(), &Bindings::new())
-                .and_then(|chunk| chunk.project(&out_ids));
-            match (&oracle, streamed) {
-                (Ok(expected), Ok(got)) => {
-                    let expected = expected
-                        .project(&out_ids)
-                        .expect("oracle keeps output cols");
-                    prop_assert!(
-                        bag_eq(&expected.rows, &got.rows),
-                        "{sql}\nlevel={level:?} batch_size={bs}\noracle={:?}\nstreamed={:?}",
-                        expected.rows,
-                        got.rows,
-                    );
-                }
-                (Err(e1), Err(e2)) => prop_assert_eq!(
-                    e1,
-                    &e2,
-                    "different errors for {} at {:?} bs={}",
-                    sql,
-                    level,
-                    bs
-                ),
-                (o, s) => {
-                    return Err(TestCaseError::fail(format!(
-                        "one side errored: oracle={o:?} streamed={s:?} \
-                         for {sql} at {level:?} bs={bs}"
-                    )))
+            for col in COLUMNAR {
+                orthopt_exec::set_columnar(col);
+                let mut pipeline = Pipeline::with_batch_size(&plan.physical, bs)
+                    .expect("plan compiles to pipeline");
+                let streamed = pipeline
+                    .execute(db.catalog(), &Bindings::new())
+                    .and_then(|chunk| chunk.project(&out_ids));
+                orthopt_exec::set_columnar(true);
+                match (&oracle, streamed) {
+                    (Ok(expected), Ok(got)) => {
+                        let expected = expected
+                            .project(&out_ids)
+                            .expect("oracle keeps output cols");
+                        prop_assert!(
+                            bag_eq(&expected.rows, &got.rows),
+                            "{sql}\nlevel={level:?} batch_size={bs} columnar={col}\n\
+                             oracle={:?}\nstreamed={:?}",
+                            expected.rows,
+                            got.rows,
+                        );
+                    }
+                    (Err(e1), Err(e2)) => prop_assert_eq!(
+                        e1,
+                        &e2,
+                        "different errors for {} at {:?} bs={} columnar={}",
+                        sql,
+                        level,
+                        bs,
+                        col
+                    ),
+                    (o, s) => {
+                        return Err(TestCaseError::fail(format!(
+                            "one side errored: oracle={o:?} streamed={s:?} \
+                             for {sql} at {level:?} bs={bs} columnar={col}"
+                        )))
+                    }
                 }
             }
         }
@@ -122,17 +133,21 @@ fn batch_boundaries_are_invisible() {
             let out_ids: Vec<_> = plan.output.iter().map(|c| c.id).collect();
             let expected = oracle.project(&out_ids).unwrap();
             for bs in [1, 1023, 1024, 1025] {
-                let mut pipeline = Pipeline::with_batch_size(&plan.physical, bs).unwrap();
-                let got = pipeline
-                    .execute(db.catalog(), &Bindings::new())
-                    .and_then(|chunk| chunk.project(&out_ids))
-                    .unwrap();
-                assert!(
-                    bag_eq(&expected.rows, &got.rows),
-                    "n={n} level={level:?} bs={bs}: {:?} vs {:?}",
-                    expected.rows,
-                    got.rows
-                );
+                for col in COLUMNAR {
+                    orthopt_exec::set_columnar(col);
+                    let mut pipeline = Pipeline::with_batch_size(&plan.physical, bs).unwrap();
+                    let got = pipeline
+                        .execute(db.catalog(), &Bindings::new())
+                        .and_then(|chunk| chunk.project(&out_ids))
+                        .unwrap();
+                    orthopt_exec::set_columnar(true);
+                    assert!(
+                        bag_eq(&expected.rows, &got.rows),
+                        "n={n} level={level:?} bs={bs} columnar={col}: {:?} vs {:?}",
+                        expected.rows,
+                        got.rows
+                    );
+                }
             }
         }
     }

@@ -10,9 +10,12 @@
 
 use std::collections::{HashMap, HashSet};
 
+use orthopt_common::column::Column;
 use orthopt_common::row::row_bytes;
 use orthopt_common::{Error, MemoryReservation, Result, Row, Value};
 use orthopt_ir::{AggDef, AggFunc, GroupKind};
+
+use crate::vector::{hash_lanes, hash_values};
 
 /// Running state of one aggregate over one group.
 #[derive(Debug, Clone)]
@@ -188,8 +191,14 @@ pub struct GroupedAggState {
     specs: Vec<(AggFunc, bool)>,
     /// `on_empty` results, for scalar aggregation over empty input.
     on_empty: Vec<Value>,
-    groups: HashMap<Vec<Value>, GroupState>,
-    order: Vec<Vec<Value>>,
+    /// Key hash → group ids with that hash. Equality is resolved
+    /// against `keys`, so the row-fed and column-fed paths share one
+    /// table (the hash of a key is precomputable from column lanes
+    /// without materializing a `Vec<Value>` per row).
+    index: HashMap<u64, Vec<u32>>,
+    /// Group keys in first-seen order; `keys[g]` pairs with `states[g]`.
+    keys: Vec<Row>,
+    states: Vec<GroupState>,
     /// Memory charged for group state (detached unless the owner
     /// attached a budgeted reservation).
     mem: MemoryReservation,
@@ -208,8 +217,9 @@ impl GroupedAggState {
         GroupedAggState {
             specs: aggs.iter().map(|a| (a.func, a.distinct)).collect(),
             on_empty: aggs.iter().map(|a| a.func.on_empty()).collect(),
-            groups: HashMap::new(),
-            order: Vec::new(),
+            index: HashMap::new(),
+            keys: Vec::new(),
+            states: Vec::new(),
             mem: MemoryReservation::detached("HashAggregate"),
         }
     }
@@ -225,46 +235,97 @@ impl GroupedAggState {
         self.mem.peak()
     }
 
+    /// Finds an existing group by hash + per-key equality probe.
+    fn find(&self, hash: u64, eq: impl Fn(&[Value]) -> bool) -> Option<usize> {
+        self.index
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&g| eq(&self.keys[g as usize]))
+            .map(|g| g as usize)
+    }
+
+    /// Registers a new group, charging the reservation for the key (its
+    /// own copy plus the hash-table entry) and the accumulator slots.
+    fn insert_group(&mut self, hash: u64, key: Row) -> Result<usize> {
+        let accs = self.specs.len()
+            * (std::mem::size_of::<AggAcc>() + std::mem::size_of::<Option<HashSet<Value>>>());
+        self.mem.grow(2 * row_bytes(&key) + accs as u64)?;
+        let gid = self.keys.len();
+        self.keys.push(key);
+        self.states.push(GroupState::new(&self.specs));
+        self.index.entry(hash).or_default().push(gid as u32);
+        Ok(gid)
+    }
+
+    /// Feeds one aggregate's argument into one group, enforcing the
+    /// DISTINCT filter (and its memory charge) exactly like the row
+    /// path always has.
+    fn update_arg(&mut self, gid: usize, i: usize, arg: Option<Value>) -> Result<()> {
+        let state = &mut self.states[gid];
+        if let Some(seen) = &mut state.seen[i] {
+            // DISTINCT: skip repeated non-NULL values.
+            if let Some(v) = &arg {
+                if !v.is_null() {
+                    if !seen.insert(v.clone()) {
+                        return Ok(());
+                    }
+                    self.mem.grow(value_bytes(v))?;
+                }
+            }
+        }
+        self.states[gid].accs[i].update(arg.as_ref())
+    }
+
     /// Feeds one input row: its group key plus the evaluated argument of
-    /// each aggregate (`None` for `COUNT(*)`). The key is cloned only
+    /// each aggregate (`None` for `COUNT(*)`). The key is moved only
     /// when a new group is created.
     pub fn feed(&mut self, key: Vec<Value>, args: Vec<Option<Value>>) -> Result<()> {
         debug_assert_eq!(args.len(), self.specs.len());
-        let state = match self.groups.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let bytes = {
-                    let key = e.key();
-                    let accs = self.specs.len()
-                        * (std::mem::size_of::<AggAcc>()
-                            + std::mem::size_of::<Option<HashSet<Value>>>());
-                    2 * row_bytes(key) + accs as u64
-                };
-                self.mem.grow(bytes)?;
-                self.order.push(e.key().clone());
-                e.insert(GroupState::new(&self.specs))
-            }
+        let hash = hash_values(&key);
+        let gid = match self.find(hash, |k| k == key.as_slice()) {
+            Some(g) => g,
+            None => self.insert_group(hash, key)?,
         };
         for (i, arg) in args.into_iter().enumerate() {
-            if let Some(seen) = &mut state.seen[i] {
-                // DISTINCT: skip repeated non-NULL values.
-                if let Some(v) = &arg {
-                    if !v.is_null() {
-                        if !seen.insert(v.clone()) {
-                            continue;
-                        }
-                        self.mem.grow(value_bytes(v))?;
-                    }
+            self.update_arg(gid, i, arg)?;
+        }
+        Ok(())
+    }
+
+    /// Columnar feed: one call per batch. `key_cols` are the group-key
+    /// columns, `arg_cols` the pre-evaluated argument column per
+    /// aggregate (`None` for `COUNT(*)`). Group lookup hashes lanes
+    /// directly off the columns and compares via [`Column::lane_eq`], so
+    /// no per-row key `Vec` is allocated for already-seen groups; state
+    /// updates run in the same (row-major, aggregate-minor) order as the
+    /// row path, so errors and DISTINCT behavior are identical.
+    pub fn feed_lanes(
+        &mut self,
+        key_cols: &[&Column],
+        arg_cols: &[Option<Column>],
+        len: usize,
+    ) -> Result<()> {
+        debug_assert_eq!(arg_cols.len(), self.specs.len());
+        let hashes = hash_lanes(key_cols, len);
+        for (i, &h) in hashes.iter().enumerate() {
+            let gid = match self.find(h, |k| key_cols.iter().zip(k).all(|(c, v)| c.lane_eq(i, v))) {
+                Some(g) => g,
+                None => {
+                    let key: Row = key_cols.iter().map(|c| c.value(i)).collect();
+                    self.insert_group(h, key)?
                 }
+            };
+            for (a, col) in arg_cols.iter().enumerate() {
+                self.update_arg(gid, a, col.as_ref().map(|c| c.value(i)))?;
             }
-            state.accs[i].update(arg.as_ref())?;
         }
         Ok(())
     }
 
     /// Number of distinct groups fed so far.
     pub fn group_count(&self) -> usize {
-        self.order.len()
+        self.keys.len()
     }
 
     /// Folds another partial state (same specs) into this one. Groups
@@ -274,26 +335,15 @@ impl GroupedAggState {
     /// this state's seen sets.
     pub fn merge(&mut self, other: GroupedAggState) -> Result<()> {
         debug_assert_eq!(self.specs, other.specs);
-        let mut other_groups = other.groups;
-        for key in other.order {
-            let theirs = other_groups.remove(&key).ok_or_else(|| {
-                Error::internal("partial-aggregate group listed in order but missing from map")
-            })?;
-            match self.groups.entry(key) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    let bytes = {
-                        let key = e.key();
-                        let accs = self.specs.len()
-                            * (std::mem::size_of::<AggAcc>()
-                                + std::mem::size_of::<Option<HashSet<Value>>>());
-                        2 * row_bytes(key) + accs as u64
-                    };
-                    self.mem.grow(bytes)?;
-                    self.order.push(e.key().clone());
-                    e.insert(theirs);
+        for (key, theirs) in other.keys.into_iter().zip(other.states) {
+            let hash = hash_values(&key);
+            match self.find(hash, |k| k == key.as_slice()) {
+                None => {
+                    let gid = self.insert_group(hash, key)?;
+                    self.states[gid] = theirs;
                 }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    let mine = e.get_mut();
+                Some(gid) => {
+                    let mine = &mut self.states[gid];
                     for (i, (acc, seen)) in theirs.accs.into_iter().zip(theirs.seen).enumerate() {
                         match seen {
                             // DISTINCT: replay only values this state has
@@ -322,25 +372,21 @@ impl GroupedAggState {
     }
 
     /// Emits one row per group laid out as
-    /// `group key values ++ aggregate results`.
-    pub fn finish(mut self, kind: GroupKind) -> Vec<Row> {
+    /// `group key values ++ aggregate results`, in first-seen order.
+    pub fn finish(self, kind: GroupKind) -> Vec<Row> {
         // Scalar aggregation over empty input: one row of agg(∅).
-        if self.groups.is_empty() && matches!(kind, GroupKind::Scalar) {
+        if self.keys.is_empty() && matches!(kind, GroupKind::Scalar) {
             return vec![self.on_empty];
         }
-        let mut out = Vec::with_capacity(self.order.len());
-        for key in self.order {
-            // Unreachable by construction: `feed`/`merge` insert into
-            // `groups` and `order` together, and `finish` consumes self.
-            let state = self
-                .groups
-                .remove(&key)
-                .expect("every key in order has a group (feed/merge insert both)");
-            let mut row = key;
-            row.extend(state.accs.into_iter().map(AggAcc::finish));
-            out.push(row);
-        }
-        out
+        self.keys
+            .into_iter()
+            .zip(self.states)
+            .map(|(key, state)| {
+                let mut row = key;
+                row.extend(state.accs.into_iter().map(AggAcc::finish));
+                row
+            })
+            .collect()
     }
 }
 

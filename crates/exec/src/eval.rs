@@ -22,6 +22,33 @@ pub trait SubqueryEval {
     fn eval_rel(&self, rel: &RelExpr, binds: &Bindings) -> Result<Chunk>;
 }
 
+/// Column-id → position map resolved once per layout, replacing the
+/// per-row linear `position` scan inside [`EvalCtx::lookup`]. Operators
+/// build one at construction time (their layouts are static); the
+/// reference interpreter builds one per chunk before its row loop.
+#[derive(Debug, Clone, Default)]
+pub struct PosMap {
+    map: std::collections::HashMap<ColId, usize>,
+}
+
+impl PosMap {
+    /// Builds the map for a layout. First occurrence wins, matching the
+    /// linear scan's behavior on (illegal but defensive) duplicate ids.
+    pub fn new(cols: &[ColId]) -> PosMap {
+        let mut map = std::collections::HashMap::with_capacity(cols.len());
+        for (i, c) in cols.iter().enumerate() {
+            map.entry(*c).or_insert(i);
+        }
+        PosMap { map }
+    }
+
+    /// Position of `id` in the mapped layout, if present.
+    #[inline]
+    pub fn get(&self, id: ColId) -> Option<usize> {
+        self.map.get(&id).copied()
+    }
+}
+
 /// Evaluation context: one row plus parameters plus the optional
 /// subquery hook.
 pub struct EvalCtx<'a> {
@@ -33,6 +60,9 @@ pub struct EvalCtx<'a> {
     pub binds: &'a Bindings,
     /// Subquery hook (reference interpreter only).
     pub subq: Option<&'a dyn SubqueryEval>,
+    /// Precomputed position map for `cols`; when present, column lookup
+    /// is a hash probe instead of a linear scan.
+    pub pos: Option<&'a PosMap>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -43,11 +73,32 @@ impl<'a> EvalCtx<'a> {
             row,
             binds,
             subq: None,
+            pos: None,
+        }
+    }
+
+    /// Context with a precomputed position map for the layout.
+    pub fn mapped(
+        cols: &'a [ColId],
+        pos: &'a PosMap,
+        row: &'a [Value],
+        binds: &'a Bindings,
+    ) -> Self {
+        EvalCtx {
+            cols,
+            row,
+            binds,
+            subq: None,
+            pos: Some(pos),
         }
     }
 
     fn lookup(&self, id: ColId) -> Result<Value> {
-        if let Some(pos) = self.cols.iter().position(|c| *c == id) {
+        let found = match self.pos {
+            Some(pm) => pm.get(id),
+            None => self.cols.iter().position(|c| *c == id),
+        };
+        if let Some(pos) = found {
             return Ok(self.row[pos].clone());
         }
         self.binds

@@ -27,12 +27,44 @@ pub mod physical;
 pub mod pipeline;
 pub mod reference;
 pub mod stats;
+pub mod vector;
 
 pub use bindings::Bindings;
 pub use chunk::Chunk;
 pub use explain_phys::{explain_phys, explain_phys_analyze, phys_node_labels};
 pub use parallel::{exchange_eligible, place_exchanges, wrap_exchange};
 pub use physical::{PhysExpr, PhysPlan};
-pub use pipeline::{current_op, Batch, ExecCtx, Operator, Pipeline, DEFAULT_BATCH_SIZE};
+pub use pipeline::{current_op, Batch, ExecCtx, Operator, Pipeline, Repr, DEFAULT_BATCH_SIZE};
 pub use reference::Reference;
 pub use stats::OpStats;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static COLUMNAR: OnceLock<AtomicBool> = OnceLock::new();
+
+fn columnar_flag() -> &'static AtomicBool {
+    COLUMNAR.get_or_init(|| {
+        let on = match std::env::var("ORTHOPT_COLUMNAR") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off"),
+            Err(_) => true,
+        };
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether pipelines run the columnar path (the default). Seeded from
+/// `ORTHOPT_COLUMNAR` (`0`/`false`/`off` disable) on first use. The
+/// toggle gates only the *sources* — scans emit columnar or row batches
+/// — and every downstream operator dispatches on the batch
+/// representation it receives, so turning it off reproduces the
+/// row-at-a-time engine exactly.
+pub fn columnar_enabled() -> bool {
+    columnar_flag().load(Ordering::Relaxed)
+}
+
+/// Overrides the columnar toggle at runtime (conformance suites sweep
+/// both settings in one process).
+pub fn set_columnar(on: bool) {
+    columnar_flag().store(on, Ordering::Relaxed);
+}

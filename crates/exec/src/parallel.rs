@@ -797,7 +797,7 @@ impl ExchangeOp {
             let binds = Bindings::new();
             let mut out: Vec<Row> = Vec::new();
             pipe.execute_each(catalog, &binds, |b| {
-                for lr in b.rows {
+                for lr in b.into_rows() {
                     let matches = partition_key(&lr, left_pos).and_then(|k| {
                         let p = (key_hash(&k) as usize) % workers;
                         parts[p].get(&k)
@@ -905,7 +905,7 @@ impl ExchangeOp {
             // the merged total is what a serial aggregate would hold.
             state.set_reservation(gov.reservation("PartialAgg"));
             pipe.execute_each(catalog, &binds, |b| {
-                for r in &b.rows {
+                for r in &b.into_rows() {
                     let key: Vec<Value> = group_pos.iter().map(|&i| r[i].clone()).collect();
                     let args = aggs
                         .iter()

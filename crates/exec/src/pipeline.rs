@@ -18,10 +18,13 @@
 //! re-opens.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 use std::time::Instant;
 
+use orthopt_common::column::{
+    cols_bytes, columns_to_rows, rows_to_columns, Bitmap, ColData, Column, ColumnData,
+};
 use orthopt_common::row::rows_bytes;
 use orthopt_common::{ColId, Error, MemoryReservation, QueryContext, Result, Row, TableId, Value};
 use orthopt_ir::{AggDef, ApplyKind, GroupKind, JoinKind, ScalarExpr};
@@ -30,42 +33,84 @@ use orthopt_storage::Catalog;
 use crate::aggregate::GroupedAggState;
 use crate::bindings::Bindings;
 use crate::chunk::Chunk;
-use crate::eval::{eval, eval_predicate, EvalCtx};
+use crate::eval::{eval, eval_predicate, EvalCtx, PosMap};
 use crate::physical::PhysExpr;
 use crate::stats::OpStats;
+use crate::vector::{eval_column, hash_lanes, keys_valid, lane_row, selected_true, VecEval};
 
 /// Default maximum number of rows per batch.
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
+/// Physical representation of the data carried by a [`Batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Repr {
+    /// Row-major: one `Vec<Value>` per row.
+    Rows(Vec<Row>),
+    /// Column-major: one [`Column`] per layout position, all of length
+    /// `len`.
+    Columns {
+        /// Per-column data, positionally matching the layout.
+        columns: Vec<Column>,
+        /// Row count, kept explicitly so zero-column batches still
+        /// carry a length.
+        len: usize,
+    },
+}
+
 /// A bounded slice of rows flowing through the pipeline; the layout is
-/// shared by reference with the producing operator.
+/// shared by reference with the producing operator. The payload is
+/// either row-major or column-major ([`Repr`]); operators dispatch on
+/// the representation they receive and may convert with
+/// [`Batch::into_rows`] / [`Batch::to_columnar`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Batch {
-    /// Column ids, positionally matching each row.
+    /// Column ids, positionally matching each row / column.
     pub cols: Rc<[ColId]>,
-    /// Row data.
-    pub rows: Vec<Row>,
+    /// The payload, row-major or column-major.
+    pub repr: Repr,
 }
 
 impl Batch {
-    /// Builds a batch, checking row arity against the layout in debug
-    /// builds.
+    /// Builds a row-major batch, checking row arity against the layout
+    /// in debug builds.
     pub fn new(cols: Rc<[ColId]>, rows: Vec<Row>) -> Batch {
         debug_assert!(
             rows.iter().all(|r| r.len() == cols.len()),
             "batch arity mismatch: layout has {} columns",
             cols.len()
         );
-        Batch { cols, rows }
+        Batch {
+            cols,
+            repr: Repr::Rows(rows),
+        }
     }
 
-    /// Checks that the layout and every row have exactly `width`
-    /// columns. Stateful operators call this before concatenating a
-    /// batch into their buffers: `Batch`'s fields are public, so a
-    /// malformed literal can bypass [`Batch::new`]'s arity check and
-    /// would otherwise corrupt buffered state silently. Unlike the
-    /// `debug_assert` in [`Batch::new`], this runs in release builds
-    /// too and reports through [`Error::Internal`] rather than
+    /// Builds a column-major batch, checking column count and lengths
+    /// in debug builds.
+    pub fn from_columns(cols: Rc<[ColId]>, columns: Vec<Column>, len: usize) -> Batch {
+        debug_assert_eq!(
+            columns.len(),
+            cols.len(),
+            "batch arity mismatch: layout has {} columns",
+            cols.len()
+        );
+        debug_assert!(
+            columns.iter().all(|c| c.len() == len),
+            "batch column length mismatch: expected {len} lanes"
+        );
+        Batch {
+            cols,
+            repr: Repr::Columns { columns, len },
+        }
+    }
+
+    /// Checks that the layout and every row / column have exactly
+    /// `width` columns. Stateful operators call this before
+    /// concatenating a batch into their buffers: `Batch`'s fields are
+    /// public, so a malformed literal can bypass the constructors'
+    /// arity checks and would otherwise corrupt buffered state
+    /// silently. Unlike those `debug_assert`s, this runs in release
+    /// builds too and reports through [`Error::Internal`] rather than
     /// panicking — a malformed batch aborts the query, not the process.
     pub fn check_width(&self, width: usize) -> Result<()> {
         if self.cols.len() != width {
@@ -74,23 +119,143 @@ impl Batch {
                 self.cols.len()
             )));
         }
-        if let Some(r) = self.rows.iter().find(|r| r.len() != width) {
-            return Err(Error::internal(format!(
-                "batch row arity mismatch: expected {width} columns, row has {}",
-                r.len()
-            )));
+        match &self.repr {
+            Repr::Rows(rows) => {
+                if let Some(r) = rows.iter().find(|r| r.len() != width) {
+                    return Err(Error::internal(format!(
+                        "batch row arity mismatch: expected {width} columns, row has {}",
+                        r.len()
+                    )));
+                }
+            }
+            Repr::Columns { columns, len } => {
+                if columns.len() != width {
+                    return Err(Error::internal(format!(
+                        "batch column arity mismatch: expected {width} columns, got {}",
+                        columns.len()
+                    )));
+                }
+                if let Some(c) = columns.iter().find(|c| c.len() != *len) {
+                    return Err(Error::internal(format!(
+                        "batch column length mismatch: expected {len} lanes, column has {}",
+                        c.len()
+                    )));
+                }
+            }
         }
         Ok(())
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.repr {
+            Repr::Rows(rows) => rows.len(),
+            Repr::Columns { len, .. } => *len,
+        }
     }
 
     /// True when there are no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// True when the payload is column-major.
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.repr, Repr::Columns { .. })
+    }
+
+    /// The column-major payload, or `None` for a row-major batch.
+    pub fn columns(&self) -> Option<(&[Column], usize)> {
+        match &self.repr {
+            Repr::Columns { columns, len } => Some((columns, *len)),
+            Repr::Rows(_) => None,
+        }
+    }
+
+    /// Consumes the batch into row-major form, transposing a columnar
+    /// payload. Operators that count bridges go through
+    /// [`StatsHandle::bridge_rows`] instead.
+    pub fn into_rows(self) -> Vec<Row> {
+        match self.repr {
+            Repr::Rows(rows) => rows,
+            Repr::Columns { columns, len } => columns_to_rows(&columns, len),
+        }
+    }
+
+    /// Consumes the batch into column-major form, transposing a
+    /// row-major payload.
+    pub fn into_columns(self) -> (Vec<Column>, usize) {
+        let width = self.cols.len();
+        match self.repr {
+            Repr::Columns { columns, len } => (columns, len),
+            Repr::Rows(rows) => {
+                let len = rows.len();
+                (rows_to_columns(&rows, width), len)
+            }
+        }
+    }
+
+    /// Returns the batch in column-major form (no-op when it already
+    /// is).
+    pub fn to_columnar(self) -> Batch {
+        let cols = self.cols.clone();
+        let (columns, len) = self.into_columns();
+        Batch::from_columns(cols, columns, len)
+    }
+
+    /// Bytes charged against memory reservations for this batch.
+    /// Columnar batches charge exactly what the equivalent rows would
+    /// ([`cols_bytes`] mirrors [`rows_bytes`]), so budget trips do not
+    /// depend on the representation that happened to flow.
+    pub fn mem_bytes(&self) -> u64 {
+        match &self.repr {
+            Repr::Rows(rows) => rows_bytes(rows),
+            Repr::Columns { columns, len } => cols_bytes(columns, *len),
+        }
+    }
+}
+
+/// A cheap clonable handle onto one operator's [`OpStats`] slot.
+/// Operators use it to count vectorized kernel invocations
+/// (`kernels`) and columnar→row bridge conversions (`bridged`) without
+/// holding a borrow on the shared registry.
+#[derive(Clone)]
+pub(crate) struct StatsHandle {
+    stats: Rc<RefCell<Vec<OpStats>>>,
+    id: usize,
+}
+
+impl StatsHandle {
+    pub(crate) fn new(stats: Rc<RefCell<Vec<OpStats>>>, id: usize) -> StatsHandle {
+        StatsHandle { stats, id }
+    }
+
+    /// Counts one vectorized kernel invocation.
+    fn note_kernel(&self) {
+        self.stats.borrow_mut()[self.id].kernels += 1;
+    }
+
+    /// Counts one columnar→row bridge conversion.
+    fn note_bridge(&self) {
+        self.stats.borrow_mut()[self.id].bridged += 1;
+    }
+
+    /// Max-folds a memory peak into the slot (used by operators that
+    /// are not themselves metered nodes, e.g. the rewind cache).
+    fn note_mem_peak(&self, peak: u64) {
+        let mut stats = self.stats.borrow_mut();
+        let s = &mut stats[self.id];
+        s.mem_peak = s.mem_peak.max(peak);
+    }
+
+    /// Converts a batch to rows, counting a bridge when it was
+    /// columnar. This is the accounting boundary row-only operators
+    /// pull batches through.
+    fn bridge_rows(&self, b: Batch) -> Vec<Row> {
+        if b.is_columnar() {
+            self.note_bridge();
+        }
+        b.into_rows()
     }
 }
 
@@ -229,7 +394,7 @@ impl Pipeline {
     pub fn execute(&mut self, catalog: &Catalog, binds: &Bindings) -> Result<Chunk> {
         let mut rows = Vec::new();
         self.execute_each(catalog, binds, |b| {
-            rows.extend(b.rows);
+            rows.extend(b.into_rows());
             Ok(())
         })?;
         Ok(Chunk::new(self.cols.to_vec(), rows))
@@ -505,8 +670,7 @@ impl Compiler {
             return Ok(Box::new(CacheOp::new(
                 inner,
                 self.batch_size,
-                self.stats.clone(),
-                id,
+                StatsHandle::new(self.stats.clone(), id),
             )));
         }
         self.compile_bare(p, in_param)
@@ -517,6 +681,7 @@ impl Compiler {
         self.next_id += 1;
         self.stats.borrow_mut().push(OpStats::default());
         let bs = self.batch_size;
+        let sh = StatsHandle::new(self.stats.clone(), id);
         let op: BoxOp = match p {
             PhysExpr::TableScan {
                 table,
@@ -528,6 +693,8 @@ impl Compiler {
                 cols: rc_cols(cols),
                 cursor: 0,
                 batch_size: bs,
+                columnar: crate::columnar_enabled(),
+                stats: sh.clone(),
             }),
             PhysExpr::IndexSeek {
                 table,
@@ -544,18 +711,30 @@ impl Compiler {
                 hits: Vec::new(),
                 cursor: 0,
                 batch_size: bs,
+                columnar: crate::columnar_enabled(),
+                stats: sh.clone(),
             }),
-            PhysExpr::Filter { input, predicate } => Box::new(FilterOp {
-                cols: rc_cols(&input.out_cols()),
-                input: self.compile(input, in_param)?,
-                predicate: predicate.clone(),
-            }),
-            PhysExpr::Compute { input, defs } => Box::new(ComputeOp {
-                in_cols: rc_cols(&input.out_cols()),
-                out_cols: rc_cols(&p.out_cols()),
-                input: self.compile(input, in_param)?,
-                defs: defs.clone(),
-            }),
+            PhysExpr::Filter { input, predicate } => {
+                let in_layout = input.out_cols();
+                Box::new(FilterOp {
+                    cols: rc_cols(&in_layout),
+                    pos: PosMap::new(&in_layout),
+                    input: self.compile(input, in_param)?,
+                    predicate: predicate.clone(),
+                    stats: sh.clone(),
+                })
+            }
+            PhysExpr::Compute { input, defs } => {
+                let in_layout = input.out_cols();
+                Box::new(ComputeOp {
+                    in_cols: rc_cols(&in_layout),
+                    pos: PosMap::new(&in_layout),
+                    out_cols: rc_cols(&p.out_cols()),
+                    input: self.compile(input, in_param)?,
+                    defs: defs.clone(),
+                    stats: sh.clone(),
+                })
+            }
             PhysExpr::ProjectCols { input, cols } => {
                 let in_layout = input.out_cols();
                 let positions = cols
@@ -566,6 +745,7 @@ impl Compiler {
                     input: self.compile(input, in_param)?,
                     positions,
                     cols: rc_cols(cols),
+                    stats: sh.clone(),
                 })
             }
             PhysExpr::HashJoin {
@@ -599,16 +779,25 @@ impl Compiler {
                     right_pos,
                     residual: residual.clone(),
                     residual_trivial: residual.is_true(),
+                    combined_pos: PosMap::new(&combined),
                     combined: rc_cols(&combined),
                     out_cols: rc_cols(&p.out_cols()),
                     right_width: rout.len(),
                     build_stable,
                     table: HashMap::new(),
+                    build_mode: None,
+                    build_parts: Vec::new(),
+                    build_cols: Vec::new(),
+                    build_index: HashMap::new(),
+                    build_len: 0,
+                    row_table_ready: false,
                     built: false,
+                    out_queue: VecDeque::new(),
                     pending: Vec::new(),
                     left_done: false,
                     batch_size: bs,
                     mem: MemoryReservation::detached("HashJoin"),
+                    stats: sh.clone(),
                 })
             }
             PhysExpr::NLJoin {
@@ -627,6 +816,7 @@ impl Compiler {
                     left: self.compile(left, in_param)?,
                     right: self.compile(right, in_param && !right_stable)?,
                     predicate: predicate.clone(),
+                    combined_pos: PosMap::new(&combined),
                     combined: rc_cols(&combined),
                     out_cols: rc_cols(&p.out_cols()),
                     right_width: rout.len(),
@@ -637,6 +827,7 @@ impl Compiler {
                     left_done: false,
                     batch_size: bs,
                     mem: MemoryReservation::detached("NLJoin"),
+                    stats: sh.clone(),
                 })
             }
             PhysExpr::ApplyLoop {
@@ -661,6 +852,8 @@ impl Compiler {
                     pending: Vec::new(),
                     left_done: false,
                     batch_size: bs,
+                    columnar: crate::columnar_enabled(),
+                    stats: sh.clone(),
                 })
             }
             PhysExpr::SegmentExec {
@@ -700,7 +893,9 @@ impl Compiler {
                     seg_cursor: 0,
                     pending: Vec::new(),
                     batch_size: bs,
+                    columnar: crate::columnar_enabled(),
                     mem: MemoryReservation::detached("SegmentExec"),
+                    stats: sh.clone(),
                 })
             }
             PhysExpr::SegmentScan { cols } => Box::new(SegmentScanOp {
@@ -727,13 +922,16 @@ impl Compiler {
                     input: self.compile(input, in_param)?,
                     group_pos,
                     aggs: aggs.clone(),
+                    in_pos: PosMap::new(&in_layout),
                     in_cols: rc_cols(&in_layout),
                     out_cols: rc_cols(&p.out_cols()),
                     state: None,
                     result: Vec::new(),
                     done: false,
                     batch_size: bs,
+                    columnar: crate::columnar_enabled(),
                     mem_peak: 0,
+                    stats: sh.clone(),
                 })
             }
             PhysExpr::Concat {
@@ -760,6 +958,7 @@ impl Compiler {
                     rpos,
                     cols: rc_cols(cols),
                     on_right: false,
+                    stats: sh.clone(),
                 })
             }
             PhysExpr::ExceptExec {
@@ -780,6 +979,7 @@ impl Compiler {
                     counts: HashMap::new(),
                     built: false,
                     mem: MemoryReservation::detached("Except"),
+                    stats: sh.clone(),
                 })
             }
             PhysExpr::AssertMax1 { input } => Box::new(AssertMax1Op {
@@ -788,11 +988,13 @@ impl Compiler {
                 buffered: Vec::new(),
                 done: false,
                 mem: MemoryReservation::detached("Max1Row"),
+                stats: sh.clone(),
             }),
             PhysExpr::RowNumber { input, .. } => Box::new(RowNumberOp {
                 input: self.compile(input, in_param)?,
                 out_cols: rc_cols(&p.out_cols()),
                 counter: 0,
+                stats: sh.clone(),
             }),
             PhysExpr::ConstScan { cols, rows } => Box::new(ConstScanOp {
                 cols: rc_cols(cols),
@@ -814,6 +1016,7 @@ impl Compiler {
                     sorted: false,
                     batch_size: bs,
                     mem: MemoryReservation::detached("Sort"),
+                    stats: sh.clone(),
                 })
             }
             PhysExpr::Limit { input, n } => Box::new(LimitOp {
@@ -824,6 +1027,7 @@ impl Compiler {
                 done: false,
                 batch_size: bs,
                 mem: MemoryReservation::detached("Limit"),
+                stats: sh.clone(),
             }),
             PhysExpr::Exchange { input } => {
                 // The subtree is not compiled here: the exchange runtime
@@ -856,6 +1060,8 @@ impl Compiler {
                 range_idx: 0,
                 cursor: 0,
                 batch_size: bs,
+                columnar: crate::columnar_enabled(),
+                stats: sh.clone(),
             }),
         };
         Ok(Box::new(Metered {
@@ -944,18 +1150,13 @@ struct CacheOp {
     batch_size: usize,
     mem: MemoryReservation,
     /// The cache is not itself a metered node — it records its peak
-    /// into the cached subtree root's stats slot.
-    stats: Rc<RefCell<Vec<OpStats>>>,
-    id: usize,
+    /// (and any bridge conversions) into the cached subtree root's
+    /// stats slot.
+    stats: StatsHandle,
 }
 
 impl CacheOp {
-    fn new(
-        input: BoxOp,
-        batch_size: usize,
-        stats: Rc<RefCell<Vec<OpStats>>>,
-        id: usize,
-    ) -> CacheOp {
+    fn new(input: BoxOp, batch_size: usize, stats: StatsHandle) -> CacheOp {
         CacheOp {
             input,
             filled: false,
@@ -966,14 +1167,11 @@ impl CacheOp {
             batch_size,
             mem: MemoryReservation::detached("Cache"),
             stats,
-            id,
         }
     }
 
     fn record_peak(&self) {
-        let mut stats = self.stats.borrow_mut();
-        let s = &mut stats[self.id];
-        s.mem_peak = s.mem_peak.max(self.mem.peak());
+        self.stats.note_mem_peak(self.mem.peak());
     }
 }
 
@@ -997,17 +1195,17 @@ impl Operator for CacheOp {
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(b.cols.len())?;
                 self.cols.get_or_insert_with(|| b.cols.clone());
-                let charged = crate::faults::hit("cache.fill")
-                    .and_then(|()| self.mem.grow(rows_bytes(&b.rows)));
+                let charged =
+                    crate::faults::hit("cache.fill").and_then(|()| self.mem.grow(b.mem_bytes()));
                 match charged {
-                    Ok(()) => self.rows.extend(b.rows),
+                    Ok(()) => self.rows.extend(self.stats.bridge_rows(b)),
                     Err(Error::ResourceExhausted { .. }) => {
                         // Shed: stream out what is buffered (plus the
                         // batch in hand), then abandon caching.
                         self.record_peak();
                         self.mem.reset();
                         self.degraded = true;
-                        self.rows.extend(b.rows);
+                        self.rows.extend(self.stats.bridge_rows(b));
                         break;
                     }
                     Err(e) => return Err(e),
@@ -1051,6 +1249,12 @@ struct ScanOp {
     cols: Rc<[ColId]>,
     cursor: usize,
     batch_size: usize,
+    /// Captured at compile time: emit zero-copy columnar slices of the
+    /// table's columnar mirror instead of cloning rows. The toggle
+    /// gates only the sources — everything downstream dispatches on
+    /// the representation it receives.
+    columnar: bool,
+    stats: StatsHandle,
 }
 
 impl Operator for ScanOp {
@@ -1060,12 +1264,25 @@ impl Operator for ScanOp {
     }
 
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
-        let all = ctx.catalog.table(self.table).rows();
-        if self.cursor >= all.len() {
+        let t = ctx.catalog.table(self.table);
+        let total = t.rows().len();
+        if self.cursor >= total {
             return Ok(None);
         }
-        let end = (self.cursor + self.batch_size).min(all.len());
-        let rows = all[self.cursor..end]
+        let end = (self.cursor + self.batch_size).min(total);
+        if self.columnar {
+            let tcols = t.columns();
+            let take = end - self.cursor;
+            let out = self
+                .positions
+                .iter()
+                .map(|&i| tcols[i].slice(self.cursor, take))
+                .collect();
+            self.cursor = end;
+            self.stats.note_kernel();
+            return Ok(Some(Batch::from_columns(self.cols.clone(), out, take)));
+        }
+        let rows = t.rows()[self.cursor..end]
             .iter()
             .map(|r| self.positions.iter().map(|&i| r[i].clone()).collect())
             .collect();
@@ -1084,6 +1301,8 @@ struct MorselScanOp {
     range_idx: usize,
     cursor: usize,
     batch_size: usize,
+    columnar: bool,
+    stats: StatsHandle,
 }
 
 impl Operator for MorselScanOp {
@@ -1094,9 +1313,10 @@ impl Operator for MorselScanOp {
     }
 
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
-        let all = ctx.catalog.table(self.table).rows();
+        let t = ctx.catalog.table(self.table);
+        let total = t.rows().len();
         while let Some(&(_, end)) = self.ranges.get(self.range_idx) {
-            let end = end.min(all.len());
+            let end = end.min(total);
             if self.cursor >= end {
                 self.range_idx += 1;
                 if let Some(&(start, _)) = self.ranges.get(self.range_idx) {
@@ -1105,7 +1325,19 @@ impl Operator for MorselScanOp {
                 continue;
             }
             let stop = (self.cursor + self.batch_size).min(end);
-            let rows = all[self.cursor..stop]
+            if self.columnar {
+                let tcols = t.columns();
+                let take = stop - self.cursor;
+                let out = self
+                    .positions
+                    .iter()
+                    .map(|&i| tcols[i].slice(self.cursor, take))
+                    .collect();
+                self.cursor = stop;
+                self.stats.note_kernel();
+                return Ok(Some(Batch::from_columns(self.cols.clone(), out, take)));
+            }
+            let rows = t.rows()[self.cursor..stop]
                 .iter()
                 .map(|r| self.positions.iter().map(|&i| r[i].clone()).collect())
                 .collect();
@@ -1125,6 +1357,8 @@ struct SeekOp {
     hits: Vec<usize>,
     cursor: usize,
     batch_size: usize,
+    columnar: bool,
+    stats: StatsHandle,
 }
 
 impl Operator for SeekOp {
@@ -1157,8 +1391,22 @@ impl Operator for SeekOp {
         if self.cursor >= self.hits.len() {
             return Ok(None);
         }
-        let all = ctx.catalog.table(self.table).rows();
+        let t = ctx.catalog.table(self.table);
         let end = (self.cursor + self.batch_size).min(self.hits.len());
+        if self.columnar {
+            let tcols = t.columns();
+            let idx = &self.hits[self.cursor..end];
+            let out = self
+                .positions
+                .iter()
+                .map(|&i| tcols[i].gather(idx))
+                .collect();
+            let take = idx.len();
+            self.cursor = end;
+            self.stats.note_kernel();
+            return Ok(Some(Batch::from_columns(self.cols.clone(), out, take)));
+        }
+        let all = t.rows();
         let rows = self.hits[self.cursor..end]
             .iter()
             .map(|&rid| {
@@ -1246,6 +1494,8 @@ struct FilterOp {
     input: BoxOp,
     predicate: ScalarExpr,
     cols: Rc<[ColId]>,
+    pos: PosMap,
+    stats: StatsHandle,
 }
 
 impl Operator for FilterOp {
@@ -1259,14 +1509,52 @@ impl Operator for FilterOp {
                 return Ok(None);
             };
             let binds = ctx.binds.borrow();
-            let mut kept = Vec::new();
-            for r in batch.rows {
-                if eval_predicate(&self.predicate, &EvalCtx::plain(&self.cols, &r, &binds))? {
-                    kept.push(r);
+            // Vectorized path: evaluate the predicate over whole
+            // columns and gather the selected lanes. Any kernel error
+            // falls back to the row path on the whole batch, which
+            // reproduces row-ordered error behavior.
+            let mut vec_out = None;
+            if let Some((columns, len)) = batch.columns() {
+                let cx = VecEval {
+                    cols: &self.cols,
+                    pos: &self.pos,
+                    columns,
+                    len,
+                    binds: &binds,
+                };
+                if let Ok(sel) = eval_column(&self.predicate, &cx).and_then(|p| selected_true(&p)) {
+                    self.stats.note_kernel();
+                    vec_out = Some(if sel.is_empty() {
+                        None
+                    } else if sel.len() == len {
+                        Some(Batch::from_columns(
+                            self.cols.clone(),
+                            columns.to_vec(),
+                            len,
+                        ))
+                    } else {
+                        let out = columns.iter().map(|c| c.gather(&sel)).collect();
+                        Some(Batch::from_columns(self.cols.clone(), out, sel.len()))
+                    });
                 }
             }
-            if !kept.is_empty() {
-                return Ok(Some(Batch::new(self.cols.clone(), kept)));
+            match vec_out {
+                Some(Some(out)) => return Ok(Some(out)),
+                Some(None) => {}
+                None => {
+                    let mut kept = Vec::new();
+                    for r in self.stats.bridge_rows(batch) {
+                        if eval_predicate(
+                            &self.predicate,
+                            &EvalCtx::mapped(&self.cols, &self.pos, &r, &binds),
+                        )? {
+                            kept.push(r);
+                        }
+                    }
+                    if !kept.is_empty() {
+                        return Ok(Some(Batch::new(self.cols.clone(), kept)));
+                    }
+                }
             }
         }
     }
@@ -1276,7 +1564,9 @@ struct ComputeOp {
     input: BoxOp,
     defs: Vec<(ColId, ScalarExpr)>,
     in_cols: Rc<[ColId]>,
+    pos: PosMap,
     out_cols: Rc<[ColId]>,
+    stats: StatsHandle,
 }
 
 impl Operator for ComputeOp {
@@ -1289,12 +1579,37 @@ impl Operator for ComputeOp {
             return Ok(None);
         };
         let binds = ctx.binds.borrow();
-        let mut rows = Vec::with_capacity(batch.rows.len());
-        for mut r in batch.rows {
+        // Vectorized path: each definition is one whole-column kernel
+        // over the *input* layout (definitions never see each other),
+        // appended to the carried-through input columns.
+        let mut vec_out = None;
+        if let Some((columns, len)) = batch.columns() {
+            let cx = VecEval {
+                cols: &self.in_cols,
+                pos: &self.pos,
+                columns,
+                len,
+                binds: &binds,
+            };
+            let computed: Result<Vec<Column>> =
+                self.defs.iter().map(|(_, e)| eval_column(e, &cx)).collect();
+            if let Ok(mut newc) = computed {
+                let mut out = columns.to_vec();
+                out.append(&mut newc);
+                self.stats.note_kernel();
+                vec_out = Some(Batch::from_columns(self.out_cols.clone(), out, len));
+            }
+        }
+        if let Some(out) = vec_out {
+            return Ok(Some(out));
+        }
+        let in_rows = self.stats.bridge_rows(batch);
+        let mut rows = Vec::with_capacity(in_rows.len());
+        for mut r in in_rows {
             // Evaluation sees only the input layout, so appending in
             // place is safe: lookups never index past `in_cols`.
             for (_, e) in &self.defs {
-                let v = eval(e, &EvalCtx::plain(&self.in_cols, &r, &binds))?;
+                let v = eval(e, &EvalCtx::mapped(&self.in_cols, &self.pos, &r, &binds))?;
                 r.push(v);
             }
             rows.push(r);
@@ -1307,6 +1622,7 @@ struct ProjectOp {
     input: BoxOp,
     positions: Vec<usize>,
     cols: Rc<[ColId]>,
+    stats: StatsHandle,
 }
 
 impl Operator for ProjectOp {
@@ -1318,9 +1634,16 @@ impl Operator for ProjectOp {
         let Some(batch) = self.input.next_batch(ctx)? else {
             return Ok(None);
         };
+        // Columnar projection is pure column selection: O(1) per
+        // column (a shared-buffer handle clone), no per-row work.
+        if let Some((columns, len)) = batch.columns() {
+            let out = self.positions.iter().map(|&i| columns[i].clone()).collect();
+            self.stats.note_kernel();
+            return Ok(Some(Batch::from_columns(self.cols.clone(), out, len)));
+        }
         let rows = batch
-            .rows
-            .iter()
+            .into_rows()
+            .into_iter()
             .map(|r| self.positions.iter().map(|&i| r[i].clone()).collect())
             .collect();
         Ok(Some(Batch::new(self.cols.clone(), rows)))
@@ -1331,6 +1654,7 @@ struct RowNumberOp {
     input: BoxOp,
     out_cols: Rc<[ColId]>,
     counter: i64,
+    stats: StatsHandle,
 }
 
 impl Operator for RowNumberOp {
@@ -1343,7 +1667,22 @@ impl Operator for RowNumberOp {
         let Some(batch) = self.input.next_batch(ctx)? else {
             return Ok(None);
         };
-        let mut rows = batch.rows;
+        if batch.is_columnar() {
+            let (mut columns, len) = batch.into_columns();
+            let start = self.counter;
+            self.counter += len as i64;
+            columns.push(Column::from_data(ColumnData {
+                data: ColData::Int((start..self.counter).collect()),
+                validity: Bitmap::new_valid(len),
+            }));
+            self.stats.note_kernel();
+            return Ok(Some(Batch::from_columns(
+                self.out_cols.clone(),
+                columns,
+                len,
+            )));
+        }
+        let mut rows = batch.into_rows();
         for r in &mut rows {
             r.push(Value::Int(self.counter));
             self.counter += 1;
@@ -1378,22 +1717,195 @@ struct HashJoinOp {
     residual: ScalarExpr,
     residual_trivial: bool,
     combined: Rc<[ColId]>,
+    combined_pos: PosMap,
     out_cols: Rc<[ColId]>,
     right_width: usize,
     /// Keep the hash table across rewinds (invariant build side inside
     /// a parameterized scope).
     build_stable: bool,
+    /// Row-mode hash table (also materialized lazily from the columnar
+    /// build when a row-repr probe batch needs it).
     table: HashMap<Vec<Value>, Vec<Row>>,
+    /// `Some(true)` = columnar build, `Some(false)` = row build,
+    /// `None` until the first build batch decides (an empty build side
+    /// finishes columnar so columnar probes have columns to gather).
+    build_mode: Option<bool>,
+    /// Raw columnar build batches, concatenated when the build ends.
+    build_parts: Vec<Vec<Column>>,
+    /// Concatenated build-side columns (columnar mode).
+    build_cols: Vec<Column>,
+    /// Key hash → build lane indices, in build order. Lanes with NULL
+    /// keys are absent (SQL equality never matches NULL).
+    build_index: HashMap<u64, Vec<u32>>,
+    build_len: usize,
+    /// The row-mode `table` has been materialized from `build_cols`.
+    row_table_ready: bool,
     built: bool,
+    /// Finished output batches, ahead of `pending` in output order.
+    out_queue: VecDeque<Batch>,
     pending: Vec<Row>,
     left_done: bool,
     batch_size: usize,
     mem: MemoryReservation,
+    stats: StatsHandle,
 }
 
 impl HashJoinOp {
-    fn probe_batch(&mut self, batch: Batch, binds: &Bindings) -> Result<()> {
-        for lr in batch.rows {
+    /// Concatenates the buffered columnar build batches and hashes the
+    /// key columns into the lane index.
+    fn finish_columnar_build(&mut self) {
+        self.build_cols = (0..self.right_width)
+            .map(|c| {
+                let parts: Vec<Column> = self.build_parts.iter().map(|p| p[c].clone()).collect();
+                Column::concat(&parts)
+            })
+            .collect();
+        self.build_parts.clear();
+        let key_cols: Vec<&Column> = self
+            .right_pos
+            .iter()
+            .map(|&i| &self.build_cols[i])
+            .collect();
+        let hashes = hash_lanes(&key_cols, self.build_len);
+        self.build_index.clear();
+        for (j, &h) in hashes.iter().enumerate() {
+            if !keys_valid(&key_cols, j) {
+                continue;
+            }
+            self.build_index.entry(h).or_default().push(j as u32);
+        }
+        if self.build_len > 0 {
+            self.stats.note_kernel();
+        }
+    }
+
+    /// Lazily materializes the row-mode hash table from the columnar
+    /// build, for row-repr probe batches and kernel-error fallback.
+    /// Deliberately uncharged: the build bytes were already charged
+    /// once, and charging the transpose could trip budgets the row
+    /// engine would not.
+    fn ensure_row_table(&mut self) {
+        if self.row_table_ready || self.build_mode != Some(true) {
+            return;
+        }
+        for j in 0..self.build_len {
+            let rr = lane_row(&self.build_cols, j);
+            if let Some(key) = join_key(&rr, &self.right_pos) {
+                self.table.entry(key).or_default().push(rr);
+            }
+        }
+        self.row_table_ready = true;
+    }
+
+    /// Moves buffered row output into the queue so columnar output
+    /// pushed afterwards cannot overtake it.
+    fn flush_pending(&mut self) {
+        if !self.pending.is_empty() {
+            self.out_queue.push_back(Batch::new(
+                self.out_cols.clone(),
+                std::mem::take(&mut self.pending),
+            ));
+        }
+    }
+
+    /// Vectorized probe of one columnar batch against the columnar
+    /// build. Errors (kernel gaps, residual eval) make the caller fall
+    /// back to the row path on the same batch.
+    fn probe_columns(&mut self, b: &Batch, binds: &Bindings) -> Result<Batch> {
+        let (columns, len) = b
+            .columns()
+            .ok_or_else(|| Error::internal("columnar probe of a row batch"))?;
+        let key_cols: Vec<&Column> = self.left_pos.iter().map(|&i| &columns[i]).collect();
+        let hashes = hash_lanes(&key_cols, len);
+        // Candidate (probe lane, build lane) pairs, residual-filtered.
+        // Lanes are visited in probe order and candidates in build
+        // order, matching the row path's output order exactly.
+        let mut pairs: Vec<(usize, u32)> = Vec::new();
+        for (i, h) in hashes.iter().enumerate() {
+            if !keys_valid(&key_cols, i) {
+                continue;
+            }
+            let Some(cands) = self.build_index.get(h) else {
+                continue;
+            };
+            let kvals: Vec<Value> = key_cols.iter().map(|c| c.value(i)).collect();
+            for &j in cands {
+                if self
+                    .right_pos
+                    .iter()
+                    .zip(&kvals)
+                    .all(|(&bi, v)| self.build_cols[bi].lane_eq(j as usize, v))
+                {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        let kept = if self.residual_trivial || pairs.is_empty() {
+            pairs
+        } else {
+            let pis: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let bis: Vec<usize> = pairs.iter().map(|p| p.1 as usize).collect();
+            let mut comb: Vec<Column> = columns.iter().map(|c| c.gather(&pis)).collect();
+            comb.extend(self.build_cols.iter().map(|c| c.gather(&bis)));
+            let cx = VecEval {
+                cols: &self.combined,
+                pos: &self.combined_pos,
+                columns: &comb,
+                len: pairs.len(),
+                binds,
+            };
+            let sel = selected_true(&eval_column(&self.residual, &cx)?)?;
+            sel.into_iter().map(|k| pairs[k]).collect()
+        };
+        match self.kind {
+            JoinKind::Inner => {
+                let pis: Vec<usize> = kept.iter().map(|p| p.0).collect();
+                let bis: Vec<usize> = kept.iter().map(|p| p.1 as usize).collect();
+                let mut out: Vec<Column> = columns.iter().map(|c| c.gather(&pis)).collect();
+                out.extend(self.build_cols.iter().map(|c| c.gather(&bis)));
+                Ok(Batch::from_columns(self.out_cols.clone(), out, kept.len()))
+            }
+            JoinKind::LeftOuter => {
+                // Walk probe lanes in order, interleaving each lane's
+                // matches with a NULL-padded row for unmatched lanes.
+                let mut ob: Vec<(usize, Option<usize>)> = Vec::new();
+                let mut k = 0;
+                for i in 0..len {
+                    let start = k;
+                    while k < kept.len() && kept[k].0 == i {
+                        ob.push((i, Some(kept[k].1 as usize)));
+                        k += 1;
+                    }
+                    if k == start {
+                        ob.push((i, None));
+                    }
+                }
+                let pis: Vec<usize> = ob.iter().map(|p| p.0).collect();
+                let mut out: Vec<Column> = columns.iter().map(|c| c.gather(&pis)).collect();
+                out.extend(self.build_cols.iter().map(|c| {
+                    Column::from_values(
+                        ob.iter()
+                            .map(|&(_, j)| j.map_or(Value::Null, |j| c.value(j)))
+                            .collect(),
+                    )
+                }));
+                Ok(Batch::from_columns(self.out_cols.clone(), out, ob.len()))
+            }
+            JoinKind::LeftSemi | JoinKind::LeftAnti => {
+                let mut matched = vec![false; len];
+                for &(i, _) in &kept {
+                    matched[i] = true;
+                }
+                let want = self.kind == JoinKind::LeftSemi;
+                let sel: Vec<usize> = (0..len).filter(|&i| matched[i] == want).collect();
+                let out: Vec<Column> = columns.iter().map(|c| c.gather(&sel)).collect();
+                Ok(Batch::from_columns(self.out_cols.clone(), out, sel.len()))
+            }
+        }
+    }
+
+    fn probe_rows(&mut self, rows: Vec<Row>, binds: &Bindings) -> Result<()> {
+        for lr in rows {
             let matches = join_key(&lr, &self.left_pos).and_then(|k| self.table.get(&k));
             let mut matched = false;
             if let Some(rows) = matches {
@@ -1403,7 +1915,7 @@ impl HashJoinOp {
                     let pass = self.residual_trivial
                         || eval_predicate(
                             &self.residual,
-                            &EvalCtx::plain(&self.combined, &row, binds),
+                            &EvalCtx::mapped(&self.combined, &self.combined_pos, &row, binds),
                         )?;
                     if pass {
                         matched = true;
@@ -1432,10 +1944,17 @@ impl HashJoinOp {
 impl Operator for HashJoinOp {
     fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         self.pending.clear();
+        self.out_queue.clear();
         self.left_done = false;
         self.left.open(ctx)?;
         if !(self.build_stable && self.built) {
             self.table.clear();
+            self.build_mode = None;
+            self.build_parts.clear();
+            self.build_cols.clear();
+            self.build_index.clear();
+            self.build_len = 0;
+            self.row_table_ready = false;
             self.built = false;
             // Fresh reservation: replacing the old one releases the
             // dropped table's bytes back to the pool.
@@ -1447,32 +1966,73 @@ impl Operator for HashJoinOp {
 
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.built {
+            // The first build batch decides the mode; later batches in
+            // the other representation are converted. The per-batch
+            // fault/charge order is identical in both modes so budget
+            // trips and failpoints do not depend on the representation.
             while let Some(b) = self.right.next_batch(ctx)? {
                 b.check_width(self.right_width)?;
                 crate::faults::hit("hashjoin.build")?;
-                self.mem.grow(rows_bytes(&b.rows))?;
-                for rr in b.rows {
-                    if let Some(key) = join_key(&rr, &self.right_pos) {
-                        self.table.entry(key).or_default().push(rr);
+                self.mem.grow(b.mem_bytes())?;
+                let columnar = *self.build_mode.get_or_insert(b.is_columnar());
+                if columnar {
+                    let (columns, n) = b.into_columns();
+                    self.build_len += n;
+                    self.build_parts.push(columns);
+                } else {
+                    for rr in self.stats.bridge_rows(b) {
+                        if let Some(key) = join_key(&rr, &self.right_pos) {
+                            self.table.entry(key).or_default().push(rr);
+                        }
                     }
                 }
             }
+            if self.build_mode != Some(false) {
+                // Columnar build — or an empty build side, finished
+                // columnar so columnar probes have columns to gather.
+                self.build_mode = Some(true);
+                self.finish_columnar_build();
+            }
             self.built = true;
         }
-        while self.pending.len() < self.batch_size && !self.left_done {
+        loop {
+            if let Some(b) = self.out_queue.pop_front() {
+                return Ok(Some(b));
+            }
+            if self.pending.len() >= self.batch_size || self.left_done {
+                if let Some(b) = drain_pending(&mut self.pending, self.batch_size, &self.out_cols) {
+                    return Ok(Some(b));
+                }
+                if self.left_done {
+                    return Ok(None);
+                }
+            }
             match self.left.next_batch(ctx)? {
                 None => self.left_done = true,
                 Some(batch) => {
                     let binds = ctx.binds.borrow().clone();
-                    self.probe_batch(batch, &binds)?;
+                    let mut handled = false;
+                    if batch.is_columnar() && self.build_mode == Some(true) {
+                        // On kernel gap or residual error, fall back to
+                        // the row path on the whole batch, which
+                        // reproduces row-ordered behavior.
+                        if let Ok(out) = self.probe_columns(&batch, &binds) {
+                            self.stats.note_kernel();
+                            if !out.is_empty() {
+                                self.flush_pending();
+                                self.out_queue.push_back(out);
+                            }
+                            handled = true;
+                        }
+                    }
+                    if !handled {
+                        self.ensure_row_table();
+                        let rows = self.stats.bridge_rows(batch);
+                        self.probe_rows(rows, &binds)?;
+                    }
                 }
             }
         }
-        Ok(drain_pending(
-            &mut self.pending,
-            self.batch_size,
-            &self.out_cols,
-        ))
     }
 
     fn mem_peak(&self) -> u64 {
@@ -1486,6 +2046,7 @@ struct NLJoinOp {
     right: BoxOp,
     predicate: ScalarExpr,
     combined: Rc<[ColId]>,
+    combined_pos: PosMap,
     out_cols: Rc<[ColId]>,
     right_width: usize,
     /// Keep the materialized inner side across rewinds.
@@ -1496,18 +2057,19 @@ struct NLJoinOp {
     left_done: bool,
     batch_size: usize,
     mem: MemoryReservation,
+    stats: StatsHandle,
 }
 
 impl NLJoinOp {
-    fn probe_batch(&mut self, batch: Batch, binds: &Bindings) -> Result<()> {
-        for lr in batch.rows {
+    fn probe_rows(&mut self, rows: Vec<Row>, binds: &Bindings) -> Result<()> {
+        for lr in rows {
             let mut matched = false;
             for rr in &self.right_rows {
                 let mut row = lr.clone();
                 row.extend(rr.iter().cloned());
                 if eval_predicate(
                     &self.predicate,
-                    &EvalCtx::plain(&self.combined, &row, binds),
+                    &EvalCtx::mapped(&self.combined, &self.combined_pos, &row, binds),
                 )? {
                     matched = true;
                     match self.kind {
@@ -1550,8 +2112,9 @@ impl Operator for NLJoinOp {
             while let Some(b) = self.right.next_batch(ctx)? {
                 b.check_width(self.right_width)?;
                 crate::faults::hit("nljoin.build")?;
-                self.mem.grow(rows_bytes(&b.rows))?;
-                self.right_rows.extend(b.rows);
+                self.mem.grow(b.mem_bytes())?;
+                let rows = self.stats.bridge_rows(b);
+                self.right_rows.extend(rows);
             }
             self.right_built = true;
         }
@@ -1560,7 +2123,8 @@ impl Operator for NLJoinOp {
                 None => self.left_done = true,
                 Some(batch) => {
                     let binds = ctx.binds.borrow().clone();
-                    self.probe_batch(batch, &binds)?;
+                    let rows = self.stats.bridge_rows(batch);
+                    self.probe_rows(rows, &binds)?;
                 }
             }
         }
@@ -1593,6 +2157,11 @@ struct ApplyLoopOp {
     pending: Vec<Row>,
     left_done: bool,
     batch_size: usize,
+    /// Transpose assembled output batches to columns so downstream
+    /// vectorized operators stay on the kernel path (the apply loop
+    /// itself is row-at-a-time by nature: it rebinds per outer row).
+    columnar: bool,
+    stats: StatsHandle,
 }
 
 impl Operator for ApplyLoopOp {
@@ -1615,7 +2184,7 @@ impl Operator for ApplyLoopOp {
                 parallelism: ctx.parallelism,
                 gov: ctx.gov.clone(),
             };
-            for lr in batch.rows {
+            for lr in self.stats.bridge_rows(batch) {
                 {
                     let mut binds = self.inner_binds.borrow_mut();
                     for (p, i) in &self.param_pos {
@@ -1626,7 +2195,7 @@ impl Operator for ApplyLoopOp {
                 let mut inner_rows = Vec::new();
                 while let Some(b) = self.inner.next_batch(&ictx)? {
                     b.check_width(self.right_width)?;
-                    inner_rows.extend(b.rows);
+                    inner_rows.extend(self.stats.bridge_rows(b));
                 }
                 match self.kind {
                     ApplyKind::Cross | ApplyKind::LeftOuter => {
@@ -1655,11 +2224,11 @@ impl Operator for ApplyLoopOp {
                 }
             }
         }
-        Ok(drain_pending(
-            &mut self.pending,
-            self.batch_size,
-            &self.out_cols,
-        ))
+        let out = drain_pending(&mut self.pending, self.batch_size, &self.out_cols);
+        Ok(match out {
+            Some(b) if self.columnar => Some(b.to_columnar()),
+            other => other,
+        })
     }
 }
 
@@ -1685,7 +2254,11 @@ struct SegmentExecOp {
     seg_cursor: usize,
     pending: Vec<Row>,
     batch_size: usize,
+    /// Transpose assembled output batches to columns so downstream
+    /// vectorized operators stay on the kernel path.
+    columnar: bool,
     mem: MemoryReservation,
+    stats: StatsHandle,
 }
 
 impl Operator for SegmentExecOp {
@@ -1707,8 +2280,8 @@ impl Operator for SegmentExecOp {
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(self.input_cols.len())?;
                 crate::faults::hit("segment.partition")?;
-                self.mem.grow(rows_bytes(&b.rows))?;
-                for r in b.rows {
+                self.mem.grow(b.mem_bytes())?;
+                for r in self.stats.bridge_rows(b) {
                     let key: Vec<Value> = self.seg_pos.iter().map(|&i| r[i].clone()).collect();
                     match index.get(&key) {
                         Some(&i) => self.segments[i].1.push(r),
@@ -1738,7 +2311,7 @@ impl Operator for SegmentExecOp {
             let run = (|| -> Result<()> {
                 self.inner.open(&ictx)?;
                 while let Some(b) = self.inner.next_batch(&ictx)? {
-                    for ir in b.rows {
+                    for ir in self.stats.bridge_rows(b) {
                         let row: Row = self
                             .out_src
                             .iter()
@@ -1755,11 +2328,11 @@ impl Operator for SegmentExecOp {
             self.inner_binds.borrow_mut().pop_segment();
             run?;
         }
-        Ok(drain_pending(
-            &mut self.pending,
-            self.batch_size,
-            &self.out_cols,
-        ))
+        let out = drain_pending(&mut self.pending, self.batch_size, &self.out_cols);
+        Ok(match out {
+            Some(b) if self.columnar => Some(b.to_columnar()),
+            other => other,
+        })
     }
 
     fn mem_peak(&self) -> u64 {
@@ -1777,14 +2350,19 @@ struct HashAggregateOp {
     group_pos: Vec<usize>,
     aggs: Vec<AggDef>,
     in_cols: Rc<[ColId]>,
+    in_pos: PosMap,
     out_cols: Rc<[ColId]>,
     state: Option<GroupedAggState>,
     result: Vec<Row>,
     done: bool,
     batch_size: usize,
+    /// Transpose result batches to columns so downstream vectorized
+    /// operators stay on the kernel path.
+    columnar: bool,
     /// Peak bytes of the grouped state, captured before `finish`
     /// consumes it (the reservation lives inside the state).
     mem_peak: u64,
+    stats: StatsHandle,
 }
 
 impl Operator for HashAggregateOp {
@@ -1808,7 +2386,39 @@ impl Operator for HashAggregateOp {
                 while let Some(b) = self.input.next_batch(ctx)? {
                     crate::faults::hit("hashagg.state")?;
                     let binds = ctx.binds.borrow();
-                    for r in &b.rows {
+                    // Vectorized feed: evaluate every aggregate argument
+                    // as a whole column first (an argument kernel error
+                    // falls back to the row path on the whole batch),
+                    // then stream the lanes into the grouped state.
+                    // State-update errors (budget trips) propagate:
+                    // kernels never mutate state before all arguments
+                    // evaluated.
+                    let mut vector_ok = false;
+                    if let Some((columns, len)) = b.columns() {
+                        let cx = VecEval {
+                            cols: &self.in_cols,
+                            pos: &self.in_pos,
+                            columns,
+                            len,
+                            binds: &binds,
+                        };
+                        let args: Result<Vec<Option<Column>>> = self
+                            .aggs
+                            .iter()
+                            .map(|a| a.arg.as_ref().map(|e| eval_column(e, &cx)).transpose())
+                            .collect();
+                        if let Ok(arg_cols) = args {
+                            let key_cols: Vec<&Column> =
+                                self.group_pos.iter().map(|&i| &columns[i]).collect();
+                            state.feed_lanes(&key_cols, &arg_cols, len)?;
+                            self.stats.note_kernel();
+                            vector_ok = true;
+                        }
+                    }
+                    if vector_ok {
+                        continue;
+                    }
+                    for r in &self.stats.bridge_rows(b) {
                         let key: Vec<Value> =
                             self.group_pos.iter().map(|&i| r[i].clone()).collect();
                         let args = self
@@ -1817,7 +2427,17 @@ impl Operator for HashAggregateOp {
                             .map(|a| {
                                 a.arg
                                     .as_ref()
-                                    .map(|e| eval(e, &EvalCtx::plain(&self.in_cols, r, &binds)))
+                                    .map(|e| {
+                                        eval(
+                                            e,
+                                            &EvalCtx::mapped(
+                                                &self.in_cols,
+                                                &self.in_pos,
+                                                r,
+                                                &binds,
+                                            ),
+                                        )
+                                    })
                                     .transpose()
                             })
                             .collect::<Result<Vec<_>>>()?;
@@ -1831,11 +2451,11 @@ impl Operator for HashAggregateOp {
             self.result = state.finish(self.kind);
             self.done = true;
         }
-        Ok(drain_pending(
-            &mut self.result,
-            self.batch_size,
-            &self.out_cols,
-        ))
+        let out = drain_pending(&mut self.result, self.batch_size, &self.out_cols);
+        Ok(match out {
+            Some(b) if self.columnar => Some(b.to_columnar()),
+            other => other,
+        })
     }
 
     fn mem_peak(&self) -> u64 {
@@ -1851,6 +2471,7 @@ struct SortOp {
     sorted: bool,
     batch_size: usize,
     mem: MemoryReservation,
+    stats: StatsHandle,
 }
 
 impl Operator for SortOp {
@@ -1866,8 +2487,9 @@ impl Operator for SortOp {
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(self.cols.len())?;
                 crate::faults::hit("sort.buffer")?;
-                self.mem.grow(rows_bytes(&b.rows))?;
-                self.buffered.extend(b.rows);
+                self.mem.grow(b.mem_bytes())?;
+                let rows = self.stats.bridge_rows(b);
+                self.buffered.extend(rows);
             }
             let by = &self.by_pos;
             self.buffered.sort_by(|a, b| {
@@ -1904,6 +2526,7 @@ struct LimitOp {
     done: bool,
     batch_size: usize,
     mem: MemoryReservation,
+    stats: StatsHandle,
 }
 
 impl Operator for LimitOp {
@@ -1921,7 +2544,12 @@ impl Operator for LimitOp {
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(self.cols.len())?;
                 let room = self.n.saturating_sub(self.buffered.len());
-                let kept: Vec<Row> = b.rows.into_iter().take(room).collect();
+                if room == 0 {
+                    // Past the cutoff: keep draining for errors but
+                    // skip the (bridge) conversion entirely.
+                    continue;
+                }
+                let kept: Vec<Row> = self.stats.bridge_rows(b).into_iter().take(room).collect();
                 if !kept.is_empty() {
                     crate::faults::hit("limit.buffer")?;
                     self.mem.grow(rows_bytes(&kept))?;
@@ -1948,6 +2576,7 @@ struct AssertMax1Op {
     buffered: Vec<Row>,
     done: bool,
     mem: MemoryReservation,
+    stats: StatsHandle,
 }
 
 impl Operator for AssertMax1Op {
@@ -1967,8 +2596,9 @@ impl Operator for AssertMax1Op {
         while let Some(b) = self.input.next_batch(ctx)? {
             b.check_width(self.cols.len())?;
             crate::faults::hit("max1.buffer")?;
-            self.mem.grow(rows_bytes(&b.rows))?;
-            self.buffered.extend(b.rows);
+            self.mem.grow(b.mem_bytes())?;
+            let rows = self.stats.bridge_rows(b);
+            self.buffered.extend(rows);
         }
         self.done = true;
         if self.buffered.len() > 1 {
@@ -1995,6 +2625,25 @@ struct ConcatOp {
     rpos: Vec<usize>,
     cols: Rc<[ColId]>,
     on_right: bool,
+    stats: StatsHandle,
+}
+
+impl ConcatOp {
+    /// Remaps one side's layout onto the output layout; columnar
+    /// batches stay columnar (column selection is O(1) per column).
+    fn remap(&self, b: Batch, pos: &[usize]) -> Batch {
+        if let Some((columns, len)) = b.columns() {
+            let out = pos.iter().map(|&i| columns[i].clone()).collect();
+            self.stats.note_kernel();
+            return Batch::from_columns(self.cols.clone(), out, len);
+        }
+        let rows = b
+            .into_rows()
+            .into_iter()
+            .map(|r| pos.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Batch::new(self.cols.clone(), rows)
+    }
 }
 
 impl Operator for ConcatOp {
@@ -2007,24 +2656,16 @@ impl Operator for ConcatOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.on_right {
             if let Some(b) = self.left.next_batch(ctx)? {
-                let rows = b
-                    .rows
-                    .iter()
-                    .map(|r| self.lpos.iter().map(|&i| r[i].clone()).collect())
-                    .collect();
-                return Ok(Some(Batch::new(self.cols.clone(), rows)));
+                let out = self.remap(b, &self.lpos);
+                return Ok(Some(out));
             }
             self.on_right = true;
         }
         let Some(b) = self.right.next_batch(ctx)? else {
             return Ok(None);
         };
-        let rows = b
-            .rows
-            .iter()
-            .map(|r| self.rpos.iter().map(|&i| r[i].clone()).collect())
-            .collect();
-        Ok(Some(Batch::new(self.cols.clone(), rows)))
+        let out = self.remap(b, &self.rpos);
+        Ok(Some(out))
     }
 }
 
@@ -2036,6 +2677,7 @@ struct ExceptOp {
     counts: HashMap<Row, usize>,
     built: bool,
     mem: MemoryReservation,
+    stats: StatsHandle,
 }
 
 impl Operator for ExceptOp {
@@ -2051,8 +2693,8 @@ impl Operator for ExceptOp {
         if !self.built {
             while let Some(b) = self.right.next_batch(ctx)? {
                 crate::faults::hit("except.build")?;
-                self.mem.grow(rows_bytes(&b.rows))?;
-                for r in &b.rows {
+                self.mem.grow(b.mem_bytes())?;
+                for r in &self.stats.bridge_rows(b) {
                     let key: Row = self.rpos.iter().map(|&i| r[i].clone()).collect();
                     *self.counts.entry(key).or_insert(0) += 1;
                 }
@@ -2064,7 +2706,7 @@ impl Operator for ExceptOp {
                 return Ok(None);
             };
             let mut rows = Vec::new();
-            for row in b.rows {
+            for row in self.stats.bridge_rows(b) {
                 match self.counts.get_mut(&row) {
                     Some(n) if *n > 0 => *n -= 1,
                     _ => rows.push(row),
@@ -2248,7 +2890,7 @@ mod tests {
                 // Literal construction: two-column layout, one-column row.
                 Ok(Some(Batch {
                     cols: self.cols.clone(),
-                    rows: vec![vec![Value::Int(1)]],
+                    repr: Repr::Rows(vec![vec![Value::Int(1)]]),
                 }))
             }
         }
@@ -2264,6 +2906,7 @@ mod tests {
             sorted: false,
             batch_size: 16,
             mem: MemoryReservation::detached("Sort"),
+            stats: StatsHandle::new(Rc::new(RefCell::new(vec![OpStats::default()])), 0),
         };
         let catalog = catalog();
         let ctx = ExecCtx::new(&catalog, Bindings::new());

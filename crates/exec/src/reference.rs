@@ -18,7 +18,7 @@ use orthopt_storage::Catalog;
 use crate::aggregate::hash_aggregate;
 use crate::bindings::Bindings;
 use crate::chunk::Chunk;
-use crate::eval::{eval, eval_predicate, EvalCtx, SubqueryEval};
+use crate::eval::{eval, eval_predicate, EvalCtx, PosMap, SubqueryEval};
 
 /// The reference interpreter.
 pub struct Reference<'a> {
@@ -42,9 +42,12 @@ impl<'a> Reference<'a> {
         self.eval(rel, &Bindings::new())
     }
 
+    /// Context with the position map hoisted out of the per-row loop —
+    /// column lookups are hash probes instead of linear scans.
     fn ctx<'b>(
         &'b self,
         cols: &'b [orthopt_common::ColId],
+        pos: &'b PosMap,
         row: &'b [Value],
         binds: &'b Bindings,
     ) -> EvalCtx<'b> {
@@ -53,6 +56,7 @@ impl<'a> Reference<'a> {
             row,
             binds,
             subq: Some(self),
+            pos: Some(pos),
         }
     }
 
@@ -78,9 +82,10 @@ impl<'a> Reference<'a> {
             }),
             RelExpr::Select { input, predicate } => {
                 let inp = self.eval(input, binds)?;
+                let pm = PosMap::new(&inp.cols);
                 let mut rows = Vec::new();
                 for r in inp.rows {
-                    if eval_predicate(predicate, &self.ctx(&inp.cols, &r, binds))? {
+                    if eval_predicate(predicate, &self.ctx(&inp.cols, &pm, &r, binds))? {
                         rows.push(r);
                     }
                 }
@@ -91,11 +96,12 @@ impl<'a> Reference<'a> {
             }
             RelExpr::Map { input, defs } => {
                 let inp = self.eval(input, binds)?;
+                let pm = PosMap::new(&inp.cols);
                 let mut rows = Vec::with_capacity(inp.len());
                 for r in inp.rows {
                     let mut out = r.clone();
                     for d in defs {
-                        out.push(eval(&d.expr, &self.ctx(&inp.cols, &r, binds))?);
+                        out.push(eval(&d.expr, &self.ctx(&inp.cols, &pm, &r, binds))?);
                     }
                     rows.push(out);
                 }
@@ -116,8 +122,8 @@ impl<'a> Reference<'a> {
             } => {
                 let l = self.eval(left, binds)?;
                 let r = self.eval(right, binds)?;
-                self.join_loop(*kind, &l, &r, |row, cols| {
-                    eval_predicate(predicate, &self.ctx(cols, row, binds))
+                self.join_loop(*kind, &l, &r, |row, cols, pm| {
+                    eval_predicate(predicate, &self.ctx(cols, pm, row, binds))
                 })
             }
             RelExpr::Apply { kind, left, right } => {
@@ -251,6 +257,7 @@ impl<'a> Reference<'a> {
                 aggs,
             } => {
                 let inp = self.eval(input, binds)?;
+                let pm = PosMap::new(&inp.cols);
                 let mut feed = Vec::with_capacity(inp.len());
                 for r in &inp.rows {
                     let key = inp.key_of(r, group_cols)?;
@@ -259,7 +266,7 @@ impl<'a> Reference<'a> {
                         .map(|a| {
                             a.arg
                                 .as_ref()
-                                .map(|e| eval(e, &self.ctx(&inp.cols, r, binds)))
+                                .map(|e| eval(e, &self.ctx(&inp.cols, &pm, r, binds)))
                                 .transpose()
                         })
                         .collect::<Result<Vec<_>>>()?;
@@ -359,17 +366,18 @@ impl<'a> Reference<'a> {
         kind: JoinKind,
         l: &Chunk,
         r: &Chunk,
-        mut pred: impl FnMut(&[Value], &[orthopt_common::ColId]) -> Result<bool>,
+        mut pred: impl FnMut(&[Value], &[orthopt_common::ColId], &PosMap) -> Result<bool>,
     ) -> Result<Chunk> {
         let mut combined_cols = l.cols.clone();
         combined_cols.extend(r.cols.iter().copied());
+        let pm = PosMap::new(&combined_cols);
         let mut rows = Vec::new();
         for lr in &l.rows {
             let mut matched = false;
             for rr in &r.rows {
                 let mut row = lr.clone();
                 row.extend(rr.iter().cloned());
-                if pred(&row, &combined_cols)? {
+                if pred(&row, &combined_cols, &pm)? {
                     matched = true;
                     match kind {
                         JoinKind::Inner | JoinKind::LeftOuter => rows.push(row),

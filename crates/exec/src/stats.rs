@@ -29,6 +29,14 @@ pub struct OpStats {
     /// non-buffering operators). Recorded whether or not a budget is
     /// set, so `explain_analyze` always shows where memory concentrates.
     pub mem_peak: u64,
+    /// Vectorized kernel invocations: how many columnar batches this
+    /// operator processed natively (typed kernels, no row materialization).
+    pub kernels: u64,
+    /// Bridge conversions: how many columnar batches this operator had
+    /// to transpose back to rows at its boundary because its algorithm
+    /// is still row-at-a-time. Zero means the operator is kernel-native
+    /// on this plan.
+    pub bridged: u64,
 }
 
 impl OpStats {
@@ -50,6 +58,12 @@ impl OpStats {
         if self.mem_peak > 0 {
             s.push_str(&format!(" mem={}B", self.mem_peak));
         }
+        if self.kernels > 0 {
+            s.push_str(&format!(" kernels={}", self.kernels));
+        }
+        if self.bridged > 0 {
+            s.push_str(&format!(" bridged={}", self.bridged));
+        }
         s
     }
 
@@ -64,5 +78,7 @@ impl OpStats {
         self.workers += 1;
         self.worker_rows_max = self.worker_rows_max.max(w.rows);
         self.mem_peak += w.mem_peak;
+        self.kernels += w.kernels;
+        self.bridged += w.bridged;
     }
 }

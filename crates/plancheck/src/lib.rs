@@ -296,6 +296,26 @@ mod tests {
     }
 
     #[test]
+    fn const_scan_columns_must_be_monotyped() {
+        // NULLs fit any column; a mixed int/str column does not.
+        let ok = PhysExpr::ConstScan {
+            cols: vec![ColId(1), ColId(2)],
+            rows: vec![
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Null, Value::Str("x".into())],
+            ],
+        };
+        assert!(check_physical(&ok).is_empty());
+        let mixed = PhysExpr::ConstScan {
+            cols: vec![ColId(1)],
+            rows: vec![vec![Value::Int(1)], vec![Value::Str("x".into())]],
+        };
+        let vs = check_physical(&mixed);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].message.contains("mixes"), "{}", vs[0].message);
+    }
+
+    #[test]
     fn count_loj_walks_the_whole_tree() {
         let nested = loj(loj(const_rel(&[1]), const_rel(&[2])), const_rel(&[3]));
         assert_eq!(count_loj(&nested), 2);

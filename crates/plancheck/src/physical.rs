@@ -376,6 +376,33 @@ impl PhysCx {
                         format!("row width {} != declared width {}", bad.len(), cols.len()),
                     );
                 }
+                // Typed-schema half of the width check: the columnar
+                // executor stores each column in one typed vector, so
+                // every non-NULL value down a ConstScan column must
+                // share a single runtime type.
+                for (i, col) in cols.iter().enumerate() {
+                    let mut seen: Option<&'static str> = None;
+                    for r in rows.iter().filter(|r| r.len() == cols.len()) {
+                        let Some(tag) = value_type(&r[i]) else {
+                            continue;
+                        };
+                        match seen {
+                            None => seen = Some(tag),
+                            Some(t) if t != tag => {
+                                self.violation(
+                                    CheckKind::Physical,
+                                    p,
+                                    format!(
+                                        "column {col} mixes {t} and {tag} values; a column \
+                                         must have one type"
+                                    ),
+                                );
+                                break;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
             }
             PhysExpr::Sort { input, by } => {
                 let vis = id_set(input);
@@ -449,6 +476,20 @@ impl PhysCx {
 
 fn id_set(p: &PhysExpr) -> BTreeSet<ColId> {
     p.out_cols().into_iter().collect()
+}
+
+/// Runtime type tag of a literal, `None` for NULL (NULL fits any
+/// column type).
+fn value_type(v: &orthopt_common::Value) -> Option<&'static str> {
+    use orthopt_common::Value;
+    match v {
+        Value::Null => None,
+        Value::Bool(_) => Some("bool"),
+        Value::Int(_) => Some("int"),
+        Value::Float(_) => Some("float"),
+        Value::Str(_) => Some("str"),
+        Value::Date(_) => Some("date"),
+    }
 }
 
 fn find_combiner(local_out: ColId, ancestors: &[&PhysExpr]) -> Option<AggFunc> {

@@ -1,5 +1,8 @@
 //! Table definitions and row storage.
 
+use std::sync::OnceLock;
+
+use orthopt_common::column::{Bitmap, ColData, Column, ColumnData};
 use orthopt_common::{DataType, Error, Result, Row, Value};
 
 use crate::index::Index;
@@ -74,6 +77,9 @@ pub struct Table {
     rows: Vec<Row>,
     indexes: Vec<Index>,
     stats: Option<TableStats>,
+    /// Columnar mirror of `rows`, built lazily on first columnar scan
+    /// and invalidated by mutation. Scans slice these columns zero-copy.
+    columnar: OnceLock<Vec<Column>>,
 }
 
 impl Table {
@@ -93,6 +99,7 @@ impl Table {
             rows: Vec::new(),
             indexes: Vec::new(),
             stats: None,
+            columnar: OnceLock::new(),
         })
     }
 
@@ -131,6 +138,7 @@ impl Table {
         }
         self.rows.push(row);
         self.stats = None;
+        self.columnar = OnceLock::new();
         Ok(())
     }
 
@@ -150,6 +158,63 @@ impl Table {
     /// Number of stored rows.
     pub fn row_count(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Columnar mirror of the table, one [`Column`] per schema column,
+    /// in insertion order. Built on first call after a mutation (O(n)
+    /// typed transpose — insert validation already guarantees each
+    /// value matches the declared type or is NULL), then served from
+    /// cache; scans slice the cached columns zero-copy.
+    pub fn columns(&self) -> &[Column] {
+        self.columnar.get_or_init(|| {
+            self.def
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(j, c)| {
+                    let validity = Bitmap::from_flags(self.rows.iter().map(|r| !r[j].is_null()));
+                    let data = match c.ty {
+                        DataType::Int => ColData::Int(
+                            self.rows
+                                .iter()
+                                .map(|r| if let Value::Int(i) = r[j] { i } else { 0 })
+                                .collect(),
+                        ),
+                        DataType::Float => ColData::Float(
+                            self.rows
+                                .iter()
+                                .map(|r| if let Value::Float(f) = r[j] { f } else { 0.0 })
+                                .collect(),
+                        ),
+                        DataType::Bool => ColData::Bool(
+                            self.rows
+                                .iter()
+                                .map(|r| matches!(r[j], Value::Bool(true)))
+                                .collect(),
+                        ),
+                        DataType::Str => ColData::Str(
+                            self.rows
+                                .iter()
+                                .map(|r| {
+                                    if let Value::Str(s) = &r[j] {
+                                        s.clone()
+                                    } else {
+                                        std::sync::Arc::from("")
+                                    }
+                                })
+                                .collect(),
+                        ),
+                        DataType::Date => ColData::Date(
+                            self.rows
+                                .iter()
+                                .map(|r| if let Value::Date(d) = r[j] { d } else { 0 })
+                                .collect(),
+                        ),
+                    };
+                    Column::from_data(ColumnData { data, validity })
+                })
+                .collect()
+        })
     }
 
     /// Builds (or rebuilds) a hash index over the given column positions.
@@ -305,5 +370,36 @@ mod incremental_index_tests {
         assert_eq!(hits, &[0, 1]);
         // The NULL-keyed row stays unindexed.
         assert_eq!(t.index_on(&[1]).unwrap().distinct_keys(), 1);
+    }
+}
+
+#[cfg(test)]
+mod columnar_mirror_tests {
+    use super::*;
+
+    #[test]
+    fn columns_mirror_rows_and_invalidate_on_insert() {
+        let def = TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::nullable("b", DataType::Str),
+            ],
+            vec![vec![0]],
+        );
+        let mut t = Table::new(def).unwrap();
+        t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        {
+            let cols = t.columns();
+            assert_eq!(cols.len(), 2);
+            assert_eq!(cols[0].value(1), Value::Int(2));
+            assert_eq!(cols[1].value(0), Value::str("x"));
+            assert_eq!(cols[1].value(1), Value::Null);
+        }
+        t.insert(vec![Value::Int(3), Value::str("z")]).unwrap();
+        let cols = t.columns();
+        assert_eq!(cols[0].len(), 3);
+        assert_eq!(cols[1].value(2), Value::str("z"));
     }
 }

@@ -99,6 +99,14 @@ pub mod vocab {
 const DATE_LO: i32 = 8035;
 const DATE_HI: i32 = 10440;
 
+/// Interns a closed vocabulary as ready-made `Value::Str`s: picking
+/// then clones an `Arc` refcount instead of allocating a fresh string
+/// per row. Draw sequences are unchanged — `Prng::pick` consumes one
+/// draw per call either way, keyed only on slice length.
+fn intern<S: AsRef<str>>(words: &[S]) -> Vec<Value> {
+    words.iter().map(|w| Value::str(w.as_ref())).collect()
+}
+
 /// Generates a full TPC-H catalog: tables, keys, indexes, statistics.
 pub fn generate(config: TpchConfig) -> Result<Catalog> {
     let mut catalog = Catalog::new();
@@ -159,9 +167,9 @@ pub fn generate(config: TpchConfig) -> Result<Catalog> {
 
     // ---- part -------------------------------------------------------
     let mut rng = Prng::new(config.seed ^ 0x9A47);
-    let brands = vocab::brands();
-    let containers = vocab::containers();
-    let types = vocab::types();
+    let brands = intern(&vocab::brands());
+    let containers = intern(&vocab::containers());
+    let types = intern(&vocab::types());
     let part = catalog.create_table(TableDef::new(
         "part",
         vec![
@@ -183,10 +191,10 @@ pub fn generate(config: TpchConfig) -> Result<Catalog> {
         catalog.table_mut(part).insert(vec![
             Value::Int(i),
             Value::str(format!("part {}", rng.word(8))),
-            Value::str(rng.pick(&brands)),
-            Value::str(rng.pick(&types)),
+            rng.pick(&brands).clone(),
+            rng.pick(&types).clone(),
             Value::Int(rng.int_range(1, 50)),
-            Value::str(rng.pick(&containers)),
+            rng.pick(&containers).clone(),
             Value::Float((price * 100.0).round() / 100.0),
         ])?;
     }
@@ -230,13 +238,14 @@ pub fn generate(config: TpchConfig) -> Result<Catalog> {
         vec![vec![0]],
     ))?;
     let n_cust = config.customers();
+    let segments = intern(&vocab::SEGMENTS);
     for i in 0..n_cust as i64 {
         catalog.table_mut(customer).insert(vec![
             Value::Int(i),
             Value::str(format!("customer{i:08}")),
             Value::Int(rng.int_range(0, 24)),
             Value::Float((rng.float_range(-999.0, 9999.0) * 100.0).round() / 100.0),
-            Value::str(*rng.pick(&vocab::SEGMENTS)),
+            rng.pick(&segments).clone(),
         ])?;
     }
 
@@ -273,6 +282,9 @@ pub fn generate(config: TpchConfig) -> Result<Catalog> {
         vec![vec![0, 3]],
     ))?;
     let n_orders = config.orders();
+    let priorities = intern(&vocab::PRIORITIES);
+    let flags = intern(&["r", "n", "o", "f"]);
+    let (flag_r, flag_n, flag_o, flag_f) = (&flags[0], &flags[1], &flags[2], &flags[3]);
     for o in 0..n_orders as i64 {
         let custkey = rng.int_range(0, n_cust as i64 - 1);
         let orderdate = rng.int_range(DATE_LO as i64, DATE_HI as i64) as i32;
@@ -295,8 +307,8 @@ pub fn generate(config: TpchConfig) -> Result<Catalog> {
                 Value::Float(quantity),
                 Value::Float(extended),
                 Value::Float((rng.int_range(0, 10) as f64) / 100.0),
-                Value::str(if rng.chance(0.25) { "r" } else { "n" }),
-                Value::str(if rng.chance(0.5) { "o" } else { "f" }),
+                if rng.chance(0.25) { flag_r } else { flag_n }.clone(),
+                if rng.chance(0.5) { flag_o } else { flag_f }.clone(),
                 Value::Date(shipdate),
                 Value::Date(commitdate),
                 Value::Date(receiptdate),
@@ -305,10 +317,10 @@ pub fn generate(config: TpchConfig) -> Result<Catalog> {
         catalog.table_mut(orders).insert(vec![
             Value::Int(o),
             Value::Int(custkey),
-            Value::str(if rng.chance(0.5) { "o" } else { "f" }),
+            if rng.chance(0.5) { flag_o } else { flag_f }.clone(),
             Value::Float((total * 100.0).round() / 100.0),
             Value::Date(orderdate),
-            Value::str(*rng.pick(&vocab::PRIORITIES)),
+            rng.pick(&priorities).clone(),
         ])?;
     }
 
