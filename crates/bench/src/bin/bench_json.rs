@@ -13,12 +13,14 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 use orthopt::common::QueryContext;
 use orthopt::exec::{phys_node_labels, Bindings, Pipeline};
 use orthopt::tpch::queries;
-use orthopt::OptimizerLevel;
-use orthopt_bench::{median_ms, median_ms_governed, plan, tpch};
+use orthopt::{Client, Engine, EngineConfig, OptimizerLevel, Server};
+use orthopt_bench::{median_ms, median_ms_governed, percentile_ms, plan, tpch};
 
 /// Minimal JSON string escaping (labels contain no exotic characters,
 /// but quotes and backslashes must not corrupt the document).
@@ -36,6 +38,69 @@ fn esc(s: &str) -> String {
         }
     }
     out
+}
+
+/// One row of the concurrent-client sweep.
+struct ConcurrentRow {
+    clients: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    total_queries: usize,
+}
+
+/// Drives the networked session layer with `clients` concurrent TCP
+/// connections, each running `rounds` passes over the workload.
+/// Every reply is asserted byte-identical to the solo `baseline` —
+/// concurrency must not change results — and per-query latencies feed
+/// the p50/p99 columns.
+fn drive_clients(
+    addr: std::net::SocketAddr,
+    workload: &Arc<Vec<String>>,
+    baseline: &Arc<Vec<String>>,
+    clients: usize,
+    rounds: usize,
+) -> ConcurrentRow {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let workload = Arc::clone(workload);
+            let baseline = Arc::clone(baseline);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("client connects");
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(rounds * workload.len());
+                for _ in 0..rounds {
+                    for (sql, expect) in workload.iter().zip(baseline.iter()) {
+                        let t = Instant::now();
+                        let reply = c.query(sql).expect("client query");
+                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(
+                            &reply, expect,
+                            "concurrent reply diverged from solo baseline"
+                        );
+                    }
+                }
+                let _ = c.close();
+                latencies
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t = Instant::now();
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let wall_s = t.elapsed().as_secs_f64();
+    ConcurrentRow {
+        clients,
+        qps: latencies.len() as f64 / wall_s.max(1e-9),
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+        total_queries: latencies.len(),
+    }
 }
 
 fn main() {
@@ -178,6 +243,50 @@ fn main() {
             if qi + 1 == queries.len() { "" } else { "," }
         );
     }
+    let _ = writeln!(json, "  ],");
+
+    // Concurrent-client sweep over the networked session layer: one
+    // shared engine behind a TCP server, swept client counts, every
+    // reply checked byte-identical to the solo baseline.
+    let engine = Engine::from_shared(db.shared_catalog(), EngineConfig::default());
+    let handle = Server::bind(Arc::clone(&engine), "127.0.0.1:0")
+        .expect("server binds")
+        .spawn()
+        .expect("server spawns");
+    let addr = handle.addr();
+    let workload: Arc<Vec<String>> = Arc::new(queries.iter().map(|(_, f)| f()).collect());
+    let baseline: Arc<Vec<String>> = {
+        let mut solo = Client::connect(addr).expect("solo client connects");
+        let replies = workload
+            .iter()
+            .map(|sql| solo.query(sql).expect("solo query"))
+            .collect();
+        let _ = solo.close();
+        Arc::new(replies)
+    };
+    let rounds = 5;
+    let _ = writeln!(json, "  \"concurrent\": [");
+    let sweep = [1usize, 2, 4, 8];
+    for (ci, clients) in sweep.into_iter().enumerate() {
+        let r = drive_clients(addr, &workload, &baseline, clients, rounds);
+        eprintln!(
+            "concurrent {clients:>2} clients: {:.1} qps, p50 {:.2} ms, p99 {:.2} ms \
+             ({} queries, byte-identical)",
+            r.qps, r.p50_ms, r.p99_ms, r.total_queries
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"clients\": {}, \"qps\": {:.2}, \"p50_ms\": {:.4}, \
+             \"p99_ms\": {:.4}, \"total_queries\": {}, \"byte_identical\": true}}{}",
+            r.clients,
+            r.qps,
+            r.p50_ms,
+            r.p99_ms,
+            r.total_queries,
+            if ci + 1 == sweep.len() { "" } else { "," },
+        );
+    }
+    handle.shutdown();
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 

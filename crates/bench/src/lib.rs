@@ -69,6 +69,19 @@ pub fn median_ms_governed(db: &Database, plan: &Plan, n: usize, gov: &QueryConte
     samples[samples.len() / 2]
 }
 
+/// The `p`-th percentile (0..=100) of a sample set by nearest-rank on
+/// the sorted samples; used by the concurrent-client driver for
+/// p50/p99 latency. Returns 0 for an empty slice.
+pub fn percentile_ms(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Geometric mean (the QphH-analogue used by the Figure 8 table).
 pub fn geomean(xs: &[f64]) -> f64 {
     let logs: f64 = xs.iter().map(|x| x.max(1e-9).ln()).sum();
@@ -94,6 +107,15 @@ mod tests {
         let g = geomean(&[1.0, 100.0]);
         assert!(g > 1.0 && g < 100.0);
         assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert!((percentile_ms(&xs, 50.0) - 3.0).abs() < 1e-9);
+        assert!((percentile_ms(&xs, 99.0) - 5.0).abs() < 1e-9);
+        assert!((percentile_ms(&xs, 0.0) - 1.0).abs() < 1e-9);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
     }
 
     #[test]

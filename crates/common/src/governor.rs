@@ -15,7 +15,7 @@
 
 use crate::error::{Error, Result};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Shared per-query byte budget. All reservations of one query charge
@@ -160,7 +160,10 @@ impl Drop for MemoryReservation {
 
 #[derive(Debug)]
 struct CancelState {
-    flag: AtomicBool,
+    /// Shared between a token and its children ([`CancellationToken::
+    /// child_with_deadline`]), so cancelling a session-scoped parent
+    /// trips every per-query child too.
+    flag: Arc<AtomicBool>,
     deadline: Option<Instant>,
     started: Instant,
 }
@@ -181,7 +184,30 @@ impl CancellationToken {
         let started = Instant::now();
         CancellationToken {
             inner: Some(Arc::new(CancelState {
-                flag: AtomicBool::new(false),
+                flag: Arc::new(AtomicBool::new(false)),
+                deadline: deadline.map(|d| started + d),
+                started,
+            })),
+        }
+    }
+
+    /// Derives a child token sharing this token's cancellation flag but
+    /// carrying its own deadline and elapsed-time origin. Cancelling
+    /// either the parent or the child trips both; the child's deadline
+    /// trips only the child. A session uses this to give each query a
+    /// private timeout while a single session-level `cancel` (connection
+    /// dropped, session closed) still aborts whatever is in flight.
+    /// Deriving from an inert token yields a plain deadline token.
+    #[must_use]
+    pub fn child_with_deadline(&self, deadline: Option<Duration>) -> CancellationToken {
+        let started = Instant::now();
+        let flag = match &self.inner {
+            Some(s) => Arc::clone(&s.flag),
+            None => Arc::new(AtomicBool::new(false)),
+        };
+        CancellationToken {
+            inner: Some(Arc::new(CancelState {
+                flag,
                 deadline: deadline.map(|d| started + d),
                 started,
             })),
@@ -308,6 +334,201 @@ impl QueryContext {
     }
 }
 
+// ---------------------------------------------------------------------
+// Global admission control.
+// ---------------------------------------------------------------------
+
+/// Counters describing an [`AdmissionController`]'s history, for
+/// observability and the admission conformance tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Queries that had to wait for capacity before admission.
+    pub queued: u64,
+    /// Queries refused because the wait queue was full (or the request
+    /// could never fit the global limit).
+    pub shed: u64,
+}
+
+#[derive(Debug, Default)]
+struct AdmitState {
+    /// Bytes currently granted to admitted queries.
+    used: u64,
+    /// Queries blocked waiting for capacity.
+    waiting: usize,
+}
+
+/// Engine-global memory pool with admission control, shared across
+/// sessions.
+///
+/// Where the per-query [`MemoryPool`] bounds one query's live buffered
+/// bytes, the controller bounds the *sum of per-query budgets across
+/// every query in flight*: a query declares its budget up front and is
+/// admitted only when the aggregate fits the global limit. The grant is
+/// the query's child reservation of the global pool — the per-query
+/// `MemoryPool` then operates entirely within it, so execution never
+/// touches the global lock.
+///
+/// When aggregate demand exceeds the limit, new queries *queue* (bounded
+/// FIFO-by-wakeup, `max_queue` deep) rather than fail; only when the
+/// queue itself is full — or the request alone exceeds the global limit —
+/// is the query shed with [`Error::ResourceExhausted`] blaming
+/// `"admission"`. Dropping the returned [`AdmissionGuard`] releases the
+/// grant and wakes waiters.
+#[derive(Debug)]
+pub struct AdmissionController {
+    limit: u64,
+    max_queue: usize,
+    state: Mutex<AdmitState>,
+    cv: Condvar,
+    peak: AtomicU64,
+    admitted: AtomicU64,
+    queued: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// Admission state mutations cannot panic mid-update; a poisoned lock
+/// must not wedge every session, so poisoning is ignored.
+fn admit_lock(m: &Mutex<AdmitState>) -> MutexGuard<'_, AdmitState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl AdmissionController {
+    /// A controller enforcing `limit` total granted bytes, queueing at
+    /// most `max_queue` queries before shedding.
+    pub fn new(limit: u64, max_queue: usize) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            limit,
+            max_queue,
+            state: Mutex::new(AdmitState::default()),
+            cv: Condvar::new(),
+            peak: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        })
+    }
+
+    /// Admits a query needing `bytes` of budget, blocking in the bounded
+    /// queue while aggregate demand exceeds the global limit. Returns the
+    /// grant as a guard whose drop releases it. Sheds — fails with
+    /// [`Error::ResourceExhausted`] blaming `"admission"` — when the
+    /// queue is full or `bytes` alone exceeds the limit. `cancel` is
+    /// polled while queued, so a session torn down mid-wait leaves the
+    /// queue promptly with [`Error::Cancelled`].
+    pub fn admit(
+        self: &Arc<Self>,
+        bytes: u64,
+        cancel: &CancellationToken,
+    ) -> Result<AdmissionGuard> {
+        let shed = |requested: u64| {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            Err(Error::ResourceExhausted {
+                operator: "admission".to_string(),
+                requested,
+                limit: self.limit,
+            })
+        };
+        if bytes > self.limit {
+            return shed(bytes);
+        }
+        let mut st = admit_lock(&self.state);
+        if st.used + bytes > self.limit {
+            if st.waiting >= self.max_queue {
+                return shed(bytes);
+            }
+            st.waiting += 1;
+            self.queued.fetch_add(1, Ordering::Relaxed);
+            loop {
+                // Timed wait so session cancellation is observed even if
+                // no release ever happens.
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(20))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = guard;
+                if cancel.is_cancelled() {
+                    st.waiting -= 1;
+                    drop(st);
+                    cancel.check("admission")?;
+                    return Err(Error::Cancelled {
+                        operator: "admission".to_string(),
+                        elapsed_ms: 0,
+                    });
+                }
+                if st.used + bytes <= self.limit {
+                    st.waiting -= 1;
+                    break;
+                }
+            }
+        }
+        st.used += bytes;
+        self.peak.fetch_max(st.used, Ordering::Relaxed);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        Ok(AdmissionGuard {
+            ctrl: Arc::clone(self),
+            bytes,
+        })
+    }
+
+    /// Bytes currently granted to admitted queries.
+    pub fn used(&self) -> u64 {
+        admit_lock(&self.state).used
+    }
+
+    /// High-water mark of granted bytes (never exceeds the limit).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// The global budget.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Queries currently waiting in the admission queue.
+    pub fn waiting(&self) -> usize {
+        admit_lock(&self.state).waiting
+    }
+
+    /// Lifetime admitted/queued/shed counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A query's grant from the global [`AdmissionController`]: holds
+/// `bytes` of the global budget until dropped, then releases them and
+/// wakes queued queries.
+#[derive(Debug)]
+pub struct AdmissionGuard {
+    ctrl: Arc<AdmissionController>,
+    bytes: u64,
+}
+
+impl AdmissionGuard {
+    /// The granted byte budget — what the query's own [`MemoryPool`]
+    /// should be limited to.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        let mut st = admit_lock(&self.ctrl.state);
+        st.used = st.used.saturating_sub(self.bytes);
+        drop(st);
+        self.ctrl.cv.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,5 +596,99 @@ mod tests {
     fn zero_deadline_trips_immediately() {
         let ctx = QueryContext::new().with_timeout(Duration::ZERO);
         assert!(ctx.check_cancelled("Scan").is_err());
+    }
+
+    #[test]
+    fn child_token_trips_on_parent_cancel_but_not_vice_versa() {
+        let parent = CancellationToken::new(None);
+        let child = parent.child_with_deadline(None);
+        assert!(child.check("Scan").is_ok());
+        parent.cancel();
+        assert!(child.check("Scan").is_err());
+        assert!(parent.check("Session").is_err());
+
+        let parent2 = CancellationToken::new(None);
+        let child2 = parent2.child_with_deadline(Some(Duration::ZERO));
+        assert!(child2.check("Scan").is_err(), "child deadline trips child");
+        assert!(parent2.check("Session").is_ok(), "parent unaffected");
+    }
+
+    #[test]
+    fn admission_grants_within_limit_and_sheds_when_queue_full() {
+        let ctrl = AdmissionController::new(100, 0);
+        let inert = CancellationToken::default();
+        let a = ctrl.admit(60, &inert).expect("fits");
+        let b = ctrl.admit(40, &inert).expect("fits exactly");
+        assert_eq!(ctrl.used(), 100);
+        // Queue depth 0: a third query sheds instead of waiting.
+        let err = ctrl.admit(10, &inert).expect_err("queue full");
+        assert_eq!(
+            err,
+            Error::ResourceExhausted {
+                operator: "admission".into(),
+                requested: 10,
+                limit: 100
+            }
+        );
+        drop(a);
+        let c = ctrl.admit(10, &inert).expect("fits after release");
+        assert_eq!(ctrl.used(), 50);
+        drop(b);
+        drop(c);
+        assert_eq!(ctrl.used(), 0);
+        assert_eq!(ctrl.peak(), 100);
+        let s = ctrl.stats();
+        assert_eq!((s.admitted, s.queued, s.shed), (3, 0, 1));
+    }
+
+    #[test]
+    fn admission_oversized_request_sheds_immediately() {
+        let ctrl = AdmissionController::new(100, 8);
+        let err = ctrl
+            .admit(101, &CancellationToken::default())
+            .expect_err("can never fit");
+        assert!(matches!(err, Error::ResourceExhausted { .. }));
+        assert_eq!(ctrl.stats().shed, 1);
+    }
+
+    #[test]
+    fn admission_queues_until_capacity_frees() {
+        let ctrl = AdmissionController::new(100, 4);
+        let inert = CancellationToken::default();
+        let first = ctrl.admit(100, &inert).expect("fits");
+        let ctrl2 = Arc::clone(&ctrl);
+        let waiter = std::thread::spawn(move || {
+            ctrl2
+                .admit(100, &CancellationToken::default())
+                .expect("queued, then admitted")
+        });
+        // Give the waiter time to enter the queue, then release.
+        while ctrl.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        drop(first);
+        let guard = waiter.join().expect("waiter thread");
+        assert_eq!(guard.bytes(), 100);
+        let s = ctrl.stats();
+        assert_eq!((s.admitted, s.queued, s.shed), (2, 1, 0));
+    }
+
+    #[test]
+    fn queued_admission_observes_cancellation() {
+        let ctrl = AdmissionController::new(100, 4);
+        let _hold = ctrl
+            .admit(100, &CancellationToken::default())
+            .expect("fits");
+        let cancel = CancellationToken::new(None);
+        let handle = cancel.clone();
+        let ctrl2 = Arc::clone(&ctrl);
+        let waiter = std::thread::spawn(move || ctrl2.admit(50, &cancel));
+        while ctrl.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        handle.cancel();
+        let err = waiter.join().expect("thread").expect_err("cancelled");
+        assert!(matches!(err, Error::Cancelled { ref operator, .. } if operator == "admission"));
+        assert_eq!(ctrl.waiting(), 0, "queue slot released");
     }
 }

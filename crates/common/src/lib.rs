@@ -21,7 +21,10 @@ pub use column::{
     cols_bytes, columns_to_rows, rows_to_columns, Bitmap, ColData, Column, ColumnData,
 };
 pub use error::{Error, Result};
-pub use governor::{CancellationToken, MemoryPool, MemoryReservation, QueryContext};
+pub use governor::{
+    AdmissionController, AdmissionGuard, AdmissionStats, CancellationToken, MemoryPool,
+    MemoryReservation, QueryContext,
+};
 pub use ids::{ColId, ColIdGen, TableId};
 pub use prng::Prng;
 pub use row::Row;

@@ -55,7 +55,14 @@ use orthopt_ir::{ColumnMeta, RelExpr};
 use orthopt_optimizer::search::{optimize_with_presentation, OptimizerConfig, SearchStats};
 use orthopt_rewrite::pipeline::{classify, normalize, NormalForm, RewriteConfig};
 use orthopt_storage::Catalog;
+use std::sync::Arc;
 use std::time::Duration;
+
+pub mod server;
+pub mod session;
+
+pub use server::{Client, Server, ServerHandle};
+pub use session::{Engine, EngineConfig, Session, SessionSettings};
 
 /// Optimization levels — the ablation ladder used to reproduce the
 /// paper's Figure 8/9 comparisons with one engine instead of four
@@ -84,6 +91,21 @@ impl OptimizerLevel {
         OptimizerLevel::GroupByReorder,
         OptimizerLevel::Full,
     ];
+
+    /// Parses a level from its wire/CLI spelling (case-insensitive):
+    /// `correlated`, `decorrelated`, `groupby` / `groupbyreorder`, or
+    /// `full`.
+    pub fn parse(s: &str) -> Option<OptimizerLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "correlated" => Some(OptimizerLevel::Correlated),
+            "decorrelated" => Some(OptimizerLevel::Decorrelated),
+            "groupby" | "groupbyreorder" | "+groupbyreorder" => {
+                Some(OptimizerLevel::GroupByReorder)
+            }
+            "full" => Some(OptimizerLevel::Full),
+            _ => None,
+        }
+    }
 
     /// Display name used in benchmark tables.
     pub fn name(self) -> &'static str {
@@ -200,7 +222,7 @@ impl QueryResult {
 
 /// Worker-pool size from the `ORTHOPT_PARALLELISM` environment
 /// variable, defaulting to 1 (serial) when unset or unparseable.
-fn env_parallelism() -> usize {
+pub(crate) fn env_parallelism() -> usize {
     std::env::var("ORTHOPT_PARALLELISM")
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
@@ -210,7 +232,7 @@ fn env_parallelism() -> usize {
 
 /// Parses a byte count with an optional `k`/`m`/`g` suffix (binary
 /// multiples, case-insensitive), e.g. `64m` = 64 MiB.
-fn parse_bytes(s: &str) -> Option<u64> {
+pub(crate) fn parse_bytes(s: &str) -> Option<u64> {
     let s = s.trim().to_ascii_lowercase();
     let (digits, mult) = match s.strip_suffix(['k', 'm', 'g']) {
         Some(d) => {
@@ -228,7 +250,7 @@ fn parse_bytes(s: &str) -> Option<u64> {
 
 /// Per-query memory budget from `ORTHOPT_MEM_LIMIT` (bytes, optional
 /// `k`/`m`/`g` suffix); `None` when unset or unparseable.
-fn env_mem_limit() -> Option<u64> {
+pub(crate) fn env_mem_limit() -> Option<u64> {
     std::env::var("ORTHOPT_MEM_LIMIT")
         .ok()
         .and_then(|s| parse_bytes(&s))
@@ -236,7 +258,7 @@ fn env_mem_limit() -> Option<u64> {
 
 /// Per-query timeout from `ORTHOPT_TIMEOUT_MS` (milliseconds); `None`
 /// when unset or unparseable.
-fn env_timeout() -> Option<Duration> {
+pub(crate) fn env_timeout() -> Option<Duration> {
     std::env::var("ORTHOPT_TIMEOUT_MS")
         .ok()
         .and_then(|s| s.trim().parse::<u64>().ok())
@@ -244,9 +266,13 @@ fn env_timeout() -> Option<Duration> {
 }
 
 /// The façade: a catalog plus the full compile/execute pipeline.
+///
+/// The catalog is held behind an [`Arc`] so in-flight queries can hand
+/// `'static` tasks to the process-wide worker scheduler and so
+/// [`Engine`]/[`Session`] can share one catalog across connections.
 #[derive(Debug)]
 pub struct Database {
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     parallelism: usize,
     mem_limit: Option<u64>,
     timeout: Option<Duration>,
@@ -255,7 +281,7 @@ pub struct Database {
 impl Default for Database {
     fn default() -> Self {
         Database {
-            catalog: Catalog::default(),
+            catalog: Arc::new(Catalog::default()),
             parallelism: env_parallelism(),
             mem_limit: env_mem_limit(),
             timeout: env_timeout(),
@@ -271,6 +297,17 @@ impl Database {
 
     /// Wraps an existing catalog (e.g. a generated TPC-H database).
     pub fn from_catalog(catalog: Catalog) -> Self {
+        Database {
+            catalog: Arc::new(catalog),
+            parallelism: env_parallelism(),
+            mem_limit: env_mem_limit(),
+            timeout: env_timeout(),
+        }
+    }
+
+    /// Wraps a catalog already shared behind an `Arc` (sessions of one
+    /// [`Engine`] construct per-query façades this way).
+    pub fn from_shared(catalog: Arc<Catalog>) -> Self {
         Database {
             catalog,
             parallelism: env_parallelism(),
@@ -352,37 +389,31 @@ impl Database {
         &self.catalog
     }
 
+    /// Shared-ownership handle on the catalog — what sessions and the
+    /// exchange runtime capture into scheduler tasks.
+    pub fn shared_catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
+    }
+
     /// Write access to the catalog (table creation, loading, indexing).
+    ///
+    /// # Panics
+    /// Panics if the catalog is currently shared — a session or an
+    /// in-flight query holds a [`shared_catalog`](Self::shared_catalog)
+    /// handle. Mutate before sharing (the usual load-then-serve flow).
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        Arc::get_mut(&mut self.catalog)
+            .expect("catalog mutated while shared with sessions or in-flight queries")
     }
 
     /// Recomputes statistics on every table; run after bulk loads.
     pub fn analyze(&mut self) {
-        self.catalog.analyze_all();
+        self.catalog_mut().analyze_all();
     }
 
     /// Compiles SQL into a physical plan at the given level.
     pub fn plan(&self, sql: &str, level: OptimizerLevel) -> Result<Plan> {
-        let bound = orthopt_sql::compile(sql, &self.catalog)?;
-        let normalized = normalize(bound.rel, level.rewrite_config())?;
-        let normal_form = classify(&normalized);
-        if normal_form.subquery_markers > 0 {
-            return Err(Error::Plan(
-                "subquery markers survived normalization".into(),
-            ));
-        }
-        let mut config = level.optimizer_config();
-        config.parallelism = self.parallelism;
-        let (physical, search) =
-            optimize_with_presentation(normalized.clone(), bound.order_by, bound.limit, &config)?;
-        Ok(Plan {
-            physical,
-            logical: normalized,
-            output: bound.output,
-            normal_form,
-            search,
-        })
+        compile_plan(&self.catalog, sql, level, self.parallelism)
     }
 
     /// Executes a compiled plan under the database's configured
@@ -400,6 +431,7 @@ impl Database {
         let mut pipeline = Pipeline::compile(&plan.physical)?;
         pipeline.set_parallelism(self.parallelism);
         pipeline.set_governor(gov);
+        pipeline.set_shared_catalog(self.shared_catalog());
         let chunk = run_caught(&mut pipeline, &self.catalog)?;
         present(chunk, &plan.output)
     }
@@ -501,6 +533,7 @@ impl Database {
         let mut pipeline = Pipeline::compile(&plan.physical)?;
         pipeline.set_parallelism(self.parallelism);
         pipeline.set_governor(self.query_context());
+        pipeline.set_shared_catalog(self.shared_catalog());
         let started = std::time::Instant::now();
         let chunk = run_caught(&mut pipeline, &self.catalog)?;
         let elapsed = started.elapsed();
@@ -545,13 +578,44 @@ impl Database {
     }
 }
 
+/// Compiles SQL against a catalog into a physical plan: parse/bind →
+/// normalize (correlation removal per the level) → classify residuals →
+/// cost-based search with the given parallelism. Shared by
+/// [`Database::plan`] and the session layer's plan cache.
+pub(crate) fn compile_plan(
+    catalog: &Catalog,
+    sql: &str,
+    level: OptimizerLevel,
+    parallelism: usize,
+) -> Result<Plan> {
+    let bound = orthopt_sql::compile(sql, catalog)?;
+    let normalized = normalize(bound.rel, level.rewrite_config())?;
+    let normal_form = classify(&normalized);
+    if normal_form.subquery_markers > 0 {
+        return Err(Error::Plan(
+            "subquery markers survived normalization".into(),
+        ));
+    }
+    let mut config = level.optimizer_config();
+    config.parallelism = parallelism;
+    let (physical, search) =
+        optimize_with_presentation(normalized.clone(), bound.order_by, bound.limit, &config)?;
+    Ok(Plan {
+        physical,
+        logical: normalized,
+        output: bound.output,
+        normal_form,
+        search,
+    })
+}
+
 /// Runs a compiled pipeline with panic isolation: a panic unwinding out
 /// of an operator (serial path — parallel workers catch their own) is
 /// converted to [`Error::Exec`] blaming the operator the executor was
 /// inside, so a buggy or fault-injected operator cannot tear down the
 /// caller. The pipeline's own error path already closes operators and
 /// records stats before returning.
-fn run_caught(pipeline: &mut Pipeline, catalog: &Catalog) -> Result<Chunk> {
+pub(crate) fn run_caught(pipeline: &mut Pipeline, catalog: &Catalog) -> Result<Chunk> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         pipeline.execute(catalog, &Bindings::new())
     }))
@@ -568,7 +632,7 @@ fn run_caught(pipeline: &mut Pipeline, catalog: &Catalog) -> Result<Chunk> {
     })
 }
 
-fn present(chunk: Chunk, output: &[ColumnMeta]) -> Result<QueryResult> {
+pub(crate) fn present(chunk: Chunk, output: &[ColumnMeta]) -> Result<QueryResult> {
     let ids: Vec<_> = output.iter().map(|c| c.id).collect();
     let projected = chunk.project(&ids)?;
     Ok(QueryResult {

@@ -1,0 +1,619 @@
+//! Multi-session engine: one shared catalog served to many concurrent
+//! sessions under global admission control, with a per-engine plan
+//! cache.
+//!
+//! The split of responsibilities:
+//!
+//! * [`Engine`] — process-wide: owns the shared catalog (`Arc`, so
+//!   queries can hand `'static` tasks to the shared worker
+//!   [`Scheduler`](orthopt_exec::Scheduler)), the global
+//!   [`AdmissionController`] (queries declare a memory budget up front;
+//!   aggregate demand beyond the global limit queues, a full queue
+//!   sheds), and the plan cache.
+//! * [`Session`] — per connection: owns its settings (parallelism,
+//!   columnar toggle, memory/timeout defaults, optimizer level) and a
+//!   session-level [`CancellationToken`]. Closing or dropping a session
+//!   cancels whatever query it has in flight; each query runs under a
+//!   *child* token so per-query timeouts stay private to the query.
+//!
+//! Plan cache: keyed by whitespace-normalized SQL text plus the
+//! settings that shape the plan (optimizer level, parallelism, columnar
+//! toggle). Entries are invalidated by the engine's table-stats version
+//! ([`Engine::bump_stats_version`]), and every cache hit is re-verified
+//! by plancheck before reuse — a stale or corrupted plan is recompiled,
+//! never executed.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use orthopt_common::{
+    AdmissionController, AdmissionGuard, AdmissionStats, CancellationToken, QueryContext, Result,
+};
+use orthopt_exec::{Pipeline, PipelineOptions, DEFAULT_BATCH_SIZE};
+use orthopt_storage::Catalog;
+
+use crate::{compile_plan, present, run_caught, Error, OptimizerLevel, Plan, QueryResult};
+
+/// Default per-query admission budget when neither the session nor the
+/// engine configures a per-query memory limit: 16 MiB.
+const DEFAULT_QUERY_MEM: u64 = 16 << 20;
+
+/// Engine-wide configuration. All fields are public so embedders and
+/// tests can construct configs directly; [`EngineConfig::default`]
+/// reads the `ORTHOPT_*` environment.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Global memory limit shared by *all* concurrent queries. When
+    /// set, every query passes admission control: its declared budget
+    /// is reserved against this limit, demand beyond it queues, and a
+    /// full queue sheds with `ResourceExhausted`. `None` disables
+    /// admission entirely. Seeded from `ORTHOPT_GLOBAL_MEM_LIMIT`
+    /// (bytes, optional `k`/`m`/`g` suffix).
+    pub global_mem_limit: Option<u64>,
+    /// Maximum queries waiting in the admission queue before new
+    /// arrivals are shed (default 32).
+    pub admission_queue: usize,
+    /// Budget a query declares at admission when no per-query memory
+    /// limit is configured (default 16 MiB). Only used when
+    /// `global_mem_limit` is set.
+    pub default_query_mem: u64,
+    /// Plan-cache capacity in entries (default 64; 0 disables caching).
+    pub plan_cache_cap: usize,
+    /// Default per-session worker-pool size (`ORTHOPT_PARALLELISM`).
+    pub parallelism: usize,
+    /// Default per-query memory budget (`ORTHOPT_MEM_LIMIT`).
+    pub mem_limit: Option<u64>,
+    /// Default per-query timeout (`ORTHOPT_TIMEOUT_MS`).
+    pub timeout: Option<Duration>,
+    /// Default columnar toggle; `None` defers to the process-global
+    /// flag.
+    pub columnar: Option<bool>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            global_mem_limit: std::env::var("ORTHOPT_GLOBAL_MEM_LIMIT")
+                .ok()
+                .and_then(|s| crate::parse_bytes(&s)),
+            admission_queue: 32,
+            default_query_mem: DEFAULT_QUERY_MEM,
+            plan_cache_cap: 64,
+            parallelism: crate::env_parallelism(),
+            mem_limit: crate::env_mem_limit(),
+            timeout: crate::env_timeout(),
+            columnar: None,
+        }
+    }
+}
+
+/// Per-session settings, seeded from the engine config at
+/// [`Engine::session`] and adjustable per session (the wire protocol's
+/// `SET` command lands here).
+#[derive(Debug, Clone)]
+pub struct SessionSettings {
+    /// Worker-pool size exchanges fan out to (also steers the optimizer
+    /// toward or away from `Exchange` placement).
+    pub parallelism: usize,
+    /// Columnar toggle; `None` defers to the engine default, then the
+    /// process-global flag.
+    pub columnar: Option<bool>,
+    /// Per-query memory budget.
+    pub mem_limit: Option<u64>,
+    /// Per-query timeout.
+    pub timeout: Option<Duration>,
+    /// Optimizer level queries compile at.
+    pub level: OptimizerLevel,
+}
+
+// -----------------------------------------------------------------
+// Plan cache.
+// -----------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Whitespace-normalized SQL text.
+    sql: String,
+    level: OptimizerLevel,
+    parallelism: usize,
+    columnar: bool,
+}
+
+struct CacheEntry {
+    plan: Arc<Plan>,
+    /// Engine stats version at compile time; a bump invalidates.
+    stats_version: u64,
+}
+
+/// A small LRU keyed by normalized SQL + plan-shaping settings.
+struct PlanCache {
+    cap: usize,
+    map: HashMap<CacheKey, CacheEntry>,
+    /// Keys in least-recently-used-first order.
+    order: VecDeque<CacheKey>,
+}
+
+impl PlanCache {
+    fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            cap,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn touch(&mut self, key: &CacheKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos).expect("position is in range");
+            self.order.push_back(k);
+        }
+    }
+
+    fn remove(&mut self, key: &CacheKey) {
+        self.map.remove(key);
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, entry: CacheEntry) {
+        if self.cap == 0 {
+            return;
+        }
+        self.remove(&key);
+        self.map.insert(key.clone(), entry);
+        self.order.push_back(key);
+        while self.map.len() > self.cap {
+            let Some(evict) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&evict);
+        }
+    }
+}
+
+/// Collapses whitespace runs so formatting differences share one cache
+/// entry. Case is preserved — lowering could corrupt string literals.
+fn normalize_sql(sql: &str) -> String {
+    sql.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Statically re-verifies a plan (plancheck closed + physical modes);
+/// used on every cache hit so a stale entry can never execute.
+fn verify_plan(plan: &Plan) -> bool {
+    let mut violations = orthopt_plancheck::check_closed(&plan.logical);
+    violations.extend(orthopt_plancheck::check_physical(&plan.physical));
+    violations.is_empty()
+}
+
+/// Cache-effectiveness counters, via [`Engine::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plans served from cache (after plancheck re-verification).
+    pub hits: u64,
+    /// Plans compiled fresh (cold, invalidated, or verification
+    /// failures).
+    pub misses: u64,
+}
+
+// -----------------------------------------------------------------
+// Engine.
+// -----------------------------------------------------------------
+
+/// Process-wide shared state behind every [`Session`]: catalog,
+/// admission control, plan cache. Construct once, share via `Arc`.
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    config: EngineConfig,
+    admission: Option<Arc<AdmissionController>>,
+    cache: Mutex<PlanCache>,
+    stats_version: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("stats_version", &self.stats_version)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds an engine over a loaded catalog. The catalog is frozen:
+    /// load and `analyze_all` *before* constructing the engine.
+    pub fn new(catalog: Catalog, config: EngineConfig) -> Arc<Engine> {
+        Engine::from_shared(Arc::new(catalog), config)
+    }
+
+    /// Builds an engine over an already-shared catalog.
+    pub fn from_shared(catalog: Arc<Catalog>, config: EngineConfig) -> Arc<Engine> {
+        let admission = config
+            .global_mem_limit
+            .map(|limit| AdmissionController::new(limit, config.admission_queue));
+        let cache = Mutex::new(PlanCache::new(config.plan_cache_cap));
+        Arc::new(Engine {
+            catalog,
+            config,
+            admission,
+            cache,
+            stats_version: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        })
+    }
+
+    /// An engine with environment-default configuration.
+    pub fn with_defaults(catalog: Catalog) -> Arc<Engine> {
+        Engine::new(catalog, EngineConfig::default())
+    }
+
+    /// Opens a session with settings seeded from the engine config.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            engine: Arc::clone(self),
+            settings: SessionSettings {
+                parallelism: self.config.parallelism,
+                columnar: self.config.columnar,
+                mem_limit: self.config.mem_limit,
+                timeout: self.config.timeout,
+                level: OptimizerLevel::Full,
+            },
+            cancel: CancellationToken::new(None),
+        }
+    }
+
+    /// Read access to the shared catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Shared-ownership handle on the catalog.
+    pub fn shared_catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Admission counters, when global admission control is enabled.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(|a| a.stats())
+    }
+
+    /// The admission controller, when enabled (tests pin its queue).
+    pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
+        self.admission.as_ref()
+    }
+
+    /// Current table-stats version; cached plans compiled under an
+    /// older version are invalidated on lookup.
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version.load(Ordering::Relaxed)
+    }
+
+    /// Bumps the table-stats version, invalidating every cached plan
+    /// (call after statistics refresh or data-distribution changes).
+    pub fn bump_stats_version(&self) {
+        self.stats_version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plan-cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up (or compiles and caches) a plan for `sql` under the
+    /// given settings. Cache hits are accepted only if compiled at the
+    /// current stats version *and* still plancheck-clean.
+    fn cached_plan(&self, sql: &str, settings: &SessionSettings) -> Result<Arc<Plan>> {
+        let key = CacheKey {
+            sql: normalize_sql(sql),
+            level: settings.level,
+            parallelism: settings.parallelism,
+            columnar: settings
+                .columnar
+                .or(self.config.columnar)
+                .unwrap_or_else(orthopt_exec::columnar_enabled),
+        };
+        let version = self.stats_version();
+        {
+            let mut cache = lock_cache(&self.cache);
+            if let Some(entry) = cache.map.get(&key) {
+                if entry.stats_version == version && verify_plan(&entry.plan) {
+                    let plan = Arc::clone(&entry.plan);
+                    cache.touch(&key);
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(plan);
+                }
+                // Stale version or failed re-verification: recompile.
+                cache.remove(&key);
+            }
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(compile_plan(
+            &self.catalog,
+            sql,
+            settings.level,
+            settings.parallelism,
+        )?);
+        lock_cache(&self.cache).insert(
+            key,
+            CacheEntry {
+                plan: Arc::clone(&plan),
+                stats_version: version,
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Passes a query through admission control, blocking in the
+    /// bounded wait queue while the global budget is oversubscribed.
+    /// Returns `None` when admission is disabled.
+    fn admit(&self, budget: u64, cancel: &CancellationToken) -> Result<Option<AdmissionGuard>> {
+        match &self.admission {
+            None => Ok(None),
+            Some(ctrl) => ctrl.admit(budget, cancel).map(Some),
+        }
+    }
+}
+
+fn lock_cache(m: &Mutex<PlanCache>) -> std::sync::MutexGuard<'_, PlanCache> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// -----------------------------------------------------------------
+// Session.
+// -----------------------------------------------------------------
+
+/// One client's view of a shared [`Engine`]: settings plus a
+/// session-level cancellation handle. Dropping (or [`close`]
+/// (Session::close)-ing) the session cancels any query it has in
+/// flight — the networked server relies on this when a connection
+/// disappears mid-query.
+#[derive(Debug)]
+pub struct Session {
+    engine: Arc<Engine>,
+    settings: SessionSettings,
+    cancel: CancellationToken,
+}
+
+impl Session {
+    /// The owning engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Current settings.
+    pub fn settings(&self) -> &SessionSettings {
+        &self.settings
+    }
+
+    /// Mutable settings access (embedders; the wire protocol goes
+    /// through [`set`](Self::set)).
+    pub fn settings_mut(&mut self) -> &mut SessionSettings {
+        &mut self.settings
+    }
+
+    /// A clone of the session-level cancellation handle; firing it
+    /// aborts the session's in-flight query from any thread.
+    pub fn cancel_handle(&self) -> CancellationToken {
+        self.cancel.clone()
+    }
+
+    /// Cancels any in-flight query and marks the session closed.
+    /// Subsequent `execute` calls fail with `Cancelled`.
+    pub fn close(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Applies a `SET <name> <value>` assignment. Names:
+    /// `parallelism`, `columnar` (`on`/`off`/`default`), `mem_limit`
+    /// (bytes, `k`/`m`/`g` suffix, `none`), `timeout_ms` (`none` to
+    /// clear), `level` (`correlated`/`decorrelated`/`groupby`/`full`).
+    pub fn set(&mut self, name: &str, value: &str) -> Result<()> {
+        let v = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "parallelism" => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| Error::Plan(format!("invalid parallelism: {v}")))?;
+                self.settings.parallelism = n.clamp(1, orthopt_exec::parallel::MAX_WORKERS);
+            }
+            "columnar" => {
+                self.settings.columnar = match v.to_ascii_lowercase().as_str() {
+                    "on" | "true" | "1" => Some(true),
+                    "off" | "false" | "0" => Some(false),
+                    "default" => None,
+                    other => return Err(Error::Plan(format!("invalid columnar: {other}"))),
+                };
+            }
+            "mem_limit" => {
+                self.settings.mem_limit = if v.eq_ignore_ascii_case("none") {
+                    None
+                } else {
+                    Some(
+                        crate::parse_bytes(v)
+                            .ok_or_else(|| Error::Plan(format!("invalid mem_limit: {v}")))?,
+                    )
+                };
+            }
+            "timeout_ms" => {
+                self.settings.timeout = if v.eq_ignore_ascii_case("none") {
+                    None
+                } else {
+                    Some(Duration::from_millis(v.parse().map_err(|_| {
+                        Error::Plan(format!("invalid timeout_ms: {v}"))
+                    })?))
+                };
+            }
+            "level" => {
+                self.settings.level = OptimizerLevel::parse(v)
+                    .ok_or_else(|| Error::Plan(format!("invalid level: {v}")))?;
+            }
+            other => return Err(Error::Plan(format!("unknown setting: {other}"))),
+        }
+        Ok(())
+    }
+
+    /// Compiles (or fetches from the plan cache) and executes `sql` at
+    /// the session's optimizer level, under admission control and the
+    /// session's governance settings.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        // Each query gets a child token: it shares the session's cancel
+        // flag (close/drop aborts it) but carries a private deadline.
+        let token = self.cancel.child_with_deadline(self.settings.timeout);
+        token.check("session")?;
+        let plan = self.engine.cached_plan(sql, &self.settings)?;
+        // Upfront-grant admission: reserve the declared budget against
+        // the global limit for the whole execution. The guard releases
+        // (and wakes queued queries) on every exit path.
+        let budget = self
+            .settings
+            .mem_limit
+            .unwrap_or(self.engine.config.default_query_mem);
+        let _admitted = self.engine.admit(budget, &token)?;
+        let mut gov = QueryContext::new().with_cancel_token(token);
+        if let Some(limit) = self.settings.mem_limit {
+            gov = gov.with_memory_limit(limit);
+        }
+        let mut pipeline = Pipeline::with_options(
+            &plan.physical,
+            PipelineOptions {
+                batch_size: DEFAULT_BATCH_SIZE,
+                columnar: self.settings.columnar.or(self.engine.config.columnar),
+            },
+        )?;
+        pipeline.set_parallelism(self.settings.parallelism);
+        pipeline.set_governor(gov);
+        pipeline.set_shared_catalog(self.engine.shared_catalog());
+        let chunk = run_caught(&mut pipeline, &self.engine.catalog)?;
+        present(chunk, &plan.output)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // A dropped session (connection gone) must not leave its query
+        // running against the shared engine.
+        self.cancel.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthopt_common::{DataType, Value};
+    use orthopt_storage::{ColumnDef, TableDef};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let t = c
+            .create_table(TableDef::new(
+                "t",
+                vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+                vec![vec![0]],
+            ))
+            .unwrap();
+        c.table_mut(t)
+            .insert_all((0..100).map(|i| vec![Value::Int(i), Value::Int(i % 7)]))
+            .unwrap();
+        c.analyze_all();
+        c
+    }
+
+    #[test]
+    fn session_executes_and_caches_plans() {
+        let engine = Engine::with_defaults(catalog());
+        let s = engine.session();
+        let a = s.execute("select count(*) from t where v = 3").unwrap();
+        let b = s.execute("select  count(*)  from t  where v = 3").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.rows, vec![vec![Value::Int(14)]]);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "normalized SQL shares one entry");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn stats_version_bump_invalidates_cache() {
+        let engine = Engine::with_defaults(catalog());
+        let s = engine.session();
+        s.execute("select k from t where v = 1").unwrap();
+        engine.bump_stats_version();
+        s.execute("select k from t where v = 1").unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 2, "bump forces recompilation");
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn settings_fingerprint_splits_cache_entries() {
+        let engine = Engine::with_defaults(catalog());
+        let mut s = engine.session();
+        s.execute("select k from t").unwrap();
+        s.set("parallelism", "4").unwrap();
+        s.execute("select k from t").unwrap();
+        assert_eq!(engine.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn closed_session_refuses_queries() {
+        let engine = Engine::with_defaults(catalog());
+        let s = engine.session();
+        s.close();
+        assert!(matches!(
+            s.execute("select k from t"),
+            Err(Error::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn set_rejects_nonsense() {
+        let engine = Engine::with_defaults(catalog());
+        let mut s = engine.session();
+        assert!(s.set("parallelism", "banana").is_err());
+        assert!(s.set("no_such_knob", "1").is_err());
+        s.set("level", "correlated").unwrap();
+        assert_eq!(s.settings().level, OptimizerLevel::Correlated);
+        s.set("columnar", "off").unwrap();
+        assert_eq!(s.settings().columnar, Some(false));
+        s.set("mem_limit", "4m").unwrap();
+        assert_eq!(s.settings().mem_limit, Some(4 << 20));
+        s.set("mem_limit", "none").unwrap();
+        assert_eq!(s.settings().mem_limit, None);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let engine = Engine::new(
+            catalog(),
+            EngineConfig {
+                plan_cache_cap: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let s = engine.session();
+        s.execute("select k from t where v = 0").unwrap();
+        s.execute("select k from t where v = 1").unwrap();
+        // Touch the first so the second is the LRU victim.
+        s.execute("select k from t where v = 0").unwrap();
+        s.execute("select k from t where v = 2").unwrap();
+        s.execute("select k from t where v = 0").unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+    }
+}

@@ -26,6 +26,7 @@ pub mod parallel;
 pub mod physical;
 pub mod pipeline;
 pub mod reference;
+pub mod scheduler;
 pub mod stats;
 pub mod vector;
 
@@ -34,8 +35,11 @@ pub use chunk::Chunk;
 pub use explain_phys::{explain_phys, explain_phys_analyze, phys_node_labels};
 pub use parallel::{exchange_eligible, place_exchanges, wrap_exchange};
 pub use physical::{PhysExpr, PhysPlan};
-pub use pipeline::{current_op, Batch, ExecCtx, Operator, Pipeline, Repr, DEFAULT_BATCH_SIZE};
+pub use pipeline::{
+    current_op, Batch, ExecCtx, Operator, Pipeline, PipelineOptions, Repr, DEFAULT_BATCH_SIZE,
+};
 pub use reference::Reference;
+pub use scheduler::Scheduler;
 pub use stats::OpStats;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -23,31 +23,43 @@
 //!   and the merge is the global GroupBy.
 //!
 //! Determinism: morsels are assigned round-robin by a static schedule,
-//! worker outputs are gathered in worker order, the partition hash is
-//! a fixed-key [`DefaultHasher`], and aggregate states merge in worker
-//! order — repeated parallel runs are byte-identical. Subtrees whose
-//! shape the runtime does not recognize, non-invariant subtrees (ones
-//! referencing outer parameters or segments), and `parallelism <= 1`
-//! all fall back to serial execution of the unmodified subtree, with
-//! per-node stats copied one-to-one.
+//! task outputs are gathered in task (submission) order, the partition
+//! hash is a fixed-key [`DefaultHasher`], and aggregate states merge in
+//! task order — repeated parallel runs are byte-identical. Subtrees
+//! whose shape the runtime does not recognize, non-invariant subtrees
+//! (ones referencing outer parameters or segments), and
+//! `parallelism <= 1` all fall back to serial execution of the
+//! unmodified subtree, with per-node stats copied one-to-one.
+//!
+//! Dispatch: when the execution context carries a shared-ownership
+//! catalog handle ([`ExecCtx::shared_catalog`]), task groups go to the
+//! process-wide [`Scheduler`] — one long-lived pool multiplexing every
+//! concurrent query under fair round-robin. Without it (direct
+//! `Pipeline` embedders whose catalog is only borrowed), the legacy
+//! per-query `thread::scope` pool is used. Both paths produce the same
+//! task outputs in the same order; only thread placement differs.
 
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use orthopt_common::row::rows_bytes;
 use orthopt_common::{ColId, Error, MemoryReservation, Result, Row, Value};
-use orthopt_ir::{AggDef, GroupKind, JoinKind, ScalarExpr};
+use orthopt_ir::{AggDef, GroupKind, JoinKind};
 use orthopt_storage::Catalog;
 
 use crate::aggregate::GroupedAggState;
 use crate::bindings::Bindings;
 use crate::eval::{eval, eval_predicate, EvalCtx};
 use crate::physical::PhysExpr;
-use crate::pipeline::{drain_pending, free_inputs, Batch, ExecCtx, Operator, Pipeline};
+use crate::pipeline::{
+    drain_pending, free_inputs, Batch, ExecCtx, Operator, Pipeline, PipelineOptions,
+};
+use crate::scheduler::Scheduler;
 use crate::stats::OpStats;
 
 /// Upper bound on the worker pool, whatever the knob says.
@@ -445,17 +457,94 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs one closure per plan on its own thread and gathers the results
-/// in worker order. Each worker body runs under `catch_unwind`, so a
-/// panicking operator is reported as an [`Error::Exec`] naming the
-/// operator the worker was inside (via the worker thread's
-/// [`current_op`](crate::pipeline::current_op) note) instead of tearing
-/// down the process; the remaining workers finish and are joined
-/// normally. The first (by worker order) error wins.
-fn scatter<T, F>(plans: Vec<PhysExpr>, f: F) -> Result<Vec<T>>
+/// Converts a panic caught inside a task body into an [`Error::Exec`]
+/// naming the operator the task was inside. Must run on the thread the
+/// panic unwound on — the op note is thread-local.
+fn panic_to_error(payload: &(dyn std::any::Any + Send)) -> Error {
+    let at = crate::pipeline::current_op().map_or_else(String::new, |(id, name)| {
+        format!(" in operator {name}#{id}")
+    });
+    Error::Exec(format!("worker panicked{at}: {}", panic_message(payload)))
+}
+
+/// Runs one closure per plan and gathers `(pool_worker_id, result)`
+/// pairs in *task submission order* — the order `plans` was given in —
+/// regardless of which thread ran what when. The worker id is the
+/// executing thread's stable index, for stats attribution (on the
+/// scoped fallback each task gets its own thread, so it is the task
+/// index).
+///
+/// With a shared-ownership catalog handle the group is dispatched to
+/// the process-wide [`Scheduler`] (tasks capture the `Arc`); otherwise
+/// a per-query `thread::scope` pool is spawned against the borrowed
+/// catalog. Each task body runs under `catch_unwind`, so a panicking
+/// operator is reported as an [`Error::Exec`] naming the operator the
+/// task was inside instead of tearing down the process; the remaining
+/// tasks finish normally. The first (by task order) error wins.
+fn scatter<T, F>(
+    shared: Option<Arc<Catalog>>,
+    catalog: &Catalog,
+    plans: Vec<PhysExpr>,
+    f: F,
+) -> Result<Vec<(usize, T)>>
+where
+    T: Send + 'static,
+    F: Fn(PhysExpr, &Catalog) -> Result<T> + Send + Sync + 'static,
+{
+    match shared {
+        Some(cat) => scatter_pooled(cat, plans, f),
+        None => scatter_scoped(catalog, plans, f),
+    }
+}
+
+/// Shared-scheduler path: `'static` tasks capturing the catalog `Arc`
+/// run on the process-wide pool, interleaved fairly with other queries.
+fn scatter_pooled<T, F>(
+    catalog: Arc<Catalog>,
+    plans: Vec<PhysExpr>,
+    f: F,
+) -> Result<Vec<(usize, T)>>
+where
+    T: Send + 'static,
+    F: Fn(PhysExpr, &Catalog) -> Result<T> + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let tasks: Vec<_> = plans
+        .into_iter()
+        .map(|p| {
+            let f = Arc::clone(&f);
+            let catalog = Arc::clone(&catalog);
+            move |worker: usize| -> Result<(usize, T)> {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p, &catalog)))
+                    .unwrap_or_else(|payload| Err(panic_to_error(payload.as_ref())))
+                    .map(|v| (worker, v))
+            }
+        })
+        .collect();
+    let joined = Scheduler::global().run_group(tasks);
+    let mut out = Vec::with_capacity(joined.len());
+    for r in joined {
+        match r {
+            Ok(v) => out.push(v?),
+            // The task body is fully wrapped in catch_unwind, so this
+            // means the panic escaped during payload teardown — still
+            // convert rather than abort the process.
+            Err(panic) => {
+                return Err(Error::Exec(format!(
+                    "worker task died: {}",
+                    panic_message(panic.as_ref())
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Legacy fallback for borrowed catalogs: one scoped thread per task.
+fn scatter_scoped<T, F>(catalog: &Catalog, plans: Vec<PhysExpr>, f: F) -> Result<Vec<(usize, T)>>
 where
     T: Send,
-    F: Fn(PhysExpr) -> Result<T> + Sync,
+    F: Fn(PhysExpr, &Catalog) -> Result<T> + Sync,
 {
     let joined: Vec<std::thread::Result<Result<T>>> = std::thread::scope(|s| {
         let f = &f;
@@ -463,21 +552,8 @@ where
             .into_iter()
             .map(|p| {
                 s.spawn(move || {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p))).unwrap_or_else(
-                        |payload| {
-                            // Read the op note on the worker's own thread:
-                            // it is thread-local, so it names the operator
-                            // the panic unwound out of.
-                            let at = crate::pipeline::current_op()
-                                .map_or_else(String::new, |(id, name)| {
-                                    format!(" in operator {name}#{id}")
-                                });
-                            Err(Error::Exec(format!(
-                                "worker panicked{at}: {}",
-                                panic_message(payload.as_ref())
-                            )))
-                        },
-                    )
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p, catalog)))
+                        .unwrap_or_else(|payload| Err(panic_to_error(payload.as_ref())))
                 })
             })
             .collect();
@@ -487,9 +563,9 @@ where
             .collect()
     });
     let mut out = Vec::with_capacity(joined.len());
-    for r in joined {
+    for (idx, r) in joined.into_iter().enumerate() {
         match r {
-            Ok(v) => out.push(v?),
+            Ok(v) => out.push((idx, v?)),
             // The worker body is fully wrapped in catch_unwind, so a join
             // failure means the panic escaped during payload teardown —
             // still convert rather than abort the process.
@@ -549,6 +625,10 @@ pub struct ExchangeOp {
     base: usize,
     stats: Rc<RefCell<Vec<OpStats>>>,
     batch_size: usize,
+    /// Columnar toggle the enclosing pipeline was compiled with; worker
+    /// pipelines inherit it so a per-session setting holds across the
+    /// exchange boundary.
+    columnar: bool,
     out_cols: Rc<[ColId]>,
     invariant: bool,
     pending: Vec<Row>,
@@ -564,6 +644,7 @@ impl ExchangeOp {
         base: usize,
         stats: Rc<RefCell<Vec<OpStats>>>,
         batch_size: usize,
+        columnar: bool,
     ) -> ExchangeOp {
         let out_cols: Rc<[ColId]> = plan.out_cols().as_slice().into();
         let invariant = free_inputs(&plan).is_invariant();
@@ -572,11 +653,21 @@ impl ExchangeOp {
             base,
             stats,
             batch_size,
+            columnar,
             out_cols,
             invariant,
             pending: Vec::new(),
             done: false,
             mem: MemoryReservation::detached("Exchange"),
+        }
+    }
+
+    /// Compile options worker/build/serial pipelines inherit from the
+    /// enclosing pipeline.
+    fn pipe_options(&self) -> PipelineOptions {
+        PipelineOptions {
+            batch_size: self.batch_size,
+            columnar: Some(self.columnar),
         }
     }
 
@@ -591,7 +682,7 @@ impl ExchangeOp {
     /// Serial fallback: compile and run the unmodified subtree, copying
     /// its per-node stats one-to-one into the reserved slots.
     fn run_serial(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
-        let mut pipe = Pipeline::with_batch_size(&self.plan, self.batch_size)?;
+        let mut pipe = Pipeline::with_options(&self.plan, self.pipe_options())?;
         pipe.set_governor(ctx.gov.clone());
         let binds = ctx.binds.borrow().clone();
         let chunk = pipe.execute(ctx.catalog, &binds)?;
@@ -616,7 +707,7 @@ impl ExchangeOp {
     /// the trailing reserved slots (the build subtree is last in the
     /// subtree's pre-order).
     fn run_build(&self, ctx: &ExecCtx<'_>, build: &PhysExpr) -> Result<BuildRows> {
-        let mut pipe = Pipeline::with_batch_size(build, self.batch_size)?;
+        let mut pipe = Pipeline::with_options(build, self.pipe_options())?;
         pipe.set_governor(ctx.gov.clone());
         let chunk = pipe.execute(ctx.catalog, &Bindings::new())?;
         let sub = pipe.stats();
@@ -638,17 +729,41 @@ impl ExchangeOp {
         })
     }
 
-    /// Folds each worker's pipeline stats into the aligned slot prefix.
-    /// Worker plans share the subtree's pre-order for their first
-    /// `align` nodes because the build subtree (whose replacement is the
-    /// trailing `ConstScan`) sorts last in pre-order.
-    fn absorb_workers(&self, offset: usize, align: usize, per_worker: &[Vec<OpStats>]) {
-        let mut stats = self.stats.borrow_mut();
-        for wstats in per_worker {
-            for i in 0..align.min(wstats.len()) {
-                stats[self.base + offset + i].absorb_worker(&wstats[i]);
+    /// Folds each task's pipeline stats into the aligned slot prefix,
+    /// first grouping tasks by the pool worker that ran them — so
+    /// `workers=` reports *distinct* scheduler workers, not task count,
+    /// and `max/worker=` reflects the rows one worker actually
+    /// produced across all its tasks. Worker plans share the subtree's
+    /// pre-order for their first `align` nodes because the build
+    /// subtree (whose replacement is the trailing `ConstScan`) sorts
+    /// last in pre-order.
+    fn absorb_workers(&self, offset: usize, align: usize, tagged: &[(usize, Vec<OpStats>)]) {
+        let mut by_worker: BTreeMap<usize, Vec<OpStats>> = BTreeMap::new();
+        for (w, tstats) in tagged {
+            let merged = by_worker
+                .entry(*w)
+                .or_insert_with(|| vec![OpStats::default(); align]);
+            for i in 0..align.min(tstats.len()) {
+                merged[i].add_task(&tstats[i]);
             }
         }
+        let mut stats = self.stats.borrow_mut();
+        for merged in by_worker.values() {
+            for i in 0..align {
+                stats[self.base + offset + i].absorb_worker(&merged[i]);
+            }
+        }
+    }
+
+    /// Distinct pool workers and the max row count any one of them
+    /// produced, from `(worker, rows)` pairs.
+    fn worker_spread(per_task: impl Iterator<Item = (usize, u64)>) -> (usize, u64) {
+        let mut rows_by_worker: BTreeMap<usize, u64> = BTreeMap::new();
+        for (w, rows) in per_task {
+            *rows_by_worker.entry(w).or_insert(0) += rows;
+        }
+        let max = rows_by_worker.values().copied().max().unwrap_or(0);
+        (rows_by_worker.len(), max)
     }
 
     /// Synthesizes the stats of a node the workers replaced (the join in
@@ -703,18 +818,23 @@ impl ExchangeOp {
             .iter()
             .map(|r| substitute(&self.plan, r, build.as_ref()))
             .collect::<Result<_>>()?;
-        let catalog = ctx.catalog;
-        let bs = self.batch_size;
-        let gov = &ctx.gov;
-        let results = scatter(plans, |plan| {
-            let mut pipe = Pipeline::with_batch_size(&plan, bs)?;
-            pipe.set_governor(gov.clone());
-            let chunk = pipe.execute(catalog, &Bindings::new())?;
-            Ok((chunk.rows, pipe.stats()))
-        })?;
-        let per_worker: Vec<Vec<OpStats>> = results.iter().map(|(_, s)| s.clone()).collect();
-        self.absorb_workers(0, align, &per_worker);
-        for (rows, _) in results {
+        let opts = self.pipe_options();
+        let gov = ctx.gov.clone();
+        let results = scatter(
+            ctx.shared_catalog.clone(),
+            ctx.catalog,
+            plans,
+            move |plan, catalog: &Catalog| {
+                let mut pipe = Pipeline::with_options(&plan, opts)?;
+                pipe.set_governor(gov.clone());
+                let chunk = pipe.execute(catalog, &Bindings::new())?;
+                Ok((chunk.rows, pipe.stats()))
+            },
+        )?;
+        let tagged: Vec<(usize, Vec<OpStats>)> =
+            results.iter().map(|(w, (_, s))| (*w, s.clone())).collect();
+        self.absorb_workers(0, align, &tagged);
+        for (_, (rows, _)) in results {
             check_gathered(&rows, self.out_cols.len(), "pipelined gather")?;
             self.charge_gathered(&rows)?;
             self.pending.extend(rows);
@@ -766,7 +886,9 @@ impl ExchangeOp {
         let right_width = build.cols.len();
 
         // Partitioned build tables, filled in serial build order so the
-        // per-key row order matches the serial join's.
+        // per-key row order matches the serial join's. Shared read-only
+        // across tasks via `Arc` (the pooled path moves tasks onto
+        // long-lived threads, so borrows cannot cross).
         let mut parts: Vec<HashMap<Vec<Value>, Vec<Row>>> = vec![HashMap::new(); workers];
         for rr in build.rows {
             if let Some(key) = partition_key(&rr, &right_pos) {
@@ -774,7 +896,7 @@ impl ExchangeOp {
                 parts[p].entry(key).or_default().push(rr);
             }
         }
-        let parts = &parts;
+        let parts = Arc::new(parts);
 
         let chain_plan = (**left).clone();
         let chain_count = chain_plan.node_count();
@@ -783,72 +905,75 @@ impl ExchangeOp {
             .iter()
             .map(|r| substitute(&chain_plan, r, None))
             .collect::<Result<_>>()?;
-        let catalog = ctx.catalog;
-        let bs = self.batch_size;
+        let opts = self.pipe_options();
         let kind = *kind;
-        let residual: &ScalarExpr = residual;
+        let residual = residual.clone();
         let residual_trivial = residual.is_true();
-        let combined = &combined;
-        let left_pos = &left_pos;
-        let gov = &ctx.gov;
-        let results = scatter(plans, |plan| {
-            let mut pipe = Pipeline::with_batch_size(&plan, bs)?;
-            pipe.set_governor(gov.clone());
-            let binds = Bindings::new();
-            let mut out: Vec<Row> = Vec::new();
-            pipe.execute_each(catalog, &binds, |b| {
-                for lr in b.into_rows() {
-                    let matches = partition_key(&lr, left_pos).and_then(|k| {
-                        let p = (key_hash(&k) as usize) % workers;
-                        parts[p].get(&k)
-                    });
-                    let mut matched = false;
-                    if let Some(rows) = matches {
-                        for rr in rows {
-                            let mut row = lr.clone();
-                            row.extend(rr.iter().cloned());
-                            let pass = residual_trivial
-                                || eval_predicate(
-                                    residual,
-                                    &EvalCtx::plain(combined, &row, &binds),
-                                )?;
-                            if pass {
-                                matched = true;
-                                match kind {
-                                    JoinKind::Inner | JoinKind::LeftOuter => out.push(row),
-                                    JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+        let gov = ctx.gov.clone();
+        let results = scatter(
+            ctx.shared_catalog.clone(),
+            ctx.catalog,
+            plans,
+            move |plan, catalog: &Catalog| {
+                let mut pipe = Pipeline::with_options(&plan, opts)?;
+                pipe.set_governor(gov.clone());
+                let binds = Bindings::new();
+                let mut out: Vec<Row> = Vec::new();
+                pipe.execute_each(catalog, &binds, |b| {
+                    for lr in b.into_rows() {
+                        let matches = partition_key(&lr, &left_pos).and_then(|k| {
+                            let p = (key_hash(&k) as usize) % workers;
+                            parts[p].get(&k)
+                        });
+                        let mut matched = false;
+                        if let Some(rows) = matches {
+                            for rr in rows {
+                                let mut row = lr.clone();
+                                row.extend(rr.iter().cloned());
+                                let pass = residual_trivial
+                                    || eval_predicate(
+                                        &residual,
+                                        &EvalCtx::plain(&combined, &row, &binds),
+                                    )?;
+                                if pass {
+                                    matched = true;
+                                    match kind {
+                                        JoinKind::Inner | JoinKind::LeftOuter => out.push(row),
+                                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                                    }
                                 }
                             }
                         }
-                    }
-                    match kind {
-                        JoinKind::LeftOuter if !matched => {
-                            let mut row = lr;
-                            row.extend(std::iter::repeat_n(Value::Null, right_width));
-                            out.push(row);
+                        match kind {
+                            JoinKind::LeftOuter if !matched => {
+                                let mut row = lr;
+                                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                                out.push(row);
+                            }
+                            JoinKind::LeftSemi if matched => out.push(lr),
+                            JoinKind::LeftAnti if !matched => out.push(lr),
+                            _ => {}
                         }
-                        JoinKind::LeftSemi if matched => out.push(lr),
-                        JoinKind::LeftAnti if !matched => out.push(lr),
-                        _ => {}
                     }
-                }
-                Ok(())
-            })?;
-            Ok((out, pipe.stats()))
-        })?;
-        let per_worker: Vec<Vec<OpStats>> = results.iter().map(|(_, s)| s.clone()).collect();
+                    Ok(())
+                })?;
+                Ok((out, pipe.stats()))
+            },
+        )?;
+        let tagged: Vec<(usize, Vec<OpStats>)> =
+            results.iter().map(|(w, (_, s))| (*w, s.clone())).collect();
         // Probe chain occupies the slots right after the join node.
-        self.absorb_workers(1, chain_count, &per_worker);
+        self.absorb_workers(1, chain_count, &tagged);
+        let (spread, max) =
+            ExchangeOp::worker_spread(results.iter().map(|(w, (rows, _))| (*w, rows.len() as u64)));
         let mut total = 0usize;
-        let mut max = 0u64;
-        for (rows, _) in results {
+        for (_, (rows, _)) in results {
             total += rows.len();
-            max = max.max(rows.len() as u64);
             check_gathered(&rows, self.out_cols.len(), "repartition gather")?;
             self.charge_gathered(&rows)?;
             self.pending.extend(rows);
         }
-        self.synthesize_root(total, t.elapsed(), workers, max);
+        self.synthesize_root(total, t.elapsed(), spread, max);
         Ok(())
     }
 
@@ -891,44 +1016,53 @@ impl ExchangeOp {
             .iter()
             .map(|r| substitute(input, r, build.as_ref()))
             .collect::<Result<_>>()?;
-        let catalog = ctx.catalog;
-        let bs = self.batch_size;
-        let in_cols = &in_cols;
-        let group_pos = &group_pos;
-        let gov = &ctx.gov;
-        let results = scatter(plans, |plan| {
-            let mut pipe = Pipeline::with_batch_size(&plan, bs)?;
-            pipe.set_governor(gov.clone());
-            let binds = Bindings::new();
-            let mut state = GroupedAggState::new(aggs);
-            // Each worker's thread-local state charges the shared pool;
-            // the merged total is what a serial aggregate would hold.
-            state.set_reservation(gov.reservation("PartialAgg"));
-            pipe.execute_each(catalog, &binds, |b| {
-                for r in &b.into_rows() {
-                    let key: Vec<Value> = group_pos.iter().map(|&i| r[i].clone()).collect();
-                    let args = aggs
-                        .iter()
-                        .map(|a| {
-                            a.arg
-                                .as_ref()
-                                .map(|e| eval(e, &EvalCtx::plain(in_cols, r, &binds)))
-                                .transpose()
-                        })
-                        .collect::<Result<Vec<_>>>()?;
-                    state.feed(key, args)?;
-                }
-                Ok(())
-            })?;
-            Ok((state, pipe.stats()))
-        })?;
-        let per_worker: Vec<Vec<OpStats>> = results.iter().map(|(_, s)| s.clone()).collect();
+        let opts = self.pipe_options();
+        let owned_aggs: Vec<AggDef> = aggs.to_vec();
+        let owned_groups = group_pos.clone();
+        let owned_in_cols = in_cols.clone();
+        let gov = ctx.gov.clone();
+        let results = scatter(
+            ctx.shared_catalog.clone(),
+            ctx.catalog,
+            plans,
+            move |plan, catalog: &Catalog| {
+                let mut pipe = Pipeline::with_options(&plan, opts)?;
+                pipe.set_governor(gov.clone());
+                let binds = Bindings::new();
+                let mut state = GroupedAggState::new(&owned_aggs);
+                // Each task's local state charges the shared pool; the
+                // merged total is what a serial aggregate would hold.
+                state.set_reservation(gov.reservation("PartialAgg"));
+                pipe.execute_each(catalog, &binds, |b| {
+                    for r in &b.into_rows() {
+                        let key: Vec<Value> = owned_groups.iter().map(|&i| r[i].clone()).collect();
+                        let args = owned_aggs
+                            .iter()
+                            .map(|a| {
+                                a.arg
+                                    .as_ref()
+                                    .map(|e| eval(e, &EvalCtx::plain(&owned_in_cols, r, &binds)))
+                                    .transpose()
+                            })
+                            .collect::<Result<Vec<_>>>()?;
+                        state.feed(key, args)?;
+                    }
+                    Ok(())
+                })?;
+                Ok((state, pipe.stats()))
+            },
+        )?;
+        let tagged: Vec<(usize, Vec<OpStats>)> =
+            results.iter().map(|(w, (_, s))| (*w, s.clone())).collect();
         // The input subtree sits right after the aggregate node.
-        self.absorb_workers(1, align, &per_worker);
+        self.absorb_workers(1, align, &tagged);
+        let (spread, max) = ExchangeOp::worker_spread(
+            results
+                .iter()
+                .map(|(w, (state, _))| (*w, state.group_count() as u64)),
+        );
         let mut merged: Option<GroupedAggState> = None;
-        let mut max = 0u64;
-        for (state, _) in results {
-            max = max.max(state.group_count() as u64);
+        for (_, (state, _)) in results {
             match &mut merged {
                 None => merged = Some(state),
                 Some(m) => m.merge(state)?,
@@ -939,7 +1073,7 @@ impl ExchangeOp {
         // merging re-charges vacant groups into the surviving state.
         let state_peak = merged.mem_peak();
         let rows = merged.finish(kind);
-        self.synthesize_root(rows.len(), t.elapsed(), workers, max);
+        self.synthesize_root(rows.len(), t.elapsed(), spread, max);
         {
             let mut stats = self.stats.borrow_mut();
             let slot = &mut stats[self.base];
@@ -981,6 +1115,7 @@ impl Operator for ExchangeOp {
 mod tests {
     use super::*;
     use orthopt_common::{DataType, TableId};
+    use orthopt_ir::ScalarExpr;
     use orthopt_storage::{ColumnDef, TableDef};
 
     fn catalog(rows: i64) -> Catalog {

@@ -20,6 +20,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use orthopt_common::column::{
@@ -272,6 +273,12 @@ pub struct ExecCtx<'a> {
     /// Per-query resource governance (memory budget + cancellation);
     /// ungoverned by default.
     pub gov: QueryContext,
+    /// Shared-ownership handle on the same catalog, when the caller has
+    /// one (the `Database`/session path). Exchange operators need it to
+    /// hand `'static` tasks to the process-wide
+    /// [`Scheduler`](crate::scheduler::Scheduler); without it they fall
+    /// back to per-query scoped threads.
+    pub shared_catalog: Option<Arc<Catalog>>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -282,6 +289,7 @@ impl<'a> ExecCtx<'a> {
             binds: Rc::new(RefCell::new(binds)),
             parallelism: 1,
             gov: QueryContext::default(),
+            shared_catalog: None,
         }
     }
 }
@@ -329,6 +337,28 @@ pub trait Operator {
 
 type BoxOp = Box<dyn Operator>;
 
+/// Compile-time knobs for a [`Pipeline`]. Session-scoped settings that
+/// must be baked into the compiled operators (rather than read from
+/// process-global state at execution time) live here, so two sessions
+/// with different settings can run concurrently in one process.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Rows per batch (min 1).
+    pub batch_size: usize,
+    /// Columnar-scan toggle for this pipeline; `None` defers to the
+    /// process-global [`columnar_enabled`](crate::columnar_enabled).
+    pub columnar: Option<bool>,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            batch_size: DEFAULT_BATCH_SIZE,
+            columnar: None,
+        }
+    }
+}
+
 /// A compiled streaming plan plus its stats registry.
 pub struct Pipeline {
     root: BoxOp,
@@ -338,6 +368,7 @@ pub struct Pipeline {
     batch_size: usize,
     parallelism: usize,
     gov: QueryContext,
+    shared_catalog: Option<Arc<Catalog>>,
 }
 
 impl Pipeline {
@@ -348,11 +379,24 @@ impl Pipeline {
 
     /// Compiles a physical plan with an explicit batch size (min 1).
     pub fn with_batch_size(plan: &PhysExpr, batch_size: usize) -> Result<Pipeline> {
+        Pipeline::with_options(
+            plan,
+            PipelineOptions {
+                batch_size,
+                ..PipelineOptions::default()
+            },
+        )
+    }
+
+    /// Compiles a physical plan with explicit [`PipelineOptions`].
+    pub fn with_options(plan: &PhysExpr, opts: PipelineOptions) -> Result<Pipeline> {
+        let columnar = opts.columnar.unwrap_or_else(crate::columnar_enabled);
         let mut c = Compiler {
-            batch_size: batch_size.max(1),
+            batch_size: opts.batch_size.max(1),
             stats: Rc::new(RefCell::new(Vec::new())),
             next_id: 0,
             cached: Vec::new(),
+            columnar,
         };
         let root = c.compile(plan, false)?;
         Ok(Pipeline {
@@ -360,10 +404,20 @@ impl Pipeline {
             cols: rc_cols(&plan.out_cols()),
             stats: c.stats,
             cached: c.cached,
-            batch_size: batch_size.max(1),
+            batch_size: opts.batch_size.max(1),
             parallelism: 1,
             gov: QueryContext::default(),
+            shared_catalog: None,
         })
+    }
+
+    /// Installs a shared-ownership handle on the catalog this pipeline
+    /// will execute against. When present, exchange operators dispatch
+    /// worker tasks to the process-wide [`Scheduler`](crate::Scheduler)
+    /// (capturing the `Arc`) instead of spawning per-query scoped
+    /// threads. Executions must pass the same catalog.
+    pub fn set_shared_catalog(&mut self, catalog: Arc<Catalog>) {
+        self.shared_catalog = Some(catalog);
     }
 
     /// Sets the worker-pool size exchange operators fan out to on the
@@ -418,6 +472,7 @@ impl Pipeline {
             binds: Rc::new(RefCell::new(binds.clone())),
             parallelism: self.parallelism,
             gov: self.gov.clone(),
+            shared_catalog: self.shared_catalog.clone(),
         };
         let run = (|| {
             self.root.open(&ctx)?;
@@ -645,6 +700,10 @@ struct Compiler {
     stats: Rc<RefCell<Vec<OpStats>>>,
     next_id: usize,
     cached: Vec<usize>,
+    /// Resolved columnar toggle for this compilation (per-pipeline, so
+    /// concurrent sessions with different settings don't race on the
+    /// process-global flag).
+    columnar: bool,
 }
 
 impl Compiler {
@@ -693,7 +752,7 @@ impl Compiler {
                 cols: rc_cols(cols),
                 cursor: 0,
                 batch_size: bs,
-                columnar: crate::columnar_enabled(),
+                columnar: self.columnar,
                 stats: sh.clone(),
             }),
             PhysExpr::IndexSeek {
@@ -711,7 +770,7 @@ impl Compiler {
                 hits: Vec::new(),
                 cursor: 0,
                 batch_size: bs,
-                columnar: crate::columnar_enabled(),
+                columnar: self.columnar,
                 stats: sh.clone(),
             }),
             PhysExpr::Filter { input, predicate } => {
@@ -852,7 +911,7 @@ impl Compiler {
                     pending: Vec::new(),
                     left_done: false,
                     batch_size: bs,
-                    columnar: crate::columnar_enabled(),
+                    columnar: self.columnar,
                     stats: sh.clone(),
                 })
             }
@@ -893,7 +952,7 @@ impl Compiler {
                     seg_cursor: 0,
                     pending: Vec::new(),
                     batch_size: bs,
-                    columnar: crate::columnar_enabled(),
+                    columnar: self.columnar,
                     mem: MemoryReservation::detached("SegmentExec"),
                     stats: sh.clone(),
                 })
@@ -929,7 +988,7 @@ impl Compiler {
                     result: Vec::new(),
                     done: false,
                     batch_size: bs,
-                    columnar: crate::columnar_enabled(),
+                    columnar: self.columnar,
                     mem_peak: 0,
                     stats: sh.clone(),
                 })
@@ -1045,6 +1104,7 @@ impl Compiler {
                     base,
                     self.stats.clone(),
                     bs,
+                    self.columnar,
                 ))
             }
             PhysExpr::MorselScan {
@@ -1060,7 +1120,7 @@ impl Compiler {
                 range_idx: 0,
                 cursor: 0,
                 batch_size: bs,
-                columnar: crate::columnar_enabled(),
+                columnar: self.columnar,
                 stats: sh.clone(),
             }),
         };
@@ -2183,6 +2243,7 @@ impl Operator for ApplyLoopOp {
                 binds: self.inner_binds.clone(),
                 parallelism: ctx.parallelism,
                 gov: ctx.gov.clone(),
+                shared_catalog: ctx.shared_catalog.clone(),
             };
             for lr in self.stats.bridge_rows(batch) {
                 {
@@ -2307,6 +2368,7 @@ impl Operator for SegmentExecOp {
                 binds: self.inner_binds.clone(),
                 parallelism: ctx.parallelism,
                 gov: ctx.gov.clone(),
+                shared_catalog: ctx.shared_catalog.clone(),
             };
             let run = (|| -> Result<()> {
                 self.inner.open(&ictx)?;

@@ -67,6 +67,20 @@ impl OpStats {
         s
     }
 
+    /// Folds one task's counters into a per-pool-worker accumulator.
+    /// A query may submit several tasks that land on the *same* shared
+    /// scheduler worker; those run sequentially there, so counts and
+    /// elapsed add while the memory peak takes the max.
+    pub fn add_task(&mut self, t: &OpStats) {
+        self.opens += t.opens;
+        self.batches += t.batches;
+        self.rows += t.rows;
+        self.elapsed += t.elapsed;
+        self.mem_peak = self.mem_peak.max(t.mem_peak);
+        self.kernels += t.kernels;
+        self.bridged += t.bridged;
+    }
+
     /// Folds one worker's counters into this (merged) entry: additive
     /// counts, max elapsed (workers run concurrently, so the slowest
     /// worker bounds the wall clock).
