@@ -245,6 +245,81 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
 
+    // Correlated-strategy sweep: the benched queries kept at the
+    // Correlated level (so the Apply survives), re-planned under each
+    // forced apply strategy plus cost-based `auto`, recording the
+    // median wall clock and which apply operator the plan actually
+    // uses. `auto_vs_loop_speedup_pct` is the headline number: how much
+    // the cost-based choice beats the naive loop without any knob.
+    let strategy_queries: [(&str, String); 3] = [
+        ("Q2", queries::q2(15, "standard anodized", "europe")),
+        ("Q17", queries::q17_brand_only("brand#23")),
+        ("Q4", queries::q4_default()),
+    ];
+    let strategies = [
+        orthopt::ApplyStrategy::Auto,
+        orthopt::ApplyStrategy::Loop,
+        orthopt::ApplyStrategy::Batched,
+        orthopt::ApplyStrategy::Index,
+    ];
+    let apply_ops = |text: &str| -> String {
+        ["BatchedApply", "IndexLookupJoin", "ApplyLoop"]
+            .iter()
+            .filter(|op| text.contains(*op))
+            .copied()
+            .collect::<Vec<_>>()
+            .join("+")
+    };
+    let _ = writeln!(json, "  \"apply_strategies\": [");
+    for (si, (name, sql)) in strategy_queries.iter().enumerate() {
+        let mut rows = Vec::new();
+        for strategy in strategies {
+            db.set_apply_strategy(strategy);
+            let p = plan(&db, sql, OptimizerLevel::Correlated);
+            let ops = apply_ops(&orthopt::exec::explain_phys(&p.physical));
+            let ms = median_ms(&db, &p, 5);
+            eprintln!(
+                "{name} correlated {:>7}: {ms:.2} ms ({ops})",
+                strategy.name()
+            );
+            rows.push((strategy, ms, ops));
+        }
+        db.set_apply_strategy(orthopt::ApplyStrategy::Auto);
+        let auto_ms = rows[0].1;
+        let loop_ms = rows[1].1;
+        let speedup_pct = if loop_ms > 0.0 {
+            (loop_ms - auto_ms) / loop_ms * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", esc(name));
+        let _ = writeln!(json, "      \"level\": \"correlated\",");
+        let _ = writeln!(json, "      \"strategies\": [");
+        for (ri, (strategy, ms, ops)) in rows.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"strategy\": \"{}\", \"elapsed_ms\": {ms:.4}, \
+                 \"apply_operators\": \"{}\"}}{}",
+                strategy.name(),
+                esc(ops),
+                if ri + 1 == rows.len() { "" } else { "," },
+            );
+        }
+        let _ = writeln!(json, "      ],");
+        let _ = writeln!(json, "      \"auto_vs_loop_speedup_pct\": {speedup_pct:.2}");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if si + 1 == strategy_queries.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
     // Concurrent-client sweep over the networked session layer: one
     // shared engine behind a TCP server, swept client counts, every
     // reply checked byte-identical to the solo baseline.

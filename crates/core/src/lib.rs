@@ -61,6 +61,7 @@ use std::time::Duration;
 pub mod server;
 pub mod session;
 
+pub use orthopt_ir::ApplyStrategy;
 pub use server::{Client, Server, ServerHandle};
 pub use session::{Engine, EngineConfig, Session, SessionSettings};
 
@@ -136,6 +137,7 @@ impl OptimizerLevel {
                 correlated_execution: false,
                 max_exprs: 2_000,
                 parallelism: 1,
+                apply_strategy: ApplyStrategy::Auto,
             },
             OptimizerLevel::Decorrelated => OptimizerConfig {
                 join_reorder: true,
@@ -145,6 +147,7 @@ impl OptimizerLevel {
                 correlated_execution: false,
                 max_exprs: 20_000,
                 parallelism: 1,
+                apply_strategy: ApplyStrategy::Auto,
             },
             OptimizerLevel::GroupByReorder => OptimizerConfig {
                 join_reorder: true,
@@ -154,6 +157,7 @@ impl OptimizerLevel {
                 correlated_execution: true,
                 max_exprs: 20_000,
                 parallelism: 1,
+                apply_strategy: ApplyStrategy::Auto,
             },
             OptimizerLevel::Full => OptimizerConfig::default(),
         }
@@ -265,6 +269,16 @@ pub(crate) fn env_timeout() -> Option<Duration> {
         .map(Duration::from_millis)
 }
 
+/// Correlated-execution strategy from the `ORTHOPT_APPLY_STRATEGY`
+/// environment variable (`auto` / `loop` / `batched` / `index`),
+/// defaulting to [`ApplyStrategy::Auto`] when unset or unparseable.
+pub(crate) fn env_apply_strategy() -> ApplyStrategy {
+    std::env::var("ORTHOPT_APPLY_STRATEGY")
+        .ok()
+        .and_then(|s| ApplyStrategy::parse(&s))
+        .unwrap_or_default()
+}
+
 /// The façade: a catalog plus the full compile/execute pipeline.
 ///
 /// The catalog is held behind an [`Arc`] so in-flight queries can hand
@@ -276,6 +290,7 @@ pub struct Database {
     parallelism: usize,
     mem_limit: Option<u64>,
     timeout: Option<Duration>,
+    apply_strategy: ApplyStrategy,
 }
 
 impl Default for Database {
@@ -285,6 +300,7 @@ impl Default for Database {
             parallelism: env_parallelism(),
             mem_limit: env_mem_limit(),
             timeout: env_timeout(),
+            apply_strategy: env_apply_strategy(),
         }
     }
 }
@@ -299,9 +315,7 @@ impl Database {
     pub fn from_catalog(catalog: Catalog) -> Self {
         Database {
             catalog: Arc::new(catalog),
-            parallelism: env_parallelism(),
-            mem_limit: env_mem_limit(),
-            timeout: env_timeout(),
+            ..Database::default()
         }
     }
 
@@ -310,9 +324,7 @@ impl Database {
     pub fn from_shared(catalog: Arc<Catalog>) -> Self {
         Database {
             catalog,
-            parallelism: env_parallelism(),
-            mem_limit: env_mem_limit(),
-            timeout: env_timeout(),
+            ..Database::default()
         }
     }
 
@@ -360,6 +372,23 @@ impl Database {
     /// The configured per-query timeout, if any.
     pub fn timeout(&self) -> Option<Duration> {
         self.timeout
+    }
+
+    /// Forces (or, with [`ApplyStrategy::Auto`], re-enables the
+    /// cost-based race between) the correlated-execution strategies the
+    /// planner may emit for residual `Apply` operators: nested loops
+    /// (`ApplyLoop`), batched with binding dedup (`BatchedApply`), or
+    /// fused index lookups (`IndexLookupJoin`, falling back to the loop
+    /// when the inner is not seek-shaped). The initial value comes from
+    /// the `ORTHOPT_APPLY_STRATEGY` environment variable, default
+    /// `auto`.
+    pub fn set_apply_strategy(&mut self, strategy: ApplyStrategy) {
+        self.apply_strategy = strategy;
+    }
+
+    /// The configured correlated-execution strategy.
+    pub fn apply_strategy(&self) -> ApplyStrategy {
+        self.apply_strategy
     }
 
     /// The governance context queries run under: the configured memory
@@ -413,7 +442,13 @@ impl Database {
 
     /// Compiles SQL into a physical plan at the given level.
     pub fn plan(&self, sql: &str, level: OptimizerLevel) -> Result<Plan> {
-        compile_plan(&self.catalog, sql, level, self.parallelism)
+        compile_plan(
+            &self.catalog,
+            sql,
+            level,
+            self.parallelism,
+            self.apply_strategy,
+        )
     }
 
     /// Executes a compiled plan under the database's configured
@@ -587,6 +622,7 @@ pub(crate) fn compile_plan(
     sql: &str,
     level: OptimizerLevel,
     parallelism: usize,
+    apply_strategy: ApplyStrategy,
 ) -> Result<Plan> {
     let bound = orthopt_sql::compile(sql, catalog)?;
     let normalized = normalize(bound.rel, level.rewrite_config())?;
@@ -598,6 +634,7 @@ pub(crate) fn compile_plan(
     }
     let mut config = level.optimizer_config();
     config.parallelism = parallelism;
+    config.apply_strategy = apply_strategy;
     let (physical, search) =
         optimize_with_presentation(normalized.clone(), bound.order_by, bound.limit, &config)?;
     Ok(Plan {

@@ -32,6 +32,7 @@ use orthopt_common::{
     AdmissionController, AdmissionGuard, AdmissionStats, CancellationToken, QueryContext, Result,
 };
 use orthopt_exec::{Pipeline, PipelineOptions, DEFAULT_BATCH_SIZE};
+use orthopt_ir::ApplyStrategy;
 use orthopt_storage::Catalog;
 
 use crate::{compile_plan, present, run_caught, Error, OptimizerLevel, Plan, QueryResult};
@@ -70,6 +71,10 @@ pub struct EngineConfig {
     /// Default columnar toggle; `None` defers to the process-global
     /// flag.
     pub columnar: Option<bool>,
+    /// Default correlated-execution strategy
+    /// (`ORTHOPT_APPLY_STRATEGY`): `auto` cost-races `ApplyLoop`,
+    /// `BatchedApply` and `IndexLookupJoin`; the others force one.
+    pub apply_strategy: ApplyStrategy,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +90,7 @@ impl Default for EngineConfig {
             mem_limit: crate::env_mem_limit(),
             timeout: crate::env_timeout(),
             columnar: None,
+            apply_strategy: crate::env_apply_strategy(),
         }
     }
 }
@@ -106,6 +112,10 @@ pub struct SessionSettings {
     pub timeout: Option<Duration>,
     /// Optimizer level queries compile at.
     pub level: OptimizerLevel,
+    /// Correlated-execution strategy queries compile with (part of the
+    /// plan-cache fingerprint — sessions forcing different strategies
+    /// must never share cached plans).
+    pub apply_strategy: ApplyStrategy,
 }
 
 // -----------------------------------------------------------------
@@ -119,6 +129,7 @@ struct CacheKey {
     level: OptimizerLevel,
     parallelism: usize,
     columnar: bool,
+    apply_strategy: ApplyStrategy,
 }
 
 struct CacheEntry {
@@ -262,6 +273,7 @@ impl Engine {
                 mem_limit: self.config.mem_limit,
                 timeout: self.config.timeout,
                 level: OptimizerLevel::Full,
+                apply_strategy: self.config.apply_strategy,
             },
             cancel: CancellationToken::new(None),
         }
@@ -324,6 +336,7 @@ impl Engine {
                 .columnar
                 .or(self.config.columnar)
                 .unwrap_or_else(orthopt_exec::columnar_enabled),
+            apply_strategy: settings.apply_strategy,
         };
         let version = self.stats_version();
         {
@@ -345,6 +358,7 @@ impl Engine {
             sql,
             settings.level,
             settings.parallelism,
+            settings.apply_strategy,
         )?);
         lock_cache(&self.cache).insert(
             key,
@@ -419,7 +433,8 @@ impl Session {
     /// Applies a `SET <name> <value>` assignment. Names:
     /// `parallelism`, `columnar` (`on`/`off`/`default`), `mem_limit`
     /// (bytes, `k`/`m`/`g` suffix, `none`), `timeout_ms` (`none` to
-    /// clear), `level` (`correlated`/`decorrelated`/`groupby`/`full`).
+    /// clear), `level` (`correlated`/`decorrelated`/`groupby`/`full`),
+    /// `apply_strategy` (`auto`/`loop`/`batched`/`index`).
     pub fn set(&mut self, name: &str, value: &str) -> Result<()> {
         let v = value.trim();
         match name.trim().to_ascii_lowercase().as_str() {
@@ -459,6 +474,10 @@ impl Session {
             "level" => {
                 self.settings.level = OptimizerLevel::parse(v)
                     .ok_or_else(|| Error::Plan(format!("invalid level: {v}")))?;
+            }
+            "apply_strategy" => {
+                self.settings.apply_strategy = ApplyStrategy::parse(v)
+                    .ok_or_else(|| Error::Plan(format!("invalid apply_strategy: {v}")))?;
             }
             other => return Err(Error::Plan(format!("unknown setting: {other}"))),
         }

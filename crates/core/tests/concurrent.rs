@@ -96,6 +96,50 @@ fn concurrent_sessions_match_solo_and_oracle() {
     assert_eq!(stats.hits as usize, corpus().len() * CLIENTS);
 }
 
+/// The apply-strategy knob is part of the plan-cache fingerprint: two
+/// sessions of one engine that `SET apply_strategy` differently must
+/// compile separately (a shared entry would hand one session the other's
+/// forced operator), while sessions agreeing on the knob share, and both
+/// strategies return identical rows.
+#[test]
+fn apply_strategy_splits_plan_cache_fingerprint() {
+    let mut catalog = corpus_catalog();
+    let s = catalog.resolve("s").unwrap();
+    catalog.table_mut(s).build_index(vec![1]).unwrap();
+    catalog.analyze_all();
+    let engine = Engine::with_defaults(catalog);
+    let sql = "select rk from r where exists (select 1 from s where sr = rk)";
+
+    let mut looped = engine.session();
+    looped.set("apply_strategy", "loop").unwrap();
+    looped.set("level", "correlated").unwrap();
+    let mut batched = engine.session();
+    batched.set("apply_strategy", "batched").unwrap();
+    batched.set("level", "correlated").unwrap();
+
+    let a = looped.execute(sql).unwrap();
+    let b = batched.execute(sql).unwrap();
+    assert!(bag_eq(&a.rows, &b.rows), "strategies must agree on rows");
+    assert_eq!(
+        engine.cache_stats().misses,
+        2,
+        "different apply_strategy settings must not share a cached plan"
+    );
+
+    // A third session agreeing with the first shares its entry.
+    let mut also_looped = engine.session();
+    also_looped.set("apply_strategy", "loop").unwrap();
+    also_looped.set("level", "correlated").unwrap();
+    let c = also_looped.execute(sql).unwrap();
+    assert!(bag_eq(&a.rows, &c.rows));
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 2, "matching fingerprints share one entry");
+    assert_eq!(stats.hits, 1);
+
+    // Rejects nonsense like every other knob.
+    assert!(also_looped.set("apply_strategy", "nested").is_err());
+}
+
 /// Forced-exchange pipelines (every eligible subtree parallelized)
 /// executed from N threads at once through the shared scheduler stay
 /// byte-identical to a solo run of the same compiled plan.
@@ -291,9 +335,12 @@ fn session_close_aborts_in_flight_query() {
     let engine = Engine::with_defaults(c);
 
     let mut session: Session = engine.session();
-    // Correlated level: the subquery runs as a per-row Apply loop —
-    // ~3000 inner scans of 3000 rows, far longer than the cancel delay.
+    // Correlated level with the loop strategy forced: the subquery runs
+    // as a per-row Apply loop — ~3000 inner scans of 3000 rows, far
+    // longer than the cancel delay. (Cost-based `auto` would batch the
+    // 97 distinct `v` bindings and finish before the cancel arrives.)
     session.set("level", "correlated").unwrap();
+    session.set("apply_strategy", "loop").unwrap();
     let cancel = session.cancel_handle();
     let started = Arc::new(Barrier::new(2));
     let gate = Arc::clone(&started);

@@ -16,7 +16,7 @@ use orthopt::common::row::bag_eq;
 use orthopt::common::Error;
 use orthopt::exec::faults::{self, FaultAction};
 use orthopt::exec::{place_exchanges, Bindings, Pipeline, Reference};
-use orthopt::{Database, OptimizerLevel};
+use orthopt::{ApplyStrategy, Database, OptimizerLevel};
 use orthopt_rewrite::testgen::{build_catalog, query_templates};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -27,7 +27,7 @@ fn registry_lock() -> MutexGuard<'static, ()> {
 
 /// Every failpoint site compiled into the executor: buffer-growth sites
 /// plus a sample of operator batch boundaries.
-const SITES: [&str; 14] = [
+const SITES: [&str; 16] = [
     "hashjoin.build",
     "nljoin.build",
     "hashagg.state",
@@ -38,6 +38,8 @@ const SITES: [&str; 14] = [
     "segment.partition",
     "cache.fill",
     "exchange.gather",
+    "batched.bindings",
+    "indexjoin.fetch",
     "HashJoin",
     "HashAggregate",
     "TableScan",
@@ -54,6 +56,22 @@ fn corpus_db() -> Database {
         .map(|i| (i, i % 6, if i % 7 == 0 { None } else { Some(i % 5) }))
         .collect();
     Database::from_catalog(build_catalog(&r_rows, &s_rows))
+}
+
+/// Corpus data plus a hash index on `s.sr`, so the batched and
+/// index-lookup correlated strategies are both plannable.
+fn indexed_corpus_db() -> Database {
+    let r_rows: Vec<(i64, Option<i64>)> = (0..6)
+        .map(|i| (i, if i == 4 { None } else { Some(i % 4) }))
+        .collect();
+    let s_rows: Vec<(i64, i64, Option<i64>)> = (0..18)
+        .map(|i| (i, i % 6, if i % 7 == 0 { None } else { Some(i % 5) }))
+        .collect();
+    let mut catalog = build_catalog(&r_rows, &s_rows);
+    let s = catalog.resolve("s").unwrap();
+    catalog.table_mut(s).build_index(vec![1]).unwrap();
+    catalog.analyze_all();
+    Database::from_catalog(catalog)
 }
 
 /// One injected execution. Returns a printable outcome tag for the
@@ -198,6 +216,95 @@ fn columnar_hashjoin_build_refusal_is_structured() {
         .and_then(|chunk| chunk.project(&out_ids))
         .unwrap();
     assert!(bag_eq(&expected.rows, &chunk.rows), "clean rerun diverged");
+}
+
+/// The binding caches of the two new correlated strategies degrade, not
+/// die: for each of `batched.bindings` (forced `BatchedApply`) and
+/// `indexjoin.fetch` (forced `IndexLookupJoin`), an allocation refusal
+/// at the site must be *absorbed* — the operator sheds its cache, marks
+/// itself degraded, and still answers bag-identically to the clean run —
+/// while a hard error propagates structurally and an injected panic is
+/// contained by the façade with operator attribution. After every case
+/// the disarmed engine answers identically again.
+#[test]
+fn binding_cache_faults_degrade_then_recover() {
+    let _g = registry_lock();
+    let mut db = indexed_corpus_db();
+    let cases = [
+        (
+            ApplyStrategy::Batched,
+            "batched.bindings",
+            "BatchedApply",
+            "select rk, (select sum(sv) from s where sr = rk) from r",
+        ),
+        (
+            ApplyStrategy::Index,
+            "indexjoin.fetch",
+            "IndexLookupJoin",
+            "select rk from r where exists (select 1 from s where sr = rk and sv >= 0)",
+        ),
+    ];
+    for (strategy, site, op, sql) in cases {
+        db.set_apply_strategy(strategy);
+        let ctx = format!("site={site} strategy={strategy:?}");
+        let clean = db
+            .execute_with(sql, OptimizerLevel::Correlated)
+            .unwrap_or_else(|e| panic!("{ctx}: clean baseline failed: {e}"));
+
+        // The forced strategy really is on the plan, so the site is on
+        // the executed path — the refusal leg below is not vacuous.
+        let plan = db.plan(sql, OptimizerLevel::Correlated).unwrap();
+        let shape = orthopt::exec::explain_phys(&plan.physical);
+        assert!(shape.contains(op), "{ctx}: plan lacks {op}:\n{shape}");
+
+        // Refusal: the cache is shed, the answer is not.
+        faults::install(site, FaultAction::RefuseAlloc, 0);
+        let got = db.execute_with(sql, OptimizerLevel::Correlated);
+        let tripped = faults::fired(site);
+        faults::clear();
+        assert!(tripped > 0, "{ctx}: refusal never tripped");
+        let got = got.unwrap_or_else(|e| panic!("{ctx}: refusal must degrade, got {e:?}"));
+        assert!(
+            bag_eq(&clean.rows, &got.rows),
+            "{ctx}: degraded run diverged\nclean={:?}\ngot={:?}",
+            clean.rows,
+            got.rows
+        );
+
+        // Hard error: structured propagation, nothing weirder.
+        faults::install(site, FaultAction::Error, 0);
+        let got = db.execute_with(sql, OptimizerLevel::Correlated);
+        faults::clear();
+        match got {
+            Err(e) => assert!(
+                matches!(e.root_cause(), Error::Exec(msg) if msg.contains(site)),
+                "{ctx}: expected injected Exec error, got {e:?}"
+            ),
+            Ok(_) => panic!("{ctx}: injected error did not surface"),
+        }
+
+        // Panic: contained by the façade, attributed to the site.
+        faults::install(site, FaultAction::Panic, 0);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected unwind
+        let got = db.execute_with(sql, OptimizerLevel::Correlated);
+        std::panic::set_hook(hook);
+        faults::clear();
+        match got {
+            Err(Error::Exec(msg)) => {
+                assert!(msg.contains("panic"), "{ctx}: {msg}");
+            }
+            other => panic!("{ctx}: expected Exec(panic …), got {other:?}"),
+        }
+
+        // Disarmed engine: identical answer, no residue.
+        let rerun = db.execute_with(sql, OptimizerLevel::Correlated).unwrap();
+        assert!(
+            bag_eq(&clean.rows, &rerun.rows),
+            "{ctx}: clean rerun diverged"
+        );
+    }
+    db.set_apply_strategy(ApplyStrategy::Auto);
 }
 
 /// Two runs with the same seed arm the same site with the same action

@@ -193,6 +193,61 @@ fn mutation_exchange_out_of_grammar_is_blamed() {
     assert_blames(&err, "mutation::exchange_out_of_grammar");
 }
 
+/// A one-row constant scan for hand-built physical mutation inputs.
+fn const_scan(ids: &[u32]) -> PhysExpr {
+    PhysExpr::ConstScan {
+        cols: ids.iter().map(|&i| ColId(i)).collect(),
+        rows: vec![vec![Value::Int(0); ids.len()]],
+    }
+}
+
+/// Variant 7: a `BatchedApply` whose rebind arity was truncated — the
+/// dropped correlation parameter leaves the inner side referencing a
+/// column nobody provides.
+#[test]
+fn mutation_batched_apply_drop_param_is_blamed() {
+    let plan = PhysExpr::BatchedApply {
+        kind: ApplyKind::Cross,
+        left: Box::new(const_scan(&[1])),
+        right: Box::new(PhysExpr::Filter {
+            input: Box::new(const_scan(&[2])),
+            predicate: ScalarExpr::eq(ScalarExpr::col(ColId(2)), ScalarExpr::col(ColId(1))),
+        }),
+        params: vec![ColId(1)],
+    };
+    assert!(
+        plancheck::check_physical(&plan).is_empty(),
+        "input plan must be clean before mutation"
+    );
+    let err = opt_mutation::batched_apply_drop_param(plan).expect_err("truncated rebind arity");
+    assert_blames(&err, "mutation::batched_apply_drop_param");
+}
+
+/// Variant 8: an `IndexLookupJoin` whose index columns were permuted
+/// without re-pairing the probes — the canonical (strictly ascending)
+/// ordering rule must fire.
+#[test]
+fn mutation_index_lookup_permute_index_is_blamed() {
+    let plan = PhysExpr::IndexLookupJoin {
+        kind: ApplyKind::Cross,
+        left: Box::new(const_scan(&[1])),
+        table: TableId(0),
+        positions: vec![0, 1],
+        fetch_cols: vec![ColId(10), ColId(11)],
+        index_cols: vec![0, 1],
+        probes: vec![ScalarExpr::col(ColId(1)), ScalarExpr::col(ColId(1))],
+        residual: ScalarExpr::true_(),
+        cols: vec![ColId(10)],
+        params: vec![ColId(1)],
+    };
+    assert!(
+        plancheck::check_physical(&plan).is_empty(),
+        "input plan must be clean before mutation"
+    );
+    let err = opt_mutation::index_lookup_permute_index(plan).expect_err("scrambled index pairing");
+    assert_blames(&err, "mutation::index_lookup_permute_index");
+}
+
 /// Control: the same tree shapes the mutations start from are accepted
 /// untouched — the harness fails because of the mutations, not because
 /// the inputs were already bad.

@@ -99,8 +99,10 @@ fn children(plan: &PhysExpr) -> Vec<&PhysExpr> {
         PhysExpr::HashJoin { left, right, .. }
         | PhysExpr::NLJoin { left, right, .. }
         | PhysExpr::ApplyLoop { left, right, .. }
+        | PhysExpr::BatchedApply { left, right, .. }
         | PhysExpr::Concat { left, right, .. }
         | PhysExpr::ExceptExec { left, right, .. } => vec![left, right],
+        PhysExpr::IndexLookupJoin { left, .. } => vec![left],
         PhysExpr::SegmentExec { input, inner, .. } => vec![input, inner],
         PhysExpr::TableScan { .. }
         | PhysExpr::IndexSeek { .. }
@@ -162,6 +164,32 @@ fn label(plan: &PhysExpr) -> String {
         PhysExpr::ApplyLoop { kind, params, .. } => {
             let ps: Vec<String> = params.iter().map(ToString::to_string).collect();
             format!("ApplyLoop{kind:?} (bind: {})", ps.join(", "))
+        }
+        PhysExpr::BatchedApply { kind, params, .. } => {
+            let ps: Vec<String> = params.iter().map(ToString::to_string).collect();
+            format!("BatchedApply{kind:?} (bind: {})", ps.join(", "))
+        }
+        PhysExpr::IndexLookupJoin {
+            kind,
+            table,
+            index_cols,
+            probes,
+            residual,
+            params,
+            ..
+        } => {
+            let ps: Vec<String> = params.iter().map(ToString::to_string).collect();
+            let pr: Vec<String> = probes.iter().map(ToString::to_string).collect();
+            let res = if residual.is_true() {
+                String::new()
+            } else {
+                format!(" residual {residual}")
+            };
+            format!(
+                "IndexLookupJoin{kind:?} {table} on {index_cols:?} probe ({}) (bind: {}){res}",
+                pr.join(", "),
+                ps.join(", ")
+            )
         }
         PhysExpr::SegmentExec { segment_cols, .. } => {
             let cs: Vec<String> = segment_cols.iter().map(ToString::to_string).collect();

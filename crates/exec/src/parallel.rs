@@ -233,6 +233,40 @@ pub fn place_exchanges(p: &PhysExpr) -> PhysExpr {
             right: Box::new(place_exchanges(right)),
             params: params.clone(),
         },
+        PhysExpr::BatchedApply {
+            kind,
+            left,
+            right,
+            params,
+        } => PhysExpr::BatchedApply {
+            kind: *kind,
+            left: Box::new(place_exchanges(left)),
+            right: Box::new(place_exchanges(right)),
+            params: params.clone(),
+        },
+        PhysExpr::IndexLookupJoin {
+            kind,
+            left,
+            table,
+            positions,
+            fetch_cols,
+            index_cols,
+            probes,
+            residual,
+            cols,
+            params,
+        } => PhysExpr::IndexLookupJoin {
+            kind: *kind,
+            left: Box::new(place_exchanges(left)),
+            table: *table,
+            positions: positions.clone(),
+            fetch_cols: fetch_cols.clone(),
+            index_cols: index_cols.clone(),
+            probes: probes.clone(),
+            residual: residual.clone(),
+            cols: cols.clone(),
+            params: params.clone(),
+        },
         PhysExpr::SegmentExec {
             input,
             segment_cols,

@@ -106,6 +106,50 @@ pub enum PhysExpr {
         /// Outer columns the inner plan references.
         params: Vec<ColId>,
     },
+    /// Batched correlated execution: accumulates outer rows, dedups the
+    /// correlation-parameter tuples, runs `right` once per *distinct*
+    /// binding, and joins the cached inner results back to outer rows
+    /// positionally. Semantically identical to [`PhysExpr::ApplyLoop`];
+    /// cheaper when outer rows repeat correlation keys.
+    BatchedApply {
+        /// Combination variant.
+        kind: ApplyKind,
+        /// Outer input.
+        left: Box<PhysExpr>,
+        /// Parameterized inner plan.
+        right: Box<PhysExpr>,
+        /// Outer columns the inner plan references.
+        params: Vec<ColId>,
+    },
+    /// Correlated index-lookup join (§4: "the simplest and most common
+    /// being index-lookup join"): a fused unary operator that, per
+    /// distinct outer binding, probes a storage hash index directly,
+    /// applies the residual predicate, and projects the inner layout —
+    /// the seek-shaped inner plan collapsed into one operator.
+    IndexLookupJoin {
+        /// Combination variant.
+        kind: ApplyKind,
+        /// Outer input.
+        left: Box<PhysExpr>,
+        /// Probed table.
+        table: TableId,
+        /// Base-column positions fetched per matching row.
+        positions: Vec<usize>,
+        /// Layout of fetched rows (parallel to `positions`); the
+        /// residual is evaluated over this layout.
+        fetch_cols: Vec<ColId>,
+        /// Indexed base-column positions, canonically sorted ascending.
+        index_cols: Vec<usize>,
+        /// One probe expression per indexed column (parameters/literals
+        /// only).
+        probes: Vec<ScalarExpr>,
+        /// Residual predicate over fetched rows (`true` when absent).
+        residual: ScalarExpr,
+        /// Inner output projection (subset of `fetch_cols`).
+        cols: Vec<ColId>,
+        /// Outer columns the probes/residual reference.
+        params: Vec<ColId>,
+    },
     /// Segmented execution: hash-partitions the input on the segmenting
     /// columns and runs `inner` once per segment (§3.4).
     SegmentExec {
@@ -244,12 +288,25 @@ impl PhysExpr {
             },
             PhysExpr::ApplyLoop {
                 kind, left, right, ..
+            }
+            | PhysExpr::BatchedApply {
+                kind, left, right, ..
             } => match kind {
                 ApplyKind::Semi | ApplyKind::Anti => left.out_cols(),
                 _ => {
                     let mut cols = left.out_cols();
                     cols.extend(right.out_cols());
                     cols
+                }
+            },
+            PhysExpr::IndexLookupJoin {
+                kind, left, cols, ..
+            } => match kind {
+                ApplyKind::Semi | ApplyKind::Anti => left.out_cols(),
+                _ => {
+                    let mut out = left.out_cols();
+                    out.extend(cols.iter().copied());
+                    out
                 }
             },
             PhysExpr::SegmentExec { out_cols, .. } => out_cols.clone(),
@@ -289,10 +346,41 @@ impl PhysExpr {
             PhysExpr::HashJoin { left, right, .. }
             | PhysExpr::NLJoin { left, right, .. }
             | PhysExpr::ApplyLoop { left, right, .. }
+            | PhysExpr::BatchedApply { left, right, .. }
             | PhysExpr::Concat { left, right, .. }
             | PhysExpr::ExceptExec { left, right, .. } => left.node_count() + right.node_count(),
+            PhysExpr::IndexLookupJoin { left, .. } => left.node_count(),
             PhysExpr::SegmentExec { input, inner, .. } => input.node_count() + inner.node_count(),
             _ => 0,
+        }
+    }
+
+    /// Mutable child subtrees in execution-id order (left/input before
+    /// right/inner); used by plan rewriters and mutation harnesses.
+    pub fn children_mut(&mut self) -> Vec<&mut PhysExpr> {
+        match self {
+            PhysExpr::Filter { input, .. }
+            | PhysExpr::Compute { input, .. }
+            | PhysExpr::ProjectCols { input, .. }
+            | PhysExpr::AssertMax1 { input }
+            | PhysExpr::RowNumber { input, .. }
+            | PhysExpr::Sort { input, .. }
+            | PhysExpr::Limit { input, .. }
+            | PhysExpr::Exchange { input }
+            | PhysExpr::HashAggregate { input, .. } => vec![input],
+            PhysExpr::HashJoin { left, right, .. }
+            | PhysExpr::NLJoin { left, right, .. }
+            | PhysExpr::ApplyLoop { left, right, .. }
+            | PhysExpr::BatchedApply { left, right, .. }
+            | PhysExpr::Concat { left, right, .. }
+            | PhysExpr::ExceptExec { left, right, .. } => vec![left, right],
+            PhysExpr::IndexLookupJoin { left, .. } => vec![left],
+            PhysExpr::SegmentExec { input, inner, .. } => vec![input, inner],
+            PhysExpr::TableScan { .. }
+            | PhysExpr::IndexSeek { .. }
+            | PhysExpr::SegmentScan { .. }
+            | PhysExpr::ConstScan { .. }
+            | PhysExpr::MorselScan { .. } => vec![],
         }
     }
 }

@@ -37,7 +37,9 @@ use crate::chunk::Chunk;
 use crate::eval::{eval, eval_predicate, EvalCtx, PosMap};
 use crate::physical::PhysExpr;
 use crate::stats::OpStats;
-use crate::vector::{eval_column, hash_lanes, keys_valid, lane_row, selected_true, VecEval};
+use crate::vector::{
+    dedup_lanes, eval_column, hash_lanes, keys_valid, lane_row, selected_true, VecEval,
+};
 
 /// Default maximum number of rows per batch.
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
@@ -239,6 +241,17 @@ impl StatsHandle {
     /// Counts one columnar→row bridge conversion.
     fn note_bridge(&self) {
         self.stats.borrow_mut()[self.id].bridged += 1;
+    }
+
+    /// Counts one distinct correlation binding actually executed (a
+    /// binding-cache miss in `BatchedApply`/`IndexLookupJoin`).
+    fn note_distinct_binding(&self) {
+        self.stats.borrow_mut()[self.id].distinct_bindings += 1;
+    }
+
+    /// Counts one hash-index probe issued by `IndexLookupJoin`.
+    fn note_index_probe(&self) {
+        self.stats.borrow_mut()[self.id].index_probes += 1;
     }
 
     /// Max-folds a memory peak into the slot (used by operators that
@@ -636,8 +649,29 @@ pub(crate) fn free_inputs(p: &PhysExpr) -> FreeSet {
             right,
             params,
             ..
+        }
+        | PhysExpr::BatchedApply {
+            left,
+            right,
+            params,
+            ..
         } => {
             let mut inner = free_inputs(right);
+            for p in params {
+                inner.cols.remove(p);
+            }
+            free_inputs(left).union(inner)
+        }
+        PhysExpr::IndexLookupJoin {
+            left,
+            fetch_cols,
+            probes,
+            residual,
+            params,
+            ..
+        } => {
+            let mut inner = FreeSet::default()
+                .add_exprs(probes.iter().chain(std::iter::once(residual)), fetch_cols);
             for p in params {
                 inner.cols.remove(p);
             }
@@ -681,6 +715,8 @@ pub(crate) fn op_name(p: &PhysExpr) -> &'static str {
         PhysExpr::HashJoin { .. } => "HashJoin",
         PhysExpr::NLJoin { .. } => "NLJoin",
         PhysExpr::ApplyLoop { .. } => "ApplyLoop",
+        PhysExpr::BatchedApply { .. } => "BatchedApply",
+        PhysExpr::IndexLookupJoin { .. } => "IndexLookupJoin",
         PhysExpr::SegmentExec { .. } => "SegmentExec",
         PhysExpr::SegmentScan { .. } => "SegmentScan",
         PhysExpr::HashAggregate { .. } => "HashAggregate",
@@ -908,6 +944,80 @@ impl Compiler {
                     right_width: right.out_cols().len(),
                     out_cols: rc_cols(&p.out_cols()),
                     inner_binds: Rc::new(RefCell::new(Bindings::new())),
+                    pending: Vec::new(),
+                    left_done: false,
+                    batch_size: bs,
+                    columnar: self.columnar,
+                    stats: sh.clone(),
+                })
+            }
+            PhysExpr::BatchedApply {
+                kind,
+                left,
+                right,
+                params,
+            } => {
+                let lout = left.out_cols();
+                let param_pos: Vec<(ColId, usize)> = params
+                    .iter()
+                    .filter_map(|c| lout.iter().position(|l| l == c).map(|i| (*c, i)))
+                    .collect();
+                Box::new(BatchedApplyOp {
+                    kind: *kind,
+                    left: self.compile(left, in_param)?,
+                    inner: self.compile(right, true)?,
+                    param_pos,
+                    right_width: right.out_cols().len(),
+                    out_cols: rc_cols(&p.out_cols()),
+                    inner_binds: Rc::new(RefCell::new(Bindings::new())),
+                    cache: HashMap::new(),
+                    degraded: false,
+                    mem: MemoryReservation::detached("BatchedApply"),
+                    pending: Vec::new(),
+                    left_done: false,
+                    batch_size: bs,
+                    columnar: self.columnar,
+                    stats: sh.clone(),
+                })
+            }
+            PhysExpr::IndexLookupJoin {
+                kind,
+                left,
+                table,
+                positions,
+                fetch_cols,
+                index_cols,
+                probes,
+                residual,
+                cols,
+                params,
+            } => {
+                let lout = left.out_cols();
+                let param_pos: Vec<(ColId, usize)> = params
+                    .iter()
+                    .filter_map(|c| lout.iter().position(|l| l == c).map(|i| (*c, i)))
+                    .collect();
+                let proj = cols
+                    .iter()
+                    .map(|c| pos_of(fetch_cols, *c))
+                    .collect::<Result<Vec<_>>>()?;
+                Box::new(IndexLookupJoinOp {
+                    kind: *kind,
+                    left: self.compile(left, in_param)?,
+                    table: *table,
+                    positions: positions.clone(),
+                    fetch_cols: fetch_cols.clone(),
+                    index_cols: index_cols.clone(),
+                    probes: probes.clone(),
+                    residual: residual.clone(),
+                    proj,
+                    param_pos,
+                    right_width: cols.len(),
+                    out_cols: rc_cols(&p.out_cols()),
+                    inner_binds: Rc::new(RefCell::new(Bindings::new())),
+                    cache: HashMap::new(),
+                    degraded: false,
+                    mem: MemoryReservation::detached("IndexLookupJoin"),
                     pending: Vec::new(),
                     left_done: false,
                     batch_size: bs,
@@ -2290,6 +2400,377 @@ impl Operator for ApplyLoopOp {
             Some(b) if self.columnar => Some(b.to_columnar()),
             other => other,
         })
+    }
+}
+
+/// Dedups one outer batch on the correlation parameters: returns the
+/// distinct binding tuples in first-seen order, the tuple index per
+/// outer row, and the rows themselves. Columnar batches dedup on the
+/// parameter lanes directly (a vectorized kernel) before bridging to
+/// rows for assembly.
+fn dedup_apply_batch(
+    param_pos: &[(ColId, usize)],
+    batch: Batch,
+    stats: &StatsHandle,
+) -> (Vec<Row>, Vec<usize>, Vec<Row>) {
+    if let Repr::Columns { columns, len } = &batch.repr {
+        let key_cols: Vec<&Column> = param_pos.iter().map(|(_, i)| &columns[*i]).collect();
+        let (distinct, group_of) = dedup_lanes(&key_cols, *len);
+        stats.note_kernel();
+        let rows = stats.bridge_rows(batch);
+        return (distinct, group_of, rows);
+    }
+    let rows = batch.into_rows();
+    let mut index: HashMap<Row, usize> = HashMap::new();
+    let mut distinct: Vec<Row> = Vec::new();
+    let mut group_of = Vec::with_capacity(rows.len());
+    for r in &rows {
+        let key: Row = param_pos.iter().map(|(_, i)| r[*i].clone()).collect();
+        match index.get(&key) {
+            Some(&g) => group_of.push(g),
+            None => {
+                let g = distinct.len();
+                index.insert(key.clone(), g);
+                distinct.push(key);
+                group_of.push(g);
+            }
+        }
+    }
+    (distinct, group_of, rows)
+}
+
+/// Applies the `ApplyKind` combination semantics for one outer row
+/// against its inner result — shared by the batched apply operators so
+/// they match [`ApplyLoopOp`] exactly.
+fn emit_apply_row(
+    kind: ApplyKind,
+    lr: Row,
+    inner_rows: &[Row],
+    right_width: usize,
+    pending: &mut Vec<Row>,
+) {
+    match kind {
+        ApplyKind::Cross | ApplyKind::LeftOuter => {
+            if inner_rows.is_empty() && kind == ApplyKind::LeftOuter {
+                let mut row = lr;
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                pending.push(row);
+            } else {
+                for ir in inner_rows {
+                    let mut row = lr.clone();
+                    row.extend(ir.iter().cloned());
+                    pending.push(row);
+                }
+            }
+        }
+        ApplyKind::Semi => {
+            if !inner_rows.is_empty() {
+                pending.push(lr);
+            }
+        }
+        ApplyKind::Anti => {
+            if inner_rows.is_empty() {
+                pending.push(lr);
+            }
+        }
+    }
+}
+
+/// Batched correlated execution: dedups each outer batch on the
+/// correlation parameters and runs the inner plan once per *distinct*
+/// binding, caching inner results across batches in a governor-charged
+/// binding cache. This generalizes the invariant-subtree cache
+/// ([`CacheOp`], the zero-parameter case) to parameterized inners.
+///
+/// NULL binding semantics: cache keys use `Value`'s own `Eq`, under
+/// which `Null == Null` but `Null != v` for every non-NULL `v` — so a
+/// NULL correlation parameter can never hit a cached non-NULL result,
+/// and two NULL bindings sharing one entry is sound because the inner
+/// plan is deterministic per binding tuple (an `IndexSeek` under a NULL
+/// probe yields empty on every execution, per SQL equality).
+struct BatchedApplyOp {
+    kind: ApplyKind,
+    left: BoxOp,
+    inner: BoxOp,
+    param_pos: Vec<(ColId, usize)>,
+    right_width: usize,
+    out_cols: Rc<[ColId]>,
+    inner_binds: Rc<RefCell<Bindings>>,
+    /// Inner results per distinct binding tuple, kept across batches
+    /// within one execution; cleared on every `open` (rewinds under an
+    /// outer apply re-parameterize the whole subtree).
+    cache: HashMap<Row, Rc<Vec<Row>>>,
+    /// Set when the governor refused binding-cache growth: the cache is
+    /// shed and bindings execute uncached (still deduped per batch).
+    degraded: bool,
+    mem: MemoryReservation,
+    pending: Vec<Row>,
+    left_done: bool,
+    batch_size: usize,
+    columnar: bool,
+    stats: StatsHandle,
+}
+
+impl BatchedApplyOp {
+    /// Runs the inner plan under one binding tuple and drains it.
+    fn run_inner(&mut self, ictx: &ExecCtx<'_>, key: &[Value]) -> Result<Vec<Row>> {
+        {
+            let mut binds = self.inner_binds.borrow_mut();
+            for ((p, _), v) in self.param_pos.iter().zip(key.iter()) {
+                binds.set(*p, v.clone());
+            }
+        }
+        self.inner.open(ictx)?;
+        let mut inner_rows = Vec::new();
+        while let Some(b) = self.inner.next_batch(ictx)? {
+            b.check_width(self.right_width)?;
+            inner_rows.extend(self.stats.bridge_rows(b));
+        }
+        self.stats.note_distinct_binding();
+        Ok(inner_rows)
+    }
+
+    /// Caches one binding's result, charging the governor; on refusal
+    /// the cache is shed (reset + degrade) and execution continues
+    /// uncached — results are identical either way.
+    fn try_cache(&mut self, key: Row, rs: &Rc<Vec<Row>>) -> Result<()> {
+        let bytes = rows_bytes(std::slice::from_ref(&key)) + rows_bytes(rs);
+        match crate::faults::hit("batched.bindings").and_then(|()| self.mem.grow(bytes)) {
+            Ok(()) => {
+                self.cache.insert(key, rs.clone());
+                Ok(())
+            }
+            Err(Error::ResourceExhausted { .. }) => {
+                self.stats.note_mem_peak(self.mem.peak());
+                self.mem.reset();
+                self.cache.clear();
+                self.degraded = true;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Operator for BatchedApplyOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.inner_binds = Rc::new(RefCell::new(ctx.binds.borrow().clone()));
+        self.cache.clear();
+        self.degraded = false;
+        self.mem = ctx.gov.reservation("BatchedApply");
+        self.pending.clear();
+        self.left_done = false;
+        self.left.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        while self.pending.len() < self.batch_size && !self.left_done {
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                self.left_done = true;
+                break;
+            };
+            let (distinct, group_of, rows) = dedup_apply_batch(&self.param_pos, batch, &self.stats);
+            let ictx = ExecCtx {
+                catalog: ctx.catalog,
+                binds: self.inner_binds.clone(),
+                parallelism: ctx.parallelism,
+                gov: ctx.gov.clone(),
+                shared_catalog: ctx.shared_catalog.clone(),
+            };
+            let mut results: Vec<Rc<Vec<Row>>> = Vec::with_capacity(distinct.len());
+            for key in distinct {
+                if let Some(rs) = self.cache.get(&key) {
+                    results.push(rs.clone());
+                    continue;
+                }
+                let rs = Rc::new(self.run_inner(&ictx, &key)?);
+                if !self.degraded {
+                    self.try_cache(key, &rs)?;
+                }
+                results.push(rs);
+            }
+            for (lr, g) in rows.into_iter().zip(group_of) {
+                emit_apply_row(
+                    self.kind,
+                    lr,
+                    &results[g],
+                    self.right_width,
+                    &mut self.pending,
+                );
+            }
+        }
+        let out = drain_pending(&mut self.pending, self.batch_size, &self.out_cols);
+        Ok(match out {
+            Some(b) if self.columnar => Some(b.to_columnar()),
+            other => other,
+        })
+    }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
+    }
+}
+
+/// Correlated index-lookup join (§4): per distinct outer binding,
+/// probes the table's hash index directly, applies the residual over
+/// the fetched layout, and projects the inner columns — the whole
+/// seek-shaped inner plan fused into this operator. Shares the binding
+/// cache + dedup machinery (and its NULL semantics) with
+/// [`BatchedApplyOp`]; a NULL probe value yields the empty inner result
+/// (SQL equality never matches NULL), exactly like `IndexSeek` under
+/// `ApplyLoop`.
+struct IndexLookupJoinOp {
+    kind: ApplyKind,
+    left: BoxOp,
+    table: TableId,
+    positions: Vec<usize>,
+    fetch_cols: Vec<ColId>,
+    index_cols: Vec<usize>,
+    probes: Vec<ScalarExpr>,
+    residual: ScalarExpr,
+    /// Positions of the output projection within `fetch_cols`.
+    proj: Vec<usize>,
+    param_pos: Vec<(ColId, usize)>,
+    right_width: usize,
+    out_cols: Rc<[ColId]>,
+    inner_binds: Rc<RefCell<Bindings>>,
+    cache: HashMap<Row, Rc<Vec<Row>>>,
+    degraded: bool,
+    mem: MemoryReservation,
+    pending: Vec<Row>,
+    left_done: bool,
+    batch_size: usize,
+    columnar: bool,
+    stats: StatsHandle,
+}
+
+impl IndexLookupJoinOp {
+    /// Probes the index under one binding tuple: evaluates the probe
+    /// expressions against the rebound parameters, looks up matching
+    /// row ids, fetches + filters + projects.
+    fn probe(&mut self, ctx: &ExecCtx<'_>, key: &[Value]) -> Result<Vec<Row>> {
+        {
+            let mut binds = self.inner_binds.borrow_mut();
+            for ((p, _), v) in self.param_pos.iter().zip(key.iter()) {
+                binds.set(*p, v.clone());
+            }
+        }
+        self.stats.note_distinct_binding();
+        let binds = self.inner_binds.borrow();
+        let empty_ctx = EvalCtx::plain(&[], &[], &binds);
+        let mut probe_key = Vec::with_capacity(self.probes.len());
+        for probe in &self.probes {
+            let v = eval(probe, &empty_ctx)?;
+            if v.is_null() {
+                // SQL equality never matches NULL: empty result.
+                return Ok(Vec::new());
+            }
+            probe_key.push(v);
+        }
+        let t = ctx.catalog.table(self.table);
+        let hits = t
+            .index_lookup(&self.index_cols, &probe_key)
+            .ok_or_else(|| {
+                Error::internal(format!(
+                    "missing index on {:?} of {}",
+                    self.index_cols, t.def.name
+                ))
+            })?;
+        self.stats.note_index_probe();
+        let all = t.rows();
+        let mut out = Vec::new();
+        for &rid in hits {
+            let r = &all[rid];
+            let fetched: Row = self.positions.iter().map(|&i| r[i].clone()).collect();
+            if eval_predicate(
+                &self.residual,
+                &EvalCtx::plain(&self.fetch_cols, &fetched, &binds),
+            )? {
+                out.push(self.proj.iter().map(|&i| fetched[i].clone()).collect());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Caches one binding's fetched result, charging the governor; on
+    /// refusal the cache is shed and probing continues uncached.
+    fn try_cache(&mut self, key: Row, rs: &Rc<Vec<Row>>) -> Result<()> {
+        let bytes = rows_bytes(std::slice::from_ref(&key)) + rows_bytes(rs);
+        match crate::faults::hit("indexjoin.fetch").and_then(|()| self.mem.grow(bytes)) {
+            Ok(()) => {
+                self.cache.insert(key, rs.clone());
+                Ok(())
+            }
+            Err(Error::ResourceExhausted { .. }) => {
+                self.stats.note_mem_peak(self.mem.peak());
+                self.mem.reset();
+                self.cache.clear();
+                self.degraded = true;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Operator for IndexLookupJoinOp {
+    fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        // Validate index selection up front, so a mis-planned probe
+        // fails at open rather than on the first non-NULL binding.
+        let t = ctx.catalog.table(self.table);
+        if t.select_index(&self.index_cols).as_deref() != Some(&self.index_cols[..]) {
+            return Err(Error::internal(format!(
+                "missing index on {:?} of {}",
+                self.index_cols, t.def.name
+            )));
+        }
+        self.inner_binds = Rc::new(RefCell::new(ctx.binds.borrow().clone()));
+        self.cache.clear();
+        self.degraded = false;
+        self.mem = ctx.gov.reservation("IndexLookupJoin");
+        self.pending.clear();
+        self.left_done = false;
+        self.left.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        while self.pending.len() < self.batch_size && !self.left_done {
+            let Some(batch) = self.left.next_batch(ctx)? else {
+                self.left_done = true;
+                break;
+            };
+            let (distinct, group_of, rows) = dedup_apply_batch(&self.param_pos, batch, &self.stats);
+            let mut results: Vec<Rc<Vec<Row>>> = Vec::with_capacity(distinct.len());
+            for key in distinct {
+                if let Some(rs) = self.cache.get(&key) {
+                    results.push(rs.clone());
+                    continue;
+                }
+                let rs = Rc::new(self.probe(ctx, &key)?);
+                if !self.degraded {
+                    self.try_cache(key, &rs)?;
+                }
+                results.push(rs);
+            }
+            for (lr, g) in rows.into_iter().zip(group_of) {
+                emit_apply_row(
+                    self.kind,
+                    lr,
+                    &results[g],
+                    self.right_width,
+                    &mut self.pending,
+                );
+            }
+        }
+        let out = drain_pending(&mut self.pending, self.batch_size, &self.out_cols);
+        Ok(match out {
+            Some(b) if self.columnar => Some(b.to_columnar()),
+            other => other,
+        })
+    }
+
+    fn mem_peak(&self) -> u64 {
+        self.mem.peak()
     }
 }
 

@@ -37,6 +37,13 @@ pub struct OpStats {
     /// is still row-at-a-time. Zero means the operator is kernel-native
     /// on this plan.
     pub bridged: u64,
+    /// Distinct correlation bindings an apply-style operator actually
+    /// executed its inner plan for — the dedup ratio vs. the outer row
+    /// count is the win `BatchedApply`/`IndexLookupJoin` deliver.
+    pub distinct_bindings: u64,
+    /// Hash-index probes issued by `IndexLookupJoin` (one per distinct
+    /// non-NULL binding).
+    pub index_probes: u64,
 }
 
 impl OpStats {
@@ -64,6 +71,12 @@ impl OpStats {
         if self.bridged > 0 {
             s.push_str(&format!(" bridged={}", self.bridged));
         }
+        if self.distinct_bindings > 0 {
+            s.push_str(&format!(" distinct_bindings={}", self.distinct_bindings));
+        }
+        if self.index_probes > 0 {
+            s.push_str(&format!(" index_probes={}", self.index_probes));
+        }
         s
     }
 
@@ -79,6 +92,8 @@ impl OpStats {
         self.mem_peak = self.mem_peak.max(t.mem_peak);
         self.kernels += t.kernels;
         self.bridged += t.bridged;
+        self.distinct_bindings += t.distinct_bindings;
+        self.index_probes += t.index_probes;
     }
 
     /// Folds one worker's counters into this (merged) entry: additive
@@ -94,5 +109,7 @@ impl OpStats {
         self.mem_peak += w.mem_peak;
         self.kernels += w.kernels;
         self.bridged += w.bridged;
+        self.distinct_bindings += w.distinct_bindings;
+        self.index_probes += w.index_probes;
     }
 }

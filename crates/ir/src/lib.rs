@@ -30,6 +30,8 @@ pub mod visit;
 pub mod witness;
 
 pub use agg::{AggDef, AggFunc};
-pub use relop::{ApplyKind, ColStat, ColumnMeta, GetMeta, GroupKind, JoinKind, MapDef, RelExpr};
+pub use relop::{
+    ApplyKind, ApplyStrategy, ColStat, ColumnMeta, GetMeta, GroupKind, JoinKind, MapDef, RelExpr,
+};
 pub use scalar::{ArithOp, CmpOp, Quant, ScalarExpr};
 pub use witness::{GroupByDerivation, NullRejectWitness};

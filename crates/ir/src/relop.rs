@@ -138,6 +138,50 @@ impl ApplyKind {
     }
 }
 
+/// Physical strategy hint for correlated (re-)introduction (§4): which
+/// Apply implementation the planner may emit. `Auto` lets the cost
+/// model race all constructible strategies; the forced variants pin one
+/// for isolation testing (`ORTHOPT_APPLY_STRATEGY` / `SET
+/// apply_strategy`), falling back to the row-at-a-time loop when the
+/// forced strategy is not constructible for a given Apply.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ApplyStrategy {
+    /// Cost-based three-way race (the default).
+    #[default]
+    Auto,
+    /// Row-at-a-time `ApplyLoop`.
+    Loop,
+    /// `BatchedApply`: dedup outer bindings, run the inner once per
+    /// distinct binding.
+    Batched,
+    /// `IndexLookupJoin`: probe a storage hash index per distinct
+    /// binding (requires a seek-shaped inner over an indexed column).
+    Index,
+}
+
+impl ApplyStrategy {
+    /// Parses the knob's external spelling (env var / `SET` value).
+    pub fn parse(s: &str) -> Option<ApplyStrategy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(ApplyStrategy::Auto),
+            "loop" => Some(ApplyStrategy::Loop),
+            "batched" => Some(ApplyStrategy::Batched),
+            "index" => Some(ApplyStrategy::Index),
+            _ => None,
+        }
+    }
+
+    /// The knob's external spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApplyStrategy::Auto => "auto",
+            ApplyStrategy::Loop => "loop",
+            ApplyStrategy::Batched => "batched",
+            ApplyStrategy::Index => "index",
+        }
+    }
+}
+
 impl fmt::Display for ApplyKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

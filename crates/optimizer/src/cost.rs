@@ -45,6 +45,11 @@ pub mod coef {
     pub const EXCHANGE_SETUP: f64 = 500.0;
     /// Gathering one row through the exchange.
     pub const EXCHANGE_ROW: f64 = 0.1;
+    /// Per outer row overhead of batched correlated execution: binding
+    /// key extraction plus the binding-cache probe. Keeps the three-way
+    /// race honest — when every outer row carries a distinct binding,
+    /// dedup buys nothing and `ApplyLoop` should win.
+    pub const BATCH_BIND_ROW: f64 = 0.3;
 }
 
 /// Fraction of a subtree's work the exchange runtime can actually
@@ -65,4 +70,35 @@ pub fn exchange_cost(serial: f64, rows_out: f64, workers: usize) -> f64 {
 pub fn sort_cost(n: f64) -> f64 {
     let n = n.max(1.0);
     coef::SORT_FACTOR * n * n.log2().max(1.0)
+}
+
+/// Cost of batched correlated execution (`BatchedApply`): the outer,
+/// per-row binding dedup, and one inner execution per estimated
+/// *distinct* binding tuple — versus `ApplyLoop`'s one per outer row.
+pub fn batched_apply_cost(left_cost: f64, card_l: f64, distinct: f64, inner_cost: f64) -> f64 {
+    left_cost
+        + card_l.max(0.0) * coef::BATCH_BIND_ROW
+        + distinct.max(1.0) * (coef::APPLY_INVOKE + inner_cost)
+}
+
+/// Cost of a correlated index-lookup join (`IndexLookupJoin`): the
+/// outer, per-row binding dedup, and one hash-index probe per
+/// estimated distinct binding, each fetching `matched` rows (plus the
+/// residual evaluation over them when present).
+pub fn index_lookup_cost(
+    left_cost: f64,
+    card_l: f64,
+    distinct: f64,
+    matched: f64,
+    has_residual: bool,
+) -> f64 {
+    let matched = matched.max(1.0);
+    let per_probe = coef::INDEX_PROBE
+        + matched * coef::INDEX_ROW
+        + if has_residual {
+            matched * coef::FILTER_ROW
+        } else {
+            0.0
+        };
+    left_cost + card_l.max(0.0) * coef::BATCH_BIND_ROW + distinct.max(1.0) * per_probe
 }

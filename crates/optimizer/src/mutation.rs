@@ -139,3 +139,65 @@ pub fn exchange_out_of_grammar(plan: PhysExpr) -> Result<PhysExpr> {
     }
     .into_error())
 }
+
+/// Applies `mutate` to the first node (preorder) for which it returns
+/// `true`; reports whether any node was mutated.
+fn mutate_first(plan: &mut PhysExpr, mutate: &mut dyn FnMut(&mut PhysExpr) -> bool) -> bool {
+    if mutate(plan) {
+        return true;
+    }
+    for child in plan.children_mut() {
+        if mutate_first(child, mutate) {
+            return true;
+        }
+    }
+    false
+}
+
+fn blame_physical(rule: &str, plan: PhysExpr) -> Result<PhysExpr> {
+    let violations = plancheck::check_physical(&plan);
+    if violations.is_empty() {
+        return Ok(plan);
+    }
+    Err(plancheck::BlameReport {
+        rule: rule.to_owned(),
+        identity: None,
+        violations,
+        before: String::new(),
+        after: orthopt_exec::explain_phys(&plan),
+    }
+    .into_error())
+}
+
+/// Mutated batched-apply wiring: drops the last correlation parameter
+/// from the first `BatchedApply`, so the rebind arity no longer covers
+/// the inner side's outer references — the inner subtree now reads a
+/// column nobody provides.
+pub fn batched_apply_drop_param(mut plan: PhysExpr) -> Result<PhysExpr> {
+    mutate_first(&mut plan, &mut |node| {
+        if let PhysExpr::BatchedApply { params, .. } = node {
+            if !params.is_empty() {
+                params.pop();
+                return true;
+            }
+        }
+        false
+    });
+    blame_physical("mutation::batched_apply_drop_param", plan)
+}
+
+/// Mutated index-lookup fusion: swaps the first two index columns of
+/// the first `IndexLookupJoin` without re-pairing the probes, breaking
+/// the canonical (strictly ascending) probe-to-index ordering.
+pub fn index_lookup_permute_index(mut plan: PhysExpr) -> Result<PhysExpr> {
+    mutate_first(&mut plan, &mut |node| {
+        if let PhysExpr::IndexLookupJoin { index_cols, .. } = node {
+            if index_cols.len() >= 2 {
+                index_cols.swap(0, 1);
+                return true;
+            }
+        }
+        false
+    });
+    blame_physical("mutation::index_lookup_permute_index", plan)
+}

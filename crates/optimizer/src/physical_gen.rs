@@ -4,10 +4,10 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use orthopt_common::{ColId, Error, Result};
 use orthopt_exec::PhysExpr;
-use orthopt_ir::{GroupKind, RelExpr, ScalarExpr};
+use orthopt_ir::{ApplyKind, ApplyStrategy, GroupKind, RelExpr, ScalarExpr};
 
 use crate::cardinality::Estimator;
-use crate::cost::{coef, exchange_cost, sort_cost};
+use crate::cost::{batched_apply_cost, coef, exchange_cost, index_lookup_cost, sort_cost};
 use crate::memo::{GroupId, Memo};
 
 /// A costed physical plan.
@@ -27,6 +27,9 @@ pub struct Planner<'a> {
     in_progress: HashSet<usize>,
     /// Worker-pool size exchanges may fan out to (1 = plan serially).
     workers: usize,
+    /// Which correlated-execution strategies the Apply arm may emit
+    /// (`Auto` = all constructible ones, cost-raced).
+    apply_strategy: ApplyStrategy,
 }
 
 impl<'a> Planner<'a> {
@@ -40,7 +43,15 @@ impl<'a> Planner<'a> {
             cache: HashMap::new(),
             in_progress: HashSet::new(),
             workers: workers.max(1),
+            apply_strategy: ApplyStrategy::Auto,
         }
+    }
+
+    /// Restricts (or forces) the correlated-execution strategy the
+    /// Apply implementation rule emits.
+    pub fn with_apply_strategy(mut self, strategy: ApplyStrategy) -> Self {
+        self.apply_strategy = strategy;
+        self
     }
 
     /// Cheapest plan for a group.
@@ -236,15 +247,52 @@ impl<'a> Planner<'a> {
                         .filter(|c| left_outs.contains(c))
                         .collect()
                 };
-                out.push(Costed {
+                // Estimated distinct binding tuples across the outer:
+                // product of per-parameter NDVs, clamped to the outer
+                // cardinality. This drives the three-way race — dedup
+                // only pays when outer rows repeat correlation keys.
+                let distinct = if params.is_empty() {
+                    1.0
+                } else {
+                    params
+                        .iter()
+                        .map(|c| self.est.stats.ndv(*c))
+                        .product::<f64>()
+                        .clamp(1.0, card_l.max(1.0))
+                };
+                let loop_alt = Costed {
                     plan: PhysExpr::ApplyLoop {
                         kind: *kind,
-                        left: Box::new(left.plan),
-                        right: Box::new(right.plan),
-                        params,
+                        left: Box::new(left.plan.clone()),
+                        right: Box::new(right.plan.clone()),
+                        params: params.clone(),
                     },
                     cost: left.cost + card_l * (coef::APPLY_INVOKE + right.cost),
-                });
+                };
+                let batched_alt = Costed {
+                    plan: PhysExpr::BatchedApply {
+                        kind: *kind,
+                        left: Box::new(left.plan.clone()),
+                        right: Box::new(right.plan.clone()),
+                        params: params.clone(),
+                    },
+                    cost: batched_apply_cost(left.cost, card_l, distinct, right.cost),
+                };
+                let index_alt = self
+                    .index_lookup_alternative(*kind, &left, &right, g_r, &params, card_l, distinct);
+                match self.apply_strategy {
+                    ApplyStrategy::Auto => {
+                        out.push(loop_alt);
+                        out.push(batched_alt);
+                        out.extend(index_alt);
+                    }
+                    ApplyStrategy::Loop => out.push(loop_alt),
+                    ApplyStrategy::Batched => out.push(batched_alt),
+                    // Forced index falls back to the loop when the
+                    // inner is not seek-shaped, so every forced run
+                    // still executes (and stays oracle-comparable).
+                    ApplyStrategy::Index => out.push(index_alt.unwrap_or(loop_alt)),
+                }
             }
             RelExpr::SegmentApply { segment_cols, .. } => {
                 let (g_in, g_inner) = (children[0], children[1]);
@@ -462,6 +510,147 @@ impl<'a> Planner<'a> {
             }
         }
         out
+    }
+
+    /// Attempts to fuse a correlated Apply whose cheapest inner plan is
+    /// seek-shaped — `[ProjectCols] ∘ [Filter] ∘ IndexSeek` with at
+    /// least one probe referencing an outer parameter — into an
+    /// [`PhysExpr::IndexLookupJoin`].
+    ///
+    /// Index columns are canonicalized to ascending base-position order
+    /// (probes permuted in lockstep) so the executor can validate the
+    /// probe-to-index pairing against the storage layer's canonical
+    /// index selection.
+    #[allow(clippy::too_many_arguments)]
+    fn index_lookup_alternative(
+        &mut self,
+        kind: ApplyKind,
+        left: &Costed,
+        right: &Costed,
+        g_r: GroupId,
+        params: &[ColId],
+        card_l: f64,
+        distinct: f64,
+    ) -> Option<Costed> {
+        // Peel projection/filter wrappers down to the seek itself. The
+        // outermost projection fixes the operator's output; filters
+        // accumulate into the residual. For Semi/Anti the inner's
+        // output is discarded entirely, so error-free 1:1 Compute nodes
+        // (e.g. the `select 1` literal of EXISTS) peel away too.
+        let is_semi = matches!(kind, ApplyKind::Semi | ApplyKind::Anti);
+        let mut node = &right.plan;
+        let mut proj_cols: Option<Vec<ColId>> = None;
+        let mut residual_parts: Vec<ScalarExpr> = Vec::new();
+        loop {
+            match node {
+                PhysExpr::ProjectCols { input, cols } => {
+                    if proj_cols.is_none() {
+                        proj_cols = Some(cols.clone());
+                    }
+                    node = input;
+                }
+                PhysExpr::Compute { input, defs }
+                    if is_semi
+                        && defs.iter().all(|(_, e)| {
+                            matches!(e, ScalarExpr::Literal(_) | ScalarExpr::Column(_))
+                        }) =>
+                {
+                    node = input;
+                }
+                PhysExpr::Filter { input, predicate } => {
+                    residual_parts.extend(predicate.conjuncts());
+                    node = input;
+                }
+                _ => break,
+            }
+        }
+        let residual = ScalarExpr::and(residual_parts);
+        let PhysExpr::IndexSeek {
+            table,
+            positions,
+            cols: fetch_cols,
+            index_cols,
+            probes,
+        } = node
+        else {
+            return None;
+        };
+        let param_set: BTreeSet<ColId> = params.iter().copied().collect();
+        // Every probe must be evaluable from the outer row alone, and
+        // at least one must actually consume a parameter — otherwise
+        // the seek is invariant and caching strategies already cover it.
+        let mut probe_cols = BTreeSet::new();
+        for p in probes {
+            probe_cols.extend(p.cols());
+        }
+        if probe_cols.is_empty() || !probe_cols.iter().all(|c| param_set.contains(c)) {
+            return None;
+        }
+        // The residual runs over fetched rows with outer bindings.
+        if residual.has_subquery() {
+            return None;
+        }
+        let fetch_set: BTreeSet<ColId> = fetch_cols.iter().copied().collect();
+        if !residual
+            .cols()
+            .iter()
+            .all(|c| fetch_set.contains(c) || param_set.contains(c))
+        {
+            return None;
+        }
+        // Canonicalize: sort index columns ascending, probes in
+        // lockstep. Duplicate index columns never pair cleanly.
+        let mut order: Vec<usize> = (0..index_cols.len()).collect();
+        order.sort_by_key(|&i| index_cols[i]);
+        let index_cols: Vec<usize> = order.iter().map(|&i| index_cols[i]).collect();
+        if index_cols.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let probes: Vec<ScalarExpr> = order.iter().map(|&i| probes[i].clone()).collect();
+        // Dedup key = the parameters the fused operator actually reads.
+        let mut used: BTreeSet<ColId> = probe_cols;
+        used.extend(
+            residual
+                .cols()
+                .into_iter()
+                .filter(|c| param_set.contains(c)),
+        );
+        let op_params: Vec<ColId> = params
+            .iter()
+            .copied()
+            .filter(|c| used.contains(c))
+            .collect();
+        // Semi/Anti discard the inner's output (only row existence
+        // matters — and the peeled projection may name computed columns
+        // the fused operator cannot produce), so project nothing.
+        let out_cols = if is_semi {
+            Vec::new()
+        } else {
+            proj_cols.unwrap_or_else(|| fetch_cols.clone())
+        };
+        if !out_cols.iter().all(|c| fetch_cols.contains(c)) {
+            return None;
+        }
+        // Rows fetched per probe: the inner group's estimated output
+        // cardinality (a slight underestimate when a residual trims
+        // it further, which only makes the race conservative).
+        let matched = self.card(g_r).max(1.0);
+        let cost = index_lookup_cost(left.cost, card_l, distinct, matched, !residual.is_true());
+        Some(Costed {
+            plan: PhysExpr::IndexLookupJoin {
+                kind,
+                left: Box::new(left.plan.clone()),
+                table: *table,
+                positions: positions.clone(),
+                fetch_cols: fetch_cols.clone(),
+                index_cols,
+                probes,
+                residual,
+                cols: out_cols,
+                params: op_params,
+            },
+            cost,
+        })
     }
 }
 

@@ -4,7 +4,7 @@ use std::collections::HashSet;
 
 use orthopt_common::{ColIdGen, Result};
 use orthopt_exec::PhysExpr;
-use orthopt_ir::RelExpr;
+use orthopt_ir::{ApplyStrategy, RelExpr};
 
 use crate::cardinality::Estimator;
 use crate::memo::{GroupId, Memo};
@@ -30,6 +30,10 @@ pub struct OptimizerConfig {
     /// Worker-pool size for parallel execution; above 1 the planner
     /// places `Exchange` nodes where the cost model says they pay.
     pub parallelism: usize,
+    /// Which correlated-execution strategies the Apply implementation
+    /// rule may emit (`Auto` = all constructible ones, cost-raced;
+    /// anything else forces a single strategy for differential runs).
+    pub apply_strategy: ApplyStrategy,
 }
 
 impl Default for OptimizerConfig {
@@ -42,6 +46,7 @@ impl Default for OptimizerConfig {
             correlated_execution: true,
             max_exprs: 20_000,
             parallelism: 1,
+            apply_strategy: ApplyStrategy::Auto,
         }
     }
 }
@@ -57,6 +62,7 @@ impl OptimizerConfig {
             correlated_execution: false,
             max_exprs: 0,
             parallelism: 1,
+            apply_strategy: ApplyStrategy::Auto,
         }
     }
 }
@@ -141,7 +147,8 @@ pub fn optimize_with_presentation(
         }
     }
     let root_card = est.card(&memo.group(root).repr);
-    let mut planner = Planner::new(&memo, &est, config.parallelism);
+    let mut planner =
+        Planner::new(&memo, &est, config.parallelism).with_apply_strategy(config.apply_strategy);
     let best = planner.best(root)?;
     let stats = SearchStats {
         groups: memo.group_count(),

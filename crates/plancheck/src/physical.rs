@@ -39,6 +39,8 @@ fn describe(p: &PhysExpr) -> String {
         PhysExpr::HashJoin { kind, .. } => format!("HashJoin({kind})"),
         PhysExpr::NLJoin { kind, .. } => format!("NLJoin({kind})"),
         PhysExpr::ApplyLoop { kind, .. } => format!("ApplyLoop({kind})"),
+        PhysExpr::BatchedApply { kind, .. } => format!("BatchedApply({kind})"),
+        PhysExpr::IndexLookupJoin { kind, .. } => format!("IndexLookupJoin({kind})"),
         PhysExpr::SegmentExec { .. } => "SegmentExec".into(),
         PhysExpr::SegmentScan { .. } => "SegmentScan".into(),
         PhysExpr::HashAggregate { kind, .. } => format!("HashAggregate({kind})"),
@@ -248,6 +250,12 @@ impl PhysCx {
                 right,
                 params,
                 ..
+            }
+            | PhysExpr::BatchedApply {
+                left,
+                right,
+                params,
+                ..
             } => {
                 let lvis = id_set(left);
                 self.cols_in(params, &lvis, p, "parameter");
@@ -255,6 +263,72 @@ impl PhysCx {
                 let mut rscope = scope.clone();
                 rscope.params.extend(params.iter().copied());
                 self.check(right, &rscope);
+            }
+            PhysExpr::IndexLookupJoin {
+                left,
+                positions,
+                fetch_cols,
+                index_cols,
+                probes,
+                residual,
+                cols,
+                params,
+                ..
+            } => {
+                if positions.len() != fetch_cols.len() {
+                    self.violation(
+                        CheckKind::Physical,
+                        p,
+                        format!(
+                            "{} fetched columns but {} base positions",
+                            fetch_cols.len(),
+                            positions.len()
+                        ),
+                    );
+                }
+                if probes.len() != index_cols.len() {
+                    self.violation(
+                        CheckKind::Physical,
+                        p,
+                        format!(
+                            "{} probes for an index over {} columns",
+                            probes.len(),
+                            index_cols.len()
+                        ),
+                    );
+                }
+                // Canonical index order: probe expressions are matched
+                // to index columns positionally, so the planner must
+                // emit `index_cols` strictly ascending (sorting probes
+                // in lockstep). A permuted or duplicated list means the
+                // probe-to-column pairing is scrambled relative to the
+                // storage index layout.
+                if !index_cols.windows(2).all(|w| w[0] < w[1]) {
+                    self.violation(
+                        CheckKind::Physical,
+                        p,
+                        format!(
+                            "index columns {index_cols:?} are not in canonical \
+                             (strictly ascending) order; probe-to-index pairing is scrambled"
+                        ),
+                    );
+                }
+                let lvis = id_set(left);
+                self.cols_in(params, &lvis, p, "parameter");
+                // Probes run before anything is fetched: only this
+                // operator's parameters (and the enclosing scope's) plus
+                // literals are available.
+                let mut pscope = scope.clone();
+                pscope.params.extend(params.iter().copied());
+                let empty = BTreeSet::new();
+                for pr in probes {
+                    self.refs(pr, &empty, &pscope, p, "index probe");
+                }
+                // The residual sees the fetched layout plus parameters.
+                let fvis: BTreeSet<ColId> = fetch_cols.iter().copied().collect();
+                self.refs(residual, &fvis, &pscope, p, "residual predicate");
+                self.cols_in(cols, &fvis, p, "projected");
+                self.check(left, scope);
             }
             PhysExpr::SegmentExec {
                 input,
@@ -531,8 +605,10 @@ fn phys_children(p: &PhysExpr) -> Vec<&PhysExpr> {
         PhysExpr::HashJoin { left, right, .. }
         | PhysExpr::NLJoin { left, right, .. }
         | PhysExpr::ApplyLoop { left, right, .. }
+        | PhysExpr::BatchedApply { left, right, .. }
         | PhysExpr::Concat { left, right, .. }
         | PhysExpr::ExceptExec { left, right, .. } => vec![left, right],
+        PhysExpr::IndexLookupJoin { left, .. } => vec![left],
         PhysExpr::SegmentExec { input, inner, .. } => vec![input, inner],
     }
 }

@@ -249,6 +249,24 @@ impl Table {
         &self.indexes
     }
 
+    /// Index *selection*: given the base-column positions equality
+    /// predicates are available on, picks the index those predicates
+    /// can drive — the widest index whose columns are all among
+    /// `candidates` — and returns its columns in canonical (strictly
+    /// ascending) order, the order correlated index-lookup plans probe
+    /// in. `None` when no index is fully covered.
+    pub fn select_index(&self, candidates: &[usize]) -> Option<Vec<usize>> {
+        self.indexes
+            .iter()
+            .filter(|ix| ix.cols.iter().all(|c| candidates.contains(c)))
+            .max_by_key(|ix| ix.cols.len())
+            .map(|ix| {
+                let mut cols = ix.cols.clone();
+                cols.sort_unstable();
+                cols
+            })
+    }
+
     /// Computes statistics over the current contents.
     pub fn analyze(&mut self) {
         self.stats = Some(TableStats::compute(&self.def, &self.rows));
@@ -328,6 +346,29 @@ mod tests {
         let hits = t.index_lookup(&[0], &[Value::Int(1)]).unwrap();
         assert_eq!(hits, &[0, 2]);
         assert!(t.index_lookup(&[0], &[Value::Int(9)]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn select_index_picks_widest_covered_canonical() {
+        let def = TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Int),
+                ColumnDef::new("c", DataType::Int),
+            ],
+            vec![vec![0]],
+        );
+        let mut t = Table::new(def).unwrap();
+        t.insert(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+            .unwrap();
+        t.build_index(vec![0]).unwrap();
+        // Declared in permuted order; selection reports canonical order.
+        t.build_index(vec![1, 0]).unwrap();
+        assert_eq!(t.select_index(&[0]), Some(vec![0]));
+        assert_eq!(t.select_index(&[1, 0, 2]), Some(vec![0, 1]));
+        assert_eq!(t.select_index(&[2]), None);
+        assert_eq!(t.select_index(&[1]), None);
     }
 
     #[test]
