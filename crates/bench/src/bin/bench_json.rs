@@ -12,8 +12,9 @@
 //! cargo run --release -p orthopt-bench --bin bench_json [scale] [out.json]
 //! ```
 
+use orthopt_synccheck::sync::{thread, Barrier};
 use std::fmt::Write as _;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::Instant;
 
 use orthopt::common::QueryContext;
@@ -67,7 +68,7 @@ fn drive_clients(
             let workload = Arc::clone(workload);
             let baseline = Arc::clone(baseline);
             let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || {
+            thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("client connects");
                 barrier.wait();
                 let mut latencies = Vec::with_capacity(rounds * workload.len());

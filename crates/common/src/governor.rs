@@ -14,8 +14,9 @@
 //! met (same gating pattern as the plancheck runtime switch).
 
 use crate::error::{Error, Result};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use orthopt_synccheck::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use orthopt_synccheck::sync::{Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Shared per-query byte budget. All reservations of one query charge
@@ -42,9 +43,12 @@ impl MemoryPool {
     /// is left unchanged and the returned error carries the structured
     /// blame fields.
     fn grow(&self, operator: &str, bytes: u64) -> Result<()> {
+        // relaxed-ok: used/peak are plain counters; no other memory is
+        // published through them, and over-limit overshoot rolls back.
         let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
         let now = prev + bytes;
         if now > self.limit {
+            // relaxed-ok: rollback of the counter charged above.
             self.used.fetch_sub(bytes, Ordering::Relaxed);
             return Err(Error::ResourceExhausted {
                 operator: operator.to_string(),
@@ -52,21 +56,25 @@ impl MemoryPool {
                 limit: self.limit,
             });
         }
+        // relaxed-ok: peak is monotonic telemetry, read after quiescence.
         self.peak.fetch_max(now, Ordering::Relaxed);
         Ok(())
     }
 
     fn shrink(&self, bytes: u64) {
+        // relaxed-ok: counter-only release; see grow.
         self.used.fetch_sub(bytes, Ordering::Relaxed);
     }
 
     /// Bytes currently reserved.
     pub fn used(&self) -> u64 {
+        // relaxed-ok: monitoring read of a counter.
         self.used.load(Ordering::Relaxed)
     }
 
     /// High-water mark of reserved bytes.
     pub fn peak(&self) -> u64 {
+        // relaxed-ok: monitoring read of a counter.
         self.peak.load(Ordering::Relaxed)
     }
 
@@ -218,6 +226,8 @@ impl CancellationToken {
     /// on any clone fails.
     pub fn cancel(&self) {
         if let Some(s) = &self.inner {
+            // relaxed-ok: a monotonic bool; observers act on the flag
+            // alone and read no memory published alongside it.
             s.flag.store(true, Ordering::Relaxed);
         }
     }
@@ -228,6 +238,8 @@ impl CancellationToken {
         match &self.inner {
             None => false,
             Some(s) => {
+                // relaxed-ok: see cancel(); staleness only delays the stop
+                // by one poll interval.
                 s.flag.load(Ordering::Relaxed) || s.deadline.is_some_and(|d| Instant::now() >= d)
             }
         }
@@ -239,6 +251,8 @@ impl CancellationToken {
     pub fn check(&self, operator: &str) -> Result<()> {
         let Some(s) = &self.inner else { return Ok(()) };
         let tripped =
+            // relaxed-ok: see cancel(); staleness only delays the stop
+            // by one poll interval.
             s.flag.load(Ordering::Relaxed) || s.deadline.is_some_and(|d| Instant::now() >= d);
         if tripped {
             return Err(Error::Cancelled {
@@ -388,12 +402,6 @@ pub struct AdmissionController {
     shed: AtomicU64,
 }
 
-/// Admission state mutations cannot panic mid-update; a poisoned lock
-/// must not wedge every session, so poisoning is ignored.
-fn admit_lock(m: &Mutex<AdmitState>) -> MutexGuard<'_, AdmitState> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 impl AdmissionController {
     /// A controller enforcing `limit` total granted bytes, queueing at
     /// most `max_queue` queries before shedding.
@@ -423,6 +431,8 @@ impl AdmissionController {
         cancel: &CancellationToken,
     ) -> Result<AdmissionGuard> {
         let shed = |requested: u64| {
+            // relaxed-ok: lifetime telemetry counter; no memory is
+            // published through it.
             self.shed.fetch_add(1, Ordering::Relaxed);
             Err(Error::ResourceExhausted {
                 operator: "admission".to_string(),
@@ -433,20 +443,18 @@ impl AdmissionController {
         if bytes > self.limit {
             return shed(bytes);
         }
-        let mut st = admit_lock(&self.state);
+        let mut st = self.state.lock();
         if st.used + bytes > self.limit {
             if st.waiting >= self.max_queue {
                 return shed(bytes);
             }
             st.waiting += 1;
+            // relaxed-ok: telemetry counter, see shed above.
             self.queued.fetch_add(1, Ordering::Relaxed);
             loop {
                 // Timed wait so session cancellation is observed even if
                 // no release ever happens.
-                let (guard, _) = self
-                    .cv
-                    .wait_timeout(st, Duration::from_millis(20))
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let (guard, _) = self.cv.wait_timeout(st, Duration::from_millis(20));
                 st = guard;
                 if cancel.is_cancelled() {
                     st.waiting -= 1;
@@ -464,7 +472,10 @@ impl AdmissionController {
             }
         }
         st.used += bytes;
+        // relaxed-ok: peak/admitted are telemetry; the grant itself is
+        // ordered by the state lock held here.
         self.peak.fetch_max(st.used, Ordering::Relaxed);
+        // relaxed-ok: see above.
         self.admitted.fetch_add(1, Ordering::Relaxed);
         drop(st);
         Ok(AdmissionGuard {
@@ -475,11 +486,12 @@ impl AdmissionController {
 
     /// Bytes currently granted to admitted queries.
     pub fn used(&self) -> u64 {
-        admit_lock(&self.state).used
+        self.state.lock().used
     }
 
     /// High-water mark of granted bytes (never exceeds the limit).
     pub fn peak(&self) -> u64 {
+        // relaxed-ok: telemetry read; exact only after quiescence.
         self.peak.load(Ordering::Relaxed)
     }
 
@@ -490,14 +502,17 @@ impl AdmissionController {
 
     /// Queries currently waiting in the admission queue.
     pub fn waiting(&self) -> usize {
-        admit_lock(&self.state).waiting
+        self.state.lock().waiting
     }
 
     /// Lifetime admitted/queued/shed counters.
     pub fn stats(&self) -> AdmissionStats {
         AdmissionStats {
+            // relaxed-ok: telemetry reads; exact only after quiescence.
             admitted: self.admitted.load(Ordering::Relaxed),
+            // relaxed-ok: see above.
             queued: self.queued.load(Ordering::Relaxed),
+            // relaxed-ok: see above.
             shed: self.shed.load(Ordering::Relaxed),
         }
     }
@@ -522,7 +537,7 @@ impl AdmissionGuard {
 
 impl Drop for AdmissionGuard {
     fn drop(&mut self) {
-        let mut st = admit_lock(&self.ctrl.state);
+        let mut st = self.ctrl.state.lock();
         st.used = st.used.saturating_sub(self.bytes);
         drop(st);
         self.ctrl.cv.notify_all();
@@ -532,6 +547,7 @@ impl Drop for AdmissionGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use orthopt_synccheck::sync::thread;
 
     #[test]
     fn ungoverned_grow_and_check_never_fail() {
@@ -657,7 +673,7 @@ mod tests {
         let inert = CancellationToken::default();
         let first = ctrl.admit(100, &inert).expect("fits");
         let ctrl2 = Arc::clone(&ctrl);
-        let waiter = std::thread::spawn(move || {
+        let waiter = thread::spawn(move || {
             ctrl2
                 .admit(100, &CancellationToken::default())
                 .expect("queued, then admitted")
@@ -682,7 +698,7 @@ mod tests {
         let cancel = CancellationToken::new(None);
         let handle = cancel.clone();
         let ctrl2 = Arc::clone(&ctrl);
-        let waiter = std::thread::spawn(move || ctrl2.admit(50, &cancel));
+        let waiter = thread::spawn(move || ctrl2.admit(50, &cancel));
         while ctrl.waiting() == 0 {
             std::thread::yield_now();
         }

@@ -1,0 +1,155 @@
+//! Edge cases of `CancellationToken::child_with_deadline`: flag sharing
+//! between parent and child, deadline privacy, the deadline landing
+//! exactly at check time, children outliving their parent, and
+//! parent-cancel racing a child deadline.
+
+use orthopt_common::{CancellationToken, Error};
+use orthopt_synccheck::sync::thread;
+use std::time::Duration;
+
+#[test]
+fn parent_cancel_trips_child_and_child_cancel_trips_parent() {
+    let parent = CancellationToken::new(None);
+    let child = parent.child_with_deadline(None);
+    assert!(!parent.is_cancelled() && !child.is_cancelled());
+
+    parent.cancel();
+    assert!(child.is_cancelled(), "parent cancel must reach the child");
+    assert!(child.check("op").is_err());
+
+    // The flag is shared both ways: a child cancel aborts the session.
+    let parent = CancellationToken::new(None);
+    let child = parent.child_with_deadline(Some(Duration::from_secs(3600)));
+    child.cancel();
+    assert!(parent.is_cancelled(), "child cancel must reach the parent");
+}
+
+#[test]
+fn child_deadline_does_not_trip_parent_or_sibling() {
+    let parent = CancellationToken::new(None);
+    let expired = parent.child_with_deadline(Some(Duration::ZERO));
+    let sibling = parent.child_with_deadline(Some(Duration::from_secs(3600)));
+
+    assert!(expired.is_cancelled(), "zero deadline expires immediately");
+    assert!(
+        !parent.is_cancelled(),
+        "a query timeout must not close the session"
+    );
+    assert!(
+        !sibling.is_cancelled(),
+        "a sibling query's timeout is private to it"
+    );
+}
+
+#[test]
+fn deadline_exactly_at_check_time_is_cancelled() {
+    // `is_cancelled` uses `now >= deadline`: a deadline of ZERO is in
+    // the past (or exactly "now") by the very first check, so the
+    // boundary reads as expired, never as a free pass.
+    let token = CancellationToken::new(Some(Duration::ZERO));
+    assert!(token.is_cancelled());
+    let err = token.check("scan").expect_err("expired at check time");
+    match err {
+        Error::Cancelled { operator, .. } => assert_eq!(operator, "scan"),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn check_blames_the_operator_and_reports_elapsed() {
+    let token = CancellationToken::new(Some(Duration::from_millis(1)));
+    std::thread::sleep(Duration::from_millis(5));
+    match token.check("admission") {
+        Err(Error::Cancelled {
+            operator,
+            elapsed_ms,
+        }) => {
+            assert_eq!(operator, "admission");
+            assert!(elapsed_ms >= 1, "elapsed must cover the deadline wait");
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn child_outlives_dropped_parent() {
+    // A session closing (its token dropped) must not invalidate an
+    // in-flight query's child token: the shared flag is refcounted.
+    let child = {
+        let parent = CancellationToken::new(None);
+        parent.child_with_deadline(Some(Duration::from_secs(3600)))
+    };
+    assert!(!child.is_cancelled());
+    assert!(child.check("op").is_ok());
+    child.cancel();
+    assert!(child.is_cancelled());
+}
+
+#[test]
+fn child_of_closed_session_token_starts_cancelled() {
+    let parent = CancellationToken::new(None);
+    parent.cancel(); // session closed
+    let child = parent.child_with_deadline(Some(Duration::from_secs(3600)));
+    assert!(
+        child.is_cancelled(),
+        "a query issued after close must be refused from the start"
+    );
+}
+
+#[test]
+fn child_of_inert_token_is_a_plain_deadline_token() {
+    let inert = CancellationToken::default();
+    assert!(!inert.is_cancelled());
+
+    let child = inert.child_with_deadline(Some(Duration::ZERO));
+    assert!(child.is_cancelled(), "the deadline still applies");
+    // The derived flag is fresh, not shared with the inert parent...
+    assert!(!inert.is_cancelled());
+
+    // ...and a cancel on an inert-derived child stays local.
+    let unbounded = inert.child_with_deadline(None);
+    unbounded.cancel();
+    assert!(unbounded.is_cancelled());
+    assert!(!inert.is_cancelled(), "inert tokens are never cancelled");
+}
+
+#[test]
+fn clone_and_child_share_one_flag_across_threads() {
+    let parent = CancellationToken::new(None);
+    let child = parent.child_with_deadline(None);
+    let canceller = {
+        let handle = parent.clone();
+        thread::spawn(move || handle.cancel())
+    };
+    canceller.join().expect("canceller thread");
+    assert!(parent.is_cancelled());
+    assert!(child.is_cancelled());
+}
+
+#[test]
+fn parent_cancel_racing_child_deadline_always_cancels_both() {
+    // The two trip paths race: whichever lands, the child is cancelled
+    // and the *parent* is only tripped by the explicit cancel, never by
+    // the child's deadline.
+    let parent = CancellationToken::new(None);
+    let child = parent.child_with_deadline(Some(Duration::from_millis(2)));
+    let racer = {
+        let handle = parent.clone();
+        thread::spawn(move || handle.cancel())
+    };
+    std::thread::sleep(Duration::from_millis(5));
+    racer.join().expect("racing canceller");
+    assert!(child.is_cancelled(), "deadline and cancel both tripped it");
+    assert!(
+        parent.is_cancelled(),
+        "the explicit cancel tripped the parent"
+    );
+
+    // Counter-case: the deadline fires and no one cancels — the parent
+    // must stay live.
+    let parent = CancellationToken::new(None);
+    let child = parent.child_with_deadline(Some(Duration::from_millis(1)));
+    std::thread::sleep(Duration::from_millis(5));
+    assert!(child.is_cancelled());
+    assert!(!parent.is_cancelled());
+}

@@ -20,11 +20,11 @@
 //! cancels the query through the session's cancellation token (the
 //! per-connection thread closes its [`Session`] on its way out).
 
+use orthopt_synccheck::sync::atomic::{AtomicBool, Ordering};
+use orthopt_synccheck::sync::thread::{self, JoinHandle};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use orthopt_common::Result;
 
@@ -175,21 +175,21 @@ impl Server {
         let accept_stop = Arc::clone(&stop);
         let engine = self.engine;
         let listener = self.listener;
-        let join = std::thread::Builder::new()
-            .name("orthopt-server".to_string())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let engine = Arc::clone(&engine);
-                    let spawned = std::thread::Builder::new()
-                        .name("orthopt-conn".to_string())
-                        .spawn(move || serve_connection(&engine, stream));
-                    drop(spawned);
+        let join = thread::spawn_named("orthopt-server", move || {
+            for conn in listener.incoming() {
+                // relaxed-ok: a stop flag checked in a loop; the accept
+                // thread acts on the flag alone and the final `join`
+                // synchronizes everything else.
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
                 }
-            })?;
+                let Ok(stream) = conn else { continue };
+                let engine = Arc::clone(&engine);
+                drop(thread::spawn_named("orthopt-conn", move || {
+                    serve_connection(&engine, stream);
+                }));
+            }
+        });
         Ok(ServerHandle {
             addr,
             stop,
@@ -223,6 +223,7 @@ impl ServerHandle {
     }
 
     fn stop_accepting(&self) {
+        // relaxed-ok: see the accept-loop load; flag-only protocol.
         self.stop.store(true, Ordering::Relaxed);
         // The accept loop blocks in `incoming`; poke it with a throwaway
         // connection so it observes the stop flag.

@@ -23,9 +23,10 @@
 //! by plancheck before reuse — a stale or corrupted plan is recompiled,
 //! never executed.
 
+use orthopt_synccheck::sync::atomic::{AtomicU64, Ordering};
+use orthopt_synccheck::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use orthopt_common::{
@@ -307,19 +308,26 @@ impl Engine {
     /// Current table-stats version; cached plans compiled under an
     /// older version are invalidated on lookup.
     pub fn stats_version(&self) -> u64 {
+        // relaxed-ok: a monotonic invalidation counter; the cache lock
+        // orders it against entry reads (see cached_plan), and a read
+        // that races a bump at worst recompiles one extra plan.
         self.stats_version.load(Ordering::Relaxed)
     }
 
     /// Bumps the table-stats version, invalidating every cached plan
     /// (call after statistics refresh or data-distribution changes).
     pub fn bump_stats_version(&self) {
+        // relaxed-ok: see stats_version().
         self.stats_version.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Plan-cache hit/miss counters.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
+            // relaxed-ok: monitoring counters, no memory is published
+            // through them.
             hits: self.cache_hits.load(Ordering::Relaxed),
+            // relaxed-ok: see above.
             misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
@@ -340,11 +348,12 @@ impl Engine {
         };
         let version = self.stats_version();
         {
-            let mut cache = lock_cache(&self.cache);
+            let mut cache = self.cache.lock();
             if let Some(entry) = cache.map.get(&key) {
                 if entry.stats_version == version && verify_plan(&entry.plan) {
                     let plan = Arc::clone(&entry.plan);
                     cache.touch(&key);
+                    // relaxed-ok: monitoring counter.
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(plan);
                 }
@@ -352,6 +361,7 @@ impl Engine {
                 cache.remove(&key);
             }
         }
+        // relaxed-ok: monitoring counter.
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(compile_plan(
             &self.catalog,
@@ -360,7 +370,7 @@ impl Engine {
             settings.parallelism,
             settings.apply_strategy,
         )?);
-        lock_cache(&self.cache).insert(
+        self.cache.lock().insert(
             key,
             CacheEntry {
                 plan: Arc::clone(&plan),
@@ -368,6 +378,15 @@ impl Engine {
             },
         );
         Ok(plan)
+    }
+
+    /// Looks up (or compiles and caches) the plan for `sql` under the
+    /// given settings, without executing it. This is the same path
+    /// [`Session::execute`] takes — exposed so tools and the
+    /// model-checking harnesses can drive the cache protocol (stale-hit
+    /// invalidation, concurrent compile races) directly.
+    pub fn prepare(&self, sql: &str, settings: &SessionSettings) -> Result<Arc<Plan>> {
+        self.cached_plan(sql, settings)
     }
 
     /// Passes a query through admission control, blocking in the
@@ -379,10 +398,6 @@ impl Engine {
             Some(ctrl) => ctrl.admit(budget, cancel).map(Some),
         }
     }
-}
-
-fn lock_cache(m: &Mutex<PlanCache>) -> std::sync::MutexGuard<'_, PlanCache> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 // -----------------------------------------------------------------

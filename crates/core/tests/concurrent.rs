@@ -9,8 +9,9 @@
 //! oversubscribed, shed only when the wait queue is full, and a closed
 //! session must abort its in-flight query.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier};
+use orthopt_synccheck::sync::atomic::{AtomicUsize, Ordering};
+use orthopt_synccheck::sync::{thread, Barrier};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use orthopt::{Client, Database, Engine, EngineConfig, OptimizerLevel, Server, Session};
@@ -75,7 +76,7 @@ fn concurrent_sessions_match_solo_and_oracle() {
             let queries = Arc::clone(&queries);
             let baseline = Arc::clone(&baseline);
             let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || {
+            thread::spawn(move || {
                 let mut s = engine.session();
                 s.set("parallelism", "4").unwrap();
                 barrier.wait();
@@ -161,6 +162,9 @@ fn forced_exchange_concurrency_is_byte_identical() {
         };
         let expected = run_once(db.catalog(), Arc::clone(&shared)).expect("solo run");
         let barrier = Arc::new(Barrier::new(CLIENTS));
+        // sync-ok: scoped threads borrow the test's catalog and closure;
+        // the 'static shim spawn cannot express that, and this test
+        // exercises the legacy scoped fallback on purpose.
         std::thread::scope(|scope| {
             for _ in 0..CLIENTS {
                 let barrier = Arc::clone(&barrier);
@@ -208,7 +212,7 @@ fn tcp_multi_client_byte_identical() {
             let baseline = Arc::clone(&baseline);
             let queries = Arc::clone(&queries);
             let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || {
+            thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("connect");
                 c.ping().expect("ping");
                 c.set("parallelism", "4").expect("set");
@@ -251,7 +255,7 @@ fn admission_queues_rather_than_fails() {
         .map(|_| {
             let engine = Arc::clone(&engine);
             let done = Arc::clone(&done);
-            std::thread::spawn(move || {
+            thread::spawn(move || {
                 let s = engine.session();
                 let r = s
                     .execute("select count(*) from r")
@@ -344,7 +348,7 @@ fn session_close_aborts_in_flight_query() {
     let cancel = session.cancel_handle();
     let started = Arc::new(Barrier::new(2));
     let gate = Arc::clone(&started);
-    let worker = std::thread::spawn(move || {
+    let worker = thread::spawn(move || {
         gate.wait();
         session.execute(
             "select count(*) from big where 0 < \

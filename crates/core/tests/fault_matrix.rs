@@ -18,11 +18,11 @@ use orthopt::exec::faults::{self, FaultAction};
 use orthopt::exec::{place_exchanges, Bindings, Pipeline, Reference};
 use orthopt::{ApplyStrategy, Database, OptimizerLevel};
 use orthopt_rewrite::testgen::{build_catalog, query_templates};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use orthopt_synccheck::sync::{Mutex, MutexGuard};
 
 fn registry_lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    LOCK.lock()
 }
 
 /// Every failpoint site compiled into the executor: buffer-growth sites

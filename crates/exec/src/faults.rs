@@ -51,8 +51,9 @@ pub const COMPILED: bool = false;
 mod imp {
     use super::FaultAction;
     use orthopt_common::{Error, Prng, Result};
+    use orthopt_synccheck::sync::{Mutex, MutexGuard};
     use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::OnceLock;
 
     struct FaultState {
         action: FaultAction,
@@ -67,12 +68,11 @@ mod imp {
         REG.get_or_init(|| Mutex::new(HashMap::new()))
     }
 
-    fn lock() -> std::sync::MutexGuard<'static, HashMap<String, FaultState>> {
-        // A test that panicked *on purpose* (FaultAction::Panic) poisons
-        // the mutex; the registry stays structurally valid, so recover.
-        registry()
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock() -> MutexGuard<'static, HashMap<String, FaultState>> {
+        // A test that panics *on purpose* (FaultAction::Panic) would
+        // poison a std mutex; the shim lock recovers, and the registry
+        // stays structurally valid across such panics.
+        registry().lock()
     }
 
     /// Arms `site` with `action`, firing on every hit after skipping
@@ -194,10 +194,9 @@ mod tests {
     /// The registry is process-global; tests that touch it take this
     /// lock so `clear()` in one test can't disarm another's site.
     #[cfg(feature = "fault-injection")]
-    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    fn test_lock() -> orthopt_synccheck::sync::MutexGuard<'static, ()> {
+        static LOCK: orthopt_synccheck::sync::Mutex<()> = orthopt_synccheck::sync::Mutex::new(());
         LOCK.lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[cfg(feature = "fault-injection")]

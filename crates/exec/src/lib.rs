@@ -42,7 +42,7 @@ pub use reference::Reference;
 pub use scheduler::Scheduler;
 pub use stats::OpStats;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use orthopt_synccheck::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 static COLUMNAR: OnceLock<AtomicBool> = OnceLock::new();
@@ -64,11 +64,14 @@ fn columnar_flag() -> &'static AtomicBool {
 /// representation it receives, so turning it off reproduces the
 /// row-at-a-time engine exactly.
 pub fn columnar_enabled() -> bool {
+    // relaxed-ok: an isolated process-global toggle; readers act on the
+    // flag alone and no other memory is published through it.
     columnar_flag().load(Ordering::Relaxed)
 }
 
 /// Overrides the columnar toggle at runtime (conformance suites sweep
 /// both settings in one process).
 pub fn set_columnar(on: bool) {
+    // relaxed-ok: see columnar_enabled().
     columnar_flag().store(on, Ordering::Relaxed);
 }

@@ -580,6 +580,9 @@ where
     T: Send,
     F: Fn(PhysExpr, &Catalog) -> Result<T> + Sync,
 {
+    // sync-ok: scoped threads borrow the caller's catalog, so they cannot
+    // go through the 'static shim spawn; model harnesses use the pooled
+    // Scheduler path (Arc<Catalog>), never this fallback.
     let joined: Vec<std::thread::Result<Result<T>>> = std::thread::scope(|s| {
         let f = &f;
         let handles: Vec<_> = plans
@@ -593,7 +596,7 @@ where
             .collect();
         handles
             .into_iter()
-            .map(std::thread::ScopedJoinHandle::join)
+            .map(std::thread::ScopedJoinHandle::join) // sync-ok: scoped fallback, see above
             .collect()
     });
     let mut out = Vec::with_capacity(joined.len());

@@ -29,9 +29,10 @@
 //! its own; only query threads wait for groups, and every task they wait
 //! on is runnable by any free worker.
 
+use orthopt_synccheck::sync::{thread, Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// Hard cap on the pool, mirroring
 /// [`parallel::MAX_WORKERS`](crate::parallel::MAX_WORKERS).
@@ -62,13 +63,6 @@ struct Inner {
     workers: usize,
 }
 
-/// Ignores mutex poisoning: scheduler state is only mutated under short
-/// critical sections that cannot panic, and a poisoned lock must not
-/// take the whole pool down with it.
-fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 /// A fixed pool of long-lived worker threads executing tasks from
 /// per-query queues under fair round-robin dispatch. See the module
 /// docs for the design; most callers want [`Scheduler::global`].
@@ -88,10 +82,9 @@ impl Scheduler {
         });
         for idx in 0..workers {
             let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name(format!("orthopt-worker-{idx}"))
-                .spawn(move || worker_loop(&inner, idx))
-                .expect("spawning scheduler worker");
+            thread::spawn_named(&format!("orthopt-worker-{idx}"), move || {
+                worker_loop(&inner, idx);
+            });
         }
         Scheduler { inner }
     }
@@ -137,7 +130,7 @@ impl Scheduler {
             cv: Condvar::new(),
         });
         {
-            let mut st = lock(&self.inner.state);
+            let mut st = self.inner.state.lock();
             let id = st.next_group;
             st.next_group += 1;
             let queue: VecDeque<Task> = tasks
@@ -147,10 +140,9 @@ impl Scheduler {
                     let group = Arc::clone(&group);
                     let task: Task = Box::new(move |worker: usize| {
                         let out = catch_unwind(AssertUnwindSafe(|| f(worker)));
-                        let mut done = group
-                            .done
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        // The shim lock recovers from poisoning, so even a
+                        // panicking sibling task cannot wedge the group.
+                        let mut done = group.done.lock();
                         done.0[slot] = Some(out);
                         done.1 -= 1;
                         if done.1 == 0 {
@@ -165,15 +157,9 @@ impl Scheduler {
             drop(st);
             self.inner.work.notify_all();
         }
-        let mut done = group
-            .done
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut done = group.done.lock();
         while done.1 > 0 {
-            done = group
-                .cv
-                .wait(done)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            done = group.cv.wait(done);
         }
         done.0
             .iter_mut()
@@ -184,7 +170,7 @@ impl Scheduler {
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        lock(&self.inner.state).shutdown = true;
+        self.inner.state.lock().shutdown = true;
         self.inner.work.notify_all();
         // Workers drain remaining queues before exiting; nothing to join
         // explicitly — the threads hold their own Arc<Inner>.
@@ -194,7 +180,7 @@ impl Drop for Scheduler {
 fn worker_loop(inner: &Inner, worker_idx: usize) {
     loop {
         let task = {
-            let mut st = lock(&inner.state);
+            let mut st = inner.state.lock();
             loop {
                 if let Some(id) = st.rotation.pop_front() {
                     let queue = st.queues.get_mut(&id).expect("rotation entry has queue");
@@ -211,10 +197,7 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
                 if st.shutdown {
                     return;
                 }
-                st = inner
-                    .work
-                    .wait(st)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = inner.work.wait(st);
             }
         };
         task(worker_idx);
@@ -240,7 +223,7 @@ fn global_pool_size() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use orthopt_synccheck::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn results_come_back_in_submission_order() {
@@ -286,7 +269,7 @@ mod tests {
                 let s = Arc::clone(&s);
                 let peak = Arc::clone(&peak);
                 let live = Arc::clone(&live);
-                std::thread::spawn(move || {
+                thread::spawn(move || {
                     let tasks: Vec<_> = (0..8)
                         .map(|i| {
                             let peak = Arc::clone(&peak);

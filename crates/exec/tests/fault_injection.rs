@@ -14,12 +14,12 @@ use orthopt_exec::faults::{self, FaultAction};
 use orthopt_exec::{Bindings, Chunk, PhysExpr, Pipeline};
 use orthopt_ir::{JoinKind, ScalarExpr};
 use orthopt_storage::Catalog;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use orthopt_synccheck::sync::{Mutex, MutexGuard};
 
 /// Serializes tests that arm the process-global registry.
 fn registry_lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    LOCK.lock()
 }
 
 fn scan_orders() -> PhysExpr {

@@ -32,8 +32,8 @@
 //! the Apply-removal identity number when applicable, the first
 //! offending node and before/after plan explains.
 
+use orthopt_synccheck::sync::atomic::{AtomicU8, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 use orthopt_common::Error;
@@ -199,11 +199,14 @@ static FORCE: AtomicU8 = AtomicU8::new(0);
 /// Programmatic override of [`enabled`]; tests use this to exercise the
 /// verifier in release builds.
 pub fn set_enabled(on: bool) {
+    // relaxed-ok: an isolated tri-state toggle; readers act on the value
+    // alone and no other memory is published through it.
     FORCE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
 }
 
 /// Clears a [`set_enabled`] override, restoring the default policy.
 pub fn clear_enabled_override() {
+    // relaxed-ok: see set_enabled().
     FORCE.store(0, Ordering::Relaxed);
 }
 
@@ -212,6 +215,7 @@ pub fn clear_enabled_override() {
 /// variable (`1`/`0`) overrides the profile default, and
 /// [`set_enabled`] overrides both.
 pub fn enabled() -> bool {
+    // relaxed-ok: see set_enabled().
     match FORCE.load(Ordering::Relaxed) {
         1 => false,
         2 => true,

@@ -1,0 +1,27 @@
+//! The sync-discipline lint pass over the real workspace: zero
+//! violations is a hard invariant (CI runs this next to clippy). Any
+//! new raw `std::sync`/`std::thread` use, unjustified `Relaxed`, or
+//! poisoning footgun outside the synccheck crate fails this test with
+//! file/line/rule output.
+
+use orthopt_synccheck::lint;
+
+#[test]
+fn workspace_is_clean() {
+    let root = lint::workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "resolved workspace root {} has no Cargo.toml",
+        root.display()
+    );
+    let violations = lint::check_workspace(&root);
+    assert!(
+        violations.is_empty(),
+        "sync-discipline violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
