@@ -363,7 +363,116 @@ fn main() {
         );
     }
     handle.shutdown();
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+
+    // Spill sweep: Q17-class queries on a fresh TPC-H 0.1 catalog (real
+    // data volumes, not the unit-test corpus) at memory limits from
+    // unlimited down to starvation. Each budgeted run must stay
+    // bag-identical to the unlimited one; `spilled_bytes` proves the
+    // disk path actually ran and `governed_overhead_pct` prices it.
+    let spill_scale: f64 = 0.1;
+    let mut sdb = tpch(spill_scale);
+    sdb.set_parallelism(1); // exchange gather buffers are hard-fail sites
+    let spill_queries: [(&str, String); 3] = [
+        // Grace hash join + aggregation over part ⋈ lineitem.
+        ("Q17", queries::q17_brand_only("brand#23")),
+        // External sort: presentation order over the whole lineitem.
+        (
+            "SortL",
+            "select l_orderkey, l_extendedprice from lineitem \
+             order by l_extendedprice, l_orderkey"
+                .to_string(),
+        ),
+        // Spillable aggregation: one group per part key.
+        (
+            "AggL",
+            "select l_partkey, count(*), sum(l_quantity) from lineitem \
+             group by l_partkey"
+                .to_string(),
+        ),
+    ];
+    let limits: [(&str, Option<u64>); 3] = [
+        ("unlimited", None),
+        ("16M", Some(16 << 20)),
+        ("4M", Some(4 << 20)),
+    ];
+    let _ = writeln!(json, "  \"spill\": {{");
+    let _ = writeln!(json, "    \"scale\": {spill_scale},");
+    let _ = writeln!(json, "    \"queries\": [");
+    for (qi, (name, sql)) in spill_queries.iter().enumerate() {
+        let p = plan(&sdb, sql, OptimizerLevel::Full);
+        let mut baseline: Option<(Vec<orthopt::common::Row>, f64)> = None;
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"name\": \"{}\",", esc(name));
+        let _ = writeln!(json, "        \"sweep\": [");
+        for (li, (label, limit)) in limits.iter().enumerate() {
+            let gov = || match limit {
+                Some(b) => QueryContext::new().with_memory_limit(*b),
+                None => QueryContext::new(),
+            };
+            let ms = median_ms_governed(&sdb, &p, 3, &gov());
+            // One instrumented run for the spill counters and the
+            // bag-identity check against the unlimited leg.
+            let mut pipe = Pipeline::compile(&p.physical).expect("pipeline compiles");
+            pipe.set_governor(gov());
+            let chunk = pipe
+                .execute(sdb.catalog(), &Bindings::new())
+                .unwrap_or_else(|e| panic!("{name} at {label}: {e}"));
+            let spilled: u64 = pipe.stats().iter().map(|s| s.spilled_bytes).sum();
+            let partitions: u64 = pipe.stats().iter().map(|s| s.spill_partitions).sum();
+            let rows_per_sec = if ms > 0.0 {
+                chunk.rows.len() as f64 / (ms / 1e3)
+            } else {
+                0.0
+            };
+            let (identical, overhead_pct) = match &baseline {
+                None => {
+                    assert_eq!(spilled, 0, "{name}: unlimited run touched disk");
+                    baseline = Some((chunk.rows.clone(), ms));
+                    (true, 0.0)
+                }
+                Some((rows, base_ms)) => (
+                    orthopt::common::row::bag_eq(rows, &chunk.rows),
+                    if *base_ms > 0.0 {
+                        (ms - base_ms) / base_ms * 100.0
+                    } else {
+                        0.0
+                    },
+                ),
+            };
+            assert!(identical, "{name} at {label}: budgeted run diverged");
+            eprintln!(
+                "spill {name} {label:>9}: {ms:.2} ms, {spilled} B spilled \
+                 in {partitions} partitions ({} rows, bag-identical)",
+                chunk.rows.len()
+            );
+            let _ = writeln!(
+                json,
+                "          {{\"limit\": \"{}\", \"limit_bytes\": {}, \
+                 \"elapsed_ms\": {ms:.4}, \"rows\": {}, \
+                 \"rows_per_sec\": {rows_per_sec:.0}, \"spilled_bytes\": {spilled}, \
+                 \"spill_partitions\": {partitions}, \
+                 \"governed_overhead_pct\": {overhead_pct:.2}, \
+                 \"bag_identical\": true}}{}",
+                esc(label),
+                limit.map_or_else(|| "null".to_string(), |b| b.to_string()),
+                chunk.rows.len(),
+                if li + 1 == limits.len() { "" } else { "," },
+            );
+        }
+        let _ = writeln!(json, "        ]");
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if qi + 1 == spill_queries.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

@@ -55,6 +55,11 @@ pub enum Error {
         requested: u64,
         /// The per-query budget in bytes.
         limit: u64,
+        /// Remediation hint naming the knob to raise (e.g.
+        /// `"raise ORTHOPT_MEM_LIMIT / SET mem_limit"`). `None` when the
+        /// refusing layer has no knob to suggest; sites that cannot
+        /// degrade attach one via [`Error::with_hint`].
+        hint: Option<&'static str>,
     },
     /// The query was cancelled cooperatively — by an explicit cancel
     /// handle or an expired deadline — at an operator boundary.
@@ -96,11 +101,18 @@ impl fmt::Display for Error {
                 operator,
                 requested,
                 limit,
-            } => write!(
-                f,
-                "resource exhausted: {operator} requested {requested} bytes \
-                 over a {limit}-byte memory budget"
-            ),
+                hint,
+            } => {
+                write!(
+                    f,
+                    "resource exhausted: {operator} requested {requested} bytes \
+                     over a {limit}-byte memory budget"
+                )?;
+                if let Some(h) = hint {
+                    write!(f, " (hint: {h})")?;
+                }
+                Ok(())
+            }
             Error::Cancelled {
                 operator,
                 elapsed_ms,
@@ -146,6 +158,29 @@ impl Error {
         e
     }
 
+    /// Attaches a remediation hint to a [`Error::ResourceExhausted`]
+    /// (including one buried under [`Error::Context`] layers); any other
+    /// error passes through unchanged. Hard-fail governed sites — those
+    /// with no spill or shed fallback — use this so the refusal names
+    /// the knob that would have let the query proceed.
+    #[must_use]
+    pub fn with_hint(mut self, hint: &'static str) -> Self {
+        {
+            let mut e = &mut self;
+            loop {
+                match e {
+                    Error::Context { source, .. } => e = source,
+                    Error::ResourceExhausted { hint: h, .. } => {
+                        h.get_or_insert(hint);
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self
+    }
+
     /// True when the root cause is a governor condition (budget trip or
     /// cancellation) rather than a data-dependent or internal error.
     pub fn is_governor(&self) -> bool {
@@ -176,10 +211,25 @@ mod tests {
             operator: "HashJoin".into(),
             requested: 4096,
             limit: 1024,
+            hint: None,
         };
         let s = e.to_string();
         assert!(s.contains("HashJoin") && s.contains("4096") && s.contains("1024"));
+        assert!(!s.contains("hint"), "no hint rendered when absent");
         assert!(e.is_governor());
+        let hinted = e.clone().with_hint("raise ORTHOPT_MEM_LIMIT");
+        assert!(hinted
+            .to_string()
+            .contains("(hint: raise ORTHOPT_MEM_LIMIT)"));
+        let wrapped = e
+            .context("gathering rows")
+            .with_hint("raise ORTHOPT_MEM_LIMIT");
+        assert!(
+            wrapped
+                .to_string()
+                .contains("hint: raise ORTHOPT_MEM_LIMIT"),
+            "hint reaches a context-wrapped root: {wrapped}"
+        );
         let c = Error::Cancelled {
             operator: "Sort".into(),
             elapsed_ms: 12,

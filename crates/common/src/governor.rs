@@ -54,6 +54,7 @@ impl MemoryPool {
                 operator: operator.to_string(),
                 requested: bytes,
                 limit: self.limit,
+                hint: None,
             });
         }
         // relaxed-ok: peak is monotonic telemetry, read after quiescence.
@@ -438,6 +439,7 @@ impl AdmissionController {
                 operator: "admission".to_string(),
                 requested,
                 limit: self.limit,
+                hint: Some("raise ORTHOPT_GLOBAL_MEM_LIMIT or deepen the admission queue"),
             })
         };
         if bytes > self.limit {
@@ -573,7 +575,8 @@ mod tests {
             Error::ResourceExhausted {
                 operator: "Sort".into(),
                 requested: 20,
-                limit: 100
+                limit: 100,
+                hint: None
             }
         );
         // Refused request must not leak into the pool.
@@ -643,7 +646,8 @@ mod tests {
             Error::ResourceExhausted {
                 operator: "admission".into(),
                 requested: 10,
-                limit: 100
+                limit: 100,
+                hint: Some("raise ORTHOPT_GLOBAL_MEM_LIMIT or deepen the admission queue"),
             }
         );
         drop(a);

@@ -72,6 +72,9 @@ pub struct EngineConfig {
     /// Default columnar toggle; `None` defers to the process-global
     /// flag.
     pub columnar: Option<bool>,
+    /// Default spill toggle; `None` defers to the process-global flag
+    /// (`ORTHOPT_SPILL`).
+    pub spill: Option<bool>,
     /// Default correlated-execution strategy
     /// (`ORTHOPT_APPLY_STRATEGY`): `auto` cost-races `ApplyLoop`,
     /// `BatchedApply` and `IndexLookupJoin`; the others force one.
@@ -91,6 +94,7 @@ impl Default for EngineConfig {
             mem_limit: crate::env_mem_limit(),
             timeout: crate::env_timeout(),
             columnar: None,
+            spill: None,
             apply_strategy: crate::env_apply_strategy(),
         }
     }
@@ -107,6 +111,10 @@ pub struct SessionSettings {
     /// Columnar toggle; `None` defers to the engine default, then the
     /// process-global flag.
     pub columnar: Option<bool>,
+    /// Spill-to-disk toggle; `None` defers to the engine default, then
+    /// the process-global flag. Off means memory-pressured operators
+    /// fail with `ResourceExhausted` instead of degrading to disk.
+    pub spill: Option<bool>,
     /// Per-query memory budget.
     pub mem_limit: Option<u64>,
     /// Per-query timeout.
@@ -271,6 +279,7 @@ impl Engine {
             settings: SessionSettings {
                 parallelism: self.config.parallelism,
                 columnar: self.config.columnar,
+                spill: self.config.spill,
                 mem_limit: self.config.mem_limit,
                 timeout: self.config.timeout,
                 level: OptimizerLevel::Full,
@@ -446,9 +455,10 @@ impl Session {
     }
 
     /// Applies a `SET <name> <value>` assignment. Names:
-    /// `parallelism`, `columnar` (`on`/`off`/`default`), `mem_limit`
-    /// (bytes, `k`/`m`/`g` suffix, `none`), `timeout_ms` (`none` to
-    /// clear), `level` (`correlated`/`decorrelated`/`groupby`/`full`),
+    /// `parallelism`, `columnar` (`on`/`off`/`default`), `spill`
+    /// (`on`/`off`/`default`), `mem_limit` (bytes, `k`/`m`/`g` suffix,
+    /// `none`), `timeout_ms` (`none` to clear), `level`
+    /// (`correlated`/`decorrelated`/`groupby`/`full`),
     /// `apply_strategy` (`auto`/`loop`/`batched`/`index`).
     pub fn set(&mut self, name: &str, value: &str) -> Result<()> {
         let v = value.trim();
@@ -465,6 +475,14 @@ impl Session {
                     "off" | "false" | "0" => Some(false),
                     "default" => None,
                     other => return Err(Error::Plan(format!("invalid columnar: {other}"))),
+                };
+            }
+            "spill" => {
+                self.settings.spill = match v.to_ascii_lowercase().as_str() {
+                    "on" | "true" | "1" => Some(true),
+                    "off" | "false" | "0" => Some(false),
+                    "default" => None,
+                    other => return Err(Error::Plan(format!("invalid spill: {other}"))),
                 };
             }
             "mem_limit" => {
@@ -525,6 +543,7 @@ impl Session {
             PipelineOptions {
                 batch_size: DEFAULT_BATCH_SIZE,
                 columnar: self.settings.columnar.or(self.engine.config.columnar),
+                spill: self.settings.spill.or(self.engine.config.spill),
             },
         )?;
         pipeline.set_parallelism(self.settings.parallelism);

@@ -25,9 +25,10 @@ fn registry_lock() -> MutexGuard<'static, ()> {
     LOCK.lock()
 }
 
-/// Every failpoint site compiled into the executor: buffer-growth sites
-/// plus a sample of operator batch boundaries.
-const SITES: [&str; 16] = [
+/// Every failpoint site compiled into the executor: buffer-growth sites,
+/// the spill subsystem's I/O boundaries, plus a sample of operator batch
+/// boundaries.
+const SITES: [&str; 19] = [
     "hashjoin.build",
     "nljoin.build",
     "hashagg.state",
@@ -40,6 +41,9 @@ const SITES: [&str; 16] = [
     "exchange.gather",
     "batched.bindings",
     "indexjoin.fetch",
+    "spill.open",
+    "spill.write",
+    "spill.read",
     "HashJoin",
     "HashAggregate",
     "TableScan",
@@ -192,8 +196,13 @@ fn columnar_hashjoin_build_refusal_is_structured() {
     let plan = db.plan(sql, OptimizerLevel::Full).expect("plans");
     let out_ids: Vec<_> = plan.output.iter().map(|c| c.id).collect();
 
+    // Spill pinned off: the refusal must surface structurally.
+    let no_spill = orthopt::exec::PipelineOptions {
+        spill: Some(false),
+        ..Default::default()
+    };
     faults::install("hashjoin.build", FaultAction::RefuseAlloc, 0);
-    let mut pipeline = Pipeline::compile(&plan.physical).expect("compiles");
+    let mut pipeline = Pipeline::with_options(&plan.physical, no_spill).expect("compiles");
     let got = pipeline
         .execute(db.catalog(), &Bindings::new())
         .and_then(|chunk| chunk.project(&out_ids));
@@ -210,6 +219,27 @@ fn columnar_hashjoin_build_refusal_is_structured() {
         .run(&orthopt_sql::compile(sql, db.catalog()).unwrap().rel)
         .unwrap();
     let expected = oracle.project(&out_ids).unwrap();
+
+    // Spill pinned on: the same refusal makes the columnar build go
+    // grace — partitions to disk, joins pair-by-pair, answer unchanged.
+    let with_spill = orthopt::exec::PipelineOptions {
+        spill: Some(true),
+        ..Default::default()
+    };
+    faults::install("hashjoin.build", FaultAction::RefuseAlloc, 0);
+    let mut graced = Pipeline::with_options(&plan.physical, with_spill).expect("compiles");
+    let got = graced
+        .execute(db.catalog(), &Bindings::new())
+        .and_then(|chunk| chunk.project(&out_ids));
+    faults::clear();
+    let chunk = got.expect("refusal with spill on degrades to a grace join");
+    assert!(bag_eq(&expected.rows, &chunk.rows), "grace join diverged");
+    assert_eq!(
+        orthopt::exec::spill::live_dirs(),
+        0,
+        "grace join left residue"
+    );
+
     let mut clean = Pipeline::compile(&plan.physical).expect("compiles");
     let chunk = clean
         .execute(db.catalog(), &Bindings::new())
@@ -352,6 +382,85 @@ fn injected_panic_is_isolated_by_the_facade() {
         other => panic!("expected Exec(panic …), got {other:?}"),
     }
     assert_eq!(db.execute(sql).unwrap().rows, clean.rows);
+}
+
+/// Spill-site faults: with a starvation budget forcing the external
+/// sort through `spill.open` / `spill.write` / `spill.read`, every
+/// injected I/O failure must surface as the injected structured error
+/// (never a panic, never `Internal`), leave zero spill directories
+/// behind, and let the same `Database` answer cleanly right after.
+/// Slowdowns at the same sites must change nothing but latency.
+#[test]
+fn spill_io_faults_are_structured_and_leave_no_orphans() {
+    let _g = registry_lock();
+    let was = orthopt::exec::spill::spill_enabled();
+    orthopt::exec::spill::set_spill(true);
+    let mut db = corpus_db();
+    let sql = "select sk, sv from s order by sv, sk";
+    let clean = db.execute(sql).unwrap();
+
+    // Starve the sort so runs hit disk and the merge reads them back —
+    // all three spill sites are on the executed path, not vacuously armed.
+    db.set_memory_limit(Some(16));
+    let spilled_before = orthopt::exec::spill::total_spilled_bytes();
+    let got = db.execute(sql).unwrap();
+    assert_eq!(got.rows, clean.rows, "external sort preserves order");
+    assert!(
+        orthopt::exec::spill::total_spilled_bytes() > spilled_before,
+        "budget did not force a spill; sites are off the path"
+    );
+    assert_eq!(orthopt::exec::spill::live_dirs(), 0, "dir outlived query");
+
+    for site in ["spill.open", "spill.write", "spill.read"] {
+        // Hard error: structured, attributed to the site, no residue.
+        faults::install(site, FaultAction::Error, 0);
+        let got = db.execute(sql);
+        let tripped = faults::fired(site);
+        faults::clear();
+        assert!(tripped > 0, "{site}: fault never tripped");
+        match got {
+            Err(e) => assert!(
+                matches!(e.root_cause(), Error::Exec(msg) if msg.contains(site)),
+                "{site}: expected injected Exec error, got {e:?}"
+            ),
+            Ok(_) => panic!("{site}: injected error did not surface"),
+        }
+        assert_eq!(
+            orthopt::exec::spill::live_dirs(),
+            0,
+            "{site}: orphaned spill dir after error"
+        );
+
+        // Panic: contained by the façade, no residue.
+        faults::install(site, FaultAction::Panic, 0);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected unwind
+        let got = db.execute(sql);
+        std::panic::set_hook(hook);
+        faults::clear();
+        match got {
+            Err(Error::Exec(msg)) => assert!(msg.contains("panic"), "{site}: {msg}"),
+            other => panic!("{site}: expected Exec(panic …), got {other:?}"),
+        }
+        assert_eq!(
+            orthopt::exec::spill::live_dirs(),
+            0,
+            "{site}: orphaned spill dir after panic"
+        );
+
+        // Slowdown: completes, merely late, still exact.
+        faults::install(site, FaultAction::SlowMs(1), 0);
+        let got = db.execute(sql).unwrap();
+        faults::clear();
+        assert_eq!(got.rows, clean.rows, "{site}: slowed run diverged");
+
+        // Disarmed engine: identical answer, same process, same budget.
+        let rerun = db.execute(sql).unwrap();
+        assert_eq!(rerun.rows, clean.rows, "{site}: clean rerun diverged");
+    }
+
+    db.set_memory_limit(None);
+    orthopt::exec::spill::set_spill(was);
 }
 
 /// Synthetic slowdowns compose with deadlines: a slowed scan under a

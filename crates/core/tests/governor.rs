@@ -39,6 +39,7 @@ fn budget_below_peak_trips_cleanly_and_database_recovers() {
                     operator,
                     requested,
                     limit,
+                    ..
                 } => {
                     assert!(!operator.is_empty(), "blame names an operator");
                     assert!(*requested > 0);

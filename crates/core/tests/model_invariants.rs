@@ -63,6 +63,7 @@ fn engine_config() -> EngineConfig {
         mem_limit: None,
         timeout: None,
         columnar: Some(true),
+        spill: None,
         apply_strategy: ApplyStrategy::Auto,
     }
 }
@@ -73,6 +74,7 @@ fn settings() -> SessionSettings {
         columnar: Some(true),
         mem_limit: None,
         timeout: None,
+        spill: None,
         level: OptimizerLevel::Full,
         apply_strategy: ApplyStrategy::Auto,
     }
@@ -315,6 +317,66 @@ fn admission_queue_is_starvation_free() {
         assert_eq!(stats.admitted, 4, "all four admissions landed");
         assert_eq!(stats.shed, 0, "a deep-enough queue never sheds");
         assert_eq!(ctrl.used(), 0);
+    });
+    assert!(
+        report.covered(COVERAGE),
+        "insufficient coverage: {report:?}"
+    );
+}
+
+/// Invariant 8: the spill manager's shared state (lazy scope-directory
+/// creation, file numbering, byte counters) stays consistent when two
+/// threads spill through one manager concurrently — exactly the
+/// parallel-sort / grace-join sharing pattern. In every interleaving
+/// both writers get distinct files, the counters account every byte
+/// written and read back, and dropping the manager reclaims the scope
+/// directory (the temp-file hygiene invariant).
+#[test]
+fn spill_manager_counters_and_cleanup_under_concurrent_spills() {
+    use orthopt_exec::spill::{self, SpillManager};
+
+    let report = Model::new().run(|| {
+        let dirs_before = spill::live_dirs();
+        let mgr = Arc::new(SpillManager::new());
+        let writer = |mgr: Arc<SpillManager>, tag: i64| {
+            move || {
+                let mut f = mgr.create("model").expect("create spill file");
+                let rows: Vec<Vec<Value>> =
+                    (0..4).map(|i| vec![Value::Int(tag * 10 + i)]).collect();
+                f.append(&rows, 1).expect("append");
+                let mut r = f.reader().expect("reader");
+                let mut seen = 0usize;
+                while let Some(block) = r.next_block().expect("read back") {
+                    seen += block.len();
+                }
+                assert_eq!(seen, 4, "writer {tag} read its own rows back");
+                drop(r);
+                f
+            }
+        };
+        let other = thread::spawn(writer(Arc::clone(&mgr), 2));
+        let mine = writer(Arc::clone(&mgr), 1)();
+        let theirs = other.join().expect("spilling thread");
+        assert_eq!(mgr.files_created(), 2, "each spiller got its own file");
+        assert!(mine.bytes() > 0 && theirs.bytes() > 0);
+        assert_eq!(
+            mgr.spilled_bytes(),
+            mine.bytes() + theirs.bytes(),
+            "spilled counter accounts exactly the bytes on disk"
+        );
+        assert_eq!(
+            mgr.restored_bytes(),
+            mgr.spilled_bytes(),
+            "both files were read back in full"
+        );
+        drop(mine);
+        drop(theirs);
+        drop(mgr);
+        assert_eq!(
+            spill::live_dirs(),
+            dirs_before,
+            "scope directory reclaimed on drop"
+        );
     });
     assert!(
         report.covered(COVERAGE),

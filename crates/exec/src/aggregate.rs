@@ -204,6 +204,22 @@ pub struct GroupedAggState {
     mem: MemoryReservation,
 }
 
+/// Result of a row-atomic [`GroupedAggState::feed_or_reject`].
+pub enum FeedOutcome {
+    /// The row was admitted and fully applied.
+    Fed,
+    /// The reservation refused the row's charge. No state mutated; the
+    /// row is handed back so the caller can spill it.
+    Refused {
+        /// The group key, returned unconsumed.
+        key: Row,
+        /// The evaluated aggregate arguments, returned unconsumed.
+        args: Vec<Option<Value>>,
+        /// The refusing [`Error::ResourceExhausted`].
+        err: Error,
+    },
+}
+
 /// Approximate heap footprint of one aggregate input value (DISTINCT
 /// filter entries).
 fn value_bytes(v: &Value) -> u64 {
@@ -245,32 +261,57 @@ impl GroupedAggState {
             .map(|g| g as usize)
     }
 
-    /// Registers a new group, charging the reservation for the key (its
-    /// own copy plus the hash-table entry) and the accumulator slots.
-    fn insert_group(&mut self, hash: u64, key: Row) -> Result<usize> {
+    /// Bytes one new group costs: the key's own copy plus the hash-table
+    /// entry, plus the accumulator slots.
+    fn group_bytes(&self, key: &Row) -> u64 {
         let accs = self.specs.len()
             * (std::mem::size_of::<AggAcc>() + std::mem::size_of::<Option<HashSet<Value>>>());
-        self.mem.grow(2 * row_bytes(&key) + accs as u64)?;
+        2 * row_bytes(key) + accs as u64
+    }
+
+    /// Whether feeding `v` into aggregate `i` of group `gid` would admit
+    /// a new DISTINCT filter entry (and therefore charge its bytes).
+    /// `gid` is `None` for a not-yet-inserted group, whose filters are
+    /// all empty.
+    fn distinct_admits(&self, gid: Option<usize>, i: usize, v: &Value) -> bool {
+        if !self.specs[i].1 || v.is_null() {
+            return false;
+        }
+        match gid {
+            None => true,
+            Some(g) => self.states[g].seen[i]
+                .as_ref()
+                .is_some_and(|seen| !seen.contains(v)),
+        }
+    }
+
+    /// Registers a new group whose bytes were already charged.
+    fn insert_group_prepaid(&mut self, hash: u64, key: Row) -> usize {
         let gid = self.keys.len();
         self.keys.push(key);
         self.states.push(GroupState::new(&self.specs));
         self.index.entry(hash).or_default().push(gid as u32);
-        Ok(gid)
+        gid
+    }
+
+    /// Registers a new group, charging the reservation for the key (its
+    /// own copy plus the hash-table entry) and the accumulator slots.
+    fn insert_group(&mut self, hash: u64, key: Row) -> Result<usize> {
+        self.mem.grow(self.group_bytes(&key))?;
+        Ok(self.insert_group_prepaid(hash, key))
     }
 
     /// Feeds one aggregate's argument into one group, enforcing the
-    /// DISTINCT filter (and its memory charge) exactly like the row
-    /// path always has.
-    fn update_arg(&mut self, gid: usize, i: usize, arg: Option<Value>) -> Result<()> {
+    /// DISTINCT filter. The memory charge happened up front (see
+    /// [`feed_or_reject`](GroupedAggState::feed_or_reject)), so this
+    /// never refuses.
+    fn apply_arg(&mut self, gid: usize, i: usize, arg: Option<Value>) -> Result<()> {
         let state = &mut self.states[gid];
         if let Some(seen) = &mut state.seen[i] {
             // DISTINCT: skip repeated non-NULL values.
             if let Some(v) = &arg {
-                if !v.is_null() {
-                    if !seen.insert(v.clone()) {
-                        return Ok(());
-                    }
-                    self.mem.grow(value_bytes(v))?;
+                if !v.is_null() && !seen.insert(v.clone()) {
+                    return Ok(());
                 }
             }
         }
@@ -281,16 +322,51 @@ impl GroupedAggState {
     /// each aggregate (`None` for `COUNT(*)`). The key is moved only
     /// when a new group is created.
     pub fn feed(&mut self, key: Vec<Value>, args: Vec<Option<Value>>) -> Result<()> {
+        match self.feed_or_reject(key, args)? {
+            FeedOutcome::Fed => Ok(()),
+            FeedOutcome::Refused { err, .. } => Err(err),
+        }
+    }
+
+    /// Row-atomic feed: the row's whole memory cost — a new group if its
+    /// key is unseen, plus every DISTINCT filter admission — is charged
+    /// *before* any state mutates. A refused charge therefore leaves the
+    /// state exactly as it was and hands the row back to the caller,
+    /// which can spill it; any other error propagates.
+    pub fn feed_or_reject(
+        &mut self,
+        key: Vec<Value>,
+        args: Vec<Option<Value>>,
+    ) -> Result<FeedOutcome> {
         debug_assert_eq!(args.len(), self.specs.len());
         let hash = hash_values(&key);
-        let gid = match self.find(hash, |k| k == key.as_slice()) {
+        let gid = self.find(hash, |k| k == key.as_slice());
+        let mut charge = if gid.is_none() {
+            self.group_bytes(&key)
+        } else {
+            0
+        };
+        for (i, arg) in args.iter().enumerate() {
+            if let Some(v) = arg {
+                if self.distinct_admits(gid, i, v) {
+                    charge += value_bytes(v);
+                }
+            }
+        }
+        if let Err(err) = self.mem.grow(charge) {
+            if matches!(err, Error::ResourceExhausted { .. }) {
+                return Ok(FeedOutcome::Refused { key, args, err });
+            }
+            return Err(err);
+        }
+        let gid = match gid {
             Some(g) => g,
-            None => self.insert_group(hash, key)?,
+            None => self.insert_group_prepaid(hash, key),
         };
         for (i, arg) in args.into_iter().enumerate() {
-            self.update_arg(gid, i, arg)?;
+            self.apply_arg(gid, i, arg)?;
         }
-        Ok(())
+        Ok(FeedOutcome::Fed)
     }
 
     /// Columnar feed: one call per batch. `key_cols` are the group-key
@@ -306,26 +382,115 @@ impl GroupedAggState {
         arg_cols: &[Option<Column>],
         len: usize,
     ) -> Result<()> {
+        match self.feed_lanes_or_reject(key_cols, arg_cols, len)? {
+            (_, Some(err)) => Err(err),
+            _ => Ok(()),
+        }
+    }
+
+    /// Lane-atomic columnar feed: stops at the first lane whose memory
+    /// charge is refused instead of erroring. Returns how many lanes
+    /// were fully applied plus the refusal, if any — the state is
+    /// consistent either way, and the caller can spill lanes
+    /// `applied..len`.
+    pub fn feed_lanes_or_reject(
+        &mut self,
+        key_cols: &[&Column],
+        arg_cols: &[Option<Column>],
+        len: usize,
+    ) -> Result<(usize, Option<Error>)> {
         debug_assert_eq!(arg_cols.len(), self.specs.len());
         let hashes = hash_lanes(key_cols, len);
         for (i, &h) in hashes.iter().enumerate() {
-            let gid = match self.find(h, |k| key_cols.iter().zip(k).all(|(c, v)| c.lane_eq(i, v))) {
-                Some(g) => g,
-                None => {
-                    let key: Row = key_cols.iter().map(|c| c.value(i)).collect();
-                    self.insert_group(h, key)?
+            let gid = self.find(h, |k| key_cols.iter().zip(k).all(|(c, v)| c.lane_eq(i, v)));
+            // Only a new group materializes its key `Vec` here, same as
+            // the all-resident path always has.
+            let key: Option<Row> = match gid {
+                Some(_) => None,
+                None => Some(key_cols.iter().map(|c| c.value(i)).collect()),
+            };
+            let mut charge = key.as_ref().map_or(0, |k| self.group_bytes(k));
+            for (a, col) in arg_cols.iter().enumerate() {
+                if !self.specs[a].1 {
+                    continue;
                 }
+                let Some(c) = col else { continue };
+                let v = c.value(i);
+                if self.distinct_admits(gid, a, &v) {
+                    charge += value_bytes(&v);
+                }
+            }
+            if let Err(err) = self.mem.grow(charge) {
+                if matches!(err, Error::ResourceExhausted { .. }) {
+                    return Ok((i, Some(err)));
+                }
+                return Err(err);
+            }
+            let gid = match gid {
+                Some(g) => g,
+                None => self.insert_group_prepaid(h, key.expect("new group has a key")),
             };
             for (a, col) in arg_cols.iter().enumerate() {
-                self.update_arg(gid, a, col.as_ref().map(|c| c.value(i)))?;
+                self.apply_arg(gid, a, col.as_ref().map(|c| c.value(i)))?;
             }
         }
-        Ok(())
+        Ok((len, None))
     }
 
     /// Number of distinct groups fed so far.
     pub fn group_count(&self) -> usize {
         self.keys.len()
+    }
+
+    /// Worst-case bytes [`feed`](GroupedAggState::feed) could charge for
+    /// one `(key, args)` row: a brand-new group (key copy, table entry,
+    /// accumulator slots) plus every DISTINCT filter admitting its
+    /// value. The spillable aggregation pre-probes this bound per batch
+    /// so `feed` — which charges mid-mutation and is not row-atomic —
+    /// never sees a refusal once the batch is admitted.
+    pub fn feed_bound(&self, key: &Row, args: &[Option<Value>]) -> u64 {
+        let accs = self.specs.len()
+            * (std::mem::size_of::<AggAcc>() + std::mem::size_of::<Option<HashSet<Value>>>());
+        let mut b = 2 * row_bytes(key) + accs as u64;
+        for ((_, distinct), arg) in self.specs.iter().zip(args) {
+            if *distinct {
+                if let Some(v) = arg {
+                    b += value_bytes(v);
+                }
+            }
+        }
+        b
+    }
+
+    /// Splits this state into `n` states, routing each group by
+    /// `route(&key)`. Group keys and accumulators move wholesale (no
+    /// re-aggregation); each returned state keeps the groups in this
+    /// state's first-seen order. The returned states carry detached
+    /// reservations — the bytes were already charged to this state's
+    /// reservation, which is released when `self` is consumed here, and
+    /// the spillable aggregation drains the splits one partition at a
+    /// time immediately after.
+    pub fn split_by(self, n: usize, route: impl Fn(&Row) -> usize) -> Vec<GroupedAggState> {
+        let mut out: Vec<GroupedAggState> = (0..n)
+            .map(|_| GroupedAggState {
+                specs: self.specs.clone(),
+                on_empty: self.on_empty.clone(),
+                index: HashMap::new(),
+                keys: Vec::new(),
+                states: Vec::new(),
+                mem: MemoryReservation::detached("HashAggregate"),
+            })
+            .collect();
+        for (key, state) in self.keys.into_iter().zip(self.states) {
+            let p = route(&key);
+            let target = &mut out[p];
+            let hash = hash_values(&key);
+            let gid = target.keys.len();
+            target.keys.push(key);
+            target.states.push(state);
+            target.index.entry(hash).or_default().push(gid as u32);
+        }
+        out
     }
 
     /// Folds another partial state (same specs) into this one. Groups

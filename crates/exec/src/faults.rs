@@ -137,6 +137,7 @@ mod imp {
                 operator: format!("fault:{site}"),
                 requested: 0,
                 limit: 0,
+                hint: None,
             }),
             FaultAction::Error => Err(Error::Exec(format!("injected fault at {site}"))),
             FaultAction::Panic => panic!("injected panic at {site}"),

@@ -666,6 +666,9 @@ pub struct ExchangeOp {
     /// pipelines inherit it so a per-session setting holds across the
     /// exchange boundary.
     columnar: bool,
+    /// Spill toggle the enclosing pipeline was compiled with, inherited
+    /// by worker pipelines for the same reason.
+    spill: bool,
     out_cols: Rc<[ColId]>,
     invariant: bool,
     pending: Vec<Row>,
@@ -682,6 +685,7 @@ impl ExchangeOp {
         stats: Rc<RefCell<Vec<OpStats>>>,
         batch_size: usize,
         columnar: bool,
+        spill: bool,
     ) -> ExchangeOp {
         let out_cols: Rc<[ColId]> = plan.out_cols().as_slice().into();
         let invariant = free_inputs(&plan).is_invariant();
@@ -691,6 +695,7 @@ impl ExchangeOp {
             stats,
             batch_size,
             columnar,
+            spill,
             out_cols,
             invariant,
             pending: Vec::new(),
@@ -705,6 +710,7 @@ impl ExchangeOp {
         PipelineOptions {
             batch_size: self.batch_size,
             columnar: Some(self.columnar),
+            spill: Some(self.spill),
         }
     }
 
@@ -712,8 +718,9 @@ impl ExchangeOp {
     /// before they enter the shared `pending` buffer. Also a fault site
     /// (`exchange.gather`), so injection can exercise the gather path.
     fn charge_gathered(&mut self, rows: &[Row]) -> Result<()> {
-        crate::faults::hit("exchange.gather")?;
-        self.mem.grow(rows_bytes(rows))
+        crate::faults::hit("exchange.gather")
+            .and_then(|()| self.mem.grow(rows_bytes(rows)))
+            .map_err(|e| e.with_hint("raise ORTHOPT_MEM_LIMIT / SET mem_limit"))
     }
 
     /// Serial fallback: compile and run the unmodified subtree, copying
@@ -1082,7 +1089,11 @@ impl ExchangeOp {
                                     .transpose()
                             })
                             .collect::<Result<Vec<_>>>()?;
-                        state.feed(key, args)?;
+                        // Worker-local group state is a hard-fail site:
+                        // it cannot spill, so a refusal names the knob.
+                        state
+                            .feed(key, args)
+                            .map_err(|e| e.with_hint("raise ORTHOPT_MEM_LIMIT / SET mem_limit"))?;
                     }
                     Ok(())
                 })?;
@@ -1102,7 +1113,9 @@ impl ExchangeOp {
         for (_, (state, _)) in results {
             match &mut merged {
                 None => merged = Some(state),
-                Some(m) => m.merge(state)?,
+                Some(m) => m
+                    .merge(state)
+                    .map_err(|e| e.with_hint("raise ORTHOPT_MEM_LIMIT / SET mem_limit"))?,
             }
         }
         let merged = merged.unwrap_or_else(|| GroupedAggState::new(aggs));

@@ -31,18 +31,31 @@ use orthopt_common::{ColId, Error, MemoryReservation, QueryContext, Result, Row,
 use orthopt_ir::{AggDef, ApplyKind, GroupKind, JoinKind, ScalarExpr};
 use orthopt_storage::Catalog;
 
-use crate::aggregate::GroupedAggState;
+use crate::aggregate::{FeedOutcome, GroupedAggState};
 use crate::bindings::Bindings;
 use crate::chunk::Chunk;
 use crate::eval::{eval, eval_predicate, EvalCtx, PosMap};
 use crate::physical::PhysExpr;
+use crate::spill::{
+    partition_of, SpillFile, SpillManager, SpillPartitions, SpillReader, FANOUT, MAX_SPILL_DEPTH,
+};
 use crate::stats::OpStats;
 use crate::vector::{
-    dedup_lanes, eval_column, hash_lanes, keys_valid, lane_row, selected_true, VecEval,
+    dedup_lanes, eval_column, hash_lanes, hash_values, keys_valid, lane_row, selected_true, VecEval,
 };
 
 /// Default maximum number of rows per batch.
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Hint attached to `ResourceExhausted` refusals at sites that cannot
+/// degrade any further (spilling is already active, or the operator has
+/// no disk fallback at all).
+const MEM_HINT: &str = "raise ORTHOPT_MEM_LIMIT / SET mem_limit";
+
+/// Hint attached to refusals at sites that *could* have spilled but had
+/// spilling disabled.
+const MEM_OR_SPILL_HINT: &str =
+    "raise ORTHOPT_MEM_LIMIT / SET mem_limit, or enable spilling (SET spill = on)";
 
 /// Physical representation of the data carried by a [`Batch`].
 #[derive(Debug, Clone, PartialEq)]
@@ -254,6 +267,15 @@ impl StatsHandle {
         self.stats.borrow_mut()[self.id].index_probes += 1;
     }
 
+    /// Records spill activity: partition files written and the bytes
+    /// that went to disk.
+    fn note_spill(&self, partitions: u64, bytes: u64) {
+        let mut stats = self.stats.borrow_mut();
+        let s = &mut stats[self.id];
+        s.spill_partitions += partitions;
+        s.spilled_bytes += bytes;
+    }
+
     /// Max-folds a memory peak into the slot (used by operators that
     /// are not themselves metered nodes, e.g. the rewind cache).
     fn note_mem_peak(&self, peak: u64) {
@@ -292,6 +314,12 @@ pub struct ExecCtx<'a> {
     /// [`Scheduler`](crate::scheduler::Scheduler); without it they fall
     /// back to per-query scoped threads.
     pub shared_catalog: Option<Arc<Catalog>>,
+    /// This execution's spill scope. Created fresh per execution and
+    /// dropped when it ends, so partition files never outlive the query
+    /// — including on error, cancellation, and panic paths (unwinding
+    /// drops the context). Inner scopes (`ApplyLoop`, `BatchedApply`,
+    /// `SegmentExec`) share the parent's scope.
+    pub spill: Rc<SpillManager>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -303,6 +331,7 @@ impl<'a> ExecCtx<'a> {
             parallelism: 1,
             gov: QueryContext::default(),
             shared_catalog: None,
+            spill: Rc::new(SpillManager::new()),
         }
     }
 }
@@ -361,6 +390,11 @@ pub struct PipelineOptions {
     /// Columnar-scan toggle for this pipeline; `None` defers to the
     /// process-global [`columnar_enabled`](crate::columnar_enabled).
     pub columnar: Option<bool>,
+    /// Spill-to-disk toggle for this pipeline; `None` defers to the
+    /// process-global [`spill_enabled`](crate::spill::spill_enabled).
+    /// When off, refused reservations fail with a hinted
+    /// `ResourceExhausted` instead of degrading.
+    pub spill: Option<bool>,
 }
 
 impl Default for PipelineOptions {
@@ -368,6 +402,7 @@ impl Default for PipelineOptions {
         PipelineOptions {
             batch_size: DEFAULT_BATCH_SIZE,
             columnar: None,
+            spill: None,
         }
     }
 }
@@ -404,12 +439,14 @@ impl Pipeline {
     /// Compiles a physical plan with explicit [`PipelineOptions`].
     pub fn with_options(plan: &PhysExpr, opts: PipelineOptions) -> Result<Pipeline> {
         let columnar = opts.columnar.unwrap_or_else(crate::columnar_enabled);
+        let spill = opts.spill.unwrap_or_else(crate::spill::spill_enabled);
         let mut c = Compiler {
             batch_size: opts.batch_size.max(1),
             stats: Rc::new(RefCell::new(Vec::new())),
             next_id: 0,
             cached: Vec::new(),
             columnar,
+            spill,
         };
         let root = c.compile(plan, false)?;
         Ok(Pipeline {
@@ -486,6 +523,11 @@ impl Pipeline {
             parallelism: self.parallelism,
             gov: self.gov.clone(),
             shared_catalog: self.shared_catalog.clone(),
+            // A fresh spill scope per execution; dropping `ctx` at the
+            // end of this call removes its temp directory, success or
+            // not, so spill files cannot outlive the execution even
+            // though the compiled pipeline itself is cached and reused.
+            spill: Rc::new(SpillManager::new()),
         };
         let run = (|| {
             self.root.open(&ctx)?;
@@ -740,6 +782,9 @@ struct Compiler {
     /// concurrent sessions with different settings don't race on the
     /// process-global flag).
     columnar: bool,
+    /// Resolved spill toggle for this compilation (same per-pipeline
+    /// reasoning as `columnar`).
+    spill: bool,
 }
 
 impl Compiler {
@@ -892,6 +937,11 @@ impl Compiler {
                     left_done: false,
                     batch_size: bs,
                     mem: MemoryReservation::detached("HashJoin"),
+                    // A stable build is kept across rewinds; grace
+                    // partitions are consumed when joined, so spilling
+                    // would break the rewind contract.
+                    allow_spill: self.spill && !build_stable,
+                    grace: None,
                     stats: sh.clone(),
                 })
             }
@@ -1099,6 +1149,8 @@ impl Compiler {
                     done: false,
                     batch_size: bs,
                     columnar: self.columnar,
+                    allow_spill: self.spill,
+                    spilled: None,
                     mem_peak: 0,
                     stats: sh.clone(),
                 })
@@ -1185,6 +1237,9 @@ impl Compiler {
                     sorted: false,
                     batch_size: bs,
                     mem: MemoryReservation::detached("Sort"),
+                    allow_spill: self.spill,
+                    runs: Vec::new(),
+                    merge: None,
                     stats: sh.clone(),
                 })
             }
@@ -1215,6 +1270,7 @@ impl Compiler {
                     self.stats.clone(),
                     bs,
                     self.columnar,
+                    self.spill,
                 ))
             }
             PhysExpr::MorselScan {
@@ -1878,6 +1934,78 @@ fn join_key(row: &[Value], positions: &[usize]) -> Option<Vec<Value>> {
     Some(key)
 }
 
+/// Disk-resident state of a grace hash join: both sides partitioned by
+/// the (fixed-key) join-key hash, joined pair by pair. Partition files
+/// are consumed as their pair is processed; everything left over is
+/// reclaimed when the operator (or the execution's spill scope) drops.
+struct GraceJoin {
+    /// Level-0 build partitions, while the build side drains.
+    build: Option<SpillPartitions>,
+    /// Sealed build partition files awaiting the probe side.
+    build_files: Vec<SpillFile>,
+    /// Level-0 probe partitions, while the probe side drains.
+    probe: Option<SpillPartitions>,
+    /// The probe side has been fully partitioned and `pairs` populated.
+    sealed: bool,
+    /// `(build, probe, level)` partition pairs still to join, processed
+    /// from the back (pushed in reverse partition order, so partition 0
+    /// is joined first — deterministic output order for a given budget).
+    pairs: Vec<(SpillFile, SpillFile, usize)>,
+}
+
+/// Probes `rows` against a row-mode hash `table`, appending result rows
+/// to `pending` with exactly the in-memory join's per-kind semantics.
+/// Shared by [`HashJoinOp`]'s resident probe path and the grace join's
+/// per-partition-pair probe.
+#[allow(clippy::too_many_arguments)]
+fn probe_rows_against(
+    table: &HashMap<Vec<Value>, Vec<Row>>,
+    kind: JoinKind,
+    left_pos: &[usize],
+    residual: &ScalarExpr,
+    residual_trivial: bool,
+    combined: &[ColId],
+    combined_pos: &PosMap,
+    right_width: usize,
+    rows: Vec<Row>,
+    binds: &Bindings,
+    pending: &mut Vec<Row>,
+) -> Result<()> {
+    for lr in rows {
+        let matches = join_key(&lr, left_pos).and_then(|k| table.get(&k));
+        let mut matched = false;
+        if let Some(rows) = matches {
+            for rr in rows {
+                let mut row = lr.clone();
+                row.extend(rr.iter().cloned());
+                let pass = residual_trivial
+                    || eval_predicate(
+                        residual,
+                        &EvalCtx::mapped(combined, combined_pos, &row, binds),
+                    )?;
+                if pass {
+                    matched = true;
+                    match kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => pending.push(row),
+                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                    }
+                }
+            }
+        }
+        match kind {
+            JoinKind::LeftOuter if !matched => {
+                let mut row = lr;
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                pending.push(row);
+            }
+            JoinKind::LeftSemi if matched => pending.push(lr),
+            JoinKind::LeftAnti if !matched => pending.push(lr),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 struct HashJoinOp {
     kind: JoinKind,
     left: BoxOp,
@@ -1917,6 +2045,11 @@ struct HashJoinOp {
     left_done: bool,
     batch_size: usize,
     mem: MemoryReservation,
+    /// Degrade to a grace join on a refused build reservation (compiled
+    /// from the pipeline's spill toggle; never set for stable builds).
+    allow_spill: bool,
+    /// Active grace-join state, once the build has overflowed to disk.
+    grace: Option<GraceJoin>,
     stats: StatsHandle,
 }
 
@@ -2075,39 +2208,242 @@ impl HashJoinOp {
     }
 
     fn probe_rows(&mut self, rows: Vec<Row>, binds: &Bindings) -> Result<()> {
-        for lr in rows {
-            let matches = join_key(&lr, &self.left_pos).and_then(|k| self.table.get(&k));
-            let mut matched = false;
-            if let Some(rows) = matches {
-                for rr in rows {
-                    let mut row = lr.clone();
-                    row.extend(rr.iter().cloned());
-                    let pass = self.residual_trivial
-                        || eval_predicate(
-                            &self.residual,
-                            &EvalCtx::mapped(&self.combined, &self.combined_pos, &row, binds),
-                        )?;
-                    if pass {
-                        matched = true;
-                        match self.kind {
-                            JoinKind::Inner | JoinKind::LeftOuter => self.pending.push(row),
-                            JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                        }
-                    }
+        probe_rows_against(
+            &self.table,
+            self.kind,
+            &self.left_pos,
+            &self.residual,
+            self.residual_trivial,
+            &self.combined,
+            &self.combined_pos,
+            self.right_width,
+            rows,
+            binds,
+            &mut self.pending,
+        )
+    }
+
+    /// Probe-side width (the build side contributes `right_width`).
+    fn left_width(&self) -> usize {
+        self.combined.len() - self.right_width
+    }
+
+    /// Activates the grace join: the refused reservation's contents —
+    /// everything buffered so far plus the batch that tripped the budget
+    /// — are hash-partitioned to disk and the reservation is released.
+    fn grace_start(&mut self, ctx: &ExecCtx<'_>, overflow: Batch) -> Result<()> {
+        let mut parts = SpillPartitions::create(&ctx.spill, "hj-build", self.right_width)?;
+        // Flush the buffered columnar build: concatenating first makes
+        // the row count explicit even for zero-width layouts.
+        if self.build_mode == Some(true) {
+            self.finish_columnar_build();
+            for j in 0..self.build_len {
+                let rr = lane_row(&self.build_cols, j);
+                if let Some(key) = join_key(&rr, &self.right_pos) {
+                    parts.push(partition_of(hash_values(&key), 0), rr)?;
+                }
+                if j % 1024 == 1023 {
+                    ctx.gov.check_cancelled("HashJoin")?;
                 }
             }
-            match self.kind {
-                JoinKind::LeftOuter if !matched => {
-                    let mut row = lr;
-                    row.extend(std::iter::repeat_n(Value::Null, self.right_width));
-                    self.pending.push(row);
-                }
-                JoinKind::LeftSemi if matched => self.pending.push(lr),
-                JoinKind::LeftAnti if !matched => self.pending.push(lr),
-                _ => {}
+            self.build_cols.clear();
+            self.build_index.clear();
+            self.build_len = 0;
+        }
+        // Flush the buffered row table (keys already non-NULL).
+        for (key, rows) in std::mem::take(&mut self.table) {
+            let p = partition_of(hash_values(&key), 0);
+            for rr in rows {
+                parts.push(p, rr)?;
+            }
+            ctx.gov.check_cancelled("HashJoin")?;
+        }
+        // The batch whose charge was refused.
+        for rr in self.stats.bridge_rows(overflow) {
+            if let Some(key) = join_key(&rr, &self.right_pos) {
+                parts.push(partition_of(hash_values(&key), 0), rr)?;
             }
         }
+        self.row_table_ready = false;
+        // Grace probing is row-mode; keep columnar probes off the
+        // vectorized path.
+        self.build_mode = Some(false);
+        // reset() releases the pool bytes but keeps the local peak for
+        // stats.
+        self.mem.reset();
+        self.grace = Some(GraceJoin {
+            build: Some(parts),
+            build_files: Vec::new(),
+            probe: None,
+            sealed: false,
+            pairs: Vec::new(),
+        });
+        ctx.gov.check_cancelled("HashJoin")
+    }
+
+    /// Routes one probe-side batch to the level-0 probe partitions.
+    /// NULL-keyed probe rows never match, so their per-kind result is
+    /// emitted immediately instead of being spilled.
+    fn grace_probe_batch(&mut self, ctx: &ExecCtx<'_>, batch: Batch) -> Result<()> {
+        let rows = self.stats.bridge_rows(batch);
+        let width = self.left_width();
+        let g = self
+            .grace
+            .as_mut()
+            .expect("grace_probe_batch requires active grace state");
+        if g.probe.is_none() {
+            g.probe = Some(SpillPartitions::create(&ctx.spill, "hj-probe", width)?);
+        }
+        let parts = g.probe.as_mut().expect("probe partitions just ensured");
+        for mut lr in rows {
+            match join_key(&lr, &self.left_pos) {
+                Some(key) => {
+                    parts.push(partition_of(hash_values(&key), 0), lr)?;
+                }
+                None => match self.kind {
+                    JoinKind::Inner | JoinKind::LeftSemi => {}
+                    JoinKind::LeftOuter => {
+                        lr.extend(std::iter::repeat_n(Value::Null, self.right_width));
+                        self.pending.push(lr);
+                    }
+                    JoinKind::LeftAnti => self.pending.push(lr),
+                },
+            }
+        }
+        ctx.gov.check_cancelled("HashJoin")
+    }
+
+    /// Seals the probe partitions and forms the level-0 partition pairs
+    /// (pushed in reverse so partition 0 is processed first).
+    fn grace_seal_probe(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        let width = self.left_width();
+        let g = self
+            .grace
+            .as_mut()
+            .expect("grace_seal_probe requires active grace state");
+        let probe = match g.probe.take() {
+            Some(p) => p,
+            // No keyed probe rows at all: partitions of nothing.
+            None => SpillPartitions::create(&ctx.spill, "hj-probe", width)?,
+        };
+        let pfiles = probe.finish()?;
+        let written: u64 = pfiles.iter().map(SpillFile::bytes).sum();
+        let count = pfiles.iter().filter(|f| !f.is_empty()).count() as u64;
+        self.stats.note_spill(count, written);
+        let bfiles = std::mem::take(&mut g.build_files);
+        for pair in bfiles.into_iter().zip(pfiles).rev() {
+            g.pairs.push((pair.0, pair.1, 0));
+        }
+        g.sealed = true;
         Ok(())
+    }
+
+    /// Joins (or repartitions) one partition pair. Returns `false` when
+    /// no pairs remain.
+    fn grace_step(&mut self, ctx: &ExecCtx<'_>, binds: &Bindings) -> Result<bool> {
+        let Some((mut bf, mut pf, level)) = self.grace.as_mut().and_then(|g| g.pairs.pop()) else {
+            return Ok(false);
+        };
+        // An empty build partition cannot produce Inner/Semi output;
+        // skip reading the probe partition entirely.
+        if bf.is_empty() && matches!(self.kind, JoinKind::Inner | JoinKind::LeftSemi) {
+            return Ok(true);
+        }
+        // Try to load this build partition into a resident table, under
+        // the same reservation the in-memory build uses.
+        let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+        let mut charged = 0u64;
+        let mut refusal: Option<Error> = None;
+        {
+            let mut r = bf.reader()?;
+            while let Some(block) = r.next_block()? {
+                let bytes = rows_bytes(&block);
+                match self.mem.grow(bytes) {
+                    Ok(()) => charged += bytes,
+                    Err(e) => {
+                        refusal = Some(e);
+                        break;
+                    }
+                }
+                for rr in block {
+                    let key = join_key(&rr, &self.right_pos)
+                        .ok_or_else(|| Error::internal("NULL key in grace build partition"))?;
+                    table.entry(key).or_default().push(rr);
+                }
+                ctx.gov.check_cancelled("HashJoin")?;
+            }
+        }
+        if let Some(err) = refusal {
+            // Partition still too big: subdivide both files one level
+            // deeper, up to the recursion cap.
+            drop(table);
+            self.mem.shrink(charged);
+            let next = level + 1;
+            if next >= MAX_SPILL_DEPTH {
+                // Repartition depth exhausted: one partition is still
+                // too big for the budget (e.g. one very hot key).
+                return Err(err.with_hint(MEM_HINT));
+            }
+            let mut bparts = SpillPartitions::create(&ctx.spill, "hj-build", self.right_width)?;
+            let mut r = bf.reader()?;
+            while let Some(block) = r.next_block()? {
+                for rr in block {
+                    let key = join_key(&rr, &self.right_pos)
+                        .ok_or_else(|| Error::internal("NULL key in grace build partition"))?;
+                    bparts.push(partition_of(hash_values(&key), next), rr)?;
+                }
+                ctx.gov.check_cancelled("HashJoin")?;
+            }
+            drop(r);
+            drop(bf);
+            let mut pparts = SpillPartitions::create(&ctx.spill, "hj-probe", self.left_width())?;
+            let mut r = pf.reader()?;
+            while let Some(block) = r.next_block()? {
+                for lr in block {
+                    let key = join_key(&lr, &self.left_pos)
+                        .ok_or_else(|| Error::internal("NULL key in grace probe partition"))?;
+                    pparts.push(partition_of(hash_values(&key), next), lr)?;
+                }
+                ctx.gov.check_cancelled("HashJoin")?;
+            }
+            drop(r);
+            drop(pf);
+            let bfiles = bparts.finish()?;
+            let pfiles = pparts.finish()?;
+            let written: u64 = bfiles.iter().chain(&pfiles).map(SpillFile::bytes).sum();
+            let count = bfiles
+                .iter()
+                .chain(&pfiles)
+                .filter(|f| !f.is_empty())
+                .count() as u64;
+            self.stats.note_spill(count, written);
+            let g = self.grace.as_mut().expect("grace state active");
+            for pair in bfiles.into_iter().zip(pfiles).rev() {
+                g.pairs.push((pair.0, pair.1, next));
+            }
+            return Ok(true);
+        }
+        // Table resident: stream the probe partition through it.
+        let mut r = pf.reader()?;
+        while let Some(block) = r.next_block()? {
+            probe_rows_against(
+                &table,
+                self.kind,
+                &self.left_pos,
+                &self.residual,
+                self.residual_trivial,
+                &self.combined,
+                &self.combined_pos,
+                self.right_width,
+                block,
+                binds,
+                &mut self.pending,
+            )?;
+            ctx.gov.check_cancelled("HashJoin")?;
+        }
+        drop(r);
+        self.mem.shrink(charged);
+        Ok(true)
     }
 }
 
@@ -2126,6 +2462,10 @@ impl Operator for HashJoinOp {
             self.build_len = 0;
             self.row_table_ready = false;
             self.built = false;
+            // Dropping stale grace state removes any leftover partition
+            // files from a previous (errored) execution of this cached
+            // pipeline.
+            self.grace = None;
             // Fresh reservation: replacing the old one releases the
             // dropped table's bytes back to the pool.
             self.mem = ctx.gov.reservation("HashJoin");
@@ -2142,8 +2482,37 @@ impl Operator for HashJoinOp {
             // trips and failpoints do not depend on the representation.
             while let Some(b) = self.right.next_batch(ctx)? {
                 b.check_width(self.right_width)?;
-                crate::faults::hit("hashjoin.build")?;
-                self.mem.grow(b.mem_bytes())?;
+                if let Some(g) = self.grace.as_mut() {
+                    // Already degraded: the failpoint still fires
+                    // (Panic / Error / SlowMs), but a refused
+                    // allocation is moot on the disk path.
+                    match crate::faults::hit("hashjoin.build") {
+                        Err(Error::ResourceExhausted { .. }) => {}
+                        r => r?,
+                    }
+                    let rows = self.stats.bridge_rows(b);
+                    let parts = g.build.as_mut().expect("build partitions active");
+                    for rr in rows {
+                        if let Some(key) = join_key(&rr, &self.right_pos) {
+                            parts.push(partition_of(hash_values(&key), 0), rr)?;
+                        }
+                    }
+                    ctx.gov.check_cancelled("HashJoin")?;
+                    continue;
+                }
+                match crate::faults::hit("hashjoin.build")
+                    .and_then(|()| self.mem.grow(b.mem_bytes()))
+                {
+                    Ok(()) => {}
+                    Err(e) => {
+                        let refused = matches!(e, Error::ResourceExhausted { .. });
+                        if refused && self.allow_spill {
+                            self.grace_start(ctx, b)?;
+                            continue;
+                        }
+                        return Err(e.with_hint(MEM_OR_SPILL_HINT));
+                    }
+                }
                 let columnar = *self.build_mode.get_or_insert(b.is_columnar());
                 if columnar {
                     let (columns, n) = b.into_columns();
@@ -2157,7 +2526,14 @@ impl Operator for HashJoinOp {
                     }
                 }
             }
-            if self.build_mode != Some(false) {
+            if let Some(g) = self.grace.as_mut() {
+                let parts = g.build.take().expect("build partitions active");
+                let files = parts.finish()?;
+                let written: u64 = files.iter().map(SpillFile::bytes).sum();
+                let count = files.iter().filter(|f| !f.is_empty()).count() as u64;
+                self.stats.note_spill(count, written);
+                g.build_files = files;
+            } else if self.build_mode != Some(false) {
                 // Columnar build — or an empty build side, finished
                 // columnar so columnar probes have columns to gather.
                 self.build_mode = Some(true);
@@ -2168,6 +2544,36 @@ impl Operator for HashJoinOp {
         loop {
             if let Some(b) = self.out_queue.pop_front() {
                 return Ok(Some(b));
+            }
+            if self.grace.is_some() {
+                // Grace probe phase: partition the probe side to disk,
+                // then join partition pairs one step per iteration.
+                if self.pending.len() >= self.batch_size {
+                    if let Some(b) =
+                        drain_pending(&mut self.pending, self.batch_size, &self.out_cols)
+                    {
+                        return Ok(Some(b));
+                    }
+                }
+                if !self.left_done {
+                    match self.left.next_batch(ctx)? {
+                        None => self.left_done = true,
+                        Some(batch) => self.grace_probe_batch(ctx, batch)?,
+                    }
+                    continue;
+                }
+                if !self.grace.as_ref().is_some_and(|g| g.sealed) {
+                    self.grace_seal_probe(ctx)?;
+                    continue;
+                }
+                let binds = ctx.binds.borrow().clone();
+                if self.grace_step(ctx, &binds)? {
+                    continue;
+                }
+                if let Some(b) = drain_pending(&mut self.pending, self.batch_size, &self.out_cols) {
+                    return Ok(Some(b));
+                }
+                return Ok(None);
             }
             if self.pending.len() >= self.batch_size || self.left_done {
                 if let Some(b) = drain_pending(&mut self.pending, self.batch_size, &self.out_cols) {
@@ -2281,8 +2687,9 @@ impl Operator for NLJoinOp {
         if !self.right_built {
             while let Some(b) = self.right.next_batch(ctx)? {
                 b.check_width(self.right_width)?;
-                crate::faults::hit("nljoin.build")?;
-                self.mem.grow(b.mem_bytes())?;
+                crate::faults::hit("nljoin.build")
+                    .and_then(|()| self.mem.grow(b.mem_bytes()))
+                    .map_err(|e| e.with_hint(MEM_HINT))?;
                 let rows = self.stats.bridge_rows(b);
                 self.right_rows.extend(rows);
             }
@@ -2354,6 +2761,7 @@ impl Operator for ApplyLoopOp {
                 parallelism: ctx.parallelism,
                 gov: ctx.gov.clone(),
                 shared_catalog: ctx.shared_catalog.clone(),
+                spill: Rc::clone(&ctx.spill),
             };
             for lr in self.stats.bridge_rows(batch) {
                 {
@@ -2576,6 +2984,7 @@ impl Operator for BatchedApplyOp {
                 parallelism: ctx.parallelism,
                 gov: ctx.gov.clone(),
                 shared_catalog: ctx.shared_catalog.clone(),
+                spill: Rc::clone(&ctx.spill),
             };
             let mut results: Vec<Rc<Vec<Row>>> = Vec::with_capacity(distinct.len());
             for key in distinct {
@@ -2821,8 +3230,9 @@ impl Operator for SegmentExecOp {
             let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(self.input_cols.len())?;
-                crate::faults::hit("segment.partition")?;
-                self.mem.grow(b.mem_bytes())?;
+                crate::faults::hit("segment.partition")
+                    .and_then(|()| self.mem.grow(b.mem_bytes()))
+                    .map_err(|e| e.with_hint(MEM_HINT))?;
                 for r in self.stats.bridge_rows(b) {
                     let key: Vec<Value> = self.seg_pos.iter().map(|&i| r[i].clone()).collect();
                     match index.get(&key) {
@@ -2850,6 +3260,7 @@ impl Operator for SegmentExecOp {
                 parallelism: ctx.parallelism,
                 gov: ctx.gov.clone(),
                 shared_catalog: ctx.shared_catalog.clone(),
+                spill: Rc::clone(&ctx.spill),
             };
             let run = (|| -> Result<()> {
                 self.inner.open(&ictx)?;
@@ -2887,6 +3298,18 @@ impl Operator for SegmentExecOp {
 // Pipeline breakers.
 // ---------------------------------------------------------------------
 
+/// Disk-resident overflow of a spillable hash aggregation: rows the
+/// resident state refused are stored as already-evaluated
+/// `key ++ present-args` tuples (no re-evaluation on restore),
+/// partitioned by group-key hash.
+struct SpilledAgg {
+    parts: SpillPartitions,
+    key_width: usize,
+    /// Which aggregate specs carry an argument value in the spilled row
+    /// (static per plan: `arg` is `Some` for everything but COUNT(*)).
+    has_arg: Vec<bool>,
+}
+
 struct HashAggregateOp {
     kind: GroupKind,
     input: BoxOp,
@@ -2905,7 +3328,233 @@ struct HashAggregateOp {
     /// Peak bytes of the grouped state, captured before `finish`
     /// consumes it (the reservation lives inside the state).
     mem_peak: u64,
+    /// Degrade to partitioned spilling on a refused state charge.
+    allow_spill: bool,
+    /// Active spill state; once set, the resident group state is frozen
+    /// and every further input row goes to disk.
+    spilled: Option<SpilledAgg>,
     stats: StatsHandle,
+}
+
+impl HashAggregateOp {
+    /// Enters spill mode (idempotent): the resident state freezes and
+    /// further rows are partitioned to disk by group-key hash.
+    fn enter_spill(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        if self.spilled.is_some() {
+            return Ok(());
+        }
+        let has_arg: Vec<bool> = self.aggs.iter().map(|a| a.arg.is_some()).collect();
+        let width = self.group_pos.len() + has_arg.iter().filter(|&&h| h).count();
+        let parts = SpillPartitions::create(&ctx.spill, "agg-part", width)?;
+        self.spilled = Some(SpilledAgg {
+            parts,
+            key_width: self.group_pos.len(),
+            has_arg,
+        });
+        Ok(())
+    }
+
+    /// Routes one evaluated `(key, args)` row to its spill partition.
+    fn spill_row(&mut self, key: Row, args: Vec<Option<Value>>) -> Result<()> {
+        let sp = self.spilled.as_mut().expect("spill mode active");
+        let p = partition_of(hash_values(&key), 0);
+        let mut row = key;
+        row.extend(args.into_iter().flatten());
+        sp.parts.push(p, row)?;
+        Ok(())
+    }
+
+    /// Pulls the whole input through the grouped state, degrading to
+    /// disk partitions when the governor refuses a charge.
+    fn drain_input(&mut self, ctx: &ExecCtx<'_>, state: &mut GroupedAggState) -> Result<()> {
+        while let Some(b) = self.input.next_batch(ctx)? {
+            match crate::faults::hit("hashagg.state") {
+                Ok(()) => {}
+                Err(e) => {
+                    let refused = matches!(e, Error::ResourceExhausted { .. });
+                    if !(refused && self.allow_spill) {
+                        return Err(e.with_hint(MEM_OR_SPILL_HINT));
+                    }
+                    self.enter_spill(ctx)?;
+                }
+            }
+            let binds = ctx.binds.borrow();
+            // Vectorized feed: evaluate every aggregate argument as a
+            // whole column first (an argument kernel error falls back
+            // to the row path on the whole batch), then stream the
+            // lanes into the grouped state. Lane charges are atomic:
+            // a refused lane leaves the state consistent and the tail
+            // of the batch goes to disk.
+            let mut vector_ok = false;
+            if let Some((columns, len)) = b.columns() {
+                let cx = VecEval {
+                    cols: &self.in_cols,
+                    pos: &self.in_pos,
+                    columns,
+                    len,
+                    binds: &binds,
+                };
+                let args: Result<Vec<Option<Column>>> = self
+                    .aggs
+                    .iter()
+                    .map(|a| a.arg.as_ref().map(|e| eval_column(e, &cx)).transpose())
+                    .collect();
+                if let Ok(arg_cols) = args {
+                    let key_cols: Vec<&Column> =
+                        self.group_pos.iter().map(|&i| &columns[i]).collect();
+                    let mut start = 0;
+                    if self.spilled.is_none() {
+                        let (applied, refusal) =
+                            state.feed_lanes_or_reject(&key_cols, &arg_cols, len)?;
+                        match refusal {
+                            None => start = len,
+                            Some(err) => {
+                                if !self.allow_spill {
+                                    return Err(err.with_hint(MEM_OR_SPILL_HINT));
+                                }
+                                self.enter_spill(ctx)?;
+                                start = applied;
+                            }
+                        }
+                    }
+                    if start < len {
+                        for i in start..len {
+                            let key: Row = self
+                                .group_pos
+                                .iter()
+                                .map(|&p| columns[p].value(i))
+                                .collect();
+                            let row_args: Vec<Option<Value>> = arg_cols
+                                .iter()
+                                .map(|c| c.as_ref().map(|c| c.value(i)))
+                                .collect();
+                            self.spill_row(key, row_args)?;
+                        }
+                        ctx.gov.check_cancelled("HashAggregate")?;
+                    }
+                    self.stats.note_kernel();
+                    vector_ok = true;
+                }
+            }
+            if vector_ok {
+                continue;
+            }
+            for r in &self.stats.bridge_rows(b) {
+                let key: Vec<Value> = self.group_pos.iter().map(|&i| r[i].clone()).collect();
+                let args = self
+                    .aggs
+                    .iter()
+                    .map(|a| {
+                        a.arg
+                            .as_ref()
+                            .map(|e| {
+                                eval(e, &EvalCtx::mapped(&self.in_cols, &self.in_pos, r, &binds))
+                            })
+                            .transpose()
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                if self.spilled.is_some() {
+                    self.spill_row(key, args)?;
+                    continue;
+                }
+                match state.feed_or_reject(key, args)? {
+                    FeedOutcome::Fed => {}
+                    FeedOutcome::Refused { key, args, err } => {
+                        if !self.allow_spill {
+                            return Err(err.with_hint(MEM_OR_SPILL_HINT));
+                        }
+                        self.enter_spill(ctx)?;
+                        self.spill_row(key, args)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays one spilled partition file into `st`.
+    fn replay_file(
+        ctx: &ExecCtx<'_>,
+        st: &mut GroupedAggState,
+        file: &mut SpillFile,
+        key_width: usize,
+        has_arg: &[bool],
+    ) -> Result<()> {
+        let mut r = file.reader()?;
+        while let Some(rows) = r.next_block()? {
+            for row in rows {
+                let mut it = row.into_iter();
+                let key: Row = it.by_ref().take(key_width).collect();
+                let args: Vec<Option<Value>> = has_arg
+                    .iter()
+                    .map(|&h| if h { it.next() } else { None })
+                    .collect();
+                st.feed(key, args).map_err(|e| e.with_hint(MEM_HINT))?;
+            }
+            ctx.gov.check_cancelled("HashAggregate")?;
+        }
+        Ok(())
+    }
+
+    /// Finishes a spilled aggregation: the frozen resident state is
+    /// split by the same partition function the disk rows used, then
+    /// each partition is finalized independently — merge the resident
+    /// split, replay the partition file, emit. Peak memory is one
+    /// partition's groups instead of all of them.
+    fn finish_spilled(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        state: GroupedAggState,
+        sp: SpilledAgg,
+    ) -> Result<Vec<Row>> {
+        let SpilledAgg {
+            parts,
+            key_width,
+            has_arg,
+        } = sp;
+        let files = parts.finish()?;
+        let written: u64 = files.iter().map(SpillFile::bytes).sum();
+        let count = files.iter().filter(|f| !f.is_empty()).count() as u64;
+        self.stats.note_spill(count, written);
+        let splits = state.split_by(FANOUT, |key| partition_of(hash_values(key), 0));
+        if matches!(self.kind, GroupKind::Scalar) {
+            // Scalar aggregation has a single (empty) group key, so all
+            // rows live in one partition: fold everything into one
+            // state and finish once, so `agg(∅)` fires exactly when the
+            // whole input was empty.
+            let mut total = GroupedAggState::new(&self.aggs);
+            total.set_reservation(ctx.gov.reservation("HashAggregate"));
+            let r = (|| -> Result<()> {
+                for split in splits {
+                    total.merge(split).map_err(|e| e.with_hint(MEM_HINT))?;
+                }
+                for mut file in files {
+                    Self::replay_file(ctx, &mut total, &mut file, key_width, &has_arg)?;
+                }
+                Ok(())
+            })();
+            self.mem_peak = self.mem_peak.max(total.mem_peak());
+            r?;
+            return Ok(total.finish(self.kind));
+        }
+        let mut out = Vec::new();
+        for (split, mut file) in splits.into_iter().zip(files) {
+            let mut st = GroupedAggState::new(&self.aggs);
+            st.set_reservation(ctx.gov.reservation("HashAggregate"));
+            let r = (|| -> Result<()> {
+                st.merge(split).map_err(|e| e.with_hint(MEM_HINT))?;
+                Self::replay_file(ctx, &mut st, &mut file, key_width, &has_arg)
+            })();
+            self.mem_peak = self.mem_peak.max(st.mem_peak());
+            r?;
+            out.extend(st.finish(self.kind));
+            // The partition file is consumed; dropping it reclaims the
+            // disk space before the next partition loads.
+            drop(file);
+            ctx.gov.check_cancelled("HashAggregate")?;
+        }
+        Ok(out)
+    }
 }
 
 impl Operator for HashAggregateOp {
@@ -2916,6 +3565,9 @@ impl Operator for HashAggregateOp {
         self.result.clear();
         self.done = false;
         self.mem_peak = 0;
+        // Dropping stale spill partitions removes their files (left by
+        // a previous errored execution of this cached pipeline).
+        self.spilled = None;
         self.input.open(ctx)
     }
 
@@ -2925,73 +3577,13 @@ impl Operator for HashAggregateOp {
                 .state
                 .take()
                 .ok_or_else(|| Error::internal("aggregate state missing"))?;
-            let fed = (|| -> Result<()> {
-                while let Some(b) = self.input.next_batch(ctx)? {
-                    crate::faults::hit("hashagg.state")?;
-                    let binds = ctx.binds.borrow();
-                    // Vectorized feed: evaluate every aggregate argument
-                    // as a whole column first (an argument kernel error
-                    // falls back to the row path on the whole batch),
-                    // then stream the lanes into the grouped state.
-                    // State-update errors (budget trips) propagate:
-                    // kernels never mutate state before all arguments
-                    // evaluated.
-                    let mut vector_ok = false;
-                    if let Some((columns, len)) = b.columns() {
-                        let cx = VecEval {
-                            cols: &self.in_cols,
-                            pos: &self.in_pos,
-                            columns,
-                            len,
-                            binds: &binds,
-                        };
-                        let args: Result<Vec<Option<Column>>> = self
-                            .aggs
-                            .iter()
-                            .map(|a| a.arg.as_ref().map(|e| eval_column(e, &cx)).transpose())
-                            .collect();
-                        if let Ok(arg_cols) = args {
-                            let key_cols: Vec<&Column> =
-                                self.group_pos.iter().map(|&i| &columns[i]).collect();
-                            state.feed_lanes(&key_cols, &arg_cols, len)?;
-                            self.stats.note_kernel();
-                            vector_ok = true;
-                        }
-                    }
-                    if vector_ok {
-                        continue;
-                    }
-                    for r in &self.stats.bridge_rows(b) {
-                        let key: Vec<Value> =
-                            self.group_pos.iter().map(|&i| r[i].clone()).collect();
-                        let args = self
-                            .aggs
-                            .iter()
-                            .map(|a| {
-                                a.arg
-                                    .as_ref()
-                                    .map(|e| {
-                                        eval(
-                                            e,
-                                            &EvalCtx::mapped(
-                                                &self.in_cols,
-                                                &self.in_pos,
-                                                r,
-                                                &binds,
-                                            ),
-                                        )
-                                    })
-                                    .transpose()
-                            })
-                            .collect::<Result<Vec<_>>>()?;
-                        state.feed(key, args)?;
-                    }
-                }
-                Ok(())
-            })();
+            let fed = self.drain_input(ctx, &mut state);
             self.mem_peak = self.mem_peak.max(state.mem_peak());
             fed?;
-            self.result = state.finish(self.kind);
+            self.result = match self.spilled.take() {
+                None => state.finish(self.kind),
+                Some(sp) => self.finish_spilled(ctx, state, sp)?,
+            };
             self.done = true;
         }
         let out = drain_pending(&mut self.result, self.batch_size, &self.out_cols);
@@ -3006,6 +3598,52 @@ impl Operator for HashAggregateOp {
     }
 }
 
+/// Compares two rows under a sort specification (`(position, desc)`
+/// pairs). NULLs order via [`Value::total_cmp`].
+fn cmp_rows(a: &Row, b: &Row, by: &[(usize, bool)]) -> std::cmp::Ordering {
+    for &(i, desc) in by {
+        let mut o = a[i].total_cmp(&b[i]);
+        if desc {
+            o = o.reverse();
+        }
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// One run in an external k-way merge: a spilled sorted run being
+/// streamed block by block, or the final in-memory run (`reader` is
+/// `None` and `buf` holds all of it).
+struct RunCursor {
+    reader: Option<SpillReader>,
+    buf: VecDeque<Row>,
+}
+
+impl RunCursor {
+    /// Ensures `buf` has the run's next row (empty only at end-of-run).
+    fn refill(&mut self) -> Result<()> {
+        while self.buf.is_empty() {
+            let Some(r) = self.reader.as_mut() else {
+                return Ok(());
+            };
+            match r.next_block()? {
+                Some(rows) => self.buf = rows.into(),
+                None => self.reader = None,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// K-way merge state over sorted runs. Cursors are ordered by run
+/// creation time; ties between heads resolve to the earliest run, which
+/// reproduces exactly the stable sort of the concatenated input.
+struct MergeState {
+    cursors: Vec<RunCursor>,
+}
+
 struct SortOp {
     input: BoxOp,
     by_pos: Vec<(usize, bool)>,
@@ -3014,13 +3652,76 @@ struct SortOp {
     sorted: bool,
     batch_size: usize,
     mem: MemoryReservation,
+    /// Degrade to an external merge sort on a refused reservation.
+    allow_spill: bool,
+    /// Spilled sorted runs, in creation order. The files must outlive
+    /// `merge` (its readers reopen them by path); cleared when the
+    /// merge completes.
+    runs: Vec<SpillFile>,
+    merge: Option<MergeState>,
     stats: StatsHandle,
+}
+
+impl SortOp {
+    /// Stable-sorts the buffered rows and writes them out as one run,
+    /// then releases the reservation (keeping its peak).
+    fn spill_run(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        let by = std::mem::take(&mut self.by_pos);
+        self.buffered.sort_by(|a, b| cmp_rows(a, b, &by));
+        self.by_pos = by;
+        let mut f = ctx.spill.create("sort-run")?;
+        for chunk in self.buffered.chunks(DEFAULT_BATCH_SIZE) {
+            f.append(chunk, self.cols.len())?;
+            ctx.gov.check_cancelled("Sort")?;
+        }
+        self.buffered.clear();
+        self.runs.push(f);
+        self.mem.reset();
+        Ok(())
+    }
+
+    /// Pops up to one batch of rows off the k-way merge.
+    fn merge_next(&mut self) -> Result<Vec<Row>> {
+        let m = self.merge.as_mut().expect("merge state active");
+        let mut out = Vec::new();
+        loop {
+            for c in &mut m.cursors {
+                c.refill()?;
+            }
+            let mut best: Option<usize> = None;
+            for (i, c) in m.cursors.iter().enumerate() {
+                let Some(h) = c.buf.front() else { continue };
+                best = match best {
+                    None => Some(i),
+                    Some(j) => {
+                        // Strict `<` keeps the earlier run on ties.
+                        let bh = m.cursors[j].buf.front().expect("best head present");
+                        if cmp_rows(h, bh, &self.by_pos) == std::cmp::Ordering::Less {
+                            Some(i)
+                        } else {
+                            Some(j)
+                        }
+                    }
+                };
+            }
+            let Some(i) = best else { break };
+            out.push(m.cursors[i].buf.pop_front().expect("head present"));
+            if out.len() >= self.batch_size {
+                break;
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl Operator for SortOp {
     fn open(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         self.buffered.clear();
         self.sorted = false;
+        // Dropping stale runs removes their files (a previous errored
+        // execution of this cached pipeline may have left some).
+        self.runs.clear();
+        self.merge = None;
         self.mem = ctx.gov.reservation("Sort");
         self.input.open(ctx)
     }
@@ -3029,25 +3730,74 @@ impl Operator for SortOp {
         if !self.sorted {
             while let Some(b) = self.input.next_batch(ctx)? {
                 b.check_width(self.cols.len())?;
-                crate::faults::hit("sort.buffer")?;
-                self.mem.grow(b.mem_bytes())?;
+                match crate::faults::hit("sort.buffer").and_then(|()| self.mem.grow(b.mem_bytes()))
+                {
+                    Ok(()) => {}
+                    Err(e) => {
+                        let refused = matches!(e, Error::ResourceExhausted { .. });
+                        if !(refused && self.allow_spill) {
+                            return Err(e.with_hint(MEM_OR_SPILL_HINT));
+                        }
+                        // Write everything buffered so far as a sorted
+                        // run, then retry the charge for this batch.
+                        self.spill_run(ctx)?;
+                        if let Err(e2) = self.mem.grow(b.mem_bytes()) {
+                            if !matches!(e2, Error::ResourceExhausted { .. }) {
+                                return Err(e2);
+                            }
+                            // The batch alone exceeds the budget: it
+                            // becomes its own run without ever being
+                            // resident past this point.
+                            let mut rows = self.stats.bridge_rows(b);
+                            rows.sort_by(|a, b| cmp_rows(a, b, &self.by_pos));
+                            let mut f = ctx.spill.create("sort-run")?;
+                            for chunk in rows.chunks(DEFAULT_BATCH_SIZE) {
+                                f.append(chunk, self.cols.len())?;
+                            }
+                            self.runs.push(f);
+                            ctx.gov.check_cancelled("Sort")?;
+                            continue;
+                        }
+                    }
+                }
                 let rows = self.stats.bridge_rows(b);
                 self.buffered.extend(rows);
             }
             let by = &self.by_pos;
-            self.buffered.sort_by(|a, b| {
-                for &(i, desc) in by {
-                    let mut o = a[i].total_cmp(&b[i]);
-                    if desc {
-                        o = o.reverse();
-                    }
-                    if o != std::cmp::Ordering::Equal {
-                        return o;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            self.buffered.sort_by(|a, b| cmp_rows(a, b, by));
             self.sorted = true;
+            if !self.runs.is_empty() {
+                let written: u64 = self.runs.iter().map(SpillFile::bytes).sum();
+                let count = self.runs.iter().filter(|f| !f.is_empty()).count() as u64;
+                self.stats.note_spill(count, written);
+                let mut cursors = Vec::with_capacity(self.runs.len() + 1);
+                for f in &mut self.runs {
+                    cursors.push(RunCursor {
+                        reader: Some(f.reader()?),
+                        buf: VecDeque::new(),
+                    });
+                }
+                // The still-resident tail is the youngest run.
+                cursors.push(RunCursor {
+                    reader: None,
+                    buf: std::mem::take(&mut self.buffered).into(),
+                });
+                self.merge = Some(MergeState { cursors });
+            }
+        }
+        if self.merge.is_some() {
+            ctx.gov.check_cancelled("Sort")?;
+            let out = self.merge_next()?;
+            if out.is_empty() {
+                // Merge exhausted: drop the run files now rather than
+                // at close, so a long-lived cached pipeline does not
+                // pin disk space.
+                self.merge = None;
+                self.runs.clear();
+                self.mem.reset();
+                return Ok(None);
+            }
+            return Ok(Some(Batch::new(self.cols.clone(), out)));
         }
         Ok(drain_pending(
             &mut self.buffered,
@@ -3094,8 +3844,9 @@ impl Operator for LimitOp {
                 }
                 let kept: Vec<Row> = self.stats.bridge_rows(b).into_iter().take(room).collect();
                 if !kept.is_empty() {
-                    crate::faults::hit("limit.buffer")?;
-                    self.mem.grow(rows_bytes(&kept))?;
+                    crate::faults::hit("limit.buffer")
+                        .and_then(|()| self.mem.grow(rows_bytes(&kept)))
+                        .map_err(|e| e.with_hint(MEM_HINT))?;
                     self.buffered.extend(kept);
                 }
             }
@@ -3138,8 +3889,9 @@ impl Operator for AssertMax1Op {
         // cardinality violation, as in the reference semantics.
         while let Some(b) = self.input.next_batch(ctx)? {
             b.check_width(self.cols.len())?;
-            crate::faults::hit("max1.buffer")?;
-            self.mem.grow(b.mem_bytes())?;
+            crate::faults::hit("max1.buffer")
+                .and_then(|()| self.mem.grow(b.mem_bytes()))
+                .map_err(|e| e.with_hint(MEM_HINT))?;
             let rows = self.stats.bridge_rows(b);
             self.buffered.extend(rows);
         }
@@ -3235,8 +3987,9 @@ impl Operator for ExceptOp {
     fn next_batch(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
         if !self.built {
             while let Some(b) = self.right.next_batch(ctx)? {
-                crate::faults::hit("except.build")?;
-                self.mem.grow(b.mem_bytes())?;
+                crate::faults::hit("except.build")
+                    .and_then(|()| self.mem.grow(b.mem_bytes()))
+                    .map_err(|e| e.with_hint(MEM_HINT))?;
                 for r in &self.stats.bridge_rows(b) {
                     let key: Row = self.rpos.iter().map(|&i| r[i].clone()).collect();
                     *self.counts.entry(key).or_insert(0) += 1;
@@ -3449,6 +4202,9 @@ mod tests {
             sorted: false,
             batch_size: 16,
             mem: MemoryReservation::detached("Sort"),
+            allow_spill: false,
+            runs: Vec::new(),
+            merge: None,
             stats: StatsHandle::new(Rc::new(RefCell::new(vec![OpStats::default()])), 0),
         };
         let catalog = catalog();

@@ -44,6 +44,12 @@ pub struct OpStats {
     /// Hash-index probes issued by `IndexLookupJoin` (one per distinct
     /// non-NULL binding).
     pub index_probes: u64,
+    /// Spill partition files this operator wrote (grace-join partitions
+    /// across all recursion levels, sort runs, aggregation partitions).
+    /// Zero means the operator stayed in memory.
+    pub spill_partitions: u64,
+    /// Bytes this operator wrote to spill files.
+    pub spilled_bytes: u64,
 }
 
 impl OpStats {
@@ -77,6 +83,12 @@ impl OpStats {
         if self.index_probes > 0 {
             s.push_str(&format!(" index_probes={}", self.index_probes));
         }
+        if self.spill_partitions > 0 {
+            s.push_str(&format!(
+                " spill_partitions={} spilled_bytes={}",
+                self.spill_partitions, self.spilled_bytes
+            ));
+        }
         s
     }
 
@@ -94,6 +106,8 @@ impl OpStats {
         self.bridged += t.bridged;
         self.distinct_bindings += t.distinct_bindings;
         self.index_probes += t.index_probes;
+        self.spill_partitions += t.spill_partitions;
+        self.spilled_bytes += t.spilled_bytes;
     }
 
     /// Folds one worker's counters into this (merged) entry: additive
@@ -111,5 +125,7 @@ impl OpStats {
         self.bridged += w.bridged;
         self.distinct_bindings += w.distinct_bindings;
         self.index_probes += w.index_probes;
+        self.spill_partitions += w.spill_partitions;
+        self.spilled_bytes += w.spilled_bytes;
     }
 }

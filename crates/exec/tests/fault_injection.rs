@@ -65,7 +65,18 @@ fn refused_allocation_surfaces_as_resource_exhausted() {
     let _g = registry_lock();
     let catalog = customers_orders();
     faults::install("hashjoin.build", FaultAction::RefuseAlloc, 0);
-    let err = run(&join_plan(), &catalog, 1).unwrap_err();
+    // Spill pinned off per-pipeline: with it on (the default) a refused
+    // build charge degrades to a grace hash join and the query succeeds
+    // — that leg is covered by the fault matrix; this test asserts the
+    // strict refusal contract.
+    let opts = orthopt_exec::PipelineOptions {
+        spill: Some(false),
+        ..Default::default()
+    };
+    let mut pipe = Pipeline::with_options(&join_plan(), opts).unwrap();
+    pipe.set_parallelism(1);
+    pipe.set_governor(QueryContext::new());
+    let err = pipe.execute(&catalog, &Bindings::new()).unwrap_err();
     faults::clear();
     match err {
         Error::ResourceExhausted { operator, .. } => {

@@ -233,6 +233,36 @@ mod governor {
         pipe.execute(catalog, &Bindings::new())
     }
 
+    /// Budget-trip tests assert the *refusal* contract, so they pin
+    /// spilling off per-pipeline (the global toggle would race with
+    /// parallel tests).
+    fn run_governed_no_spill(
+        plan: &PhysExpr,
+        catalog: &Catalog,
+        gov: QueryContext,
+    ) -> Result<Chunk> {
+        let opts = orthopt_exec::PipelineOptions {
+            spill: Some(false),
+            ..Default::default()
+        };
+        let mut pipe = Pipeline::with_options(plan, opts)?;
+        pipe.set_governor(gov);
+        pipe.execute(catalog, &Bindings::new())
+    }
+
+    /// Degradation tests pin spilling *on* per-pipeline for the same
+    /// reason (and so the ORTHOPT_SPILL=0 CI leg still runs them: the
+    /// per-pipeline override outranks the process kill switch).
+    fn run_governed_spill(plan: &PhysExpr, catalog: &Catalog, gov: QueryContext) -> Result<Chunk> {
+        let opts = orthopt_exec::PipelineOptions {
+            spill: Some(true),
+            ..Default::default()
+        };
+        let mut pipe = Pipeline::with_options(plan, opts)?;
+        pipe.set_governor(gov);
+        pipe.execute(catalog, &Bindings::new())
+    }
+
     fn expect_exhausted(r: Result<Chunk>, operator: &str) {
         match r {
             Err(Error::ResourceExhausted {
@@ -251,24 +281,21 @@ mod governor {
     fn budget_trips_hash_join_build_with_blame() {
         let catalog = customers_orders();
         let gov = QueryContext::new().with_memory_limit(16);
-        expect_exhausted(run_governed(&join_plan(), &catalog, gov), "HashJoin");
+        expect_exhausted(
+            run_governed_no_spill(&join_plan(), &catalog, gov),
+            "HashJoin",
+        );
     }
 
-    #[test]
-    fn budget_trips_sort_buffer() {
-        let catalog = customers_orders();
-        let plan = PhysExpr::Sort {
+    fn sort_plan() -> PhysExpr {
+        PhysExpr::Sort {
             input: Box::new(scan_orders()),
             by: vec![(O_TOTALPRICE, false)],
-        };
-        let gov = QueryContext::new().with_memory_limit(16);
-        expect_exhausted(run_governed(&plan, &catalog, gov), "Sort");
+        }
     }
 
-    #[test]
-    fn budget_trips_aggregate_state() {
-        let catalog = customers_orders();
-        let plan = PhysExpr::HashAggregate {
+    fn agg_plan() -> PhysExpr {
+        PhysExpr::HashAggregate {
             kind: orthopt_ir::GroupKind::Vector,
             input: Box::new(scan_orders()),
             group_cols: vec![O_CUSTKEY],
@@ -277,9 +304,221 @@ mod governor {
                 orthopt_ir::AggFunc::CountStar,
                 None,
             )],
-        };
+        }
+    }
+
+    #[test]
+    fn budget_trips_sort_buffer() {
+        let catalog = customers_orders();
         let gov = QueryContext::new().with_memory_limit(16);
-        expect_exhausted(run_governed(&plan, &catalog, gov), "HashAggregate");
+        expect_exhausted(run_governed_no_spill(&sort_plan(), &catalog, gov), "Sort");
+    }
+
+    #[test]
+    fn budget_trips_aggregate_state() {
+        let catalog = customers_orders();
+        let gov = QueryContext::new().with_memory_limit(16);
+        expect_exhausted(
+            run_governed_no_spill(&agg_plan(), &catalog, gov),
+            "HashAggregate",
+        );
+    }
+
+    /// With spilling left on (the default), a starvation budget makes
+    /// the sort degrade to disk runs instead of tripping — and the
+    /// merged output is byte-identical to the unconstrained run.
+    #[test]
+    fn tiny_budget_with_spill_degrades_instead_of_tripping() {
+        let catalog = customers_orders();
+        let free = run_governed(&sort_plan(), &catalog, QueryContext::new()).unwrap();
+        let gov = QueryContext::new().with_memory_limit(16);
+        let spilled = run_governed_spill(&sort_plan(), &catalog, gov).unwrap();
+        assert_eq!(free.rows, spilled.rows, "external sort preserves order");
+    }
+
+    /// A wider aggregation (many groups) under a budget that holds a
+    /// fraction of the state spills partitions, then replays each one
+    /// within budget; the result matches the unconstrained run.
+    #[test]
+    fn aggregation_spills_partitions_and_stays_exact() {
+        use orthopt_common::{DataType, Value};
+        use orthopt_storage::{ColumnDef, TableDef};
+
+        let mut catalog = orthopt_storage::Catalog::new();
+        let t = catalog
+            .create_table(TableDef::new(
+                "wide",
+                vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+                vec![],
+            ))
+            .unwrap();
+        catalog
+            .table_mut(t)
+            .insert_all((0..960).map(|i| vec![Value::Int(i % 160), Value::Int(i)]))
+            .unwrap();
+        let plan = PhysExpr::HashAggregate {
+            kind: orthopt_ir::GroupKind::Vector,
+            input: Box::new(PhysExpr::TableScan {
+                table: t,
+                positions: vec![0, 1],
+                cols: vec![ColId(200), ColId(201)],
+            }),
+            group_cols: vec![ColId(200)],
+            aggs: vec![orthopt_ir::AggDef::new(
+                orthopt_ir::ColumnMeta::new(ColId(202), "n", orthopt_common::DataType::Int, false),
+                orthopt_ir::AggFunc::CountStar,
+                None,
+            )],
+        };
+        let free = run_governed(&plan, &catalog, QueryContext::new()).unwrap();
+        assert_eq!(free.rows.len(), 160);
+
+        // Budget sized to hold well under 160 groups but comfortably
+        // more than one partition's (~160/8 groups) replay state.
+        let opts = orthopt_exec::PipelineOptions {
+            spill: Some(true),
+            ..Default::default()
+        };
+        let mut pipe = Pipeline::with_options(&plan, opts).unwrap();
+        pipe.set_governor(QueryContext::new().with_memory_limit(16 << 10));
+        let mut spilled = pipe.execute(&catalog, &Bindings::new()).unwrap();
+        let key = |r: &Vec<Value>| match r[0] {
+            Value::Int(i) => i,
+            _ => unreachable!(),
+        };
+        let mut want = free.rows.clone();
+        spilled.rows.sort_by_key(key);
+        want.sort_by_key(key);
+        assert_eq!(want, spilled.rows, "partitioned aggregation is exact");
+        let stats = pipe.stats();
+        assert!(
+            stats
+                .iter()
+                .any(|s| s.spill_partitions > 0 && s.spilled_bytes > 0),
+            "aggregate actually spilled: {stats:?}"
+        );
+    }
+
+    /// Every hard-fail buffering site (no spill path, no cache to shed)
+    /// reports its refusal with a hint naming the memory knob, and
+    /// blames the right operator.
+    #[test]
+    fn hard_fail_sites_hint_the_memory_knob() {
+        let catalog = customers_orders();
+        let cases: Vec<(PhysExpr, &str)> = vec![
+            (
+                PhysExpr::NLJoin {
+                    kind: JoinKind::Inner,
+                    left: Box::new(scan_customer()),
+                    right: Box::new(scan_orders()),
+                    predicate: orthopt_ir::ScalarExpr::lit(true),
+                },
+                "NLJoin",
+            ),
+            (
+                PhysExpr::Limit {
+                    input: Box::new(scan_orders()),
+                    n: 2,
+                },
+                "Limit",
+            ),
+            (
+                PhysExpr::AssertMax1 {
+                    input: Box::new(PhysExpr::Filter {
+                        input: Box::new(scan_orders()),
+                        predicate: orthopt_ir::ScalarExpr::eq(
+                            orthopt_ir::ScalarExpr::col(O_ORDERKEY),
+                            orthopt_ir::ScalarExpr::lit(10i64),
+                        ),
+                    }),
+                },
+                "Max1Row",
+            ),
+            (
+                PhysExpr::ExceptExec {
+                    left: Box::new(PhysExpr::TableScan {
+                        table: TableId(0),
+                        positions: vec![0],
+                        cols: vec![C_CUSTKEY],
+                    }),
+                    right: Box::new(PhysExpr::TableScan {
+                        table: TableId(1),
+                        positions: vec![1],
+                        cols: vec![O_CUSTKEY],
+                    }),
+                    right_map: vec![O_CUSTKEY],
+                },
+                "Except",
+            ),
+            (
+                PhysExpr::SegmentExec {
+                    input: Box::new(scan_orders()),
+                    segment_cols: vec![O_CUSTKEY],
+                    inner: Box::new(PhysExpr::SegmentScan {
+                        cols: vec![(ColId(300), O_TOTALPRICE)],
+                    }),
+                    out_cols: vec![O_CUSTKEY, ColId(300)],
+                },
+                "SegmentExec",
+            ),
+        ];
+        for (plan, op) in cases {
+            let gov = QueryContext::new().with_memory_limit(1);
+            match run_governed(&plan, &catalog, gov) {
+                Err(e) => match e.root_cause() {
+                    Error::ResourceExhausted { operator, hint, .. } => {
+                        assert_eq!(operator.as_str(), op, "blame names the buffering operator");
+                        let Some(h) = hint else {
+                            panic!("{op}: refusal carried no hint")
+                        };
+                        assert!(h.contains("ORTHOPT_MEM_LIMIT"), "{op}: {h}");
+                    }
+                    other => panic!("{op}: expected ResourceExhausted, got {other:?}"),
+                },
+                Ok(_) => panic!("{op}: one-byte budget did not trip"),
+            }
+        }
+
+        // The exchange gather buffer is the same contract, one layer up:
+        // workers stream an uncharged scan, the gather charge trips.
+        let plan = PhysExpr::Exchange {
+            input: Box::new(scan_orders()),
+        };
+        let mut pipe = Pipeline::compile(&plan).unwrap();
+        pipe.set_parallelism(2);
+        pipe.set_governor(QueryContext::new().with_memory_limit(1));
+        match pipe.execute(&catalog, &Bindings::new()) {
+            Err(e) => match e.root_cause() {
+                Error::ResourceExhausted { operator, hint, .. } => {
+                    assert_eq!(operator.as_str(), "Exchange");
+                    let Some(h) = hint else {
+                        panic!("Exchange: refusal carried no hint")
+                    };
+                    assert!(h.contains("ORTHOPT_MEM_LIMIT"), "{h}");
+                }
+                other => panic!("Exchange: expected ResourceExhausted, got {other:?}"),
+            },
+            Ok(_) => panic!("Exchange: one-byte budget did not trip"),
+        }
+    }
+
+    /// Refusals at spillable operators carry a hint naming both escape
+    /// hatches; spilling was pinned off, so the message must say how to
+    /// turn it back on.
+    #[test]
+    fn refusal_hint_names_the_knobs() {
+        let catalog = customers_orders();
+        let gov = QueryContext::new().with_memory_limit(16);
+        match run_governed_no_spill(&sort_plan(), &catalog, gov) {
+            Err(Error::ResourceExhausted { hint: Some(h), .. }) => {
+                assert!(h.contains("ORTHOPT_MEM_LIMIT"), "{h}");
+                assert!(h.contains("spill"), "{h}");
+            }
+            other => panic!("expected hinted refusal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! TPC-H scale-factor 0.1 generation: the spill benchmarks (`bench_json`'s
+//! "spill" sweep, EXPERIMENTS.md §E-SPILL) run on real data volumes, so
+//! this scale must generate correctly — proportioned row counts, intact
+//! foreign keys, and statistics ready for the cost model.
+
+use orthopt_common::Value;
+use orthopt_tpch::{generate, TpchConfig};
+
+#[test]
+fn scale_01_generates_proportioned_and_consistent() {
+    let c = generate(TpchConfig::at_scale(0.1)).expect("generation");
+
+    let count = |t: &str| c.table_by_name(t).expect(t).row_count();
+    assert_eq!(count("customer"), 15_000);
+    assert_eq!(count("orders"), 150_000);
+    assert_eq!(count("part"), 20_000);
+    assert_eq!(count("supplier"), 1_000);
+    assert_eq!(count("region"), 5);
+    assert_eq!(count("nation"), 25);
+    let lineitems = count("lineitem");
+    assert!(
+        (150_000..=150_000 * 7).contains(&lineitems),
+        "lineitem count {lineitems} out of proportion"
+    );
+
+    // Foreign keys stay in range at the bigger scale (the generators
+    // derive keys modulo the parent cardinality — an off-by-one there
+    // would only show up once the parents outgrow the small scales).
+    let n_cust = count("customer") as i64;
+    for row in c.table_by_name("orders").unwrap().rows() {
+        match &row[1] {
+            Value::Int(k) => assert!(*k >= 0 && *k < n_cust, "o_custkey {k}"),
+            other => panic!("o_custkey not an int: {other:?}"),
+        }
+    }
+    let n_part = count("part") as i64;
+    let n_supp = count("supplier") as i64;
+    for row in c
+        .table_by_name("lineitem")
+        .unwrap()
+        .rows()
+        .iter()
+        .step_by(97)
+    {
+        match &row[1] {
+            Value::Int(k) => assert!(*k >= 0 && *k < n_part, "l_partkey {k}"),
+            other => panic!("l_partkey not an int: {other:?}"),
+        }
+        match &row[2] {
+            Value::Int(k) => assert!(*k >= 0 && *k < n_supp, "l_suppkey {k}"),
+            other => panic!("l_suppkey not an int: {other:?}"),
+        }
+    }
+
+    // The cost model needs stats on every table.
+    for (_, t) in c.iter() {
+        assert!(t.stats().is_some(), "{} missing stats", t.def.name);
+    }
+}
